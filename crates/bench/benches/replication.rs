@@ -1,0 +1,102 @@
+//! Criterion benches for the §III replication design choices:
+//!
+//! * `MLOG_PAXOS` batching: per-MTR frames vs 16 KB batches (wire bytes and
+//!   framing CPU),
+//! * asynchronous commit: synchronous per-transaction waits vs pipelined
+//!   group completion through the commit-waiter registry.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use bytes::Bytes;
+use polardbx_common::{Key, Lsn, TableId, TrxId, Value};
+use polardbx_consensus::{GroupConfig, PaxosGroup};
+use polardbx_simnet::LatencyMatrix;
+use polardbx_wal::{FrameBatcher, Mtr, PaxosFrame, RedoPayload};
+
+fn mtr(i: i64, payload: usize) -> Mtr {
+    Mtr::single(RedoPayload::Insert {
+        trx: TrxId(i as u64),
+        table: TableId(1),
+        key: Key::encode(&[Value::Int(i)]),
+        row: Bytes::from(vec![0u8; payload]),
+    })
+}
+
+fn bench_batching(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mlog_paxos_batching");
+    let mtrs: Vec<Mtr> = (0..256).map(|i| mtr(i, 200)).collect();
+    g.bench_function("frame_per_mtr", |b| {
+        b.iter(|| {
+            let mut wire = 0usize;
+            for (i, m) in mtrs.iter().enumerate() {
+                let f =
+                    PaxosFrame::from_mtrs(1, i as u64, Lsn(0), std::slice::from_ref(m));
+                wire += f.encode().len();
+            }
+            std::hint::black_box(wire)
+        })
+    });
+    g.bench_function("frame_batched_16k", |b| {
+        b.iter(|| {
+            let mut wire = 0usize;
+            let mut batcher = FrameBatcher::new(1, 0, Lsn(0));
+            for m in mtrs.iter().cloned() {
+                if let Some(f) = batcher.push(m) {
+                    wire += f.encode().len();
+                }
+            }
+            if let Some(f) = batcher.flush() {
+                wire += f.encode().len();
+            }
+            std::hint::black_box(wire)
+        })
+    });
+    g.finish();
+}
+
+fn bench_async_commit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("async_commit");
+    g.sample_size(10);
+    let latency = LatencyMatrix::uniform(Duration::from_micros(300));
+    // Synchronous: each transaction waits for its own majority round trip.
+    g.bench_function("sync_commit_x16", |b| {
+        let group = PaxosGroup::build(GroupConfig::three_dc(1).with_latency(latency.clone()));
+        let leader = group.leader().unwrap();
+        let mut i = 0i64;
+        b.iter(|| {
+            for _ in 0..16 {
+                i += 1;
+                leader
+                    .replicate_and_wait(&[mtr(i, 64)], Duration::from_secs(2))
+                    .unwrap();
+            }
+        })
+    });
+    // Asynchronous: all 16 are in flight together; the async_log_committer
+    // completes them as DLSN sweeps forward (§III).
+    g.bench_function("async_commit_x16", |b| {
+        let group = PaxosGroup::build(GroupConfig::three_dc(1).with_latency(latency.clone()));
+        let leader = group.leader().unwrap();
+        let mut i = 0i64;
+        b.iter(|| {
+            let mut rxs = Vec::with_capacity(16);
+            for _ in 0..16 {
+                i += 1;
+                let lsn = leader.replicate(&[mtr(i, 64)]).unwrap();
+                rxs.push(leader.waiters.register(lsn));
+            }
+            for rx in rxs {
+                rx.recv_timeout(Duration::from_secs(2)).unwrap();
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(Duration::from_secs(3));
+    targets = bench_batching, bench_async_commit
+}
+criterion_main!(benches);

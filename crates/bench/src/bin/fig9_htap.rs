@@ -1,0 +1,306 @@
+//! Fig 9 — HTAP resource isolation and scalable RO nodes.
+//!
+//! §VII-C: TPC-C runs continuously while TPC-H executes under six
+//! configurations: (1) resource isolation off, AP on the RW path;
+//! (2) isolation on, AP on the RW path; (3)–(6) isolation on with one to
+//! four dedicated RO nodes serving the AP reads.
+//!
+//! Fig 9(a): the tpmC timeline — isolation off shows deep jitters;
+//! isolation bounds them; dedicated ROs leave TP essentially untouched.
+//! Fig 9(b): TPC-H latency per configuration — each extra RO adds AP
+//! capacity until the CN/row-store bottleneck (~3 ROs) is reached.
+//!
+//! Single-core substitution (see EXPERIMENTS.md): with AP routed to
+//! dedicated ROs, only a small constant coordination share stays on this
+//! host (the replicas are "other machines"), so TP stability is measured
+//! for real; the per-RO latency benefit is the measured busy time spread
+//! across `k` replicas by Amdahl, saturating at 3 (the paper's CN/row-store
+//! bottleneck). TP/AP pool separation, time-slicing and pacing are real.
+//!
+//! Run: `cargo run --release -p polardbx-bench --bin fig9_htap [--quick]`
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use polardbx::{ClusterConfig, PolarDbx};
+use polardbx_bench::{fmt_dur, header, modeled_mpp_time, parallel_fraction, quick, row};
+use polardbx_common::metrics::ThroughputSeries;
+use polardbx_common::DcId;
+use polardbx_workloads::tpcc::{TpccConfig, TpccDriver};
+use polardbx_workloads::tpch;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct ConfigSpec {
+    name: &'static str,
+    isolation: bool,
+    ap_on_ro: bool,
+    ro_nodes: u32,
+}
+
+fn main() {
+    let run = Duration::from_secs(if quick() { 2 } else { 6 });
+    let window = Duration::from_millis(250);
+    let sf = if quick() { 0.005 } else { 0.02 };
+    let tp_threads = 3usize;
+
+    println!("# Fig 9 — HTAP: resource isolation + scalable RO nodes");
+    println!("  TPC-C-lite continuous ({tp_threads} terminals); TPC-H-lite bursts; {run:?} per config");
+    println!();
+
+    // One cluster with both workloads resident.
+    let db = PolarDbx::build(ClusterConfig { dns: 4, default_shards: 4, ..Default::default() })
+        .unwrap();
+    let driver = TpccDriver::setup(&db, TpccConfig::default()).unwrap();
+    let s = db.connect(DcId(1));
+    tpch::create_schema(&s, 4).unwrap();
+    tpch::load(&db, tpch::ScaleFactor(sf), 7).unwrap();
+    // Dedicated RO replicas (created up front; configs choose whether AP
+    // reads route to them).
+    db.add_ros(1);
+    db.ship_now();
+
+    let configs = [
+        ConfigSpec { name: "iso off, AP on RW", isolation: false, ap_on_ro: false, ro_nodes: 0 },
+        ConfigSpec { name: "iso on,  AP on RW", isolation: true, ap_on_ro: false, ro_nodes: 0 },
+        ConfigSpec { name: "iso on,  1 RO", isolation: true, ap_on_ro: true, ro_nodes: 1 },
+        ConfigSpec { name: "iso on,  2 RO", isolation: true, ap_on_ro: true, ro_nodes: 2 },
+        ConfigSpec { name: "iso on,  3 RO", isolation: true, ap_on_ro: true, ro_nodes: 3 },
+        ConfigSpec { name: "iso on,  4 RO", isolation: true, ap_on_ro: true, ro_nodes: 4 },
+    ];
+    // Mean parallel fraction of the AP query mix (drives the dedicated-RO
+    // capacity model): computed from the optimizer's cost split of each
+    // plan in the mix.
+    let f = {
+        let stats = db.gms().statistics();
+        let mix = [1usize, 3, 5, 6, 12];
+        let mut total = 0.0;
+        for q in mix {
+            let polardbx_sql::Statement::Select(sel) =
+                polardbx_sql::parse(tpch::query_sql(q)).unwrap()
+            else {
+                unreachable!()
+            };
+            let plan = polardbx_optimizer::optimize(
+                polardbx_sql::build_plan(&sel, db.gms().as_ref()).unwrap(),
+            );
+            total += parallel_fraction(&plan, &stats);
+        }
+        total / 5.0
+    };
+    println!("  AP mix parallel fraction (cost-model): f = {f:.2}");
+
+    // Baseline tpmC without any AP load.
+    let baseline = measure_config(&db, &driver, None, tp_threads, run, window);
+    println!(
+        "  baseline (no TPC-H): tpmC = {:.0}, min window = {:.0}",
+        baseline.tpmc, baseline.min_window_tpmc
+    );
+    println!();
+    header(&[
+        "config",
+        "tpmC avg",
+        "tpmC min window",
+        "jitter windows (>40% drop)",
+        "TPC-H queries",
+        "TPC-H avg lat",
+        "vs 'iso on, AP on RW'",
+    ]);
+
+    let mut shared_rw_lat: Option<Duration> = None;
+    for cfg in &configs {
+        db.workload().set_isolation(cfg.isolation);
+        db.set_htap_ro(cfg.ap_on_ro);
+        // Provision AP capacity: on the RW path AP competes inside the CN
+        // (quota 0.5); on dedicated ROs each replica adds a capacity slice.
+        // On the RW path, AP shares the CN host under its cgroup quota. On
+        // dedicated ROs the queries execute on *other machines*: only a
+        // small, constant coordination share remains on this host, so the
+        // TP side stays flat no matter how many ROs serve AP (the paper's
+        // "TPC-C is almost unaffected").
+        let quota = if !cfg.isolation {
+            1.0
+        } else if cfg.ap_on_ro {
+            0.25
+        } else {
+            0.35
+        };
+        db.workload().ap_governor.set_quota(quota);
+
+        let m = measure_config_full(
+            &db,
+            &driver,
+            Some(ApSpec { quota, ro_nodes: cfg.ro_nodes, isolation: cfg.isolation }),
+            tp_threads,
+            run,
+            window,
+        );
+        // Fig 9(b) latency. Shared-RW configs report the measured wall
+        // latency (real CN contention). Dedicated-RO configs report the
+        // measured-component model: the query's busy time spread across the
+        // replicas by Amdahl, saturating at 3 ("the bottleneck … lies in
+        // the CN and backend row store", §VII-C).
+        let lat = if cfg.ap_on_ro && m.ap_queries > 0 {
+            modeled_mpp_time(
+                m.ap_busy_mean,
+                f,
+                cfg.ro_nodes.min(3) as usize,
+                Duration::from_micros(300),
+            )
+        } else {
+            m.ap_mean
+        };
+        let ratio = match (cfg.ap_on_ro, shared_rw_lat) {
+            (true, Some(base)) if lat > Duration::ZERO => {
+                format!("{:.1}x faster", base.as_secs_f64() / lat.as_secs_f64())
+            }
+            _ => "—".to_string(),
+        };
+        if !cfg.ap_on_ro && cfg.isolation {
+            shared_rw_lat = Some(m.ap_mean);
+        }
+        let jitters = m
+            .windows
+            .iter()
+            .filter(|&&w| (w as f64) < baseline.tpmc / 240.0 * 0.6)
+            .count();
+        row(&[
+            cfg.name.to_string(),
+            format!("{:.0}", m.tpmc),
+            format!("{:.0}", m.min_window_tpmc),
+            jitters.to_string(),
+            m.ap_queries.to_string(),
+            fmt_dur(lat),
+            ratio,
+        ]);
+    }
+    println!();
+    println!("  Paper: iso-off shows >40% jitters (min tpmC 57!); iso-on holds >120K;");
+    println!("  dedicated ROs leave TPC-C unaffected; TPC-H latency improves 2.7x/5.0x/5.7x");
+    println!("  with 1→3 extra ROs and saturates at 4 (CN + row-store bottleneck).");
+    db.shutdown();
+}
+
+struct Measurement {
+    tpmc: f64,
+    min_window_tpmc: f64,
+    windows: Vec<u64>,
+    ap_queries: u64,
+    ap_mean: Duration,
+    /// Mean busy (execution) time per query, pacing gaps excluded — the
+    /// input to the dedicated-RO capacity model.
+    ap_busy_mean: Duration,
+}
+
+struct ApSpec {
+    quota: f64,
+    #[allow(dead_code)]
+    ro_nodes: u32,
+    isolation: bool,
+}
+
+fn measure_config(
+    db: &PolarDbx,
+    driver: &TpccDriver,
+    ap: Option<&PolarDbx>,
+    tp_threads: usize,
+    run: Duration,
+    window: Duration,
+) -> Measurement {
+    let spec = ap.map(|_| ApSpec { quota: 1.0, ro_nodes: 0, isolation: false });
+    measure_config_full(db, driver, spec, tp_threads, run, window)
+}
+
+fn measure_config_full(
+    db: &PolarDbx,
+    driver: &TpccDriver,
+    ap: Option<ApSpec>,
+    tp_threads: usize,
+    run: Duration,
+    window: Duration,
+) -> Measurement {
+    let stop = Arc::new(AtomicBool::new(false));
+    let series = Arc::new(ThroughputSeries::new(window));
+    let ap_queries = AtomicU64::new(0);
+    let ap_lat_micros = AtomicU64::new(0);
+    let ap_busy_micros = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        // TP terminals.
+        for t in 0..tp_threads {
+            let stop = Arc::clone(&stop);
+            let series = Arc::clone(&series);
+            let session = db.connect(DcId(1));
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(900 + t as u64);
+                while !stop.load(Ordering::Relaxed) {
+                    if let Ok(true) = driver.transaction(&session, &mut rng) {
+                        series.record(1);
+                    }
+                }
+            });
+        }
+        // AP stream: TPC-H queries looping over a scan/join/agg-heavy mix.
+        // With isolation on, the stream honours its CPU quota as a duty
+        // cycle (the cgroups effect at query granularity — necessary here
+        // because a single sub-millisecond query never accumulates enough
+        // executor ticks for the fine-grained governor to engage).
+        if let Some(spec) = ap {
+            let stop = Arc::clone(&stop);
+            let ap_queries = &ap_queries;
+            let ap_lat = &ap_lat_micros;
+            let ap_busy = &ap_busy_micros;
+            let session = db.connect(DcId(1));
+            scope.spawn(move || {
+                let mix = [1usize, 3, 5, 6, 12];
+                let mut i = 0;
+                while !stop.load(Ordering::Relaxed) {
+                    let q = mix[i % mix.len()];
+                    i += 1;
+                    let t0 = Instant::now();
+                    if session.query(tpch::query_sql(q)).is_ok() {
+                        let busy = t0.elapsed();
+                        ap_queries.fetch_add(1, Ordering::Relaxed);
+                        ap_busy.fetch_add(busy.as_micros() as u64, Ordering::Relaxed);
+                        // Wall latency includes queueing the duty cycle
+                        // imposes on a saturated AP stream.
+                        let wall = if spec.isolation && spec.quota < 1.0 {
+                            let idle = busy.mul_f64(1.0 / spec.quota - 1.0);
+                            std::thread::sleep(idle);
+                            busy + idle
+                        } else {
+                            busy
+                        };
+                        ap_lat.fetch_add(wall.as_micros() as u64, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+        std::thread::sleep(run);
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    let windows = series.windows();
+    let per_minute = 60.0 / window.as_secs_f64();
+    let interior: Vec<u64> =
+        windows.iter().skip(1).take(windows.len().saturating_sub(2)).copied().collect();
+    let total: u64 = windows.iter().sum();
+    let q = ap_queries.load(Ordering::Relaxed);
+    Measurement {
+        tpmc: total as f64 / run.as_secs_f64() * 60.0,
+        min_window_tpmc: interior.iter().min().copied().unwrap_or(0) as f64 * per_minute,
+        windows: interior,
+        ap_queries: q,
+        ap_mean: if q == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_micros(ap_lat_micros.load(Ordering::Relaxed) / q)
+        },
+        ap_busy_mean: if q == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_micros(ap_busy_micros.load(Ordering::Relaxed) / q)
+        },
+    }
+}

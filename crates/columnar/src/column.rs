@@ -1,0 +1,242 @@
+//! Typed column vectors.
+
+use polardbx_common::{DataType, Error, Result, Value};
+
+/// A column of values in columnar layout: a dense typed vector plus a null
+/// bitmap. The vector keeps a slot for NULL rows (default value) so row ids
+/// index all columns uniformly.
+#[derive(Debug, Clone)]
+pub enum ColumnData {
+    /// 64-bit integers.
+    Int(Vec<i64>, Vec<bool>),
+    /// Doubles.
+    Double(Vec<f64>, Vec<bool>),
+    /// Strings.
+    Str(Vec<String>, Vec<bool>),
+    /// Dates (days).
+    Date(Vec<i32>, Vec<bool>),
+}
+
+impl ColumnData {
+    /// An empty column of the given type. `Bytes` columns are stored as
+    /// strings (lossy) — none of the paper's workloads use raw bytes.
+    pub fn new(ty: DataType) -> ColumnData {
+        match ty {
+            DataType::Int => ColumnData::Int(Vec::new(), Vec::new()),
+            DataType::Double => ColumnData::Double(Vec::new(), Vec::new()),
+            DataType::Str | DataType::Bytes => ColumnData::Str(Vec::new(), Vec::new()),
+            DataType::Date => ColumnData::Date(Vec::new(), Vec::new()),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::Int(v, _) => v.len(),
+            ColumnData::Double(v, _) => v.len(),
+            ColumnData::Str(v, _) => v.len(),
+            ColumnData::Date(v, _) => v.len(),
+        }
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append a value (coercing compatible types); NULL appends a default
+    /// slot with the null bit set.
+    pub fn push(&mut self, v: &Value) -> Result<()> {
+        match self {
+            ColumnData::Int(data, nulls) => {
+                match v {
+                    Value::Null => {
+                        data.push(0);
+                        nulls.push(true);
+                    }
+                    other => {
+                        data.push(other.as_int()?);
+                        nulls.push(false);
+                    }
+                };
+            }
+            ColumnData::Double(data, nulls) => {
+                match v {
+                    Value::Null => {
+                        data.push(0.0);
+                        nulls.push(true);
+                    }
+                    other => {
+                        data.push(other.as_double()?);
+                        nulls.push(false);
+                    }
+                };
+            }
+            ColumnData::Str(data, nulls) => {
+                match v {
+                    Value::Null => {
+                        data.push(String::new());
+                        nulls.push(true);
+                    }
+                    Value::Str(s) => {
+                        data.push(s.clone());
+                        nulls.push(false);
+                    }
+                    Value::Bytes(b) => {
+                        data.push(String::from_utf8_lossy(b).into_owned());
+                        nulls.push(false);
+                    }
+                    other => {
+                        return Err(Error::execution(format!(
+                            "cannot store {other} in string column"
+                        )))
+                    }
+                };
+            }
+            ColumnData::Date(data, nulls) => {
+                match v {
+                    Value::Null => {
+                        data.push(0);
+                        nulls.push(true);
+                    }
+                    other => {
+                        data.push(other.as_date()?);
+                        nulls.push(false);
+                    }
+                };
+            }
+        }
+        Ok(())
+    }
+
+    /// Read row `i` back as a [`Value`].
+    pub fn get(&self, i: usize) -> Value {
+        match self {
+            ColumnData::Int(v, n) => {
+                if n[i] {
+                    Value::Null
+                } else {
+                    Value::Int(v[i])
+                }
+            }
+            ColumnData::Double(v, n) => {
+                if n[i] {
+                    Value::Null
+                } else {
+                    Value::Double(v[i])
+                }
+            }
+            ColumnData::Str(v, n) => {
+                if n[i] {
+                    Value::Null
+                } else {
+                    Value::Str(v[i].clone())
+                }
+            }
+            ColumnData::Date(v, n) => {
+                if n[i] {
+                    Value::Null
+                } else {
+                    Value::Date(v[i])
+                }
+            }
+        }
+    }
+
+    /// Is row `i` NULL?
+    pub fn is_null(&self, i: usize) -> bool {
+        match self {
+            ColumnData::Int(_, n)
+            | ColumnData::Double(_, n)
+            | ColumnData::Str(_, n)
+            | ColumnData::Date(_, n) => n[i],
+        }
+    }
+
+    /// Dense i64 view (errors on other types) — fast path for kernels.
+    pub fn as_int(&self) -> Result<&[i64]> {
+        match self {
+            ColumnData::Int(v, _) => Ok(v),
+            _ => Err(Error::execution("column is not Int")),
+        }
+    }
+
+    /// Dense f64 view.
+    pub fn as_double(&self) -> Result<&[f64]> {
+        match self {
+            ColumnData::Double(v, _) => Ok(v),
+            _ => Err(Error::execution("column is not Double")),
+        }
+    }
+
+    /// Dense string view.
+    pub fn as_str(&self) -> Result<&[String]> {
+        match self {
+            ColumnData::Str(v, _) => Ok(v),
+            _ => Err(Error::execution("column is not Str")),
+        }
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn heap_size(&self) -> usize {
+        match self {
+            ColumnData::Int(v, n) => v.len() * 8 + n.len(),
+            ColumnData::Double(v, n) => v.len() * 8 + n.len(),
+            ColumnData::Str(v, n) => {
+                v.iter().map(|s| s.len() + 24).sum::<usize>() + n.len()
+            }
+            ColumnData::Date(v, n) => v.len() * 4 + n.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_roundtrip_with_nulls() {
+        let mut c = ColumnData::new(DataType::Int);
+        c.push(&Value::Int(5)).unwrap();
+        c.push(&Value::Null).unwrap();
+        c.push(&Value::Int(-3)).unwrap();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(0), Value::Int(5));
+        assert_eq!(c.get(1), Value::Null);
+        assert!(c.is_null(1));
+        assert_eq!(c.get(2), Value::Int(-3));
+        assert_eq!(c.as_int().unwrap(), &[5, 0, -3]);
+    }
+
+    #[test]
+    fn double_column_coerces_ints() {
+        let mut c = ColumnData::new(DataType::Double);
+        c.push(&Value::Int(2)).unwrap();
+        c.push(&Value::Double(2.5)).unwrap();
+        assert_eq!(c.as_double().unwrap(), &[2.0, 2.5]);
+    }
+
+    #[test]
+    fn str_column() {
+        let mut c = ColumnData::new(DataType::Str);
+        c.push(&Value::str("a")).unwrap();
+        c.push(&Value::Bytes(vec![b'b'])).unwrap();
+        assert_eq!(c.get(1), Value::str("b"));
+        assert!(c.push(&Value::Int(5)).is_err());
+    }
+
+    #[test]
+    fn type_mismatch_accessors() {
+        let c = ColumnData::new(DataType::Int);
+        assert!(c.as_double().is_err());
+        assert!(c.as_str().is_err());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn heap_size_positive() {
+        let mut c = ColumnData::new(DataType::Str);
+        c.push(&Value::str("hello")).unwrap();
+        assert!(c.heap_size() > 5);
+    }
+}

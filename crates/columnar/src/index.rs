@@ -1,0 +1,279 @@
+//! The per-table column index with commit-timestamp visibility.
+//!
+//! Rows are append-only: an update appends the new image and tombstones the
+//! old one; each row carries `(created_ts, deleted_ts)` so a snapshot at
+//! `ts` selects rows with `created_ts <= ts < deleted_ts`. The `trx_id` of
+//! each row mirrors the row store's, which is what lets a hybrid plan read
+//! both stores under one InnoDB read view (§VI-E).
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use polardbx_common::{DataType, Key, Result, Row, TrxId, Value};
+
+use crate::column::ColumnData;
+
+struct IndexState {
+    columns: Vec<ColumnData>,
+    /// Row-store transaction that created each row.
+    trx_ids: Vec<TrxId>,
+    created: Vec<u64>,
+    deleted: Vec<u64>, // u64::MAX = live
+    /// Primary key → current row id (for update/delete capture).
+    key_index: HashMap<Key, usize>,
+    /// Index version: everything committed at or before this is applied.
+    applied_ts: u64,
+}
+
+/// The in-memory column index for one table.
+pub struct ColumnIndex {
+    types: Vec<DataType>,
+    state: RwLock<IndexState>,
+}
+
+impl ColumnIndex {
+    /// An empty index over columns of the given types.
+    pub fn new(types: Vec<DataType>) -> Arc<ColumnIndex> {
+        let columns = types.iter().map(|t| ColumnData::new(*t)).collect();
+        Arc::new(ColumnIndex {
+            types,
+            state: RwLock::new(IndexState {
+                columns,
+                trx_ids: Vec::new(),
+                created: Vec::new(),
+                deleted: Vec::new(),
+                key_index: HashMap::new(),
+                applied_ts: 0,
+            }),
+        })
+    }
+
+    /// Column types.
+    pub fn types(&self) -> &[DataType] {
+        &self.types
+    }
+
+    /// Apply a committed insert/update: appends the image, tombstoning any
+    /// previous image of `key`.
+    pub fn apply_put(&self, trx: TrxId, commit_ts: u64, key: Key, row: &Row) -> Result<()> {
+        let mut st = self.state.write();
+        if let Some(&old) = st.key_index.get(&key) {
+            st.deleted[old] = commit_ts;
+        }
+        for (i, v) in row.values().iter().enumerate().take(st.columns.len()) {
+            st.columns[i].push(v)?;
+        }
+        // Rows shorter than the index schema pad with NULLs.
+        for i in row.arity()..st.columns.len() {
+            st.columns[i].push(&Value::Null)?;
+        }
+        st.trx_ids.push(trx);
+        st.created.push(commit_ts);
+        st.deleted.push(u64::MAX);
+        let row_id = st.created.len() - 1;
+        st.key_index.insert(key, row_id);
+        if commit_ts > st.applied_ts {
+            st.applied_ts = commit_ts;
+        }
+        Ok(())
+    }
+
+    /// Apply a committed delete.
+    pub fn apply_delete(&self, _trx: TrxId, commit_ts: u64, key: &Key) {
+        let mut st = self.state.write();
+        if let Some(old) = st.key_index.remove(key) {
+            st.deleted[old] = commit_ts;
+        }
+        if commit_ts > st.applied_ts {
+            st.applied_ts = commit_ts;
+        }
+    }
+
+    /// The index version (highest applied commit timestamp). AP queries run
+    /// at `min(requested_ts, version)` when maintenance is delayed.
+    pub fn version(&self) -> u64 {
+        self.state.read().applied_ts
+    }
+
+    /// Total physical rows (including tombstoned images).
+    pub fn physical_rows(&self) -> usize {
+        self.state.read().created.len()
+    }
+
+    /// Snapshot the index at `ts`: a consistent selection + column access.
+    pub fn snapshot(&self, ts: u64) -> ColumnSnapshot {
+        let st = self.state.read();
+        let selection: Vec<u32> = (0..st.created.len())
+            .filter(|&i| {
+                st.created[i] <= ts
+                    && (st.deleted[i] == u64::MAX || ts < st.deleted[i])
+            })
+            .map(|i| i as u32)
+            .collect();
+        ColumnSnapshot { columns: st.columns.clone(), selection, ts }
+    }
+
+    /// Compact: drop rows tombstoned before `horizon` (GC).
+    pub fn compact(&self, horizon: u64) {
+        let mut st = self.state.write();
+        let keep: Vec<usize> =
+            (0..st.created.len()).filter(|&i| st.deleted[i] > horizon).collect();
+        if keep.len() == st.created.len() {
+            return;
+        }
+        let mut new_cols: Vec<ColumnData> =
+            self.types.iter().map(|t| ColumnData::new(*t)).collect();
+        let mut new_trx = Vec::with_capacity(keep.len());
+        let mut new_created = Vec::with_capacity(keep.len());
+        let mut new_deleted = Vec::with_capacity(keep.len());
+        let mut remap: HashMap<usize, usize> = HashMap::new();
+        for (new_id, &old_id) in keep.iter().enumerate() {
+            for (c, col) in new_cols.iter_mut().enumerate() {
+                col.push(&st.columns[c].get(old_id)).expect("same type");
+            }
+            new_trx.push(st.trx_ids[old_id]);
+            new_created.push(st.created[old_id]);
+            new_deleted.push(st.deleted[old_id]);
+            remap.insert(old_id, new_id);
+        }
+        st.key_index = st
+            .key_index
+            .iter()
+            .filter_map(|(k, &old)| remap.get(&old).map(|&n| (k.clone(), n)))
+            .collect();
+        st.columns = new_cols;
+        st.trx_ids = new_trx;
+        st.created = new_created;
+        st.deleted = new_deleted;
+    }
+
+    /// Approximate memory footprint.
+    pub fn heap_size(&self) -> usize {
+        let st = self.state.read();
+        st.columns.iter().map(ColumnData::heap_size).sum::<usize>() + st.created.len() * 24
+    }
+}
+
+/// A consistent view of the index at one timestamp: cloned column vectors
+/// plus the selection of live row ids. Cloning columns keeps the snapshot
+/// immune to concurrent maintenance (simple, and snapshots are short-lived
+/// per query in the executor).
+pub struct ColumnSnapshot {
+    /// The column vectors.
+    pub columns: Vec<ColumnData>,
+    /// Live row ids at `ts`.
+    pub selection: Vec<u32>,
+    /// Snapshot timestamp.
+    pub ts: u64,
+}
+
+impl ColumnSnapshot {
+    /// Number of visible rows.
+    pub fn len(&self) -> usize {
+        self.selection.len()
+    }
+
+    /// True when no rows are visible.
+    pub fn is_empty(&self) -> bool {
+        self.selection.is_empty()
+    }
+
+    /// Materialize a visible row by selection position.
+    pub fn row(&self, pos: usize) -> Row {
+        let id = self.selection[pos] as usize;
+        Row::new(self.columns.iter().map(|c| c.get(id)).collect())
+    }
+
+    /// Materialize all visible rows (row-at-a-time fallback path).
+    pub fn rows(&self) -> Vec<Row> {
+        (0..self.len()).map(|i| self.row(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: i64) -> Key {
+        Key::encode(&[Value::Int(n)])
+    }
+
+    fn row(a: i64, b: f64) -> Row {
+        Row::new(vec![Value::Int(a), Value::Double(b)])
+    }
+
+    fn index() -> Arc<ColumnIndex> {
+        ColumnIndex::new(vec![DataType::Int, DataType::Double])
+    }
+
+    #[test]
+    fn insert_and_snapshot_visibility() {
+        let idx = index();
+        idx.apply_put(TrxId(1), 10, key(1), &row(1, 1.5)).unwrap();
+        idx.apply_put(TrxId(2), 20, key(2), &row(2, 2.5)).unwrap();
+        assert_eq!(idx.snapshot(5).len(), 0);
+        assert_eq!(idx.snapshot(10).len(), 1);
+        assert_eq!(idx.snapshot(25).len(), 2);
+        assert_eq!(idx.snapshot(25).row(0), row(1, 1.5));
+        assert_eq!(idx.version(), 20);
+    }
+
+    #[test]
+    fn update_tombstones_old_image() {
+        let idx = index();
+        idx.apply_put(TrxId(1), 10, key(1), &row(1, 1.0)).unwrap();
+        idx.apply_put(TrxId(2), 20, key(1), &row(1, 9.0)).unwrap();
+        // Old snapshot sees the old image; new sees the new.
+        let old = idx.snapshot(15);
+        assert_eq!(old.len(), 1);
+        assert_eq!(old.row(0), row(1, 1.0));
+        let new = idx.snapshot(25);
+        assert_eq!(new.len(), 1);
+        assert_eq!(new.row(0), row(1, 9.0));
+        assert_eq!(idx.physical_rows(), 2, "append-only: both images present");
+    }
+
+    #[test]
+    fn delete_hides_row() {
+        let idx = index();
+        idx.apply_put(TrxId(1), 10, key(1), &row(1, 1.0)).unwrap();
+        idx.apply_delete(TrxId(2), 20, &key(1));
+        assert_eq!(idx.snapshot(15).len(), 1);
+        assert_eq!(idx.snapshot(20).len(), 0);
+    }
+
+    #[test]
+    fn compact_reclaims_tombstones() {
+        let idx = index();
+        for v in 1..=5u64 {
+            idx.apply_put(TrxId(v), v * 10, key(1), &row(1, v as f64)).unwrap();
+        }
+        assert_eq!(idx.physical_rows(), 5);
+        idx.compact(50);
+        assert_eq!(idx.physical_rows(), 1);
+        // The surviving image is still correct.
+        let s = idx.snapshot(100);
+        assert_eq!(s.row(0), row(1, 5.0));
+        // And updates keep working after the remap.
+        idx.apply_put(TrxId(9), 100, key(1), &row(1, 99.0)).unwrap();
+        assert_eq!(idx.snapshot(100).row(0), row(1, 99.0));
+    }
+
+    #[test]
+    fn short_rows_pad_with_null() {
+        let idx = index();
+        idx.apply_put(TrxId(1), 10, key(1), &Row::new(vec![Value::Int(7)])).unwrap();
+        let s = idx.snapshot(10);
+        assert_eq!(s.row(0).get(1).unwrap(), &Value::Null);
+    }
+
+    #[test]
+    fn snapshot_isolated_from_later_changes() {
+        let idx = index();
+        idx.apply_put(TrxId(1), 10, key(1), &row(1, 1.0)).unwrap();
+        let snap = idx.snapshot(10);
+        idx.apply_put(TrxId(2), 20, key(2), &row(2, 2.0)).unwrap();
+        assert_eq!(snap.len(), 1, "snapshot unaffected by concurrent apply");
+    }
+}

@@ -1,0 +1,27 @@
+//! In-memory column index (§VI-E of the paper).
+//!
+//! "PolarDB-X supports an in-memory column index on its DN … implemented
+//! as an in-memory columnar representation of the selected or indexed
+//! columns in row store. The logical operations on the indexed column are
+//! captured from the log and converted to the corresponding operations on
+//! the index. … A record in column index has its trx_id being consistent
+//! with that in InnoDB," which lets hybrid plans read row and column
+//! stores under one snapshot. "To further mitigate the maintenance
+//! overhead … its updates can be delayed and batched."
+//!
+//! * [`mod@column`] — typed column vectors with null bitmaps,
+//! * [`index`] — the per-table columnar replica with commit-timestamp
+//!   visibility (insert/update/delete as append + tombstone),
+//! * [`maintain`] — redo-log capture with delayed, batched application and
+//!   a lagging index version,
+//! * [`kernels`] — the vectorized scan/filter/aggregate/join primitives the
+//!   MPP executor's columnar operators call into.
+
+pub mod column;
+pub mod index;
+pub mod kernels;
+pub mod maintain;
+
+pub use column::ColumnData;
+pub use index::{ColumnIndex, ColumnSnapshot};
+pub use maintain::ColumnIndexMaintainer;

@@ -1,0 +1,22 @@
+//! Shared foundation types for the PolarDB-X reproduction.
+//!
+//! Every other crate in the workspace builds on these definitions: strongly
+//! typed identifiers for cluster entities (datacenters, nodes, shards,
+//! tenants), log sequence numbers, SQL values and rows with an
+//! order-preserving key encoding, table schemas with partitioning metadata,
+//! and lightweight metrics used by the benchmark harnesses.
+
+pub mod error;
+pub mod ids;
+pub mod key;
+pub mod metrics;
+pub mod row;
+pub mod schema;
+pub mod value;
+
+pub use error::{Error, Result};
+pub use ids::{DcId, IdGenerator, Lsn, NodeId, ShardId, TableId, TenantId, TrxId};
+pub use key::Key;
+pub use row::Row;
+pub use schema::{ColumnDef, DataType, IndexDef, IndexKind, PartitionSpec, TableSchema};
+pub use value::Value;

@@ -1,0 +1,232 @@
+//! Lightweight metrics used by the benchmark harnesses.
+//!
+//! The figure-reproduction binaries need throughput counters (tpmC, qps),
+//! latency histograms (percentiles for sysbench/TPC-H latency) and windowed
+//! time series (the tpmC-over-time curves of Fig 9a). Everything here is
+//! thread-safe and allocation-light on the hot path.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// New counter at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Latency histogram with logarithmic buckets from 1 µs to ~17 s.
+///
+/// Percentile queries are approximate (bucket upper bound) which is plenty
+/// for reproducing the *shape* of the paper's latency comparisons.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_micros: AtomicU64,
+    max_micros: AtomicU64,
+}
+
+const BUCKETS: usize = 48; // 2^(i/2) µs spacing covers 1 µs .. ~16 s
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// New empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_micros: AtomicU64::new(0),
+            max_micros: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket_for(micros: u64) -> usize {
+        if micros <= 1 {
+            return 0;
+        }
+        // Two buckets per power of two.
+        let log2 = 63 - micros.leading_zeros() as u64;
+        let half = if micros >= (1 << log2) + (1 << log2.saturating_sub(1)) { 1 } else { 0 };
+        ((log2 * 2 + half) as usize).min(BUCKETS - 1)
+    }
+
+    fn bucket_upper(idx: usize) -> u64 {
+        let log2 = idx as u64 / 2;
+        let base = 1u64 << log2;
+        if idx % 2 == 0 { base + base / 2 } else { base * 2 }
+    }
+
+    /// Record one latency observation.
+    pub fn record(&self, d: Duration) {
+        let micros = d.as_micros() as u64;
+        self.buckets[Self::bucket_for(micros)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+        self.max_micros.fetch_max(micros, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency.
+    pub fn mean(&self) -> Duration {
+        let c = self.count();
+        if c == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_micros(self.sum_micros.load(Ordering::Relaxed) / c)
+    }
+
+    /// Maximum observed latency.
+    pub fn max(&self) -> Duration {
+        Duration::from_micros(self.max_micros.load(Ordering::Relaxed))
+    }
+
+    /// Approximate percentile (0.0..=1.0).
+    pub fn percentile(&self, p: f64) -> Duration {
+        let total = self.count();
+        if total == 0 {
+            return Duration::ZERO;
+        }
+        let target = ((total as f64) * p).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return Duration::from_micros(Self::bucket_upper(i));
+            }
+        }
+        self.max()
+    }
+}
+
+/// Windowed throughput series: counts events into fixed-width time windows
+/// so harnesses can print "tpmC over time" curves (Fig 9a).
+#[derive(Debug)]
+pub struct ThroughputSeries {
+    start: Instant,
+    window: Duration,
+    counts: Mutex<Vec<u64>>,
+}
+
+impl ThroughputSeries {
+    /// Start a series with the given window width.
+    pub fn new(window: Duration) -> ThroughputSeries {
+        ThroughputSeries { start: Instant::now(), window, counts: Mutex::new(Vec::new()) }
+    }
+
+    /// Record `n` events at "now".
+    pub fn record(&self, n: u64) {
+        let idx = (self.start.elapsed().as_nanos() / self.window.as_nanos()) as usize;
+        let mut counts = self.counts.lock();
+        if counts.len() <= idx {
+            counts.resize(idx + 1, 0);
+        }
+        counts[idx] += n;
+    }
+
+    /// Snapshot of per-window counts.
+    pub fn windows(&self) -> Vec<u64> {
+        self.counts.lock().clone()
+    }
+
+    /// Per-window rate in events/second.
+    pub fn rates_per_sec(&self) -> Vec<f64> {
+        let w = self.window.as_secs_f64();
+        self.windows().iter().map(|&c| c as f64 / w).collect()
+    }
+}
+
+/// Convenience: time a closure and record it into a histogram.
+pub fn timed<T>(hist: &Histogram, f: impl FnOnce() -> T) -> T {
+    let t0 = Instant::now();
+    let out = f();
+    hist.record(t0.elapsed());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::new();
+        c.inc();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+    }
+
+    #[test]
+    fn histogram_percentiles_monotonic() {
+        let h = Histogram::new();
+        for i in 1..=1000u64 {
+            h.record(Duration::from_micros(i));
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.percentile(0.5);
+        let p99 = h.percentile(0.99);
+        assert!(p50 <= p99, "{p50:?} > {p99:?}");
+        assert!(p50 >= Duration::from_micros(400) && p50 <= Duration::from_micros(1200));
+        assert!(h.mean() >= Duration::from_micros(300));
+        assert!(h.max() >= Duration::from_micros(1000));
+    }
+
+    #[test]
+    fn histogram_empty_is_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.percentile(0.99), Duration::ZERO);
+        assert_eq!(h.mean(), Duration::ZERO);
+    }
+
+    #[test]
+    fn bucket_mapping_monotonic() {
+        let mut prev = 0;
+        for micros in [1u64, 2, 3, 7, 8, 100, 1000, 65_536, 10_000_000] {
+            let b = Histogram::bucket_for(micros);
+            assert!(b >= prev, "bucket decreased at {micros}");
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn throughput_series_windows() {
+        let s = ThroughputSeries::new(Duration::from_millis(10));
+        s.record(5);
+        std::thread::sleep(Duration::from_millis(25));
+        s.record(3);
+        let w = s.windows();
+        assert!(w.len() >= 2);
+        assert_eq!(w.iter().sum::<u64>(), 8);
+    }
+}

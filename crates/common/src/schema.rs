@@ -1,0 +1,452 @@
+//! Table schemas, partitioning specifications and index definitions.
+//!
+//! Mirrors §II-B of the paper: tables are hash-partitioned on the primary
+//! key (an implicit auto-increment BIGINT key is added when none is
+//! declared); indexes are either *local* (partitioned like the table, no
+//! distributed transaction on update) or *global* (partitioned by the
+//! indexed columns, stored as a hidden table, optionally *clustered* to
+//! carry all columns); and tables sharing a partition key can be grouped
+//! into a *table group* so equi-joins become partition-wise.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Error, Result};
+use crate::ids::TableId;
+use crate::key::Key;
+use crate::row::Row;
+use crate::value::Value;
+
+/// Column data types (MySQL-flavoured subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DataType {
+    /// 64-bit signed integer (BIGINT / INT).
+    Int,
+    /// Double-precision float (DOUBLE / DECIMAL approximated).
+    Double,
+    /// Variable-length string (VARCHAR / CHAR / TEXT).
+    Str,
+    /// Raw bytes (VARBINARY).
+    Bytes,
+    /// Days-since-epoch date (DATE).
+    Date,
+}
+
+impl DataType {
+    /// Whether `v` inhabits this type (NULL inhabits every type).
+    pub fn admits(&self, v: &Value) -> bool {
+        matches!(
+            (self, v),
+            (_, Value::Null)
+                | (DataType::Int, Value::Int(_))
+                | (DataType::Double, Value::Double(_))
+                | (DataType::Double, Value::Int(_))
+                | (DataType::Str, Value::Str(_))
+                | (DataType::Bytes, Value::Bytes(_))
+                | (DataType::Date, Value::Date(_))
+                | (DataType::Date, Value::Int(_))
+        )
+    }
+}
+
+/// A column definition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColumnDef {
+    /// Column name (case-insensitive in SQL; stored lowercase).
+    pub name: String,
+    /// Data type.
+    pub ty: DataType,
+    /// NOT NULL constraint.
+    pub not_null: bool,
+}
+
+impl ColumnDef {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, ty: DataType) -> ColumnDef {
+        ColumnDef { name: name.into().to_ascii_lowercase(), ty, not_null: false }
+    }
+
+    /// Mark NOT NULL.
+    pub fn not_null(mut self) -> ColumnDef {
+        self.not_null = true;
+        self
+    }
+}
+
+/// How a table (or global index) is split into shards.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PartitionSpec {
+    /// Hash partitioning on the named columns into `shards` partitions —
+    /// the default in PolarDB-X (§II-B) because it spreads load and avoids
+    /// the last-shard hotspot of range partitioning on ascending keys.
+    Hash { columns: Vec<String>, shards: u32 },
+    /// A single unpartitioned shard (small dimension tables, system tables).
+    Single,
+}
+
+impl PartitionSpec {
+    /// Number of shards this spec produces.
+    pub fn shard_count(&self) -> u32 {
+        match self {
+            PartitionSpec::Hash { shards, .. } => *shards,
+            PartitionSpec::Single => 1,
+        }
+    }
+
+    /// Partition columns (empty for `Single`).
+    pub fn columns(&self) -> &[String] {
+        match self {
+            PartitionSpec::Hash { columns, .. } => columns,
+            PartitionSpec::Single => &[],
+        }
+    }
+}
+
+/// Kinds of secondary indexes (§II-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IndexKind {
+    /// Partitioned by the table's partition key; maintained locally within
+    /// the shard, so no distributed transaction is needed on update.
+    Local,
+    /// Partitioned by the indexed columns; stored as a hidden table and
+    /// maintained inside the same distributed transaction as the base row.
+    /// Holds the indexed columns + primary key.
+    GlobalNonClustered,
+    /// Like `GlobalNonClustered` but carries *all* columns so lookups never
+    /// fan out to the primary index shards.
+    GlobalClustered,
+}
+
+/// A secondary index definition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IndexDef {
+    /// Index name.
+    pub name: String,
+    /// Indexed column names, in key order.
+    pub columns: Vec<String>,
+    /// Local / global (clustered or not).
+    pub kind: IndexKind,
+    /// Unique constraint.
+    pub unique: bool,
+}
+
+/// A table schema with partitioning and indexes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableSchema {
+    /// Catalog id (assigned by GMS).
+    pub id: TableId,
+    /// Table name (stored lowercase).
+    pub name: String,
+    /// Columns in declaration order. If the user declared no primary key, a
+    /// trailing invisible `__implicit_pk` BIGINT column is appended.
+    pub columns: Vec<ColumnDef>,
+    /// Indexes of the primary-key columns within `columns`.
+    pub primary_key: Vec<usize>,
+    /// True when the primary key was synthesized (invisible to users).
+    pub implicit_pk: bool,
+    /// Partitioning rule.
+    pub partition: PartitionSpec,
+    /// Secondary indexes.
+    pub indexes: Vec<IndexDef>,
+    /// Optional table group name; members share partition rule + placement.
+    pub table_group: Option<String>,
+}
+
+impl TableSchema {
+    /// Build a schema, validating the primary key and appending an implicit
+    /// one when `primary_key` is empty (as PolarDB-X does, §II-B).
+    pub fn new(
+        id: TableId,
+        name: impl Into<String>,
+        mut columns: Vec<ColumnDef>,
+        primary_key: Vec<String>,
+        partition: PartitionSpec,
+    ) -> Result<TableSchema> {
+        let name = name.into().to_ascii_lowercase();
+        if columns.is_empty() {
+            return Err(Error::Schema { message: format!("table {name} has no columns") });
+        }
+        let mut seen = std::collections::HashSet::new();
+        for c in &columns {
+            if !seen.insert(c.name.clone()) {
+                return Err(Error::Schema {
+                    message: format!("duplicate column {} in table {name}", c.name),
+                });
+            }
+        }
+        let (pk_idx, implicit_pk) = if primary_key.is_empty() {
+            columns.push(ColumnDef::new("__implicit_pk", DataType::Int).not_null());
+            (vec![columns.len() - 1], true)
+        } else {
+            let mut idx = Vec::with_capacity(primary_key.len());
+            for pk in &primary_key {
+                let pk = pk.to_ascii_lowercase();
+                let pos = columns
+                    .iter()
+                    .position(|c| c.name == pk)
+                    .ok_or_else(|| Error::UnknownColumn { name: pk.clone() })?;
+                idx.push(pos);
+            }
+            (idx, false)
+        };
+        // Validate partition columns exist.
+        for pc in partition.columns() {
+            let pc = pc.to_ascii_lowercase();
+            if !columns.iter().any(|c| c.name == pc) {
+                return Err(Error::UnknownColumn { name: pc });
+            }
+        }
+        if partition.shard_count() == 0 {
+            return Err(Error::Schema { message: "shard count must be positive".into() });
+        }
+        Ok(TableSchema {
+            id,
+            name,
+            columns,
+            primary_key: pk_idx,
+            implicit_pk,
+            partition,
+            indexes: Vec::new(),
+            table_group: None,
+        })
+    }
+
+    /// Default partitioning: hash on the primary key (§II-B).
+    pub fn hash_on_pk(
+        id: TableId,
+        name: impl Into<String>,
+        columns: Vec<ColumnDef>,
+        primary_key: Vec<String>,
+        shards: u32,
+    ) -> Result<TableSchema> {
+        let pk_cols = if primary_key.is_empty() {
+            vec!["__implicit_pk".to_string()]
+        } else {
+            primary_key.clone()
+        };
+        let mut s = TableSchema::new(
+            id,
+            name,
+            columns,
+            primary_key,
+            PartitionSpec::Hash { columns: pk_cols, shards },
+        )?;
+        // When the PK was implicit, `new` validated partition columns after
+        // appending the implicit column, so this always succeeds.
+        s.partition = PartitionSpec::Hash {
+            columns: s.primary_key.iter().map(|&i| s.columns[i].name.clone()).collect(),
+            shards,
+        };
+        Ok(s)
+    }
+
+    /// Column index by (case-insensitive) name.
+    pub fn column_index(&self, name: &str) -> Result<usize> {
+        let lname = name.to_ascii_lowercase();
+        self.columns
+            .iter()
+            .position(|c| c.name == lname)
+            .ok_or(Error::UnknownColumn { name: lname })
+    }
+
+    /// Number of user-visible columns (excludes the implicit PK).
+    pub fn visible_arity(&self) -> usize {
+        if self.implicit_pk { self.columns.len() - 1 } else { self.columns.len() }
+    }
+
+    /// Full arity including the implicit PK.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Positions of the partition columns within `columns`.
+    pub fn partition_col_indexes(&self) -> Vec<usize> {
+        self.partition
+            .columns()
+            .iter()
+            .map(|c| self.column_index(c).expect("validated at construction"))
+            .collect()
+    }
+
+    /// Encoded primary key of `row`.
+    pub fn pk_of(&self, row: &Row) -> Result<Key> {
+        row.key_of(&self.primary_key)
+    }
+
+    /// Shard that `row` belongs to under this schema's partition rule.
+    pub fn shard_of(&self, row: &Row) -> Result<u32> {
+        match &self.partition {
+            PartitionSpec::Single => Ok(0),
+            PartitionSpec::Hash { shards, .. } => {
+                let key = row.key_of(&self.partition_col_indexes())?;
+                Ok((key.hash64() % *shards as u64) as u32)
+            }
+        }
+    }
+
+    /// Shard for an explicit partition-key value tuple.
+    pub fn shard_of_key(&self, partition_values: &[Value]) -> u32 {
+        match &self.partition {
+            PartitionSpec::Single => 0,
+            PartitionSpec::Hash { shards, .. } => {
+                let key = Key::encode(partition_values);
+                (key.hash64() % *shards as u64) as u32
+            }
+        }
+    }
+
+    /// Validate that `row` matches the schema's arity, types and NOT NULL
+    /// constraints.
+    pub fn validate_row(&self, row: &Row) -> Result<()> {
+        if row.arity() != self.arity() {
+            return Err(Error::Schema {
+                message: format!(
+                    "row arity {} does not match table {} arity {}",
+                    row.arity(),
+                    self.name,
+                    self.arity()
+                ),
+            });
+        }
+        for (i, col) in self.columns.iter().enumerate() {
+            let v = row.get(i)?;
+            if v.is_null() && col.not_null {
+                return Err(Error::Schema {
+                    message: format!("NULL in NOT NULL column {}", col.name),
+                });
+            }
+            if !col.ty.admits(v) {
+                return Err(Error::Schema {
+                    message: format!("value {v} does not fit column {} type", col.name),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Add a secondary index definition (validates the columns exist).
+    pub fn with_index(mut self, index: IndexDef) -> Result<TableSchema> {
+        for c in &index.columns {
+            self.column_index(c)?;
+        }
+        if self.indexes.iter().any(|i| i.name == index.name) {
+            return Err(Error::Schema { message: format!("duplicate index {}", index.name) });
+        }
+        self.indexes.push(index);
+        Ok(self)
+    }
+
+    /// Assign this table to a table group (shared partition rule, §II-B).
+    pub fn in_table_group(mut self, group: impl Into<String>) -> TableSchema {
+        self.table_group = Some(group.into());
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cols() -> Vec<ColumnDef> {
+        vec![
+            ColumnDef::new("id", DataType::Int).not_null(),
+            ColumnDef::new("name", DataType::Str),
+            ColumnDef::new("balance", DataType::Double),
+        ]
+    }
+
+    #[test]
+    fn explicit_pk() {
+        let s = TableSchema::hash_on_pk(TableId(1), "accounts", cols(), vec!["id".into()], 8)
+            .unwrap();
+        assert_eq!(s.primary_key, vec![0]);
+        assert!(!s.implicit_pk);
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.partition.shard_count(), 8);
+    }
+
+    #[test]
+    fn implicit_pk_appended_and_invisible() {
+        let s = TableSchema::hash_on_pk(TableId(1), "t", cols(), vec![], 4).unwrap();
+        assert!(s.implicit_pk);
+        assert_eq!(s.arity(), 4);
+        assert_eq!(s.visible_arity(), 3);
+        assert_eq!(s.columns.last().unwrap().name, "__implicit_pk");
+        assert_eq!(s.partition.columns(), &["__implicit_pk".to_string()]);
+    }
+
+    #[test]
+    fn shard_routing_is_deterministic_and_in_range() {
+        let s = TableSchema::hash_on_pk(TableId(1), "t", cols(), vec!["id".into()], 16).unwrap();
+        for id in 0..1000i64 {
+            let row = Row::new(vec![Value::Int(id), Value::str("x"), Value::Double(0.0)]);
+            let a = s.shard_of(&row).unwrap();
+            let b = s.shard_of_key(&[Value::Int(id)]);
+            assert_eq!(a, b);
+            assert!(a < 16);
+        }
+    }
+
+    #[test]
+    fn hash_spreads_sequential_keys() {
+        // The paper's motivation for hash partitioning: an auto-increment key
+        // must not pile onto the last shard.
+        let s = TableSchema::hash_on_pk(TableId(1), "t", cols(), vec!["id".into()], 8).unwrap();
+        let mut counts = [0usize; 8];
+        for id in 0..8000i64 {
+            counts[s.shard_of_key(&[Value::Int(id)]) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 500, "shard starved: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn validate_row_checks_types_nulls_arity() {
+        let s = TableSchema::hash_on_pk(TableId(1), "t", cols(), vec!["id".into()], 2).unwrap();
+        let ok = Row::new(vec![Value::Int(1), Value::str("a"), Value::Double(1.0)]);
+        s.validate_row(&ok).unwrap();
+        let null_pk = Row::new(vec![Value::Null, Value::str("a"), Value::Double(1.0)]);
+        assert!(s.validate_row(&null_pk).is_err());
+        let bad_type = Row::new(vec![Value::Int(1), Value::Int(2), Value::Double(1.0)]);
+        assert!(s.validate_row(&bad_type).is_err());
+        let short = Row::new(vec![Value::Int(1)]);
+        assert!(s.validate_row(&short).is_err());
+    }
+
+    #[test]
+    fn duplicate_column_rejected() {
+        let mut c = cols();
+        c.push(ColumnDef::new("id", DataType::Int));
+        assert!(TableSchema::hash_on_pk(TableId(1), "t", c, vec!["id".into()], 2).is_err());
+    }
+
+    #[test]
+    fn index_validation() {
+        let s = TableSchema::hash_on_pk(TableId(1), "t", cols(), vec!["id".into()], 2)
+            .unwrap()
+            .with_index(IndexDef {
+                name: "by_name".into(),
+                columns: vec!["name".into()],
+                kind: IndexKind::GlobalNonClustered,
+                unique: false,
+            })
+            .unwrap();
+        assert!(s
+            .clone()
+            .with_index(IndexDef {
+                name: "bad".into(),
+                columns: vec!["nope".into()],
+                kind: IndexKind::Local,
+                unique: false,
+            })
+            .is_err());
+        assert!(s
+            .with_index(IndexDef {
+                name: "by_name".into(),
+                columns: vec!["name".into()],
+                kind: IndexKind::Local,
+                unique: false,
+            })
+            .is_err());
+    }
+}

@@ -1,0 +1,262 @@
+//! SQL values.
+//!
+//! A deliberately small, MySQL-flavoured type lattice: 64-bit integers,
+//! doubles, strings, raw bytes, dates (days since epoch) and NULL. This is
+//! enough to express the sysbench, TPC-C and TPC-H schemas used in the
+//! paper's evaluation.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::error::{Error, Result};
+
+/// A single SQL value.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// SQL NULL. Compares less than every non-null value (index ordering).
+    Null,
+    /// BIGINT.
+    Int(i64),
+    /// DOUBLE.
+    Double(f64),
+    /// VARCHAR / CHAR / TEXT.
+    Str(String),
+    /// VARBINARY.
+    Bytes(Vec<u8>),
+    /// DATE stored as days since 1970-01-01.
+    Date(i32),
+}
+
+impl Value {
+    /// Shorthand string constructor.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// True when the value is SQL NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Interpret as integer, coercing doubles; errors on other types.
+    pub fn as_int(&self) -> Result<i64> {
+        match self {
+            Value::Int(v) => Ok(*v),
+            Value::Double(v) => Ok(*v as i64),
+            other => Err(Error::execution(format!("expected integer, got {other}"))),
+        }
+    }
+
+    /// Interpret as double, coercing integers; errors on other types.
+    pub fn as_double(&self) -> Result<f64> {
+        match self {
+            Value::Double(v) => Ok(*v),
+            Value::Int(v) => Ok(*v as f64),
+            other => Err(Error::execution(format!("expected double, got {other}"))),
+        }
+    }
+
+    /// Interpret as a string slice.
+    pub fn as_str(&self) -> Result<&str> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(Error::execution(format!("expected string, got {other}"))),
+        }
+    }
+
+    /// Interpret as a date (days since epoch).
+    pub fn as_date(&self) -> Result<i32> {
+        match self {
+            Value::Date(d) => Ok(*d),
+            Value::Int(v) => Ok(*v as i32),
+            other => Err(Error::execution(format!("expected date, got {other}"))),
+        }
+    }
+
+    /// Approximate in-memory footprint, used by the executor's memory
+    /// accounting (TP/AP memory regions, §VI-D).
+    pub fn heap_size(&self) -> usize {
+        match self {
+            Value::Null => 0,
+            Value::Int(_) | Value::Double(_) | Value::Date(_) => 8,
+            Value::Str(s) => s.len() + 24,
+            Value::Bytes(b) => b.len() + 24,
+        }
+    }
+
+    /// SQL comparison with NULL ordered first and numeric cross-type
+    /// comparison (Int vs Double) allowed. Returns `None` for incomparable
+    /// type pairs (e.g. Int vs Str), which the executor treats as an error.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Some(Ordering::Equal),
+            (Null, _) => Some(Ordering::Less),
+            (_, Null) => Some(Ordering::Greater),
+            (Int(a), Int(b)) => Some(a.cmp(b)),
+            (Double(a), Double(b)) => a.partial_cmp(b),
+            (Int(a), Double(b)) => (*a as f64).partial_cmp(b),
+            (Double(a), Int(b)) => a.partial_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => Some(a.cmp(b)),
+            (Bytes(a), Bytes(b)) => Some(a.cmp(b)),
+            (Date(a), Date(b)) => Some(a.cmp(b)),
+            (Date(a), Int(b)) => Some((*a as i64).cmp(b)),
+            (Int(a), Date(b)) => Some(a.cmp(&(*b as i64))),
+            _ => None,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.sql_cmp(other) == Some(Ordering::Equal)
+    }
+}
+
+// Total ordering is required to use Value inside BTree keys; incomparable
+// pairs fall back to a type-rank ordering so the total order is consistent.
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.sql_cmp(other).unwrap_or_else(|| self.type_rank().cmp(&other.type_rank()))
+    }
+}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            // Hash numerics through their i64/bit representation so that
+            // Int(1) and Double(1.0) — which compare equal — hash equally
+            // only when identical variant; grouping keys normalize first.
+            Value::Int(v) => {
+                1u8.hash(state);
+                v.hash(state);
+            }
+            Value::Double(v) => {
+                2u8.hash(state);
+                v.to_bits().hash(state);
+            }
+            Value::Str(s) => {
+                3u8.hash(state);
+                s.hash(state);
+            }
+            Value::Bytes(b) => {
+                4u8.hash(state);
+                b.hash(state);
+            }
+            Value::Date(d) => {
+                5u8.hash(state);
+                d.hash(state);
+            }
+        }
+    }
+}
+
+impl Value {
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Int(_) => 1,
+            Value::Double(_) => 2,
+            Value::Str(_) => 3,
+            Value::Bytes(_) => 4,
+            Value::Date(_) => 5,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Double(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+            Value::Bytes(b) => write!(f, "x'{}'", b.iter().map(|x| format!("{x:02x}")).collect::<String>()),
+            Value::Date(d) => write!(f, "date({d})"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Double(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sorts_first() {
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(-100)), Some(Ordering::Less));
+        assert_eq!(Value::Int(0).sql_cmp(&Value::Null), Some(Ordering::Greater));
+        assert_eq!(Value::Null.sql_cmp(&Value::Null), Some(Ordering::Equal));
+    }
+
+    #[test]
+    fn cross_numeric_comparison() {
+        assert_eq!(Value::Int(2).sql_cmp(&Value::Double(2.0)), Some(Ordering::Equal));
+        assert_eq!(Value::Int(2).sql_cmp(&Value::Double(2.5)), Some(Ordering::Less));
+        assert_eq!(Value::Double(3.0).sql_cmp(&Value::Int(2)), Some(Ordering::Greater));
+    }
+
+    #[test]
+    fn incomparable_types_are_none_but_total_order_holds() {
+        assert_eq!(Value::Int(1).sql_cmp(&Value::str("a")), None);
+        // Ord falls back to type rank so sorting mixed vectors is stable.
+        let mut v = vec![Value::str("a"), Value::Int(1), Value::Null];
+        v.sort();
+        assert_eq!(v[0], Value::Null);
+        assert_eq!(v[1], Value::Int(1));
+    }
+
+    #[test]
+    fn coercions() {
+        assert_eq!(Value::Double(3.7).as_int().unwrap(), 3);
+        assert_eq!(Value::Int(3).as_double().unwrap(), 3.0);
+        assert!(Value::str("x").as_int().is_err());
+        assert_eq!(Value::Date(100).as_date().unwrap(), 100);
+    }
+
+    #[test]
+    fn heap_size_tracks_payload() {
+        assert!(Value::str("hello world").heap_size() > Value::Int(1).heap_size());
+        assert_eq!(Value::Null.heap_size(), 0);
+    }
+}

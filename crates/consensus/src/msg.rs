@@ -1,0 +1,62 @@
+//! Paxos wire messages.
+
+use bytes::Bytes;
+use polardbx_common::{Lsn, NodeId};
+
+/// Messages exchanged within a Paxos group. Log payload travels as encoded
+/// [`polardbx_wal::PaxosFrame`] bytes so the wire format round-trips through
+//  the same codec the redo stream uses.
+#[derive(Debug, Clone)]
+pub enum PaxosMsg {
+    /// Leader → follower: a pipelined batch of frames plus the current DLSN.
+    AppendEntries {
+        /// Leader's epoch.
+        epoch: u64,
+        /// Leader's id (so followers learn who leads this epoch).
+        leader: NodeId,
+        /// Encoded `PaxosFrame`s, contiguous in LSN.
+        frames: Vec<Bytes>,
+        /// Leader's durable LSN — followers may apply up to here.
+        dlsn: Lsn,
+    },
+    /// Follower → leader: everything up to `persisted` is on stable storage.
+    AppendAck {
+        /// Follower's epoch.
+        epoch: u64,
+        /// Acknowledging node.
+        from: NodeId,
+        /// Log persisted through this LSN.
+        persisted: Lsn,
+        /// Set when the append was rejected (epoch/continuity mismatch).
+        rejected: bool,
+    },
+    /// Candidate → all: request a vote.
+    RequestVote {
+        /// Candidate's new epoch.
+        epoch: u64,
+        /// Candidate id.
+        candidate: NodeId,
+        /// End of the candidate's log (completeness check).
+        last_lsn: Lsn,
+    },
+    /// Voter → candidate.
+    Vote {
+        /// Voter's epoch.
+        epoch: u64,
+        /// Voting node.
+        from: NodeId,
+        /// Whether the vote was granted.
+        granted: bool,
+    },
+    /// Leader → all: liveness + DLSN dissemination when idle.
+    Heartbeat {
+        /// Leader's epoch.
+        epoch: u64,
+        /// Leader id.
+        leader: NodeId,
+        /// Current durable LSN.
+        dlsn: Lsn,
+    },
+    /// Generic acknowledgement for RPCs that need no payload.
+    Ok,
+}

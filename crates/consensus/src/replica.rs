@@ -1,0 +1,644 @@
+//! The Paxos replica state machine.
+
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use polardbx_common::{DcId, Error, Lsn, NodeId, Result};
+use polardbx_simnet::{Handler, SimNet};
+use polardbx_wal::{FrameBatcher, LogSink, Mtr, PaxosFrame};
+
+use crate::msg::PaxosMsg;
+use crate::waiters::CommitWaiters;
+
+/// Replica roles (§III). `Candidate` is the transient campaigning state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Executes transactions; the only writer of the log.
+    Leader,
+    /// Persists and replays the log; electable.
+    Follower,
+    /// Persists the log only — "has no data … can participate in leader
+    /// election but cannot be selected as the leader."
+    Logger,
+    /// Campaigning for leadership.
+    Candidate,
+}
+
+/// Callback invoked on followers when log becomes applicable (`<= DLSN`).
+/// The DN storage engine hooks its redo replay here.
+pub type ApplyFn = Box<dyn Fn(&PaxosFrame) + Send + Sync>;
+
+/// Callback invoked when a deposed leader must clean conflicting state:
+/// receives the `(dlsn, old_last_lsn]` range whose dirty pages must be
+/// evicted and reloaded from PolarFS (§III "Leader Election").
+pub type CleanupFn = Box<dyn Fn(Lsn, Lsn) + Send + Sync>;
+
+struct State {
+    epoch: u64,
+    voted_in: u64,
+    role: Role,
+    is_logger: bool,
+    leader: Option<NodeId>,
+    /// In-memory copy of the frame log (persisted via `sink` as received).
+    log: Vec<PaxosFrame>,
+    last_lsn: Lsn,
+    dlsn: Lsn,
+    applied: Lsn,
+    /// Leader only: highest LSN each peer has persisted.
+    match_lsn: HashMap<NodeId, Lsn>,
+    /// Candidate only: votes received this epoch.
+    votes: HashSet<NodeId>,
+    last_leader_contact: Instant,
+}
+
+/// A snapshot of replica state for tests and monitoring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaStatus {
+    /// Current role.
+    pub role: Role,
+    /// Current epoch.
+    pub epoch: u64,
+    /// End of the local log.
+    pub last_lsn: Lsn,
+    /// Durable LSN as known locally.
+    pub dlsn: Lsn,
+    /// LSN applied to the local state machine.
+    pub applied: Lsn,
+    /// Known leader.
+    pub leader: Option<NodeId>,
+}
+
+/// One member of a Paxos group.
+pub struct Replica {
+    /// This replica's node id.
+    pub me: NodeId,
+    /// Datacenter.
+    pub dc: DcId,
+    members: Vec<NodeId>,
+    net: Arc<SimNet<PaxosMsg>>,
+    st: Mutex<State>,
+    /// Commit waiters — the asynchronous-commit registry.
+    pub waiters: CommitWaiters,
+    sink: Arc<dyn LogSink>,
+    apply: Mutex<Option<ApplyFn>>,
+    cleanup: Mutex<Option<CleanupFn>>,
+    ticker_stop: AtomicBool,
+}
+
+impl Replica {
+    /// Create a replica. `members` must include `me`.
+    pub fn new(
+        me: NodeId,
+        dc: DcId,
+        members: Vec<NodeId>,
+        is_logger: bool,
+        net: Arc<SimNet<PaxosMsg>>,
+        sink: Arc<dyn LogSink>,
+    ) -> Arc<Replica> {
+        assert!(members.contains(&me), "members must include self");
+        Arc::new(Replica {
+            me,
+            dc,
+            members,
+            net,
+            st: Mutex::new(State {
+                epoch: 0,
+                voted_in: 0,
+                role: if is_logger { Role::Logger } else { Role::Follower },
+                is_logger,
+                leader: None,
+                log: Vec::new(),
+                last_lsn: Lsn::ZERO,
+                dlsn: Lsn::ZERO,
+                applied: Lsn::ZERO,
+                match_lsn: HashMap::new(),
+                votes: HashSet::new(),
+                last_leader_contact: Instant::now(),
+            }),
+            waiters: CommitWaiters::new(),
+            sink,
+            apply: Mutex::new(None),
+            cleanup: Mutex::new(None),
+            ticker_stop: AtomicBool::new(false),
+        })
+    }
+
+    /// Install the apply callback (follower-side redo replay).
+    pub fn set_apply(&self, f: ApplyFn) {
+        *self.apply.lock() = Some(f);
+    }
+
+    /// Install the deposed-leader cleanup callback.
+    pub fn set_cleanup(&self, f: CleanupFn) {
+        *self.cleanup.lock() = Some(f);
+    }
+
+    /// Snapshot of current state.
+    pub fn status(&self) -> ReplicaStatus {
+        let st = self.st.lock();
+        ReplicaStatus {
+            role: st.role,
+            epoch: st.epoch,
+            last_lsn: st.last_lsn,
+            dlsn: st.dlsn,
+            applied: st.applied,
+            leader: st.leader,
+        }
+    }
+
+    /// Force-promote to leader at `epoch` (bootstrap: the initial topology
+    /// is installed by GMS rather than elected).
+    pub fn bootstrap_leader(&self, epoch: u64) {
+        let mut st = self.st.lock();
+        assert!(!st.is_logger, "logger cannot lead");
+        st.epoch = epoch;
+        st.role = Role::Leader;
+        st.leader = Some(self.me);
+        st.match_lsn.clear();
+        drop(st);
+        self.broadcast_heartbeat();
+    }
+
+    fn majority(&self) -> usize {
+        self.members.len() / 2 + 1
+    }
+
+    /// Leader API: replicate a batch of MTRs. Persists locally, pipelines
+    /// frames to followers, and returns the end LSN of the batch. The
+    /// caller registers that LSN with [`Replica::waiters`] (async commit)
+    /// or uses [`Replica::replicate_and_wait`].
+    pub fn replicate(&self, mtrs: &[Mtr]) -> Result<Lsn> {
+        if mtrs.is_empty() {
+            return Ok(self.st.lock().last_lsn);
+        }
+        let (encoded, end_lsn, epoch, dlsn) = {
+            let mut st = self.st.lock();
+            if st.role != Role::Leader {
+                return Err(Error::NotLeader { leader_hint: st.leader.map(|n| n.raw()) });
+            }
+            let mut batcher =
+                FrameBatcher::new(st.epoch, st.log.len() as u64, st.last_lsn);
+            let mut frames = Vec::new();
+            for m in mtrs {
+                if let Some(f) = batcher.push(m.clone()) {
+                    frames.push(f);
+                }
+            }
+            if let Some(f) = batcher.flush() {
+                frames.push(f);
+            }
+            let mut encoded = Vec::with_capacity(frames.len());
+            for f in frames {
+                // Leader durability: the frame goes to PolarFS before it is
+                // offered to followers ("the redo log entries are flushed to
+                // PolarFS, which will also be sent to followers").
+                self.sink.write(f.lsn_start, f.encode())?;
+                st.last_lsn = f.lsn_end;
+                encoded.push(f.encode());
+                st.log.push(f);
+            }
+            let me = self.me;
+            let last = st.last_lsn;
+            st.match_lsn.insert(me, last);
+            (encoded, st.last_lsn, st.epoch, st.dlsn)
+        };
+        // Pipelining: post without waiting for acks of previous batches.
+        for &peer in &self.members {
+            if peer != self.me {
+                let _ = self.net.post(
+                    self.me,
+                    peer,
+                    PaxosMsg::AppendEntries {
+                        epoch,
+                        leader: self.me,
+                        frames: encoded.clone(),
+                        dlsn,
+                    },
+                );
+            }
+        }
+        // Single-node group degenerates to local durability.
+        self.recompute_dlsn();
+        Ok(end_lsn)
+    }
+
+    /// Synchronous convenience: replicate and block until durable.
+    pub fn replicate_and_wait(&self, mtrs: &[Mtr], timeout: Duration) -> Result<Lsn> {
+        let lsn = self.replicate(mtrs)?;
+        self.waiters.wait(lsn, timeout)?;
+        Ok(lsn)
+    }
+
+    /// Start a campaign (called by the ticker on election timeout, or
+    /// directly by tests/GMS failover).
+    pub fn campaign(&self) {
+        let (epoch, last_lsn) = {
+            let mut st = self.st.lock();
+            if st.is_logger || st.role == Role::Leader {
+                return;
+            }
+            st.epoch += 1;
+            st.voted_in = st.epoch;
+            st.role = Role::Candidate;
+            st.leader = None;
+            st.votes.clear();
+            let me = self.me;
+            st.votes.insert(me);
+            (st.epoch, st.last_lsn)
+        };
+        if self.members.len() == 1 {
+            self.try_win(epoch);
+            return;
+        }
+        for &peer in &self.members {
+            if peer != self.me {
+                let _ = self.net.post(
+                    self.me,
+                    peer,
+                    PaxosMsg::RequestVote { epoch, candidate: self.me, last_lsn },
+                );
+            }
+        }
+    }
+
+    fn try_win(&self, epoch: u64) {
+        let won = {
+            let mut st = self.st.lock();
+            if st.role != Role::Candidate || st.epoch != epoch {
+                return;
+            }
+            if st.votes.len() >= self.majority() {
+                st.role = Role::Leader;
+                st.leader = Some(self.me);
+                st.match_lsn.clear();
+                let me = self.me;
+                let last = st.last_lsn;
+                st.match_lsn.insert(me, last);
+                true
+            } else {
+                false
+            }
+        };
+        if won {
+            self.broadcast_heartbeat();
+        }
+    }
+
+    fn broadcast_heartbeat(&self) {
+        // Heartbeats are empty AppendEntries (as in Raft): they disseminate
+        // DLSN *and* solicit acks, so a newly elected leader learns the
+        // majority-persisted point and can advance DLSN over entries
+        // committed under the previous epoch without new writes.
+        let (epoch, dlsn) = {
+            let st = self.st.lock();
+            if st.role != Role::Leader {
+                return;
+            }
+            (st.epoch, st.dlsn)
+        };
+        for &peer in &self.members {
+            if peer != self.me {
+                let _ = self.net.post(
+                    self.me,
+                    peer,
+                    PaxosMsg::AppendEntries {
+                        epoch,
+                        leader: self.me,
+                        frames: Vec::new(),
+                        dlsn,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Leader: recompute DLSN as the majority-persisted LSN; on advance,
+    /// wake async-commit waiters and disseminate.
+    fn recompute_dlsn(&self) {
+        let advanced = {
+            let mut st = self.st.lock();
+            if st.role != Role::Leader {
+                return;
+            }
+            let mut persisted: Vec<Lsn> = st.match_lsn.values().copied().collect();
+            // Peers we have no ack from count as ZERO.
+            persisted.resize(self.members.len(), Lsn::ZERO);
+            persisted.sort_unstable_by(|a, b| b.cmp(a));
+            let candidate = persisted[self.majority() - 1];
+            if candidate > st.dlsn {
+                st.dlsn = candidate;
+                Some(st.dlsn)
+            } else {
+                None
+            }
+        };
+        if let Some(dlsn) = advanced {
+            // This is the async_log_committer sweep: complete the waiting
+            // transactions whose last MTR is now durable.
+            self.waiters.advance(dlsn);
+            self.apply_up_to(dlsn);
+            self.broadcast_heartbeat();
+        }
+    }
+
+    /// Apply frames with `lsn_end <= dlsn` through the apply callback.
+    fn apply_up_to(&self, dlsn: Lsn) {
+        let apply = self.apply.lock();
+        let Some(apply_fn) = apply.as_ref() else { return };
+        loop {
+            let frame = {
+                let mut st = self.st.lock();
+                let next = st
+                    .log
+                    .iter()
+                    .find(|f| f.lsn_start >= st.applied && f.lsn_end <= dlsn)
+                    .cloned();
+                match next {
+                    Some(f) => {
+                        st.applied = f.lsn_end;
+                        f
+                    }
+                    None => break,
+                }
+            };
+            apply_fn(&frame);
+        }
+    }
+
+    /// A deposed leader (or conflicting follower) truncates its log tail
+    /// beyond `keep` and runs the cleanup callback over the removed range.
+    fn truncate_after(&self, st: &mut State, keep: Lsn) {
+        let old_last = st.last_lsn;
+        if old_last <= keep {
+            return;
+        }
+        st.log.retain(|f| f.lsn_end <= keep);
+        st.last_lsn = st.log.last().map(|f| f.lsn_end).unwrap_or(Lsn::ZERO).max(st.dlsn.min(keep));
+        if st.last_lsn < keep {
+            st.last_lsn = st.log.last().map(|f| f.lsn_end).unwrap_or(Lsn::ZERO);
+        }
+        if let Some(cleanup) = self.cleanup.lock().as_ref() {
+            cleanup(st.last_lsn, old_last);
+        }
+    }
+
+    fn step_down(&self, st: &mut State, epoch: u64, leader: Option<NodeId>) {
+        let was_leader = st.role == Role::Leader;
+        st.epoch = epoch;
+        st.role = if st.is_logger { Role::Logger } else { Role::Follower };
+        st.leader = leader;
+        st.votes.clear();
+        if was_leader {
+            // §III: "determine the range of redo log entries that are not
+            // submitted, evict dirty pages related to them".
+            let dlsn = st.dlsn;
+            self.truncate_after(st, dlsn);
+            self.waiters.fail_all();
+        }
+    }
+
+    fn on_append(&self, from: NodeId, epoch: u64, leader: NodeId, frames: Vec<Bytes>, dlsn: Lsn) {
+        let (ack, apply_to) = {
+            let mut st = self.st.lock();
+            if epoch < st.epoch {
+                (
+                    PaxosMsg::AppendAck {
+                        epoch: st.epoch,
+                        from: self.me,
+                        persisted: st.last_lsn,
+                        rejected: true,
+                    },
+                    None,
+                )
+            } else {
+                if epoch > st.epoch || st.role == Role::Candidate || st.role == Role::Leader {
+                    self.step_down(&mut st, epoch, Some(leader));
+                }
+                st.leader = Some(leader);
+                st.last_leader_contact = Instant::now();
+                let mut rejected = false;
+                for enc in frames {
+                    let mut bytes = enc.clone();
+                    let Ok(frame) = PaxosFrame::decode(&mut bytes) else {
+                        rejected = true;
+                        break;
+                    };
+                    if frame.lsn_end <= st.last_lsn {
+                        continue; // duplicate
+                    }
+                    if frame.lsn_start > st.last_lsn {
+                        rejected = true; // gap: ask leader to resend
+                        break;
+                    }
+                    if frame.lsn_start < st.last_lsn {
+                        // Conflict tail from an old epoch: truncate, only
+                        // ever beyond DLSN by construction.
+                        debug_assert!(frame.lsn_start >= st.dlsn);
+                        self.truncate_after(&mut st, frame.lsn_start);
+                    }
+                    if self.sink.write(frame.lsn_start, enc).is_err() {
+                        rejected = true;
+                        break;
+                    }
+                    st.last_lsn = frame.lsn_end;
+                    st.log.push(frame);
+                }
+                // Adopt the leader's DLSN, capped by what we hold.
+                let new_dlsn = dlsn.min(st.last_lsn);
+                if new_dlsn > st.dlsn {
+                    st.dlsn = new_dlsn;
+                }
+                let apply_to = st.dlsn;
+                (
+                    PaxosMsg::AppendAck {
+                        epoch: st.epoch,
+                        from: self.me,
+                        persisted: st.last_lsn,
+                        rejected,
+                    },
+                    Some(apply_to),
+                )
+            }
+        };
+        if let Some(dlsn) = apply_to {
+            // Loggers have no state machine; skip apply.
+            if !self.st.lock().is_logger {
+                self.apply_up_to(dlsn);
+            }
+            self.waiters.advance(dlsn);
+        }
+        let _ = self.net.post(self.me, from, ack);
+    }
+
+    fn on_ack(&self, epoch: u64, from: NodeId, persisted: Lsn, rejected: bool) {
+        let resend = {
+            let mut st = self.st.lock();
+            if st.role != Role::Leader || epoch != st.epoch {
+                if epoch > st.epoch {
+                    self.step_down(&mut st, epoch, None);
+                }
+                return;
+            }
+            st.match_lsn
+                .entry(from)
+                .and_modify(|l| *l = (*l).max(persisted))
+                .or_insert(persisted);
+            if rejected && persisted < st.last_lsn {
+                // Retransmit everything the follower is missing.
+                let frames: Vec<Bytes> = st
+                    .log
+                    .iter()
+                    .filter(|f| f.lsn_start >= persisted)
+                    .map(|f| f.encode())
+                    .collect();
+                Some((frames, st.epoch, st.dlsn))
+            } else {
+                None
+            }
+        };
+        if let Some((frames, epoch, dlsn)) = resend {
+            let _ = self.net.post(
+                self.me,
+                from,
+                PaxosMsg::AppendEntries { epoch, leader: self.me, frames, dlsn },
+            );
+        }
+        self.recompute_dlsn();
+    }
+
+    fn on_request_vote(&self, candidate: NodeId, epoch: u64, last_lsn: Lsn) {
+        let granted = {
+            let mut st = self.st.lock();
+            if epoch <= st.voted_in || epoch < st.epoch {
+                false
+            } else if last_lsn < st.last_lsn {
+                // Log-completeness: never elect someone missing entries we
+                // persisted (majority intersection then guarantees the new
+                // leader holds everything up to the global DLSN).
+                false
+            } else {
+                st.voted_in = epoch;
+                if epoch > st.epoch {
+                    self.step_down(&mut st, epoch, None);
+                }
+                true
+            }
+        };
+        let epoch_now = self.st.lock().epoch;
+        let _ = self.net.post(
+            self.me,
+            candidate,
+            PaxosMsg::Vote { epoch: epoch_now.max(epoch), from: self.me, granted },
+        );
+    }
+
+    fn on_vote(&self, epoch: u64, from: NodeId, granted: bool) {
+        {
+            let mut st = self.st.lock();
+            if epoch > st.epoch {
+                self.step_down(&mut st, epoch, None);
+                return;
+            }
+            if st.role != Role::Candidate || epoch != st.epoch || !granted {
+                return;
+            }
+            st.votes.insert(from);
+        }
+        self.try_win(epoch);
+    }
+
+    fn on_heartbeat(&self, epoch: u64, leader: NodeId, dlsn: Lsn) {
+        let apply_to = {
+            let mut st = self.st.lock();
+            if epoch < st.epoch {
+                return;
+            }
+            if epoch > st.epoch || st.role == Role::Candidate || st.role == Role::Leader {
+                self.step_down(&mut st, epoch, Some(leader));
+            }
+            st.leader = Some(leader);
+            st.last_leader_contact = Instant::now();
+            let new_dlsn = dlsn.min(st.last_lsn);
+            if new_dlsn > st.dlsn {
+                st.dlsn = new_dlsn;
+            }
+            if st.is_logger { None } else { Some(st.dlsn) }
+        };
+        if let Some(dlsn) = apply_to {
+            self.apply_up_to(dlsn);
+            self.waiters.advance(dlsn);
+        }
+    }
+
+    /// Drive periodic work: leaders emit heartbeats; followers campaign
+    /// after `election_timeout` without leader contact. Returns a guard
+    /// thread handle; stop via [`Replica::stop_ticker`].
+    pub fn start_ticker(
+        self: &Arc<Self>,
+        interval: Duration,
+        election_timeout: Duration,
+    ) -> std::thread::JoinHandle<()> {
+        let me = Arc::clone(self);
+        std::thread::Builder::new()
+            .name(format!("paxos-ticker-{}", self.me))
+            .spawn(move || loop {
+                if me.ticker_stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                std::thread::sleep(interval);
+                let (role, stale) = {
+                    let st = me.st.lock();
+                    (st.role, st.last_leader_contact.elapsed() > election_timeout)
+                };
+                match role {
+                    Role::Leader => me.broadcast_heartbeat(),
+                    Role::Follower | Role::Candidate if stale => me.campaign(),
+                    _ => {}
+                }
+            })
+            .expect("spawn ticker")
+    }
+
+    /// Signal the ticker thread to exit.
+    pub fn stop_ticker(&self) {
+        self.ticker_stop.store(true, Ordering::Relaxed);
+    }
+
+    /// All decoded frames currently in the log (tests / catch-up).
+    pub fn log_frames(&self) -> Vec<PaxosFrame> {
+        self.st.lock().log.clone()
+    }
+}
+
+impl Handler<PaxosMsg> for Replica {
+    fn handle(&self, from: NodeId, msg: PaxosMsg) -> PaxosMsg {
+        // All protocol traffic is one-way; sync RPC is used only by tests.
+        self.handle_oneway(from, msg);
+        PaxosMsg::Ok
+    }
+
+    fn handle_oneway(&self, from: NodeId, msg: PaxosMsg) {
+        match msg {
+            PaxosMsg::AppendEntries { epoch, leader, frames, dlsn } => {
+                self.on_append(from, epoch, leader, frames, dlsn)
+            }
+            PaxosMsg::AppendAck { epoch, from: acker, persisted, rejected } => {
+                self.on_ack(epoch, acker, persisted, rejected)
+            }
+            PaxosMsg::RequestVote { epoch, candidate, last_lsn } => {
+                self.on_request_vote(candidate, epoch, last_lsn)
+            }
+            PaxosMsg::Vote { epoch, from: voter, granted } => {
+                self.on_vote(epoch, voter, granted)
+            }
+            PaxosMsg::Heartbeat { epoch, leader, dlsn } => {
+                self.on_heartbeat(epoch, leader, dlsn)
+            }
+            PaxosMsg::Ok => {}
+        }
+    }
+}

@@ -1,0 +1,1140 @@
+//! The `PolarDbx` facade: build a cluster, connect, execute SQL.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use polardbx_columnar::ColumnIndex;
+use polardbx_common::{
+    ColumnDef, DcId, Error, IdGenerator, IndexDef, IndexKind, Key, NodeId, PartitionSpec,
+    Result, Row, TableSchema, TenantId, Value,
+};
+use polardbx_executor::memory::Reservation;
+use polardbx_executor::{
+    execute_plan, ExecCtx, JobClass, MemoryManager, MppExecutor, TableProvider,
+    WorkloadManager,
+};
+use polardbx_executor::scheduler::{run_with_demotion, TickState};
+use polardbx_hlc::Hlc;
+use polardbx_optimizer::{classify, optimize_with_stats, WorkloadClass};
+use polardbx_simnet::{Handler, LatencyMatrix, SimNet};
+use polardbx_sql::ast::{self, IndexPlacement, Statement};
+use polardbx_sql::expr::Expr;
+use polardbx_storage::RwNode;
+use polardbx_txn::{Coordinator, DnService, TxnMsg, WireWriteOp};
+
+use crate::gms::{shard_table_id, Gms};
+use crate::provider::ClusterProvider;
+use crate::traffic::TrafficControl;
+
+/// Cluster shape.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of datacenters.
+    pub dcs: u32,
+    /// CN servers per datacenter.
+    pub cns_per_dc: u32,
+    /// Total DN instances (assigned to DCs round-robin).
+    pub dns: u32,
+    /// RO replicas per DN.
+    pub ros_per_dn: u32,
+    /// Default shard count for `CREATE TABLE` without `PARTITION BY`.
+    pub default_shards: u32,
+    /// Network latency model.
+    pub latency: LatencyMatrix,
+    /// MPP degree for AP queries (tasks across the CN fleet).
+    pub mpp_workers: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            dcs: 1,
+            cns_per_dc: 2,
+            dns: 2,
+            ros_per_dn: 0,
+            default_shards: 8,
+            latency: LatencyMatrix::zero(),
+            mpp_workers: 4,
+        }
+    }
+}
+
+/// One DN instance: a PolarDB (RW node + optional RO replicas) plus its
+/// transaction participant service.
+pub struct Dn {
+    /// DN node id on the fabric.
+    pub id: NodeId,
+    /// Datacenter.
+    pub dc: DcId,
+    /// The PolarDB instance (engine + RO replication).
+    pub rw: Arc<RwNode>,
+    /// The participant service.
+    pub service: Arc<DnService>,
+}
+
+struct Inner {
+    config: ClusterConfig,
+    gms: Arc<Gms>,
+    /// Owning handle keeps the fabric's delivery threads alive.
+    #[allow(dead_code)]
+    net: Arc<SimNet<TxnMsg>>,
+    cns: Vec<Arc<CnNode>>,
+    dns: HashMap<NodeId, Arc<Dn>>,
+    /// Logical-table-name → hidden GSI table names.
+    gsi_tables: RwLock<HashMap<String, Vec<String>>>,
+    column_indexes: RwLock<HashMap<String, Arc<ColumnIndex>>>,
+    /// CN-side workload pools (shared fleet-wide: the host has one CPU
+    /// domain; per-CN pools would oversubscribe it meaninglessly).
+    workload: Arc<WorkloadManager>,
+    /// TP/AP memory regions with preemption (§VI-D).
+    memory: Arc<MemoryManager>,
+    traffic: TrafficControl,
+    /// Route AP queries to RO replicas when available (§VI-A).
+    htap_ro: AtomicBool,
+    shipper_stop: Arc<AtomicBool>,
+}
+
+/// A compute node: coordinator + clock.
+pub struct CnNode {
+    /// Node id on the fabric.
+    pub id: NodeId,
+    /// Datacenter.
+    pub dc: DcId,
+    /// The transaction coordinator.
+    pub coordinator: Coordinator,
+}
+
+struct CnStub;
+impl Handler<TxnMsg> for CnStub {
+    fn handle(&self, _from: NodeId, m: TxnMsg) -> TxnMsg {
+        m
+    }
+}
+
+/// The cluster handle.
+#[derive(Clone)]
+pub struct PolarDbx {
+    inner: Arc<Inner>,
+}
+
+impl PolarDbx {
+    /// Build a cluster.
+    pub fn build(config: ClusterConfig) -> Result<PolarDbx> {
+        assert!(config.dcs >= 1 && config.dns >= 1 && config.cns_per_dc >= 1);
+        let net = SimNet::new(config.latency.clone());
+        let gms = Gms::new();
+        let trx_ids = Arc::new(IdGenerator::new());
+
+        let mut dns = HashMap::new();
+        for i in 0..config.dns {
+            let id = NodeId(1000 + i as u64);
+            let dc = DcId(1 + (i % config.dcs) as u64);
+            let rw = RwNode::new(id);
+            for _ in 0..config.ros_per_dn {
+                rw.add_ro();
+            }
+            let service = DnService::new(id, Arc::clone(&rw.engine), Hlc::new());
+            net.register(id, dc, service.clone() as Arc<dyn Handler<TxnMsg>>);
+            gms.register_dn(id);
+            dns.insert(id, Arc::new(Dn { id, dc, rw, service }));
+        }
+
+        let mut cns = Vec::new();
+        for dc_i in 0..config.dcs {
+            for c in 0..config.cns_per_dc {
+                let id = NodeId(1 + (dc_i * config.cns_per_dc + c) as u64);
+                let dc = DcId(1 + dc_i as u64);
+                net.register(id, dc, Arc::new(CnStub));
+                let coordinator =
+                    Coordinator::new(id, Arc::clone(&net), Hlc::new(), Arc::clone(&trx_ids));
+                cns.push(Arc::new(CnNode { id, dc, coordinator }));
+            }
+        }
+
+        let shipper_stop = Arc::new(AtomicBool::new(false));
+        let inner = Arc::new(Inner {
+            config,
+            gms,
+            net,
+            cns,
+            dns,
+            gsi_tables: RwLock::new(HashMap::new()),
+            column_indexes: RwLock::new(HashMap::new()),
+            workload: WorkloadManager::with_defaults(),
+            memory: MemoryManager::with_defaults(),
+            traffic: TrafficControl::new(),
+            htap_ro: AtomicBool::new(true),
+            shipper_stop: Arc::clone(&shipper_stop),
+        });
+        // Background shipper: RW → RO redo + column-index capture.
+        {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("polardbx-shipper".into())
+                .spawn(move || {
+                    while !inner.shipper_stop.load(Ordering::Relaxed) {
+                        for dn in inner.dns.values() {
+                            dn.rw.ship();
+                        }
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                })
+                .expect("spawn shipper");
+        }
+        Ok(PolarDbx { inner })
+    }
+
+    /// Build with defaults.
+    pub fn quickstart() -> Result<PolarDbx> {
+        PolarDbx::build(ClusterConfig::default())
+    }
+
+    /// Connect a session. The load balancer is locality-aware: it picks a
+    /// CN in the client's datacenter, spilling to other DCs only when the
+    /// local ones are absent (§II-A).
+    pub fn connect(&self, client_dc: DcId) -> Session {
+        let cn = self
+            .inner
+            .cns
+            .iter()
+            .find(|c| c.dc == client_dc)
+            .or_else(|| self.inner.cns.first())
+            .expect("cluster has CNs")
+            .clone();
+        Session { inner: Arc::clone(&self.inner), cn }
+    }
+
+    /// The metadata service.
+    pub fn gms(&self) -> &Arc<Gms> {
+        &self.inner.gms
+    }
+
+    /// DN handles (benchmarks and tests).
+    pub fn dns(&self) -> Vec<Arc<Dn>> {
+        self.inner.dns.values().cloned().collect()
+    }
+
+    /// The shared CN workload manager.
+    pub fn workload(&self) -> &Arc<WorkloadManager> {
+        &self.inner.workload
+    }
+
+    /// The traffic controller.
+    pub fn traffic(&self) -> &TrafficControl {
+        &self.inner.traffic
+    }
+
+    /// The CN memory manager (TP/AP regions, §VI-D).
+    pub fn memory(&self) -> &Arc<MemoryManager> {
+        &self.inner.memory
+    }
+
+    /// Toggle routing of AP queries to RO replicas.
+    pub fn set_htap_ro(&self, enabled: bool) {
+        self.inner.htap_ro.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Add `n` RO replicas to every DN ("add RO nodes to scale read
+    /// throughput in minutes" — here instantly, data is shared).
+    pub fn add_ros(&self, n: u32) {
+        for dn in self.inner.dns.values() {
+            for _ in 0..n {
+                dn.rw.add_ro();
+            }
+        }
+    }
+
+    /// Ship pending redo to all RO replicas synchronously (tests and
+    /// admin). Waits briefly first so asynchronously posted 2PC phase-two
+    /// commit records land in the DN logs before shipping.
+    pub fn ship_now(&self) {
+        for _ in 0..10 {
+            if self.inner.dns.values().all(|dn| !dn.rw.engine.has_active_txns()) {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        std::thread::sleep(Duration::from_millis(2));
+        for dn in self.inner.dns.values() {
+            dn.rw.ship();
+        }
+    }
+
+    /// Build an in-memory column index over `table` from its current
+    /// contents, and keep it maintained from future commits (§VI-E).
+    pub fn enable_column_index(&self, table: &str) -> Result<()> {
+        let schema = self.inner.gms.table(table)?;
+        let types: Vec<_> = schema
+            .columns
+            .iter()
+            .take(schema.visible_arity())
+            .map(|c| c.ty)
+            .collect();
+        let index = ColumnIndex::new(types);
+        // Initial build: scan every shard at "now".
+        let session = self.connect(DcId(1));
+        let ts = session.cn.coordinator.clock().now().raw();
+        for shard in 0..schema.partition.shard_count() {
+            let dn_id = self.inner.gms.shard_dn(schema.id, shard)?;
+            let dn = &self.inner.dns[&dn_id];
+            let stid = shard_table_id(schema.id, shard);
+            for (key, row) in dn.rw.engine.scan_table(stid, ts)? {
+                let visible =
+                    Row::new(row.into_values().into_iter().take(schema.visible_arity()).collect());
+                index.apply_put(polardbx_common::TrxId(0), ts, key, &visible)?;
+            }
+        }
+        self.inner.column_indexes.write().insert(table.to_string(), Arc::clone(&index));
+        self.inner.gms.set_column_index(table, true);
+        Ok(())
+    }
+
+    /// Stop background threads (drop hygiene for long test suites).
+    pub fn shutdown(&self) {
+        self.inner.shipper_stop.store(true, Ordering::Relaxed);
+    }
+
+    /// Move one shard of `table` to another DN — the anti-hotspot
+    /// rebalancing primitive of §VIII ("we can migrate shards to achieve a
+    /// balanced state between DNs"). Like tenant transfer, the shard's
+    /// store moves by reference over shared storage: zero rows copied.
+    pub fn move_shard(&self, table: &str, shard: u32, dest: NodeId) -> Result<()> {
+        let schema = self.inner.gms.table(table)?;
+        let src_id = self.inner.gms.shard_dn(schema.id, shard)?;
+        if src_id == dest {
+            return Ok(());
+        }
+        let src = self
+            .inner
+            .dns
+            .get(&src_id)
+            .ok_or_else(|| Error::invalid("unknown source DN"))?;
+        let dst = self
+            .inner
+            .dns
+            .get(&dest)
+            .ok_or_else(|| Error::invalid("unknown destination DN"))?;
+        // Drain the source briefly (engine-wide, like tenant transfer).
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while src.rw.engine.has_active_txns() {
+            if std::time::Instant::now() > deadline {
+                return Err(Error::Timeout { what: "draining source DN".into() });
+            }
+            std::thread::yield_now();
+        }
+        let stid = shard_table_id(schema.id, shard);
+        let tenant = TenantId(schema.id.raw());
+        src.rw.engine.pool.flush_tenant(tenant, None)?;
+        let store = src
+            .rw
+            .detach_table(stid)
+            .ok_or_else(|| Error::invalid("shard store missing on source"))?;
+        dst.rw.attach_table(stid, store, tenant);
+        self.inner.gms.move_shard(schema.id, shard, dest);
+        Ok(())
+    }
+
+    /// Balance a table's shards across all DNs by current row counts
+    /// (the GMS background-rebalance task of §II-A). Returns the number of
+    /// shards moved.
+    pub fn rebalance(&self, table: &str) -> Result<usize> {
+        let schema = self.inner.gms.table(table)?;
+        let mut loads = Vec::new();
+        for shard in 0..schema.partition.shard_count() {
+            let dn = self.inner.gms.shard_dn(schema.id, shard)?;
+            let rows = self.inner.dns[&dn]
+                .rw
+                .engine
+                .count_rows(shard_table_id(schema.id, shard), u64::MAX)
+                .unwrap_or(0) as u64;
+            loads.push((shard, rows));
+        }
+        let targets: Vec<NodeId> = self.inner.dns.keys().copied().collect();
+        let plan = self.inner.gms.plan_rebalance(schema.id, &loads, &targets);
+        let mut moved = 0;
+        for (shard, dest) in plan {
+            self.move_shard(table, shard, dest)?;
+            moved += 1;
+        }
+        Ok(moved)
+    }
+
+    /// Build a snapshot provider over the RW engines, optionally exposing
+    /// the registered column indexes — benchmark harnesses drive the
+    /// executor directly through this.
+    pub fn provider(&self, columnar: bool) -> crate::provider::ClusterProvider {
+        let session = self.connect(DcId(1));
+        let snapshot_ts = session.cn.coordinator.clock().now().raw();
+        let engines: HashMap<NodeId, Arc<polardbx_storage::StorageEngine>> = self
+            .inner
+            .dns
+            .iter()
+            .map(|(&id, dn)| (id, Arc::clone(&dn.rw.engine)))
+            .collect();
+        let mut p = crate::provider::ClusterProvider::new(
+            Arc::clone(&self.inner.gms),
+            engines,
+            snapshot_ts,
+        );
+        if columnar {
+            p = p.with_column_indexes(self.inner.column_indexes.read().clone());
+        }
+        p
+    }
+
+    /// Total committed row count across shards of `table` (admin helper).
+    pub fn count_rows(&self, table: &str) -> Result<usize> {
+        let schema = self.inner.gms.table(table)?;
+        let mut n = 0;
+        for shard in 0..schema.partition.shard_count() {
+            let dn_id = self.inner.gms.shard_dn(schema.id, shard)?;
+            let dn = &self.inner.dns[&dn_id];
+            n += dn.rw.engine.count_rows(shard_table_id(schema.id, shard), u64::MAX)?;
+        }
+        Ok(n)
+    }
+}
+
+/// A client session bound to one CN.
+pub struct Session {
+    inner: Arc<Inner>,
+    cn: Arc<CnNode>,
+}
+
+impl Session {
+    /// The CN this session landed on (load-balancer tests).
+    pub fn cn_id(&self) -> NodeId {
+        self.cn.id
+    }
+
+    /// The CN's datacenter.
+    pub fn cn_dc(&self) -> DcId {
+        self.cn.dc
+    }
+
+    /// Direct access to the CN's transaction coordinator — benchmark
+    /// drivers use it to bypass SQL parsing on hot paths.
+    pub fn coordinator(&self) -> &Coordinator {
+        &self.cn.coordinator
+    }
+
+    /// Route a primary-key tuple of `table` to its (shard-table id, DN).
+    pub fn route(
+        &self,
+        table: &str,
+        pk: &[Value],
+    ) -> Result<(polardbx_common::TableId, NodeId)> {
+        let schema = self.inner.gms.table(table)?;
+        let (shard, dn) = self.inner.gms.route_key(&schema, pk)?;
+        Ok((shard_table_id(schema.id, shard), dn))
+    }
+
+    /// Execute a DDL/DML statement; returns affected row count.
+    pub fn execute(&self, sql: &str) -> Result<u64> {
+        let _permit = self.inner.traffic.admit(sql)?;
+        match polardbx_sql::parse(sql)? {
+            Statement::CreateTable(ct) => self.create_table(ct).map(|_| 0),
+            Statement::CreateIndex(ci) => self.create_index(ci).map(|_| 0),
+            Statement::Insert(ins) => self.insert(ins),
+            Statement::Update(u) => self.update(u),
+            Statement::Delete(d) => self.delete(d),
+            Statement::Select(_) => {
+                Err(Error::invalid("use query() for SELECT statements"))
+            }
+        }
+    }
+
+    /// Execute a SELECT; returns result rows.
+    pub fn query(&self, sql: &str) -> Result<Vec<Row>> {
+        self.query_classified(sql).map(|(rows, _)| rows)
+    }
+
+    /// EXPLAIN: parse and plan a SELECT without executing it, returning
+    /// the optimized operator tree, the TP/AP classification, and the
+    /// row-store vs column-index choice per scanned table (§VI-B/E).
+    pub fn explain(&self, sql: &str) -> Result<String> {
+        let Statement::Select(sel) = polardbx_sql::parse(sql)? else {
+            return Err(Error::invalid("EXPLAIN supports SELECT only"));
+        };
+        let stats = self.inner.gms.statistics();
+        let plan = optimize_with_stats(
+            polardbx_sql::build_plan(&sel, self.inner.gms.as_ref())?,
+            &stats,
+        );
+        let class = classify(&plan, &stats);
+        let cost = polardbx_optimizer::estimate(&plan, &stats);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "class: {class:?} (est. cost {:.0}, rows {:.0})\n",
+            cost.total(),
+            cost.rows_out
+        ));
+        for table in plan.tables() {
+            let choice = polardbx_optimizer::choose_storage(&plan, &table, &stats);
+            out.push_str(&format!("scan {table}: {choice:?}\n"));
+        }
+        out.push_str(&plan.explain());
+        Ok(out)
+    }
+
+    /// Execute a SELECT and report how the optimizer classified it.
+    pub fn query_classified(&self, sql: &str) -> Result<(Vec<Row>, WorkloadClass)> {
+        let _permit = self.inner.traffic.admit(sql)?;
+        let Statement::Select(sel) = polardbx_sql::parse(sql)? else {
+            return Err(Error::invalid("query() only accepts SELECT"));
+        };
+        let stats = self.inner.gms.statistics();
+        let plan = polardbx_sql::build_plan(&sel, self.inner.gms.as_ref())?;
+        let plan = optimize_with_stats(plan, &stats);
+        let class = classify(&plan, &stats);
+        let rows = self.run_plan(plan, class)?;
+        Ok((rows, class))
+    }
+
+    fn run_plan(
+        &self,
+        plan: polardbx_sql::LogicalPlan,
+        class: WorkloadClass,
+    ) -> Result<Vec<Row>> {
+        // Reserve working memory from the class's region before executing
+        // (§VI-D): TP reservations may preempt AP headroom; an AP query that
+        // cannot reserve fails with a retryable error instead of thrashing.
+        let stats = self.inner.gms.statistics();
+        let est = polardbx_optimizer::estimate(&plan, &stats);
+        // Working-set proxy: rows the operators touch, not just output rows.
+        let bytes = ((est.cpu as usize).saturating_mul(8)).clamp(4 << 10, 64 << 20);
+        let _reservation = match class {
+            WorkloadClass::Tp => Reservation::tp(Arc::clone(&self.inner.memory), bytes)?,
+            WorkloadClass::Ap => Reservation::ap(Arc::clone(&self.inner.memory), bytes)?,
+        };
+        let snapshot_ts = self.cn.coordinator.clock().now().raw();
+        let provider: Arc<dyn TableProvider> =
+            Arc::new(self.build_provider(class, snapshot_ts));
+        let inner = Arc::clone(&self.inner);
+        match class {
+            WorkloadClass::Tp => {
+                // TP pool with a slice; overruns demote to AP, then slow
+                // (§VI-D's misclassification recovery).
+                let plan = Arc::new(plan);
+                let mgr = Arc::clone(&inner.workload);
+                let (result, _pool) =
+                    run_with_demotion(&mgr, JobClass::Tp, move |deadline, governor| {
+                        let ctx = ExecCtx::with_ticks(TickState::new(governor, deadline));
+                        match execute_plan(&plan, provider.as_ref(), &ctx) {
+                            Err(Error::Throttled { .. }) => None, // slice expired
+                            other => Some(other),
+                        }
+                    });
+                result
+            }
+            WorkloadClass::Ap => {
+                let mpp = MppExecutor::new(inner.config.mpp_workers);
+                let governor = inner.workload.governor_for(JobClass::Ap);
+                let plan = plan.clone();
+                let mgr = Arc::clone(&inner.workload);
+                mgr.run(JobClass::Ap, move || {
+                    let ctx = ExecCtx::with_ticks(TickState::new(governor, None));
+                    mpp.execute(&plan, &provider, &ctx)
+                })
+            }
+        }
+    }
+
+    fn build_provider(&self, class: WorkloadClass, snapshot_ts: u64) -> ClusterProvider {
+        // AP queries read RO replicas when present and HTAP routing is on;
+        // TP (and AP without replicas) reads the RW engines.
+        let use_ro = class == WorkloadClass::Ap
+            && self.inner.htap_ro.load(Ordering::Relaxed)
+            && self.inner.dns.values().any(|d| !d.rw.ros().is_empty());
+        let engines: HashMap<NodeId, Arc<polardbx_storage::StorageEngine>> = self
+            .inner
+            .dns
+            .iter()
+            .map(|(&id, dn)| {
+                let engine = if use_ro {
+                    match dn.rw.ros().first() {
+                        Some(ro) => {
+                            // Session consistency (§II-C): the read carries
+                            // the RW's current LSN as a token; the replica
+                            // must catch up to it before serving.
+                            dn.rw.ship();
+                            let token = dn.rw.session_token();
+                            let _ = ro.wait_for(token, Duration::from_millis(200));
+                            Arc::clone(&ro.engine)
+                        }
+                        None => Arc::clone(&dn.rw.engine),
+                    }
+                } else {
+                    Arc::clone(&dn.rw.engine)
+                };
+                (id, engine)
+            })
+            .collect();
+        let indexes = self.inner.column_indexes.read().clone();
+        ClusterProvider::new(Arc::clone(&self.inner.gms), engines, snapshot_ts)
+            .with_column_indexes(indexes)
+    }
+
+    // ------------------------------------------------------------------- DDL
+
+    fn create_table(&self, ct: ast::CreateTable) -> Result<()> {
+        let id = self.inner.gms.next_table_id();
+        let columns: Vec<ColumnDef> = ct
+            .columns
+            .iter()
+            .map(|(n, t, nn)| {
+                let mut c = ColumnDef::new(n.clone(), *t);
+                if *nn {
+                    c = c.not_null();
+                }
+                c
+            })
+            .collect();
+        let mut schema = match &ct.partition {
+            Some((cols, shards)) => TableSchema::new(
+                id,
+                &ct.name,
+                columns,
+                ct.primary_key.clone(),
+                PartitionSpec::Hash { columns: cols.clone(), shards: *shards },
+            )?,
+            None => TableSchema::hash_on_pk(
+                id,
+                &ct.name,
+                columns,
+                ct.primary_key.clone(),
+                self.inner.config.default_shards,
+            )?,
+        };
+        if let Some(g) = &ct.table_group {
+            schema = schema.in_table_group(g.clone());
+        }
+        self.inner.gms.create_table(schema.clone())?;
+        // Create the shard tables on their DNs (and RO mirrors).
+        for shard in 0..schema.partition.shard_count() {
+            let dn_id = self.inner.gms.shard_dn(schema.id, shard)?;
+            let dn = &self.inner.dns[&dn_id];
+            dn.rw.create_table(shard_table_id(schema.id, shard), TenantId(schema.id.raw()));
+        }
+        Ok(())
+    }
+
+    fn create_index(&self, ci: ast::CreateIndex) -> Result<()> {
+        let mut schema = self.inner.gms.table(&ci.table)?;
+        let kind = match ci.placement {
+            IndexPlacement::Local => IndexKind::Local,
+            IndexPlacement::Global => IndexKind::GlobalNonClustered,
+            IndexPlacement::GlobalClustered => IndexKind::GlobalClustered,
+        };
+        schema = schema.with_index(IndexDef {
+            name: ci.name.clone(),
+            columns: ci.columns.clone(),
+            kind,
+            unique: ci.unique,
+        })?;
+        self.inner.gms.record_index(&ci.table, &ci.columns);
+
+        if matches!(kind, IndexKind::GlobalNonClustered | IndexKind::GlobalClustered) {
+            // Global index = hidden table partitioned by the indexed
+            // columns (§II-B). Schema: indexed cols + pk cols (+ the rest
+            // when clustered).
+            let hidden_name = format!("__gsi_{}_{}", ci.table, ci.name);
+            let mut cols: Vec<ColumnDef> = Vec::new();
+            for c in &ci.columns {
+                let i = schema.column_index(c)?;
+                cols.push(schema.columns[i].clone());
+            }
+            let pk_names: Vec<String> =
+                schema.primary_key.iter().map(|&i| schema.columns[i].name.clone()).collect();
+            for &i in &schema.primary_key {
+                if !ci.columns.contains(&schema.columns[i].name) {
+                    cols.push(schema.columns[i].clone());
+                }
+            }
+            if kind == IndexKind::GlobalClustered {
+                for c in &schema.columns {
+                    if !cols.iter().any(|x| x.name == c.name) {
+                        cols.push(c.clone());
+                    }
+                }
+            }
+            let hidden_id = self.inner.gms.next_table_id();
+            let hidden = TableSchema::new(
+                hidden_id,
+                &hidden_name,
+                cols,
+                // Index rows are keyed by indexed cols + pk for uniqueness.
+                ci.columns.iter().chain(pk_names.iter()).cloned().collect(),
+                PartitionSpec::Hash {
+                    columns: ci.columns.clone(),
+                    shards: schema.partition.shard_count(),
+                },
+            )?;
+            self.inner.gms.create_table(hidden.clone())?;
+            for shard in 0..hidden.partition.shard_count() {
+                let dn_id = self.inner.gms.shard_dn(hidden.id, shard)?;
+                let dn = &self.inner.dns[&dn_id];
+                dn.rw.create_table(
+                    shard_table_id(hidden.id, shard),
+                    TenantId(hidden.id.raw()),
+                );
+            }
+            self.inner
+                .gsi_tables
+                .write()
+                .entry(ci.table.clone())
+                .or_default()
+                .push(hidden_name.clone());
+            // Backfill from existing rows.
+            let ts = self.cn.coordinator.clock().now().raw();
+            for shard in 0..schema.partition.shard_count() {
+                let dn_id = self.inner.gms.shard_dn(schema.id, shard)?;
+                let dn = &self.inner.dns[&dn_id];
+                for (_, row) in
+                    dn.rw.engine.scan_table(shard_table_id(schema.id, shard), ts)?
+                {
+                    self.write_gsi_row(&hidden, &schema, &ci.columns, &row, false)?;
+                }
+            }
+        }
+        self.inner.gms.update_table(schema);
+        Ok(())
+    }
+
+    fn gsi_row(
+        &self,
+        hidden: &TableSchema,
+        base: &TableSchema,
+        base_row: &Row,
+    ) -> Result<Row> {
+        let mut vals = Vec::with_capacity(hidden.arity());
+        for c in &hidden.columns {
+            let i = base.column_index(&c.name)?;
+            vals.push(base_row.get(i)?.clone());
+        }
+        Ok(Row::new(vals))
+    }
+
+    fn write_gsi_row(
+        &self,
+        hidden: &TableSchema,
+        base: &TableSchema,
+        _index_cols: &[String],
+        base_row: &Row,
+        delete: bool,
+    ) -> Result<()> {
+        let idx_row = self.gsi_row(hidden, base, base_row)?;
+        let key = hidden.pk_of(&idx_row)?;
+        let (shard, dn) = self.inner.gms.route_row(hidden, &idx_row)?;
+        let stid = shard_table_id(hidden.id, shard);
+        let mut txn = self.cn.coordinator.begin();
+        if delete {
+            txn.write(dn, stid, key, WireWriteOp::Delete)?;
+        } else {
+            txn.write(dn, stid, key, WireWriteOp::Update(idx_row))?;
+        }
+        txn.commit()?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------- DML
+
+    fn insert(&self, ins: ast::Insert) -> Result<u64> {
+        let schema = self.inner.gms.table(&ins.table)?;
+        let visible: Vec<String> = schema
+            .columns
+            .iter()
+            .take(schema.visible_arity())
+            .map(|c| c.name.clone())
+            .collect();
+        let positions: Vec<usize> = match &ins.columns {
+            None => (0..visible.len()).collect(),
+            Some(cols) => cols
+                .iter()
+                .map(|c| schema.column_index(c))
+                .collect::<Result<_>>()?,
+        };
+        let gsis = self.gsi_schemas(&ins.table)?;
+        let mut txn = self.cn.coordinator.begin();
+        let mut count = 0u64;
+        for value_exprs in &ins.values {
+            if value_exprs.len() != positions.len() {
+                return Err(Error::Schema {
+                    message: format!(
+                        "INSERT arity {} vs column list {}",
+                        value_exprs.len(),
+                        positions.len()
+                    ),
+                });
+            }
+            let mut vals = vec![Value::Null; schema.arity()];
+            for (expr, &pos) in value_exprs.iter().zip(&positions) {
+                vals[pos] = expr.eval(&Row::empty())?;
+            }
+            if schema.implicit_pk {
+                let seq = self.inner.gms.next_sequence(schema.id)?;
+                vals[schema.arity() - 1] = Value::Int(seq);
+            }
+            let row = Row::new(vals);
+            schema.validate_row(&row)?;
+            let key = schema.pk_of(&row)?;
+            let (shard, dn) = self.inner.gms.route_row(&schema, &row)?;
+            txn.write(
+                dn,
+                shard_table_id(schema.id, shard),
+                key,
+                WireWriteOp::Insert(row.clone()),
+            )?;
+            // Maintain global indexes in the same distributed transaction
+            // (§II-B: "updated in a single distributed transaction").
+            for hidden in &gsis {
+                let idx_row = self.gsi_row(hidden, &schema, &row)?;
+                let (ishard, idn) = self.inner.gms.route_row(hidden, &idx_row)?;
+                let ikey = hidden.pk_of(&idx_row)?;
+                txn.write(
+                    idn,
+                    shard_table_id(hidden.id, ishard),
+                    ikey,
+                    WireWriteOp::Insert(idx_row),
+                )?;
+            }
+            count += 1;
+        }
+        txn.commit()?;
+        self.inner.gms.record_rows(&ins.table, count as i64);
+        self.capture_column_index(&ins.table)?;
+        Ok(count)
+    }
+
+    fn gsi_schemas(&self, table: &str) -> Result<Vec<TableSchema>> {
+        let names = self.inner.gsi_tables.read().get(table).cloned().unwrap_or_default();
+        names.iter().map(|n| self.inner.gms.table(n)).collect()
+    }
+
+    /// Find rows matching a predicate, returning (shard, key, full row).
+    fn find_matches(
+        &self,
+        schema: &TableSchema,
+        predicate: &Option<Expr>,
+    ) -> Result<Vec<(u32, Key, Row)>> {
+        // Fast path: pk-equality predicates route to one shard.
+        let resolved = match predicate {
+            Some(p) => {
+                let names: Vec<String> =
+                    schema.columns.iter().map(|c| c.name.clone()).collect();
+                Some(p.resolve(&names)?)
+            }
+            None => None,
+        };
+        let ts = self.cn.coordinator.clock().now().raw();
+        let mut out = Vec::new();
+        let mut txn = self.cn.coordinator.begin();
+        for shard in 0..schema.partition.shard_count() {
+            let dn = self.inner.gms.shard_dn(schema.id, shard)?;
+            let rows =
+                txn.scan(dn, shard_table_id(schema.id, shard), None, None)?;
+            let _ = ts;
+            for (key, row) in rows {
+                let keep = match &resolved {
+                    Some(p) => p.eval_bool(&row)?,
+                    None => true,
+                };
+                if keep {
+                    out.push((shard, key, row));
+                }
+            }
+        }
+        txn.abort();
+        Ok(out)
+    }
+
+    fn update(&self, u: ast::Update) -> Result<u64> {
+        let schema = self.inner.gms.table(&u.table)?;
+        let gsis = self.gsi_schemas(&u.table)?;
+        let names: Vec<String> = schema.columns.iter().map(|c| c.name.clone()).collect();
+        let assignments: Vec<(usize, Expr)> = u
+            .assignments
+            .iter()
+            .map(|(c, e)| Ok((schema.column_index(c)?, e.resolve(&names)?)))
+            .collect::<Result<_>>()?;
+        let matches = self.find_matches(&schema, &u.predicate)?;
+        let mut txn = self.cn.coordinator.begin();
+        let count = matches.len() as u64;
+        for (shard, key, old_row) in matches {
+            let mut new_row = old_row.clone();
+            for (idx, expr) in &assignments {
+                new_row.set(*idx, expr.eval(&old_row)?)?;
+            }
+            schema.validate_row(&new_row)?;
+            let dn = self.inner.gms.shard_dn(schema.id, shard)?;
+            txn.write(
+                dn,
+                shard_table_id(schema.id, shard),
+                key,
+                WireWriteOp::Update(new_row.clone()),
+            )?;
+            for hidden in &gsis {
+                // Replace the index entry when it changed.
+                let old_idx = self.gsi_row(hidden, &schema, &old_row)?;
+                let new_idx = self.gsi_row(hidden, &schema, &new_row)?;
+                if old_idx != new_idx {
+                    let (os, od) = self.inner.gms.route_row(hidden, &old_idx)?;
+                    txn.write(
+                        od,
+                        shard_table_id(hidden.id, os),
+                        hidden.pk_of(&old_idx)?,
+                        WireWriteOp::Delete,
+                    )?;
+                    let (ns, nd) = self.inner.gms.route_row(hidden, &new_idx)?;
+                    txn.write(
+                        nd,
+                        shard_table_id(hidden.id, ns),
+                        hidden.pk_of(&new_idx)?,
+                        WireWriteOp::Update(new_idx),
+                    )?;
+                }
+            }
+        }
+        txn.commit()?;
+        self.capture_column_index(&u.table)?;
+        Ok(count)
+    }
+
+    fn delete(&self, d: ast::Delete) -> Result<u64> {
+        let schema = self.inner.gms.table(&d.table)?;
+        let gsis = self.gsi_schemas(&d.table)?;
+        let matches = self.find_matches(&schema, &d.predicate)?;
+        let mut txn = self.cn.coordinator.begin();
+        let count = matches.len() as u64;
+        for (shard, key, old_row) in matches {
+            let dn = self.inner.gms.shard_dn(schema.id, shard)?;
+            txn.write(dn, shard_table_id(schema.id, shard), key, WireWriteOp::Delete)?;
+            for hidden in &gsis {
+                let old_idx = self.gsi_row(hidden, &schema, &old_row)?;
+                let (os, od) = self.inner.gms.route_row(hidden, &old_idx)?;
+                txn.write(
+                    od,
+                    shard_table_id(hidden.id, os),
+                    hidden.pk_of(&old_idx)?,
+                    WireWriteOp::Delete,
+                )?;
+            }
+        }
+        txn.commit()?;
+        self.inner.gms.record_rows(&d.table, -(count as i64));
+        self.capture_column_index(&d.table)?;
+        Ok(count)
+    }
+
+    /// Refresh the column index after DML (simple strategy: incremental
+    /// rebuild only of the touched table when an index exists; the
+    /// maintainer path in `polardbx-columnar` covers log-capture, this
+    /// keeps the cluster-level index fresh without tailing every log).
+    fn capture_column_index(&self, table: &str) -> Result<()> {
+        let index = self.inner.column_indexes.read().get(table).cloned();
+        let Some(_) = index else { return Ok(()) };
+        // Rebuild-on-write is wasteful; drop and lazily rebuild instead.
+        self.inner.column_indexes.write().remove(table);
+        let this = PolarDbx { inner: Arc::clone(&self.inner) };
+        this.enable_column_index(table)
+    }
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        self.shipper_stop.store(true, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster() -> PolarDbx {
+        PolarDbx::build(ClusterConfig { dns: 3, default_shards: 6, ..Default::default() })
+            .unwrap()
+    }
+
+    #[test]
+    fn ddl_dml_query_roundtrip() {
+        let db = cluster();
+        let s = db.connect(DcId(1));
+        s.execute(
+            "CREATE TABLE accounts (id BIGINT NOT NULL, name VARCHAR(32), balance DOUBLE, \
+             PRIMARY KEY (id)) PARTITION BY HASH(id) PARTITIONS 6",
+        )
+        .unwrap();
+        let n = s
+            .execute(
+                "INSERT INTO accounts (id, name, balance) VALUES \
+                 (1, 'alice', 100.0), (2, 'bob', 50.0), (3, 'carol', 75.0)",
+            )
+            .unwrap();
+        assert_eq!(n, 3);
+        let rows = s.query("SELECT name FROM accounts WHERE id = 2").unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get(0).unwrap(), &Value::str("bob"));
+        // Aggregate across shards.
+        let rows = s.query("SELECT COUNT(*), SUM(balance) FROM accounts").unwrap();
+        assert_eq!(rows[0].get(0).unwrap(), &Value::Int(3));
+        assert_eq!(rows[0].get(1).unwrap(), &Value::Double(225.0));
+        db.shutdown();
+    }
+
+    #[test]
+    fn update_and_delete() {
+        let db = cluster();
+        let s = db.connect(DcId(1));
+        s.execute("CREATE TABLE t (id BIGINT NOT NULL, v INT, PRIMARY KEY (id))").unwrap();
+        s.execute("INSERT INTO t (id, v) VALUES (1, 10), (2, 20), (3, 30)").unwrap();
+        let n = s.execute("UPDATE t SET v = v + 1 WHERE id >= 2").unwrap();
+        assert_eq!(n, 2);
+        let rows = s.query("SELECT v FROM t WHERE id = 3").unwrap();
+        assert_eq!(rows[0].get(0).unwrap(), &Value::Int(31));
+        let n = s.execute("DELETE FROM t WHERE v = 21").unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(db.count_rows("t").unwrap(), 2);
+        db.shutdown();
+    }
+
+    #[test]
+    fn implicit_pk_assigned() {
+        let db = cluster();
+        let s = db.connect(DcId(1));
+        s.execute("CREATE TABLE logs (msg VARCHAR(64))").unwrap();
+        s.execute("INSERT INTO logs (msg) VALUES ('a'), ('b'), ('c')").unwrap();
+        assert_eq!(db.count_rows("logs").unwrap(), 3);
+        let rows = s.query("SELECT COUNT(*) FROM logs").unwrap();
+        assert_eq!(rows[0].get(0).unwrap(), &Value::Int(3));
+        db.shutdown();
+    }
+
+    #[test]
+    fn duplicate_pk_rejected_atomically() {
+        let db = cluster();
+        let s = db.connect(DcId(1));
+        s.execute("CREATE TABLE t (id BIGINT NOT NULL, v INT, PRIMARY KEY (id))").unwrap();
+        s.execute("INSERT INTO t (id, v) VALUES (1, 10)").unwrap();
+        // Multi-row insert with a duplicate aborts entirely.
+        let err = s.execute("INSERT INTO t (id, v) VALUES (5, 50), (1, 99)").unwrap_err();
+        assert!(matches!(err, Error::DuplicateKey { .. } | Error::PrepareRejected { .. }));
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(db.count_rows("t").unwrap(), 1, "atomic abort");
+        db.shutdown();
+    }
+
+    #[test]
+    fn global_index_maintained_in_same_txn() {
+        let db = cluster();
+        let s = db.connect(DcId(1));
+        s.execute("CREATE TABLE orders (id BIGINT NOT NULL, cust INT, PRIMARY KEY (id))")
+            .unwrap();
+        s.execute("INSERT INTO orders (id, cust) VALUES (1, 7), (2, 7), (3, 9)").unwrap();
+        s.execute("CREATE GLOBAL INDEX by_cust ON orders (cust)").unwrap();
+        // Backfill populated the hidden table.
+        assert_eq!(db.count_rows("__gsi_orders_by_cust").unwrap(), 3);
+        // New inserts maintain it.
+        s.execute("INSERT INTO orders (id, cust) VALUES (4, 9)").unwrap();
+        assert_eq!(db.count_rows("__gsi_orders_by_cust").unwrap(), 4);
+        // Updates to the indexed column move the entry.
+        s.execute("UPDATE orders SET cust = 8 WHERE id = 1").unwrap();
+        let rows = s.query("SELECT cust FROM __gsi_orders_by_cust WHERE cust = 8").unwrap();
+        assert_eq!(rows.len(), 1);
+        // Deletes remove it.
+        s.execute("DELETE FROM orders WHERE id = 2").unwrap();
+        assert_eq!(db.count_rows("__gsi_orders_by_cust").unwrap(), 3);
+        db.shutdown();
+    }
+
+    #[test]
+    fn load_balancer_prefers_local_cn() {
+        let db = PolarDbx::build(ClusterConfig {
+            dcs: 3,
+            cns_per_dc: 2,
+            dns: 3,
+            ..Default::default()
+        })
+        .unwrap();
+        for dc in 1..=3u64 {
+            let s = db.connect(DcId(dc));
+            assert_eq!(s.cn_dc(), DcId(dc), "locality-aware routing");
+        }
+        // Unknown DC falls back to any CN.
+        let s = db.connect(DcId(99));
+        assert!(s.cn_dc().raw() >= 1);
+        db.shutdown();
+    }
+
+    #[test]
+    fn classification_routes_tp_and_ap() {
+        let db = cluster();
+        let s = db.connect(DcId(1));
+        s.execute("CREATE TABLE big (id BIGINT NOT NULL, v INT, PRIMARY KEY (id))").unwrap();
+        for chunk in 0..4 {
+            let values: Vec<String> = (0..50)
+                .map(|i| format!("({}, {})", chunk * 50 + i, i))
+                .collect();
+            s.execute(&format!("INSERT INTO big (id, v) VALUES {}", values.join(",")))
+                .unwrap();
+        }
+        // Make the stats look big so classification flips to AP.
+        db.gms().record_rows("big", 10_000_000);
+        let (_, class) = s.query_classified("SELECT id FROM big WHERE id = 5").unwrap();
+        assert_eq!(class, WorkloadClass::Tp);
+        let (rows, class) =
+            s.query_classified("SELECT v, COUNT(*) FROM big GROUP BY v").unwrap();
+        assert_eq!(class, WorkloadClass::Ap);
+        assert_eq!(rows.len(), 50);
+        db.shutdown();
+    }
+
+    #[test]
+    fn column_index_query_path() {
+        let db = cluster();
+        let s = db.connect(DcId(1));
+        s.execute("CREATE TABLE fact (id BIGINT NOT NULL, grp INT, amt DOUBLE, PRIMARY KEY (id))")
+            .unwrap();
+        let values: Vec<String> =
+            (0..200).map(|i| format!("({i}, {}, {}.5)", i % 4, i)).collect();
+        s.execute(&format!("INSERT INTO fact (id, grp, amt) VALUES {}", values.join(",")))
+            .unwrap();
+        db.enable_column_index("fact").unwrap();
+        assert!(db.gms().statistics().get("fact").has_column_index);
+        let mut rows = s.query("SELECT grp, COUNT(*) FROM fact GROUP BY grp").unwrap();
+        rows.sort_by(|a, b| a.get(0).unwrap().cmp(b.get(0).unwrap()));
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].get(1).unwrap(), &Value::Int(50));
+        // DML invalidates + rebuilds the index.
+        s.execute("DELETE FROM fact WHERE grp = 0").unwrap();
+        let rows = s.query("SELECT COUNT(*) FROM fact").unwrap();
+        assert_eq!(rows[0].get(0).unwrap(), &Value::Int(150));
+        db.shutdown();
+    }
+
+    #[test]
+    fn joins_across_shards() {
+        let db = cluster();
+        let s = db.connect(DcId(1));
+        s.execute("CREATE TABLE l (id BIGINT NOT NULL, gid INT, PRIMARY KEY (id))").unwrap();
+        s.execute("CREATE TABLE g (gid BIGINT NOT NULL, name VARCHAR(16), PRIMARY KEY (gid))")
+            .unwrap();
+        s.execute("INSERT INTO g (gid, name) VALUES (0, 'zero'), (1, 'one')").unwrap();
+        s.execute(
+            "INSERT INTO l (id, gid) VALUES (1, 0), (2, 1), (3, 0), (4, 1), (5, 0)",
+        )
+        .unwrap();
+        let rows = s
+            .query(
+                "SELECT g.name, COUNT(*) AS n FROM l JOIN g ON l.gid = g.gid \
+                 GROUP BY g.name ORDER BY n DESC",
+            )
+            .unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get(0).unwrap(), &Value::str("zero"));
+        assert_eq!(rows[0].get(1).unwrap(), &Value::Int(3));
+        db.shutdown();
+    }
+}

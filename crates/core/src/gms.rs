@@ -1,0 +1,401 @@
+//! The Global Meta Service (§II-A).
+//!
+//! "The GMS is the control plane of PolarDB-X. It manages the system's
+//! metadata, such as cluster membership, catalog tables, table/index
+//! partition rules, locations of shards, and statistics. … it schedules
+//! data redistribution according to the load."
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use polardbx_common::{
+    Error, IdGenerator, NodeId, Result, Row, TableId, TableSchema, Value,
+};
+use polardbx_optimizer::{Statistics, TableStats};
+
+/// Derive the engine-level table id for one shard of a logical table.
+/// Engines store each shard as its own table; 10 000 shards per table is
+/// the address-space bound (far above the paper's configurations).
+pub fn shard_table_id(table: TableId, shard: u32) -> TableId {
+    TableId(table.raw() * 10_000 + shard as u64)
+}
+
+/// Catalog + placement + statistics.
+pub struct Gms {
+    tables: RwLock<HashMap<String, TableSchema>>,
+    /// (logical table, shard) → DN node hosting it.
+    placement: RwLock<HashMap<(TableId, u32), NodeId>>,
+    /// Table-group → anchor table placements (shared shard placement).
+    group_anchor: RwLock<HashMap<String, TableId>>,
+    stats: RwLock<Statistics>,
+    table_ids: IdGenerator,
+    /// Auto-increment sequences for implicit primary keys.
+    sequences: RwLock<HashMap<TableId, Arc<IdGenerator>>>,
+    dns: RwLock<Vec<NodeId>>,
+}
+
+impl Gms {
+    /// Empty metadata service.
+    pub fn new() -> Arc<Gms> {
+        Arc::new(Gms {
+            tables: RwLock::new(HashMap::new()),
+            placement: RwLock::new(HashMap::new()),
+            group_anchor: RwLock::new(HashMap::new()),
+            stats: RwLock::new(Statistics::new()),
+            table_ids: IdGenerator::new(),
+            sequences: RwLock::new(HashMap::new()),
+            dns: RwLock::new(Vec::new()),
+        })
+    }
+
+    /// Register a DN node.
+    pub fn register_dn(&self, dn: NodeId) {
+        let mut dns = self.dns.write();
+        if !dns.contains(&dn) {
+            dns.push(dn);
+        }
+    }
+
+    /// All registered DNs.
+    pub fn dns(&self) -> Vec<NodeId> {
+        self.dns.read().clone()
+    }
+
+    /// Allocate a fresh logical table id.
+    pub fn next_table_id(&self) -> TableId {
+        TableId(self.table_ids.next_id())
+    }
+
+    /// Install a table schema and place its shards. Members of a table
+    /// group land shard-for-shard on the same DNs ("the shards in a
+    /// partition group are always located on the same DN", §II-B); other
+    /// tables round-robin across DNs.
+    pub fn create_table(&self, schema: TableSchema) -> Result<()> {
+        let name = schema.name.clone();
+        if self.tables.read().contains_key(&name) {
+            return Err(Error::Schema { message: format!("table {name} already exists") });
+        }
+        let dns = self.dns();
+        if dns.is_empty() {
+            return Err(Error::Schema { message: "no DN registered".into() });
+        }
+        let shards = schema.partition.shard_count();
+        // Table-group-aware placement.
+        let anchor_placement: Option<Vec<NodeId>> = schema.table_group.as_ref().and_then(|g| {
+            let anchors = self.group_anchor.read();
+            anchors.get(g).map(|&anchor| {
+                let placement = self.placement.read();
+                (0..shards)
+                    .map(|s| placement.get(&(anchor, s)).copied().unwrap_or(dns[0]))
+                    .collect()
+            })
+        });
+        {
+            let mut placement = self.placement.write();
+            for s in 0..shards {
+                let dn = match &anchor_placement {
+                    Some(v) => v[s as usize],
+                    None => dns[(schema.id.raw() as usize + s as usize) % dns.len()],
+                };
+                placement.insert((schema.id, s), dn);
+            }
+        }
+        if let Some(g) = &schema.table_group {
+            self.group_anchor.write().entry(g.clone()).or_insert(schema.id);
+        }
+        if schema.implicit_pk {
+            self.sequences.write().insert(schema.id, Arc::new(IdGenerator::new()));
+        }
+        self.stats.write().set(
+            &name,
+            TableStats { rows: 0, avg_row_bytes: 100, ..Default::default() },
+        );
+        self.tables.write().insert(name, schema);
+        Ok(())
+    }
+
+    /// Look up a schema by name.
+    pub fn table(&self, name: &str) -> Result<TableSchema> {
+        self.tables
+            .read()
+            .get(&name.to_ascii_lowercase())
+            .cloned()
+            .ok_or(Error::UnknownTable { name: name.into() })
+    }
+
+    /// Replace a schema (DDL like CREATE INDEX).
+    pub fn update_table(&self, schema: TableSchema) {
+        self.tables.write().insert(schema.name.clone(), schema);
+    }
+
+    /// All table names.
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.read().keys().cloned().collect()
+    }
+
+    /// DN hosting a shard.
+    pub fn shard_dn(&self, table: TableId, shard: u32) -> Result<NodeId> {
+        self.placement
+            .read()
+            .get(&(table, shard))
+            .copied()
+            .ok_or(Error::Schema { message: format!("unplaced shard {table}/{shard}") })
+    }
+
+    /// Move a shard to another DN (anti-hotspot rebalancing).
+    pub fn move_shard(&self, table: TableId, shard: u32, to: NodeId) {
+        self.placement.write().insert((table, shard), to);
+    }
+
+    /// Next implicit-PK value for a table.
+    pub fn next_sequence(&self, table: TableId) -> Result<i64> {
+        self.sequences
+            .read()
+            .get(&table)
+            .map(|g| g.next_id() as i64)
+            .ok_or(Error::Schema { message: format!("{table} has no sequence") })
+    }
+
+    /// Current statistics snapshot.
+    pub fn statistics(&self) -> Statistics {
+        self.stats.read().clone()
+    }
+
+    /// Bump a table's row-count estimate by `delta` rows.
+    pub fn record_rows(&self, name: &str, delta: i64) {
+        let mut stats = self.stats.write();
+        let mut ts = stats.get(name);
+        ts.rows = (ts.rows as i64 + delta).max(0) as u64;
+        stats.set(name, ts);
+    }
+
+    /// Mark a table as covered by a column index (feeds the optimizer's
+    /// row/column choice, §VI-E).
+    pub fn set_column_index(&self, name: &str, enabled: bool) {
+        let mut stats = self.stats.write();
+        let mut ts = stats.get(name);
+        ts.has_column_index = enabled;
+        stats.set(name, ts);
+    }
+
+    /// Record a secondary index on `columns` in the statistics (used by the
+    /// advisor to skip already-indexed columns).
+    pub fn record_index(&self, name: &str, columns: &[String]) {
+        let mut stats = self.stats.write();
+        let mut ts = stats.get(name);
+        for c in columns {
+            ts.indexed_columns.insert(c.clone());
+        }
+        stats.set(name, ts);
+    }
+
+    /// Shard-level load distribution of a table (row counts supplied by the
+    /// caller); used by the migration planner and anti-hotspot checks.
+    pub fn plan_rebalance(
+        &self,
+        table: TableId,
+        shard_loads: &[(u32, u64)],
+        target_dns: &[NodeId],
+    ) -> Vec<(u32, NodeId)> {
+        // Greedy: biggest shards to least-loaded target.
+        let mut loads: HashMap<NodeId, u64> =
+            target_dns.iter().map(|&d| (d, 0)).collect();
+        let mut shards: Vec<(u32, u64)> = shard_loads.to_vec();
+        shards.sort_by(|a, b| b.1.cmp(&a.1));
+        let mut plan = Vec::new();
+        for (shard, load) in shards {
+            let (&dn, _) = loads.iter().min_by_key(|(_, &l)| l).expect("targets");
+            loads.insert(dn, loads[&dn] + load);
+            let current = self.shard_dn(table, shard).ok();
+            if current != Some(dn) {
+                plan.push((shard, dn));
+            }
+        }
+        plan
+    }
+
+    /// Encode the full row key a SQL value-tuple produces (for routing).
+    pub fn route_row(&self, schema: &TableSchema, row: &Row) -> Result<(u32, NodeId)> {
+        let shard = schema.shard_of(row)?;
+        Ok((shard, self.shard_dn(schema.id, shard)?))
+    }
+
+    /// Route by explicit partition-key values.
+    pub fn route_key(&self, schema: &TableSchema, values: &[Value]) -> Result<(u32, NodeId)> {
+        let shard = schema.shard_of_key(values);
+        Ok((shard, self.shard_dn(schema.id, shard)?))
+    }
+}
+
+impl polardbx_sql::plan::SchemaProvider for Gms {
+    fn table_columns(&self, table: &str) -> Result<Vec<String>> {
+        let schema = self.table(table)?;
+        Ok(schema
+            .columns
+            .iter()
+            .take(schema.visible_arity())
+            .map(|c| c.name.clone())
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polardbx_common::{ColumnDef, DataType};
+
+    fn schema(gms: &Gms, name: &str, shards: u32, group: Option<&str>) -> TableSchema {
+        let id = gms.next_table_id();
+        let mut s = TableSchema::hash_on_pk(
+            id,
+            name,
+            vec![
+                ColumnDef::new("id", DataType::Int).not_null(),
+                ColumnDef::new("v", DataType::Str),
+            ],
+            vec!["id".into()],
+            shards,
+        )
+        .unwrap();
+        if let Some(g) = group {
+            s = s.in_table_group(g);
+        }
+        s
+    }
+
+    fn gms_with_dns(n: u64) -> Arc<Gms> {
+        let gms = Gms::new();
+        for i in 1..=n {
+            gms.register_dn(NodeId(i));
+        }
+        gms
+    }
+
+    #[test]
+    fn create_and_lookup() {
+        let gms = gms_with_dns(2);
+        gms.create_table(schema(&gms, "t1", 4, None)).unwrap();
+        let t = gms.table("t1").unwrap();
+        assert_eq!(t.partition.shard_count(), 4);
+        assert!(gms.create_table(schema(&gms, "t1", 4, None)).is_err(), "duplicate");
+        assert!(gms.table("nope").is_err());
+    }
+
+    #[test]
+    fn shards_spread_across_dns() {
+        let gms = gms_with_dns(3);
+        gms.create_table(schema(&gms, "t1", 6, None)).unwrap();
+        let t = gms.table("t1").unwrap();
+        let mut dns: Vec<NodeId> =
+            (0..6).map(|s| gms.shard_dn(t.id, s).unwrap()).collect();
+        dns.sort();
+        dns.dedup();
+        assert_eq!(dns.len(), 3, "all DNs used");
+    }
+
+    #[test]
+    fn table_group_members_colocate() {
+        let gms = gms_with_dns(3);
+        gms.create_table(schema(&gms, "orders", 6, Some("g1"))).unwrap();
+        gms.create_table(schema(&gms, "lineitem", 6, Some("g1"))).unwrap();
+        let a = gms.table("orders").unwrap();
+        let b = gms.table("lineitem").unwrap();
+        for s in 0..6 {
+            assert_eq!(
+                gms.shard_dn(a.id, s).unwrap(),
+                gms.shard_dn(b.id, s).unwrap(),
+                "partition group must colocate shard {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn routing_is_stable() {
+        let gms = gms_with_dns(2);
+        gms.create_table(schema(&gms, "t", 8, None)).unwrap();
+        let t = gms.table("t").unwrap();
+        let row = Row::new(vec![Value::Int(42), Value::str("x")]);
+        let (s1, d1) = gms.route_row(&t, &row).unwrap();
+        let (s2, d2) = gms.route_key(&t, &[Value::Int(42)]).unwrap();
+        assert_eq!((s1, d1), (s2, d2));
+    }
+
+    #[test]
+    fn sequences_for_implicit_pk() {
+        let gms = gms_with_dns(1);
+        let id = gms.next_table_id();
+        let s = TableSchema::hash_on_pk(
+            id,
+            "nopk",
+            vec![ColumnDef::new("v", DataType::Str)],
+            vec![],
+            2,
+        )
+        .unwrap();
+        gms.create_table(s).unwrap();
+        let a = gms.next_sequence(id).unwrap();
+        let b = gms.next_sequence(id).unwrap();
+        assert!(b > a);
+    }
+
+    #[test]
+    fn stats_track_row_counts_and_indexes() {
+        let gms = gms_with_dns(1);
+        gms.create_table(schema(&gms, "t", 2, None)).unwrap();
+        gms.record_rows("t", 500);
+        gms.record_rows("t", -100);
+        assert_eq!(gms.statistics().get("t").rows, 400);
+        gms.set_column_index("t", true);
+        assert!(gms.statistics().get("t").has_column_index);
+        gms.record_index("t", &["v".into()]);
+        assert!(gms.statistics().get("t").indexed_columns.contains("v"));
+    }
+
+    #[test]
+    fn rebalance_plan_balances() {
+        let gms = gms_with_dns(2);
+        gms.create_table(schema(&gms, "t", 4, None)).unwrap();
+        let t = gms.table("t").unwrap();
+        // All load on two shards; plan across two DNs must split them.
+        let plan = gms.plan_rebalance(
+            t.id,
+            &[(0, 1000), (1, 1000), (2, 10), (3, 10)],
+            &[NodeId(1), NodeId(2)],
+        );
+        // Apply and verify both heavy shards land on different DNs.
+        for (shard, dn) in &plan {
+            gms.move_shard(t.id, *shard, *dn);
+        }
+        assert_ne!(
+            gms.shard_dn(t.id, 0).unwrap(),
+            gms.shard_dn(t.id, 1).unwrap(),
+            "heavy shards must separate"
+        );
+    }
+
+    #[test]
+    fn schema_provider_hides_implicit_pk() {
+        use polardbx_sql::plan::SchemaProvider;
+        let gms = gms_with_dns(1);
+        let id = gms.next_table_id();
+        let s = TableSchema::hash_on_pk(
+            id,
+            "nopk",
+            vec![ColumnDef::new("v", DataType::Str)],
+            vec![],
+            1,
+        )
+        .unwrap();
+        gms.create_table(s).unwrap();
+        assert_eq!(gms.table_columns("nopk").unwrap(), vec!["v".to_string()]);
+    }
+
+    #[test]
+    fn shard_table_ids_unique() {
+        let a = shard_table_id(TableId(1), 0);
+        let b = shard_table_id(TableId(1), 1);
+        let c = shard_table_id(TableId(2), 0);
+        assert!(a != b && b != c && a != c);
+    }
+}

@@ -1,0 +1,246 @@
+//! Anti-hotspot tooling (§VIII).
+//!
+//! "The most common case is that the load between DN nodes is unbalanced …
+//! We can migrate shards to achieve a balanced state between DNs. If the
+//! data volume or traffic of a single shard is too large, it will become a
+//! hot shard. When a shard grows larger due to data skew, we will split
+//! the shard according to another hash function. Some secondary index keys
+//! will become hot keys … The hot key can be placed on one shard alone. If
+//! hotspot still exists, more fields can be added to the key of the
+//! secondary index to split a hotspot key into multiple keys with the same
+//! prefix."
+
+use std::collections::HashMap;
+
+use polardbx_common::{Key, NodeId, Value};
+
+/// Per-shard access telemetry.
+#[derive(Debug, Clone, Default)]
+pub struct ShardLoad {
+    /// Rows stored.
+    pub rows: u64,
+    /// Accesses in the observation window.
+    pub accesses: u64,
+}
+
+/// Detected hotspot kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Hotspot {
+    /// A whole DN carries disproportionate load → migrate shards away.
+    OverloadedDn {
+        /// The hot node.
+        dn: NodeId,
+        /// Its share of total access load (0..1).
+        share: f64,
+    },
+    /// A single shard dominates → split by another hash function.
+    HotShard {
+        /// The shard.
+        shard: u32,
+        /// Its share of the table's accesses.
+        share: f64,
+    },
+    /// A single key dominates its shard → isolate or suffix it.
+    HotKey {
+        /// The hot key.
+        key: Key,
+        /// Its share of the shard's accesses.
+        share: f64,
+    },
+}
+
+/// Thresholds for detection.
+#[derive(Debug, Clone)]
+pub struct HotspotPolicy {
+    /// A DN above this share of total load is overloaded.
+    pub dn_share: f64,
+    /// A shard above this share of table load is hot.
+    pub shard_share: f64,
+    /// A key above this share of shard load is hot.
+    pub key_share: f64,
+}
+
+impl Default for HotspotPolicy {
+    fn default() -> Self {
+        HotspotPolicy { dn_share: 0.5, shard_share: 0.4, key_share: 0.5 }
+    }
+}
+
+/// Detect DN-level imbalance from per-shard loads and placements.
+pub fn detect_dn_hotspots(
+    placements: &HashMap<u32, NodeId>,
+    loads: &HashMap<u32, ShardLoad>,
+    policy: &HotspotPolicy,
+) -> Vec<Hotspot> {
+    let mut per_dn: HashMap<NodeId, u64> = HashMap::new();
+    let mut total = 0u64;
+    for (shard, load) in loads {
+        if let Some(&dn) = placements.get(shard) {
+            *per_dn.entry(dn).or_insert(0) += load.accesses;
+            total += load.accesses;
+        }
+    }
+    if total == 0 || per_dn.len() < 2 {
+        return Vec::new();
+    }
+    per_dn
+        .into_iter()
+        .filter_map(|(dn, acc)| {
+            let share = acc as f64 / total as f64;
+            (share > policy.dn_share).then_some(Hotspot::OverloadedDn { dn, share })
+        })
+        .collect()
+}
+
+/// Detect hot shards within a table.
+pub fn detect_hot_shards(
+    loads: &HashMap<u32, ShardLoad>,
+    policy: &HotspotPolicy,
+) -> Vec<Hotspot> {
+    let total: u64 = loads.values().map(|l| l.accesses).sum();
+    if total == 0 || loads.len() < 2 {
+        return Vec::new();
+    }
+    loads
+        .iter()
+        .filter_map(|(&shard, l)| {
+            let share = l.accesses as f64 / total as f64;
+            (share > policy.shard_share).then_some(Hotspot::HotShard { shard, share })
+        })
+        .collect()
+}
+
+/// Detect hot keys within a shard from key-access telemetry.
+pub fn detect_hot_keys(
+    key_accesses: &HashMap<Key, u64>,
+    policy: &HotspotPolicy,
+) -> Vec<Hotspot> {
+    let total: u64 = key_accesses.values().sum();
+    if total == 0 {
+        return Vec::new();
+    }
+    key_accesses
+        .iter()
+        .filter_map(|(key, &n)| {
+            let share = n as f64 / total as f64;
+            (share > policy.key_share)
+                .then(|| Hotspot::HotKey { key: key.clone(), share })
+        })
+        .collect()
+}
+
+/// Split a hot shard "according to another hash function": remap its rows
+/// into `ways` sub-shards using a salted hash. Returns, per row key, the
+/// sub-shard it lands in — the caller moves the rows and updates GMS.
+pub fn split_shard_plan(keys: &[Key], ways: u32) -> HashMap<u32, Vec<Key>> {
+    let mut plan: HashMap<u32, Vec<Key>> = HashMap::new();
+    for key in keys {
+        // Salted re-hash (different function than the routing hash).
+        let salted = {
+            let mut h: u64 = 0x9e3779b97f4a7c15;
+            for &b in key.as_bytes() {
+                h ^= b as u64;
+                h = h.rotate_left(17).wrapping_mul(0xbf58476d1ce4e5b9);
+            }
+            // Murmur-style finalizer: spread entropy into the low bits the
+            // modulo below consumes.
+            h ^= h >> 33;
+            h = h.wrapping_mul(0xff51afd7ed558ccb);
+            h ^= h >> 33;
+            h
+        };
+        plan.entry((salted % ways as u64) as u32).or_default().push(key.clone());
+    }
+    plan
+}
+
+/// Split a hot secondary-index key "into multiple keys with the same
+/// prefix" by appending a suffix column: maps each (hot key, row id) to a
+/// derived key. Readers scan the prefix; writers spread across suffixes.
+pub fn suffix_hot_key(hot: &Key, row_discriminator: i64, suffixes: u32) -> Key {
+    let mut vals = hot.decode();
+    vals.push(Value::Int(row_discriminator % suffixes as i64));
+    Key::encode(&vals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: i64) -> Key {
+        Key::encode(&[Value::Int(n)])
+    }
+
+    #[test]
+    fn balanced_cluster_reports_nothing() {
+        let placements: HashMap<u32, NodeId> =
+            (0..4).map(|s| (s, NodeId(1 + (s % 2) as u64))).collect();
+        let loads: HashMap<u32, ShardLoad> = (0..4)
+            .map(|s| (s, ShardLoad { rows: 100, accesses: 1000 }))
+            .collect();
+        let policy = HotspotPolicy::default();
+        assert!(detect_dn_hotspots(&placements, &loads, &policy).is_empty());
+        assert!(detect_hot_shards(&loads, &policy).is_empty());
+    }
+
+    #[test]
+    fn overloaded_dn_detected() {
+        let placements: HashMap<u32, NodeId> =
+            [(0, NodeId(1)), (1, NodeId(1)), (2, NodeId(2)), (3, NodeId(2))].into();
+        let mut loads = HashMap::new();
+        loads.insert(0, ShardLoad { rows: 100, accesses: 5000 });
+        loads.insert(1, ShardLoad { rows: 100, accesses: 4000 });
+        loads.insert(2, ShardLoad { rows: 100, accesses: 500 });
+        loads.insert(3, ShardLoad { rows: 100, accesses: 500 });
+        let hs = detect_dn_hotspots(&placements, &loads, &HotspotPolicy::default());
+        assert_eq!(hs.len(), 1);
+        assert!(matches!(hs[0], Hotspot::OverloadedDn { dn: NodeId(1), .. }));
+    }
+
+    #[test]
+    fn hot_shard_detected() {
+        let mut loads = HashMap::new();
+        loads.insert(0, ShardLoad { rows: 100, accesses: 9_000 });
+        loads.insert(1, ShardLoad { rows: 100, accesses: 500 });
+        loads.insert(2, ShardLoad { rows: 100, accesses: 500 });
+        let hs = detect_hot_shards(&loads, &HotspotPolicy::default());
+        assert_eq!(hs.len(), 1);
+        assert!(matches!(hs[0], Hotspot::HotShard { shard: 0, .. }));
+    }
+
+    #[test]
+    fn hot_key_detected() {
+        let mut accesses = HashMap::new();
+        accesses.insert(key(7), 10_000u64);
+        for i in 100..110 {
+            accesses.insert(key(i), 100);
+        }
+        let hs = detect_hot_keys(&accesses, &HotspotPolicy::default());
+        assert_eq!(hs.len(), 1);
+        assert!(matches!(&hs[0], Hotspot::HotKey { key: k, .. } if *k == key(7)));
+    }
+
+    #[test]
+    fn shard_split_spreads_keys() {
+        let keys: Vec<Key> = (0..1000).map(key).collect();
+        let plan = split_shard_plan(&keys, 4);
+        assert_eq!(plan.len(), 4);
+        let total: usize = plan.values().map(Vec::len).sum();
+        assert_eq!(total, 1000);
+        for bucket in plan.values() {
+            assert!(bucket.len() > 150, "salted hash must spread: {}", bucket.len());
+        }
+    }
+
+    #[test]
+    fn suffixed_hot_keys_share_prefix() {
+        let hot = key(42);
+        let a = suffix_hot_key(&hot, 1, 8);
+        let b = suffix_hot_key(&hot, 2, 8);
+        assert_ne!(a, b, "suffix splits the key");
+        // Both order within the prefix scan bounds.
+        let upper = hot.prefix_successor();
+        assert!(a > hot && a < upper);
+        assert!(b > hot && b < upper);
+    }
+}

@@ -1,0 +1,36 @@
+//! PolarDB-X: the assembled system (§II of the paper).
+//!
+//! This crate wires the substrate crates into the paper's CN-DN-SN
+//! architecture and exposes the user-facing API:
+//!
+//! ```text
+//!   clients → LoadBalancer → CN (parse/plan/route/2PC/HTAP exec)
+//!                              → DN (PolarDB engines, RW + RO replicas)
+//!                                 → SN (PolarFS volumes)
+//!             GMS (catalog, placement, statistics, background tasks)
+//! ```
+//!
+//! * [`gms`] — the Global Meta Service: catalog with hash partitioning,
+//!   table groups and global/local indexes (§II-B), shard placement,
+//!   statistics, and the migration planner used during scale-out (§V).
+//! * [`durability`] — plugs the X-Paxos group in as the DN durability path
+//!   for cross-DC deployments (§III).
+//! * [`provider`] — the executor's view of the cluster: partitioned scans
+//!   over DN shards, RO-replica routing, column-index snapshots (§VI).
+//! * [`cluster`] — the `PolarDbx` facade: build a cluster, connect
+//!   sessions through the locality-aware load balancer, execute SQL.
+//! * [`hotspot`] — anti-hotspot tooling: skew detection, shard split,
+//!   hot-key isolation (§VIII).
+//! * [`traffic`] — automated traffic control: anomaly detection over query
+//!   fingerprints and concurrency limiting (§VIII).
+
+pub mod cluster;
+pub mod durability;
+pub mod gms;
+pub mod hotspot;
+pub mod provider;
+pub mod traffic;
+
+pub use cluster::{ClusterConfig, PolarDbx, Session};
+pub use gms::Gms;
+pub use provider::ClusterProvider;

@@ -1,0 +1,32 @@
+//! The HTAP executor (§VI-C/D of the paper).
+//!
+//! * [`operators`] — the physical operators (scan, filter, project, hash
+//!   join, hash aggregate, sort, limit) executing resolved logical plans
+//!   against a [`operators::TableProvider`], with composable aggregate
+//!   accumulators that support partial/merge evaluation for MPP.
+//! * [`columnar_exec`] — pattern-matched fast paths that execute
+//!   scan/filter/aggregate pipelines on the in-memory column index's
+//!   vectorized kernels instead of row-at-a-time evaluation (§VI-E).
+//! * [`mpp`] — the MPP model: plans split into fragments; scan/filter/
+//!   partial-aggregate/probe fragments fan out across worker tasks (one
+//!   per partition), exchange results, and a coordinator fragment merges
+//!   (§VI-C "MPP model").
+//! * [`scheduler`] — workload pools and the time-slicing discipline: the
+//!   TP pool is unrestricted, the AP and slow-AP pools run under CPU
+//!   governors that cap their share (standing in for cgroups), and a TP
+//!   job that overruns its slice is terminated and re-assigned to the AP
+//!   pool (§VI-D's misclassification recovery).
+//! * [`memory`] — TP/AP memory regions with asymmetric preemption: TP may
+//!   take AP memory and keep it until completion; AP must yield
+//!   immediately when TP asks (§VI-D).
+
+pub mod columnar_exec;
+pub mod memory;
+pub mod mpp;
+pub mod operators;
+pub mod scheduler;
+
+pub use memory::{MemoryManager, MemoryRegion};
+pub use mpp::MppExecutor;
+pub use operators::{execute_plan, ExecCtx, TableProvider};
+pub use scheduler::{CpuGovernor, JobClass, WorkloadManager};

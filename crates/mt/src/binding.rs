@@ -1,0 +1,184 @@
+//! The tenant→RW binding system table with leases (§V "Tenant Transfer").
+//!
+//! "The binding information of RW nodes and tenants is stored in an
+//! internal system table, which is shared with upper-level components such
+//! as proxy or CN. … Each RW node subscribes to the updates of the binding
+//! info and obtains a lease from the master RW node."
+
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use polardbx_common::{Error, NodeId, Result, TenantId};
+
+/// A lease on the binding info held by an RW node.
+#[derive(Debug, Clone, Copy)]
+pub struct Lease {
+    /// The holder.
+    pub node: NodeId,
+    /// Expiry instant.
+    pub until: Instant,
+    /// Binding-table version the lease was granted against.
+    pub version: u64,
+}
+
+impl Lease {
+    /// Is the lease still valid?
+    pub fn valid(&self) -> bool {
+        Instant::now() < self.until
+    }
+}
+
+/// The shared binding table.
+pub struct BindingTable {
+    bindings: RwLock<HashMap<TenantId, NodeId>>,
+    version: Mutex<u64>,
+    lease_duration: Duration,
+    leases: Mutex<HashMap<NodeId, Lease>>,
+}
+
+impl BindingTable {
+    /// A table granting leases of the given duration.
+    pub fn new(lease_duration: Duration) -> BindingTable {
+        BindingTable {
+            bindings: RwLock::new(HashMap::new()),
+            version: Mutex::new(0),
+            lease_duration,
+            leases: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Bind `tenant` to `node`, bumping the version (invalidates leases
+    /// granted against older versions — holders must refresh).
+    pub fn bind(&self, tenant: TenantId, node: NodeId) -> u64 {
+        let mut v = self.version.lock();
+        self.bindings.write().insert(tenant, node);
+        *v += 1;
+        *v
+    }
+
+    /// Remove a binding (tenant dropped).
+    pub fn unbind(&self, tenant: TenantId) -> u64 {
+        let mut v = self.version.lock();
+        self.bindings.write().remove(&tenant);
+        *v += 1;
+        *v
+    }
+
+    /// Current owner of `tenant`.
+    pub fn owner(&self, tenant: TenantId) -> Option<NodeId> {
+        self.bindings.read().get(&tenant).copied()
+    }
+
+    /// All tenants bound to `node`.
+    pub fn tenants_of(&self, node: NodeId) -> Vec<TenantId> {
+        self.bindings
+            .read()
+            .iter()
+            .filter(|(_, n)| **n == node)
+            .map(|(t, _)| *t)
+            .collect()
+    }
+
+    /// Tenant count per node (load statistic for the GMS migration planner).
+    pub fn load_distribution(&self) -> HashMap<NodeId, usize> {
+        let mut dist = HashMap::new();
+        for node in self.bindings.read().values() {
+            *dist.entry(*node).or_insert(0) += 1;
+        }
+        dist
+    }
+
+    /// Current binding version.
+    pub fn version(&self) -> u64 {
+        *self.version.lock()
+    }
+
+    /// Grant (or renew) `node`'s lease against the current version.
+    pub fn acquire_lease(&self, node: NodeId) -> Lease {
+        let lease = Lease {
+            node,
+            until: Instant::now() + self.lease_duration,
+            version: self.version(),
+        };
+        self.leases.lock().insert(node, lease);
+        lease
+    }
+
+    /// Validate that `node` holds a fresh lease *and* its lease version is
+    /// current. An RW whose lease lapsed or predates a rebind must refresh
+    /// and re-check its tenants (§V: "when the RW node finds that the lease
+    /// is lost, it will suspend the submission of all outstanding
+    /// transactions").
+    pub fn check_lease(&self, node: NodeId) -> Result<()> {
+        let leases = self.leases.lock();
+        match leases.get(&node) {
+            Some(l) if l.valid() && l.version == self.version() => Ok(()),
+            _ => Err(Error::LeaseLost { holder: node.raw() }),
+        }
+    }
+
+    /// Force-expire a node's lease (failure injection).
+    pub fn revoke_lease(&self, node: NodeId) {
+        self.leases.lock().remove(&node);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_and_lookup() {
+        let b = BindingTable::new(Duration::from_secs(10));
+        b.bind(TenantId(1), NodeId(1));
+        b.bind(TenantId(2), NodeId(1));
+        b.bind(TenantId(3), NodeId(2));
+        assert_eq!(b.owner(TenantId(1)), Some(NodeId(1)));
+        assert_eq!(b.owner(TenantId(9)), None);
+        let mut t = b.tenants_of(NodeId(1));
+        t.sort();
+        assert_eq!(t, vec![TenantId(1), TenantId(2)]);
+        assert_eq!(b.load_distribution()[&NodeId(1)], 2);
+    }
+
+    #[test]
+    fn lease_valid_until_rebind() {
+        let b = BindingTable::new(Duration::from_secs(10));
+        b.bind(TenantId(1), NodeId(1));
+        b.acquire_lease(NodeId(1));
+        b.check_lease(NodeId(1)).unwrap();
+        // A rebind bumps the version; stale leases fail until renewed.
+        b.bind(TenantId(1), NodeId(2));
+        assert!(matches!(b.check_lease(NodeId(1)), Err(Error::LeaseLost { .. })));
+        b.acquire_lease(NodeId(1));
+        b.check_lease(NodeId(1)).unwrap();
+    }
+
+    #[test]
+    fn lease_expires_in_time() {
+        let b = BindingTable::new(Duration::from_millis(10));
+        b.acquire_lease(NodeId(1));
+        b.check_lease(NodeId(1)).unwrap();
+        std::thread::sleep(Duration::from_millis(15));
+        assert!(b.check_lease(NodeId(1)).is_err());
+    }
+
+    #[test]
+    fn revoke_is_immediate() {
+        let b = BindingTable::new(Duration::from_secs(10));
+        b.acquire_lease(NodeId(1));
+        b.revoke_lease(NodeId(1));
+        assert!(b.check_lease(NodeId(1)).is_err());
+    }
+
+    #[test]
+    fn unbind_removes() {
+        let b = BindingTable::new(Duration::from_secs(10));
+        b.bind(TenantId(1), NodeId(1));
+        let v1 = b.version();
+        b.unbind(TenantId(1));
+        assert_eq!(b.owner(TenantId(1)), None);
+        assert!(b.version() > v1);
+    }
+}

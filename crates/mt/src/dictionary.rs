@@ -1,0 +1,264 @@
+//! The shared data dictionary (§V "Design of PolarDB-MT").
+//!
+//! "All RW nodes share a global data dictionary instead of maintaining a
+//! distinct private one for each node. Only one RW node can grab a lease
+//! [the master RW] … Other RW nodes maintain a read cache of the
+//! dictionary, and only cache the metadata of tables they open." DDL takes
+//! an exclusive MDL, forwards the change to the master for an ownership
+//! check, then refreshes the local cache.
+
+use parking_lot::{Mutex, RwLock};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use polardbx_common::{Error, NodeId, Result, TableId, TenantId};
+
+/// Metadata of one table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableMeta {
+    /// Table id.
+    pub id: TableId,
+    /// Table name.
+    pub name: String,
+    /// Owning tenant.
+    pub tenant: TenantId,
+    /// Schema version (bumped by every DDL).
+    pub version: u64,
+}
+
+/// The global dictionary: master authority + per-node read caches + MDL.
+pub struct DataDictionary {
+    /// The master RW node (the dictionary leaseholder).
+    master: Mutex<NodeId>,
+    /// Authoritative entries, kept by the master.
+    entries: RwLock<HashMap<TableId, TableMeta>>,
+    /// Per-node read caches (only tables the node opened).
+    caches: RwLock<HashMap<NodeId, HashMap<TableId, TableMeta>>>,
+    /// Metadata locks: tables currently under exclusive DDL.
+    mdl: Mutex<HashSet<TableId>>,
+}
+
+impl DataDictionary {
+    /// A dictionary mastered by `master`.
+    pub fn new(master: NodeId) -> Arc<DataDictionary> {
+        Arc::new(DataDictionary {
+            master: Mutex::new(master),
+            entries: RwLock::new(HashMap::new()),
+            caches: RwLock::new(HashMap::new()),
+            mdl: Mutex::new(HashSet::new()),
+        })
+    }
+
+    /// Current master RW.
+    pub fn master(&self) -> NodeId {
+        *self.master.lock()
+    }
+
+    /// Move mastership (master RW failover).
+    pub fn set_master(&self, node: NodeId) {
+        *self.master.lock() = node;
+    }
+
+    /// Acquire the exclusive MDL on `table`. Fails if already held —
+    /// concurrent DDL on one table is rejected rather than queued, which is
+    /// sufficient for the experiments (the paper blocks).
+    pub fn lock_mdl(&self, table: TableId) -> Result<MdlGuard<'_>> {
+        let mut mdl = self.mdl.lock();
+        if !mdl.insert(table) {
+            return Err(Error::Timeout { what: format!("MDL on {table}") });
+        }
+        Ok(MdlGuard { dict: self, table })
+    }
+
+    /// Is the table under DDL? DML routers check this to block statements.
+    pub fn mdl_held(&self, table: TableId) -> bool {
+        self.mdl.lock().contains(&table)
+    }
+
+    /// Execute a DDL from `requester` (the tenant-owner RW): ownership is
+    /// validated against the dictionary, the authoritative entry updates,
+    /// and the requester's cache refreshes. Other nodes' caches for this
+    /// table are invalidated (they reload on next open).
+    pub fn apply_ddl(
+        &self,
+        requester: NodeId,
+        owner_check: impl Fn(&TableMeta) -> bool,
+        meta: TableMeta,
+    ) -> Result<()> {
+        let _guard = self.lock_mdl(meta.id)?;
+        {
+            let entries = self.entries.read();
+            if let Some(existing) = entries.get(&meta.id) {
+                if !owner_check(existing) {
+                    return Err(Error::NotOwner {
+                        tenant: existing.tenant.raw(),
+                        node: requester.raw(),
+                    });
+                }
+                if meta.version <= existing.version {
+                    return Err(Error::Schema {
+                        message: format!(
+                            "stale DDL: version {} <= current {}",
+                            meta.version, existing.version
+                        ),
+                    });
+                }
+            }
+        }
+        self.entries.write().insert(meta.id, meta.clone());
+        let mut caches = self.caches.write();
+        // Refresh requester's cache; drop everyone else's entry.
+        for (node, cache) in caches.iter_mut() {
+            if *node == requester {
+                cache.insert(meta.id, meta.clone());
+            } else {
+                cache.remove(&meta.id);
+            }
+        }
+        caches.entry(requester).or_default().insert(meta.id, meta);
+        Ok(())
+    }
+
+    /// Open a table on `node`: serve from cache or load from the authority.
+    pub fn open_table(&self, node: NodeId, table: TableId) -> Result<TableMeta> {
+        if let Some(meta) = self.caches.read().get(&node).and_then(|c| c.get(&table)) {
+            return Ok(meta.clone());
+        }
+        let meta = self
+            .entries
+            .read()
+            .get(&table)
+            .cloned()
+            .ok_or(Error::UnknownTable { name: format!("{table}") })?;
+        self.caches.write().entry(node).or_default().insert(table, meta.clone());
+        Ok(meta)
+    }
+
+    /// Drop a node's cached entries for `tenant` (tenant left the node).
+    pub fn evict_tenant_cache(&self, node: NodeId, tenant: TenantId) {
+        if let Some(cache) = self.caches.write().get_mut(&node) {
+            cache.retain(|_, m| m.tenant != tenant);
+        }
+    }
+
+    /// Authoritative lookup (bypasses caches).
+    pub fn lookup(&self, table: TableId) -> Option<TableMeta> {
+        self.entries.read().get(&table).cloned()
+    }
+
+    /// Tables of a tenant (authoritative).
+    pub fn tenant_tables(&self, tenant: TenantId) -> Vec<TableMeta> {
+        self.entries.read().values().filter(|m| m.tenant == tenant).cloned().collect()
+    }
+
+    /// How many cache entries `node` holds (tests: "a table is cached by at
+    /// most one RW node").
+    pub fn cache_size(&self, node: NodeId) -> usize {
+        self.caches.read().get(&node).map(|c| c.len()).unwrap_or(0)
+    }
+}
+
+/// RAII guard for the exclusive MDL.
+pub struct MdlGuard<'a> {
+    dict: &'a DataDictionary,
+    table: TableId,
+}
+
+impl Drop for MdlGuard<'_> {
+    fn drop(&mut self) {
+        self.dict.mdl.lock().remove(&self.table);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(id: u64, tenant: u64, version: u64) -> TableMeta {
+        TableMeta {
+            id: TableId(id),
+            name: format!("t{id}"),
+            tenant: TenantId(tenant),
+            version,
+        }
+    }
+
+    #[test]
+    fn ddl_creates_and_caches_on_requester() {
+        let d = DataDictionary::new(NodeId(1));
+        d.apply_ddl(NodeId(2), |_| true, meta(1, 5, 1)).unwrap();
+        assert_eq!(d.lookup(TableId(1)).unwrap().version, 1);
+        assert_eq!(d.cache_size(NodeId(2)), 1);
+        assert_eq!(d.cache_size(NodeId(3)), 0);
+    }
+
+    #[test]
+    fn ownership_enforced() {
+        let d = DataDictionary::new(NodeId(1));
+        d.apply_ddl(NodeId(2), |_| true, meta(1, 5, 1)).unwrap();
+        // A DDL from a non-owner is rejected by the master's check.
+        let err = d
+            .apply_ddl(NodeId(3), |m| m.tenant == TenantId(99), meta(1, 5, 2))
+            .unwrap_err();
+        assert!(matches!(err, Error::NotOwner { .. }));
+    }
+
+    #[test]
+    fn stale_version_rejected() {
+        let d = DataDictionary::new(NodeId(1));
+        d.apply_ddl(NodeId(2), |_| true, meta(1, 5, 3)).unwrap();
+        assert!(d.apply_ddl(NodeId(2), |_| true, meta(1, 5, 3)).is_err());
+        assert!(d.apply_ddl(NodeId(2), |_| true, meta(1, 5, 2)).is_err());
+        d.apply_ddl(NodeId(2), |_| true, meta(1, 5, 4)).unwrap();
+    }
+
+    #[test]
+    fn ddl_invalidates_other_caches() {
+        let d = DataDictionary::new(NodeId(1));
+        d.apply_ddl(NodeId(2), |_| true, meta(1, 5, 1)).unwrap();
+        // Node 3 opens (caches) the table.
+        d.open_table(NodeId(3), TableId(1)).unwrap();
+        assert_eq!(d.cache_size(NodeId(3)), 1);
+        // Owner runs another DDL: node 3's cache entry is invalidated.
+        d.apply_ddl(NodeId(2), |_| true, meta(1, 5, 2)).unwrap();
+        assert_eq!(d.cache_size(NodeId(3)), 0);
+        // Reopening loads the fresh version.
+        assert_eq!(d.open_table(NodeId(3), TableId(1)).unwrap().version, 2);
+    }
+
+    #[test]
+    fn mdl_is_exclusive() {
+        let d = DataDictionary::new(NodeId(1));
+        let g = d.lock_mdl(TableId(1)).unwrap();
+        assert!(d.mdl_held(TableId(1)));
+        assert!(d.lock_mdl(TableId(1)).is_err());
+        drop(g);
+        assert!(!d.mdl_held(TableId(1)));
+        let _g2 = d.lock_mdl(TableId(1)).unwrap();
+    }
+
+    #[test]
+    fn tenant_cache_eviction() {
+        let d = DataDictionary::new(NodeId(1));
+        d.apply_ddl(NodeId(2), |_| true, meta(1, 5, 1)).unwrap();
+        d.apply_ddl(NodeId(2), |_| true, meta(2, 5, 1)).unwrap();
+        d.apply_ddl(NodeId(2), |_| true, meta(3, 6, 1)).unwrap();
+        assert_eq!(d.cache_size(NodeId(2)), 3);
+        d.evict_tenant_cache(NodeId(2), TenantId(5));
+        assert_eq!(d.cache_size(NodeId(2)), 1);
+    }
+
+    #[test]
+    fn open_unknown_table_fails() {
+        let d = DataDictionary::new(NodeId(1));
+        assert!(d.open_table(NodeId(2), TableId(9)).is_err());
+    }
+
+    #[test]
+    fn master_failover() {
+        let d = DataDictionary::new(NodeId(1));
+        assert_eq!(d.master(), NodeId(1));
+        d.set_master(NodeId(7));
+        assert_eq!(d.master(), NodeId(7));
+    }
+}

@@ -1,0 +1,32 @@
+//! PolarDB-MT: multi-tenancy with multiple RW nodes over shared storage
+//! (§V of the paper).
+//!
+//! A tenant is a collection of tables with no cross-tenant transactions.
+//! Multiple RW nodes share the storage but operate on **disjoint** tenants;
+//! each tenant is bound to exactly one RW node at any time. The pieces:
+//!
+//! * [`binding`] — the tenant→RW binding system table with leases; an RW
+//!   that lost its lease must abort affected transactions.
+//! * [`dictionary`] — the shared data dictionary: one master RW holds the
+//!   authority, other RWs keep read caches of tables they open, and DDL
+//!   goes through an exclusive MDL + master validation.
+//! * [`node`] — an MT-enabled RW node: private redo log, per-tenant dirty
+//!   page tracking, ownership checks on every transaction.
+//! * [`transfer`] — the §V tenant-transfer protocol (pause → drain → flush
+//!   dirty pages → rebind → open at destination → resume), which moves
+//!   **no table data** thanks to shared storage; plus the shared-nothing
+//!   row-copy baseline whose cost Fig 8(b) measures.
+//! * [`recovery`] — per-tenant parallel redo replay: because each RW's log
+//!   only touches its own tenants, logs replay independently and a peer RW
+//!   can take over a failed node's tenants from its log.
+
+pub mod binding;
+pub mod dictionary;
+pub mod node;
+pub mod recovery;
+pub mod transfer;
+
+pub use binding::{BindingTable, Lease};
+pub use dictionary::{DataDictionary, TableMeta};
+pub use node::MtRwNode;
+pub use transfer::{migrate_by_copy, migrate_tenant, CopyReport, MigrationReport, Router};

@@ -1,0 +1,308 @@
+//! SQL Advisor: what-if index recommendation (§VIII "Index Recommendation").
+//!
+//! "This advisor can analyze the SQL to find which columns can use the
+//! index (Indexable Column), enumerate the possible index combinations to
+//! get the Candidate Index, prune some candidates with low selectivity
+//! through heuristic search, use the optimizer to estimate costs with
+//! these hypothetical (what-if) indexes, select the index combination with
+//! the highest saving and recommend it to the user."
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use polardbx_sql::ast::{Select, Statement};
+use polardbx_sql::expr::{BinOp, Expr};
+
+use crate::cost::Statistics;
+
+/// A recommended index with its estimated benefit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexRecommendation {
+    /// Table to index.
+    pub table: String,
+    /// Index columns in order.
+    pub columns: Vec<String>,
+    /// Estimated net saving (cost units) across the analyzed workload,
+    /// after subtracting maintenance overhead.
+    pub saving: f64,
+}
+
+/// Indexable-column occurrences per table found in a workload.
+#[derive(Debug, Default)]
+struct Indexables {
+    /// table → column → (eq_count, range_count)
+    by_table: BTreeMap<String, BTreeMap<String, (u32, u32)>>,
+}
+
+impl Indexables {
+    fn add(&mut self, table: &str, column: &str, eq: bool) {
+        let entry = self
+            .by_table
+            .entry(table.to_string())
+            .or_default()
+            .entry(column.to_string())
+            .or_insert((0, 0));
+        if eq {
+            entry.0 += 1;
+        } else {
+            entry.1 += 1;
+        }
+    }
+}
+
+/// Does `name` (possibly qualified) belong to `table` with the given alias
+/// map? Returns the bare column name when it does.
+fn column_of<'a>(
+    name: &'a str,
+    tables: &BTreeMap<String, String>, // alias → table
+) -> Option<(String, String)> {
+    match name.split_once('.') {
+        Some((qual, col)) => {
+            tables.get(qual).map(|t| (t.clone(), col.to_string()))
+        }
+        None => {
+            // Unqualified: attribute to the single table if unambiguous.
+            if tables.len() == 1 {
+                let t = tables.values().next().unwrap().clone();
+                Some((t, name.to_string()))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+fn analyze_predicate(e: &Expr, tables: &BTreeMap<String, String>, out: &mut Indexables) {
+    e.visit(&mut |x| match x {
+        Expr::Binary { op, left, right } => {
+            let eq = matches!(op, BinOp::Eq);
+            let rangey = matches!(op, BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge);
+            if eq || rangey {
+                for (a, b) in [(left, right), (right, left)] {
+                    if let (Expr::Column(name), Expr::Literal(_)) = (a.as_ref(), b.as_ref()) {
+                        if let Some((t, c)) = column_of(name, tables) {
+                            out.add(&t, &c, eq);
+                        }
+                    }
+                }
+                // Join keys are indexable on both sides.
+                if eq {
+                    if let (Expr::Column(l), Expr::Column(r)) = (left.as_ref(), right.as_ref())
+                    {
+                        if let Some((t, c)) = column_of(l, tables) {
+                            out.add(&t, &c, true);
+                        }
+                        if let Some((t, c)) = column_of(r, tables) {
+                            out.add(&t, &c, true);
+                        }
+                    }
+                }
+            }
+        }
+        Expr::Between { expr, .. } => {
+            if let Expr::Column(name) = expr.as_ref() {
+                if let Some((t, c)) = column_of(name, tables) {
+                    out.add(&t, &c, false);
+                }
+            }
+        }
+        Expr::InList { expr, .. } => {
+            if let Expr::Column(name) = expr.as_ref() {
+                if let Some((t, c)) = column_of(name, tables) {
+                    out.add(&t, &c, true);
+                }
+            }
+        }
+        _ => {}
+    });
+}
+
+fn analyze_select(sel: &Select, out: &mut Indexables) {
+    let mut tables = BTreeMap::new();
+    for t in &sel.from {
+        tables.insert(t.effective_name().to_string(), t.name.clone());
+    }
+    for j in &sel.joins {
+        tables.insert(j.table.effective_name().to_string(), j.table.name.clone());
+    }
+    if let Some(p) = &sel.predicate {
+        analyze_predicate(p, &tables, out);
+    }
+    for j in &sel.joins {
+        analyze_predicate(&j.on, &tables, out);
+    }
+    // GROUP BY columns benefit from indexes too (ordered scans).
+    for g in &sel.group_by {
+        if let Expr::Column(name) = g {
+            if let Some((t, c)) = column_of(name, &tables) {
+                out.add(&t, &c, false);
+            }
+        }
+    }
+    let _ = &sel.items; // select list alone does not make a column indexable
+}
+
+/// Analyze a workload of SQL statements and recommend up to `k` indexes.
+///
+/// What-if model: an equality predicate on an indexed column turns a full
+/// scan (`rows` cost units) into a lookup (`rows × 0.05`); a range
+/// predicate into `rows × 0.3`. Each index charges a maintenance cost of
+/// `rows × 0.1` (the §VIII caveat: indexes "increase the number of
+/// participants in two-phase commit").
+pub fn recommend_indexes(
+    workload: &[Statement],
+    stats: &Statistics,
+    k: usize,
+) -> Vec<IndexRecommendation> {
+    let mut indexables = Indexables::default();
+    for stmt in workload {
+        match stmt {
+            Statement::Select(sel) => analyze_select(sel, &mut indexables),
+            Statement::Update(u) => {
+                let mut tables = BTreeMap::new();
+                tables.insert(u.table.clone(), u.table.clone());
+                if let Some(p) = &u.predicate {
+                    analyze_predicate(p, &tables, &mut indexables);
+                }
+            }
+            Statement::Delete(d) => {
+                let mut tables = BTreeMap::new();
+                tables.insert(d.table.clone(), d.table.clone());
+                if let Some(p) = &d.predicate {
+                    analyze_predicate(p, &tables, &mut indexables);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let mut recs: Vec<IndexRecommendation> = Vec::new();
+    for (table, columns) in &indexables.by_table {
+        let ts = stats.get(table);
+        let rows = ts.rows as f64;
+        // Maintenance: ongoing update cost plus a fixed floor for the extra
+        // 2PC participants and DDL overhead (§VIII's caveat).
+        let maintenance = rows * 0.1 + 1000.0;
+        // Single-column candidates.
+        let mut seen_pairs: BTreeSet<Vec<String>> = BTreeSet::new();
+        for (col, (eq, range)) in columns {
+            if ts.indexed_columns.contains(col) {
+                continue; // already indexed
+            }
+            let saving =
+                (*eq as f64) * rows * (1.0 - 0.05) + (*range as f64) * rows * (1.0 - 0.3);
+            let net = saving - maintenance;
+            // Heuristic pruning: drop low-selectivity candidates.
+            if net > 0.0 {
+                recs.push(IndexRecommendation {
+                    table: table.clone(),
+                    columns: vec![col.clone()],
+                    saving: net,
+                });
+            }
+        }
+        // Two-column composite candidates from the top equality columns.
+        let mut eq_cols: Vec<(&String, u32)> =
+            columns.iter().map(|(c, (eq, _))| (c, *eq)).filter(|(_, e)| *e > 0).collect();
+        eq_cols.sort_by(|a, b| b.1.cmp(&a.1));
+        for pair in eq_cols.windows(2) {
+            let cols = vec![pair[0].0.clone(), pair[1].0.clone()];
+            if seen_pairs.insert(cols.clone()) {
+                let hits = (pair[0].1 + pair[1].1) as f64;
+                let net = hits * rows * (1.0 - 0.02) - maintenance * 1.5 - 1000.0;
+                if net > 0.0 {
+                    recs.push(IndexRecommendation { table: table.clone(), columns: cols, saving: net });
+                }
+            }
+        }
+    }
+    recs.sort_by(|a, b| b.saving.partial_cmp(&a.saving).unwrap_or(std::cmp::Ordering::Equal));
+    recs.truncate(k);
+    recs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::TableStats;
+    use polardbx_sql::parse;
+
+    fn stats() -> Statistics {
+        let mut s = Statistics::new();
+        s.set(
+            "orders",
+            TableStats { rows: 1_000_000, avg_row_bytes: 100, ..Default::default() },
+        );
+        s.set("tiny", TableStats { rows: 5, avg_row_bytes: 50, ..Default::default() });
+        s
+    }
+
+    #[test]
+    fn frequent_equality_column_recommended() {
+        let workload: Vec<_> = (0..5)
+            .map(|_| parse("SELECT * FROM orders WHERE o_cust = 7").unwrap())
+            .collect();
+        let recs = recommend_indexes(&workload, &stats(), 3);
+        assert!(!recs.is_empty());
+        assert_eq!(recs[0].table, "orders");
+        assert_eq!(recs[0].columns, vec!["o_cust"]);
+        assert!(recs[0].saving > 0.0);
+    }
+
+    #[test]
+    fn already_indexed_column_skipped() {
+        let mut s = stats();
+        let mut ts = s.get("orders");
+        ts.indexed_columns.insert("o_cust".into());
+        s.set("orders", ts);
+        let workload = vec![parse("SELECT * FROM orders WHERE o_cust = 7").unwrap()];
+        let recs = recommend_indexes(&workload, &s, 3);
+        assert!(recs.iter().all(|r| r.columns != vec!["o_cust".to_string()]));
+    }
+
+    #[test]
+    fn tiny_table_not_worth_indexing() {
+        // Savings on 5 rows never beat maintenance — pruned.
+        let workload = vec![parse("SELECT * FROM tiny WHERE a = 1").unwrap()];
+        let recs = recommend_indexes(&workload, &stats(), 3);
+        assert!(recs.is_empty());
+    }
+
+    #[test]
+    fn join_keys_indexable_on_both_sides() {
+        let workload = vec![parse(
+            "SELECT o.o_id FROM orders o JOIN orders2 x ON o.o_cust = x.x_cust",
+        )
+        .unwrap()];
+        let mut s = stats();
+        s.set(
+            "orders2",
+            TableStats { rows: 500_000, avg_row_bytes: 80, ..Default::default() },
+        );
+        let recs = recommend_indexes(&workload, &s, 5);
+        let tables: BTreeSet<_> = recs.iter().map(|r| r.table.clone()).collect();
+        assert!(tables.contains("orders"));
+        assert!(tables.contains("orders2"));
+    }
+
+    #[test]
+    fn update_delete_predicates_analyzed() {
+        let workload = vec![
+            parse("UPDATE orders SET o_total = 0 WHERE o_cust = 3").unwrap(),
+            parse("DELETE FROM orders WHERE o_cust = 4").unwrap(),
+        ];
+        let recs = recommend_indexes(&workload, &stats(), 3);
+        assert!(recs.iter().any(|r| r.columns == vec!["o_cust".to_string()]));
+    }
+
+    #[test]
+    fn ranked_by_saving_and_truncated() {
+        let workload = vec![
+            parse("SELECT * FROM orders WHERE o_cust = 1").unwrap(),
+            parse("SELECT * FROM orders WHERE o_cust = 2").unwrap(),
+            parse("SELECT * FROM orders WHERE o_date > 100").unwrap(),
+        ];
+        let recs = recommend_indexes(&workload, &stats(), 1);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].columns, vec!["o_cust"], "2 eq hits beat 1 range hit");
+    }
+}

@@ -1,0 +1,244 @@
+//! Chunk servers: the storage nodes (SN) hosting chunk replicas.
+
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use polardbx_common::{DcId, Error, NodeId, Result};
+
+/// Identifies a chunk replica: (volume, chunk index within volume).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ChunkId {
+    /// Owning volume.
+    pub volume: u64,
+    /// Index of the chunk within the volume's address space.
+    pub index: u64,
+}
+
+impl fmt::Display for ChunkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "chunk{}/{}", self.volume, self.index)
+    }
+}
+
+/// Sparse replica content: extent-start offset (within chunk) → bytes.
+/// Overlapping writes split/replace existing extents.
+#[derive(Debug, Default)]
+struct ReplicaData {
+    extents: BTreeMap<u64, Bytes>,
+}
+
+impl ReplicaData {
+    fn write(&mut self, offset: u64, bytes: Bytes) {
+        let end = offset + bytes.len() as u64;
+        // Collect overlapping extents.
+        let overlapping: Vec<u64> = self
+            .extents
+            .range(..end)
+            .rev()
+            .take_while(|(start, data)| **start + data.len() as u64 > offset)
+            .map(|(s, _)| *s)
+            .collect();
+        for s in overlapping {
+            let data = self.extents.remove(&s).expect("extent exists");
+            let e = s + data.len() as u64;
+            // Keep the non-overlapped prefix.
+            if s < offset {
+                self.extents.insert(s, data.slice(0..(offset - s) as usize));
+            }
+            // Keep the non-overlapped suffix.
+            if e > end {
+                self.extents.insert(end, data.slice((end - s) as usize..));
+            }
+        }
+        self.extents.insert(offset, bytes);
+    }
+
+    fn read(&self, offset: u64, len: usize) -> Vec<u8> {
+        let mut out = vec![0u8; len];
+        let end = offset + len as u64;
+        for (s, data) in self.extents.range(..end) {
+            let e = s + data.len() as u64;
+            if e <= offset {
+                continue;
+            }
+            let copy_start = offset.max(*s);
+            let copy_end = end.min(e);
+            let src = &data[(copy_start - s) as usize..(copy_end - s) as usize];
+            out[(copy_start - offset) as usize..(copy_end - offset) as usize]
+                .copy_from_slice(src);
+        }
+        out
+    }
+
+    fn bytes_stored(&self) -> u64 {
+        self.extents.values().map(|b| b.len() as u64).sum()
+    }
+}
+
+/// A storage node hosting chunk replicas. Can be marked down for failure
+/// injection; writes and reads then fail until it recovers.
+pub struct ChunkServer {
+    /// Node id in the cluster.
+    pub id: NodeId,
+    /// Datacenter this SN lives in (chunk replicas never cross DCs; cross-DC
+    /// durability is the DN layer's job via Paxos, §III).
+    pub dc: DcId,
+    replicas: RwLock<BTreeMap<ChunkId, ReplicaData>>,
+    down: AtomicBool,
+    writes: AtomicU64,
+}
+
+impl ChunkServer {
+    /// A fresh, empty chunk server.
+    pub fn new(id: NodeId, dc: DcId) -> Arc<ChunkServer> {
+        Arc::new(ChunkServer {
+            id,
+            dc,
+            replicas: RwLock::new(BTreeMap::new()),
+            down: AtomicBool::new(false),
+            writes: AtomicU64::new(0),
+        })
+    }
+
+    /// Provision an (empty) replica of `chunk` here.
+    pub fn host(&self, chunk: ChunkId) {
+        self.replicas.write().entry(chunk).or_default();
+    }
+
+    /// Write into a hosted replica.
+    pub fn write(&self, chunk: ChunkId, offset: u64, bytes: Bytes) -> Result<()> {
+        if self.down.load(Ordering::Relaxed) {
+            return Err(Error::storage(format!("SN {} is down", self.id)));
+        }
+        let mut replicas = self.replicas.write();
+        let data = replicas
+            .get_mut(&chunk)
+            .ok_or_else(|| Error::storage(format!("SN {} does not host {chunk}", self.id)))?;
+        data.write(offset, bytes);
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Read from a hosted replica. Unwritten ranges read as zeros (thin
+    /// provisioning).
+    pub fn read(&self, chunk: ChunkId, offset: u64, len: usize) -> Result<Vec<u8>> {
+        if self.down.load(Ordering::Relaxed) {
+            return Err(Error::storage(format!("SN {} is down", self.id)));
+        }
+        let replicas = self.replicas.read();
+        let data = replicas
+            .get(&chunk)
+            .ok_or_else(|| Error::storage(format!("SN {} does not host {chunk}", self.id)))?;
+        Ok(data.read(offset, len))
+    }
+
+    /// Failure injection: take the server down / bring it back.
+    pub fn set_down(&self, down: bool) {
+        self.down.store(down, Ordering::Relaxed);
+    }
+
+    /// Is the server down?
+    pub fn is_down(&self) -> bool {
+        self.down.load(Ordering::Relaxed)
+    }
+
+    /// Number of chunk replicas hosted.
+    pub fn replica_count(&self) -> usize {
+        self.replicas.read().len()
+    }
+
+    /// Total bytes stored across replicas (sparse accounting).
+    pub fn bytes_stored(&self) -> u64 {
+        self.replicas.read().values().map(ReplicaData::bytes_stored).sum()
+    }
+
+    /// Total write operations served.
+    pub fn write_ops(&self) -> u64 {
+        self.writes.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cid() -> ChunkId {
+        ChunkId { volume: 1, index: 0 }
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let sn = ChunkServer::new(NodeId(1), DcId(1));
+        sn.host(cid());
+        sn.write(cid(), 100, Bytes::from_static(b"hello")).unwrap();
+        assert_eq!(sn.read(cid(), 100, 5).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn unwritten_reads_zero() {
+        let sn = ChunkServer::new(NodeId(1), DcId(1));
+        sn.host(cid());
+        assert_eq!(sn.read(cid(), 0, 4).unwrap(), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn overlapping_write_replaces_middle() {
+        let sn = ChunkServer::new(NodeId(1), DcId(1));
+        sn.host(cid());
+        sn.write(cid(), 0, Bytes::from_static(b"aaaaaaaaaa")).unwrap();
+        sn.write(cid(), 3, Bytes::from_static(b"BBB")).unwrap();
+        assert_eq!(sn.read(cid(), 0, 10).unwrap(), b"aaaBBBaaaa");
+    }
+
+    #[test]
+    fn overlapping_write_spans_extents() {
+        let sn = ChunkServer::new(NodeId(1), DcId(1));
+        sn.host(cid());
+        sn.write(cid(), 0, Bytes::from_static(b"11111")).unwrap();
+        sn.write(cid(), 5, Bytes::from_static(b"22222")).unwrap();
+        sn.write(cid(), 3, Bytes::from_static(b"XXXX")).unwrap();
+        assert_eq!(sn.read(cid(), 0, 10).unwrap(), b"111XXXX222");
+    }
+
+    #[test]
+    fn partial_overlap_reads() {
+        let sn = ChunkServer::new(NodeId(1), DcId(1));
+        sn.host(cid());
+        sn.write(cid(), 10, Bytes::from_static(b"abcdef")).unwrap();
+        // Read straddling written and unwritten space.
+        let r = sn.read(cid(), 8, 10).unwrap();
+        assert_eq!(r, b"\0\0abcdef\0\0");
+    }
+
+    #[test]
+    fn down_server_rejects() {
+        let sn = ChunkServer::new(NodeId(1), DcId(1));
+        sn.host(cid());
+        sn.set_down(true);
+        assert!(sn.write(cid(), 0, Bytes::from_static(b"x")).is_err());
+        assert!(sn.read(cid(), 0, 1).is_err());
+        sn.set_down(false);
+        assert!(sn.write(cid(), 0, Bytes::from_static(b"x")).is_ok());
+    }
+
+    #[test]
+    fn unhosted_chunk_rejected() {
+        let sn = ChunkServer::new(NodeId(1), DcId(1));
+        assert!(sn.write(cid(), 0, Bytes::from_static(b"x")).is_err());
+        assert!(sn.read(cid(), 0, 1).is_err());
+    }
+
+    #[test]
+    fn accounting() {
+        let sn = ChunkServer::new(NodeId(1), DcId(1));
+        sn.host(cid());
+        sn.write(cid(), 0, Bytes::from_static(b"12345678")).unwrap();
+        assert_eq!(sn.replica_count(), 1);
+        assert_eq!(sn.bytes_stored(), 8);
+        assert_eq!(sn.write_ops(), 1);
+    }
+}

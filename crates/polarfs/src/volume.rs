@@ -1,0 +1,219 @@
+//! Volumes: byte-addressable virtual disks built from replicated chunks.
+//!
+//! "Each DN has one volume … Each volume contains up to 10K chunks and can
+//! provide a maximum capacity of 100 TB. Chunks are provisioned on demand so
+//! that volume space grows dynamically." (§II-A)
+
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use polardbx_common::{Error, Result};
+
+use crate::chunk::{ChunkId, ChunkServer};
+use crate::raft::ParallelRaftGroup;
+
+/// Volume identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VolumeId(pub u64);
+
+impl std::fmt::Display for VolumeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "vol{}", self.0)
+    }
+}
+
+/// Maximum chunks per volume (paper: 10K chunks × 10 GB = 100 TB).
+pub const MAX_CHUNKS: u64 = 10_000;
+
+/// A byte-addressable volume. Writes that span chunk boundaries are split;
+/// chunks are provisioned lazily, with replicas placed on the three
+/// least-loaded chunk servers.
+pub struct Volume {
+    id: VolumeId,
+    chunk_size: u64,
+    io_latency: Duration,
+    servers: Vec<Arc<ChunkServer>>,
+    groups: RwLock<BTreeMap<u64, Arc<ParallelRaftGroup>>>,
+}
+
+impl Volume {
+    /// A volume over `servers` (all in one DC) with the given chunk size.
+    pub fn new(
+        id: VolumeId,
+        chunk_size: u64,
+        io_latency: Duration,
+        servers: Vec<Arc<ChunkServer>>,
+    ) -> Result<Arc<Volume>> {
+        if servers.len() < 3 {
+            return Err(Error::storage("a volume needs at least 3 chunk servers"));
+        }
+        if chunk_size == 0 {
+            return Err(Error::invalid("chunk size must be positive"));
+        }
+        Ok(Arc::new(Volume {
+            id,
+            chunk_size,
+            io_latency,
+            servers,
+            groups: RwLock::new(BTreeMap::new()),
+        }))
+    }
+
+    /// The volume id.
+    pub fn id(&self) -> VolumeId {
+        self.id
+    }
+
+    fn group_for(&self, chunk_index: u64) -> Result<Arc<ParallelRaftGroup>> {
+        if chunk_index >= MAX_CHUNKS {
+            return Err(Error::storage(format!(
+                "volume {} exceeded max capacity ({MAX_CHUNKS} chunks)",
+                self.id
+            )));
+        }
+        if let Some(g) = self.groups.read().get(&chunk_index) {
+            return Ok(Arc::clone(g));
+        }
+        let mut groups = self.groups.write();
+        if let Some(g) = groups.get(&chunk_index) {
+            return Ok(Arc::clone(g));
+        }
+        // Provision on demand: pick the three least-loaded SNs.
+        let mut hosts: Vec<Arc<ChunkServer>> = self.servers.clone();
+        hosts.sort_by_key(|s| s.replica_count());
+        let replicas = hosts.into_iter().take(3).collect();
+        let group = Arc::new(ParallelRaftGroup::new(
+            ChunkId { volume: self.id.0, index: chunk_index },
+            replicas,
+            self.io_latency,
+        ));
+        groups.insert(chunk_index, Arc::clone(&group));
+        Ok(group)
+    }
+
+    /// Write `bytes` at `offset`, splitting across chunk boundaries.
+    pub fn write(&self, offset: u64, bytes: Bytes) -> Result<()> {
+        let mut pos = 0usize;
+        while pos < bytes.len() {
+            let abs = offset + pos as u64;
+            let chunk_index = abs / self.chunk_size;
+            let within = abs % self.chunk_size;
+            let room = (self.chunk_size - within) as usize;
+            let take = room.min(bytes.len() - pos);
+            let group = self.group_for(chunk_index)?;
+            group.write(within, bytes.slice(pos..pos + take))?;
+            pos += take;
+        }
+        Ok(())
+    }
+
+    /// Read `len` bytes at `offset`. Unprovisioned space reads as zeros.
+    pub fn read(&self, offset: u64, len: usize) -> Result<Vec<u8>> {
+        let mut out = Vec::with_capacity(len);
+        let mut pos = 0usize;
+        while pos < len {
+            let abs = offset + pos as u64;
+            let chunk_index = abs / self.chunk_size;
+            let within = abs % self.chunk_size;
+            let room = (self.chunk_size - within) as usize;
+            let take = room.min(len - pos);
+            let provisioned = self.groups.read().contains_key(&chunk_index);
+            if provisioned {
+                let group = self.group_for(chunk_index)?;
+                out.extend_from_slice(&group.read(within, take)?);
+            } else {
+                out.resize(out.len() + take, 0);
+            }
+            pos += take;
+        }
+        Ok(out)
+    }
+
+    /// Number of provisioned chunks.
+    pub fn provisioned_chunks(&self) -> usize {
+        self.groups.read().len()
+    }
+
+    /// Provisioned capacity in bytes.
+    pub fn provisioned_bytes(&self) -> u64 {
+        self.provisioned_chunks() as u64 * self.chunk_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polardbx_common::{DcId, NodeId};
+
+    fn servers(n: u64) -> Vec<Arc<ChunkServer>> {
+        (0..n).map(|i| ChunkServer::new(NodeId(i), DcId(1))).collect()
+    }
+
+    fn vol(chunk_size: u64) -> Arc<Volume> {
+        Volume::new(VolumeId(1), chunk_size, Duration::ZERO, servers(5)).unwrap()
+    }
+
+    #[test]
+    fn write_read_within_chunk() {
+        let v = vol(1024);
+        v.write(10, Bytes::from_static(b"hello")).unwrap();
+        assert_eq!(v.read(10, 5).unwrap(), b"hello");
+        assert_eq!(v.provisioned_chunks(), 1);
+    }
+
+    #[test]
+    fn write_spanning_chunks_splits() {
+        let v = vol(16);
+        let data = Bytes::from((0..64u8).collect::<Vec<_>>());
+        v.write(8, data.clone()).unwrap();
+        assert_eq!(v.read(8, 64).unwrap(), &data[..]);
+        // 8..72 touches chunks 0..=4.
+        assert_eq!(v.provisioned_chunks(), 5);
+    }
+
+    #[test]
+    fn unprovisioned_reads_zero() {
+        let v = vol(64);
+        assert_eq!(v.read(1000, 8).unwrap(), vec![0u8; 8]);
+        assert_eq!(v.provisioned_chunks(), 0, "reads must not provision");
+    }
+
+    #[test]
+    fn on_demand_growth() {
+        let v = vol(128);
+        assert_eq!(v.provisioned_bytes(), 0);
+        v.write(0, Bytes::from_static(b"x")).unwrap();
+        assert_eq!(v.provisioned_bytes(), 128);
+        v.write(4 * 128, Bytes::from_static(b"y")).unwrap();
+        assert_eq!(v.provisioned_chunks(), 2, "sparse: only touched chunks provision");
+    }
+
+    #[test]
+    fn capacity_limit_enforced() {
+        let v = vol(4);
+        let too_far = MAX_CHUNKS * 4 + 1;
+        assert!(v.write(too_far, Bytes::from_static(b"x")).is_err());
+    }
+
+    #[test]
+    fn needs_three_servers() {
+        assert!(Volume::new(VolumeId(1), 64, Duration::ZERO, servers(2)).is_err());
+    }
+
+    #[test]
+    fn placement_balances_replicas() {
+        let sns = servers(6);
+        let v = Volume::new(VolumeId(1), 8, Duration::ZERO, sns.clone()).unwrap();
+        // Provision 8 chunks => 24 replicas over 6 SNs => 4 each if balanced.
+        for i in 0..8u64 {
+            v.write(i * 8, Bytes::from_static(b"12345678")).unwrap();
+        }
+        let counts: Vec<usize> = sns.iter().map(|s| s.replica_count()).collect();
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        assert!(max - min <= 1, "unbalanced placement: {counts:?}");
+    }
+}

@@ -1,0 +1,341 @@
+//! The network fabric: node registry, RPC, one-way posts, partitions.
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::RwLock;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use polardbx_common::{DcId, Error, NodeId, Result};
+
+use crate::latency::LatencyMatrix;
+
+/// A service that can be attached to the network under a [`NodeId`].
+///
+/// `handle` services synchronous RPCs; `handle_oneway` services posted
+/// messages (fire-and-forget, delivered in order by a per-node thread).
+pub trait Handler<M: Send + 'static>: Send + Sync {
+    /// Handle a synchronous request, producing a reply.
+    fn handle(&self, from: NodeId, msg: M) -> M;
+
+    /// Handle a one-way message. Default: ignore.
+    fn handle_oneway(&self, from: NodeId, msg: M) {
+        let _ = (from, msg);
+    }
+}
+
+/// Per-link traffic counters.
+#[derive(Debug, Default)]
+pub struct NetStats {
+    /// Total synchronous calls made.
+    pub calls: AtomicU64,
+    /// Total one-way messages posted.
+    pub posts: AtomicU64,
+    /// Calls that crossed a datacenter boundary.
+    pub cross_dc_calls: AtomicU64,
+    /// Posts that crossed a datacenter boundary.
+    pub cross_dc_posts: AtomicU64,
+}
+
+impl NetStats {
+    /// Snapshot (calls, posts, cross_dc_calls, cross_dc_posts).
+    pub fn snapshot(&self) -> (u64, u64, u64, u64) {
+        (
+            self.calls.load(Ordering::Relaxed),
+            self.posts.load(Ordering::Relaxed),
+            self.cross_dc_calls.load(Ordering::Relaxed),
+            self.cross_dc_posts.load(Ordering::Relaxed),
+        )
+    }
+}
+
+struct Registration<M: Send + 'static> {
+    dc: DcId,
+    service: Arc<dyn Handler<M>>,
+    oneway_tx: Sender<(NodeId, M, Instant)>,
+    delivery: Option<JoinHandle<()>>,
+}
+
+/// The in-process network. Generic over the message type `M`; protocol
+/// crates instantiate it with their own enum of RPCs.
+pub struct SimNet<M: Send + 'static> {
+    latency: LatencyMatrix,
+    nodes: RwLock<HashMap<NodeId, Registration<M>>>,
+    partitions: RwLock<HashSet<(DcId, DcId)>>,
+    shutdown: Arc<AtomicBool>,
+    /// Traffic counters (public so harnesses can report them).
+    pub stats: NetStats,
+}
+
+impl<M: Send + 'static> SimNet<M> {
+    /// Create a fabric with the given latency model.
+    pub fn new(latency: LatencyMatrix) -> Arc<SimNet<M>> {
+        Arc::new(SimNet {
+            latency,
+            nodes: RwLock::new(HashMap::new()),
+            partitions: RwLock::new(HashSet::new()),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            stats: NetStats::default(),
+        })
+    }
+
+    /// Register `service` as `node` living in `dc`. Spawns the node's
+    /// one-way delivery thread.
+    pub fn register(&self, node: NodeId, dc: DcId, service: Arc<dyn Handler<M>>) {
+        let (tx, rx) = unbounded::<(NodeId, M, Instant)>();
+        let svc = Arc::clone(&service);
+        let shutdown = Arc::clone(&self.shutdown);
+        let delivery = std::thread::Builder::new()
+            .name(format!("simnet-deliver-{node}"))
+            .spawn(move || {
+                while let Ok((from, msg, deliver_at)) = rx.recv() {
+                    if shutdown.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    // Propagation delay, not serialization delay: messages
+                    // posted close together arrive close together. Sleep
+                    // only the remaining time until this message's arrival.
+                    let now = Instant::now();
+                    if deliver_at > now {
+                        std::thread::sleep(deliver_at - now);
+                    }
+                    svc.handle_oneway(from, msg);
+                }
+            })
+            .expect("spawn delivery thread");
+        self.nodes
+            .write()
+            .insert(node, Registration { dc, service, oneway_tx: tx, delivery: Some(delivery) });
+    }
+
+    /// Remove a node from the fabric (its delivery thread drains and exits).
+    pub fn deregister(&self, node: NodeId) {
+        if let Some(mut reg) = self.nodes.write().remove(&node) {
+            drop(reg.oneway_tx.clone());
+            // Dropping the Registration drops the sender, closing the channel.
+            if let Some(h) = reg.delivery.take() {
+                drop(reg);
+                let _ = h.join();
+            }
+        }
+    }
+
+    /// Datacenter of a node, if registered.
+    pub fn dc_of(&self, node: NodeId) -> Option<DcId> {
+        self.nodes.read().get(&node).map(|r| r.dc)
+    }
+
+    /// Sever connectivity between two datacenters (both directions).
+    pub fn partition(&self, a: DcId, b: DcId) {
+        let mut p = self.partitions.write();
+        p.insert((a, b));
+        p.insert((b, a));
+    }
+
+    /// Restore connectivity between two datacenters.
+    pub fn heal(&self, a: DcId, b: DcId) {
+        let mut p = self.partitions.write();
+        p.remove(&(a, b));
+        p.remove(&(b, a));
+    }
+
+    fn check_link(&self, a: DcId, b: DcId) -> Result<()> {
+        if self.partitions.read().contains(&(a, b)) {
+            return Err(Error::Network { message: format!("partition between {a} and {b}") });
+        }
+        Ok(())
+    }
+
+    /// Synchronous RPC from `from` to `to`: sleeps the one-way delay, runs
+    /// the destination handler on the calling thread, sleeps the return
+    /// delay, and returns the reply. Concurrency comes from concurrent
+    /// callers, exactly like a thread-per-connection server.
+    pub fn call(&self, from: NodeId, to: NodeId, msg: M) -> Result<M> {
+        let (from_dc, to_dc, service) = {
+            let nodes = self.nodes.read();
+            let from_dc = nodes
+                .get(&from)
+                .map(|r| r.dc)
+                .ok_or_else(|| Error::Network { message: format!("unknown sender {from}") })?;
+            let reg = nodes
+                .get(&to)
+                .ok_or_else(|| Error::Network { message: format!("unknown node {to}") })?;
+            (from_dc, reg.dc, Arc::clone(&reg.service))
+        };
+        self.check_link(from_dc, to_dc)?;
+        self.stats.calls.fetch_add(1, Ordering::Relaxed);
+        if from_dc != to_dc {
+            self.stats.cross_dc_calls.fetch_add(1, Ordering::Relaxed);
+        }
+        let d1 = self.latency.one_way(from_dc, to_dc);
+        if !d1.is_zero() {
+            std::thread::sleep(d1);
+        }
+        let reply = service.handle(from, msg);
+        let d2 = self.latency.one_way(to_dc, from_dc);
+        if !d2.is_zero() {
+            std::thread::sleep(d2);
+        }
+        Ok(reply)
+    }
+
+    /// Fire-and-forget message: enqueued to the destination's delivery
+    /// thread, which applies the link delay then invokes `handle_oneway`.
+    /// Messages from all senders to one destination are delivered in the
+    /// order they were enqueued (FIFO per destination).
+    pub fn post(&self, from: NodeId, to: NodeId, msg: M) -> Result<()> {
+        let (from_dc, to_dc, tx) = {
+            let nodes = self.nodes.read();
+            let from_dc = nodes
+                .get(&from)
+                .map(|r| r.dc)
+                .ok_or_else(|| Error::Network { message: format!("unknown sender {from}") })?;
+            let reg = nodes
+                .get(&to)
+                .ok_or_else(|| Error::Network { message: format!("unknown node {to}") })?;
+            (from_dc, reg.dc, reg.oneway_tx.clone())
+        };
+        self.check_link(from_dc, to_dc)?;
+        self.stats.posts.fetch_add(1, Ordering::Relaxed);
+        if from_dc != to_dc {
+            self.stats.cross_dc_posts.fetch_add(1, Ordering::Relaxed);
+        }
+        let deliver_at = Instant::now() + self.latency.one_way(from_dc, to_dc);
+        tx.send((from, msg, deliver_at))
+            .map_err(|_| Error::Network { message: format!("node {to} shut down") })
+    }
+
+    /// The latency model in force.
+    pub fn latency(&self) -> &LatencyMatrix {
+        &self.latency
+    }
+
+    /// Registered node ids.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        self.nodes.read().keys().copied().collect()
+    }
+
+    /// Stop delivery threads. Called on teardown; nodes stay registered but
+    /// one-way delivery halts.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        let mut nodes = self.nodes.write();
+        for (_, reg) in nodes.iter_mut() {
+            // Closing the channel wakes the delivery thread.
+            let (tx, _rx) = unbounded();
+            reg.oneway_tx = tx;
+        }
+    }
+}
+
+impl<M: Send + 'static> Drop for SimNet<M> {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::time::{Duration, Instant};
+
+    struct Echo {
+        received: AtomicU64,
+    }
+
+    impl Handler<u64> for Echo {
+        fn handle(&self, _from: NodeId, msg: u64) -> u64 {
+            msg + 1
+        }
+        fn handle_oneway(&self, _from: NodeId, msg: u64) {
+            self.received.fetch_add(msg, Ordering::Relaxed);
+        }
+    }
+
+    fn setup(lat: LatencyMatrix) -> (Arc<SimNet<u64>>, Arc<Echo>) {
+        let net = SimNet::new(lat);
+        let echo = Arc::new(Echo { received: AtomicU64::new(0) });
+        net.register(NodeId(1), DcId(1), echo.clone());
+        net.register(NodeId(2), DcId(2), echo.clone());
+        (net, echo)
+    }
+
+    #[test]
+    fn rpc_roundtrip() {
+        let (net, _) = setup(LatencyMatrix::zero());
+        assert_eq!(net.call(NodeId(1), NodeId(2), 41).unwrap(), 42);
+        assert_eq!(net.stats.snapshot().0, 1);
+        assert_eq!(net.stats.snapshot().2, 1); // cross-DC
+    }
+
+    #[test]
+    fn rpc_latency_applied() {
+        let (net, _) = setup(LatencyMatrix::uniform(Duration::from_millis(2)));
+        let t0 = Instant::now();
+        net.call(NodeId(1), NodeId(2), 0).unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(4), "RTT not applied");
+    }
+
+    #[test]
+    fn oneway_delivery() {
+        let (net, echo) = setup(LatencyMatrix::zero());
+        for i in 1..=10 {
+            net.post(NodeId(1), NodeId(2), i).unwrap();
+        }
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while echo.received.load(Ordering::Relaxed) != 55 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(echo.received.load(Ordering::Relaxed), 55);
+    }
+
+    #[test]
+    fn partition_blocks_and_heal_restores() {
+        let (net, _) = setup(LatencyMatrix::zero());
+        net.partition(DcId(1), DcId(2));
+        assert!(matches!(
+            net.call(NodeId(1), NodeId(2), 0),
+            Err(Error::Network { .. })
+        ));
+        assert!(net.post(NodeId(1), NodeId(2), 0).is_err());
+        net.heal(DcId(1), DcId(2));
+        assert!(net.call(NodeId(1), NodeId(2), 0).is_ok());
+    }
+
+    #[test]
+    fn unknown_node_errors() {
+        let (net, _) = setup(LatencyMatrix::zero());
+        assert!(net.call(NodeId(1), NodeId(99), 0).is_err());
+        assert!(net.call(NodeId(99), NodeId(1), 0).is_err());
+    }
+
+    #[test]
+    fn deregister_removes_node() {
+        let (net, _) = setup(LatencyMatrix::zero());
+        net.deregister(NodeId(2));
+        assert!(net.call(NodeId(1), NodeId(2), 0).is_err());
+        assert!(net.dc_of(NodeId(2)).is_none());
+        assert_eq!(net.dc_of(NodeId(1)), Some(DcId(1)));
+    }
+
+    #[test]
+    fn concurrent_calls_overlap() {
+        // With a 5 ms one-way delay, 8 concurrent calls should take far less
+        // than 8 * 10 ms if they truly overlap.
+        let (net, _) = setup(LatencyMatrix::uniform(Duration::from_millis(5)));
+        let t0 = Instant::now();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let net = Arc::clone(&net);
+                std::thread::spawn(move || net.call(NodeId(1), NodeId(2), 1).unwrap())
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 2);
+        }
+        assert!(t0.elapsed() < Duration::from_millis(60));
+    }
+}

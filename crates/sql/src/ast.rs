@@ -1,0 +1,154 @@
+//! Abstract syntax tree for the supported SQL subset.
+
+use polardbx_common::DataType;
+
+use crate::expr::Expr;
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `CREATE TABLE … [PARTITION BY HASH(cols) PARTITIONS n] [TABLEGROUP g]`
+    CreateTable(CreateTable),
+    /// `CREATE [GLOBAL|LOCAL] [CLUSTERED] [UNIQUE] INDEX …`
+    CreateIndex(CreateIndex),
+    /// `INSERT INTO t [(cols)] VALUES (…), (…)`
+    Insert(Insert),
+    /// `SELECT …`
+    Select(Select),
+    /// `UPDATE t SET … [WHERE …]`
+    Update(Update),
+    /// `DELETE FROM t [WHERE …]`
+    Delete(Delete),
+}
+
+/// CREATE TABLE.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateTable {
+    /// Table name.
+    pub name: String,
+    /// Columns: (name, type, not_null).
+    pub columns: Vec<(String, DataType, bool)>,
+    /// PRIMARY KEY column names (empty = implicit PK, §II-B).
+    pub primary_key: Vec<String>,
+    /// `PARTITION BY HASH(cols) PARTITIONS n`.
+    pub partition: Option<(Vec<String>, u32)>,
+    /// `TABLEGROUP name` (§II-B table groups).
+    pub table_group: Option<String>,
+}
+
+/// Index placement, mirroring [`polardbx_common::IndexKind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexPlacement {
+    /// Local (partitioned like the base table).
+    Local,
+    /// Global, non-clustered.
+    Global,
+    /// Global clustered (covers all columns).
+    GlobalClustered,
+}
+
+/// CREATE INDEX.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateIndex {
+    /// Index name.
+    pub name: String,
+    /// Base table.
+    pub table: String,
+    /// Indexed columns.
+    pub columns: Vec<String>,
+    /// Placement.
+    pub placement: IndexPlacement,
+    /// UNIQUE flag.
+    pub unique: bool,
+}
+
+/// INSERT.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Insert {
+    /// Target table.
+    pub table: String,
+    /// Explicit column list (None = all columns in order).
+    pub columns: Option<Vec<String>>,
+    /// Rows of value expressions.
+    pub values: Vec<Vec<Expr>>,
+}
+
+/// A table reference with optional alias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    /// Table name.
+    pub name: String,
+    /// Alias (`FROM lineitem l`).
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// The name other clauses refer to this table by.
+    pub fn effective_name(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.name)
+    }
+}
+
+/// One item in the select list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Star,
+    /// An expression with optional alias (may contain aggregates).
+    Expr {
+        /// The expression.
+        expr: Expr,
+        /// `AS alias`.
+        alias: Option<String>,
+    },
+}
+
+/// An explicit `JOIN … ON …`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Join {
+    /// The joined table.
+    pub table: TableRef,
+    /// The ON condition.
+    pub on: Expr,
+}
+
+/// SELECT.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Select {
+    /// Select list.
+    pub items: Vec<SelectItem>,
+    /// First FROM table plus comma-joined tables.
+    pub from: Vec<TableRef>,
+    /// Explicit JOINs (applied after the comma list, left-deep).
+    pub joins: Vec<Join>,
+    /// WHERE predicate.
+    pub predicate: Option<Expr>,
+    /// GROUP BY expressions.
+    pub group_by: Vec<Expr>,
+    /// HAVING predicate.
+    pub having: Option<Expr>,
+    /// ORDER BY (expr, descending).
+    pub order_by: Vec<(Expr, bool)>,
+    /// LIMIT.
+    pub limit: Option<usize>,
+}
+
+/// UPDATE.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Update {
+    /// Target table.
+    pub table: String,
+    /// `SET col = expr` assignments.
+    pub assignments: Vec<(String, Expr)>,
+    /// WHERE predicate.
+    pub predicate: Option<Expr>,
+}
+
+/// DELETE.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delete {
+    /// Target table.
+    pub table: String,
+    /// WHERE predicate.
+    pub predicate: Option<Expr>,
+}

@@ -1,0 +1,290 @@
+//! SQL lexer.
+
+use polardbx_common::{Error, Result};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (uppercased check via `is_kw`).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal.
+    Str(String),
+    /// Punctuation / operators.
+    Symbol(Symbol),
+    /// End of input.
+    Eof,
+}
+
+/// Operator and punctuation tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Symbol {
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `=`
+    Eq,
+    /// `!=` or `<>`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl Token {
+    /// Does this token match keyword `kw` (case-insensitive)?
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenize `input` into a vector ending with `Token::Eof`. Byte positions
+/// accompany each token for error reporting.
+pub fn tokenize(input: &str) -> Result<Vec<(Token, usize)>> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => push(&mut out, Symbol::LParen, &mut i),
+            ')' => push(&mut out, Symbol::RParen, &mut i),
+            ',' => push(&mut out, Symbol::Comma, &mut i),
+            ';' => push(&mut out, Symbol::Semi, &mut i),
+            '.' => push(&mut out, Symbol::Dot, &mut i),
+            '*' => push(&mut out, Symbol::Star, &mut i),
+            '+' => push(&mut out, Symbol::Plus, &mut i),
+            '-' => {
+                // `--` line comment.
+                if bytes.get(i + 1) == Some(&b'-') {
+                    while i < bytes.len() && bytes[i] != b'\n' {
+                        i += 1;
+                    }
+                } else {
+                    push(&mut out, Symbol::Minus, &mut i)
+                }
+            }
+            '/' => push(&mut out, Symbol::Slash, &mut i),
+            '%' => push(&mut out, Symbol::Percent, &mut i),
+            '=' => push(&mut out, Symbol::Eq, &mut i),
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push((Token::Symbol(Symbol::Neq), i));
+                    i += 2;
+                } else {
+                    return Err(Error::Parse { message: "lone '!'".into(), position: i });
+                }
+            }
+            '<' => match bytes.get(i + 1) {
+                Some(&b'=') => {
+                    out.push((Token::Symbol(Symbol::Le), i));
+                    i += 2;
+                }
+                Some(&b'>') => {
+                    out.push((Token::Symbol(Symbol::Neq), i));
+                    i += 2;
+                }
+                _ => push(&mut out, Symbol::Lt, &mut i),
+            },
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push((Token::Symbol(Symbol::Ge), i));
+                    i += 2;
+                } else {
+                    push(&mut out, Symbol::Gt, &mut i)
+                }
+            }
+            '\'' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(Error::Parse {
+                                message: "unterminated string".into(),
+                                position: start,
+                            })
+                        }
+                        Some(&b'\'') => {
+                            // Doubled quote escapes a quote.
+                            if bytes.get(i + 1) == Some(&b'\'') {
+                                s.push('\'');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push((Token::Str(s), start));
+            }
+            '0'..='9' => {
+                let start = i;
+                let mut is_float = false;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit()
+                        || (bytes[i] == b'.' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)))
+                {
+                    if bytes[i] == b'.' {
+                        is_float = true;
+                    }
+                    i += 1;
+                }
+                let text = &input[start..i];
+                if is_float {
+                    let v = text.parse::<f64>().map_err(|_| Error::Parse {
+                        message: format!("bad float {text}"),
+                        position: start,
+                    })?;
+                    out.push((Token::Float(v), start));
+                } else {
+                    let v = text.parse::<i64>().map_err(|_| Error::Parse {
+                        message: format!("bad integer {text}"),
+                        position: start,
+                    })?;
+                    out.push((Token::Int(v), start));
+                }
+            }
+            'a'..='z' | 'A'..='Z' | '_' | '`' => {
+                let start = i;
+                let quoted = c == '`';
+                if quoted {
+                    i += 1;
+                }
+                let id_start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let id = input[id_start..i].to_string();
+                if quoted {
+                    if bytes.get(i) != Some(&b'`') {
+                        return Err(Error::Parse {
+                            message: "unterminated `identifier`".into(),
+                            position: start,
+                        });
+                    }
+                    i += 1;
+                }
+                out.push((Token::Ident(id), start));
+            }
+            other => {
+                return Err(Error::Parse {
+                    message: format!("unexpected character {other:?}"),
+                    position: i,
+                })
+            }
+        }
+    }
+    out.push((Token::Eof, input.len()));
+    Ok(out)
+}
+
+fn push(out: &mut Vec<(Token, usize)>, sym: Symbol, i: &mut usize) {
+    out.push((Token::Symbol(sym), *i));
+    *i += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<Token> {
+        tokenize(s).unwrap().into_iter().map(|(t, _)| t).collect()
+    }
+
+    #[test]
+    fn basic_select() {
+        let t = toks("SELECT a, b FROM t WHERE a >= 10;");
+        assert!(t[0].is_kw("select"));
+        assert_eq!(t[1], Token::Ident("a".into()));
+        assert!(t.contains(&Token::Symbol(Symbol::Ge)));
+        assert_eq!(t.last(), Some(&Token::Eof));
+    }
+
+    #[test]
+    fn numbers_and_strings() {
+        let t = toks("42 3.25 'it''s'");
+        assert_eq!(t[0], Token::Int(42));
+        assert_eq!(t[1], Token::Float(3.25));
+        assert_eq!(t[2], Token::Str("it's".into()));
+    }
+
+    #[test]
+    fn operators() {
+        let t = toks("a != b <> c <= d >= e < f > g = h");
+        let syms: Vec<_> = t
+            .iter()
+            .filter_map(|t| match t {
+                Token::Symbol(s) => Some(*s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            syms,
+            vec![
+                Symbol::Neq,
+                Symbol::Neq,
+                Symbol::Le,
+                Symbol::Ge,
+                Symbol::Lt,
+                Symbol::Gt,
+                Symbol::Eq
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let t = toks("SELECT -- comment here\n 1");
+        assert_eq!(t.len(), 3); // SELECT, 1, EOF
+    }
+
+    #[test]
+    fn backtick_identifiers() {
+        let t = toks("`order` . `key`");
+        assert_eq!(t[0], Token::Ident("order".into()));
+        assert_eq!(t[2], Token::Ident("key".into()));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("'unterminated").is_err());
+        assert!(tokenize("a ! b").is_err());
+        assert!(tokenize("`broken").is_err());
+        assert!(tokenize("99999999999999999999").is_err());
+    }
+}

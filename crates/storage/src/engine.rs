@@ -1,0 +1,587 @@
+//! The storage engine: transactions + redo + buffer pool over the MVCC
+//! store, with pluggable commit durability.
+//!
+//! The engine is the kernel of a DN node. Its durability path is abstracted
+//! by [`Durability`] so the same engine runs in three configurations:
+//!
+//! * standalone (tests, quickstart): a local log buffer,
+//! * PolarDB basic (§II-C): local log buffer on a PolarFS volume, RO nodes
+//!   tailing the stream,
+//! * PolarDB-X DN (§III): commit rides the Paxos group across datacenters.
+
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::ops::Bound;
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use polardbx_common::{Error, Key, Lsn, Result, Row, TableId, TenantId, TrxId};
+use polardbx_wal::{LogBuffer, LogSink, Mtr, RedoPayload, VecSink};
+
+use crate::bufferpool::BufferPool;
+use crate::mvcc::{VersionOp, VersionStore};
+use crate::rowcodec::{decode_row, encode_row};
+use crate::txn::TxnTable;
+
+/// How commit-time redo becomes durable.
+pub trait Durability: Send + Sync {
+    /// Make `mtrs` durable; blocks until safe, returns the end LSN.
+    fn make_durable(&self, mtrs: &[Mtr]) -> Result<Lsn>;
+}
+
+/// Local durability: append + flush to the node's log buffer.
+pub struct LocalDurability {
+    log: Arc<LogBuffer>,
+}
+
+impl LocalDurability {
+    /// Wrap a log buffer.
+    pub fn new(log: Arc<LogBuffer>) -> Arc<LocalDurability> {
+        Arc::new(LocalDurability { log })
+    }
+}
+
+impl Durability for LocalDurability {
+    fn make_durable(&self, mtrs: &[Mtr]) -> Result<Lsn> {
+        let mut end = self.log.flushed();
+        for m in mtrs {
+            let (_, e) = self.log.append(m);
+            end = e;
+        }
+        self.log.flush()?;
+        Ok(end)
+    }
+}
+
+/// A logical write operation on a row.
+#[derive(Debug, Clone)]
+pub enum WriteOp {
+    /// Insert a new row (duplicate key on existing visible row).
+    Insert(Row),
+    /// Overwrite the row (upsert semantics at the storage layer).
+    Update(Row),
+    /// Delete the row.
+    Delete,
+}
+
+struct TrxCtx {
+    snapshot_ts: u64,
+    /// (table, key) pairs written, for commit/abort stamping.
+    writes: Vec<(TableId, Key)>,
+    /// Redo accumulated, shipped at prepare/commit.
+    redo: Vec<Mtr>,
+}
+
+/// The DN storage engine.
+pub struct StorageEngine {
+    /// Transaction table shared with readers.
+    pub txns: Arc<TxnTable>,
+    /// Buffer pool (dirty-page and warmth modelling).
+    pub pool: BufferPool,
+    tables: RwLock<HashMap<TableId, Arc<VersionStore>>>,
+    tenants: RwLock<HashMap<TableId, TenantId>>,
+    active: Mutex<HashMap<TrxId, TrxCtx>>,
+    durability: Arc<dyn Durability>,
+    wait_timeout: Duration,
+}
+
+impl StorageEngine {
+    /// An engine with local durability over an in-memory sink (tests and
+    /// single-node uses).
+    pub fn in_memory() -> Arc<StorageEngine> {
+        let sink = VecSink::new();
+        Self::with_sink(sink as Arc<dyn LogSink>)
+    }
+
+    /// An engine logging locally to `sink`.
+    pub fn with_sink(sink: Arc<dyn LogSink>) -> Arc<StorageEngine> {
+        Self::with_durability(LocalDurability::new(LogBuffer::new(sink)))
+    }
+
+    /// An engine with an arbitrary durability provider (e.g. Paxos).
+    pub fn with_durability(durability: Arc<dyn Durability>) -> Arc<StorageEngine> {
+        Arc::new(StorageEngine {
+            txns: Arc::new(TxnTable::new()),
+            pool: BufferPool::new(4096, 256),
+            tables: RwLock::new(HashMap::new()),
+            tenants: RwLock::new(HashMap::new()),
+            active: Mutex::new(HashMap::new()),
+            durability,
+            wait_timeout: Duration::from_secs(5),
+        })
+    }
+
+    /// Create an empty table owned by `tenant`.
+    pub fn create_table(&self, table: TableId, tenant: TenantId) {
+        self.tables.write().entry(table).or_insert_with(|| Arc::new(VersionStore::new()));
+        self.tenants.write().insert(table, tenant);
+    }
+
+    /// Attach an existing store (tenant migration destination / RO share).
+    pub fn attach_table(&self, table: TableId, store: Arc<VersionStore>, tenant: TenantId) {
+        self.tables.write().insert(table, store);
+        self.tenants.write().insert(table, tenant);
+    }
+
+    /// Detach a table, returning its store (tenant migration source). The
+    /// data itself never moves — that is the shared-storage guarantee.
+    pub fn detach_table(&self, table: TableId) -> Option<Arc<VersionStore>> {
+        self.tenants.write().remove(&table);
+        self.tables.write().remove(&table)
+    }
+
+    /// Tables currently owned by `tenant`.
+    pub fn tenant_tables(&self, tenant: TenantId) -> Vec<TableId> {
+        self.tenants
+            .read()
+            .iter()
+            .filter(|(_, t)| **t == tenant)
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// The tenant owning `table`.
+    pub fn tenant_of(&self, table: TableId) -> Option<TenantId> {
+        self.tenants.read().get(&table).copied()
+    }
+
+    fn store(&self, table: TableId) -> Result<Arc<VersionStore>> {
+        self.tables
+            .read()
+            .get(&table)
+            .cloned()
+            .ok_or(Error::UnknownTable { name: format!("{table}") })
+    }
+
+    /// Begin a transaction with the given snapshot timestamp.
+    pub fn begin(&self, trx: TrxId, snapshot_ts: u64) {
+        self.txns.begin(trx);
+        self.active
+            .lock()
+            .insert(trx, TrxCtx { snapshot_ts, writes: Vec::new(), redo: Vec::new() });
+    }
+
+    /// Execute a write op inside `trx`. Validates conflicts, installs the
+    /// intent, accumulates redo, dirties the page.
+    pub fn write(&self, trx: TrxId, table: TableId, key: Key, op: WriteOp) -> Result<()> {
+        let store = self.store(table)?;
+        let tenant = self.tenant_of(table).unwrap_or_default();
+        let snapshot_ts = {
+            let active = self.active.lock();
+            active
+                .get(&trx)
+                .map(|c| c.snapshot_ts)
+                .ok_or(Error::TxnAborted { reason: format!("unknown trx {trx}") })?
+        };
+        let (version_op, redo) = match op {
+            WriteOp::Insert(row) => {
+                if store
+                    .read_waiting(&self.txns, &key, snapshot_ts, Some(trx), self.wait_timeout)?
+                    .is_some()
+                {
+                    return Err(Error::DuplicateKey { key: format!("{key}") });
+                }
+                let payload = RedoPayload::Insert {
+                    trx,
+                    table,
+                    key: key.clone(),
+                    row: encode_row(&row),
+                };
+                (VersionOp::Put(row), payload)
+            }
+            WriteOp::Update(row) => {
+                let payload = RedoPayload::Update {
+                    trx,
+                    table,
+                    key: key.clone(),
+                    row: encode_row(&row),
+                };
+                (VersionOp::Put(row), payload)
+            }
+            WriteOp::Delete => {
+                (VersionOp::Delete, RedoPayload::Delete { trx, table, key: key.clone() })
+            }
+        };
+        store.write(&self.txns, trx, snapshot_ts, key.clone(), version_op)?;
+        let page = self.pool.page_of(table, &key);
+        // The page is dirtied "at" the next LSN; exact value only matters
+        // relative to checkpoints, so the current snapshot is adequate.
+        self.pool.mark_dirty(page, tenant, Lsn(snapshot_ts));
+        let mut active = self.active.lock();
+        let ctx = active
+            .get_mut(&trx)
+            .ok_or(Error::TxnAborted { reason: format!("trx {trx} vanished") })?;
+        ctx.writes.push((table, key));
+        ctx.redo.push(Mtr::single(redo));
+        Ok(())
+    }
+
+    /// Snapshot point read (optionally inside a transaction).
+    pub fn read(
+        &self,
+        table: TableId,
+        key: &Key,
+        snapshot_ts: u64,
+        me: Option<TrxId>,
+    ) -> Result<Option<Row>> {
+        let store = self.store(table)?;
+        let tenant = self.tenant_of(table).unwrap_or_default();
+        self.pool.touch_read(self.pool.page_of(table, key), tenant);
+        store.read_waiting(&self.txns, key, snapshot_ts, me, self.wait_timeout)
+    }
+
+    /// Snapshot range scan.
+    pub fn scan(
+        &self,
+        table: TableId,
+        lower: Bound<&Key>,
+        upper: Bound<&Key>,
+        snapshot_ts: u64,
+        me: Option<TrxId>,
+    ) -> Result<Vec<(Key, Row)>> {
+        let store = self.store(table)?;
+        store.scan(&self.txns, lower, upper, snapshot_ts, me, self.wait_timeout)
+    }
+
+    /// Full-table snapshot scan.
+    pub fn scan_table(&self, table: TableId, snapshot_ts: u64) -> Result<Vec<(Key, Row)>> {
+        self.scan(table, Bound::Unbounded, Bound::Unbounded, snapshot_ts, None)
+    }
+
+    /// 2PC phase one: validate (already done at write time), mark PREPARED,
+    /// make the transaction's redo + prepare record durable.
+    pub fn prepare(&self, trx: TrxId, prepare_ts: u64) -> Result<Lsn> {
+        self.txns.prepare(trx, prepare_ts)?;
+        let mut mtrs = {
+            let mut active = self.active.lock();
+            let ctx = active
+                .get_mut(&trx)
+                .ok_or(Error::TxnAborted { reason: format!("unknown trx {trx}") })?;
+            std::mem::take(&mut ctx.redo)
+        };
+        mtrs.push(Mtr::single(RedoPayload::TxnPrepare { trx, prepare_ts }));
+        self.durability.make_durable(&mtrs)
+    }
+
+    /// Commit (one-phase from ACTIVE, or phase two from PREPARED). Stamps
+    /// versions, makes the commit record durable, releases the context.
+    pub fn commit(&self, trx: TrxId, commit_ts: u64) -> Result<Lsn> {
+        let ctx = {
+            let mut active = self.active.lock();
+            active
+                .remove(&trx)
+                .ok_or(Error::TxnAborted { reason: format!("unknown trx {trx}") })?
+        };
+        let mut mtrs = ctx.redo;
+        mtrs.push(Mtr::single(RedoPayload::TxnCommit { trx, commit_ts }));
+        // Durability first (redo-ahead), then visibility.
+        let lsn = match self.durability.make_durable(&mtrs) {
+            Ok(lsn) => lsn,
+            Err(e) => {
+                // Leadership lost mid-commit: roll the transaction back.
+                self.rollback_writes(trx, &ctx.writes);
+                self.txns.abort(trx);
+                return Err(e);
+            }
+        };
+        self.txns.commit(trx, commit_ts)?;
+        let mut by_table: HashMap<TableId, Vec<Key>> = HashMap::new();
+        for (t, k) in ctx.writes {
+            by_table.entry(t).or_default().push(k);
+        }
+        for (t, keys) in by_table {
+            if let Ok(store) = self.store(t) {
+                store.commit(trx, commit_ts, &keys);
+            }
+        }
+        Ok(lsn)
+    }
+
+    /// Abort and roll back.
+    pub fn abort(&self, trx: TrxId) {
+        let ctx = self.active.lock().remove(&trx);
+        if let Some(ctx) = ctx {
+            self.rollback_writes(trx, &ctx.writes);
+        }
+        self.txns.abort(trx);
+        let _ = self
+            .durability
+            .make_durable(&[Mtr::single(RedoPayload::TxnAbort { trx })]);
+    }
+
+    fn rollback_writes(&self, trx: TrxId, writes: &[(TableId, Key)]) {
+        let mut by_table: HashMap<TableId, Vec<Key>> = HashMap::new();
+        for (t, k) in writes {
+            by_table.entry(*t).or_default().push(k.clone());
+        }
+        for (t, keys) in by_table {
+            if let Ok(store) = self.store(t) {
+                store.abort(trx, &keys);
+            }
+        }
+    }
+
+    /// Append a standalone marker record through the engine's durability
+    /// path (e.g. PolarDB-MT's per-tenant log markers).
+    pub fn log_marker(&self, payload: RedoPayload) -> Result<Lsn> {
+        self.durability.make_durable(&[Mtr::single(payload)])
+    }
+
+    /// Any transactions still in flight? (Tenant migration waits for zero.)
+    pub fn has_active_txns(&self) -> bool {
+        !self.active.lock().is_empty()
+    }
+
+    /// Multi-version GC across all tables.
+    pub fn purge(&self, horizon: u64) {
+        for store in self.tables.read().values() {
+            store.purge(horizon);
+        }
+        self.txns.forget_aborted();
+    }
+
+    /// Total visible row count of a table at `snapshot_ts` (tests/metrics).
+    pub fn count_rows(&self, table: TableId, snapshot_ts: u64) -> Result<usize> {
+        Ok(self.scan_table(table, snapshot_ts)?.len())
+    }
+}
+
+/// Replays a redo stream onto an engine's stores: buffers row ops per
+/// transaction and applies them when the commit record arrives, with the
+/// commit timestamp. This is the apply loop of RO nodes (§II-C) and Paxos
+/// followers (§III); aborted transactions' ops are dropped.
+pub struct RedoApplier {
+    engine: Arc<StorageEngine>,
+    pending: Mutex<HashMap<TrxId, Vec<RedoPayload>>>,
+}
+
+impl RedoApplier {
+    /// An applier targeting `engine`.
+    pub fn new(engine: Arc<StorageEngine>) -> RedoApplier {
+        RedoApplier { engine, pending: Mutex::new(HashMap::new()) }
+    }
+
+    /// Feed one record.
+    pub fn apply(&self, record: &RedoPayload) {
+        match record {
+            RedoPayload::Insert { trx, .. }
+            | RedoPayload::Update { trx, .. }
+            | RedoPayload::Delete { trx, .. } => {
+                self.pending.lock().entry(*trx).or_default().push(record.clone());
+            }
+            RedoPayload::TxnCommit { trx, commit_ts } => {
+                let ops = self.pending.lock().remove(trx).unwrap_or_default();
+                for op in ops {
+                    match op {
+                        RedoPayload::Insert { table, key, row, .. }
+                        | RedoPayload::Update { table, key, row, .. } => {
+                            if let Ok(store) = self.engine.store(table) {
+                                store.apply_committed(
+                                    *trx,
+                                    *commit_ts,
+                                    key,
+                                    VersionOp::Put(decode_row(&row)),
+                                );
+                            }
+                        }
+                        RedoPayload::Delete { table, key, .. } => {
+                            if let Ok(store) = self.engine.store(table) {
+                                store.apply_committed(*trx, *commit_ts, key, VersionOp::Delete);
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            RedoPayload::TxnAbort { trx } => {
+                self.pending.lock().remove(trx);
+            }
+            // Prepare/checkpoint/tenant markers carry no row changes.
+            _ => {}
+        }
+    }
+
+    /// Feed a whole byte run of encoded records.
+    pub fn apply_bytes(&self, bytes: Bytes) -> Result<()> {
+        for rec in RedoPayload::decode_all(bytes)? {
+            self.apply(&rec);
+        }
+        Ok(())
+    }
+
+    /// Transactions whose commit record has not arrived yet.
+    pub fn in_flight(&self) -> usize {
+        self.pending.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polardbx_common::Value;
+
+    fn key(n: i64) -> Key {
+        Key::encode(&[Value::Int(n)])
+    }
+
+    fn row(n: i64, v: &str) -> Row {
+        Row::new(vec![Value::Int(n), Value::str(v)])
+    }
+
+    const T: TableId = TableId(1);
+    const TEN: TenantId = TenantId(1);
+
+    fn engine() -> Arc<StorageEngine> {
+        let e = StorageEngine::in_memory();
+        e.create_table(T, TEN);
+        e
+    }
+
+    #[test]
+    fn insert_commit_read() {
+        let e = engine();
+        e.begin(TrxId(1), 0);
+        e.write(TrxId(1), T, key(1), WriteOp::Insert(row(1, "a"))).unwrap();
+        e.commit(TrxId(1), 10).unwrap();
+        assert_eq!(e.read(T, &key(1), 10, None).unwrap(), Some(row(1, "a")));
+        assert_eq!(e.read(T, &key(1), 9, None).unwrap(), None);
+    }
+
+    #[test]
+    fn duplicate_insert_rejected() {
+        let e = engine();
+        e.begin(TrxId(1), 0);
+        e.write(TrxId(1), T, key(1), WriteOp::Insert(row(1, "a"))).unwrap();
+        e.commit(TrxId(1), 10).unwrap();
+        e.begin(TrxId(2), 10);
+        let err = e.write(TrxId(2), T, key(1), WriteOp::Insert(row(1, "b"))).unwrap_err();
+        assert!(matches!(err, Error::DuplicateKey { .. }));
+        // Same transaction inserting twice also fails.
+        e.begin(TrxId(3), 10);
+        e.write(TrxId(3), T, key(2), WriteOp::Insert(row(2, "x"))).unwrap();
+        assert!(e.write(TrxId(3), T, key(2), WriteOp::Insert(row(2, "y"))).is_err());
+    }
+
+    #[test]
+    fn update_delete_lifecycle() {
+        let e = engine();
+        e.begin(TrxId(1), 0);
+        e.write(TrxId(1), T, key(1), WriteOp::Insert(row(1, "a"))).unwrap();
+        e.commit(TrxId(1), 10).unwrap();
+        e.begin(TrxId(2), 10);
+        e.write(TrxId(2), T, key(1), WriteOp::Update(row(1, "b"))).unwrap();
+        e.commit(TrxId(2), 20).unwrap();
+        e.begin(TrxId(3), 20);
+        e.write(TrxId(3), T, key(1), WriteOp::Delete).unwrap();
+        e.commit(TrxId(3), 30).unwrap();
+        assert_eq!(e.read(T, &key(1), 15, None).unwrap(), Some(row(1, "a")));
+        assert_eq!(e.read(T, &key(1), 25, None).unwrap(), Some(row(1, "b")));
+        assert_eq!(e.read(T, &key(1), 35, None).unwrap(), None);
+    }
+
+    #[test]
+    fn abort_rolls_back() {
+        let e = engine();
+        e.begin(TrxId(1), 0);
+        e.write(TrxId(1), T, key(1), WriteOp::Insert(row(1, "a"))).unwrap();
+        e.abort(TrxId(1));
+        assert_eq!(e.read(T, &key(1), 100, None).unwrap(), None);
+        assert!(!e.has_active_txns());
+    }
+
+    #[test]
+    fn two_phase_commit_path() {
+        let e = engine();
+        e.begin(TrxId(1), 0);
+        e.write(TrxId(1), T, key(1), WriteOp::Insert(row(1, "2pc"))).unwrap();
+        let lsn1 = e.prepare(TrxId(1), 50).unwrap();
+        assert!(lsn1 > Lsn::ZERO, "prepare persists redo");
+        let lsn2 = e.commit(TrxId(1), 60).unwrap();
+        assert!(lsn2 > lsn1, "commit record follows");
+        assert_eq!(e.read(T, &key(1), 60, None).unwrap(), Some(row(1, "2pc")));
+    }
+
+    #[test]
+    fn write_conflict_between_engines_transactions() {
+        let e = engine();
+        e.begin(TrxId(1), 0);
+        e.begin(TrxId(2), 0);
+        e.write(TrxId(1), T, key(1), WriteOp::Update(row(1, "a"))).unwrap();
+        let err = e.write(TrxId(2), T, key(1), WriteOp::Update(row(1, "b"))).unwrap_err();
+        assert!(matches!(err, Error::WriteConflict { .. }));
+    }
+
+    #[test]
+    fn dirty_pages_tracked_per_tenant() {
+        let e = engine();
+        e.create_table(TableId(2), TenantId(2));
+        e.begin(TrxId(1), 0);
+        e.write(TrxId(1), T, key(1), WriteOp::Insert(row(1, "a"))).unwrap();
+        e.write(TrxId(1), TableId(2), key(1), WriteOp::Insert(row(1, "b"))).unwrap();
+        e.commit(TrxId(1), 10).unwrap();
+        assert!(e.pool.dirty_count(Some(TEN)) >= 1);
+        assert!(e.pool.dirty_count(Some(TenantId(2))) >= 1);
+    }
+
+    #[test]
+    fn unknown_table_rejected() {
+        let e = engine();
+        e.begin(TrxId(1), 0);
+        assert!(e.write(TrxId(1), TableId(99), key(1), WriteOp::Delete).is_err());
+        assert!(e.read(TableId(99), &key(1), 0, None).is_err());
+    }
+
+    #[test]
+    fn detach_attach_moves_data_without_copy() {
+        let e1 = engine();
+        e1.begin(TrxId(1), 0);
+        e1.write(TrxId(1), T, key(1), WriteOp::Insert(row(1, "moved"))).unwrap();
+        e1.commit(TrxId(1), 10).unwrap();
+        let store = e1.detach_table(T).unwrap();
+        assert!(e1.read(T, &key(1), 100, None).is_err(), "source lost ownership");
+
+        let e2 = StorageEngine::in_memory();
+        e2.attach_table(T, store, TEN);
+        assert_eq!(e2.read(T, &key(1), 100, None).unwrap(), Some(row(1, "moved")));
+    }
+
+    #[test]
+    fn redo_applier_replays_committed_only() {
+        let src = engine();
+        let sink = VecSink::new();
+        let src2 = StorageEngine::with_sink(sink.clone() as Arc<dyn LogSink>);
+        src2.create_table(T, TEN);
+        // Committed transaction.
+        src2.begin(TrxId(1), 0);
+        src2.write(TrxId(1), T, key(1), WriteOp::Insert(row(1, "yes"))).unwrap();
+        src2.commit(TrxId(1), 10).unwrap();
+        // Aborted transaction.
+        src2.begin(TrxId(2), 10);
+        src2.write(TrxId(2), T, key(2), WriteOp::Insert(row(2, "no"))).unwrap();
+        src2.abort(TrxId(2));
+
+        // Replay the log into a replica engine.
+        let replica = StorageEngine::in_memory();
+        replica.create_table(T, TEN);
+        let applier = RedoApplier::new(Arc::clone(&replica));
+        applier.apply_bytes(Bytes::from(sink.contiguous())).unwrap();
+        assert_eq!(replica.read(T, &key(1), 100, None).unwrap(), Some(row(1, "yes")));
+        assert_eq!(replica.read(T, &key(2), 100, None).unwrap(), None);
+        assert_eq!(applier.in_flight(), 0);
+        drop(src);
+    }
+
+    #[test]
+    fn scan_table_counts() {
+        let e = engine();
+        for i in 0..20i64 {
+            let trx = TrxId(100 + i as u64);
+            e.begin(trx, 0);
+            e.write(trx, T, key(i), WriteOp::Insert(row(i, "v"))).unwrap();
+            e.commit(trx, 10).unwrap();
+        }
+        assert_eq!(e.count_rows(T, 100).unwrap(), 20);
+        assert_eq!(e.count_rows(T, 5).unwrap(), 0);
+    }
+}

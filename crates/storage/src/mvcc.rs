@@ -1,0 +1,521 @@
+//! MVCC version store with snapshot-isolation visibility (§IV).
+//!
+//! Rows carry version chains. A snapshot read at `snapshot_ts` sees the
+//! newest version whose writer committed with `commit_ts <= snapshot_ts`.
+//! The three §IV cases are implemented literally:
+//!
+//! 1. writer COMMITTED → visibility decided by its `commit_ts`;
+//! 2. writer PREPARED → the reader must wait for the decision
+//!    ([`ReadResult::MustWait`], resolved through [`crate::txn::TxnTable`]);
+//! 3. writer ACTIVE → invisible, skip to older versions.
+//!
+//! Writes are first-committer-wins: installing an intent over a pending
+//! intent of another transaction, or over a committed version newer than
+//! the writer's snapshot, raises a write conflict.
+
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+use std::time::Duration;
+
+use polardbx_common::{Error, Key, Result, Row, TrxId};
+
+use crate::txn::{TxnState, TxnTable};
+
+/// What a version does to the row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VersionOp {
+    /// The row exists with this content.
+    Put(Row),
+    /// The row is deleted (tombstone).
+    Delete,
+}
+
+#[derive(Debug, Clone)]
+struct Version {
+    trx: TrxId,
+    /// Commit timestamp; `None` while the writer is undecided.
+    decided_ts: Option<u64>,
+    op: VersionOp,
+}
+
+/// Outcome of a low-level visibility check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReadResult {
+    /// A visible row.
+    Row(Row),
+    /// No visible version (never existed, or deleted at this snapshot).
+    NotFound,
+    /// A PREPARED writer blocks the decision; wait for it, then retry.
+    MustWait(TrxId),
+}
+
+/// Versioned key-value store for one table's primary data (or one hidden
+/// index table).
+///
+/// The store does not own a transaction table; callers pass the node's
+/// [`TxnTable`] to each operation. This keeps stores *relocatable*: during
+/// tenant migration (§V) a store moves between RW nodes without copying —
+/// only the owning engine (and hence the transaction table consulted)
+/// changes, exactly like shared-storage data changing its writer.
+#[derive(Default)]
+pub struct VersionStore {
+    map: RwLock<BTreeMap<Key, Vec<Version>>>,
+}
+
+impl VersionStore {
+    /// An empty store.
+    pub fn new() -> VersionStore {
+        VersionStore::default()
+    }
+
+    /// Install a write intent for `trx` (snapshot taken at `snapshot_ts`).
+    ///
+    /// First-committer-wins validation happens here, at write time — the
+    /// classic SI implementation InnoDB-style engines use.
+    pub fn write(
+        &self,
+        txns: &TxnTable,
+        trx: TrxId,
+        snapshot_ts: u64,
+        key: Key,
+        op: VersionOp,
+    ) -> Result<()> {
+        let mut map = self.map.write();
+        let chain = map.entry(key.clone()).or_default();
+        // Drop aborted leftovers opportunistically.
+        chain.retain(|v| {
+            v.decided_ts.is_some()
+                || !matches!(txns.state(v.trx), Some(TxnState::Aborted) | None)
+        });
+        if let Some(newest) = chain.last() {
+            if newest.trx != trx {
+                // An unstamped version may belong to a writer that already
+                // decided in the transaction table (commit stamps the table
+                // before the store) — use the table's verdict then.
+                let decided = newest.decided_ts.or_else(|| match txns.state(newest.trx) {
+                    Some(TxnState::Committed { commit_ts }) => Some(commit_ts),
+                    _ => None,
+                });
+                match decided {
+                    Some(ts) if ts > snapshot_ts => {
+                        return Err(Error::WriteConflict { key: format!("{key}") });
+                    }
+                    Some(_) => {}
+                    None => {
+                        // Another pending writer holds the row.
+                        return Err(Error::WriteConflict { key: format!("{key}") });
+                    }
+                }
+            }
+        }
+        // Same transaction overwrites its own intent in place.
+        if let Some(last) = chain.last_mut() {
+            if last.trx == trx && last.decided_ts.is_none() {
+                last.op = op;
+                return Ok(());
+            }
+        }
+        chain.push(Version { trx, decided_ts: None, op });
+        Ok(())
+    }
+
+    /// Stamp `trx`'s intents on `keys` as committed at `commit_ts`.
+    pub fn commit(&self, trx: TrxId, commit_ts: u64, keys: &[Key]) {
+        let mut map = self.map.write();
+        for key in keys {
+            if let Some(chain) = map.get_mut(key) {
+                for v in chain.iter_mut() {
+                    if v.trx == trx && v.decided_ts.is_none() {
+                        v.decided_ts = Some(commit_ts);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Remove `trx`'s intents on `keys` (rollback).
+    pub fn abort(&self, trx: TrxId, keys: &[Key]) {
+        let mut map = self.map.write();
+        for key in keys {
+            if let Some(chain) = map.get_mut(key) {
+                chain.retain(|v| !(v.trx == trx && v.decided_ts.is_none()));
+                if chain.is_empty() {
+                    map.remove(key);
+                }
+            }
+        }
+    }
+
+    /// Apply an already-committed change directly (redo replay on RO nodes
+    /// and Paxos followers — the writer's decision travelled with the log).
+    pub fn apply_committed(&self, trx: TrxId, commit_ts: u64, key: Key, op: VersionOp) {
+        let mut map = self.map.write();
+        let chain = map.entry(key).or_default();
+        chain.push(Version { trx, decided_ts: Some(commit_ts), op });
+    }
+
+    fn visibility(
+        &self,
+        txns: &TxnTable,
+        chain: &[Version],
+        snapshot_ts: u64,
+        me: Option<TrxId>,
+    ) -> ReadResult {
+        for v in chain.iter().rev() {
+            if Some(v.trx) == me {
+                return match &v.op {
+                    VersionOp::Put(row) => ReadResult::Row(row.clone()),
+                    VersionOp::Delete => ReadResult::NotFound,
+                };
+            }
+            match v.decided_ts {
+                Some(ts) if ts <= snapshot_ts => {
+                    return match &v.op {
+                        VersionOp::Put(row) => ReadResult::Row(row.clone()),
+                        VersionOp::Delete => ReadResult::NotFound,
+                    };
+                }
+                Some(_) => continue, // committed in the future of this snapshot
+                None => match txns.state(v.trx) {
+                    Some(TxnState::Prepared { .. }) => return ReadResult::MustWait(v.trx),
+                    Some(TxnState::Committed { commit_ts }) => {
+                        if commit_ts <= snapshot_ts {
+                            return match &v.op {
+                                VersionOp::Put(row) => ReadResult::Row(row.clone()),
+                                VersionOp::Delete => ReadResult::NotFound,
+                            };
+                        }
+                        continue;
+                    }
+                    // ACTIVE → invisible; ABORTED/unknown → stale garbage.
+                    _ => continue,
+                },
+            }
+        }
+        ReadResult::NotFound
+    }
+
+    /// Point read at `snapshot_ts`. `me` marks the reading transaction so
+    /// it sees its own uncommitted writes.
+    pub fn read(
+        &self,
+        txns: &TxnTable,
+        key: &Key,
+        snapshot_ts: u64,
+        me: Option<TrxId>,
+    ) -> ReadResult {
+        let map = self.map.read();
+        match map.get(key) {
+            Some(chain) => self.visibility(txns, chain, snapshot_ts, me),
+            None => ReadResult::NotFound,
+        }
+    }
+
+    /// Point read that transparently waits out PREPARED writers (§IV case 2).
+    pub fn read_waiting(
+        &self,
+        txns: &TxnTable,
+        key: &Key,
+        snapshot_ts: u64,
+        me: Option<TrxId>,
+        timeout: Duration,
+    ) -> Result<Option<Row>> {
+        loop {
+            match self.read(txns, key, snapshot_ts, me) {
+                ReadResult::Row(r) => return Ok(Some(r)),
+                ReadResult::NotFound => return Ok(None),
+                ReadResult::MustWait(writer) => {
+                    txns.wait_decided(writer, timeout)?;
+                }
+            }
+        }
+    }
+
+    /// Range scan of visible rows at `snapshot_ts`, waiting out PREPARED
+    /// writers. Bounds are on encoded keys.
+    pub fn scan(
+        &self,
+        txns: &TxnTable,
+        lower: Bound<&Key>,
+        upper: Bound<&Key>,
+        snapshot_ts: u64,
+        me: Option<TrxId>,
+        timeout: Duration,
+    ) -> Result<Vec<(Key, Row)>> {
+        loop {
+            let mut pending_writer = None;
+            let mut out = Vec::new();
+            {
+                let map = self.map.read();
+                for (k, chain) in map.range::<Key, _>((lower, upper)) {
+                    match self.visibility(txns, chain, snapshot_ts, me) {
+                        ReadResult::Row(r) => out.push((k.clone(), r)),
+                        ReadResult::NotFound => {}
+                        ReadResult::MustWait(w) => {
+                            pending_writer = Some(w);
+                            break;
+                        }
+                    }
+                }
+            }
+            match pending_writer {
+                None => return Ok(out),
+                Some(w) => {
+                    txns.wait_decided(w, timeout)?;
+                }
+            }
+        }
+    }
+
+    /// Full scan helper.
+    pub fn scan_all(
+        &self,
+        txns: &TxnTable,
+        snapshot_ts: u64,
+        me: Option<TrxId>,
+        timeout: Duration,
+    ) -> Result<Vec<(Key, Row)>> {
+        self.scan(txns, Bound::Unbounded, Bound::Unbounded, snapshot_ts, me, timeout)
+    }
+
+    /// Purge version garbage: keep, per key, only the newest version
+    /// committed at or before `horizon` plus everything newer than it.
+    pub fn purge(&self, horizon: u64) {
+        let mut map = self.map.write();
+        map.retain(|_, chain| {
+            if let Some(cut) = chain
+                .iter()
+                .rposition(|v| matches!(v.decided_ts, Some(ts) if ts <= horizon))
+            {
+                chain.drain(0..cut);
+            }
+            // Remove a trailing tombstone that is the only version left.
+            !(chain.len() == 1
+                && matches!(chain[0].op, VersionOp::Delete)
+                && matches!(chain[0].decided_ts, Some(ts) if ts <= horizon))
+        });
+    }
+
+    /// Number of keys with any version.
+    pub fn key_count(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// Total number of versions (GC metric).
+    pub fn version_count(&self) -> usize {
+        self.map.read().values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polardbx_common::Value;
+    use std::sync::Arc;
+
+    fn key(n: i64) -> Key {
+        Key::encode(&[Value::Int(n)])
+    }
+
+    fn row(n: i64, s: &str) -> Row {
+        Row::new(vec![Value::Int(n), Value::str(s)])
+    }
+
+    fn store() -> (Arc<VersionStore>, Arc<TxnTable>) {
+        (Arc::new(VersionStore::new()), Arc::new(TxnTable::new()))
+    }
+
+    fn commit_one(s: &VersionStore, t: &TxnTable, trx: TrxId, ts: u64, keys: &[Key]) {
+        t.commit(trx, ts).unwrap();
+        s.commit(trx, ts, keys);
+    }
+
+    #[test]
+    fn snapshot_sees_only_past_commits() {
+        let (s, t) = store();
+        t.begin(TrxId(1));
+        s.write(&t, TrxId(1), 0, key(1), VersionOp::Put(row(1, "v1"))).unwrap();
+        commit_one(&s, &t, TrxId(1), 10, &[key(1)]);
+
+        t.begin(TrxId(2));
+        s.write(&t, TrxId(2), 10, key(1), VersionOp::Put(row(1, "v2"))).unwrap();
+        commit_one(&s, &t, TrxId(2), 20, &[key(1)]);
+
+        assert_eq!(s.read(&t, &key(1), 5, None), ReadResult::NotFound);
+        assert_eq!(s.read(&t, &key(1), 10, None), ReadResult::Row(row(1, "v1")));
+        assert_eq!(s.read(&t, &key(1), 15, None), ReadResult::Row(row(1, "v1")));
+        assert_eq!(s.read(&t, &key(1), 20, None), ReadResult::Row(row(1, "v2")));
+    }
+
+    #[test]
+    fn own_writes_visible() {
+        let (s, t) = store();
+        t.begin(TrxId(1));
+        s.write(&t, TrxId(1), 0, key(1), VersionOp::Put(row(1, "mine"))).unwrap();
+        assert_eq!(s.read(&t, &key(1), 0, Some(TrxId(1))), ReadResult::Row(row(1, "mine")));
+        assert_eq!(s.read(&t, &key(1), 100, None), ReadResult::NotFound, "others blind");
+    }
+
+    #[test]
+    fn active_writer_invisible_prepared_blocks() {
+        let (s, t) = store();
+        t.begin(TrxId(1));
+        s.write(&t, TrxId(1), 0, key(1), VersionOp::Put(row(1, "x"))).unwrap();
+        // ACTIVE: case 3 — plain invisible.
+        assert_eq!(s.read(&t, &key(1), 100, None), ReadResult::NotFound);
+        // PREPARED: case 2 — reader must wait.
+        t.prepare(TrxId(1), 50).unwrap();
+        assert_eq!(s.read(&t, &key(1), 100, None), ReadResult::MustWait(TrxId(1)));
+    }
+
+    #[test]
+    fn read_waiting_resolves_after_commit() {
+        let (s, t) = store();
+        t.begin(TrxId(1));
+        s.write(&t, TrxId(1), 0, key(1), VersionOp::Put(row(1, "late"))).unwrap();
+        t.prepare(TrxId(1), 50).unwrap();
+        let (s2, t2) = (Arc::clone(&s), Arc::clone(&t));
+        let reader = std::thread::spawn(move || {
+            s2.read_waiting(&t2, &key(1), 100, None, Duration::from_secs(2)).unwrap()
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        t.commit(TrxId(1), 60).unwrap();
+        s.commit(TrxId(1), 60, &[key(1)]);
+        assert_eq!(reader.join().unwrap(), Some(row(1, "late")));
+    }
+
+    #[test]
+    fn write_write_conflict_pending() {
+        let (s, t) = store();
+        t.begin(TrxId(1));
+        t.begin(TrxId(2));
+        s.write(&t, TrxId(1), 0, key(1), VersionOp::Put(row(1, "a"))).unwrap();
+        let err = s.write(&t, TrxId(2), 0, key(1), VersionOp::Put(row(1, "b"))).unwrap_err();
+        assert!(matches!(err, Error::WriteConflict { .. }));
+    }
+
+    #[test]
+    fn first_committer_wins() {
+        let (s, t) = store();
+        t.begin(TrxId(1));
+        s.write(&t, TrxId(1), 0, key(1), VersionOp::Put(row(1, "a"))).unwrap();
+        commit_one(&s, &t, TrxId(1), 10, &[key(1)]);
+        // T2's snapshot (5) predates T1's commit (10): conflict.
+        t.begin(TrxId(2));
+        let err = s.write(&t, TrxId(2), 5, key(1), VersionOp::Put(row(1, "b"))).unwrap_err();
+        assert!(matches!(err, Error::WriteConflict { .. }));
+        // A later snapshot is fine.
+        t.begin(TrxId(3));
+        s.write(&t, TrxId(3), 10, key(1), VersionOp::Put(row(1, "c"))).unwrap();
+    }
+
+    #[test]
+    fn abort_removes_intents() {
+        let (s, t) = store();
+        t.begin(TrxId(1));
+        s.write(&t, TrxId(1), 0, key(1), VersionOp::Put(row(1, "x"))).unwrap();
+        t.abort(TrxId(1));
+        s.abort(TrxId(1), &[key(1)]);
+        assert_eq!(s.read(&t, &key(1), 100, None), ReadResult::NotFound);
+        assert_eq!(s.key_count(), 0);
+        // The row is writable again.
+        t.begin(TrxId(2));
+        s.write(&t, TrxId(2), 0, key(1), VersionOp::Put(row(1, "y"))).unwrap();
+    }
+
+    #[test]
+    fn delete_produces_tombstone_semantics() {
+        let (s, t) = store();
+        t.begin(TrxId(1));
+        s.write(&t, TrxId(1), 0, key(1), VersionOp::Put(row(1, "x"))).unwrap();
+        commit_one(&s, &t, TrxId(1), 10, &[key(1)]);
+        t.begin(TrxId(2));
+        s.write(&t, TrxId(2), 10, key(1), VersionOp::Delete).unwrap();
+        commit_one(&s, &t, TrxId(2), 20, &[key(1)]);
+        assert_eq!(s.read(&t, &key(1), 15, None), ReadResult::Row(row(1, "x")));
+        assert_eq!(s.read(&t, &key(1), 25, None), ReadResult::NotFound);
+    }
+
+    #[test]
+    fn scan_respects_snapshot_and_bounds() {
+        let (s, t) = store();
+        for i in 0..10i64 {
+            let trx = TrxId(100 + i as u64);
+            t.begin(trx);
+            s.write(&t, trx, 0, key(i), VersionOp::Put(row(i, "v"))).unwrap();
+            commit_one(&s, &t, trx, (i as u64 + 1) * 10, &[key(i)]);
+        }
+        // Snapshot 50 sees keys committed at 10..=50 → i = 0..=4.
+        let rows = s.scan_all(&t, 50, None, Duration::from_secs(1)).unwrap();
+        assert_eq!(rows.len(), 5);
+        // Bounded scan.
+        let rows = s
+            .scan(
+                &t,
+                Bound::Included(&key(2)),
+                Bound::Excluded(&key(4)),
+                u64::MAX,
+                None,
+                Duration::from_secs(1),
+            )
+            .unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, key(2));
+    }
+
+    #[test]
+    fn scan_waits_for_prepared() {
+        let (s, t) = store();
+        t.begin(TrxId(1));
+        s.write(&t, TrxId(1), 0, key(5), VersionOp::Put(row(5, "p"))).unwrap();
+        t.prepare(TrxId(1), 10).unwrap();
+        let (s2, t2) = (Arc::clone(&s), Arc::clone(&t));
+        let scanner = std::thread::spawn(move || {
+            s2.scan_all(&t2, 100, None, Duration::from_secs(2)).unwrap()
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        t.commit(TrxId(1), 20).unwrap();
+        s.commit(TrxId(1), 20, &[key(5)]);
+        let rows = scanner.join().unwrap();
+        assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn apply_committed_for_replicas() {
+        let (s, t) = store();
+        s.apply_committed(TrxId(1), 10, key(1), VersionOp::Put(row(1, "replicated")));
+        assert_eq!(s.read(&t, &key(1), 10, None), ReadResult::Row(row(1, "replicated")));
+        assert_eq!(s.read(&t, &key(1), 9, None), ReadResult::NotFound);
+    }
+
+    #[test]
+    fn purge_compacts_chains() {
+        let (s, t) = store();
+        for v in 1..=5u64 {
+            let trx = TrxId(v);
+            t.begin(trx);
+            s.write(&t, trx, v * 10, key(1), VersionOp::Put(row(1, &format!("v{v}")))).unwrap();
+            commit_one(&s, &t, trx, v * 10 + 5, &[key(1)]);
+        }
+        assert_eq!(s.version_count(), 5);
+        s.purge(40); // newest commit <= 40 is v3 (ts 35)
+        assert!(s.version_count() <= 3);
+        // Reads at/after the horizon still work.
+        assert_eq!(s.read(&t, &key(1), 40, None), ReadResult::Row(row(1, "v3")));
+        assert_eq!(s.read(&t, &key(1), 100, None), ReadResult::Row(row(1, "v5")));
+    }
+
+    #[test]
+    fn purge_drops_old_tombstoned_keys() {
+        let (s, t) = store();
+        t.begin(TrxId(1));
+        s.write(&t, TrxId(1), 0, key(1), VersionOp::Put(row(1, "x"))).unwrap();
+        commit_one(&s, &t, TrxId(1), 10, &[key(1)]);
+        t.begin(TrxId(2));
+        s.write(&t, TrxId(2), 10, key(1), VersionOp::Delete).unwrap();
+        commit_one(&s, &t, TrxId(2), 20, &[key(1)]);
+        s.purge(30);
+        assert_eq!(s.key_count(), 0, "fully-deleted old keys are reclaimed");
+    }
+}

@@ -1,0 +1,432 @@
+//! RW→RO replication within a PolarDB instance (§II-C).
+//!
+//! The RW node flushes redo to PolarFS, then *broadcasts* the new LSN to RO
+//! nodes, which pull the log range, apply it to their buffer pools, and
+//! piggyback their consumed offset `lsn_ROi` back. The RW purges log below
+//! `min(lsn_ROi)` and evicts replicas lagging beyond a threshold. Session
+//! consistency is implemented by CN tracking `LSN_RW` and the RO waiting
+//! until its applied LSN catches up before serving the read.
+
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use polardbx_common::{Error, Key, Lsn, NodeId, Result, Row, TableId, TenantId, TrxId};
+use polardbx_wal::{LogBuffer, LogSink, Mtr, VecSink};
+
+use crate::engine::{Durability, LocalDurability, RedoApplier, StorageEngine, WriteOp};
+use crate::mvcc as polardbx_storage_mvcc;
+
+/// Session-consistency token: the RW LSN the client last observed. Reads
+/// routed to an RO must wait until the replica has applied at least this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct SessionToken(pub Lsn);
+
+/// A read-only replica node.
+pub struct RoNode {
+    /// Node id.
+    pub id: NodeId,
+    /// The replica's engine (applied state).
+    pub engine: Arc<StorageEngine>,
+    applier: RedoApplier,
+    applied: AtomicU64,
+    /// Artificial per-batch apply delay for lag-injection tests.
+    apply_delay: Mutex<Duration>,
+    alive: std::sync::atomic::AtomicBool,
+}
+
+impl RoNode {
+    fn new(id: NodeId) -> Arc<RoNode> {
+        let engine = StorageEngine::in_memory();
+        Arc::new(RoNode {
+            id,
+            applier: RedoApplier::new(Arc::clone(&engine)),
+            engine,
+            applied: AtomicU64::new(0),
+            apply_delay: Mutex::new(Duration::ZERO),
+            alive: std::sync::atomic::AtomicBool::new(true),
+        })
+    }
+
+    /// LSN applied so far (`lsn_ROi`).
+    pub fn applied_lsn(&self) -> Lsn {
+        Lsn(self.applied.load(Ordering::Acquire))
+    }
+
+    /// Inject apply slowness (models CPU/network congestion on the RO).
+    pub fn set_apply_delay(&self, d: Duration) {
+        *self.apply_delay.lock() = d;
+    }
+
+    fn apply_batch(&self, end: Lsn, bytes: Bytes) {
+        let d = *self.apply_delay.lock();
+        if !d.is_zero() {
+            std::thread::sleep(d);
+        }
+        let _ = self.applier.apply_bytes(bytes);
+        self.applied.fetch_max(end.raw(), Ordering::AcqRel);
+    }
+
+    /// Snapshot read at the replica's current applied snapshot, honouring a
+    /// session token: waits until `token` is applied (§II-C session
+    /// consistency), then reads at the replica's latest version.
+    pub fn read(
+        &self,
+        table: TableId,
+        key: &Key,
+        token: SessionToken,
+        timeout: Duration,
+    ) -> Result<Option<Row>> {
+        self.wait_for(token, timeout)?;
+        self.engine.read(table, key, u64::MAX, None)
+    }
+
+    /// Block until the replica has applied `token`.
+    pub fn wait_for(&self, token: SessionToken, timeout: Duration) -> Result<()> {
+        let deadline = Instant::now() + timeout;
+        while self.applied_lsn() < token.0 {
+            if Instant::now() >= deadline {
+                return Err(Error::Timeout { what: format!("RO catch-up to {}", token.0) });
+            }
+            std::thread::yield_now();
+        }
+        Ok(())
+    }
+
+    /// Is the node in the cluster?
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::Relaxed)
+    }
+}
+
+/// The read-write node: owns the authoritative engine and the redo feed.
+pub struct RwNode {
+    /// Node id.
+    pub id: NodeId,
+    /// The RW engine.
+    pub engine: Arc<StorageEngine>,
+    log: Arc<LogBuffer>,
+    sink: Arc<VecSink>,
+    ros: RwLock<Vec<Arc<RoNode>>>,
+    /// Offset of log already shipped to ROs.
+    shipped: Mutex<Lsn>,
+    next_ro: AtomicU64,
+    /// Mirror of created tables so new ROs can register them.
+    tables: Mutex<Vec<(TableId, TenantId)>>,
+}
+
+/// Durability provider that also feeds the RO replication stream.
+struct RwDurability {
+    local: Arc<LocalDurability>,
+}
+
+impl Durability for RwDurability {
+    fn make_durable(&self, mtrs: &[Mtr]) -> Result<Lsn> {
+        self.local.make_durable(mtrs)
+    }
+}
+
+impl RwNode {
+    /// A fresh RW node.
+    pub fn new(id: NodeId) -> Arc<RwNode> {
+        let sink = VecSink::new();
+        let log = LogBuffer::new(sink.clone() as Arc<dyn LogSink>);
+        let local = LocalDurability::new(Arc::clone(&log));
+        let engine =
+            StorageEngine::with_durability(Arc::new(RwDurability { local }) as Arc<dyn Durability>);
+        Arc::new(RwNode {
+            id,
+            engine,
+            log,
+            sink,
+            ros: RwLock::new(Vec::new()),
+            shipped: Mutex::new(Lsn::ZERO),
+            next_ro: AtomicU64::new(id.raw() * 100 + 1),
+            tables: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Add an RO replica. The replica starts empty and catches up from the
+    /// start of the log — "add RO nodes … in minutes" because no table data
+    /// is copied, only log applied (here: instantaneous at test scale).
+    pub fn add_ro(&self) -> Arc<RoNode> {
+        let ro = RoNode::new(NodeId(self.next_ro.fetch_add(1, Ordering::Relaxed)));
+        // Mirror table registrations.
+        for (table, tenant) in self.table_map() {
+            ro.engine.create_table(table, tenant);
+        }
+        // Catch the newcomer up to everything already shipped, holding the
+        // ship lock so a concurrent ship cannot slip a batch past us.
+        let shipped = self.shipped.lock();
+        if *shipped > Lsn::ZERO {
+            let content = self.sink.contiguous();
+            let batch = Bytes::copy_from_slice(&content[..shipped.raw() as usize]);
+            ro.apply_batch(*shipped, batch);
+        }
+        self.ros.write().push(Arc::clone(&ro));
+        drop(shipped);
+        // And anything flushed but not yet shipped.
+        self.ship();
+        ro
+    }
+
+    fn table_map(&self) -> Vec<(TableId, TenantId)> {
+        self.tables.lock().clone()
+    }
+
+    /// Raw contents of the node's redo log (tests/debugging).
+    pub fn log_sink_bytes(&self) -> Vec<u8> {
+        self.sink.contiguous()
+    }
+
+    /// Registered RO replicas.
+    pub fn ros(&self) -> Vec<Arc<RoNode>> {
+        self.ros.read().clone()
+    }
+
+    /// Current RW LSN (`LSN_RW`) — the session token new reads should carry.
+    pub fn session_token(&self) -> SessionToken {
+        SessionToken(self.log.flushed())
+    }
+
+    /// Broadcast new log to replicas (step ④/⑤ of Fig 3). Called after
+    /// commits; returns the shipped-through LSN.
+    pub fn ship(&self) -> Lsn {
+        let mut shipped = self.shipped.lock();
+        let head = self.log.flushed();
+        if head > *shipped {
+            let content = self.sink.contiguous();
+            let from = shipped.raw() as usize;
+            let to = head.raw() as usize;
+            let batch = Bytes::copy_from_slice(&content[from..to]);
+            for ro in self.ros.read().iter() {
+                if ro.is_alive() {
+                    ro.apply_batch(head, batch.clone());
+                }
+            }
+            *shipped = head;
+        }
+        *shipped
+    }
+
+    /// The log purge horizon: `min(lsn_ROi)` (step ⑧ of Fig 3).
+    pub fn purge_horizon(&self) -> Lsn {
+        self.ros
+            .read()
+            .iter()
+            .filter(|r| r.is_alive())
+            .map(|r| r.applied_lsn())
+            .min()
+            .unwrap_or_else(|| self.log.flushed())
+    }
+
+    /// Evict replicas lagging more than `max_lag` bytes behind (§II-C:
+    /// "such node RO_k will be detected and kicked out of the cluster").
+    /// Returns evicted node ids.
+    pub fn evict_laggards(&self, max_lag: u64) -> Vec<NodeId> {
+        let head = self.log.flushed();
+        let mut evicted = Vec::new();
+        self.ros.write().retain(|ro| {
+            let lag = head.raw().saturating_sub(ro.applied_lsn().raw());
+            if lag > max_lag {
+                ro.alive.store(false, Ordering::Relaxed);
+                evicted.push(ro.id);
+                false
+            } else {
+                true
+            }
+        });
+        evicted
+    }
+
+    /// Create a table on the RW and all replicas.
+    pub fn create_table(&self, table: TableId, tenant: TenantId) {
+        self.engine.create_table(table, tenant);
+        self.tables.lock().push((table, tenant));
+        for ro in self.ros.read().iter() {
+            ro.engine.create_table(table, tenant);
+        }
+    }
+
+    /// Attach an existing store (shard/tenant arriving from another node
+    /// over shared storage). The replicas share the same store by
+    /// reference: they only read, and MVCC versions carry their commit
+    /// timestamps, so shared access is consistent.
+    pub fn attach_table(
+        &self,
+        table: TableId,
+        store: Arc<polardbx_storage_mvcc::VersionStore>,
+        tenant: TenantId,
+    ) {
+        self.engine.attach_table(table, Arc::clone(&store), tenant);
+        self.tables.lock().push((table, tenant));
+        for ro in self.ros.read().iter() {
+            ro.engine.attach_table(table, Arc::clone(&store), tenant);
+        }
+    }
+
+    /// Detach a table from the RW and its replicas, returning the store.
+    pub fn detach_table(
+        &self,
+        table: TableId,
+    ) -> Option<Arc<polardbx_storage_mvcc::VersionStore>> {
+        self.tables.lock().retain(|(t, _)| *t != table);
+        for ro in self.ros.read().iter() {
+            ro.engine.detach_table(table);
+        }
+        self.engine.detach_table(table)
+    }
+
+    /// Convenience write path: run a single-row transaction and ship.
+    pub fn execute_write(
+        &self,
+        trx: TrxId,
+        snapshot_ts: u64,
+        commit_ts: u64,
+        table: TableId,
+        key: Key,
+        op: WriteOp,
+    ) -> Result<Lsn> {
+        self.engine.begin(trx, snapshot_ts);
+        if let Err(e) = self.engine.write(trx, table, key, op) {
+            self.engine.abort(trx);
+            return Err(e);
+        }
+        let lsn = self.engine.commit(trx, commit_ts)?;
+        self.ship();
+        Ok(lsn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polardbx_common::Value;
+
+    fn key(n: i64) -> Key {
+        Key::encode(&[Value::Int(n)])
+    }
+
+    fn row(n: i64, v: &str) -> Row {
+        Row::new(vec![Value::Int(n), Value::str(v)])
+    }
+
+    const T: TableId = TableId(1);
+
+    #[test]
+    fn ro_applies_rw_commits() {
+        let rw = RwNode::new(NodeId(1));
+        rw.create_table(T, TenantId(1));
+        let ro = rw.add_ro();
+        rw.execute_write(TrxId(1), 0, 10, T, key(1), WriteOp::Insert(row(1, "x"))).unwrap();
+        let token = rw.session_token();
+        let got = ro.read(T, &key(1), token, Duration::from_secs(1)).unwrap();
+        assert_eq!(got, Some(row(1, "x")));
+    }
+
+    #[test]
+    fn late_ro_catches_up_on_join() {
+        let rw = RwNode::new(NodeId(1));
+        rw.create_table(T, TenantId(1));
+        rw.execute_write(TrxId(1), 0, 10, T, key(1), WriteOp::Insert(row(1, "pre"))).unwrap();
+        let ro = rw.add_ro();
+        let token = rw.session_token();
+        assert_eq!(
+            ro.read(T, &key(1), token, Duration::from_secs(1)).unwrap(),
+            Some(row(1, "pre"))
+        );
+    }
+
+    #[test]
+    fn session_consistency_waits() {
+        let rw = RwNode::new(NodeId(1));
+        rw.create_table(T, TenantId(1));
+        let ro = rw.add_ro();
+        ro.set_apply_delay(Duration::from_millis(30));
+        // Write commits on RW; shipping happens on a helper thread so the
+        // read below races the apply.
+        let rw2 = Arc::clone(&rw);
+        let writer = std::thread::spawn(move || {
+            rw2.execute_write(TrxId(1), 0, 10, T, key(1), WriteOp::Insert(row(1, "sc")))
+                .unwrap();
+            rw2.session_token()
+        });
+        let token = writer.join().unwrap();
+        // Session read must block until the delayed apply lands.
+        let got = ro.read(T, &key(1), token, Duration::from_secs(2)).unwrap();
+        assert_eq!(got, Some(row(1, "sc")));
+    }
+
+    #[test]
+    fn stale_token_times_out() {
+        let rw = RwNode::new(NodeId(1));
+        rw.create_table(T, TenantId(1));
+        let ro = rw.add_ro();
+        let future = SessionToken(Lsn(1_000_000));
+        assert!(matches!(
+            ro.wait_for(future, Duration::from_millis(20)),
+            Err(Error::Timeout { .. })
+        ));
+    }
+
+    #[test]
+    fn laggard_eviction() {
+        let rw = RwNode::new(NodeId(1));
+        rw.create_table(T, TenantId(1));
+        let _ro_ok = rw.add_ro();
+        // A slow replica: block its applies entirely by marking delay large
+        // and never shipping to it — emulate by adding after writes and
+        // manually zeroing its applied LSN.
+        rw.execute_write(TrxId(1), 0, 10, T, key(1), WriteOp::Insert(row(1, "a"))).unwrap();
+        let slow = rw.add_ro();
+        slow.applied.store(0, Ordering::Release);
+        let evicted = rw.evict_laggards(0);
+        assert_eq!(evicted, vec![slow.id]);
+        assert_eq!(rw.ros().len(), 1);
+        assert!(!slow.is_alive());
+    }
+
+    #[test]
+    fn purge_horizon_is_min_applied() {
+        let rw = RwNode::new(NodeId(1));
+        rw.create_table(T, TenantId(1));
+        let r1 = rw.add_ro();
+        let _r2 = rw.add_ro();
+        rw.execute_write(TrxId(1), 0, 10, T, key(1), WriteOp::Insert(row(1, "a"))).unwrap();
+        assert_eq!(rw.purge_horizon(), rw.log.flushed());
+        // Hold one replica back.
+        r1.applied.store(1, Ordering::Release);
+        assert_eq!(rw.purge_horizon(), Lsn(1));
+    }
+
+    #[test]
+    fn scaling_read_throughput_with_ros() {
+        // More replicas serve more reads without touching the RW engine:
+        // all replicas return the same data independently.
+        let rw = RwNode::new(NodeId(1));
+        rw.create_table(T, TenantId(1));
+        for i in 0..10i64 {
+            rw.execute_write(
+                TrxId(i as u64 + 1),
+                0,
+                10 + i as u64,
+                T,
+                key(i),
+                WriteOp::Insert(row(i, "v")),
+            )
+            .unwrap();
+        }
+        let ros: Vec<_> = (0..4).map(|_| rw.add_ro()).collect();
+        let token = rw.session_token();
+        for ro in &ros {
+            for i in 0..10i64 {
+                assert!(ro
+                    .read(T, &key(i), token, Duration::from_secs(1))
+                    .unwrap()
+                    .is_some());
+            }
+        }
+    }
+}

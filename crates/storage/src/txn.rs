@@ -1,0 +1,244 @@
+//! Local transaction table: states and PREPARED-waits.
+//!
+//! §IV's visibility rule needs three facts about a writer transaction:
+//! is it ACTIVE (invisible), PREPARED (undecided — the reader must wait),
+//! or COMMITTED/ABORTED (decided by `commit_ts`). The table keeps those
+//! states and lets readers block until a prepared transaction completes.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::time::Duration;
+
+use polardbx_common::{Error, Result, TrxId};
+
+/// Lifecycle states of a local transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnState {
+    /// Executing; its writes are invisible to everyone else.
+    Active,
+    /// 2PC first phase done; commit timestamp still unknown.
+    Prepared {
+        /// The participant's `prepare_ts` (ClockAdvance result).
+        prepare_ts: u64,
+    },
+    /// Decided: visible to snapshots at or after `commit_ts`.
+    Committed {
+        /// The transaction's global commit timestamp.
+        commit_ts: u64,
+    },
+    /// Rolled back; its versions are garbage.
+    Aborted,
+}
+
+impl TxnState {
+    /// Is the outcome still undecided?
+    pub fn is_pending(&self) -> bool {
+        matches!(self, TxnState::Active | TxnState::Prepared { .. })
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    states: HashMap<TrxId, TxnState>,
+}
+
+/// The node-local transaction table.
+#[derive(Default)]
+pub struct TxnTable {
+    inner: Mutex<Inner>,
+    decided: Condvar,
+}
+
+impl TxnTable {
+    /// Empty table.
+    pub fn new() -> TxnTable {
+        TxnTable::default()
+    }
+
+    /// Register a new ACTIVE transaction.
+    pub fn begin(&self, trx: TrxId) {
+        self.inner.lock().states.insert(trx, TxnState::Active);
+    }
+
+    /// Move `trx` to PREPARED (2PC phase one).
+    pub fn prepare(&self, trx: TrxId, prepare_ts: u64) -> Result<()> {
+        let mut inner = self.inner.lock();
+        match inner.states.get_mut(&trx) {
+            Some(s @ TxnState::Active) => {
+                *s = TxnState::Prepared { prepare_ts };
+                Ok(())
+            }
+            Some(other) => Err(Error::TxnAborted {
+                reason: format!("prepare from illegal state {other:?}"),
+            }),
+            None => Err(Error::TxnAborted { reason: format!("unknown trx {trx}") }),
+        }
+    }
+
+    /// Decide COMMITTED. Legal from ACTIVE (one-phase local commit) or
+    /// PREPARED (2PC). Wakes waiting readers.
+    pub fn commit(&self, trx: TrxId, commit_ts: u64) -> Result<()> {
+        let mut inner = self.inner.lock();
+        match inner.states.get_mut(&trx) {
+            Some(s) if s.is_pending() => {
+                *s = TxnState::Committed { commit_ts };
+                self.decided.notify_all();
+                Ok(())
+            }
+            Some(other) => {
+                Err(Error::TxnAborted { reason: format!("commit from {other:?}") })
+            }
+            None => Err(Error::TxnAborted { reason: format!("unknown trx {trx}") }),
+        }
+    }
+
+    /// Decide ABORTED. Wakes waiting readers.
+    pub fn abort(&self, trx: TrxId) {
+        let mut inner = self.inner.lock();
+        inner.states.insert(trx, TxnState::Aborted);
+        self.decided.notify_all();
+    }
+
+    /// Current state, if known.
+    pub fn state(&self, trx: TrxId) -> Option<TxnState> {
+        self.inner.lock().states.get(&trx).copied()
+    }
+
+    /// §IV case 2: the reader met a PREPARED version. Block until the
+    /// writer decides, then return the final state. An ACTIVE writer is not
+    /// waited on (case 3: simply invisible) — callers only invoke this for
+    /// prepared writers, but a state change racing us is handled by waiting
+    /// on anything pending.
+    pub fn wait_decided(&self, trx: TrxId, timeout: Duration) -> Result<TxnState> {
+        let mut inner = self.inner.lock();
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            match inner.states.get(&trx) {
+                Some(s) if !s.is_pending() => return Ok(*s),
+                None => {
+                    // Unknown = purged after decision; treat as aborted
+                    // (purge keeps committed states, see `forget`).
+                    return Ok(TxnState::Aborted);
+                }
+                Some(_) => {
+                    if self.decided.wait_until(&mut inner, deadline).timed_out() {
+                        return Err(Error::Timeout { what: format!("decision of {trx}") });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drop state for decided transactions older than needed (GC). Only
+    /// aborted entries may be forgotten outright; committed entries are
+    /// kept by the version store through their commit timestamps instead.
+    pub fn forget_aborted(&self) {
+        self.inner.lock().states.retain(|_, s| !matches!(s, TxnState::Aborted));
+    }
+
+    /// Number of tracked transactions.
+    pub fn len(&self) -> usize {
+        self.inner.lock().states.len()
+    }
+
+    /// True when no transactions are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Ids of all pending (active or prepared) transactions.
+    pub fn pending(&self) -> Vec<TrxId> {
+        self.inner
+            .lock()
+            .states
+            .iter()
+            .filter(|(_, s)| s.is_pending())
+            .map(|(t, _)| *t)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lifecycle_active_prepared_committed() {
+        let t = TxnTable::new();
+        t.begin(TrxId(1));
+        assert_eq!(t.state(TrxId(1)), Some(TxnState::Active));
+        t.prepare(TrxId(1), 10).unwrap();
+        assert_eq!(t.state(TrxId(1)), Some(TxnState::Prepared { prepare_ts: 10 }));
+        t.commit(TrxId(1), 12).unwrap();
+        assert_eq!(t.state(TrxId(1)), Some(TxnState::Committed { commit_ts: 12 }));
+    }
+
+    #[test]
+    fn one_phase_commit_from_active() {
+        let t = TxnTable::new();
+        t.begin(TrxId(1));
+        t.commit(TrxId(1), 5).unwrap();
+        assert_eq!(t.state(TrxId(1)), Some(TxnState::Committed { commit_ts: 5 }));
+    }
+
+    #[test]
+    fn illegal_transitions_rejected() {
+        let t = TxnTable::new();
+        t.begin(TrxId(1));
+        t.commit(TrxId(1), 5).unwrap();
+        assert!(t.prepare(TrxId(1), 6).is_err());
+        assert!(t.commit(TrxId(1), 7).is_err());
+        assert!(t.prepare(TrxId(99), 1).is_err(), "unknown trx");
+    }
+
+    #[test]
+    fn wait_decided_blocks_until_commit() {
+        let t = Arc::new(TxnTable::new());
+        t.begin(TrxId(1));
+        t.prepare(TrxId(1), 10).unwrap();
+        let t2 = Arc::clone(&t);
+        let waiter = std::thread::spawn(move || {
+            t2.wait_decided(TrxId(1), Duration::from_secs(2)).unwrap()
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        t.commit(TrxId(1), 15).unwrap();
+        assert_eq!(waiter.join().unwrap(), TxnState::Committed { commit_ts: 15 });
+    }
+
+    #[test]
+    fn wait_decided_observes_abort() {
+        let t = Arc::new(TxnTable::new());
+        t.begin(TrxId(2));
+        t.prepare(TrxId(2), 3).unwrap();
+        let t2 = Arc::clone(&t);
+        let waiter = std::thread::spawn(move || {
+            t2.wait_decided(TrxId(2), Duration::from_secs(2)).unwrap()
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        t.abort(TrxId(2));
+        assert_eq!(waiter.join().unwrap(), TxnState::Aborted);
+    }
+
+    #[test]
+    fn wait_decided_times_out() {
+        let t = TxnTable::new();
+        t.begin(TrxId(3));
+        t.prepare(TrxId(3), 1).unwrap();
+        let err = t.wait_decided(TrxId(3), Duration::from_millis(20)).unwrap_err();
+        assert!(matches!(err, Error::Timeout { .. }));
+    }
+
+    #[test]
+    fn gc_keeps_committed_drops_aborted() {
+        let t = TxnTable::new();
+        t.begin(TrxId(1));
+        t.commit(TrxId(1), 1).unwrap();
+        t.begin(TrxId(2));
+        t.abort(TrxId(2));
+        t.forget_aborted();
+        assert!(t.state(TrxId(1)).is_some());
+        assert!(t.state(TrxId(2)).is_none());
+        assert_eq!(t.pending(), vec![]);
+    }
+}

@@ -1,0 +1,30 @@
+//! Distributed transactions: HLC-SI and its baselines over 2PC (§IV).
+//!
+//! The CN acts as coordinator; DNs are participants. The protocol is the
+//! paper's Figure 4:
+//!
+//! 1. coordinator takes `snapshot_ts = ClockNow()` ①,
+//! 2. statements ship to participants with the snapshot timestamp ②; each
+//!    participant runs `ClockUpdate(snapshot_ts)` so its clock is at least
+//!    the snapshot ③,
+//! 3. at commit, every participant validates and enters PREPARED, returning
+//!    `prepare_ts = ClockAdvance()` ④,
+//! 4. the coordinator picks `commit_ts = max(prepare_ts)` ⑤, runs a single
+//!    batched `ClockUpdate` ⑥, and ships `commit_ts` to participants ⑦.
+//!
+//! Swapping the [`polardbx_hlc::Clock`] implementation yields the baselines
+//! of Fig 7: TSO-SI (both timestamps are RPCs to a central oracle) and
+//! Clock-SI (local physical clocks; participants must *wait out* skew
+//! before serving a snapshot).
+//!
+//! [`checker`] provides the bank-invariant harness used to validate
+//! snapshot isolation under concurrency.
+
+pub mod checker;
+pub mod coordinator;
+pub mod msg;
+pub mod participant;
+
+pub use coordinator::{Coordinator, DistTxn};
+pub use msg::{TxnMsg, WireWriteOp};
+pub use participant::DnService;

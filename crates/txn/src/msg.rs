@@ -1,0 +1,100 @@
+//! Coordinator ↔ participant wire messages.
+
+use polardbx_common::{Key, Row, TableId, TrxId};
+
+/// A write operation on the wire.
+#[derive(Debug, Clone)]
+pub enum WireWriteOp {
+    /// Insert a row (duplicate-key checked at the participant).
+    Insert(Row),
+    /// Overwrite a row.
+    Update(Row),
+    /// Delete a row.
+    Delete,
+}
+
+/// 2PC and statement messages.
+#[derive(Debug, Clone)]
+pub enum TxnMsg {
+    /// Execute a write statement under `trx` at `snapshot_ts`.
+    Write {
+        /// Transaction id (global, allocated by the coordinator).
+        trx: TrxId,
+        /// The transaction's snapshot timestamp (raw HLC).
+        snapshot_ts: u64,
+        /// Target table.
+        table: TableId,
+        /// Row key.
+        key: Key,
+        /// The operation.
+        op: WireWriteOp,
+    },
+    /// Execute a point read under `trx` at `snapshot_ts`. `trx` of 0 means
+    /// an autocommit read outside any transaction.
+    Read {
+        /// Transaction id (0 = none).
+        trx: TrxId,
+        /// Snapshot timestamp.
+        snapshot_ts: u64,
+        /// Target table.
+        table: TableId,
+        /// Row key.
+        key: Key,
+    },
+    /// Range scan (bounds encoded; `None` = unbounded).
+    Scan {
+        /// Transaction id (0 = none).
+        trx: TrxId,
+        /// Snapshot timestamp.
+        snapshot_ts: u64,
+        /// Target table.
+        table: TableId,
+        /// Inclusive lower bound.
+        lower: Option<Key>,
+        /// Exclusive upper bound.
+        upper: Option<Key>,
+    },
+    /// 2PC phase one.
+    Prepare {
+        /// Transaction to prepare.
+        trx: TrxId,
+    },
+    /// 2PC phase two (commit).
+    Commit {
+        /// Transaction to commit.
+        trx: TrxId,
+        /// Global commit timestamp.
+        commit_ts: u64,
+    },
+    /// One-phase commit for single-participant transactions: the
+    /// participant allocates the commit timestamp locally.
+    CommitLocal {
+        /// Transaction to commit.
+        trx: TrxId,
+    },
+    /// Roll back.
+    Abort {
+        /// Transaction to abort.
+        trx: TrxId,
+    },
+
+    // ---- replies ----
+    /// Generic success.
+    Ok,
+    /// Read result.
+    RowResult(Option<Row>),
+    /// Scan result.
+    Rows(Vec<(Key, Row)>),
+    /// Participant entered PREPARED at this timestamp.
+    Prepared {
+        /// The participant's `prepare_ts`.
+        prepare_ts: u64,
+    },
+    /// Commit confirmation carrying the commit timestamp used.
+    Committed {
+        /// The commit timestamp.
+        commit_ts: u64,
+    },
+    /// Failure reply.
+    Failed(polardbx_common::Error),
+}

@@ -1,0 +1,311 @@
+//! The DN-side participant service.
+
+use parking_lot::Mutex;
+use std::collections::HashSet;
+use std::ops::Bound;
+use std::sync::Arc;
+use std::time::Duration;
+
+use polardbx_common::{NodeId, Result, TrxId};
+use polardbx_hlc::{Clock, HlcTimestamp};
+use polardbx_simnet::Handler;
+use polardbx_storage::{StorageEngine, WriteOp};
+
+use crate::msg::{TxnMsg, WireWriteOp};
+
+/// A DN participant: storage engine + node clock, attached to the fabric.
+pub struct DnService {
+    /// Node id on the fabric.
+    pub node: NodeId,
+    /// The node's storage engine.
+    pub engine: Arc<StorageEngine>,
+    /// The node's clock (HLC, TSO client, or Clock-SI).
+    pub clock: Arc<dyn Clock>,
+    /// Transactions this participant has begun locally.
+    started: Mutex<HashSet<TrxId>>,
+}
+
+impl DnService {
+    /// Wrap an engine and a clock as a participant service.
+    pub fn new(node: NodeId, engine: Arc<StorageEngine>, clock: Arc<dyn Clock>) -> Arc<DnService> {
+        Arc::new(DnService { node, engine, clock, started: Mutex::new(HashSet::new()) })
+    }
+
+    /// Step ③ of Fig 4 — and the Clock-SI divergence point. HLC absorbs the
+    /// incoming timestamp (`ClockUpdate`); Clock-SI has no causality
+    /// propagation, so when the snapshot is ahead of the local physical
+    /// clock the participant must *delay* the statement until its clock
+    /// catches up (bounded by the configured worst-case skew).
+    fn sync_snapshot(&self, snapshot_ts: u64) {
+        if self.clock.causality_wait_millis() > 0 {
+            let deadline = std::time::Instant::now()
+                + Duration::from_millis(self.clock.causality_wait_millis() + 1);
+            while self.clock.now().raw() < snapshot_ts {
+                if std::time::Instant::now() >= deadline {
+                    break;
+                }
+                std::thread::sleep(Duration::from_micros(50));
+            }
+        } else {
+            self.clock.update(HlcTimestamp::from_raw(snapshot_ts));
+        }
+    }
+
+    fn ensure_started(&self, trx: TrxId, snapshot_ts: u64) {
+        if trx.raw() == 0 {
+            return;
+        }
+        let mut started = self.started.lock();
+        if started.insert(trx) {
+            self.engine.begin(trx, snapshot_ts);
+        }
+    }
+
+    fn finish(&self, trx: TrxId) {
+        self.started.lock().remove(&trx);
+    }
+
+    fn do_write(
+        &self,
+        trx: TrxId,
+        snapshot_ts: u64,
+        table: polardbx_common::TableId,
+        key: polardbx_common::Key,
+        op: WireWriteOp,
+    ) -> Result<()> {
+        self.sync_snapshot(snapshot_ts);
+        self.ensure_started(trx, snapshot_ts);
+        let op = match op {
+            WireWriteOp::Insert(row) => WriteOp::Insert(row),
+            WireWriteOp::Update(row) => WriteOp::Update(row),
+            WireWriteOp::Delete => WriteOp::Delete,
+        };
+        self.engine.write(trx, table, key, op)
+    }
+}
+
+impl Handler<TxnMsg> for DnService {
+    fn handle(&self, _from: NodeId, msg: TxnMsg) -> TxnMsg {
+        match msg {
+            TxnMsg::Write { trx, snapshot_ts, table, key, op } => {
+                match self.do_write(trx, snapshot_ts, table, key, op) {
+                    Ok(()) => TxnMsg::Ok,
+                    Err(e) => TxnMsg::Failed(e),
+                }
+            }
+            TxnMsg::Read { trx, snapshot_ts, table, key } => {
+                self.sync_snapshot(snapshot_ts);
+                let me = (trx.raw() != 0).then(|| {
+                    self.ensure_started(trx, snapshot_ts);
+                    trx
+                });
+                match self.engine.read(table, &key, snapshot_ts, me) {
+                    Ok(row) => TxnMsg::RowResult(row),
+                    Err(e) => TxnMsg::Failed(e),
+                }
+            }
+            TxnMsg::Scan { trx, snapshot_ts, table, lower, upper } => {
+                self.sync_snapshot(snapshot_ts);
+                let me = (trx.raw() != 0).then(|| {
+                    self.ensure_started(trx, snapshot_ts);
+                    trx
+                });
+                let lo = lower.as_ref().map(Bound::Included).unwrap_or(Bound::Unbounded);
+                let hi = upper.as_ref().map(Bound::Excluded).unwrap_or(Bound::Unbounded);
+                match self.engine.scan(table, lo, hi, snapshot_ts, me) {
+                    Ok(rows) => TxnMsg::Rows(rows),
+                    Err(e) => TxnMsg::Failed(e),
+                }
+            }
+            TxnMsg::Prepare { trx } => {
+                // Step ④: validate, enter PREPARED, return ClockAdvance().
+                let prepare_ts = self.clock.advance();
+                match self.engine.prepare(trx, prepare_ts.raw()) {
+                    Ok(_) => TxnMsg::Prepared { prepare_ts: prepare_ts.raw() },
+                    Err(e) => TxnMsg::Failed(e),
+                }
+            }
+            TxnMsg::Commit { trx, commit_ts } => {
+                // Step ⑦: absorb the commit timestamp, then commit.
+                self.clock.update(HlcTimestamp::from_raw(commit_ts));
+                self.finish(trx);
+                match self.engine.commit(trx, commit_ts) {
+                    Ok(_) => TxnMsg::Committed { commit_ts },
+                    Err(e) => TxnMsg::Failed(e),
+                }
+            }
+            TxnMsg::CommitLocal { trx } => {
+                // Single-participant fast path: the commit timestamp is this
+                // node's ClockAdvance — no cross-node max needed.
+                let commit_ts = self.clock.advance().raw();
+                self.finish(trx);
+                match self.engine.commit(trx, commit_ts) {
+                    Ok(_) => TxnMsg::Committed { commit_ts },
+                    Err(e) => TxnMsg::Failed(e),
+                }
+            }
+            TxnMsg::Abort { trx } => {
+                self.finish(trx);
+                self.engine.abort(trx);
+                TxnMsg::Ok
+            }
+            other => other,
+        }
+    }
+
+    fn handle_oneway(&self, from: NodeId, msg: TxnMsg) {
+        // Phase-two messages may arrive as posts (asynchronous second phase).
+        let _ = self.handle(from, msg);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polardbx_common::{DcId, Key, Row, TableId, TenantId, Value};
+    use polardbx_hlc::{Hlc, TestClock};
+    use polardbx_simnet::{LatencyMatrix, SimNet};
+
+    fn key(n: i64) -> Key {
+        Key::encode(&[Value::Int(n)])
+    }
+
+    fn row(n: i64) -> Row {
+        Row::new(vec![Value::Int(n)])
+    }
+
+    #[test]
+    fn participant_updates_clock_from_snapshot() {
+        let pc = TestClock::at(100);
+        let clock = Hlc::with_physical(pc);
+        let engine = StorageEngine::in_memory();
+        engine.create_table(TableId(1), TenantId(1));
+        let dn = DnService::new(NodeId(1), engine, clock.clone());
+        // A snapshot far in the future arrives (from a fast coordinator).
+        let future = HlcTimestamp::new(5000, 0);
+        let reply = dn.handle(
+            NodeId(9),
+            TxnMsg::Read { trx: TrxId(0), snapshot_ts: future.raw(), table: TableId(1), key: key(1) },
+        );
+        assert!(matches!(reply, TxnMsg::RowResult(None)));
+        assert!(clock.now() >= future, "ClockUpdate must have absorbed the snapshot");
+    }
+
+    #[test]
+    fn prepare_returns_advancing_timestamp() {
+        let clock = Hlc::with_physical(TestClock::at(100));
+        let engine = StorageEngine::in_memory();
+        engine.create_table(TableId(1), TenantId(1));
+        let dn = DnService::new(NodeId(1), engine, clock);
+        dn.handle(
+            NodeId(9),
+            TxnMsg::Write {
+                trx: TrxId(5),
+                snapshot_ts: HlcTimestamp::new(100, 0).raw(),
+                table: TableId(1),
+                key: key(1),
+                op: WireWriteOp::Insert(row(1)),
+            },
+        );
+        let r1 = dn.handle(NodeId(9), TxnMsg::Prepare { trx: TrxId(5) });
+        let TxnMsg::Prepared { prepare_ts } = r1 else { panic!("expected Prepared, got {r1:?}") };
+        assert!(prepare_ts > HlcTimestamp::new(100, 0).raw());
+    }
+
+    #[test]
+    fn full_local_2pc_roundtrip_via_fabric() {
+        let net = SimNet::new(LatencyMatrix::zero());
+        let clock = Hlc::with_physical(TestClock::at(1));
+        let engine = StorageEngine::in_memory();
+        engine.create_table(TableId(1), TenantId(1));
+        let dn = DnService::new(NodeId(1), Arc::clone(&engine), clock);
+        net.register(NodeId(1), DcId(1), dn);
+        struct Cn;
+        impl Handler<TxnMsg> for Cn {
+            fn handle(&self, _f: NodeId, m: TxnMsg) -> TxnMsg {
+                m
+            }
+        }
+        net.register(NodeId(9), DcId(1), Arc::new(Cn));
+
+        let snapshot = HlcTimestamp::new(1, 0).raw();
+        let w = net
+            .call(
+                NodeId(9),
+                NodeId(1),
+                TxnMsg::Write {
+                    trx: TrxId(7),
+                    snapshot_ts: snapshot,
+                    table: TableId(1),
+                    key: key(1),
+                    op: WireWriteOp::Insert(row(1)),
+                },
+            )
+            .unwrap();
+        assert!(matches!(w, TxnMsg::Ok));
+        let p = net.call(NodeId(9), NodeId(1), TxnMsg::Prepare { trx: TrxId(7) }).unwrap();
+        let TxnMsg::Prepared { prepare_ts } = p else { panic!() };
+        let c = net
+            .call(NodeId(9), NodeId(1), TxnMsg::Commit { trx: TrxId(7), commit_ts: prepare_ts })
+            .unwrap();
+        assert!(matches!(c, TxnMsg::Committed { .. }));
+        assert_eq!(engine.read(TableId(1), &key(1), u64::MAX, None).unwrap(), Some(row(1)));
+    }
+
+    #[test]
+    fn clock_si_participant_waits_out_skew() {
+        use polardbx_hlc::ClockSiClock;
+        // Participant's physical clock is 5 ms behind the coordinator's.
+        let pc = TestClock::at(1000);
+        let clock = ClockSiClock::new(pc.clone(), 50);
+        let engine = StorageEngine::in_memory();
+        engine.create_table(TableId(1), TenantId(1));
+        let dn = DnService::new(NodeId(1), Arc::clone(&engine), clock);
+        // Ticker moves the physical clock forward in real time.
+        let pc2 = Arc::clone(&pc);
+        let ticker = std::thread::spawn(move || {
+            for _ in 0..60 {
+                std::thread::sleep(Duration::from_millis(1));
+                pc2.tick(1);
+            }
+        });
+        let future_snapshot = HlcTimestamp::at_pt(1010).raw();
+        let t0 = std::time::Instant::now();
+        let reply = dn.handle(
+            NodeId(9),
+            TxnMsg::Read {
+                trx: TrxId(0),
+                snapshot_ts: future_snapshot,
+                table: TableId(1),
+                key: key(1),
+            },
+        );
+        assert!(matches!(reply, TxnMsg::RowResult(None)));
+        assert!(
+            t0.elapsed() >= Duration::from_millis(5),
+            "Clock-SI must delay until local clock passes the snapshot"
+        );
+        ticker.join().unwrap();
+    }
+
+    #[test]
+    fn abort_cleans_up() {
+        let clock = Hlc::with_physical(TestClock::at(1));
+        let engine = StorageEngine::in_memory();
+        engine.create_table(TableId(1), TenantId(1));
+        let dn = DnService::new(NodeId(1), Arc::clone(&engine), clock);
+        dn.handle(
+            NodeId(9),
+            TxnMsg::Write {
+                trx: TrxId(3),
+                snapshot_ts: 1,
+                table: TableId(1),
+                key: key(1),
+                op: WireWriteOp::Insert(row(1)),
+            },
+        );
+        dn.handle(NodeId(9), TxnMsg::Abort { trx: TrxId(3) });
+        assert_eq!(engine.read(TableId(1), &key(1), u64::MAX, None).unwrap(), None);
+        assert!(!engine.has_active_txns());
+    }
+}

@@ -1,0 +1,244 @@
+//! In-memory log buffer with group flush to a sink.
+//!
+//! The RW node appends MTRs here; a flush pushes everything unflushed to the
+//! durable sink (PolarFS in the full system) and returns the durable LSN.
+//! Appends are serialized by a mutex — in InnoDB terms this is the log mutex
+//! protecting `log_sys` — while flushes batch all pending bytes (group
+//! commit).
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use polardbx_common::{Lsn, Result};
+
+use crate::mtr::Mtr;
+
+/// Destination for flushed log bytes. PolarFS volumes implement this; tests
+/// use [`VecSink`].
+pub trait LogSink: Send + Sync {
+    /// Persist `bytes`, which begin at `at`. Must be atomic per call.
+    fn write(&self, at: Lsn, bytes: Bytes) -> Result<()>;
+}
+
+/// An in-memory sink capturing everything, for tests and RO-replica feeds.
+#[derive(Debug, Default)]
+pub struct VecSink {
+    inner: Mutex<Vec<(Lsn, Bytes)>>,
+}
+
+impl VecSink {
+    /// Empty sink.
+    pub fn new() -> Arc<VecSink> {
+        Arc::new(VecSink::default())
+    }
+
+    /// Snapshot of all writes.
+    pub fn writes(&self) -> Vec<(Lsn, Bytes)> {
+        self.inner.lock().clone()
+    }
+
+    /// Concatenated contiguous content, verifying offsets tile correctly.
+    /// Writes are sorted by offset first: concurrent flushes may land out
+    /// of order (each call is atomic, offsets never overlap).
+    pub fn contiguous(&self) -> Vec<u8> {
+        let mut writes = self.inner.lock().clone();
+        writes.sort_by_key(|(at, _)| *at);
+        let mut out = Vec::new();
+        let mut next = writes.first().map(|(l, _)| *l).unwrap_or(Lsn::ZERO);
+        for (at, bytes) in writes.iter() {
+            assert_eq!(*at, next, "sink writes must tile the LSN space");
+            out.extend_from_slice(bytes);
+            next = at.advance(bytes.len() as u64);
+        }
+        out
+    }
+}
+
+impl LogSink for VecSink {
+    fn write(&self, at: Lsn, bytes: Bytes) -> Result<()> {
+        self.inner.lock().push((at, bytes));
+        Ok(())
+    }
+}
+
+struct BufferState {
+    /// Next LSN to assign.
+    head: Lsn,
+    /// All bytes appended but not yet flushed.
+    pending: Vec<u8>,
+    /// LSN of the first pending byte.
+    pending_start: Lsn,
+    /// Highest LSN known durable in the sink.
+    flushed: Lsn,
+}
+
+/// The log buffer. `append` assigns LSNs; `flush` makes them durable.
+pub struct LogBuffer {
+    state: Mutex<BufferState>,
+    sink: Arc<dyn LogSink>,
+}
+
+impl LogBuffer {
+    /// A buffer writing to `sink`, starting at LSN 0.
+    pub fn new(sink: Arc<dyn LogSink>) -> Arc<LogBuffer> {
+        Self::starting_at(sink, Lsn::ZERO)
+    }
+
+    /// A buffer starting at an arbitrary LSN (recovery).
+    pub fn starting_at(sink: Arc<dyn LogSink>, at: Lsn) -> Arc<LogBuffer> {
+        Arc::new(LogBuffer {
+            state: Mutex::new(BufferState {
+                head: at,
+                pending: Vec::new(),
+                pending_start: at,
+                flushed: at,
+            }),
+            sink,
+        })
+    }
+
+    /// Append an MTR; returns its `[start, end)` LSN range. The bytes are
+    /// buffered, not yet durable.
+    pub fn append(&self, mtr: &Mtr) -> (Lsn, Lsn) {
+        let encoded = mtr.encode();
+        let mut st = self.state.lock();
+        let start = st.head;
+        let end = start.advance(encoded.len() as u64);
+        st.pending.extend_from_slice(&encoded);
+        st.head = end;
+        (start, end)
+    }
+
+    /// Flush all pending bytes to the sink; returns the new durable LSN.
+    pub fn flush(&self) -> Result<Lsn> {
+        let (at, bytes) = {
+            let mut st = self.state.lock();
+            if st.pending.is_empty() {
+                return Ok(st.flushed);
+            }
+            let at = st.pending_start;
+            let bytes = Bytes::from(std::mem::take(&mut st.pending));
+            st.pending_start = at.advance(bytes.len() as u64);
+            (at, bytes)
+        };
+        // Sink I/O happens outside the lock; a concurrent flush of later
+        // bytes is ordered by sink offset, and our single-writer callers
+        // (the log writer thread) flush serially anyway.
+        self.sink.write(at, bytes.clone())?;
+        let mut st = self.state.lock();
+        let end = at.advance(bytes.len() as u64);
+        if end > st.flushed {
+            st.flushed = end;
+        }
+        Ok(st.flushed)
+    }
+
+    /// Append then immediately flush (write-through), returning the MTR's
+    /// range. Used by single-node setups without a group-commit thread.
+    pub fn append_sync(&self, mtr: &Mtr) -> Result<(Lsn, Lsn)> {
+        let range = self.append(mtr);
+        self.flush()?;
+        Ok(range)
+    }
+
+    /// Next LSN to be assigned.
+    pub fn head(&self) -> Lsn {
+        self.state.lock().head
+    }
+
+    /// Highest durable LSN.
+    pub fn flushed(&self) -> Lsn {
+        self.state.lock().flushed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::RedoPayload;
+    use polardbx_common::{Key, TableId, TrxId, Value};
+
+    fn mtr(n: i64) -> Mtr {
+        Mtr::single(RedoPayload::Insert {
+            trx: TrxId(1),
+            table: TableId(1),
+            key: Key::encode(&[Value::Int(n)]),
+            row: Bytes::from(vec![7u8; 16]),
+        })
+    }
+
+    #[test]
+    fn append_assigns_contiguous_ranges() {
+        let sink = VecSink::new();
+        let buf = LogBuffer::new(sink);
+        let (s1, e1) = buf.append(&mtr(1));
+        let (s2, e2) = buf.append(&mtr(2));
+        assert_eq!(s1, Lsn::ZERO);
+        assert_eq!(e1, s2);
+        assert!(e2 > e1);
+        assert_eq!(buf.head(), e2);
+    }
+
+    #[test]
+    fn flush_makes_bytes_durable_and_idempotent() {
+        let sink = VecSink::new();
+        let buf = LogBuffer::new(sink.clone());
+        buf.append(&mtr(1));
+        buf.append(&mtr(2));
+        let d = buf.flush().unwrap();
+        assert_eq!(d, buf.head());
+        assert_eq!(buf.flushed(), d);
+        // No new appends: second flush is a no-op.
+        let d2 = buf.flush().unwrap();
+        assert_eq!(d2, d);
+        assert_eq!(sink.writes().len(), 1, "group flush batches both MTRs");
+        // Content round-trips.
+        let content = sink.contiguous();
+        let records = RedoPayload::decode_all(Bytes::from(content)).unwrap();
+        assert_eq!(records.len(), 2);
+    }
+
+    #[test]
+    fn concurrent_appends_never_overlap() {
+        let sink = VecSink::new();
+        let buf = LogBuffer::new(sink);
+        let mut handles = vec![];
+        for t in 0..4 {
+            let buf = Arc::clone(&buf);
+            handles.push(std::thread::spawn(move || {
+                (0..200).map(|i| buf.append(&mtr(t * 1000 + i))).collect::<Vec<_>>()
+            }));
+        }
+        let mut ranges: Vec<(Lsn, Lsn)> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        ranges.sort();
+        for w in ranges.windows(2) {
+            assert!(w[0].1 <= w[1].0, "ranges overlap: {w:?}");
+        }
+        // Ranges tile with no holes either.
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].1, w[1].0);
+        }
+    }
+
+    #[test]
+    fn starting_at_resumes_offsets() {
+        let sink = VecSink::new();
+        let buf = LogBuffer::starting_at(sink, Lsn(5000));
+        let (s, _) = buf.append(&mtr(1));
+        assert_eq!(s, Lsn(5000));
+        assert_eq!(buf.flushed(), Lsn(5000));
+    }
+
+    #[test]
+    fn append_sync_is_durable() {
+        let sink = VecSink::new();
+        let buf = LogBuffer::new(sink.clone());
+        let (_, e) = buf.append_sync(&mtr(9)).unwrap();
+        assert_eq!(buf.flushed(), e);
+        assert_eq!(sink.writes().len(), 1);
+    }
+}

@@ -1,0 +1,4 @@
+//! Umbrella package for the PolarDB-X reproduction: hosts the runnable
+//! examples under `examples/` and the cross-crate integration tests under
+//! `tests/`. The actual system lives in the `crates/` workspace members.
+pub use polardbx;

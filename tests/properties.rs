@@ -1,0 +1,380 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants: order-preserving key encoding, LIKE matching, MVCC
+//! visibility against an oracle, columnar-vs-row equivalence, aggregate
+//! partial-merge associativity, and partition-routing determinism.
+
+use proptest::prelude::*;
+
+use polardbx_common::{Key, Row, TrxId, Value};
+
+proptest! {
+    /// Key encoding preserves order for same-typed tuples: byte-wise
+    /// comparison of encodings equals SQL comparison of the value tuples.
+    #[test]
+    fn key_encoding_is_order_preserving(
+        kinds in proptest::collection::vec(0u8..4, 1..4),
+        seed_a in any::<u64>(),
+        seed_b in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let gen = |seed: u64| -> Vec<Value> {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            kinds.iter().map(|&k| match k % 4 {
+                0 => Value::Int(rng.gen_range(-1000..1000)),
+                1 => Value::Double(rng.gen_range(-100.0..100.0)),
+                2 => {
+                    let n = rng.gen_range(0..6);
+                    Value::Str((0..n).map(|_| rng.gen_range(b'a'..=b'e') as char).collect())
+                }
+                _ => Value::Date(rng.gen_range(-500..500)),
+            }).collect()
+        };
+        let a = gen(seed_a);
+        let b = gen(seed_b);
+        let ka = Key::encode(&a);
+        let kb = Key::encode(&b);
+        let tuple_ord = a.iter().zip(&b).map(|(x, y)| x.cmp(y))
+            .find(|o| *o != std::cmp::Ordering::Equal)
+            .unwrap_or(std::cmp::Ordering::Equal);
+        prop_assert_eq!(ka.cmp(&kb), tuple_ord);
+    }
+
+    /// Encoding round-trips every value.
+    #[test]
+    fn key_encoding_roundtrips(kind in 0u8..4, seed in any::<u64>()) {
+        let v = {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            match kind {
+                0 => Value::Int(rng.gen()),
+                1 => Value::Double(rng.gen_range(-1e15..1e15)),
+                2 => Value::Bytes((0..rng.gen_range(0..20)).map(|_| rng.gen()).collect()),
+                _ => Value::Date(rng.gen()),
+            }
+        };
+        let vals = vec![v.clone(), Value::Null, v];
+        prop_assert_eq!(Key::encode(&vals).decode(), vals);
+    }
+
+    /// LIKE with only `%`/`_` wildcards agrees with a reference matcher.
+    #[test]
+    fn like_agrees_with_reference(s in "[ab]{0,8}", p in "[ab%_]{0,6}") {
+        fn reference(s: &str, p: &str) -> bool {
+            // Classic DP.
+            let (s, p): (Vec<char>, Vec<char>) = (s.chars().collect(), p.chars().collect());
+            let mut dp = vec![vec![false; p.len() + 1]; s.len() + 1];
+            dp[0][0] = true;
+            for j in 1..=p.len() {
+                dp[0][j] = p[j - 1] == '%' && dp[0][j - 1];
+            }
+            for i in 1..=s.len() {
+                for j in 1..=p.len() {
+                    dp[i][j] = match p[j - 1] {
+                        '%' => dp[i - 1][j] || dp[i][j - 1],
+                        '_' => dp[i - 1][j - 1],
+                        c => c == s[i - 1] && dp[i - 1][j - 1],
+                    };
+                }
+            }
+            dp[s.len()][p.len()]
+        }
+        prop_assert_eq!(
+            polardbx_sql::expr::like_match(&s, &p),
+            reference(&s, &p),
+            "s={:?} p={:?}", s, p
+        );
+    }
+
+    /// MVCC visibility matches a timestamp oracle: after a sequence of
+    /// committed writes at increasing timestamps, a read at any snapshot
+    /// sees exactly the newest version at or before it.
+    #[test]
+    fn mvcc_visibility_matches_oracle(
+        ops in proptest::collection::vec((0i64..6, 0u8..3), 1..40),
+        probe_key in 0i64..6,
+        probe_ts_idx in 0usize..40,
+    ) {
+        use polardbx_storage::{StorageEngine, WriteOp};
+        use polardbx_common::{TableId, TenantId};
+        use std::collections::HashMap;
+
+        let engine = StorageEngine::in_memory();
+        engine.create_table(TableId(1), TenantId(1));
+        // Oracle: key -> Vec<(commit_ts, Option<row>)>
+        let mut oracle: HashMap<i64, Vec<(u64, Option<Row>)>> = HashMap::new();
+        let mut ts = 0u64;
+        for (i, (k, op)) in ops.iter().enumerate() {
+            ts += 10;
+            let trx = TrxId(1000 + i as u64);
+            let key = Key::encode(&[Value::Int(*k)]);
+            let exists = oracle
+                .get(k)
+                .and_then(|v| v.last())
+                .map(|(_, r)| r.is_some())
+                .unwrap_or(false);
+            let row = Row::new(vec![Value::Int(*k), Value::Int(ts as i64)]);
+            engine.begin(trx, ts - 1);
+            let action: Option<Option<Row>> = match op {
+                0 if !exists => {
+                    engine.write(trx, TableId(1), key, WriteOp::Insert(row.clone())).unwrap();
+                    Some(Some(row))
+                }
+                1 if exists => {
+                    engine.write(trx, TableId(1), key, WriteOp::Update(row.clone())).unwrap();
+                    Some(Some(row))
+                }
+                2 if exists => {
+                    engine.write(trx, TableId(1), key, WriteOp::Delete).unwrap();
+                    Some(None)
+                }
+                _ => {
+                    engine.abort(trx);
+                    None
+                }
+            };
+            if let Some(new_state) = action {
+                engine.commit(trx, ts).unwrap();
+                oracle.entry(*k).or_default().push((ts, new_state));
+            }
+        }
+        // Probe at an arbitrary snapshot.
+        let probe_ts = (probe_ts_idx as u64 + 1) * 5;
+        let got = engine
+            .read(TableId(1), &Key::encode(&[Value::Int(probe_key)]), probe_ts, None)
+            .unwrap();
+        let expect = oracle
+            .get(&probe_key)
+            .and_then(|versions| {
+                versions.iter().rev().find(|(cts, _)| *cts <= probe_ts).map(|(_, r)| r.clone())
+            })
+            .flatten();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Column-index snapshots agree with a row-store oracle across a random
+    /// op sequence at every commit timestamp.
+    #[test]
+    fn columnar_matches_row_oracle(
+        ops in proptest::collection::vec((0i64..5, any::<bool>()), 1..30),
+    ) {
+        use polardbx_columnar::ColumnIndex;
+        use polardbx_common::DataType;
+        use std::collections::BTreeMap;
+
+        let index = ColumnIndex::new(vec![DataType::Int, DataType::Int]);
+        let mut oracle: BTreeMap<i64, i64> = BTreeMap::new();
+        let mut ts = 0u64;
+        let mut checkpoints: Vec<(u64, BTreeMap<i64, i64>)> = Vec::new();
+        for (i, (k, is_put)) in ops.iter().enumerate() {
+            ts += 1;
+            let key = Key::encode(&[Value::Int(*k)]);
+            if *is_put {
+                let row = Row::new(vec![Value::Int(*k), Value::Int(i as i64)]);
+                index.apply_put(TrxId(i as u64), ts, key, &row).unwrap();
+                oracle.insert(*k, i as i64);
+            } else {
+                index.apply_delete(TrxId(i as u64), ts, &key);
+                oracle.remove(k);
+            }
+            checkpoints.push((ts, oracle.clone()));
+        }
+        for (ts, expected) in checkpoints {
+            let snap = index.snapshot(ts);
+            let mut got: BTreeMap<i64, i64> = BTreeMap::new();
+            for pos in 0..snap.len() {
+                let row = snap.row(pos);
+                got.insert(
+                    row.get(0).unwrap().as_int().unwrap(),
+                    row.get(1).unwrap().as_int().unwrap(),
+                );
+            }
+            prop_assert_eq!(got, expected, "at snapshot {}", ts);
+        }
+    }
+
+    /// Aggregate partial/merge evaluation is equivalent to single-pass
+    /// evaluation regardless of how the input is split (the MPP two-phase
+    /// aggregate correctness property).
+    #[test]
+    fn agg_merge_is_split_invariant(
+        values in proptest::collection::vec(-1000i64..1000, 1..50),
+        split in 0usize..50,
+    ) {
+        use polardbx_executor::operators::AggState;
+        use polardbx_sql::expr::AggFunc;
+        use polardbx_sql::plan::AggSpec;
+
+        let split = split % values.len();
+        for func in [AggFunc::Count, AggFunc::Sum, AggFunc::Avg, AggFunc::Min, AggFunc::Max] {
+            let spec = AggSpec { func, arg: None, distinct: false };
+            let mut single = AggState::new(&spec);
+            for v in &values {
+                single.update(Some(&Value::Int(*v)));
+            }
+            let (a, b) = values.split_at(split);
+            let mut pa = AggState::new(&spec);
+            for v in a {
+                pa.update(Some(&Value::Int(*v)));
+            }
+            let mut pb = AggState::new(&spec);
+            for v in b {
+                pb.update(Some(&Value::Int(*v)));
+            }
+            pa.merge(&pb);
+            prop_assert_eq!(single.finish(), pa.finish(), "func {:?}", func);
+        }
+    }
+
+    /// Hash partitioning is deterministic, in-bounds and spread.
+    #[test]
+    fn partition_routing_sound(ids in proptest::collection::vec(any::<i64>(), 1..200), shards in 1u32..64) {
+        use polardbx_common::{ColumnDef, DataType, TableId, TableSchema};
+        let schema = TableSchema::hash_on_pk(
+            TableId(1),
+            "t",
+            vec![ColumnDef::new("id", DataType::Int).not_null()],
+            vec!["id".into()],
+            shards,
+        ).unwrap();
+        for id in &ids {
+            let s1 = schema.shard_of_key(&[Value::Int(*id)]);
+            let s2 = schema.shard_of_key(&[Value::Int(*id)]);
+            prop_assert_eq!(s1, s2);
+            prop_assert!(s1 < shards);
+        }
+    }
+}
+
+proptest! {
+    /// The SQL lexer+parser never panic on arbitrary input — they return
+    /// structured errors.
+    #[test]
+    fn parser_never_panics(input in ".{0,80}") {
+        let _ = polardbx_sql::parse(&input);
+    }
+
+    /// Parsed expressions evaluate consistently with operator precedence:
+    /// `a + b * c` equals `a + (b * c)` computed manually.
+    #[test]
+    fn expression_precedence_semantics(a in -100i64..100, b in -100i64..100, c in -100i64..100) {
+        use polardbx_sql::{parse, Statement};
+        let sql = format!("SELECT {a} + {b} * {c} FROM t");
+        let Statement::Select(sel) = parse(&sql).unwrap() else { unreachable!() };
+        let polardbx_sql::ast::SelectItem::Expr { expr, .. } = &sel.items[0] else {
+            unreachable!()
+        };
+        let got = expr.eval(&Row::empty()).unwrap();
+        prop_assert_eq!(got, Value::Int(a + b * c));
+    }
+
+    /// BETWEEN is equivalent to the conjunction of its bounds.
+    #[test]
+    fn between_equals_conjunction(v in -50i64..50, lo in -50i64..50, hi in -50i64..50) {
+        use polardbx_sql::expr::{BinOp, Expr};
+        let row = Row::new(vec![Value::Int(v)]);
+        let between = Expr::Between {
+            expr: Box::new(Expr::ColumnIdx(0)),
+            low: Box::new(Expr::int(lo)),
+            high: Box::new(Expr::int(hi)),
+        };
+        let conj = Expr::binary(
+            BinOp::And,
+            Expr::binary(BinOp::Ge, Expr::ColumnIdx(0), Expr::int(lo)),
+            Expr::binary(BinOp::Le, Expr::ColumnIdx(0), Expr::int(hi)),
+        );
+        prop_assert_eq!(between.eval_bool(&row).unwrap(), conj.eval_bool(&row).unwrap());
+    }
+
+    /// The vectorized columnar filter kernels agree with row-at-a-time
+    /// predicate evaluation for every comparison operator.
+    #[test]
+    fn columnar_filters_match_row_filters(
+        data in proptest::collection::vec(proptest::option::of(-50i64..50), 1..60),
+        constant in -50i64..50,
+        op_idx in 0usize..6,
+    ) {
+        use polardbx_columnar::kernels::{filter_cmp, CmpOp};
+        use polardbx_columnar::ColumnData;
+        use polardbx_common::DataType;
+
+        let ops = [CmpOp::Eq, CmpOp::Neq, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge];
+        let op = ops[op_idx];
+        let mut col = ColumnData::new(DataType::Int);
+        for v in &data {
+            col.push(&v.map(Value::Int).unwrap_or(Value::Null)).unwrap();
+        }
+        let sel: Vec<u32> = (0..data.len() as u32).collect();
+        let fast = filter_cmp(&col, &sel, op, &Value::Int(constant)).unwrap();
+        let slow: Vec<u32> = data
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| {
+                v.is_some_and(|x| match op {
+                    CmpOp::Eq => x == constant,
+                    CmpOp::Neq => x != constant,
+                    CmpOp::Lt => x < constant,
+                    CmpOp::Le => x <= constant,
+                    CmpOp::Gt => x > constant,
+                    CmpOp::Ge => x >= constant,
+                })
+            })
+            .map(|(i, _)| i as u32)
+            .collect();
+        prop_assert_eq!(fast, slow);
+    }
+
+    /// Traffic-control fingerprints are literal-insensitive.
+    #[test]
+    fn fingerprint_literal_insensitive(a in 0i64..100000, b in 0i64..100000, s1 in "[a-z]{1,8}", s2 in "[a-z]{1,8}") {
+        use polardbx::traffic::fingerprint;
+        prop_assert_eq!(
+            fingerprint(&format!("SELECT * FROM t WHERE id = {a} AND name = '{s1}'")),
+            fingerprint(&format!("SELECT * FROM t WHERE id = {b} AND name = '{s2}'"))
+        );
+    }
+}
+
+proptest! {
+    /// `PaxosFrame::decode` never panics on arbitrary bytes — corrupt or
+    /// truncated network input becomes a structured error.
+    #[test]
+    fn frame_decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let mut bytes = bytes::Bytes::from(data);
+        let _ = polardbx_wal::PaxosFrame::decode(&mut bytes);
+    }
+
+    /// Redo-record decoding never panics on arbitrary bytes either.
+    #[test]
+    fn redo_decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let _ = polardbx_wal::RedoPayload::decode_all(bytes::Bytes::from(data));
+    }
+
+    /// Frames round-trip through encode/decode for arbitrary payload sizes
+    /// up to the 16 KB cap, and corruption of any single byte is detected.
+    #[test]
+    fn frame_roundtrip_and_corruption_detection(
+        payload_len in 1usize..2048,
+        epoch in any::<u64>(),
+        corrupt_at in any::<usize>(),
+    ) {
+        use polardbx_wal::{Mtr, PaxosFrame, RedoPayload};
+        let mtr = Mtr::single(RedoPayload::Insert {
+            trx: TrxId(1),
+            table: polardbx_common::TableId(1),
+            key: Key::encode(&[Value::Int(1)]),
+            row: bytes::Bytes::from(vec![0xAB; payload_len]),
+        });
+        let frame = PaxosFrame::from_mtrs(epoch, 0, polardbx_common::Lsn(0), &[mtr]);
+        let wire = frame.encode();
+        let mut ok = wire.clone();
+        prop_assert_eq!(PaxosFrame::decode(&mut ok).unwrap(), frame);
+        // Flip one payload byte: checksum must catch it.
+        let mut corrupted = wire.to_vec();
+        let idx = polardbx_wal::FRAME_HEADER_LEN + corrupt_at % payload_len.max(1);
+        if idx < corrupted.len() {
+            corrupted[idx] ^= 0x01;
+            let mut b = bytes::Bytes::from(corrupted);
+            prop_assert!(PaxosFrame::decode(&mut b).is_err());
+        }
+    }
+}
