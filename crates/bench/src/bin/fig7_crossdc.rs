@@ -36,6 +36,8 @@ impl Handler<polardbx_hlc::TsoMsg> for TsoStub {
     }
 }
 
+// The paper's own names for the three snapshot-isolation schemes.
+#[allow(clippy::enum_variant_names)]
 #[derive(Clone, Copy, Debug, PartialEq)]
 enum Scheme {
     HlcSi,

@@ -292,15 +292,11 @@ fn measure_config_full(
         min_window_tpmc: interior.iter().min().copied().unwrap_or(0) as f64 * per_minute,
         windows: interior,
         ap_queries: q,
-        ap_mean: if q == 0 {
-            Duration::ZERO
-        } else {
-            Duration::from_micros(ap_lat_micros.load(Ordering::Relaxed) / q)
-        },
-        ap_busy_mean: if q == 0 {
-            Duration::ZERO
-        } else {
-            Duration::from_micros(ap_busy_micros.load(Ordering::Relaxed) / q)
-        },
+        ap_mean: Duration::from_micros(
+            ap_lat_micros.load(Ordering::Relaxed).checked_div(q).unwrap_or(0),
+        ),
+        ap_busy_mean: Duration::from_micros(
+            ap_busy_micros.load(Ordering::Relaxed).checked_div(q).unwrap_or(0),
+        ),
     }
 }

@@ -55,10 +55,8 @@ impl ColumnIndexMaintainer {
         match record {
             RedoPayload::Insert { trx, table, .. }
             | RedoPayload::Update { trx, table, .. }
-            | RedoPayload::Delete { trx, table, .. } => {
-                if *table == self.table {
-                    self.pending_txns.lock().entry(*trx).or_default().push(record.clone());
-                }
+            | RedoPayload::Delete { trx, table, .. } if *table == self.table => {
+                self.pending_txns.lock().entry(*trx).or_default().push(record.clone());
             }
             RedoPayload::TxnCommit { trx, commit_ts } => {
                 let ops = self.pending_txns.lock().remove(trx);

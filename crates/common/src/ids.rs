@@ -5,7 +5,6 @@
 //! tenants (units of RW-node binding in PolarDB-MT), tables, transactions,
 //! and redo-log positions (LSN). Newtypes prevent mixing them up.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -13,7 +12,7 @@ macro_rules! id_type {
     ($(#[$meta:meta])* $name:ident, $prefix:expr) => {
         $(#[$meta])*
         #[derive(
-            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
         )]
         pub struct $name(pub u64);
 
@@ -72,7 +71,7 @@ id_type!(
 /// Log sequence number: a byte offset into the redo log stream, exactly as
 /// InnoDB uses it. Orders redo records; `Lsn::ZERO` is "before any record".
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct Lsn(pub u64);
 

@@ -5,13 +5,12 @@
 //! the classic "memcomparable" encoding used by MySQL/InnoDB-compatible
 //! distributed stores; hash partitioning (§II-B) hashes these bytes.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 use crate::value::Value;
 
 /// An encoded, order-preserving key.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Key(pub Vec<u8>);
 
 const TAG_NULL: u8 = 0x01;

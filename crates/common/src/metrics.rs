@@ -35,6 +35,11 @@ impl Counter {
     pub fn get(&self) -> u64 {
         self.value.load(Ordering::Relaxed)
     }
+
+    /// Reset to zero (between chaos-test phases / bench rounds).
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
 }
 
 /// Latency histogram with logarithmic buckets from 1 µs to ~17 s.
@@ -81,7 +86,7 @@ impl Histogram {
     fn bucket_upper(idx: usize) -> u64 {
         let log2 = idx as u64 / 2;
         let base = 1u64 << log2;
-        if idx % 2 == 0 { base + base / 2 } else { base * 2 }
+        if idx.is_multiple_of(2) { base + base / 2 } else { base * 2 }
     }
 
     /// Record one latency observation.

@@ -1,6 +1,5 @@
 //! Rows: ordered tuples of values matching a table schema.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 use crate::error::{Error, Result};
@@ -8,7 +7,7 @@ use crate::key::Key;
 use crate::value::Value;
 
 /// A row of a table: values positionally aligned with the schema's columns.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Row {
     values: Vec<Value>,
 }

@@ -8,7 +8,6 @@
 //! carry all columns); and tables sharing a partition key can be grouped
 //! into a *table group* so equi-joins become partition-wise.
 
-use serde::{Deserialize, Serialize};
 
 use crate::error::{Error, Result};
 use crate::ids::TableId;
@@ -17,7 +16,7 @@ use crate::row::Row;
 use crate::value::Value;
 
 /// Column data types (MySQL-flavoured subset).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DataType {
     /// 64-bit signed integer (BIGINT / INT).
     Int,
@@ -49,7 +48,7 @@ impl DataType {
 }
 
 /// A column definition.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ColumnDef {
     /// Column name (case-insensitive in SQL; stored lowercase).
     pub name: String,
@@ -73,7 +72,7 @@ impl ColumnDef {
 }
 
 /// How a table (or global index) is split into shards.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PartitionSpec {
     /// Hash partitioning on the named columns into `shards` partitions —
     /// the default in PolarDB-X (§II-B) because it spreads load and avoids
@@ -102,7 +101,7 @@ impl PartitionSpec {
 }
 
 /// Kinds of secondary indexes (§II-B).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum IndexKind {
     /// Partitioned by the table's partition key; maintained locally within
     /// the shard, so no distributed transaction is needed on update.
@@ -117,7 +116,7 @@ pub enum IndexKind {
 }
 
 /// A secondary index definition.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IndexDef {
     /// Index name.
     pub name: String,
@@ -130,7 +129,7 @@ pub struct IndexDef {
 }
 
 /// A table schema with partitioning and indexes.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TableSchema {
     /// Catalog id (assigned by GMS).
     pub id: TableId,

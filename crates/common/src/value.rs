@@ -5,14 +5,13 @@
 //! enough to express the sysbench, TPC-C and TPC-H schemas used in the
 //! paper's evaluation.
 
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 
 use crate::error::{Error, Result};
 
 /// A single SQL value.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum Value {
     /// SQL NULL. Compares less than every non-null value (index ordering).
     Null,
@@ -240,7 +239,7 @@ mod tests {
     fn incomparable_types_are_none_but_total_order_holds() {
         assert_eq!(Value::Int(1).sql_cmp(&Value::str("a")), None);
         // Ord falls back to type rank so sorting mixed vectors is stable.
-        let mut v = vec![Value::str("a"), Value::Int(1), Value::Null];
+        let mut v = [Value::str("a"), Value::Int(1), Value::Null];
         v.sort();
         assert_eq!(v[0], Value::Null);
         assert_eq!(v[1], Value::Int(1));

@@ -31,5 +31,5 @@ pub mod waiters;
 
 pub use group::{GroupConfig, MemberSpec, PaxosGroup};
 pub use msg::PaxosMsg;
-pub use replica::{ApplyFn, Replica, ReplicaStatus, Role};
+pub use replica::{ApplyFn, ConsensusMetrics, Replica, ReplicaStatus, Role};
 pub use waiters::CommitWaiters;

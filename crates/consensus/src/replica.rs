@@ -7,6 +7,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
+use polardbx_common::metrics::Counter;
 use polardbx_common::{DcId, Error, Lsn, NodeId, Result};
 use polardbx_simnet::{Handler, SimNet};
 use polardbx_wal::{FrameBatcher, LogSink, Mtr, PaxosFrame};
@@ -55,6 +56,36 @@ struct State {
     last_leader_contact: Instant,
 }
 
+/// Recovery-path counters: how often chaos (lost, duplicated, reordered
+/// messages; dead leaders) forced the protocol off its happy path.
+#[derive(Debug, Default)]
+pub struct ConsensusMetrics {
+    /// Gap-recovery retransmissions sent by the leader after a rejected ack.
+    pub retransmits: Counter,
+    /// Campaigns started on election timeout.
+    pub elections_started: Counter,
+    /// Campaigns that won leadership.
+    pub elections_won: Counter,
+    /// Duplicate frames skipped by followers (at-least-once delivery).
+    pub duplicate_frames: Counter,
+    /// Appends rejected for a log gap (triggers reject-resend recovery).
+    pub gap_rejects: Counter,
+}
+
+impl ConsensusMetrics {
+    /// One-line summary for harness output.
+    pub fn report(&self) -> String {
+        format!(
+            "retransmits={} · elections: started={} won={} · dup-frames={} · gap-rejects={}",
+            self.retransmits.get(),
+            self.elections_started.get(),
+            self.elections_won.get(),
+            self.duplicate_frames.get(),
+            self.gap_rejects.get(),
+        )
+    }
+}
+
 /// A snapshot of replica state for tests and monitoring.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ReplicaStatus {
@@ -83,6 +114,8 @@ pub struct Replica {
     st: Mutex<State>,
     /// Commit waiters — the asynchronous-commit registry.
     pub waiters: CommitWaiters,
+    /// Recovery-path counters (retransmits, elections, duplicates).
+    pub metrics: ConsensusMetrics,
     sink: Arc<dyn LogSink>,
     apply: Mutex<Option<ApplyFn>>,
     cleanup: Mutex<Option<CleanupFn>>,
@@ -120,6 +153,7 @@ impl Replica {
                 last_leader_contact: Instant::now(),
             }),
             waiters: CommitWaiters::new(),
+            metrics: ConsensusMetrics::default(),
             sink,
             apply: Mutex::new(None),
             cleanup: Mutex::new(None),
@@ -241,6 +275,7 @@ impl Replica {
             if st.is_logger || st.role == Role::Leader {
                 return;
             }
+            self.metrics.elections_started.inc();
             st.epoch += 1;
             st.voted_in = st.epoch;
             st.role = Role::Candidate;
@@ -272,6 +307,7 @@ impl Replica {
                 return;
             }
             if st.votes.len() >= self.majority() {
+                self.metrics.elections_won.inc();
                 st.role = Role::Leader;
                 st.leader = Some(self.me);
                 st.match_lsn.clear();
@@ -428,9 +464,11 @@ impl Replica {
                         break;
                     };
                     if frame.lsn_end <= st.last_lsn {
+                        self.metrics.duplicate_frames.inc();
                         continue; // duplicate
                     }
                     if frame.lsn_start > st.last_lsn {
+                        self.metrics.gap_rejects.inc();
                         rejected = true; // gap: ask leader to resend
                         break;
                     }
@@ -501,6 +539,7 @@ impl Replica {
             }
         };
         if let Some((frames, epoch, dlsn)) = resend {
+            self.metrics.retransmits.inc();
             let _ = self.net.post(
                 self.me,
                 from,

@@ -202,7 +202,7 @@ impl Gms {
         let mut loads: HashMap<NodeId, u64> =
             target_dns.iter().map(|&d| (d, 0)).collect();
         let mut shards: Vec<(u32, u64)> = shard_loads.to_vec();
-        shards.sort_by(|a, b| b.1.cmp(&a.1));
+        shards.sort_by_key(|s| std::cmp::Reverse(s.1));
         let mut plan = Vec::new();
         for (shard, load) in shards {
             let (&dn, _) = loads.iter().min_by_key(|(_, &l)| l).expect("targets");

@@ -144,7 +144,7 @@ mod tests {
         let t1 = &runs[&TenantId(1)];
         // 10 inserts + 10 commits + 1 aborted insert + 1 abort.
         assert!(t1.len() >= 20);
-        assert!(t1.iter().all(|r| r.table().map_or(true, |t| t == TableId(1))));
+        assert!(t1.iter().all(|r| r.table().is_none_or(|t| t == TableId(1))));
     }
 
     #[test]

@@ -51,8 +51,8 @@ impl Indexables {
 
 /// Does `name` (possibly qualified) belong to `table` with the given alias
 /// map? Returns the bare column name when it does.
-fn column_of<'a>(
-    name: &'a str,
+fn column_of(
+    name: &str,
     tables: &BTreeMap<String, String>, // alias → table
 ) -> Option<(String, String)> {
     match name.split_once('.') {
@@ -203,7 +203,7 @@ pub fn recommend_indexes(
         // Two-column composite candidates from the top equality columns.
         let mut eq_cols: Vec<(&String, u32)> =
             columns.iter().map(|(c, (eq, _))| (c, *eq)).filter(|(_, e)| *e > 0).collect();
-        eq_cols.sort_by(|a, b| b.1.cmp(&a.1));
+        eq_cols.sort_by_key(|c| std::cmp::Reverse(c.1));
         for pair in eq_cols.windows(2) {
             let cols = vec![pair[0].0.clone(), pair[1].0.clone()];
             if seen_pairs.insert(cols.clone()) {

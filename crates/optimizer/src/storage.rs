@@ -22,27 +22,27 @@ pub enum StorageChoice {
 
 /// Rows a scan is expected to touch after its adjacent filters.
 fn scanned_rows(plan: &LogicalPlan, table: &str, stats: &Statistics) -> f64 {
-    fn walk(p: &LogicalPlan, table: &str, stats: &Statistics, under_eq_filter: &mut bool) -> bool {
+    fn walk(p: &LogicalPlan, table: &str, under_eq_filter: &mut bool) -> bool {
         match p {
             LogicalPlan::Scan { table: t, .. } => t == table,
             LogicalPlan::Filter { input, predicate } => {
                 if has_pk_point(predicate) {
                     *under_eq_filter = true;
                 }
-                walk(input, table, stats, under_eq_filter)
+                walk(input, table, under_eq_filter)
             }
             LogicalPlan::Project { input, .. }
             | LogicalPlan::Aggregate { input, .. }
             | LogicalPlan::Sort { input, .. }
-            | LogicalPlan::Limit { input, .. } => walk(input, table, stats, under_eq_filter),
+            | LogicalPlan::Limit { input, .. } => walk(input, table, under_eq_filter),
             LogicalPlan::Join { left, right, .. } => {
-                walk(left, table, stats, under_eq_filter)
-                    || walk(right, table, stats, under_eq_filter)
+                walk(left, table, under_eq_filter)
+                    || walk(right, table, under_eq_filter)
             }
         }
     }
     let mut point = false;
-    if !walk(plan, table, stats, &mut point) {
+    if !walk(plan, table, &mut point) {
         return 0.0;
     }
     let rows = stats.get(table).rows as f64;

@@ -19,8 +19,10 @@
 //! round trips each commit needs, and that is a property of the code paths
 //! exercised here, not of the physical medium.
 
+pub mod fault;
 pub mod latency;
 pub mod net;
 
+pub use fault::{FaultPlan, FaultStats, LinkFaults, OneShot, OneShotFault};
 pub use latency::LatencyMatrix;
 pub use net::{Handler, NetStats, SimNet};

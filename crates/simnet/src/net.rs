@@ -1,4 +1,5 @@
-//! The network fabric: node registry, RPC, one-way posts, partitions.
+//! The network fabric: node registry, RPC, one-way posts, partitions,
+//! crashes, and seeded fault injection (see [`crate::fault`]).
 
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::RwLock;
@@ -10,6 +11,7 @@ use std::time::Instant;
 
 use polardbx_common::{DcId, Error, NodeId, Result};
 
+use crate::fault::{FaultPlan, FaultState, FaultStats, OneShotFault};
 use crate::latency::LatencyMatrix;
 
 /// A service that can be attached to the network under a [`NodeId`].
@@ -64,9 +66,13 @@ pub struct SimNet<M: Send + 'static> {
     latency: LatencyMatrix,
     nodes: RwLock<HashMap<NodeId, Registration<M>>>,
     partitions: RwLock<HashSet<(DcId, DcId)>>,
+    crashed: Arc<RwLock<HashSet<NodeId>>>,
+    faults: RwLock<Option<Arc<FaultState>>>,
     shutdown: Arc<AtomicBool>,
     /// Traffic counters (public so harnesses can report them).
     pub stats: NetStats,
+    /// Injected-fault counters (shared with delivery threads).
+    pub fault_stats: Arc<FaultStats>,
 }
 
 impl<M: Send + 'static> SimNet<M> {
@@ -76,8 +82,11 @@ impl<M: Send + 'static> SimNet<M> {
             latency,
             nodes: RwLock::new(HashMap::new()),
             partitions: RwLock::new(HashSet::new()),
+            crashed: Arc::new(RwLock::new(HashSet::new())),
+            faults: RwLock::new(None),
             shutdown: Arc::new(AtomicBool::new(false)),
             stats: NetStats::default(),
+            fault_stats: Arc::new(FaultStats::default()),
         })
     }
 
@@ -87,6 +96,8 @@ impl<M: Send + 'static> SimNet<M> {
         let (tx, rx) = unbounded::<(NodeId, M, Instant)>();
         let svc = Arc::clone(&service);
         let shutdown = Arc::clone(&self.shutdown);
+        let crashed = Arc::clone(&self.crashed);
+        let fault_stats = Arc::clone(&self.fault_stats);
         let delivery = std::thread::Builder::new()
             .name(format!("simnet-deliver-{node}"))
             .spawn(move || {
@@ -101,6 +112,13 @@ impl<M: Send + 'static> SimNet<M> {
                     if deliver_at > now {
                         std::thread::sleep(deliver_at - now);
                     }
+                    // A crashed destination loses in-flight messages: the
+                    // node stays registered (it can restart) but nothing
+                    // reaches its handler while it is down.
+                    if crashed.read().contains(&node) {
+                        fault_stats.blackholed.inc();
+                        continue;
+                    }
                     svc.handle_oneway(from, msg);
                 }
             })
@@ -112,14 +130,68 @@ impl<M: Send + 'static> SimNet<M> {
 
     /// Remove a node from the fabric (its delivery thread drains and exits).
     pub fn deregister(&self, node: NodeId) {
-        if let Some(mut reg) = self.nodes.write().remove(&node) {
-            drop(reg.oneway_tx.clone());
-            // Dropping the Registration drops the sender, closing the channel.
-            if let Some(h) = reg.delivery.take() {
-                drop(reg);
+        // Take the registration out under the write lock, then release the
+        // lock BEFORE joining: the delivery thread only exits once the real
+        // sender inside the registration is dropped, and joining while other
+        // fabric users are blocked on the lock would deadlock traffic.
+        let reg = self.nodes.write().remove(&node);
+        if let Some(mut reg) = reg {
+            let handle = reg.delivery.take();
+            // Dropping the registration drops its `oneway_tx`, closing the
+            // channel and waking the delivery thread out of `recv`.
+            drop(reg);
+            if let Some(h) = handle {
                 let _ = h.join();
             }
         }
+    }
+
+    /// Crash a node: all traffic to and from it is black-holed (calls time
+    /// out, posts vanish) but it stays registered and keeps its delivery
+    /// thread, so [`SimNet::restart`] can bring it back.
+    pub fn crash(&self, node: NodeId) {
+        self.crashed.write().insert(node);
+    }
+
+    /// Bring a crashed node back. Messages lost while down stay lost.
+    pub fn restart(&self, node: NodeId) {
+        self.crashed.write().remove(&node);
+    }
+
+    /// Is `node` currently crashed?
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.crashed.read().contains(&node)
+    }
+
+    /// Install a fault plan. Replaces any active plan; the plan's seeded RNG
+    /// starts fresh, so installing the same plan twice replays the same
+    /// fault sequence.
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        *self.faults.write() = Some(Arc::new(FaultState::new(plan)));
+    }
+
+    /// Remove the active fault plan (crashed nodes stay crashed).
+    pub fn clear_fault_plan(&self) {
+        *self.faults.write() = None;
+    }
+
+    /// Record a send by `from` against the active plan's one-shot schedule,
+    /// applying any triggered faults. Returns true if the triggering message
+    /// itself must be dropped.
+    fn apply_one_shots(&self, from: NodeId) -> bool {
+        let state = match &*self.faults.read() {
+            Some(s) => Arc::clone(s),
+            None => return false,
+        };
+        let mut drop_this = false;
+        for fault in state.on_send(from) {
+            self.fault_stats.one_shots_fired.inc();
+            match fault {
+                OneShotFault::Crash(node) => self.crash(node),
+                OneShotFault::DropNext => drop_this = true,
+            }
+        }
+        drop_this
     }
 
     /// Datacenter of a node, if registered.
@@ -148,65 +220,6 @@ impl<M: Send + 'static> SimNet<M> {
         Ok(())
     }
 
-    /// Synchronous RPC from `from` to `to`: sleeps the one-way delay, runs
-    /// the destination handler on the calling thread, sleeps the return
-    /// delay, and returns the reply. Concurrency comes from concurrent
-    /// callers, exactly like a thread-per-connection server.
-    pub fn call(&self, from: NodeId, to: NodeId, msg: M) -> Result<M> {
-        let (from_dc, to_dc, service) = {
-            let nodes = self.nodes.read();
-            let from_dc = nodes
-                .get(&from)
-                .map(|r| r.dc)
-                .ok_or_else(|| Error::Network { message: format!("unknown sender {from}") })?;
-            let reg = nodes
-                .get(&to)
-                .ok_or_else(|| Error::Network { message: format!("unknown node {to}") })?;
-            (from_dc, reg.dc, Arc::clone(&reg.service))
-        };
-        self.check_link(from_dc, to_dc)?;
-        self.stats.calls.fetch_add(1, Ordering::Relaxed);
-        if from_dc != to_dc {
-            self.stats.cross_dc_calls.fetch_add(1, Ordering::Relaxed);
-        }
-        let d1 = self.latency.one_way(from_dc, to_dc);
-        if !d1.is_zero() {
-            std::thread::sleep(d1);
-        }
-        let reply = service.handle(from, msg);
-        let d2 = self.latency.one_way(to_dc, from_dc);
-        if !d2.is_zero() {
-            std::thread::sleep(d2);
-        }
-        Ok(reply)
-    }
-
-    /// Fire-and-forget message: enqueued to the destination's delivery
-    /// thread, which applies the link delay then invokes `handle_oneway`.
-    /// Messages from all senders to one destination are delivered in the
-    /// order they were enqueued (FIFO per destination).
-    pub fn post(&self, from: NodeId, to: NodeId, msg: M) -> Result<()> {
-        let (from_dc, to_dc, tx) = {
-            let nodes = self.nodes.read();
-            let from_dc = nodes
-                .get(&from)
-                .map(|r| r.dc)
-                .ok_or_else(|| Error::Network { message: format!("unknown sender {from}") })?;
-            let reg = nodes
-                .get(&to)
-                .ok_or_else(|| Error::Network { message: format!("unknown node {to}") })?;
-            (from_dc, reg.dc, reg.oneway_tx.clone())
-        };
-        self.check_link(from_dc, to_dc)?;
-        self.stats.posts.fetch_add(1, Ordering::Relaxed);
-        if from_dc != to_dc {
-            self.stats.cross_dc_posts.fetch_add(1, Ordering::Relaxed);
-        }
-        let deliver_at = Instant::now() + self.latency.one_way(from_dc, to_dc);
-        tx.send((from, msg, deliver_at))
-            .map_err(|_| Error::Network { message: format!("node {to} shut down") })
-    }
-
     /// The latency model in force.
     pub fn latency(&self) -> &LatencyMatrix {
         &self.latency
@@ -227,6 +240,144 @@ impl<M: Send + 'static> SimNet<M> {
             let (tx, _rx) = unbounded();
             reg.oneway_tx = tx;
         }
+    }
+}
+
+impl<M: Send + Clone + 'static> SimNet<M> {
+    /// Synchronous RPC from `from` to `to`: sleeps the one-way delay, runs
+    /// the destination handler on the calling thread, sleeps the return
+    /// delay, and returns the reply. Concurrency comes from concurrent
+    /// callers, exactly like a thread-per-connection server.
+    ///
+    /// Under an active [`FaultPlan`] the request and reply legs are rolled
+    /// independently: a dropped request means the handler never ran, while a
+    /// dropped reply means it DID run but the caller cannot tell — both
+    /// surface as [`Error::Timeout`], which is exactly the ambiguity 2PC
+    /// in-doubt recovery must resolve. A crashed endpoint black-holes the
+    /// call (also a timeout: a dead peer is indistinguishable from a slow
+    /// one).
+    pub fn call(&self, from: NodeId, to: NodeId, msg: M) -> Result<M> {
+        let (from_dc, to_dc, service) = {
+            let nodes = self.nodes.read();
+            let from_dc = nodes
+                .get(&from)
+                .map(|r| r.dc)
+                .ok_or_else(|| Error::Network { message: format!("unknown sender {from}") })?;
+            let reg = nodes
+                .get(&to)
+                .ok_or_else(|| Error::Network { message: format!("unknown node {to}") })?;
+            (from_dc, reg.dc, Arc::clone(&reg.service))
+        };
+        let drop_this = self.apply_one_shots(from);
+        if self.is_crashed(from) || self.is_crashed(to) {
+            self.fault_stats.blackholed.inc();
+            return Err(Error::Timeout { what: format!("call {from} -> {to} (node down)") });
+        }
+        self.check_link(from_dc, to_dc)?;
+        self.stats.calls.fetch_add(1, Ordering::Relaxed);
+        if from_dc != to_dc {
+            self.stats.cross_dc_calls.fetch_add(1, Ordering::Relaxed);
+        }
+        let faults = self.faults.read().clone();
+        let req = faults.as_ref().map(|f| f.decide(from_dc, to_dc));
+        let mut d1 = self.latency.one_way(from_dc, to_dc);
+        if let Some(extra) = req.as_ref().and_then(|d| d.extra_delay) {
+            self.fault_stats.delay_spikes.inc();
+            d1 += extra;
+        }
+        if drop_this || req.as_ref().is_some_and(|d| d.drop) {
+            // The caller still waits out its leg of the trip before
+            // concluding the request vanished.
+            self.fault_stats.dropped_requests.inc();
+            if !d1.is_zero() {
+                std::thread::sleep(d1);
+            }
+            return Err(Error::Timeout { what: format!("request {from} -> {to} lost") });
+        }
+        if !d1.is_zero() {
+            std::thread::sleep(d1);
+        }
+        let reply = if req.as_ref().is_some_and(|d| d.duplicate) {
+            // Deliver twice: exercises participant idempotency. The first
+            // reply is discarded (the network has no slot for it).
+            self.fault_stats.duplicated_calls.inc();
+            let _ = service.handle(from, msg.clone());
+            service.handle(from, msg)
+        } else {
+            service.handle(from, msg)
+        };
+        let rep = faults.as_ref().map(|f| f.decide(to_dc, from_dc));
+        let mut d2 = self.latency.one_way(to_dc, from_dc);
+        if let Some(extra) = rep.as_ref().and_then(|d| d.extra_delay) {
+            self.fault_stats.delay_spikes.inc();
+            d2 += extra;
+        }
+        if rep.as_ref().is_some_and(|d| d.drop) {
+            self.fault_stats.dropped_replies.inc();
+            if !d2.is_zero() {
+                std::thread::sleep(d2);
+            }
+            return Err(Error::Timeout { what: format!("reply {to} -> {from} lost") });
+        }
+        if !d2.is_zero() {
+            std::thread::sleep(d2);
+        }
+        if self.is_crashed(from) {
+            // The caller died while the call was in flight; nobody is left
+            // to observe the reply.
+            self.fault_stats.blackholed.inc();
+            return Err(Error::Timeout { what: format!("caller {from} crashed mid-call") });
+        }
+        Ok(reply)
+    }
+
+    /// Fire-and-forget message: enqueued to the destination's delivery
+    /// thread, which applies the link delay then invokes `handle_oneway`.
+    /// Messages from all senders to one destination are delivered in the
+    /// order they were enqueued (FIFO per destination).
+    ///
+    /// Faults are silent here — a lost or duplicated post returns `Ok` just
+    /// like a delivered one, because fire-and-forget senders get no
+    /// acknowledgement in the first place.
+    pub fn post(&self, from: NodeId, to: NodeId, msg: M) -> Result<()> {
+        let (from_dc, to_dc, tx) = {
+            let nodes = self.nodes.read();
+            let from_dc = nodes
+                .get(&from)
+                .map(|r| r.dc)
+                .ok_or_else(|| Error::Network { message: format!("unknown sender {from}") })?;
+            let reg = nodes
+                .get(&to)
+                .ok_or_else(|| Error::Network { message: format!("unknown node {to}") })?;
+            (from_dc, reg.dc, reg.oneway_tx.clone())
+        };
+        let drop_this = self.apply_one_shots(from);
+        if self.is_crashed(from) || self.is_crashed(to) {
+            self.fault_stats.blackholed.inc();
+            return Ok(());
+        }
+        self.check_link(from_dc, to_dc)?;
+        self.stats.posts.fetch_add(1, Ordering::Relaxed);
+        if from_dc != to_dc {
+            self.stats.cross_dc_posts.fetch_add(1, Ordering::Relaxed);
+        }
+        let dec = self.faults.read().as_ref().map(|f| f.decide(from_dc, to_dc));
+        if drop_this || dec.as_ref().is_some_and(|d| d.drop) {
+            self.fault_stats.dropped_posts.inc();
+            return Ok(());
+        }
+        let mut delay = self.latency.one_way(from_dc, to_dc);
+        if let Some(extra) = dec.as_ref().and_then(|d| d.extra_delay) {
+            self.fault_stats.delay_spikes.inc();
+            delay += extra;
+        }
+        let deliver_at = Instant::now() + delay;
+        if dec.as_ref().is_some_and(|d| d.duplicate) {
+            self.fault_stats.duplicated_posts.inc();
+            let _ = tx.send((from, msg.clone(), deliver_at));
+        }
+        tx.send((from, msg, deliver_at))
+            .map_err(|_| Error::Network { message: format!("node {to} shut down") })
     }
 }
 
@@ -319,6 +470,101 @@ mod tests {
         assert!(net.call(NodeId(1), NodeId(2), 0).is_err());
         assert!(net.dc_of(NodeId(2)).is_none());
         assert_eq!(net.dc_of(NodeId(1)), Some(DcId(1)));
+    }
+
+    #[test]
+    fn crashed_node_blackholes_and_restart_recovers() {
+        let (net, echo) = setup(LatencyMatrix::zero());
+        net.crash(NodeId(2));
+        assert!(net.is_crashed(NodeId(2)));
+        assert!(matches!(
+            net.call(NodeId(1), NodeId(2), 0),
+            Err(Error::Timeout { .. })
+        ));
+        // Posts vanish silently.
+        net.post(NodeId(1), NodeId(2), 7).unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(echo.received.load(Ordering::Relaxed), 0);
+        assert!(net.fault_stats.blackholed.get() >= 2);
+        // Restart: traffic flows again, lost messages stay lost.
+        net.restart(NodeId(2));
+        assert_eq!(net.call(NodeId(1), NodeId(2), 41).unwrap(), 42);
+    }
+
+    #[test]
+    fn crashed_sender_cannot_call_out() {
+        let (net, _) = setup(LatencyMatrix::zero());
+        net.crash(NodeId(1));
+        assert!(matches!(
+            net.call(NodeId(1), NodeId(2), 0),
+            Err(Error::Timeout { .. })
+        ));
+    }
+
+    #[test]
+    fn full_drop_plan_times_out_every_call() {
+        use crate::fault::{FaultPlan, LinkFaults};
+        let (net, _) = setup(LatencyMatrix::zero());
+        net.set_fault_plan(FaultPlan::new(1).with_all_links(LinkFaults::lossy(1.0)));
+        for _ in 0..5 {
+            assert!(matches!(
+                net.call(NodeId(1), NodeId(2), 0),
+                Err(Error::Timeout { .. })
+            ));
+        }
+        assert_eq!(net.fault_stats.dropped_requests.get(), 5);
+        net.clear_fault_plan();
+        assert!(net.call(NodeId(1), NodeId(2), 0).is_ok());
+    }
+
+    #[test]
+    fn duplicate_plan_delivers_posts_twice() {
+        use crate::fault::{FaultPlan, LinkFaults};
+        let (net, echo) = setup(LatencyMatrix::zero());
+        net.set_fault_plan(
+            FaultPlan::new(1)
+                .with_all_links(LinkFaults::none().with_duplicate(1.0)),
+        );
+        net.post(NodeId(1), NodeId(2), 10).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while echo.received.load(Ordering::Relaxed) != 20 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(echo.received.load(Ordering::Relaxed), 20, "post not duplicated");
+        assert_eq!(net.fault_stats.duplicated_posts.get(), 1);
+    }
+
+    #[test]
+    fn one_shot_crash_fires_on_nth_send() {
+        use crate::fault::{FaultPlan, OneShot, OneShotFault};
+        let (net, _) = setup(LatencyMatrix::zero());
+        net.set_fault_plan(FaultPlan::new(1).with_one_shot(OneShot {
+            from: NodeId(1),
+            after_sends: 3,
+            fault: OneShotFault::Crash(NodeId(1)),
+        }));
+        assert!(net.call(NodeId(1), NodeId(2), 0).is_ok());
+        assert!(net.call(NodeId(1), NodeId(2), 0).is_ok());
+        // Third send triggers the crash of the sender itself.
+        assert!(matches!(
+            net.call(NodeId(1), NodeId(2), 0),
+            Err(Error::Timeout { .. })
+        ));
+        assert!(net.is_crashed(NodeId(1)));
+        assert_eq!(net.fault_stats.one_shots_fired.get(), 1);
+    }
+
+    #[test]
+    fn same_seed_same_fault_sequence_on_fabric() {
+        use crate::fault::{FaultPlan, LinkFaults};
+        let outcomes = |seed: u64| -> Vec<bool> {
+            let (net, _) = setup(LatencyMatrix::zero());
+            net.set_fault_plan(
+                FaultPlan::new(seed).with_all_links(LinkFaults::lossy(0.4)),
+            );
+            (0..50).map(|i| net.call(NodeId(1), NodeId(2), i).is_ok()).collect()
+        };
+        assert_eq!(outcomes(99), outcomes(99));
     }
 
     #[test]

@@ -397,12 +397,15 @@ fn scan(provider: &dyn SchemaProvider, t: &crate::ast::TableRef) -> Result<Logic
     })
 }
 
+/// Equi-join column pairs plus the residual (non-equi) condition.
+type EquiJoinSplit = (Vec<(usize, usize)>, Option<Expr>);
+
 /// Split an ON condition into equi-join pairs and a residual.
 fn decompose_on(
     on: &Expr,
     left_schema: &[String],
     right_schema: &[String],
-) -> Result<(Vec<(usize, usize)>, Option<Expr>)> {
+) -> Result<EquiJoinSplit> {
     let mut conjuncts = Vec::new();
     split_conjuncts(on, &mut conjuncts);
     let mut pairs = Vec::new();
@@ -444,7 +447,7 @@ fn select_items_have_agg(select: &Select) -> bool {
         found
     };
     select.items.iter().any(|i| matches!(i, SelectItem::Expr { expr, .. } if has(expr)))
-        || select.having.as_ref().is_some_and(|h| has(h))
+        || select.having.as_ref().is_some_and(has)
 }
 
 /// Register every distinct aggregate application found in `e` (resolved

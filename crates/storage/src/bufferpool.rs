@@ -206,7 +206,7 @@ impl BufferPool {
         let st = self.state.lock();
         st.frames
             .values()
-            .filter(|f| f.dirty && tenant.map_or(true, |t| f.tenant == t))
+            .filter(|f| f.dirty && tenant.is_none_or(|t| f.tenant == t))
             .count()
     }
 

@@ -298,8 +298,22 @@ impl StorageEngine {
         Ok(lsn)
     }
 
-    /// Abort and roll back.
+    /// State of a transaction in the local table (None = never seen here,
+    /// or GC'd after abort). Participants use this for idempotent 2PC
+    /// handling: a duplicate Prepare/Commit consults the recorded decision
+    /// instead of re-executing.
+    pub fn txn_state(&self, trx: TrxId) -> Option<crate::txn::TxnState> {
+        self.txns.state(trx)
+    }
+
+    /// Abort and roll back. Idempotent, and a no-op for a transaction that
+    /// already committed: a late or duplicated Abort (lossy network,
+    /// crashed coordinator's Drop racing phase two) must not clobber a
+    /// final commit decision.
     pub fn abort(&self, trx: TrxId) {
+        if let Some(crate::txn::TxnState::Committed { .. }) = self.txns.state(trx) {
+            return;
+        }
         let ctx = self.active.lock().remove(&trx);
         if let Some(ctx) = ctx {
             self.rollback_writes(trx, &ctx.writes);
@@ -308,6 +322,26 @@ impl StorageEngine {
         let _ = self
             .durability
             .make_durable(&[Mtr::single(RedoPayload::TxnAbort { trx })]);
+    }
+
+    /// Abort `trx` only if it is still ACTIVE; returns whether it aborted.
+    /// The state transition is decided atomically by the transaction table,
+    /// so a concurrent `prepare` racing this call leaves exactly one winner:
+    /// either the prepare fails (the transaction is gone) or this returns
+    /// false (the transaction made it to PREPARED and must be resolved via
+    /// the 2PC decision, never expired locally).
+    pub fn abort_if_active(&self, trx: TrxId) -> bool {
+        if !self.txns.try_abort_active(trx) {
+            return false;
+        }
+        let ctx = self.active.lock().remove(&trx);
+        if let Some(ctx) = ctx {
+            self.rollback_writes(trx, &ctx.writes);
+        }
+        let _ = self
+            .durability
+            .make_durable(&[Mtr::single(RedoPayload::TxnAbort { trx })]);
+        true
     }
 
     fn rollback_writes(&self, trx: TrxId, writes: &[(TableId, Key)]) {

@@ -92,11 +92,34 @@ impl TxnTable {
         }
     }
 
-    /// Decide ABORTED. Wakes waiting readers.
+    /// Decide ABORTED. Wakes waiting readers. A duplicate or late Abort for
+    /// an already-committed transaction is a no-op: under message loss the
+    /// fabric may redeliver an Abort after the commit decision landed, and a
+    /// decision, once made, is final.
     pub fn abort(&self, trx: TrxId) {
         let mut inner = self.inner.lock();
+        if let Some(TxnState::Committed { .. }) = inner.states.get(&trx) {
+            return;
+        }
         inner.states.insert(trx, TxnState::Aborted);
         self.decided.notify_all();
+    }
+
+    /// Atomically abort `trx` only if it is still ACTIVE. Returns whether
+    /// the abort happened. Used by the in-doubt resolver to expire
+    /// abandoned transactions without racing a concurrent Prepare: exactly
+    /// one of {prepare, try_abort_active} wins the state transition, and
+    /// the loser observes a decided state and backs off.
+    pub fn try_abort_active(&self, trx: TrxId) -> bool {
+        let mut inner = self.inner.lock();
+        match inner.states.get_mut(&trx) {
+            Some(s @ TxnState::Active) => {
+                *s = TxnState::Aborted;
+                self.decided.notify_all();
+                true
+            }
+            _ => false,
+        }
     }
 
     /// Current state, if known.
@@ -227,6 +250,21 @@ mod tests {
         t.prepare(TrxId(3), 1).unwrap();
         let err = t.wait_decided(TrxId(3), Duration::from_millis(20)).unwrap_err();
         assert!(matches!(err, Error::Timeout { .. }));
+    }
+
+    #[test]
+    fn try_abort_active_spares_prepared_and_decided() {
+        let t = TxnTable::new();
+        t.begin(TrxId(1));
+        t.prepare(TrxId(1), 5).unwrap();
+        assert!(!t.try_abort_active(TrxId(1)), "PREPARED must not be expired");
+        t.begin(TrxId(2));
+        assert!(t.try_abort_active(TrxId(2)));
+        assert_eq!(t.state(TrxId(2)), Some(TxnState::Aborted));
+        t.begin(TrxId(3));
+        t.commit(TrxId(3), 9).unwrap();
+        assert!(!t.try_abort_active(TrxId(3)));
+        assert_eq!(t.state(TrxId(3)), Some(TxnState::Committed { commit_ts: 9 }));
     }
 
     #[test]

@@ -7,7 +7,13 @@ use polardbx_common::{Error, IdGenerator, Key, NodeId, Result, Row, TableId, Trx
 use polardbx_hlc::{Clock, HlcTimestamp};
 use polardbx_simnet::SimNet;
 
-use crate::msg::{TxnMsg, WireWriteOp};
+use crate::config::TxnConfig;
+use crate::metrics::TxnMetrics;
+use crate::msg::{Decision, TxnMsg, WireWriteOp};
+
+/// A hook invoked at named points in the commit protocol, letting chaos
+/// tests inject failures (e.g. crash the CN) at exact protocol positions.
+pub type Failpoint = Arc<dyn Fn(&'static str) + Send + Sync>;
 
 /// A coordinator living on a CN node.
 pub struct Coordinator {
@@ -16,6 +22,10 @@ pub struct Coordinator {
     net: Arc<SimNet<TxnMsg>>,
     clock: Arc<dyn Clock>,
     trx_ids: Arc<IdGenerator>,
+    config: TxnConfig,
+    decision_node: Option<NodeId>,
+    metrics: Arc<TxnMetrics>,
+    failpoint: Option<Failpoint>,
 }
 
 impl Coordinator {
@@ -27,7 +37,75 @@ impl Coordinator {
         clock: Arc<dyn Clock>,
         trx_ids: Arc<IdGenerator>,
     ) -> Coordinator {
-        Coordinator { me, net, clock, trx_ids }
+        Coordinator {
+            me,
+            net,
+            clock,
+            trx_ids,
+            config: TxnConfig::default(),
+            decision_node: None,
+            metrics: Arc::new(TxnMetrics::new()),
+            failpoint: None,
+        }
+    }
+
+    /// Builder: override the retry policy.
+    pub fn with_config(mut self, config: TxnConfig) -> Coordinator {
+        self.config = config;
+        self
+    }
+
+    /// Builder: record commit decisions on `dn` before phase two, enabling
+    /// participant-side in-doubt resolution (and presumed abort) when this
+    /// coordinator dies or its phase-two messages are lost.
+    pub fn with_decision_log(mut self, dn: NodeId) -> Coordinator {
+        self.decision_node = Some(dn);
+        self
+    }
+
+    /// Builder: share a metrics sink (retry and in-doubt counters).
+    pub fn with_metrics(mut self, metrics: Arc<TxnMetrics>) -> Coordinator {
+        self.metrics = metrics;
+        self
+    }
+
+    /// Builder: install a failpoint hook. The commit path announces
+    /// `"txn.before_decision"` (prepares acked, decision not yet logged) and
+    /// `"txn.after_decision"` (decision logged, phase two not yet sent).
+    pub fn with_failpoint(mut self, fp: Failpoint) -> Coordinator {
+        self.failpoint = Some(fp);
+        self
+    }
+
+    /// This coordinator's metrics.
+    pub fn metrics(&self) -> &Arc<TxnMetrics> {
+        &self.metrics
+    }
+
+    fn hit_failpoint(&self, point: &'static str) {
+        if let Some(fp) = &self.failpoint {
+            fp(point);
+        }
+    }
+
+    /// Commit-path RPC with bounded, deterministic exponential backoff on
+    /// timeouts and transient network failures. Only used for idempotent
+    /// messages (Prepare, CommitLocal, LogDecision): a lost *reply* means
+    /// the handler already ran, and retrying must be harmless.
+    fn call_retry(&self, dn: NodeId, msg: TxnMsg) -> Result<TxnMsg> {
+        let mut attempt = 1u32;
+        loop {
+            match self.net.call(self.me, dn, msg.clone()) {
+                Err(Error::Timeout { .. } | Error::Network { .. })
+                    if attempt < self.config.max_attempts =>
+                {
+                    self.metrics.rpc_retries.inc();
+                    std::thread::sleep(self.config.backoff(attempt));
+                    attempt += 1;
+                }
+                other => return other,
+            }
+        }
     }
 
     /// Begin a distributed transaction: `snapshot_ts = ClockNow()` (step ①;
@@ -164,6 +242,13 @@ impl DistTxn<'_> {
     /// parallel prepares, `commit_ts = max(prepare_ts)` and one batched
     /// `ClockUpdate` at the coordinator (the §IV contention optimization).
     /// Returns the commit timestamp.
+    ///
+    /// With a decision log configured, the commit decision is recorded at
+    /// the arbiter DN *before* phase two, making the outcome recoverable by
+    /// in-doubt participants if this coordinator dies. An `Err(Timeout)`
+    /// from this method means the outcome is IN DOUBT — the transaction may
+    /// yet commit or abort, settled by the participants' resolvers against
+    /// the decision log. Any other error means the transaction aborted.
     pub fn commit(mut self) -> Result<u64> {
         self.finished = true;
         let parts: Vec<NodeId> = self.participants.iter().copied().collect();
@@ -171,7 +256,9 @@ impl DistTxn<'_> {
             0 => Ok(self.snapshot_ts.raw()), // read-nothing transaction
             1 => {
                 let dn = parts[0];
-                match self.call(dn, TxnMsg::CommitLocal { trx: self.trx })? {
+                // CommitLocal is idempotent at the participant (a duplicate
+                // returns the recorded commit_ts), so it is safe to retry.
+                match self.coord.call_retry(dn, TxnMsg::CommitLocal { trx: self.trx })? {
                     TxnMsg::Committed { commit_ts } => {
                         // Absorb the participant's timestamp so later
                         // transactions from this CN observe it.
@@ -183,35 +270,104 @@ impl DistTxn<'_> {
                 }
             }
             _ => {
-                // Phase one, in parallel across participants.
-                let mut prepare_ts = Vec::with_capacity(parts.len());
+                // Phase one, in parallel across participants, with retries.
                 let this = &self;
                 let results: Vec<Result<TxnMsg>> = std::thread::scope(|s| {
                     let handles: Vec<_> = parts
                         .iter()
-                        .map(|&dn| s.spawn(move || this.call(dn, TxnMsg::Prepare { trx: this.trx })))
+                        .map(|&dn| {
+                            s.spawn(move || {
+                                this.coord.call_retry(
+                                    dn,
+                                    TxnMsg::Prepare {
+                                        trx: this.trx,
+                                        decision_node: this.coord.decision_node,
+                                    },
+                                )
+                            })
+                        })
                         .collect();
-                    handles.into_iter().map(|h| h.join().expect("prepare thread")).collect()
+                    handles
+                        .into_iter()
+                        .map(|h| {
+                            // A panicked prepare worker is a failed prepare,
+                            // not a coordinator crash: fold it into the
+                            // abort path below instead of unwinding.
+                            h.join().unwrap_or_else(|_| {
+                                Err(Error::execution("prepare worker panicked"))
+                            })
+                        })
+                        .collect()
                 });
+                let mut prepare_ts = Vec::with_capacity(parts.len());
+                let mut failure: Option<Error> = None;
                 for r in results {
-                    match r? {
-                        TxnMsg::Prepared { prepare_ts: ts } => prepare_ts.push(ts),
-                        TxnMsg::Failed(e) => {
-                            self.send_aborts(&parts);
-                            return Err(Error::PrepareRejected {
+                    match r {
+                        Ok(TxnMsg::Prepared { prepare_ts: ts }) => prepare_ts.push(ts),
+                        Ok(TxnMsg::Failed(e)) => {
+                            failure = Some(Error::PrepareRejected {
                                 participant: "dn".into(),
                                 reason: e.to_string(),
-                            });
+                            })
                         }
-                        other => {
-                            self.send_aborts(&parts);
-                            return Err(Error::execution(format!("unexpected reply {other:?}")));
+                        Ok(other) => {
+                            failure =
+                                Some(Error::execution(format!("unexpected reply {other:?}")))
                         }
+                        Err(e) => failure = Some(e),
                     }
+                }
+                if let Some(e) = failure {
+                    // No commit decision was (or ever will be) logged, so
+                    // aborting is sound even if some prepares timed out
+                    // with the participant actually PREPARED: its resolver
+                    // will reach the same verdict via presumed abort. Best
+                    // effort: record the abort so resolvers find it sooner.
+                    if let Some(arbiter) = self.coord.decision_node {
+                        let _ = self.coord.net.call(
+                            self.coord.me,
+                            arbiter,
+                            TxnMsg::LogDecision { trx: self.trx, decision: Decision::Abort },
+                        );
+                    }
+                    self.send_aborts(&parts);
+                    return Err(e);
                 }
                 // Steps ⑤/⑥: commit_ts = max; a single batched ClockUpdate.
                 let commit_ts = prepare_ts.iter().copied().max().expect("non-empty");
+                self.coord.hit_failpoint("txn.before_decision");
+                if let Some(arbiter) = self.coord.decision_node {
+                    match self.coord.call_retry(
+                        arbiter,
+                        TxnMsg::LogDecision { trx: self.trx, decision: Decision::Commit(commit_ts) },
+                    ) {
+                        Ok(TxnMsg::DecisionIs { decision: Decision::Commit(_) }) => {}
+                        Ok(TxnMsg::DecisionIs { decision: Decision::Abort }) => {
+                            // A resolver presumed abort before our decision
+                            // landed; the log is authoritative.
+                            self.send_aborts(&parts);
+                            return Err(Error::TxnAborted {
+                                reason: "presumed abort already on record".into(),
+                            });
+                        }
+                        Ok(other) => {
+                            self.send_aborts(&parts);
+                            return Err(Error::execution(format!("unexpected reply {other:?}")));
+                        }
+                        Err(e) => {
+                            // IN DOUBT: the decision may or may not be on
+                            // record. Crucially we must NOT send aborts —
+                            // the arbiter might have recorded Commit and
+                            // acked into a lost reply. The participants'
+                            // resolvers settle it from the log.
+                            return Err(Error::Timeout {
+                                what: format!("logging decision for {}: {e}", self.trx),
+                            });
+                        }
+                    }
+                }
                 self.coord.clock.update(HlcTimestamp::from_raw(commit_ts));
+                self.coord.hit_failpoint("txn.after_decision");
                 // Phase two is asynchronous: post and return. New readers
                 // hitting PREPARED versions wait for the decision, so this
                 // is safe under HLC-SI (§IV case 2).
@@ -425,6 +581,121 @@ mod tests {
         std::thread::sleep(Duration::from_millis(30));
         assert!(!dns[0].engine.has_active_txns(), "drop must trigger abort");
         assert_eq!(dns[0].engine.read(T, &key(42), u64::MAX, None).unwrap(), None);
+    }
+
+    #[test]
+    fn lost_commit_local_is_retried_idempotently() {
+        use polardbx_simnet::{FaultPlan, OneShot, OneShotFault};
+        let (net, coord, dns) = cluster();
+        let coord = coord.with_config(crate::config::TxnConfig {
+            max_attempts: 4,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(2),
+        });
+        // Drop the CN's 2nd send: the write is send 1, CommitLocal is send
+        // 2. The retry (send 3) must succeed and ack the SAME commit_ts the
+        // participant already decided.
+        net.set_fault_plan(FaultPlan::new(1).with_one_shot(OneShot {
+            from: NodeId(9),
+            after_sends: 2,
+            fault: OneShotFault::DropNext,
+        }));
+        let mut txn = coord.begin();
+        txn.write(NodeId(1), T, key(1), WireWriteOp::Insert(row(1, 1))).unwrap();
+        let commit_ts = txn.commit().unwrap();
+        assert!(commit_ts > 0);
+        assert_eq!(coord.metrics().rpc_retries.get(), 1);
+        assert_eq!(dns[0].metrics.duplicate_msgs.get(), 0, "first CommitLocal never arrived");
+        assert!(dns[0].engine.read(T, &key(1), u64::MAX, None).unwrap().is_some());
+    }
+
+    #[test]
+    fn commit_records_decision_at_arbiter_before_phase_two() {
+        let (_net, coord, dns) = cluster();
+        let coord = coord.with_decision_log(NodeId(2));
+        let mut txn = coord.begin();
+        txn.write(NodeId(1), T, key(1), WireWriteOp::Insert(row(1, 1))).unwrap();
+        txn.write(NodeId(3), T, key(3), WireWriteOp::Insert(row(3, 3))).unwrap();
+        let commit_ts = txn.commit().unwrap();
+        assert_eq!(
+            dns[1].recorded_decision(TrxId(1)),
+            Some(crate::msg::Decision::Commit(commit_ts)),
+            "arbiter must hold the commit decision"
+        );
+        assert_eq!(await_visible(&dns[0], &key(1), Duration::from_secs(1)), Some(row(1, 1)));
+    }
+
+    #[test]
+    fn unreachable_arbiter_leaves_outcome_in_doubt_without_aborts() {
+        let (net, coord, dns) = cluster();
+        let coord = coord
+            .with_decision_log(NodeId(2))
+            .with_config(crate::config::TxnConfig {
+                max_attempts: 3,
+                backoff_base: Duration::from_millis(1),
+                backoff_cap: Duration::from_millis(2),
+            });
+        let mut txn = coord.begin();
+        txn.write(NodeId(1), T, key(1), WireWriteOp::Insert(row(1, 1))).unwrap();
+        txn.write(NodeId(3), T, key(3), WireWriteOp::Insert(row(3, 3))).unwrap();
+        // The arbiter dies after the statements but before commit: the
+        // decision cannot be logged, so the outcome is in doubt — the
+        // coordinator must NOT unilaterally abort (the log write might have
+        // landed into a lost reply).
+        net.crash(NodeId(2));
+        let err = txn.commit().unwrap_err();
+        assert!(matches!(err, Error::Timeout { .. }), "in-doubt surfaces as timeout: {err:?}");
+        // Participants are still PREPARED: resolution belongs to their
+        // resolvers, not to this coordinator.
+        assert!(matches!(
+            dns[0].engine.txn_state(TrxId(1)),
+            Some(polardbx_storage::TxnState::Prepared { .. })
+        ));
+        assert!(matches!(
+            dns[2].engine.txn_state(TrxId(1)),
+            Some(polardbx_storage::TxnState::Prepared { .. })
+        ));
+        net.restart(NodeId(2));
+    }
+
+    #[test]
+    fn prepare_failure_logs_abort_decision() {
+        let (_net, coord, dns) = cluster();
+        let coord = coord.with_decision_log(NodeId(2));
+        // Seed a row so a second insert of the same key fails at write time
+        // on DN1... write-time failures abort before prepare; to exercise a
+        // prepare-time failure, abort the trx on DN3 behind the
+        // coordinator's back so its Prepare is rejected.
+        let mut txn = coord.begin();
+        txn.write(NodeId(1), T, key(1), WireWriteOp::Insert(row(1, 1))).unwrap();
+        txn.write(NodeId(3), T, key(3), WireWriteOp::Insert(row(3, 3))).unwrap();
+        let trx = txn.id();
+        dns[2].handle(NodeId(8), TxnMsg::Abort { trx });
+        let err = txn.commit().unwrap_err();
+        assert!(matches!(err, Error::PrepareRejected { .. }), "{err:?}");
+        assert_eq!(
+            dns[1].recorded_decision(trx),
+            Some(crate::msg::Decision::Abort),
+            "failed prepare must record abort for future resolvers"
+        );
+        // Everything rolled back.
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(!dns[0].engine.has_active_txns());
+        assert!(!dns[2].engine.has_active_txns());
+    }
+
+    #[test]
+    fn failpoints_fire_in_order() {
+        use parking_lot::Mutex;
+        let (_net, coord, _dns) = cluster();
+        let seen: Arc<Mutex<Vec<&'static str>>> = Arc::new(Mutex::new(Vec::new()));
+        let seen2 = Arc::clone(&seen);
+        let coord = coord.with_failpoint(Arc::new(move |p| seen2.lock().push(p)));
+        let mut txn = coord.begin();
+        txn.write(NodeId(1), T, key(1), WireWriteOp::Insert(row(1, 1))).unwrap();
+        txn.write(NodeId(2), T, key(2), WireWriteOp::Insert(row(2, 2))).unwrap();
+        txn.commit().unwrap();
+        assert_eq!(*seen.lock(), vec!["txn.before_decision", "txn.after_decision"]);
     }
 
     #[test]

@@ -19,12 +19,28 @@
 //!
 //! [`checker`] provides the bank-invariant harness used to validate
 //! snapshot isolation under concurrency.
+//!
+//! # Fault tolerance
+//!
+//! The commit path is hardened against a lossy, crash-prone fabric:
+//! commit-path RPCs retry with bounded deterministic backoff ([`config`]),
+//! participants absorb duplicated 2PC messages idempotently, and a
+//! coordinator configured with [`Coordinator::with_decision_log`] records
+//! its commit decision on an arbiter DN *before* phase two. A participant
+//! stuck PREPARED past its in-doubt timeout resolves itself through that
+//! log via [`DnService::start_resolver`]; querying an absent record writes
+//! a presumed abort that permanently blocks a slow coordinator from
+//! committing. See DESIGN.md's "Fault model" section.
 
 pub mod checker;
+pub mod config;
 pub mod coordinator;
+pub mod metrics;
 pub mod msg;
 pub mod participant;
 
-pub use coordinator::{Coordinator, DistTxn};
-pub use msg::{TxnMsg, WireWriteOp};
-pub use participant::DnService;
+pub use config::{ResolverConfig, TxnConfig};
+pub use coordinator::{Coordinator, DistTxn, Failpoint};
+pub use metrics::TxnMetrics;
+pub use msg::{Decision, TxnMsg, WireWriteOp};
+pub use participant::{DnService, ResolverHandle};

@@ -1,0 +1,70 @@
+//! Chaos observability: counters for retries, duplicate deliveries, and
+//! in-doubt resolutions, built on [`polardbx_common::metrics::Counter`].
+
+use polardbx_common::metrics::Counter;
+
+/// Counters shared by coordinators and participants. One instance per node
+/// (or per test) — hand the same `Arc` to a [`crate::Coordinator`] via
+/// `with_metrics` to aggregate across roles.
+#[derive(Debug, Default)]
+pub struct TxnMetrics {
+    /// Commit-path RPCs retried after a timeout or network error.
+    pub rpc_retries: Counter,
+    /// In-doubt PREPARED transactions resolved to COMMIT via the arbiter.
+    pub in_doubt_commits: Counter,
+    /// In-doubt PREPARED transactions resolved to ABORT via the arbiter.
+    pub in_doubt_aborts: Counter,
+    /// Presumed-abort records written by the arbiter on a query for a
+    /// transaction whose coordinator never logged a decision.
+    pub presumed_aborts: Counter,
+    /// Duplicate Prepare/Commit/Abort deliveries absorbed idempotently.
+    pub duplicate_msgs: Counter,
+    /// Abandoned ACTIVE transactions expired by the resolver.
+    pub expired_active: Counter,
+}
+
+impl TxnMetrics {
+    /// Fresh zeroed metrics.
+    pub fn new() -> TxnMetrics {
+        TxnMetrics::default()
+    }
+
+    /// One-line summary for harness output.
+    pub fn report(&self) -> String {
+        format!(
+            "retries={} · in-doubt: commit={} abort={} presumed={} · dups={} · expired-active={}",
+            self.rpc_retries.get(),
+            self.in_doubt_commits.get(),
+            self.in_doubt_aborts.get(),
+            self.presumed_aborts.get(),
+            self.duplicate_msgs.get(),
+            self.expired_active.get(),
+        )
+    }
+
+    /// Reset all counters.
+    pub fn reset(&self) {
+        self.rpc_retries.reset();
+        self.in_doubt_commits.reset();
+        self.in_doubt_aborts.reset();
+        self.presumed_aborts.reset();
+        self.duplicate_msgs.reset();
+        self.expired_active.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_and_reset() {
+        let m = TxnMetrics::new();
+        m.rpc_retries.add(2);
+        m.presumed_aborts.inc();
+        assert!(m.report().contains("retries=2"));
+        assert!(m.report().contains("presumed=1"));
+        m.reset();
+        assert!(m.report().contains("retries=0"));
+    }
+}

@@ -1,6 +1,16 @@
 //! Coordinator ↔ participant wire messages.
 
-use polardbx_common::{Key, Row, TableId, TrxId};
+use polardbx_common::{Key, NodeId, Row, TableId, TrxId};
+
+/// The final fate of a distributed transaction, as recorded in a decision
+/// log (see [`crate::participant::DnService`]'s arbiter role).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Committed at this timestamp.
+    Commit(u64),
+    /// Rolled back (explicitly, or presumed after coordinator failure).
+    Abort,
+}
 
 /// A write operation on the wire.
 #[derive(Debug, Clone)]
@@ -58,6 +68,11 @@ pub enum TxnMsg {
     Prepare {
         /// Transaction to prepare.
         trx: TrxId,
+        /// Where the coordinator will record its commit decision. A
+        /// participant left PREPARED past its in-doubt timeout asks this
+        /// node for the outcome instead of blocking forever (None = legacy
+        /// protocol without termination).
+        decision_node: Option<NodeId>,
     },
     /// 2PC phase two (commit).
     Commit {
@@ -77,6 +92,24 @@ pub enum TxnMsg {
         /// Transaction to abort.
         trx: TrxId,
     },
+    /// Coordinator → arbiter DN: record the commit decision durably BEFORE
+    /// phase two begins. First writer wins; the reply always carries the
+    /// decision actually on record, so a coordinator that lost the race to
+    /// a presumed abort learns it must not commit.
+    LogDecision {
+        /// The transaction decided.
+        trx: TrxId,
+        /// The decision the coordinator wants recorded.
+        decision: Decision,
+    },
+    /// In-doubt participant → arbiter DN: what happened to `trx`? If no
+    /// decision is on record the arbiter records ABORT (presumed abort):
+    /// the coordinator provably had not decided commit, and this write
+    /// blocks it from ever doing so.
+    QueryDecision {
+        /// The in-doubt transaction.
+        trx: TrxId,
+    },
 
     // ---- replies ----
     /// Generic success.
@@ -94,6 +127,11 @@ pub enum TxnMsg {
     Committed {
         /// The commit timestamp.
         commit_ts: u64,
+    },
+    /// The decision on record at the arbiter.
+    DecisionIs {
+        /// The recorded decision.
+        decision: Decision,
     },
     /// Failure reply.
     Failed(polardbx_common::Error),

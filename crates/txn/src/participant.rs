@@ -1,17 +1,29 @@
 //! The DN-side participant service.
 
 use parking_lot::Mutex;
-use std::collections::HashSet;
+use std::collections::HashMap;
 use std::ops::Bound;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use polardbx_common::{NodeId, Result, TrxId};
 use polardbx_hlc::{Clock, HlcTimestamp};
-use polardbx_simnet::Handler;
-use polardbx_storage::{StorageEngine, WriteOp};
+use polardbx_simnet::{Handler, SimNet};
+use polardbx_storage::{StorageEngine, TxnState, WriteOp};
 
-use crate::msg::{TxnMsg, WireWriteOp};
+use crate::config::ResolverConfig;
+use crate::metrics::TxnMetrics;
+use crate::msg::{Decision, TxnMsg, WireWriteOp};
+
+/// A PREPARED transaction awaiting its 2PC outcome.
+struct InDoubt {
+    /// Where the coordinator logs its decision (None = legacy protocol).
+    decision_node: Option<NodeId>,
+    /// When this participant entered PREPARED.
+    since: Instant,
+}
 
 /// A DN participant: storage engine + node clock, attached to the fabric.
 pub struct DnService {
@@ -21,14 +33,115 @@ pub struct DnService {
     pub engine: Arc<StorageEngine>,
     /// The node's clock (HLC, TSO client, or Clock-SI).
     pub clock: Arc<dyn Clock>,
-    /// Transactions this participant has begun locally.
-    started: Mutex<HashSet<TrxId>>,
+    /// Chaos counters (duplicates absorbed, in-doubt resolutions…).
+    pub metrics: TxnMetrics,
+    /// Transactions this participant has begun locally, with start times
+    /// (for abandoned-ACTIVE expiry).
+    started: Mutex<HashMap<TrxId, Instant>>,
+    /// PREPARED transactions whose outcome is not yet known here.
+    prepared: Mutex<HashMap<TrxId, InDoubt>>,
+    /// The decision log this node hosts as an arbiter: trx → final fate.
+    /// First writer wins — a presumed-abort write by a querying participant
+    /// permanently blocks a slow coordinator's commit, and vice versa.
+    decisions: Mutex<HashMap<TrxId, Decision>>,
 }
 
 impl DnService {
     /// Wrap an engine and a clock as a participant service.
     pub fn new(node: NodeId, engine: Arc<StorageEngine>, clock: Arc<dyn Clock>) -> Arc<DnService> {
-        Arc::new(DnService { node, engine, clock, started: Mutex::new(HashSet::new()) })
+        Arc::new(DnService {
+            node,
+            engine,
+            clock,
+            metrics: TxnMetrics::new(),
+            started: Mutex::new(HashMap::new()),
+            prepared: Mutex::new(HashMap::new()),
+            decisions: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The decision on record for `trx`, if this node is its arbiter.
+    pub fn recorded_decision(&self, trx: TrxId) -> Option<Decision> {
+        self.decisions.lock().get(&trx).copied()
+    }
+
+    /// Number of PREPARED transactions still awaiting their outcome here.
+    pub fn in_doubt_count(&self) -> usize {
+        self.prepared.lock().len()
+    }
+
+    /// Spawn the in-doubt resolver: a background sweep that queries the
+    /// arbiter for PREPARED transactions older than `cfg.in_doubt_after`
+    /// and locally aborts ACTIVE transactions abandoned longer than
+    /// `cfg.abandon_active_after` (safe: an ACTIVE transaction has not
+    /// voted, so nothing can have committed it). Stop via the returned
+    /// handle.
+    pub fn start_resolver(
+        self: &Arc<Self>,
+        net: Arc<SimNet<TxnMsg>>,
+        cfg: ResolverConfig,
+    ) -> ResolverHandle {
+        let me = Arc::clone(self);
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name(format!("txn-resolver-{}", self.node))
+            .spawn(move || {
+                while !stop2.load(Ordering::Relaxed) {
+                    std::thread::sleep(cfg.interval);
+                    me.resolve_once(&net, &cfg);
+                }
+            })
+            .expect("spawn resolver thread");
+        ResolverHandle { stop, handle: Some(handle) }
+    }
+
+    /// One resolver sweep (also callable directly from tests).
+    pub fn resolve_once(&self, net: &SimNet<TxnMsg>, cfg: &ResolverConfig) {
+        let now = Instant::now();
+        // In-doubt PREPARED: ask the arbiter for the outcome. A failed
+        // query (the chaos fabric may drop it) just leaves the transaction
+        // for the next sweep.
+        let in_doubt: Vec<(TrxId, NodeId)> = self
+            .prepared
+            .lock()
+            .iter()
+            .filter(|(_, d)| now.duration_since(d.since) >= cfg.in_doubt_after)
+            .filter_map(|(t, d)| d.decision_node.map(|n| (*t, n)))
+            .collect();
+        for (trx, arbiter) in in_doubt {
+            match net.call(self.node, arbiter, TxnMsg::QueryDecision { trx }) {
+                Ok(TxnMsg::DecisionIs { decision: Decision::Commit(commit_ts) }) => {
+                    self.metrics.in_doubt_commits.inc();
+                    let _ = self.handle(self.node, TxnMsg::Commit { trx, commit_ts });
+                }
+                Ok(TxnMsg::DecisionIs { decision: Decision::Abort }) => {
+                    self.metrics.in_doubt_aborts.inc();
+                    let _ = self.handle(self.node, TxnMsg::Abort { trx });
+                }
+                _ => {}
+            }
+        }
+        // Abandoned ACTIVE: the coordinator died (or gave up) before ever
+        // asking for a vote. `abort_if_active` is atomic against a racing
+        // Prepare, so a transaction that slips into PREPARED under our feet
+        // is left for the in-doubt path above.
+        let abandoned: Vec<TrxId> = self
+            .started
+            .lock()
+            .iter()
+            .filter(|(_, s)| now.duration_since(**s) >= cfg.abandon_active_after)
+            .map(|(t, _)| *t)
+            .collect();
+        for trx in abandoned {
+            if self.prepared.lock().contains_key(&trx) {
+                continue;
+            }
+            if self.engine.abort_if_active(trx) {
+                self.metrics.expired_active.inc();
+                self.started.lock().remove(&trx);
+            }
+        }
     }
 
     /// Step ③ of Fig 4 — and the Clock-SI divergence point. HLC absorbs the
@@ -56,13 +169,15 @@ impl DnService {
             return;
         }
         let mut started = self.started.lock();
-        if started.insert(trx) {
+        if let std::collections::hash_map::Entry::Vacant(e) = started.entry(trx) {
+            e.insert(Instant::now());
             self.engine.begin(trx, snapshot_ts);
         }
     }
 
     fn finish(&self, trx: TrxId) {
         self.started.lock().remove(&trx);
+        self.prepared.lock().remove(&trx);
     }
 
     fn do_write(
@@ -117,17 +232,37 @@ impl Handler<TxnMsg> for DnService {
                     Err(e) => TxnMsg::Failed(e),
                 }
             }
-            TxnMsg::Prepare { trx } => {
+            TxnMsg::Prepare { trx, decision_node } => {
+                // Idempotency first: a duplicated or retried Prepare must
+                // return the SAME prepare_ts, not advance the state again.
+                if let Some(TxnState::Prepared { prepare_ts }) = self.engine.txn_state(trx) {
+                    self.metrics.duplicate_msgs.inc();
+                    return TxnMsg::Prepared { prepare_ts };
+                }
                 // Step ④: validate, enter PREPARED, return ClockAdvance().
                 let prepare_ts = self.clock.advance();
                 match self.engine.prepare(trx, prepare_ts.raw()) {
-                    Ok(_) => TxnMsg::Prepared { prepare_ts: prepare_ts.raw() },
+                    Ok(_) => {
+                        self.prepared
+                            .lock()
+                            .insert(trx, InDoubt { decision_node, since: Instant::now() });
+                        TxnMsg::Prepared { prepare_ts: prepare_ts.raw() }
+                    }
                     Err(e) => TxnMsg::Failed(e),
                 }
             }
             TxnMsg::Commit { trx, commit_ts } => {
                 // Step ⑦: absorb the commit timestamp, then commit.
                 self.clock.update(HlcTimestamp::from_raw(commit_ts));
+                // Idempotency: a duplicate Commit re-acks the recorded
+                // timestamp instead of failing on the released context.
+                if let Some(TxnState::Committed { commit_ts: recorded }) =
+                    self.engine.txn_state(trx)
+                {
+                    self.metrics.duplicate_msgs.inc();
+                    self.finish(trx);
+                    return TxnMsg::Committed { commit_ts: recorded };
+                }
                 self.finish(trx);
                 match self.engine.commit(trx, commit_ts) {
                     Ok(_) => TxnMsg::Committed { commit_ts },
@@ -135,6 +270,13 @@ impl Handler<TxnMsg> for DnService {
                 }
             }
             TxnMsg::CommitLocal { trx } => {
+                // Idempotency: a retried CommitLocal (lost reply) must ack
+                // the original commit timestamp, not allocate a new one.
+                if let Some(TxnState::Committed { commit_ts }) = self.engine.txn_state(trx) {
+                    self.metrics.duplicate_msgs.inc();
+                    self.finish(trx);
+                    return TxnMsg::Committed { commit_ts };
+                }
                 // Single-participant fast path: the commit timestamp is this
                 // node's ClockAdvance — no cross-node max needed.
                 let commit_ts = self.clock.advance().raw();
@@ -145,9 +287,36 @@ impl Handler<TxnMsg> for DnService {
                 }
             }
             TxnMsg::Abort { trx } => {
+                // A late or duplicated Abort must never clobber a commit
+                // (the engine also guards this; counting it here keeps the
+                // metric honest).
+                if matches!(self.engine.txn_state(trx), Some(TxnState::Committed { .. })) {
+                    self.metrics.duplicate_msgs.inc();
+                    return TxnMsg::Ok;
+                }
                 self.finish(trx);
                 self.engine.abort(trx);
                 TxnMsg::Ok
+            }
+            TxnMsg::LogDecision { trx, decision } => {
+                // Arbiter role: first writer wins, and the reply carries
+                // whatever is actually on record — a coordinator beaten to
+                // the log by a presumed abort learns it here.
+                let mut log = self.decisions.lock();
+                let recorded = *log.entry(trx).or_insert(decision);
+                TxnMsg::DecisionIs { decision: recorded }
+            }
+            TxnMsg::QueryDecision { trx } => {
+                // Arbiter role: an in-doubt participant is asking. If no
+                // decision is on record, the coordinator provably never
+                // finished logging Commit — record ABORT, which from now on
+                // blocks it from committing (presumed abort).
+                let mut log = self.decisions.lock();
+                let recorded = *log.entry(trx).or_insert_with(|| {
+                    self.metrics.presumed_aborts.inc();
+                    Decision::Abort
+                });
+                TxnMsg::DecisionIs { decision: recorded }
             }
             other => other,
         }
@@ -156,6 +325,33 @@ impl Handler<TxnMsg> for DnService {
     fn handle_oneway(&self, from: NodeId, msg: TxnMsg) {
         // Phase-two messages may arrive as posts (asynchronous second phase).
         let _ = self.handle(from, msg);
+    }
+}
+
+/// Handle to a running in-doubt resolver; stops and joins it on demand
+/// (and on drop).
+pub struct ResolverHandle {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ResolverHandle {
+    /// Signal the resolver to stop and wait for it to exit.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ResolverHandle {
+    fn drop(&mut self) {
+        self.shutdown();
     }
 }
 
@@ -207,7 +403,7 @@ mod tests {
                 op: WireWriteOp::Insert(row(1)),
             },
         );
-        let r1 = dn.handle(NodeId(9), TxnMsg::Prepare { trx: TrxId(5) });
+        let r1 = dn.handle(NodeId(9), TxnMsg::Prepare { trx: TrxId(5), decision_node: None });
         let TxnMsg::Prepared { prepare_ts } = r1 else { panic!("expected Prepared, got {r1:?}") };
         assert!(prepare_ts > HlcTimestamp::new(100, 0).raw());
     }
@@ -243,7 +439,9 @@ mod tests {
             )
             .unwrap();
         assert!(matches!(w, TxnMsg::Ok));
-        let p = net.call(NodeId(9), NodeId(1), TxnMsg::Prepare { trx: TrxId(7) }).unwrap();
+        let p = net
+            .call(NodeId(9), NodeId(1), TxnMsg::Prepare { trx: TrxId(7), decision_node: None })
+            .unwrap();
         let TxnMsg::Prepared { prepare_ts } = p else { panic!() };
         let c = net
             .call(NodeId(9), NodeId(1), TxnMsg::Commit { trx: TrxId(7), commit_ts: prepare_ts })
@@ -286,6 +484,211 @@ mod tests {
             "Clock-SI must delay until local clock passes the snapshot"
         );
         ticker.join().unwrap();
+    }
+
+    #[test]
+    fn duplicate_prepare_returns_same_ts() {
+        let clock = Hlc::with_physical(TestClock::at(100));
+        let engine = StorageEngine::in_memory();
+        engine.create_table(TableId(1), TenantId(1));
+        let dn = DnService::new(NodeId(1), engine, clock);
+        dn.handle(
+            NodeId(9),
+            TxnMsg::Write {
+                trx: TrxId(5),
+                snapshot_ts: HlcTimestamp::new(100, 0).raw(),
+                table: TableId(1),
+                key: key(1),
+                op: WireWriteOp::Insert(row(1)),
+            },
+        );
+        let r1 = dn.handle(NodeId(9), TxnMsg::Prepare { trx: TrxId(5), decision_node: None });
+        let r2 = dn.handle(NodeId(9), TxnMsg::Prepare { trx: TrxId(5), decision_node: None });
+        let TxnMsg::Prepared { prepare_ts: t1 } = r1 else { panic!("{r1:?}") };
+        let TxnMsg::Prepared { prepare_ts: t2 } = r2 else { panic!("{r2:?}") };
+        assert_eq!(t1, t2, "duplicate Prepare must not advance the timestamp");
+        assert_eq!(dn.metrics.duplicate_msgs.get(), 1);
+    }
+
+    #[test]
+    fn duplicate_commit_and_late_abort_are_absorbed() {
+        let clock = Hlc::with_physical(TestClock::at(100));
+        let engine = StorageEngine::in_memory();
+        engine.create_table(TableId(1), TenantId(1));
+        let dn = DnService::new(NodeId(1), Arc::clone(&engine), clock);
+        dn.handle(
+            NodeId(9),
+            TxnMsg::Write {
+                trx: TrxId(5),
+                snapshot_ts: 1,
+                table: TableId(1),
+                key: key(1),
+                op: WireWriteOp::Insert(row(1)),
+            },
+        );
+        let TxnMsg::Prepared { prepare_ts } =
+            dn.handle(NodeId(9), TxnMsg::Prepare { trx: TrxId(5), decision_node: None })
+        else {
+            panic!()
+        };
+        let c1 = dn.handle(NodeId(9), TxnMsg::Commit { trx: TrxId(5), commit_ts: prepare_ts });
+        assert!(matches!(c1, TxnMsg::Committed { .. }));
+        // Duplicate Commit re-acks instead of failing on the gone context.
+        let c2 = dn.handle(NodeId(9), TxnMsg::Commit { trx: TrxId(5), commit_ts: prepare_ts });
+        let TxnMsg::Committed { commit_ts } = c2 else { panic!("{c2:?}") };
+        assert_eq!(commit_ts, prepare_ts);
+        // A late Abort (redelivered under loss) must not clobber the commit.
+        let a = dn.handle(NodeId(9), TxnMsg::Abort { trx: TrxId(5) });
+        assert!(matches!(a, TxnMsg::Ok));
+        assert_eq!(engine.read(TableId(1), &key(1), u64::MAX, None).unwrap(), Some(row(1)));
+        assert_eq!(dn.metrics.duplicate_msgs.get(), 2);
+    }
+
+    #[test]
+    fn decision_log_is_first_writer_wins() {
+        let clock = Hlc::with_physical(TestClock::at(1));
+        let engine = StorageEngine::in_memory();
+        let dn = DnService::new(NodeId(1), engine, clock);
+        // A query for an unknown transaction writes the presumed abort…
+        let q = dn.handle(NodeId(2), TxnMsg::QueryDecision { trx: TrxId(9) });
+        assert!(matches!(q, TxnMsg::DecisionIs { decision: Decision::Abort }));
+        assert_eq!(dn.metrics.presumed_aborts.get(), 1);
+        // …which permanently blocks the slow coordinator's commit.
+        let l = dn.handle(
+            NodeId(9),
+            TxnMsg::LogDecision { trx: TrxId(9), decision: Decision::Commit(42) },
+        );
+        assert!(matches!(l, TxnMsg::DecisionIs { decision: Decision::Abort }));
+        // The reverse order: a logged commit survives queries.
+        let l = dn.handle(
+            NodeId(9),
+            TxnMsg::LogDecision { trx: TrxId(10), decision: Decision::Commit(77) },
+        );
+        assert!(matches!(l, TxnMsg::DecisionIs { decision: Decision::Commit(77) }));
+        let q = dn.handle(NodeId(2), TxnMsg::QueryDecision { trx: TrxId(10) });
+        assert!(matches!(q, TxnMsg::DecisionIs { decision: Decision::Commit(77) }));
+        assert_eq!(dn.recorded_decision(TrxId(10)), Some(Decision::Commit(77)));
+    }
+
+    #[test]
+    fn resolver_commits_in_doubt_txn_from_decision_log() {
+        use polardbx_simnet::LatencyMatrix;
+        let net = SimNet::new(LatencyMatrix::zero());
+        let mk = |n: u64| {
+            let engine = StorageEngine::in_memory();
+            engine.create_table(TableId(1), TenantId(1));
+            DnService::new(NodeId(n), engine, Hlc::with_physical(TestClock::at(100)))
+        };
+        let dn = mk(1);
+        let arbiter = mk(2);
+        net.register(NodeId(1), DcId(1), dn.clone());
+        net.register(NodeId(2), DcId(1), arbiter.clone());
+        // dn prepares trx 5, coordinator's phase-two post is "lost"; the
+        // decision made it to the arbiter.
+        dn.handle(
+            NodeId(9),
+            TxnMsg::Write {
+                trx: TrxId(5),
+                snapshot_ts: 1,
+                table: TableId(1),
+                key: key(1),
+                op: WireWriteOp::Insert(row(1)),
+            },
+        );
+        let TxnMsg::Prepared { prepare_ts } = dn.handle(
+            NodeId(9),
+            TxnMsg::Prepare { trx: TrxId(5), decision_node: Some(NodeId(2)) },
+        ) else {
+            panic!()
+        };
+        arbiter.handle(
+            NodeId(9),
+            TxnMsg::LogDecision { trx: TrxId(5), decision: Decision::Commit(prepare_ts) },
+        );
+        assert_eq!(dn.in_doubt_count(), 1);
+        let cfg = ResolverConfig {
+            interval: Duration::from_millis(5),
+            in_doubt_after: Duration::from_millis(10),
+            abandon_active_after: Duration::from_millis(200),
+        };
+        std::thread::sleep(Duration::from_millis(15));
+        dn.resolve_once(&net, &cfg);
+        assert_eq!(dn.in_doubt_count(), 0);
+        assert_eq!(dn.metrics.in_doubt_commits.get(), 1);
+        assert_eq!(
+            dn.engine.read(TableId(1), &key(1), u64::MAX, None).unwrap(),
+            Some(row(1)),
+            "in-doubt txn must land as committed"
+        );
+    }
+
+    #[test]
+    fn resolver_presumes_abort_when_no_decision_logged() {
+        use polardbx_simnet::LatencyMatrix;
+        let net = SimNet::new(LatencyMatrix::zero());
+        let mk = |n: u64| {
+            let engine = StorageEngine::in_memory();
+            engine.create_table(TableId(1), TenantId(1));
+            DnService::new(NodeId(n), engine, Hlc::with_physical(TestClock::at(100)))
+        };
+        let dn = mk(1);
+        let arbiter = mk(2);
+        net.register(NodeId(1), DcId(1), dn.clone());
+        net.register(NodeId(2), DcId(1), arbiter.clone());
+        dn.handle(
+            NodeId(9),
+            TxnMsg::Write {
+                trx: TrxId(6),
+                snapshot_ts: 1,
+                table: TableId(1),
+                key: key(2),
+                op: WireWriteOp::Insert(row(2)),
+            },
+        );
+        dn.handle(NodeId(9), TxnMsg::Prepare { trx: TrxId(6), decision_node: Some(NodeId(2)) });
+        // Coordinator "died" before logging: resolver must presume abort.
+        let cfg = ResolverConfig {
+            interval: Duration::from_millis(5),
+            in_doubt_after: Duration::from_millis(10),
+            abandon_active_after: Duration::from_millis(200),
+        };
+        std::thread::sleep(Duration::from_millis(15));
+        dn.resolve_once(&net, &cfg);
+        assert_eq!(dn.in_doubt_count(), 0);
+        assert_eq!(dn.metrics.in_doubt_aborts.get(), 1);
+        assert_eq!(arbiter.metrics.presumed_aborts.get(), 1);
+        assert_eq!(dn.engine.read(TableId(1), &key(2), u64::MAX, None).unwrap(), None);
+        assert!(!dn.engine.has_active_txns());
+    }
+
+    #[test]
+    fn resolver_expires_abandoned_active_txn() {
+        use polardbx_simnet::LatencyMatrix;
+        let net = SimNet::<TxnMsg>::new(LatencyMatrix::zero());
+        let engine = StorageEngine::in_memory();
+        engine.create_table(TableId(1), TenantId(1));
+        let dn = DnService::new(NodeId(1), engine, Hlc::with_physical(TestClock::at(100)));
+        net.register(NodeId(1), DcId(1), dn.clone());
+        dn.handle(
+            NodeId(9),
+            TxnMsg::Write {
+                trx: TrxId(7),
+                snapshot_ts: 1,
+                table: TableId(1),
+                key: key(3),
+                op: WireWriteOp::Insert(row(3)),
+            },
+        );
+        assert!(dn.engine.has_active_txns());
+        let cfg = ResolverConfig {
+            interval: Duration::from_millis(5),
+            in_doubt_after: Duration::from_millis(10),
+            abandon_active_after: Duration::from_millis(20),
+        };
+        std::thread::sleep(Duration::from_millis(30));
+        dn.resolve_once(&net, &cfg);
+        assert!(!dn.engine.has_active_txns(), "abandoned ACTIVE must expire");
+        assert_eq!(dn.metrics.expired_active.get(), 1);
     }
 
     #[test]

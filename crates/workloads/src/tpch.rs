@@ -46,15 +46,13 @@ const RETURN_FLAGS: [&str; 3] = ["A", "N", "R"];
 /// partition-wise join of Q12 stays local, §II-B).
 pub fn create_schema(s: &Session, shards: u32) -> Result<()> {
     let ddl = [
-        format!(
-            "CREATE TABLE region (r_regionkey BIGINT NOT NULL, r_name VARCHAR(16), \
-             PRIMARY KEY (r_regionkey)) PARTITION BY HASH(r_regionkey) PARTITIONS 1"
-        ),
-        format!(
-            "CREATE TABLE nation (n_nationkey BIGINT NOT NULL, n_name VARCHAR(16), \
-             n_regionkey BIGINT, PRIMARY KEY (n_nationkey)) \
-             PARTITION BY HASH(n_nationkey) PARTITIONS 1"
-        ),
+        "CREATE TABLE region (r_regionkey BIGINT NOT NULL, r_name VARCHAR(16), \
+         PRIMARY KEY (r_regionkey)) PARTITION BY HASH(r_regionkey) PARTITIONS 1"
+            .to_string(),
+        "CREATE TABLE nation (n_nationkey BIGINT NOT NULL, n_name VARCHAR(16), \
+         n_regionkey BIGINT, PRIMARY KEY (n_nationkey)) \
+         PARTITION BY HASH(n_nationkey) PARTITIONS 1"
+            .to_string(),
         format!(
             "CREATE TABLE supplier (s_suppkey BIGINT NOT NULL, s_name VARCHAR(24), \
              s_nationkey BIGINT, s_acctbal DOUBLE, PRIMARY KEY (s_suppkey)) \

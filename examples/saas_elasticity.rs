@@ -66,7 +66,7 @@ fn main() -> polardbx_common::Result<()> {
     println!("tenant 3 still sees all {rows} rows");
 
     // Writes to the old node are rejected — single-writer per tenant.
-    let old = router.node(NodeId(1 + (3 - 1) % 2)).unwrap();
+    let old = router.node(NodeId(1)).unwrap();
     let err = old.write_row(
         TenantId(3),
         TableId(3),

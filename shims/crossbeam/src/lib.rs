@@ -1,0 +1,252 @@
+//! Offline stand-in for the `crossbeam` crate's `channel` module.
+//!
+//! Implements the multi-producer **multi-consumer** semantics the workspace
+//! relies on (worker pools clone the `Receiver`), which `std::sync::mpsc`
+//! cannot provide. A channel is a `Mutex<VecDeque>` plus a `Condvar`;
+//! `bounded(n)` is accepted for API compatibility but does not block senders
+//! — every use in this workspace sends at most once per sender, so capacity
+//! back-pressure is never exercised.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex, PoisonError};
+    use std::time::{Duration, Instant};
+
+    struct Shared<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    impl<T> Shared<T> {
+        fn queue(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+            self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    /// Sending half; cloneable.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Receiving half; cloneable (multi-consumer: each message is delivered
+    /// to exactly one receiver).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`]: channel empty and all senders
+    /// dropped.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        Timeout,
+        Disconnected,
+    }
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Channel with unlimited buffering.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+    }
+
+    /// Channel with nominal capacity `_cap`. See module docs: senders never
+    /// block in this shim.
+    pub fn bounded<T>(_cap: usize) -> (Sender<T>, Receiver<T>) {
+        unbounded()
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            if self.shared.receivers.load(Ordering::Acquire) == 0 {
+                return Err(SendError(value));
+            }
+            self.shared.queue().push_back(value);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            self.shared.senders.fetch_add(1, Ordering::AcqRel);
+            Sender { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.shared.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last sender gone: wake all receivers so blocked `recv`s
+                // observe disconnection.
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut q = self.shared.queue();
+            loop {
+                if let Some(v) = q.pop_front() {
+                    return Ok(v);
+                }
+                if self.shared.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvError);
+                }
+                q = self.shared.ready.wait(q).unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut q = self.shared.queue();
+            if let Some(v) = q.pop_front() {
+                return Ok(v);
+            }
+            if self.shared.senders.load(Ordering::Acquire) == 0 {
+                return Err(TryRecvError::Disconnected);
+            }
+            Err(TryRecvError::Empty)
+        }
+
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut q = self.shared.queue();
+            loop {
+                if let Some(v) = q.pop_front() {
+                    return Ok(v);
+                }
+                if self.shared.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, res) = self
+                    .shared
+                    .ready
+                    .wait_timeout(q, deadline - now)
+                    .unwrap_or_else(PoisonError::into_inner);
+                q = guard;
+                if res.timed_out() && q.is_empty() {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+            }
+        }
+
+        pub fn len(&self) -> usize {
+            self.shared.queue().len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.shared.queue().is_empty()
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Receiver<T> {
+            self.shared.receivers.fetch_add(1, Ordering::AcqRel);
+            Receiver { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared.receivers.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::time::Duration;
+
+        #[test]
+        fn send_recv_fifo() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+        }
+
+        #[test]
+        fn disconnect_on_sender_drop() {
+            let (tx, rx) = unbounded::<u32>();
+            drop(tx);
+            assert_eq!(rx.recv(), Err(RecvError));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        }
+
+        #[test]
+        fn try_recv_empty() {
+            let (_tx, rx) = unbounded::<u32>();
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        }
+
+        #[test]
+        fn recv_timeout_expires() {
+            let (_tx, rx) = unbounded::<u32>();
+            let err = rx.recv_timeout(Duration::from_millis(10)).unwrap_err();
+            assert_eq!(err, RecvTimeoutError::Timeout);
+        }
+
+        #[test]
+        fn cloned_receivers_share_stream() {
+            let (tx, rx) = unbounded();
+            let rx2 = rx.clone();
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let h = std::thread::spawn(move || {
+                let mut got = vec![];
+                while let Ok(v) = rx2.recv() {
+                    got.push(v);
+                }
+                got
+            });
+            let mut got = vec![];
+            while let Ok(v) = rx.recv() {
+                got.push(v);
+            }
+            let mut all = got;
+            all.extend(h.join().unwrap());
+            all.sort_unstable();
+            assert_eq!(all, (0..100).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn send_fails_with_no_receivers() {
+            let (tx, rx) = unbounded();
+            drop(rx);
+            assert!(tx.send(5).is_err());
+        }
+    }
+}

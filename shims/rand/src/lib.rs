@@ -1,0 +1,291 @@
+//! Offline stand-in for the `rand` crate: `Rng`/`SeedableRng` traits,
+//! `rngs::StdRng`, `thread_rng()`, and `random::<T>()` — the subset the
+//! workloads, benches, and chaos tests use. `StdRng` is xoshiro256++, a
+//! small, fast, statistically solid PRNG; `seed_from_u64` expands the seed
+//! with SplitMix64 exactly once per word, so streams are fully determined
+//! by the seed.
+
+use std::cell::RefCell;
+use std::ops::{Range, RangeInclusive};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Core 64-bit generator interface.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let v = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+}
+
+/// Deterministic construction from a `u64` seed.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types producible by [`Rng::gen`] / [`random`].
+pub trait Standard: Sized {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // 53 top bits → uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        f64::from_rng(rng) as f32
+    }
+}
+
+/// Types drawable uniformly from a range — the target of
+/// [`Rng::gen_range`]. A single blanket `SampleRange` impl over this trait
+/// (mirroring the real crate's structure) lets integer literals in range
+/// expressions unify with the surrounding expression's type.
+pub trait SampleUniform: Sized {
+    /// Uniform draw from `[lo, hi)` (`inclusive = false`) or `[lo, hi]`.
+    fn sample_uniform<R: RngCore + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut R)
+        -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                lo: $t,
+                hi: $t,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> $t {
+                let span = (hi as i128 - lo as i128) as u128 + inclusive as u128;
+                assert!(span > 0, "empty range in gen_range");
+                let v = ((rng.next_u64() as u128) % span) as i128;
+                (lo as i128 + v) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                lo: $t,
+                hi: $t,
+                _inclusive: bool,
+                rng: &mut R,
+            ) -> $t {
+                assert!(lo < hi, "empty range in gen_range");
+                let unit = f64::from_rng(rng) as $t;
+                lo + unit * (hi - lo)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_float!(f32, f64);
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "empty range in gen_range");
+        T::sample_uniform(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd + Copy> SampleRange<T> for RangeInclusive<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range in gen_range");
+        T::sample_uniform(lo, hi, true, rng)
+    }
+}
+
+/// High-level sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_rng(self)
+    }
+
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p), "gen_bool p out of range");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// xoshiro256++ generator, seeded via SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for w in &mut s {
+                *w = splitmix64(&mut sm);
+            }
+            // All-zero state would be a fixed point; SplitMix64 cannot
+            // produce four zero words from any seed, but guard anyway.
+            if s == [0; 4] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+static THREAD_SEED: AtomicU64 = AtomicU64::new(0x5EED_CAB1_ED00_0D15);
+
+thread_local! {
+    static THREAD_RNG: RefCell<rngs::StdRng> = RefCell::new(rngs::StdRng::seed_from_u64(
+        THREAD_SEED.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed),
+    ));
+}
+
+/// Per-thread generator. Unlike the real crate this is *deterministic per
+/// process* (threads draw seeds from a global counter), which keeps
+/// simulations reproducible.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ThreadRng;
+
+impl RngCore for ThreadRng {
+    fn next_u64(&mut self) -> u64 {
+        THREAD_RNG.with(|r| r.borrow_mut().next_u64())
+    }
+}
+
+/// Handle to the per-thread generator.
+pub fn thread_rng() -> ThreadRng {
+    ThreadRng
+}
+
+/// One random value from the per-thread generator.
+pub fn random<T: Standard>() -> T {
+    T::from_rng(&mut thread_rng())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_bounds_hold() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: i64 = r.gen_range(-5..5);
+            assert!((-5..5).contains(&v));
+            let u: usize = r.gen_range(1..=3);
+            assert!((1..=3).contains(&u));
+            let f: f64 = r.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_probability_sane() {
+        let mut r = StdRng::seed_from_u64(11);
+        let hits = (0..100_000).filter(|_| r.gen_bool(0.05)).count();
+        assert!((3_000..8_000).contains(&hits), "5% ± tolerance, got {hits}");
+    }
+
+    #[test]
+    fn full_int_range_does_not_overflow() {
+        let mut r = StdRng::seed_from_u64(3);
+        let _: i64 = r.gen_range(i64::MIN..i64::MAX);
+        let _: u64 = r.gen_range(0..u64::MAX);
+    }
+
+    #[test]
+    fn thread_rng_draws() {
+        let mut t = thread_rng();
+        let a: u64 = t.gen();
+        let b: u64 = t.gen();
+        assert_ne!(a, b);
+        let _: u16 = random::<u16>();
+        let p: f64 = t.gen();
+        assert!((0.0..1.0).contains(&p));
+    }
+}

@@ -1,0 +1,344 @@
+//! Chaos suite: 2PC and consensus under seeded fault plans.
+//!
+//! Every scenario here injects faults through the simnet fabric's
+//! [`FaultPlan`] — seeded message loss, duplication and node crashes —
+//! and asserts the end-to-end safety properties the paper's protocols
+//! promise: transactional atomicity (all-or-nothing on every DN), no
+//! transaction left PREPARED forever, replication convergence after the
+//! fabric heals, and bit-for-bit determinism when the same seed is
+//! replayed.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use polardbx_common::{DcId, IdGenerator, Key, NodeId, Row, TableId, TenantId, Value};
+use polardbx_consensus::{GroupConfig, PaxosGroup, Role};
+use polardbx_hlc::Hlc;
+use polardbx_simnet::{FaultPlan, Handler, LatencyMatrix, LinkFaults, SimNet};
+use polardbx_storage::StorageEngine;
+use polardbx_txn::{
+    Coordinator, Decision, DnService, ResolverConfig, ResolverHandle, TxnConfig, TxnMsg,
+    WireWriteOp,
+};
+
+fn key(n: i64) -> Key {
+    Key::encode(&[Value::Int(n)])
+}
+
+fn row(n: i64) -> Row {
+    Row::new(vec![Value::Int(n), Value::str("v")])
+}
+
+struct CnStub;
+impl Handler<TxnMsg> for CnStub {
+    fn handle(&self, _f: NodeId, m: TxnMsg) -> TxnMsg {
+        m
+    }
+}
+
+/// Three DNs in three DCs (NodeId 1..=3), a CN at NodeId(9) in DC1, and a
+/// coordinator that records commit decisions on DN1 (same DC as the CN, so
+/// decision logging itself rides a reliable link).
+fn chaos_cluster() -> (Arc<SimNet<TxnMsg>>, Coordinator, Vec<Arc<DnService>>) {
+    let net = SimNet::new(LatencyMatrix::zero());
+    let mut dns = Vec::new();
+    for i in 1..=3u64 {
+        let engine = StorageEngine::in_memory();
+        engine.create_table(TableId(1), TenantId(1));
+        let dn = DnService::new(NodeId(i), engine, Hlc::new());
+        net.register(NodeId(i), DcId(i), dn.clone() as Arc<dyn Handler<TxnMsg>>);
+        dns.push(dn);
+    }
+    net.register(NodeId(9), DcId(1), Arc::new(CnStub));
+    let coord = Coordinator::new(
+        NodeId(9),
+        Arc::clone(&net),
+        Hlc::new(),
+        Arc::new(IdGenerator::new()),
+    )
+    .with_decision_log(NodeId(1))
+    .with_config(TxnConfig {
+        max_attempts: 5,
+        backoff_base: Duration::from_millis(1),
+        backoff_cap: Duration::from_millis(8),
+    });
+    (net, coord, dns)
+}
+
+fn start_resolvers(net: &Arc<SimNet<TxnMsg>>, dns: &[Arc<DnService>]) -> Vec<ResolverHandle> {
+    let cfg = ResolverConfig {
+        interval: Duration::from_millis(10),
+        in_doubt_after: Duration::from_millis(50),
+        abandon_active_after: Duration::from_millis(150),
+    };
+    dns.iter().map(|d| d.start_resolver(Arc::clone(net), cfg)).collect()
+}
+
+fn await_drained(dns: &[Arc<DnService>], timeout: Duration) -> bool {
+    let deadline = std::time::Instant::now() + timeout;
+    while std::time::Instant::now() < deadline {
+        if dns.iter().all(|d| !d.engine.has_active_txns() && d.in_doubt_count() == 0) {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    false
+}
+
+/// The acceptance scenario: cross-DC links drop >= 5% of messages and
+/// duplicate another 5%, resolvers run throughout, and every transaction
+/// must still land all-or-nothing with nothing stuck once the fabric heals.
+#[test]
+fn two_pc_atomic_under_lossy_duplicating_links() {
+    let (net, coord, dns) = chaos_cluster();
+    let _resolvers = start_resolvers(&net, &dns);
+    net.set_fault_plan(
+        FaultPlan::new(0xC4A0_5EED).with_cross_dc(LinkFaults::lossy(0.08).with_duplicate(0.05)),
+    );
+
+    const TXNS: i64 = 25;
+    let mut outcomes = Vec::new();
+    for i in 0..TXNS {
+        let mut txn = coord.begin();
+        // Statement shipping also rides the lossy links: a failed write
+        // aborts the transaction, which must still be all-or-nothing.
+        let wrote = txn
+            .write(NodeId(2), TableId(1), key(100 + i), WireWriteOp::Insert(row(i)))
+            .and_then(|_| txn.write(NodeId(3), TableId(1), key(100 + i), WireWriteOp::Insert(row(i))))
+            .is_ok();
+        if wrote {
+            outcomes.push(txn.commit().ok());
+        } else {
+            txn.abort();
+            outcomes.push(None);
+        }
+    }
+
+    // Heal and let the resolvers settle whatever the chaos left behind.
+    net.clear_fault_plan();
+    assert!(await_drained(&dns, Duration::from_secs(5)), "nothing may stay active or in doubt");
+
+    // Atomicity: each transaction is either on BOTH cross-DC participants
+    // or on neither; a successful commit must be visible everywhere.
+    for i in 0..TXNS {
+        let on2 = dns[1].engine.read(TableId(1), &key(100 + i), u64::MAX, None).unwrap();
+        let on3 = dns[2].engine.read(TableId(1), &key(100 + i), u64::MAX, None).unwrap();
+        assert_eq!(on2.is_some(), on3.is_some(), "txn {i} torn across DNs");
+        if outcomes[i as usize].is_some() {
+            assert!(on2.is_some(), "txn {i} committed but invisible");
+        }
+    }
+    assert!(
+        net.fault_stats.dropped_requests.get()
+            + net.fault_stats.dropped_replies.get()
+            + net.fault_stats.duplicated_calls.get()
+            > 0,
+        "the plan must actually have injected faults: {}",
+        net.fault_stats.report()
+    );
+    assert!(
+        coord.metrics().rpc_retries.get() > 0,
+        "lossy links must have forced coordinator retries"
+    );
+}
+
+/// Coordinator crashes BEFORE the commit decision reaches the log: the
+/// outcome is in doubt, nobody may unilaterally commit, and the resolvers
+/// must settle on presumed abort via the decision log.
+#[test]
+fn coordinator_crash_before_decision_presumes_abort() {
+    let (net, coord, dns) = chaos_cluster();
+    let _resolvers = start_resolvers(&net, &dns);
+    let net_fp = Arc::clone(&net);
+    let coord = coord.with_failpoint(Arc::new(move |point| {
+        if point == "txn.before_decision" {
+            net_fp.crash(NodeId(9));
+        }
+    }));
+
+    let mut txn = coord.begin();
+    let trx = txn.id();
+    txn.write(NodeId(2), TableId(1), key(1), WireWriteOp::Insert(row(1))).unwrap();
+    txn.write(NodeId(3), TableId(1), key(2), WireWriteOp::Insert(row(2))).unwrap();
+    txn.commit().expect_err("a coordinator dead before logging cannot report success");
+
+    assert!(await_drained(&dns, Duration::from_secs(5)), "in-doubt txn must resolve");
+    assert_eq!(dns[1].engine.read(TableId(1), &key(1), u64::MAX, None).unwrap(), None);
+    assert_eq!(dns[2].engine.read(TableId(1), &key(2), u64::MAX, None).unwrap(), None);
+    assert_eq!(
+        dns[0].recorded_decision(trx),
+        Some(Decision::Abort),
+        "the arbiter must have presumed abort"
+    );
+    assert!(dns[0].metrics.presumed_aborts.get() >= 1);
+    assert!(dns[1].metrics.in_doubt_aborts.get() + dns[2].metrics.in_doubt_aborts.get() >= 2);
+}
+
+/// Coordinator crashes AFTER logging the commit decision but before any
+/// phase-two message leaves: every participant is stranded PREPARED and
+/// must learn the commit from the decision log.
+#[test]
+fn coordinator_crash_after_decision_resolver_commits() {
+    let (net, coord, dns) = chaos_cluster();
+    let _resolvers = start_resolvers(&net, &dns);
+    let net_fp = Arc::clone(&net);
+    let coord = coord.with_failpoint(Arc::new(move |point| {
+        if point == "txn.after_decision" {
+            net_fp.crash(NodeId(9));
+        }
+    }));
+
+    let mut txn = coord.begin();
+    let trx = txn.id();
+    txn.write(NodeId(2), TableId(1), key(1), WireWriteOp::Insert(row(1))).unwrap();
+    txn.write(NodeId(3), TableId(1), key(2), WireWriteOp::Insert(row(2))).unwrap();
+    let commit_ts = txn.commit().expect("the decision is durable; commit stands");
+
+    assert!(await_drained(&dns, Duration::from_secs(5)), "prepared txns must resolve");
+    assert_eq!(
+        dns[1].engine.read(TableId(1), &key(1), commit_ts, None).unwrap(),
+        Some(row(1)),
+        "resolver must have committed from the log"
+    );
+    assert_eq!(
+        dns[2].engine.read(TableId(1), &key(2), commit_ts, None).unwrap(),
+        Some(row(2)),
+        "resolver must have committed from the log"
+    );
+    assert_eq!(dns[0].recorded_decision(trx), Some(Decision::Commit(commit_ts)));
+    assert!(dns[1].metrics.in_doubt_commits.get() + dns[2].metrics.in_doubt_commits.get() >= 2);
+    assert!(net.fault_stats.blackholed.get() > 0, "the crashed CN must have been black-holed");
+}
+
+/// One full chaos run: seeded faults during a serialized workload, then
+/// heal, then resolver-driven settlement. Returns everything observable
+/// that must be identical across same-seed runs.
+fn seeded_run(seed: u64) -> (Vec<bool>, Vec<(bool, bool)>, [u64; 5]) {
+    let (net, coord, dns) = chaos_cluster();
+    net.set_fault_plan(
+        FaultPlan::new(seed).with_cross_dc(LinkFaults::lossy(0.10).with_duplicate(0.08)),
+    );
+    let mut outcomes = Vec::new();
+    for i in 0..15i64 {
+        let mut txn = coord.begin();
+        let wrote = txn
+            .write(NodeId(2), TableId(1), key(i), WireWriteOp::Insert(row(i)))
+            .and_then(|_| txn.write(NodeId(3), TableId(1), key(i), WireWriteOp::Insert(row(i))))
+            .is_ok();
+        if wrote {
+            outcomes.push(txn.commit().is_ok());
+        } else {
+            txn.abort();
+            outcomes.push(false);
+        }
+    }
+    let stats = [
+        net.fault_stats.dropped_requests.get(),
+        net.fault_stats.dropped_replies.get(),
+        net.fault_stats.dropped_posts.get(),
+        net.fault_stats.duplicated_calls.get(),
+        net.fault_stats.duplicated_posts.get(),
+    ];
+    // Heal, then let resolvers settle the leftovers over reliable links.
+    net.clear_fault_plan();
+    let _resolvers = start_resolvers(&net, &dns);
+    assert!(await_drained(&dns, Duration::from_secs(5)));
+    let state = (0..15i64)
+        .map(|i| {
+            (
+                dns[1].engine.read(TableId(1), &key(i), u64::MAX, None).unwrap().is_some(),
+                dns[2].engine.read(TableId(1), &key(i), u64::MAX, None).unwrap().is_some(),
+            )
+        })
+        .collect();
+    (outcomes, state, stats)
+}
+
+/// Same seed, same chaos: commit outcomes, injected-fault counters and the
+/// final visible state must replay bit-for-bit; a different seed must take
+/// a different fault path.
+#[test]
+fn same_seed_replays_identical_chaos() {
+    let a = seeded_run(0xD15EA5E);
+    let b = seeded_run(0xD15EA5E);
+    assert_eq!(a.0, b.0, "commit outcomes must be deterministic");
+    assert_eq!(a.1, b.1, "final state must be deterministic");
+    assert_eq!(a.2, b.2, "fault counters must be deterministic");
+    assert!(a.2.iter().sum::<u64>() > 0, "the seed must actually inject faults");
+    for (on2, on3) in &a.1 {
+        assert_eq!(on2, on3, "atomicity must hold in every run");
+    }
+    let c = seeded_run(0x0DD_5EED);
+    assert_ne!(a.2, c.2, "a different seed should walk a different fault path");
+}
+
+fn paxos_payload(n: i64) -> polardbx_wal::Mtr {
+    polardbx_wal::Mtr::single(polardbx_wal::RedoPayload::Insert {
+        trx: polardbx_common::TrxId(1),
+        table: TableId(1),
+        key: key(n),
+        row: bytes::Bytes::from(vec![b'x'; 32]),
+    })
+}
+
+/// Consensus under chaos: lossy, duplicating cross-DC links while the
+/// leader streams log, then the leader crashes mid-replication, a follower
+/// is elected, and after heal + restart every replica converges on the new
+/// leader's log.
+#[test]
+fn consensus_converges_after_leader_crash_under_loss() {
+    let g = PaxosGroup::build(GroupConfig::three_dc(1));
+    g.net.set_fault_plan(
+        FaultPlan::new(0xBAD_CAB1E).with_cross_dc(LinkFaults::lossy(0.10).with_duplicate(0.10)),
+    );
+    let leader = g.leader().unwrap();
+    // Heartbeats drive the ack/resend repair loop, so lost appends are
+    // retransmitted even with no new writes in flight.
+    let ticker = leader.start_ticker(Duration::from_millis(5), Duration::from_secs(30));
+    for i in 0..20 {
+        leader.replicate(&[paxos_payload(i)]).unwrap();
+    }
+    // Wait until the DC2 follower holds the full log (repair under loss):
+    // a candidate missing majority-committed entries cannot win votes.
+    let target = leader.status().last_lsn;
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while g.replicas[1].status().last_lsn < target && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(g.replicas[1].status().last_lsn >= target, "repair must backfill the follower");
+
+    // Crash the leader mid-replication; a DC2 follower must take over.
+    leader.stop_ticker();
+    let _ = ticker.join();
+    g.net.crash(leader.me);
+    let follower = g.replicas[1].clone();
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while follower.status().role != Role::Leader && std::time::Instant::now() < deadline {
+        follower.campaign();
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert_eq!(follower.status().role, Role::Leader, "follower must win the election");
+    for i in 20..30 {
+        follower.replicate(&[paxos_payload(i)]).unwrap();
+    }
+
+    // Heal: stop injecting faults, bring the old leader back. The next
+    // append triggers the gap-reject/resend path that backfills everyone.
+    g.net.clear_fault_plan();
+    g.net.restart(leader.me);
+    let final_lsn = follower
+        .replicate_and_wait(&[paxos_payload(99)], Duration::from_secs(2))
+        .expect("healed group must commit");
+    assert!(g.await_dlsn(final_lsn, Duration::from_secs(5)), "all replicas must converge");
+
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while leader.status().role != Role::Follower && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(leader.status().role, Role::Follower, "deposed leader must step down");
+    for r in &g.replicas {
+        assert!(r.status().last_lsn >= final_lsn, "log must converge on {:?}", r.me);
+    }
+    assert!(follower.metrics.elections_won.get() >= 1);
+    assert!(g.net.fault_stats.total_injected() > 0, "{}", g.net.fault_stats.report());
+}

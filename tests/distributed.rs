@@ -13,7 +13,10 @@ use polardbx_hlc::Hlc;
 use polardbx_simnet::{Handler, LatencyMatrix, SimNet};
 use polardbx_storage::engine::RedoApplier;
 use polardbx_storage::{StorageEngine, WriteOp};
-use polardbx_txn::{checker, Coordinator, DnService, TxnMsg};
+use polardbx_txn::{
+    checker, Coordinator, DnService, ResolverConfig, ResolverHandle, TxnConfig, TxnMsg,
+    WireWriteOp,
+};
 
 fn key(n: i64) -> Key {
     Key::encode(&[Value::Int(n)])
@@ -21,6 +24,114 @@ fn key(n: i64) -> Key {
 
 fn row(n: i64) -> Row {
     Row::new(vec![Value::Int(n), Value::str("v")])
+}
+
+/// Fabric, coordinator, DN services and their resolver threads.
+type ResolverCluster = (Arc<SimNet<TxnMsg>>, Coordinator, Vec<Arc<DnService>>, Vec<ResolverHandle>);
+
+/// Two DNs in two DCs with running in-doubt resolvers, plus a CN in DC1
+/// whose coordinator records commit decisions on DN1.
+fn resolver_cluster() -> ResolverCluster {
+    struct CnStub;
+    impl Handler<TxnMsg> for CnStub {
+        fn handle(&self, _f: NodeId, m: TxnMsg) -> TxnMsg {
+            m
+        }
+    }
+    let net = SimNet::new(LatencyMatrix::zero());
+    let resolver_cfg = ResolverConfig {
+        interval: Duration::from_millis(10),
+        in_doubt_after: Duration::from_millis(40),
+        abandon_active_after: Duration::from_millis(80),
+    };
+    let mut dns = Vec::new();
+    let mut resolvers = Vec::new();
+    for i in 1..=2u64 {
+        let engine = StorageEngine::in_memory();
+        engine.create_table(TableId(1), TenantId(1));
+        let dn = DnService::new(NodeId(i), engine, Hlc::new());
+        net.register(NodeId(i), DcId(i), dn.clone() as Arc<dyn Handler<TxnMsg>>);
+        resolvers.push(dn.start_resolver(Arc::clone(&net), resolver_cfg));
+        dns.push(dn);
+    }
+    net.register(NodeId(9), DcId(1), Arc::new(CnStub));
+    let coord = Coordinator::new(NodeId(9), Arc::clone(&net), Hlc::new(), Arc::new(IdGenerator::new()))
+        .with_decision_log(NodeId(1))
+        .with_config(TxnConfig {
+            max_attempts: 2,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(2),
+        });
+    (net, coord, dns, resolvers)
+}
+
+fn await_drained(dns: &[Arc<DnService>], timeout: Duration) -> bool {
+    let deadline = std::time::Instant::now() + timeout;
+    while std::time::Instant::now() < deadline {
+        if dns.iter().all(|d| !d.engine.has_active_txns()) {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    false
+}
+
+/// A partition that strikes during prepare leaves one participant ACTIVE
+/// (it never saw the prepare) and everything must drain after heal: the
+/// reachable participant aborts on command, the stranded one expires its
+/// abandoned transaction locally.
+#[test]
+fn partition_during_prepare_drains_after_heal() {
+    let (net, coord, dns, _resolvers) = resolver_cluster();
+    let mut txn = coord.begin();
+    txn.write(NodeId(1), TableId(1), key(1), WireWriteOp::Insert(row(1))).unwrap();
+    txn.write(NodeId(2), TableId(1), key(2), WireWriteOp::Insert(row(2))).unwrap();
+    net.partition(DcId(1), DcId(2));
+    let err = txn.commit().unwrap_err();
+    assert!(
+        matches!(err, polardbx_common::Error::Network { .. } | polardbx_common::Error::Timeout { .. }),
+        "partitioned prepare must fail: {err:?}"
+    );
+    net.heal(DcId(1), DcId(2));
+    assert!(await_drained(&dns, Duration::from_secs(3)), "active txns must drain after heal");
+    // Atomicity: the aborted transaction left nothing behind on either DN.
+    assert_eq!(dns[0].engine.read(TableId(1), &key(1), u64::MAX, None).unwrap(), None);
+    assert_eq!(dns[1].engine.read(TableId(1), &key(2), u64::MAX, None).unwrap(), None);
+}
+
+/// A partition that strikes between the commit decision and phase two
+/// strands a PREPARED participant. Its resolver must find the commit in
+/// the decision log once the partition heals — the transaction lands as
+/// committed everywhere, never "half gone".
+#[test]
+fn partition_during_commit_decision_drains_after_heal() {
+    let (net, coord, dns, _resolvers) = resolver_cluster();
+    // Sever the cross-DC link exactly after the decision is logged and
+    // before phase-two posts go out.
+    let net_fp = Arc::clone(&net);
+    let coord = coord.with_failpoint(Arc::new(move |point| {
+        if point == "txn.after_decision" {
+            net_fp.partition(DcId(1), DcId(2));
+        }
+    }));
+    let mut txn = coord.begin();
+    txn.write(NodeId(1), TableId(1), key(1), WireWriteOp::Insert(row(1))).unwrap();
+    txn.write(NodeId(2), TableId(1), key(2), WireWriteOp::Insert(row(2))).unwrap();
+    let commit_ts = txn.commit().expect("decision was logged; commit succeeds");
+    // DN2 is stranded PREPARED behind the partition.
+    std::thread::sleep(Duration::from_millis(30));
+    net.heal(DcId(1), DcId(2));
+    assert!(await_drained(&dns, Duration::from_secs(3)), "prepared txn must drain after heal");
+    // Atomicity: the committed transaction is fully visible on BOTH DNs.
+    assert_eq!(
+        dns[0].engine.read(TableId(1), &key(1), commit_ts, None).unwrap(),
+        Some(row(1))
+    );
+    assert_eq!(
+        dns[1].engine.read(TableId(1), &key(2), commit_ts, None).unwrap(),
+        Some(row(2))
+    );
+    assert!(dns[1].metrics.in_doubt_commits.get() >= 1, "resolver must have used the log");
 }
 
 /// A DN whose commits ride a 3-DC Paxos group keeps all committed rows

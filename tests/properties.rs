@@ -1,102 +1,139 @@
-//! Property-based tests (proptest) over the core data structures and
-//! invariants: order-preserving key encoding, LIKE matching, MVCC
-//! visibility against an oracle, columnar-vs-row equivalence, aggregate
-//! partial-merge associativity, and partition-routing determinism.
+//! Randomized property tests over the core data structures and invariants:
+//! order-preserving key encoding, LIKE matching, MVCC visibility against an
+//! oracle, columnar-vs-row equivalence, aggregate partial-merge
+//! associativity, and partition-routing determinism.
+//!
+//! Inputs are drawn from a seeded `StdRng`, so every run exercises the same
+//! cases — failures reproduce deterministically (proptest is unavailable in
+//! the offline build environment).
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use polardbx_common::{Key, Row, TrxId, Value};
 
-proptest! {
-    /// Key encoding preserves order for same-typed tuples: byte-wise
-    /// comparison of encodings equals SQL comparison of the value tuples.
-    #[test]
-    fn key_encoding_is_order_preserving(
-        kinds in proptest::collection::vec(0u8..4, 1..4),
-        seed_a in any::<u64>(),
-        seed_b in any::<u64>(),
-    ) {
-        use rand::{Rng, SeedableRng};
-        let gen = |seed: u64| -> Vec<Value> {
-            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-            kinds.iter().map(|&k| match k % 4 {
-                0 => Value::Int(rng.gen_range(-1000..1000)),
-                1 => Value::Double(rng.gen_range(-100.0..100.0)),
-                2 => {
-                    let n = rng.gen_range(0..6);
-                    Value::Str((0..n).map(|_| rng.gen_range(b'a'..=b'e') as char).collect())
-                }
-                _ => Value::Date(rng.gen_range(-500..500)),
-            }).collect()
+const CASES: usize = 200;
+
+fn rng_for(test: &str) -> StdRng {
+    // Stable per-test seed so tests stay independent of execution order.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in test.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+fn rand_string(rng: &mut StdRng, alphabet: &[u8], max_len: usize) -> String {
+    let n = rng.gen_range(0..=max_len);
+    (0..n)
+        .map(|_| alphabet[rng.gen_range(0..alphabet.len())] as char)
+        .collect()
+}
+
+/// Key encoding preserves order for same-typed tuples: byte-wise comparison
+/// of encodings equals SQL comparison of the value tuples.
+#[test]
+fn key_encoding_is_order_preserving() {
+    let mut rng = rng_for("key_encoding_is_order_preserving");
+    for _ in 0..CASES {
+        let kinds: Vec<u8> = (0..rng.gen_range(1..4)).map(|_| rng.gen_range(0..4)).collect();
+        let gen_tuple = |rng: &mut StdRng| -> Vec<Value> {
+            kinds
+                .iter()
+                .map(|&k| match k {
+                    0 => Value::Int(rng.gen_range(-1000..1000)),
+                    1 => Value::Double(rng.gen_range(-100.0..100.0)),
+                    2 => {
+                        let n = rng.gen_range(0..6);
+                        Value::Str(
+                            (0..n).map(|_| rng.gen_range(b'a'..=b'e') as char).collect(),
+                        )
+                    }
+                    _ => Value::Date(rng.gen_range(-500..500)),
+                })
+                .collect()
         };
-        let a = gen(seed_a);
-        let b = gen(seed_b);
+        let a = gen_tuple(&mut rng);
+        let b = gen_tuple(&mut rng);
         let ka = Key::encode(&a);
         let kb = Key::encode(&b);
-        let tuple_ord = a.iter().zip(&b).map(|(x, y)| x.cmp(y))
+        let tuple_ord = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| x.cmp(y))
             .find(|o| *o != std::cmp::Ordering::Equal)
             .unwrap_or(std::cmp::Ordering::Equal);
-        prop_assert_eq!(ka.cmp(&kb), tuple_ord);
+        assert_eq!(ka.cmp(&kb), tuple_ord, "a={a:?} b={b:?}");
     }
+}
 
-    /// Encoding round-trips every value.
-    #[test]
-    fn key_encoding_roundtrips(kind in 0u8..4, seed in any::<u64>()) {
-        let v = {
-            use rand::{Rng, SeedableRng};
-            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-            match kind {
-                0 => Value::Int(rng.gen()),
-                1 => Value::Double(rng.gen_range(-1e15..1e15)),
-                2 => Value::Bytes((0..rng.gen_range(0..20)).map(|_| rng.gen()).collect()),
-                _ => Value::Date(rng.gen()),
-            }
+/// Encoding round-trips every value.
+#[test]
+fn key_encoding_roundtrips() {
+    let mut rng = rng_for("key_encoding_roundtrips");
+    for _ in 0..CASES {
+        let v = match rng.gen_range(0u8..4) {
+            0 => Value::Int(rng.gen()),
+            1 => Value::Double(rng.gen_range(-1e15..1e15)),
+            2 => Value::Bytes((0..rng.gen_range(0..20)).map(|_| rng.gen()).collect()),
+            _ => Value::Date(rng.gen()),
         };
         let vals = vec![v.clone(), Value::Null, v];
-        prop_assert_eq!(Key::encode(&vals).decode(), vals);
+        assert_eq!(Key::encode(&vals).decode(), vals);
     }
+}
 
-    /// LIKE with only `%`/`_` wildcards agrees with a reference matcher.
-    #[test]
-    fn like_agrees_with_reference(s in "[ab]{0,8}", p in "[ab%_]{0,6}") {
-        fn reference(s: &str, p: &str) -> bool {
-            // Classic DP.
-            let (s, p): (Vec<char>, Vec<char>) = (s.chars().collect(), p.chars().collect());
-            let mut dp = vec![vec![false; p.len() + 1]; s.len() + 1];
-            dp[0][0] = true;
-            for j in 1..=p.len() {
-                dp[0][j] = p[j - 1] == '%' && dp[0][j - 1];
-            }
-            for i in 1..=s.len() {
-                for j in 1..=p.len() {
-                    dp[i][j] = match p[j - 1] {
-                        '%' => dp[i - 1][j] || dp[i][j - 1],
-                        '_' => dp[i - 1][j - 1],
-                        c => c == s[i - 1] && dp[i - 1][j - 1],
-                    };
-                }
-            }
-            dp[s.len()][p.len()]
+/// LIKE with only `%`/`_` wildcards agrees with a reference matcher.
+#[test]
+fn like_agrees_with_reference() {
+    fn reference(s: &str, p: &str) -> bool {
+        // Classic DP.
+        let (s, p): (Vec<char>, Vec<char>) = (s.chars().collect(), p.chars().collect());
+        let mut dp = vec![vec![false; p.len() + 1]; s.len() + 1];
+        dp[0][0] = true;
+        for j in 1..=p.len() {
+            dp[0][j] = p[j - 1] == '%' && dp[0][j - 1];
         }
-        prop_assert_eq!(
+        for i in 1..=s.len() {
+            for j in 1..=p.len() {
+                dp[i][j] = match p[j - 1] {
+                    '%' => dp[i - 1][j] || dp[i][j - 1],
+                    '_' => dp[i - 1][j - 1],
+                    c => c == s[i - 1] && dp[i - 1][j - 1],
+                };
+            }
+        }
+        dp[s.len()][p.len()]
+    }
+    let mut rng = rng_for("like_agrees_with_reference");
+    for _ in 0..CASES * 5 {
+        let s = rand_string(&mut rng, b"ab", 8);
+        let p = rand_string(&mut rng, b"ab%_", 6);
+        assert_eq!(
             polardbx_sql::expr::like_match(&s, &p),
             reference(&s, &p),
-            "s={:?} p={:?}", s, p
+            "s={s:?} p={p:?}"
         );
     }
+}
 
-    /// MVCC visibility matches a timestamp oracle: after a sequence of
-    /// committed writes at increasing timestamps, a read at any snapshot
-    /// sees exactly the newest version at or before it.
-    #[test]
-    fn mvcc_visibility_matches_oracle(
-        ops in proptest::collection::vec((0i64..6, 0u8..3), 1..40),
-        probe_key in 0i64..6,
-        probe_ts_idx in 0usize..40,
-    ) {
-        use polardbx_storage::{StorageEngine, WriteOp};
-        use polardbx_common::{TableId, TenantId};
-        use std::collections::HashMap;
+/// MVCC visibility matches a timestamp oracle: after a sequence of committed
+/// writes at increasing timestamps, a read at any snapshot sees exactly the
+/// newest version at or before it.
+#[test]
+fn mvcc_visibility_matches_oracle() {
+    use polardbx_common::{TableId, TenantId};
+    use polardbx_storage::{StorageEngine, WriteOp};
+    use std::collections::HashMap;
+
+    let mut rng = rng_for("mvcc_visibility_matches_oracle");
+    for _ in 0..CASES / 4 {
+        let ops: Vec<(i64, u8)> = (0..rng.gen_range(1..40))
+            .map(|_| (rng.gen_range(0i64..6), rng.gen_range(0u8..3)))
+            .collect();
+        let probe_key = rng.gen_range(0i64..6);
+        let probe_ts_idx = rng.gen_range(0usize..40);
 
         let engine = StorageEngine::in_memory();
         engine.create_table(TableId(1), TenantId(1));
@@ -116,11 +153,15 @@ proptest! {
             engine.begin(trx, ts - 1);
             let action: Option<Option<Row>> = match op {
                 0 if !exists => {
-                    engine.write(trx, TableId(1), key, WriteOp::Insert(row.clone())).unwrap();
+                    engine
+                        .write(trx, TableId(1), key, WriteOp::Insert(row.clone()))
+                        .unwrap();
                     Some(Some(row))
                 }
                 1 if exists => {
-                    engine.write(trx, TableId(1), key, WriteOp::Update(row.clone())).unwrap();
+                    engine
+                        .write(trx, TableId(1), key, WriteOp::Update(row.clone()))
+                        .unwrap();
                     Some(Some(row))
                 }
                 2 if exists => {
@@ -145,22 +186,30 @@ proptest! {
         let expect = oracle
             .get(&probe_key)
             .and_then(|versions| {
-                versions.iter().rev().find(|(cts, _)| *cts <= probe_ts).map(|(_, r)| r.clone())
+                versions
+                    .iter()
+                    .rev()
+                    .find(|(cts, _)| *cts <= probe_ts)
+                    .map(|(_, r)| r.clone())
             })
             .flatten();
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect);
     }
+}
 
-    /// Column-index snapshots agree with a row-store oracle across a random
-    /// op sequence at every commit timestamp.
-    #[test]
-    fn columnar_matches_row_oracle(
-        ops in proptest::collection::vec((0i64..5, any::<bool>()), 1..30),
-    ) {
-        use polardbx_columnar::ColumnIndex;
-        use polardbx_common::DataType;
-        use std::collections::BTreeMap;
+/// Column-index snapshots agree with a row-store oracle across a random op
+/// sequence at every commit timestamp.
+#[test]
+fn columnar_matches_row_oracle() {
+    use polardbx_columnar::ColumnIndex;
+    use polardbx_common::DataType;
+    use std::collections::BTreeMap;
 
+    let mut rng = rng_for("columnar_matches_row_oracle");
+    for _ in 0..CASES / 4 {
+        let ops: Vec<(i64, bool)> = (0..rng.gen_range(1..30))
+            .map(|_| (rng.gen_range(0i64..5), rng.gen_bool(0.5)))
+            .collect();
         let index = ColumnIndex::new(vec![DataType::Int, DataType::Int]);
         let mut oracle: BTreeMap<i64, i64> = BTreeMap::new();
         let mut ts = 0u64;
@@ -188,23 +237,26 @@ proptest! {
                     row.get(1).unwrap().as_int().unwrap(),
                 );
             }
-            prop_assert_eq!(got, expected, "at snapshot {}", ts);
+            assert_eq!(got, expected, "at snapshot {ts}");
         }
     }
+}
 
-    /// Aggregate partial/merge evaluation is equivalent to single-pass
-    /// evaluation regardless of how the input is split (the MPP two-phase
-    /// aggregate correctness property).
-    #[test]
-    fn agg_merge_is_split_invariant(
-        values in proptest::collection::vec(-1000i64..1000, 1..50),
-        split in 0usize..50,
-    ) {
-        use polardbx_executor::operators::AggState;
-        use polardbx_sql::expr::AggFunc;
-        use polardbx_sql::plan::AggSpec;
+/// Aggregate partial/merge evaluation is equivalent to single-pass
+/// evaluation regardless of how the input is split (the MPP two-phase
+/// aggregate correctness property).
+#[test]
+fn agg_merge_is_split_invariant() {
+    use polardbx_executor::operators::AggState;
+    use polardbx_sql::expr::AggFunc;
+    use polardbx_sql::plan::AggSpec;
 
-        let split = split % values.len();
+    let mut rng = rng_for("agg_merge_is_split_invariant");
+    for _ in 0..CASES {
+        let values: Vec<i64> = (0..rng.gen_range(1..50))
+            .map(|_| rng.gen_range(-1000i64..1000))
+            .collect();
+        let split = rng.gen_range(0usize..50) % values.len();
         for func in [AggFunc::Count, AggFunc::Sum, AggFunc::Avg, AggFunc::Min, AggFunc::Max] {
             let spec = AggSpec { func, arg: None, distinct: false };
             let mut single = AggState::new(&spec);
@@ -221,56 +273,90 @@ proptest! {
                 pb.update(Some(&Value::Int(*v)));
             }
             pa.merge(&pb);
-            prop_assert_eq!(single.finish(), pa.finish(), "func {:?}", func);
+            assert_eq!(single.finish(), pa.finish(), "func {func:?}");
         }
     }
+}
 
-    /// Hash partitioning is deterministic, in-bounds and spread.
-    #[test]
-    fn partition_routing_sound(ids in proptest::collection::vec(any::<i64>(), 1..200), shards in 1u32..64) {
-        use polardbx_common::{ColumnDef, DataType, TableId, TableSchema};
+/// Hash partitioning is deterministic, in-bounds and spread.
+#[test]
+fn partition_routing_sound() {
+    use polardbx_common::{ColumnDef, DataType, TableId, TableSchema};
+    let mut rng = rng_for("partition_routing_sound");
+    for _ in 0..CASES / 4 {
+        let ids: Vec<i64> = (0..rng.gen_range(1..200)).map(|_| rng.gen()).collect();
+        let shards = rng.gen_range(1u32..64);
         let schema = TableSchema::hash_on_pk(
             TableId(1),
             "t",
             vec![ColumnDef::new("id", DataType::Int).not_null()],
             vec!["id".into()],
             shards,
-        ).unwrap();
+        )
+        .unwrap();
         for id in &ids {
             let s1 = schema.shard_of_key(&[Value::Int(*id)]);
             let s2 = schema.shard_of_key(&[Value::Int(*id)]);
-            prop_assert_eq!(s1, s2);
-            prop_assert!(s1 < shards);
+            assert_eq!(s1, s2);
+            assert!(s1 < shards);
         }
     }
 }
 
-proptest! {
-    /// The SQL lexer+parser never panic on arbitrary input — they return
-    /// structured errors.
-    #[test]
-    fn parser_never_panics(input in ".{0,80}") {
+/// The SQL lexer+parser never panic on arbitrary input — they return
+/// structured errors.
+#[test]
+fn parser_never_panics() {
+    let mut rng = rng_for("parser_never_panics");
+    for _ in 0..CASES * 5 {
+        let n = rng.gen_range(0..80);
+        let input: String = (0..n)
+            .map(|_| {
+                // Mostly printable ASCII, occasionally arbitrary unicode.
+                if rng.gen_bool(0.9) {
+                    rng.gen_range(0x20u8..0x7F) as char
+                } else {
+                    char::from_u32(rng.gen_range(0u32..0xD7FF)).unwrap_or('?')
+                }
+            })
+            .collect();
         let _ = polardbx_sql::parse(&input);
     }
+}
 
-    /// Parsed expressions evaluate consistently with operator precedence:
-    /// `a + b * c` equals `a + (b * c)` computed manually.
-    #[test]
-    fn expression_precedence_semantics(a in -100i64..100, b in -100i64..100, c in -100i64..100) {
-        use polardbx_sql::{parse, Statement};
+/// Parsed expressions evaluate consistently with operator precedence:
+/// `a + b * c` equals `a + (b * c)` computed manually.
+#[test]
+fn expression_precedence_semantics() {
+    use polardbx_sql::{parse, Statement};
+    let mut rng = rng_for("expression_precedence_semantics");
+    for _ in 0..CASES {
+        let (a, b, c) = (
+            rng.gen_range(-100i64..100),
+            rng.gen_range(-100i64..100),
+            rng.gen_range(-100i64..100),
+        );
         let sql = format!("SELECT {a} + {b} * {c} FROM t");
         let Statement::Select(sel) = parse(&sql).unwrap() else { unreachable!() };
         let polardbx_sql::ast::SelectItem::Expr { expr, .. } = &sel.items[0] else {
             unreachable!()
         };
         let got = expr.eval(&Row::empty()).unwrap();
-        prop_assert_eq!(got, Value::Int(a + b * c));
+        assert_eq!(got, Value::Int(a + b * c));
     }
+}
 
-    /// BETWEEN is equivalent to the conjunction of its bounds.
-    #[test]
-    fn between_equals_conjunction(v in -50i64..50, lo in -50i64..50, hi in -50i64..50) {
-        use polardbx_sql::expr::{BinOp, Expr};
+/// BETWEEN is equivalent to the conjunction of its bounds.
+#[test]
+fn between_equals_conjunction() {
+    use polardbx_sql::expr::{BinOp, Expr};
+    let mut rng = rng_for("between_equals_conjunction");
+    for _ in 0..CASES * 2 {
+        let (v, lo, hi) = (
+            rng.gen_range(-50i64..50),
+            rng.gen_range(-50i64..50),
+            rng.gen_range(-50i64..50),
+        );
         let row = Row::new(vec![Value::Int(v)]);
         let between = Expr::Between {
             expr: Box::new(Expr::ColumnIdx(0)),
@@ -282,23 +368,26 @@ proptest! {
             Expr::binary(BinOp::Ge, Expr::ColumnIdx(0), Expr::int(lo)),
             Expr::binary(BinOp::Le, Expr::ColumnIdx(0), Expr::int(hi)),
         );
-        prop_assert_eq!(between.eval_bool(&row).unwrap(), conj.eval_bool(&row).unwrap());
+        assert_eq!(between.eval_bool(&row).unwrap(), conj.eval_bool(&row).unwrap());
     }
+}
 
-    /// The vectorized columnar filter kernels agree with row-at-a-time
-    /// predicate evaluation for every comparison operator.
-    #[test]
-    fn columnar_filters_match_row_filters(
-        data in proptest::collection::vec(proptest::option::of(-50i64..50), 1..60),
-        constant in -50i64..50,
-        op_idx in 0usize..6,
-    ) {
-        use polardbx_columnar::kernels::{filter_cmp, CmpOp};
-        use polardbx_columnar::ColumnData;
-        use polardbx_common::DataType;
+/// The vectorized columnar filter kernels agree with row-at-a-time predicate
+/// evaluation for every comparison operator.
+#[test]
+fn columnar_filters_match_row_filters() {
+    use polardbx_columnar::kernels::{filter_cmp, CmpOp};
+    use polardbx_columnar::ColumnData;
+    use polardbx_common::DataType;
 
-        let ops = [CmpOp::Eq, CmpOp::Neq, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge];
-        let op = ops[op_idx];
+    let mut rng = rng_for("columnar_filters_match_row_filters");
+    let ops = [CmpOp::Eq, CmpOp::Neq, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge];
+    for _ in 0..CASES {
+        let data: Vec<Option<i64>> = (0..rng.gen_range(1..60))
+            .map(|_| if rng.gen_bool(0.2) { None } else { Some(rng.gen_range(-50i64..50)) })
+            .collect();
+        let constant = rng.gen_range(-50i64..50);
+        let op = ops[rng.gen_range(0..ops.len())];
         let mut col = ColumnData::new(DataType::Int);
         for v in &data {
             col.push(&v.map(Value::Int).unwrap_or(Value::Null)).unwrap();
@@ -320,44 +409,60 @@ proptest! {
             })
             .map(|(i, _)| i as u32)
             .collect();
-        prop_assert_eq!(fast, slow);
+        assert_eq!(fast, slow);
     }
+}
 
-    /// Traffic-control fingerprints are literal-insensitive.
-    #[test]
-    fn fingerprint_literal_insensitive(a in 0i64..100000, b in 0i64..100000, s1 in "[a-z]{1,8}", s2 in "[a-z]{1,8}") {
-        use polardbx::traffic::fingerprint;
-        prop_assert_eq!(
+/// Traffic-control fingerprints are literal-insensitive.
+#[test]
+fn fingerprint_literal_insensitive() {
+    use polardbx::traffic::fingerprint;
+    let mut rng = rng_for("fingerprint_literal_insensitive");
+    for _ in 0..CASES {
+        let (a, b) = (rng.gen_range(0i64..100000), rng.gen_range(0i64..100000));
+        let s1 = rand_string(&mut rng, b"abcdefghijklmnopqrstuvwxyz", 8);
+        let s2 = rand_string(&mut rng, b"abcdefghijklmnopqrstuvwxyz", 8);
+        assert_eq!(
             fingerprint(&format!("SELECT * FROM t WHERE id = {a} AND name = '{s1}'")),
             fingerprint(&format!("SELECT * FROM t WHERE id = {b} AND name = '{s2}'"))
         );
     }
 }
 
-proptest! {
-    /// `PaxosFrame::decode` never panics on arbitrary bytes — corrupt or
-    /// truncated network input becomes a structured error.
-    #[test]
-    fn frame_decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+/// `PaxosFrame::decode` never panics on arbitrary bytes — corrupt or
+/// truncated network input becomes a structured error.
+#[test]
+fn frame_decode_never_panics() {
+    let mut rng = rng_for("frame_decode_never_panics");
+    for _ in 0..CASES * 5 {
+        let n = rng.gen_range(0..256);
+        let data: Vec<u8> = (0..n).map(|_| rng.gen()).collect();
         let mut bytes = bytes::Bytes::from(data);
         let _ = polardbx_wal::PaxosFrame::decode(&mut bytes);
     }
+}
 
-    /// Redo-record decoding never panics on arbitrary bytes either.
-    #[test]
-    fn redo_decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..128)) {
+/// Redo-record decoding never panics on arbitrary bytes either.
+#[test]
+fn redo_decode_never_panics() {
+    let mut rng = rng_for("redo_decode_never_panics");
+    for _ in 0..CASES * 5 {
+        let n = rng.gen_range(0..128);
+        let data: Vec<u8> = (0..n).map(|_| rng.gen()).collect();
         let _ = polardbx_wal::RedoPayload::decode_all(bytes::Bytes::from(data));
     }
+}
 
-    /// Frames round-trip through encode/decode for arbitrary payload sizes
-    /// up to the 16 KB cap, and corruption of any single byte is detected.
-    #[test]
-    fn frame_roundtrip_and_corruption_detection(
-        payload_len in 1usize..2048,
-        epoch in any::<u64>(),
-        corrupt_at in any::<usize>(),
-    ) {
-        use polardbx_wal::{Mtr, PaxosFrame, RedoPayload};
+/// Frames round-trip through encode/decode for arbitrary payload sizes up to
+/// the 16 KB cap, and corruption of any single byte is detected.
+#[test]
+fn frame_roundtrip_and_corruption_detection() {
+    use polardbx_wal::{Mtr, PaxosFrame, RedoPayload};
+    let mut rng = rng_for("frame_roundtrip_and_corruption_detection");
+    for _ in 0..CASES / 2 {
+        let payload_len = rng.gen_range(1usize..2048);
+        let epoch: u64 = rng.gen();
+        let corrupt_at: usize = rng.gen();
         let mtr = Mtr::single(RedoPayload::Insert {
             trx: TrxId(1),
             table: polardbx_common::TableId(1),
@@ -367,14 +472,14 @@ proptest! {
         let frame = PaxosFrame::from_mtrs(epoch, 0, polardbx_common::Lsn(0), &[mtr]);
         let wire = frame.encode();
         let mut ok = wire.clone();
-        prop_assert_eq!(PaxosFrame::decode(&mut ok).unwrap(), frame);
+        assert_eq!(PaxosFrame::decode(&mut ok).unwrap(), frame);
         // Flip one payload byte: checksum must catch it.
         let mut corrupted = wire.to_vec();
         let idx = polardbx_wal::FRAME_HEADER_LEN + corrupt_at % payload_len.max(1);
         if idx < corrupted.len() {
             corrupted[idx] ^= 0x01;
             let mut b = bytes::Bytes::from(corrupted);
-            prop_assert!(PaxosFrame::decode(&mut b).is_err());
+            assert!(PaxosFrame::decode(&mut b).is_err());
         }
     }
 }
