@@ -49,9 +49,22 @@ fn main() {
     println!("  TPC-C-lite continuous ({tp_threads} terminals); TPC-H-lite bursts; {run:?} per config");
     println!();
 
-    // One cluster with both workloads resident.
-    let db = PolarDbx::build(ClusterConfig { dns: 4, default_shards: 4, ..Default::default() })
-        .unwrap();
+    // One cluster with both workloads resident. In quick mode the AP
+    // threshold is scaled down with the data so the classifier splits the
+    // TPC-H mix exactly as the full-size run does (q3/q5/q12 → AP through
+    // the vectorized MPP path, q1/q6 → TP); with the default threshold the
+    // downsized estimates would put everything on the TP path.
+    let db = PolarDbx::build(ClusterConfig {
+        dns: 4,
+        default_shards: 4,
+        ap_threshold: if quick() {
+            120_000.0
+        } else {
+            polardbx_optimizer::DEFAULT_AP_THRESHOLD
+        },
+        ..Default::default()
+    })
+    .unwrap();
     let driver = TpccDriver::setup(&db, TpccConfig::default()).unwrap();
     let s = db.connect(DcId(1));
     tpch::create_schema(&s, 4).unwrap();
@@ -98,6 +111,9 @@ fn main() {
         baseline.tpmc, baseline.min_window_tpmc
     );
     println!();
+    // The AP stream executes through the cluster's vectorized MPP path;
+    // collect its per-operator counters across all configurations.
+    polardbx_executor::exec_metrics().reset();
     header(&[
         "config",
         "tpmC avg",
@@ -179,6 +195,8 @@ fn main() {
     println!("  Paper: iso-off shows >40% jitters (min tpmC 57!); iso-on holds >120K;");
     println!("  dedicated ROs leave TPC-C unaffected; TPC-H latency improves 2.7x/5.0x/5.7x");
     println!("  with 1→3 extra ROs and saturates at 4 (CN + row-store bottleneck).");
+    println!();
+    print!("{}", polardbx_executor::exec_metrics().report());
     db.shutdown();
 }
 

@@ -18,7 +18,7 @@ use polardbx_executor::{
 };
 use polardbx_executor::scheduler::{run_with_demotion, TickState};
 use polardbx_hlc::Hlc;
-use polardbx_optimizer::{classify, optimize_with_stats, WorkloadClass};
+use polardbx_optimizer::{classify_with_threshold, optimize_with_stats, WorkloadClass};
 use polardbx_simnet::{Handler, LatencyMatrix, SimNet};
 use polardbx_sql::ast::{self, IndexPlacement, Statement};
 use polardbx_sql::expr::Expr;
@@ -46,6 +46,10 @@ pub struct ClusterConfig {
     pub latency: LatencyMatrix,
     /// MPP degree for AP queries (tasks across the CN fleet).
     pub mpp_workers: usize,
+    /// Estimated-cost threshold above which a query classifies AP and runs
+    /// on the vectorized MPP path. Downsized harnesses lower it so their
+    /// analytic mix still exercises AP routing at bench scale.
+    pub ap_threshold: f64,
 }
 
 impl Default for ClusterConfig {
@@ -58,6 +62,7 @@ impl Default for ClusterConfig {
             default_shards: 8,
             latency: LatencyMatrix::zero(),
             mpp_workers: 4,
+            ap_threshold: polardbx_optimizer::DEFAULT_AP_THRESHOLD,
         }
     }
 }
@@ -464,7 +469,7 @@ impl Session {
             polardbx_sql::build_plan(&sel, self.inner.gms.as_ref())?,
             &stats,
         );
-        let class = classify(&plan, &stats);
+        let class = classify_with_threshold(&plan, &stats, self.inner.config.ap_threshold);
         let cost = polardbx_optimizer::estimate(&plan, &stats);
         let mut out = String::new();
         out.push_str(&format!(
@@ -489,7 +494,7 @@ impl Session {
         let stats = self.inner.gms.statistics();
         let plan = polardbx_sql::build_plan(&sel, self.inner.gms.as_ref())?;
         let plan = optimize_with_stats(plan, &stats);
-        let class = classify(&plan, &stats);
+        let class = classify_with_threshold(&plan, &stats, self.inner.config.ap_threshold);
         let rows = self.run_plan(plan, class)?;
         Ok((rows, class))
     }
@@ -531,7 +536,13 @@ impl Session {
                 result
             }
             WorkloadClass::Ap => {
-                let mpp = MppExecutor::new(inner.config.mpp_workers);
+                // The MPP engine borrows morsel workers from the CN's own
+                // persistent pools, so concurrent AP queries share workers
+                // (under the AP governor) instead of each spawning threads.
+                let mpp = MppExecutor::with_pool(
+                    inner.config.mpp_workers,
+                    Arc::clone(&inner.workload),
+                );
                 let governor = inner.workload.governor_for(JobClass::Ap);
                 let plan = plan.clone();
                 let mgr = Arc::clone(&inner.workload);
@@ -559,9 +570,14 @@ impl Session {
                         Some(ro) => {
                             // Session consistency (§II-C): the read carries
                             // the RW's current LSN as a token; the replica
-                            // must catch up to it before serving.
-                            dn.rw.ship();
+                            // must catch up to it before serving. Take the
+                            // token BEFORE shipping: ship() synchronously
+                            // applies everything flushed at call time, so
+                            // the wait then succeeds immediately instead of
+                            // chasing commits that landed between ship()
+                            // and the token snapshot.
                             let token = dn.rw.session_token();
+                            dn.rw.ship();
                             let _ = ro.wait_for(token, Duration::from_millis(200));
                             Arc::clone(&ro.engine)
                         }

@@ -221,6 +221,7 @@ fn apply_preds(
     preds: &[SimplePred],
     ctx: &ExecCtx,
 ) -> Result<Vec<u32>> {
+    let t0 = std::time::Instant::now();
     let mut sel = snap.selection.clone();
     for p in preds {
         ctx.tick(sel.len() as u64 / 8)?; // vectorized: cheaper per row
@@ -239,12 +240,17 @@ fn apply_preds(
             }
         };
     }
+    if !preds.is_empty() {
+        crate::exec_metrics::exec_metrics().filter.record(sel.len() as u64, 0, t0);
+    }
     Ok(sel)
 }
 
 fn run_select(snap: &ColumnSnapshot, preds: &[SimplePred], ctx: &ExecCtx) -> Result<Vec<Row>> {
+    let t0 = std::time::Instant::now();
     let sel = apply_preds(snap, preds, ctx)?;
     ctx.tick(sel.len() as u64)?;
+    crate::exec_metrics::exec_metrics().scan.record(sel.len() as u64, 0, t0);
     Ok(sel
         .iter()
         .map(|&id| Row::new(snap.columns.iter().map(|c| c.get(id as usize)).collect()))
@@ -252,6 +258,19 @@ fn run_select(snap: &ColumnSnapshot, preds: &[SimplePred], ctx: &ExecCtx) -> Res
 }
 
 fn run_aggregate(
+    snap: &ColumnSnapshot,
+    preds: &[SimplePred],
+    group_by: &[Expr],
+    aggs: &[AggSpec],
+    ctx: &ExecCtx,
+) -> Result<Vec<Row>> {
+    let t0 = std::time::Instant::now();
+    let out = run_aggregate_inner(snap, preds, group_by, aggs, ctx)?;
+    crate::exec_metrics::exec_metrics().aggregate.record(out.len() as u64, 0, t0);
+    Ok(out)
+}
+
+fn run_aggregate_inner(
     snap: &ColumnSnapshot,
     preds: &[SimplePred],
     group_by: &[Expr],

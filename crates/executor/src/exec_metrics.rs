@@ -1,0 +1,135 @@
+//! Per-operator execution metrics for the vectorized engine.
+//!
+//! Every operator in the vectorized/morsel path records batches, rows,
+//! nanoseconds and bytes held into a process-wide registry built on
+//! [`polardbx_common::metrics::Counter`], so the fig9/fig10 harnesses (and
+//! the perf-smoke CI job) can show *where* time goes, not just totals.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use polardbx_common::metrics::Counter;
+
+/// Counters for one physical operator.
+#[derive(Debug, Default)]
+pub struct OpMetrics {
+    /// Batches processed.
+    pub batches: Counter,
+    /// Rows produced (post-filter for filters, probe output for joins).
+    pub rows: Counter,
+    /// Wall nanoseconds spent in the operator.
+    pub nanos: Counter,
+    /// Bytes held in the operator's output batches.
+    pub bytes: Counter,
+}
+
+impl OpMetrics {
+    /// Record one batch worth of work started at `t0`.
+    pub fn record(&self, rows: u64, bytes: u64, t0: Instant) {
+        self.batches.inc();
+        self.rows.add(rows);
+        self.bytes.add(bytes);
+        self.nanos.add(t0.elapsed().as_nanos() as u64);
+    }
+
+    fn reset(&self) {
+        self.batches.reset();
+        self.rows.reset();
+        self.nanos.reset();
+        self.bytes.reset();
+    }
+
+    fn line(&self, name: &str) -> String {
+        format!(
+            "  {name:<9} batches={:<8} rows={:<12} ns={:<14} bytes={}",
+            self.batches.get(),
+            self.rows.get(),
+            self.nanos.get(),
+            self.bytes.get()
+        )
+    }
+}
+
+/// The engine-wide registry: one [`OpMetrics`] per operator kind plus
+/// morsel-scheduling counters.
+#[derive(Debug, Default)]
+pub struct ExecMetrics {
+    /// Table scans (row store and column index).
+    pub scan: OpMetrics,
+    /// Filters.
+    pub filter: OpMetrics,
+    /// Projections.
+    pub project: OpMetrics,
+    /// Hash joins (build + probe).
+    pub join: OpMetrics,
+    /// Hash aggregation.
+    pub aggregate: OpMetrics,
+    /// Sorts.
+    pub sort: OpMetrics,
+    /// Morsels dispatched to the worker pool.
+    pub morsels: Counter,
+    /// Morsels executed by a worker other than the one that scanned the
+    /// partition (work stealing events).
+    pub steals: Counter,
+}
+
+impl ExecMetrics {
+    /// Zero all counters (between benchmark rounds).
+    pub fn reset(&self) {
+        self.scan.reset();
+        self.filter.reset();
+        self.project.reset();
+        self.join.reset();
+        self.aggregate.reset();
+        self.sort.reset();
+        self.morsels.reset();
+        self.steals.reset();
+    }
+
+    /// Human-readable dump for bench harnesses.
+    pub fn report(&self) -> String {
+        let mut s = String::from("per-operator metrics:\n");
+        for (name, m) in [
+            ("scan", &self.scan),
+            ("filter", &self.filter),
+            ("project", &self.project),
+            ("join", &self.join),
+            ("aggregate", &self.aggregate),
+            ("sort", &self.sort),
+        ] {
+            s.push_str(&m.line(name));
+            s.push('\n');
+        }
+        s.push_str(&format!(
+            "  morsels={} stolen={}\n",
+            self.morsels.get(),
+            self.steals.get()
+        ));
+        s
+    }
+}
+
+/// The process-wide registry.
+pub fn exec_metrics() -> &'static ExecMetrics {
+    static REG: OnceLock<ExecMetrics> = OnceLock::new();
+    REG.get_or_init(ExecMetrics::default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_report() {
+        let m = ExecMetrics::default();
+        m.scan.record(100, 800, Instant::now());
+        m.filter.record(40, 320, Instant::now());
+        assert_eq!(m.scan.rows.get(), 100);
+        assert_eq!(m.scan.batches.get(), 1);
+        let report = m.report();
+        assert!(report.contains("scan"));
+        assert!(report.contains("rows=100"));
+        m.reset();
+        assert_eq!(m.scan.rows.get(), 0);
+    }
+}

@@ -19,14 +19,31 @@
 //! * [`memory`] — TP/AP memory regions with asymmetric preemption: TP may
 //!   take AP memory and keep it until completion; AP must yield
 //!   immediately when TP asks (§VI-D).
+//! * [`batch`] / [`vectorized`] — the streaming vectorized engine:
+//!   operators pull fixed-size columnar [`batch::RowBatch`]es (selection
+//!   vectors, typed lanes, hashed key slots) through a pull pipeline
+//!   instead of materializing `Vec<Row>`s between operators.
+//! * [`morsel`] — morsel-driven scheduling on the persistent
+//!   [`WorkloadManager`] pools: scans split into stealable row chunks,
+//!   pipeline breakers keep per-worker state merged at the barrier.
+//! * [`exec_metrics`] — per-operator counters (batches, rows, ns, bytes)
+//!   for the vectorized path.
 
+pub mod batch;
 pub mod columnar_exec;
+pub mod exec_metrics;
 pub mod memory;
+pub mod morsel;
 pub mod mpp;
 pub mod operators;
 pub mod scheduler;
+pub mod vectorized;
 
+pub use batch::{batches_of, RowBatch, BATCH_ROWS};
+pub use exec_metrics::{exec_metrics, ExecMetrics};
 pub use memory::{MemoryManager, MemoryRegion};
+pub use morsel::{run_parallel_pooled, shared_pool};
 pub use mpp::MppExecutor;
 pub use operators::{execute_plan, ExecCtx, TableProvider};
 pub use scheduler::{CpuGovernor, JobClass, WorkloadManager};
+pub use vectorized::{execute as execute_vectorized, VecAggTable};

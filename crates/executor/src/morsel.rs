@@ -1,0 +1,379 @@
+//! Morsel-driven scheduling on the persistent `WorkloadManager` pools.
+//!
+//! The seed MPP path spawned a fresh `thread::scope` per query, so
+//! concurrent AP queries oversubscribed the host and a skewed partition
+//! left its siblings idle. Here every query borrows workers from the
+//! shared, persistent AP pool instead, and scans are split into fixed-size
+//! *morsels* (row chunks) that idle workers steal from a shared queue, so
+//! a skewed partition is drained by everyone rather than blocking one
+//! thread.
+//!
+//! The scheduling is **caller-helping**: the thread that owns the query
+//! participates in draining the queue. That keeps the design deadlock-free
+//! even when the query itself is already running *on* the pool it borrows
+//! helpers from (a 1-thread AP pool executing a query that fans out to the
+//! same pool would otherwise wait forever). A helper-start handshake on a
+//! single atomic — helpers `fetch_add` to announce themselves, the caller
+//! `fetch_or`s a CLOSED bit when the work is done — tells the caller
+//! exactly how many helper partials to collect.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::{Condvar, Mutex};
+use polardbx_common::{Result, Row};
+
+use crate::exec_metrics::exec_metrics;
+use crate::scheduler::{JobClass, WorkloadManager};
+
+/// Rows per morsel: large enough to amortize dispatch, small enough that a
+/// skewed partition splits into many stealable units.
+pub const MORSEL_ROWS: usize = 8192;
+
+/// High bit of the helper handshake word: set by the caller when the work
+/// is complete; helpers that announce themselves after this was set exit
+/// without sending a partial.
+const CLOSED: usize = 1 << (usize::BITS - 1);
+
+/// The process-wide execution pool shared by every `MppExecutor` that is
+/// not explicitly wired to a cluster's `WorkloadManager`: all cores, full
+/// quota, so standalone/bench usage behaves like the seed's per-query
+/// threads minus the per-query spawn cost.
+pub fn shared_pool() -> Arc<WorkloadManager> {
+    static POOL: OnceLock<Arc<WorkloadManager>> = OnceLock::new();
+    Arc::clone(POOL.get_or_init(|| {
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(8);
+        WorkloadManager::new(cores, cores, 1.0, 0.1)
+    }))
+}
+
+/// Run `f` over `inputs` on the pool, preserving input order in the output.
+/// The caller helps drain the queue, so this never deadlocks even when it
+/// is itself running on the target pool. Replaces the seed `run_parallel`
+/// (fresh `thread::scope` per query) for fan-out that is per-*partition*
+/// rather than per-morsel (e.g. parallel join probes).
+pub fn run_parallel_pooled<I, O, F>(
+    mgr: &Arc<WorkloadManager>,
+    class: JobClass,
+    workers: usize,
+    inputs: Vec<I>,
+    f: F,
+) -> Result<Vec<O>>
+where
+    I: Send + 'static,
+    O: Send + 'static,
+    F: Fn(I) -> Result<O> + Send + Sync + 'static,
+{
+    let n = inputs.len();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    if workers <= 1 || n == 1 {
+        return inputs.into_iter().map(f).collect();
+    }
+    let queue: Arc<Mutex<VecDeque<(usize, I)>>> =
+        Arc::new(Mutex::new(inputs.into_iter().enumerate().collect()));
+    let f = Arc::new(f);
+    let (tx, rx) = crossbeam::channel::unbounded::<(usize, Result<O>)>();
+    for _ in 0..workers.saturating_sub(1).min(n - 1) {
+        let queue = Arc::clone(&queue);
+        let f = Arc::clone(&f);
+        let tx = tx.clone();
+        mgr.submit(class, move || {
+            loop {
+                let Some((idx, item)) = queue.lock().pop_front() else { break };
+                let _ = tx.send((idx, f(item)));
+            }
+        });
+    }
+    drop(tx);
+    let mut slots: Vec<Option<Result<O>>> = (0..n).map(|_| None).collect();
+    let mut self_done = 0usize;
+    loop {
+        // Take from the front so the caller and helpers interleave; any
+        // item the caller does NOT see here was popped by a helper that is
+        // already running and will send its result.
+        let Some((idx, item)) = queue.lock().pop_front() else { break };
+        slots[idx] = Some(f(item));
+        self_done += 1;
+    }
+    for _ in 0..n - self_done {
+        let (idx, r) = rx.recv().expect("pool worker died");
+        slots[idx] = Some(r);
+    }
+    slots.into_iter().map(|s| s.expect("all slots filled")).collect()
+}
+
+/// One unit of morsel work: a whole partition still to be scanned, or a
+/// chunk of already-scanned rows stolen from whoever scanned them.
+enum Task {
+    Partition(usize),
+    Rows(Vec<Row>),
+}
+
+/// A query fragment that morsel workers execute: scan partitions, fold row
+/// chunks into per-worker state `W` (which embeds any forked `ExecCtx` the
+/// impl needs), merged by the caller at the barrier.
+pub(crate) trait MorselWork<W>: Send + Sync {
+    /// Fresh thread-local state for one worker.
+    fn new_local(&self) -> W;
+    /// Produce the rows of one partition.
+    fn scan(&self, partition: usize) -> Result<Vec<Row>>;
+    /// Fold one morsel of rows into the worker's local state.
+    fn process(&self, rows: Vec<Row>, local: &mut W) -> Result<()>;
+}
+
+struct MorselState {
+    queue: Mutex<VecDeque<Task>>,
+    /// Tasks not yet fully processed. A partition counts as one until its
+    /// scan splits it into chunks (then each extra chunk adds one).
+    pending: Mutex<usize>,
+    cv: Condvar,
+    abort: AtomicBool,
+    error: Mutex<Option<polardbx_common::Error>>,
+    /// Helper handshake word (count | CLOSED bit).
+    helpers: AtomicUsize,
+}
+
+impl MorselState {
+    fn fail(&self, e: polardbx_common::Error) {
+        self.abort.store(true, Ordering::Release);
+        let mut err = self.error.lock();
+        if err.is_none() {
+            *err = Some(e);
+        }
+        drop(err);
+        self.queue.lock().clear();
+        self.cv.notify_all();
+    }
+}
+
+fn morsel_worker<W, T: MorselWork<W> + ?Sized>(work: &T, state: &MorselState) -> W {
+    let mut local = work.new_local();
+    loop {
+        let task = {
+            let mut q = state.queue.lock();
+            loop {
+                if state.abort.load(Ordering::Acquire) {
+                    return local;
+                }
+                if let Some(t) = q.pop_front() {
+                    break t;
+                }
+                if *state.pending.lock() == 0 {
+                    return local;
+                }
+                // Queue empty but a scan elsewhere may still push chunks.
+                state.cv.wait(&mut q);
+            }
+        };
+        let rows = match task {
+            Task::Partition(p) => match work.scan(p) {
+                Ok(rows) => rows,
+                Err(e) => {
+                    state.fail(e);
+                    return local;
+                }
+            },
+            Task::Rows(rows) => {
+                exec_metrics().steals.inc();
+                rows
+            }
+        };
+        // Split a large scan into stealable chunks; keep the first, share
+        // the rest.
+        let mut rows = rows;
+        if rows.len() > MORSEL_ROWS {
+            let mut extra = Vec::new();
+            while rows.len() > MORSEL_ROWS {
+                extra.push(rows.split_off(rows.len() - MORSEL_ROWS));
+            }
+            // Account the chunks *before* exposing them, so `pending`
+            // can't transiently hit zero while work still exists.
+            *state.pending.lock() += extra.len();
+            state.queue.lock().extend(extra.into_iter().map(Task::Rows));
+            state.cv.notify_all();
+        }
+        exec_metrics().morsels.inc();
+        if let Err(e) = work.process(rows, &mut local) {
+            state.fail(e);
+            return local;
+        }
+        let mut pending = state.pending.lock();
+        *pending -= 1;
+        if *pending == 0 {
+            drop(pending);
+            state.cv.notify_all();
+        }
+    }
+}
+
+/// Execute `work` over `partitions` with up to `workers` threads (the
+/// caller plus pool helpers), returning every worker's local state for the
+/// caller to merge at the barrier.
+pub(crate) fn morsel_execute<W, T>(
+    mgr: &Arc<WorkloadManager>,
+    class: JobClass,
+    workers: usize,
+    partitions: usize,
+    work: Arc<T>,
+) -> Result<Vec<W>>
+where
+    W: Send + 'static,
+    T: MorselWork<W> + 'static,
+{
+    let state = Arc::new(MorselState {
+        queue: Mutex::new((0..partitions).map(Task::Partition).collect()),
+        pending: Mutex::new(partitions),
+        cv: Condvar::new(),
+        abort: AtomicBool::new(false),
+        error: Mutex::new(None),
+        helpers: AtomicUsize::new(0),
+    });
+    let (tx, rx) = crossbeam::channel::unbounded::<W>();
+    for _ in 0..workers.saturating_sub(1).min(partitions.saturating_sub(1)) {
+        let state = Arc::clone(&state);
+        let work = Arc::clone(&work);
+        let tx = tx.clone();
+        mgr.submit(class, move || {
+            // Announce; if the caller already closed the work, stay out.
+            if state.helpers.fetch_add(1, Ordering::AcqRel) & CLOSED != 0 {
+                return;
+            }
+            let local = morsel_worker(work.as_ref(), &state);
+            let _ = tx.send(local);
+        });
+    }
+    drop(tx);
+    let mut locals = vec![morsel_worker(work.as_ref(), &state)];
+    // Close the handshake: the returned count is exactly how many helpers
+    // announced before the bit was set — each will send one partial.
+    let started = state.helpers.fetch_or(CLOSED, Ordering::AcqRel) & !CLOSED;
+    state.cv.notify_all();
+    for _ in 0..started {
+        locals.push(rx.recv().expect("morsel helper died"));
+    }
+    if let Some(e) = state.error.lock().take() {
+        return Err(e);
+    }
+    Ok(locals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polardbx_common::{Error, Value};
+
+    fn pool() -> Arc<WorkloadManager> {
+        WorkloadManager::new(2, 2, 1.0, 1.0)
+    }
+
+    #[test]
+    fn run_parallel_pooled_preserves_order() {
+        let mgr = pool();
+        let out = run_parallel_pooled(&mgr, JobClass::Ap, 4, (0..32).collect(), |i: i32| {
+            Ok(i * 10)
+        })
+        .unwrap();
+        assert_eq!(out, (0..32).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_parallel_pooled_propagates_errors() {
+        let mgr = pool();
+        let out = run_parallel_pooled(&mgr, JobClass::Ap, 4, (0..8).collect(), |i: i32| {
+            if i == 5 {
+                Err(Error::execution("boom"))
+            } else {
+                Ok(i)
+            }
+        });
+        assert!(out.is_err());
+    }
+
+    #[test]
+    fn run_parallel_pooled_from_inside_the_pool_does_not_deadlock() {
+        // A 1-thread AP pool running a job that fans out to itself: the
+        // caller-helping loop must drain the queue alone.
+        let mgr = pool();
+        let mgr2 = Arc::clone(&mgr);
+        let out = mgr.run(JobClass::SlowAp, move || {
+            run_parallel_pooled(&mgr2, JobClass::SlowAp, 4, (0..16).collect(), |i: i32| Ok(i))
+        })
+        .unwrap();
+        assert_eq!(out, (0..16).collect::<Vec<_>>());
+    }
+
+    struct SumWork {
+        partitions: Vec<Vec<Row>>,
+    }
+
+    impl MorselWork<i64> for SumWork {
+        fn new_local(&self) -> i64 {
+            0
+        }
+        fn scan(&self, p: usize) -> Result<Vec<Row>> {
+            Ok(self.partitions[p].clone())
+        }
+        fn process(&self, rows: Vec<Row>, local: &mut i64) -> Result<()> {
+            for r in rows {
+                if let Value::Int(v) = r.get(0)? {
+                    *local += v;
+                }
+            }
+            Ok(())
+        }
+    }
+
+    fn int_rows(range: std::ops::Range<i64>) -> Vec<Row> {
+        range.map(|i| Row::new(vec![Value::Int(i)])).collect()
+    }
+
+    #[test]
+    fn morsel_execute_covers_skewed_partitions() {
+        let mgr = pool();
+        // One huge partition and two tiny ones: the big one must split
+        // into stealable chunks.
+        let total: i64 = (0..100_000).sum::<i64>() + 7 + 9;
+        let work = Arc::new(SumWork {
+            partitions: vec![
+                int_rows(0..100_000),
+                vec![Row::new(vec![Value::Int(7)])],
+                vec![Row::new(vec![Value::Int(9)])],
+            ],
+        });
+        let locals = morsel_execute(&mgr, JobClass::Ap, 4, 3, work).unwrap();
+        assert_eq!(locals.iter().sum::<i64>(), total);
+    }
+
+    #[test]
+    fn morsel_execute_propagates_scan_errors() {
+        struct Failing;
+        impl MorselWork<()> for Failing {
+            fn new_local(&self) {}
+            fn scan(&self, _p: usize) -> Result<Vec<Row>> {
+                Err(Error::execution("scan failed"))
+            }
+            fn process(&self, _rows: Vec<Row>, _local: &mut ()) -> Result<()> {
+                Ok(())
+            }
+        }
+        let mgr = pool();
+        assert!(morsel_execute(&mgr, JobClass::Ap, 4, 2, Arc::new(Failing)).is_err());
+    }
+
+    #[test]
+    fn morsel_execute_on_its_own_pool_does_not_deadlock() {
+        let mgr = pool();
+        let mgr2 = Arc::clone(&mgr);
+        let work = Arc::new(SumWork { partitions: vec![int_rows(0..50_000), int_rows(0..10)] });
+        let locals = mgr
+            .run(JobClass::SlowAp, move || {
+                morsel_execute(&mgr2, JobClass::SlowAp, 4, 2, work)
+            })
+            .unwrap();
+        let total: i64 = (0..50_000).sum::<i64>() + (0..10).sum::<i64>();
+        assert_eq!(locals.iter().sum::<i64>(), total);
+    }
+}

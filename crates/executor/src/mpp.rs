@@ -6,32 +6,112 @@
 //! others. When all tasks complete, partial results are sent back to Query
 //! Coordinator, who assembles the final result."
 //!
-//! The parallelism unit is the table partition (shard). Pipelines of
-//! `Project*/Filter*` over a `Scan` execute per-partition in parallel
-//! worker tasks; aggregates run as partial-aggregate tasks merged at the
-//! coordinator; hash joins build once and probe partition-parallel.
+//! Parallelism is morsel-driven: partition scans split into fixed-size row
+//! chunks drained by a persistent worker pool (the `WorkloadManager` AP
+//! pool) with work stealing, so a skewed partition no longer pins a single
+//! worker while its siblings sit idle, and concurrent queries share the
+//! pool instead of each spawning a fresh `thread::scope`. Pipeline
+//! breakers (partial aggregation) keep per-worker state merged once at the
+//! barrier; per-chunk operator work runs through the vectorized engine
+//! (`crate::vectorized`).
 
 use std::sync::Arc;
 
 use polardbx_common::{Result, Row};
 use polardbx_sql::plan::LogicalPlan;
 
-use crate::operators::{
-    apply_filter, apply_join, apply_project, apply_sort, execute_plan, AggTable, ExecCtx,
-    TableProvider,
-};
+use crate::batch::batches_of;
+use crate::morsel::{morsel_execute, run_parallel_pooled, shared_pool, MorselWork};
+use crate::operators::{apply_join, apply_sort, ExecCtx, TableProvider};
+use crate::scheduler::{JobClass, WorkloadManager};
+use crate::vectorized::{self, pipeline_stages, run_stages, JoinBuild, StageOp, VecAggTable};
 
 /// The MPP engine: a degree of parallelism (worker tasks ≈ CN nodes ×
-/// cores) and exchange accounting.
+/// cores) on a persistent worker pool.
 pub struct MppExecutor {
-    /// Maximum concurrent tasks.
+    /// Maximum concurrent tasks per query.
     pub workers: usize,
+    pool: Arc<WorkloadManager>,
+}
+
+/// Per-worker state of a morsel fragment: the fragment's partial result
+/// plus a forked execution context (same governor/deadline as the query,
+/// own row counter).
+struct Local<T> {
+    out: T,
+    ctx: ExecCtx,
+}
+
+/// Morsel fragment for a `Filter*/Project*`-over-`Scan` pipeline: each
+/// chunk runs the fused stages through the vectorized engine.
+struct PipelineWork {
+    provider: Arc<dyn TableProvider>,
+    table: String,
+    stages: Vec<StageOp>,
+    ctx: ExecCtx,
+}
+
+impl MorselWork<Local<Vec<Row>>> for PipelineWork {
+    fn new_local(&self) -> Local<Vec<Row>> {
+        Local { out: Vec::new(), ctx: self.ctx.fork() }
+    }
+    fn scan(&self, partition: usize) -> Result<Vec<Row>> {
+        let t0 = std::time::Instant::now();
+        let rows = self.provider.scan_partition(&self.table, partition)?;
+        crate::exec_metrics::exec_metrics().scan.record(rows.len() as u64, 0, t0);
+        Ok(rows)
+    }
+    fn process(&self, rows: Vec<Row>, local: &mut Local<Vec<Row>>) -> Result<()> {
+        for batch in batches_of(rows) {
+            let batch = run_stages(batch, &self.stages, &local.ctx)?;
+            local.out.extend(batch.to_rows());
+        }
+        Ok(())
+    }
+}
+
+/// Morsel fragment for two-phase aggregation: per-worker partial
+/// [`VecAggTable`]s folded chunk by chunk, merged at the coordinator.
+struct PartialAggWork {
+    pipeline: PipelineWork,
+    group_by: Vec<polardbx_sql::expr::Expr>,
+    aggs: Vec<polardbx_sql::plan::AggSpec>,
+}
+
+impl MorselWork<Local<VecAggTable>> for PartialAggWork {
+    fn new_local(&self) -> Local<VecAggTable> {
+        Local {
+            out: VecAggTable::new(self.group_by.clone(), self.aggs.clone()),
+            ctx: self.pipeline.ctx.fork(),
+        }
+    }
+    fn scan(&self, partition: usize) -> Result<Vec<Row>> {
+        self.pipeline.scan(partition)
+    }
+    fn process(&self, rows: Vec<Row>, local: &mut Local<VecAggTable>) -> Result<()> {
+        for batch in batches_of(rows) {
+            let batch = run_stages(batch, &self.pipeline.stages, &local.ctx)?;
+            let t0 = std::time::Instant::now();
+            let n = batch.num_rows() as u64;
+            local.out.update_batch(&batch, &local.ctx)?;
+            crate::exec_metrics::exec_metrics().aggregate.record(n, 0, t0);
+        }
+        Ok(())
+    }
 }
 
 impl MppExecutor {
-    /// An engine with `workers` parallel tasks.
+    /// An engine with `workers` parallel tasks on the process-wide shared
+    /// pool.
     pub fn new(workers: usize) -> MppExecutor {
-        MppExecutor { workers: workers.max(1) }
+        MppExecutor::with_pool(workers, shared_pool())
+    }
+
+    /// An engine borrowing workers from a specific `WorkloadManager` (the
+    /// cluster CN's pool), so queries compete under its governors instead
+    /// of oversubscribing the host.
+    pub fn with_pool(workers: usize, pool: Arc<WorkloadManager>) -> MppExecutor {
+        MppExecutor { workers: workers.max(1), pool }
     }
 
     /// Execute `plan` with MPP parallelism where fragments allow it.
@@ -49,179 +129,173 @@ impl MppExecutor {
             }
             LogicalPlan::Sort { input, keys } => {
                 let rows = self.execute(input, provider, ctx)?;
-                apply_sort(rows, keys, ctx)
+                let t0 = std::time::Instant::now();
+                let rows = apply_sort(rows, keys, ctx)?;
+                crate::exec_metrics::exec_metrics().sort.record(rows.len() as u64, 0, t0);
+                Ok(rows)
             }
-            LogicalPlan::Project { input, exprs, .. } => {
-                let rows = self.execute(input, provider, ctx)?;
-                apply_project(rows, exprs, ctx)
-            }
-            LogicalPlan::Filter { input, predicate } => {
-                // Try to fuse into a partitioned pipeline first.
-                if let Some(result) = self.partitioned(plan, provider, ctx) {
-                    return result.map(|batches| batches.into_iter().flatten().collect());
+            LogicalPlan::Project { .. } | LogicalPlan::Filter { .. } | LogicalPlan::Scan { .. } => {
+                if let Some(work) = self.pipeline_work(plan, provider, ctx) {
+                    let locals = morsel_execute(
+                        &self.pool,
+                        JobClass::Ap,
+                        self.workers,
+                        provider.partitions(&work.table),
+                        Arc::new(work),
+                    )?;
+                    return Ok(locals.into_iter().flat_map(|l| l.out).collect());
                 }
-                let rows = self.execute(input, provider, ctx)?;
-                apply_filter(rows, predicate, ctx)
+                // Not a partitioned pipeline (or a single partition):
+                // serial vectorized execution, which also covers pipelines
+                // over non-Scan inputs via recursion-free streaming.
+                match plan {
+                    LogicalPlan::Project { input, .. } | LogicalPlan::Filter { input, .. }
+                        if !matches!(
+                            input.as_ref(),
+                            LogicalPlan::Scan { .. }
+                                | LogicalPlan::Filter { .. }
+                                | LogicalPlan::Project { .. }
+                        ) =>
+                    {
+                        // The input needs MPP treatment (aggregate/join
+                        // below); execute it, then stream the last stage.
+                        let rows = self.execute(input, provider, ctx)?;
+                        let stages = last_stage(plan);
+                        let mut out = Vec::new();
+                        for batch in batches_of(rows) {
+                            out.extend(run_stages(batch, &stages, ctx)?.to_rows());
+                        }
+                        Ok(out)
+                    }
+                    _ => vectorized::execute(plan, provider.as_ref(), ctx),
+                }
             }
             LogicalPlan::Aggregate { input, group_by, aggs, .. } => {
-                // Partial aggregation per partition, merged at the
-                // coordinator — the classic two-phase MPP aggregate.
-                if let Some(batches) = self.partitioned(input, provider, ctx) {
-                    let batches = batches?;
-                    let partials: Vec<AggTable> = run_parallel(
+                // Partial aggregation per morsel, merged at the coordinator
+                // — the classic two-phase MPP aggregate.
+                if let Some(pipeline) = self.pipeline_work(input, provider, ctx) {
+                    let nparts = provider.partitions(&pipeline.table);
+                    let work = PartialAggWork {
+                        pipeline,
+                        group_by: group_by.clone(),
+                        aggs: aggs.clone(),
+                    };
+                    let locals = morsel_execute(
+                        &self.pool,
+                        JobClass::Ap,
                         self.workers,
-                        batches,
-                        |batch| {
-                            let mut t = AggTable::new(group_by.clone(), aggs.clone());
-                            let c = ExecCtx::unrestricted();
-                            t.update_batch(&batch, &c)?;
-                            Ok(t)
-                        },
+                        nparts,
+                        Arc::new(work),
                     )?;
-                    let mut merged = AggTable::new(group_by.clone(), aggs.clone());
-                    for p in partials {
-                        merged.merge(p);
+                    let mut locals = locals.into_iter();
+                    let mut merged =
+                        locals.next().map(|l| l.out).unwrap_or_else(|| {
+                            VecAggTable::new(group_by.clone(), aggs.clone())
+                        });
+                    for l in locals {
+                        merged.merge(l.out);
                     }
                     return merged.finish();
                 }
                 let rows = self.execute(input, provider, ctx)?;
-                let mut table = AggTable::new(group_by.clone(), aggs.clone());
-                table.update_batch(&rows, ctx)?;
+                let mut table = VecAggTable::new(group_by.clone(), aggs.clone());
+                for batch in batches_of(rows) {
+                    table.update_batch(&batch, ctx)?;
+                }
                 table.finish()
             }
             LogicalPlan::Join { left, right, on, filter } => {
                 // Build once (left), probe partition-parallel (right).
-                let build = self.execute(left, provider, ctx)?;
-                if let Some(batches) = self.partitioned(right, provider, ctx) {
-                    let batches = batches?;
-                    let build = Arc::new(build);
-                    let on = on.clone();
+                let build_rows = self.execute(left, provider, ctx)?;
+                if on.is_empty() {
+                    // Cross join: row-engine nested loop.
+                    let probe = self.execute(right, provider, ctx)?;
+                    return apply_join(build_rows, probe, on, filter.as_ref(), ctx);
+                }
+                let key_cols: Vec<usize> = on.iter().map(|&(l, _)| l).collect();
+                let probe_cols: Vec<usize> = on.iter().map(|&(_, r)| r).collect();
+                ctx.tick(build_rows.len() as u64)?;
+                let build = Arc::new(JoinBuild::build(build_rows, key_cols)?);
+                if let Some(work) = self.pipeline_work(right, provider, ctx) {
+                    let nparts = provider.partitions(&work.table);
+                    let work = Arc::new(work);
                     let filter = filter.clone();
-                    let parts: Vec<Vec<Row>> = run_parallel(
+                    let parts: Vec<Vec<Row>> = run_parallel_pooled(
+                        &self.pool,
+                        JobClass::Ap,
                         self.workers,
-                        batches,
-                        move |batch| {
-                            let c = ExecCtx::unrestricted();
-                            apply_join(
-                                build.as_ref().clone(),
-                                batch,
-                                &on,
-                                filter.as_ref(),
-                                &c,
-                            )
+                        (0..nparts).collect(),
+                        move |part| {
+                            let c = work.ctx.fork();
+                            let rows = work.scan(part)?;
+                            let mut out = Vec::new();
+                            for batch in batches_of(rows) {
+                                let batch = run_stages(batch, &work.stages, &c)?;
+                                out.extend(build.probe_batch(
+                                    &batch,
+                                    &probe_cols,
+                                    filter.as_ref(),
+                                    &c,
+                                )?);
+                            }
+                            Ok(out)
                         },
                     )?;
                     return Ok(parts.into_iter().flatten().collect());
                 }
                 let probe = self.execute(right, provider, ctx)?;
-                apply_join(build, probe, on, filter.as_ref(), ctx)
-            }
-            LogicalPlan::Scan { .. } => {
-                if let Some(result) = self.partitioned(plan, provider, ctx) {
-                    return result.map(|batches| batches.into_iter().flatten().collect());
+                let mut out = Vec::new();
+                for batch in batches_of(probe) {
+                    out.extend(build.probe_batch(&batch, &probe_cols, filter.as_ref(), ctx)?);
                 }
-                execute_plan(plan, provider.as_ref(), ctx)
+                Ok(out)
             }
         }
     }
 
-    /// Execute a `Filter*/Project*`-over-`Scan` pipeline partition-parallel.
-    /// Returns per-partition row batches, or `None` when the subtree has a
-    /// different shape.
-    fn partitioned(
+    /// Fuse a `Filter*/Project*`-over-`Scan` subtree into a morsel
+    /// fragment, when the shape matches and the table has enough
+    /// partitions to be worth fanning out.
+    fn pipeline_work(
         &self,
         plan: &LogicalPlan,
         provider: &Arc<dyn TableProvider>,
-        _ctx: &ExecCtx,
-    ) -> Option<Result<Vec<Vec<Row>>>> {
-        let table = pipeline_table(plan)?;
-        let nparts = provider.partitions(&table);
-        if nparts <= 1 {
+        ctx: &ExecCtx,
+    ) -> Option<PipelineWork> {
+        let (table, stages) = pipeline_stages(plan)?;
+        if provider.partitions(&table) <= 1 || self.workers <= 1 {
             return None;
         }
-        let plan = plan.clone();
-        let inputs: Vec<usize> = (0..nparts).collect();
-        let provider = Arc::clone(provider);
-        Some(run_parallel(self.workers, inputs, move |part| {
-            let c = ExecCtx::unrestricted();
-            execute_pipeline(&plan, provider.as_ref(), &table, part, &c)
-        }))
+        Some(PipelineWork {
+            provider: Arc::clone(provider),
+            table,
+            stages,
+            ctx: ctx.fork(),
+        })
     }
 }
 
-/// The single table under a Filter*/Project* pipeline, if that is the shape.
-fn pipeline_table(plan: &LogicalPlan) -> Option<String> {
+/// The outermost Filter/Project of `plan` as a single vectorized stage.
+fn last_stage(plan: &LogicalPlan) -> Vec<StageOp> {
     match plan {
-        LogicalPlan::Scan { table, .. } => Some(table.clone()),
-        LogicalPlan::Filter { input, .. } | LogicalPlan::Project { input, .. } => {
-            pipeline_table(input)
+        LogicalPlan::Filter { predicate, .. } => {
+            let mut conjuncts = Vec::new();
+            polardbx_sql::plan::split_conjuncts(predicate, &mut conjuncts);
+            vec![StageOp::Filter(conjuncts)]
         }
-        _ => None,
+        LogicalPlan::Project { exprs, .. } => vec![StageOp::Project(exprs.clone())],
+        _ => Vec::new(),
     }
-}
-
-/// Run a pipeline on one partition's rows.
-fn execute_pipeline(
-    plan: &LogicalPlan,
-    provider: &dyn TableProvider,
-    table: &str,
-    partition: usize,
-    ctx: &ExecCtx,
-) -> Result<Vec<Row>> {
-    match plan {
-        LogicalPlan::Scan { .. } => provider.scan_partition(table, partition),
-        LogicalPlan::Filter { input, predicate } => {
-            let rows = execute_pipeline(input, provider, table, partition, ctx)?;
-            apply_filter(rows, predicate, ctx)
-        }
-        LogicalPlan::Project { input, exprs, .. } => {
-            let rows = execute_pipeline(input, provider, table, partition, ctx)?;
-            apply_project(rows, exprs, ctx)
-        }
-        _ => unreachable!("pipeline_table vetted the shape"),
-    }
-}
-
-/// Fan `inputs` out over at most `workers` threads, preserving order.
-fn run_parallel<I, O>(
-    workers: usize,
-    inputs: Vec<I>,
-    f: impl Fn(I) -> Result<O> + Send + Sync,
-) -> Result<Vec<O>>
-where
-    I: Send,
-    O: Send,
-{
-    if inputs.len() <= 1 || workers <= 1 {
-        return inputs.into_iter().map(f).collect();
-    }
-    let n = inputs.len();
-    let mut slots: Vec<Option<Result<O>>> = (0..n).map(|_| None).collect();
-    let inputs: Vec<Option<I>> = inputs.into_iter().map(Some).collect();
-    let inputs = parking_lot::Mutex::new(inputs.into_iter().enumerate().collect::<Vec<_>>());
-    let slots_mx = parking_lot::Mutex::new(&mut slots);
-    let f = &f;
-    std::thread::scope(|s| {
-        for _ in 0..workers.min(n) {
-            s.spawn(|| loop {
-                let next = inputs.lock().pop();
-                let Some((i, input)) = next else { break };
-                let out = f(input.expect("taken once"));
-                slots_mx.lock()[i] = Some(out);
-            });
-        }
-    });
-    slots.into_iter().map(|s| s.expect("all slots filled")).collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::operators::MemTables;
+    use crate::operators::{execute_plan, MemTables};
     use polardbx_common::{Error, Value};
     use polardbx_sql::expr::{AggFunc, BinOp, Expr};
     use polardbx_sql::plan::AggSpec;
-    use std::time::{Duration, Instant};
+    use std::time::Instant;
 
     fn provider(partitions: usize, rows_per_part: i64) -> Arc<dyn TableProvider> {
         let mut p = MemTables::new();
@@ -322,10 +396,13 @@ mod tests {
         };
         let ctx = ExecCtx::unrestricted();
         let mpp = MppExecutor::new(4);
-        let parallel = mpp.execute(&plan, &both, &ctx).unwrap();
-        let serial = execute_plan(&plan, both.as_ref(), &ctx).unwrap();
-        assert_eq!(parallel.len(), serial.len());
+        let mut parallel = mpp.execute(&plan, &both, &ctx).unwrap();
+        let mut serial = execute_plan(&plan, both.as_ref(), &ctx).unwrap();
         assert_eq!(parallel.len(), 400, "every row matches one dim group");
+        let key = |r: &Row| format!("{r:?}");
+        parallel.sort_by_key(key);
+        serial.sort_by_key(key);
+        assert_eq!(parallel, serial);
     }
 
     #[test]
@@ -363,9 +440,9 @@ mod tests {
             t0.elapsed()
         };
         // Warm up, then measure. Absolute speedups are benchmarked in the
-        // fig10 harness under controlled conditions; under `cargo test`'s
-        // concurrent test threads we only sanity-check that the parallel
-        // path is not catastrophically slower.
+        // exec_bench/fig10 harnesses under controlled conditions; under
+        // `cargo test`'s concurrent test threads we only sanity-check that
+        // the parallel path is not catastrophically slower.
         let _ = time(1);
         let serial = time(1);
         let parallel = time(4);
@@ -421,13 +498,52 @@ mod tests {
     }
 
     #[test]
-    fn run_parallel_preserves_order() {
-        let outs =
-            run_parallel(4, (0..32).collect::<Vec<i32>>(), |i| {
-                std::thread::sleep(Duration::from_micros((32 - i as u64) * 10));
-                Ok(i * 2)
+    fn project_over_aggregate_over_partitions() {
+        // Exercises the "last stage over an MPP subtree" path.
+        let p = provider(4, 100);
+        let plan = LogicalPlan::Project {
+            input: Box::new(LogicalPlan::Aggregate {
+                input: Box::new(scan()),
+                group_by: vec![Expr::ColumnIdx(1)],
+                aggs: vec![AggSpec {
+                    func: AggFunc::Sum,
+                    arg: Some(Expr::ColumnIdx(2)),
+                    distinct: false,
+                }],
+                names: vec!["g".into(), "s".into()],
+            }),
+            exprs: vec![Expr::binary(BinOp::Add, Expr::ColumnIdx(1), Expr::int(1))],
+            names: vec!["s1".into()],
+        };
+        let ctx = ExecCtx::unrestricted();
+        let mpp = MppExecutor::new(4);
+        let mut parallel = mpp.execute(&plan, &p, &ctx).unwrap();
+        let mut serial = execute_plan(&plan, p.as_ref(), &ctx).unwrap();
+        let key = |r: &Row| format!("{r:?}");
+        parallel.sort_by_key(key);
+        serial.sort_by_key(key);
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn concurrent_queries_share_the_pool() {
+        // Many queries in flight at once must all complete correctly while
+        // drawing from the same persistent pool (no per-query spawns).
+        let p = provider(4, 500);
+        let mpp = Arc::new(MppExecutor::new(4));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let mpp = Arc::clone(&mpp);
+                let p = Arc::clone(&p);
+                std::thread::spawn(move || {
+                    let rows =
+                        mpp.execute(&scan(), &p, &ExecCtx::unrestricted()).unwrap();
+                    assert_eq!(rows.len(), 2000);
+                })
             })
-            .unwrap();
-        assert_eq!(outs, (0..32).map(|i| i * 2).collect::<Vec<_>>());
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
     }
 }

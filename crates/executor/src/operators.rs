@@ -58,6 +58,13 @@ impl ExecCtx {
         ExecCtx { ticks }
     }
 
+    /// A sibling context for a parallel worker: shares the governor and
+    /// deadline but counts its own rows, so morsel workers stay paced
+    /// instead of running unrestricted.
+    pub fn fork(&self) -> ExecCtx {
+        ExecCtx { ticks: self.ticks.fork() }
+    }
+
     /// Account `rows` of work. Errors with a retryable `Throttled` when the
     /// job's time slice expired (the scheduler demotes and re-runs it).
     pub fn tick(&self, rows: u64) -> Result<()> {
@@ -284,6 +291,21 @@ impl AggState {
         }
     }
 
+    /// Vectorized fast path for a non-NULL numeric value when the caller
+    /// only needs count/sum lanes (Count/Sum/Avg, non-distinct): skips the
+    /// min/max comparisons and the `Value` clone entirely.
+    pub(crate) fn add_num(&mut self, d: f64, int: bool) {
+        self.count += 1;
+        self.sum += d;
+        self.int_only &= int;
+    }
+
+    /// Vectorized fast path for a non-NULL, non-numeric value under
+    /// Count/Sum/Avg: `as_double` fails, so only the count moves.
+    pub(crate) fn bump_count(&mut self) {
+        self.count += 1;
+    }
+
     /// Merge a partial state from another fragment.
     pub fn merge(&mut self, other: &AggState) {
         match (&mut self.distinct_set, &other.distinct_set) {
@@ -410,8 +432,11 @@ impl AggTable {
     }
 }
 
-/// Memory-accounting helper: approximate footprint of a row batch (used by
-/// callers that charge the TP/AP memory regions).
+/// Memory-accounting helper: approximate footprint of a slice of rows.
+/// This walks every row (O(rows)) so it must not sit on a per-batch
+/// accounting path — the vectorized engine tracks bytes incrementally as
+/// lanes are built and exposes them in O(width) via
+/// [`crate::batch::RowBatch::bytes`]; prefer that for anything hot.
 pub fn batch_bytes(rows: &[Row]) -> usize {
     rows.iter().map(Row::heap_size).sum()
 }

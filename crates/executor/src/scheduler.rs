@@ -302,6 +302,12 @@ impl TickState {
         TickState::new(None, None)
     }
 
+    /// A sibling context for a parallel worker: same governor and deadline,
+    /// fresh row counter (each worker paces its own work).
+    pub fn fork(&self) -> TickState {
+        TickState::new(self.governor.clone(), self.deadline)
+    }
+
     /// Account `rows` of work; pace/abort as configured. Returns false when
     /// the slice expired (the job must stop and report demotion).
     pub fn tick(&self, rows: u64) -> bool {

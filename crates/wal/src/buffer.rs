@@ -38,6 +38,31 @@ impl VecSink {
         self.inner.lock().clone()
     }
 
+    /// Copy of the byte range `[from, to)`, assembled from whichever writes
+    /// overlap it. Unlike [`VecSink::contiguous`] this never concatenates
+    /// the whole log — shipping the tail of a long-lived log stays
+    /// proportional to the tail, not the log's lifetime.
+    ///
+    /// Panics if the range is not fully covered by sink writes.
+    pub fn range(&self, from: Lsn, to: Lsn) -> Vec<u8> {
+        assert!(to >= from, "range end before start");
+        let len = (to.raw() - from.raw()) as usize;
+        let mut out = vec![0u8; len];
+        let mut covered = 0usize;
+        for (at, bytes) in self.inner.lock().iter() {
+            let (ws, we) = (at.raw(), at.raw() + bytes.len() as u64);
+            let s = ws.max(from.raw());
+            let e = we.min(to.raw());
+            if s < e {
+                out[(s - from.raw()) as usize..(e - from.raw()) as usize]
+                    .copy_from_slice(&bytes[(s - ws) as usize..(e - ws) as usize]);
+                covered += (e - s) as usize;
+            }
+        }
+        assert_eq!(covered, len, "sink range [{from:?}, {to:?}) not fully covered");
+        out
+    }
+
     /// Concatenated contiguous content, verifying offsets tile correctly.
     /// Writes are sorted by offset first: concurrent flushes may land out
     /// of order (each call is atomic, offsets never overlap).
@@ -111,22 +136,21 @@ impl LogBuffer {
     }
 
     /// Flush all pending bytes to the sink; returns the new durable LSN.
+    ///
+    /// The sink write happens under the state lock: concurrent flushers
+    /// (every committer calls `append_sync`) must not let a later chunk
+    /// land — and advance `flushed` — while an earlier chunk is still in
+    /// flight, or readers of `flushed` would observe a hole in the sink.
+    /// Serializing flushes is group commit's ordering anyway.
     pub fn flush(&self) -> Result<Lsn> {
-        let (at, bytes) = {
-            let mut st = self.state.lock();
-            if st.pending.is_empty() {
-                return Ok(st.flushed);
-            }
-            let at = st.pending_start;
-            let bytes = Bytes::from(std::mem::take(&mut st.pending));
-            st.pending_start = at.advance(bytes.len() as u64);
-            (at, bytes)
-        };
-        // Sink I/O happens outside the lock; a concurrent flush of later
-        // bytes is ordered by sink offset, and our single-writer callers
-        // (the log writer thread) flush serially anyway.
-        self.sink.write(at, bytes.clone())?;
         let mut st = self.state.lock();
+        if st.pending.is_empty() {
+            return Ok(st.flushed);
+        }
+        let at = st.pending_start;
+        let bytes = Bytes::from(std::mem::take(&mut st.pending));
+        st.pending_start = at.advance(bytes.len() as u64);
+        self.sink.write(at, bytes.clone())?;
         let end = at.advance(bytes.len() as u64);
         if end > st.flushed {
             st.flushed = end;
@@ -222,6 +246,77 @@ mod tests {
         for w in ranges.windows(2) {
             assert_eq!(w[0].1, w[1].0);
         }
+    }
+
+    #[test]
+    fn range_slices_across_write_boundaries() {
+        let sink = VecSink::new();
+        let buf = LogBuffer::new(sink.clone());
+        for i in 0..5 {
+            buf.append_sync(&mtr(i)).unwrap();
+        }
+        let whole = sink.contiguous();
+        let head = buf.head().raw();
+        // Ranges aligned and unaligned to write boundaries all match the
+        // full concatenation.
+        for (from, to) in [(0, head), (0, 10), (3, 40), (head - 7, head)] {
+            assert_eq!(
+                sink.range(Lsn(from), Lsn(to)),
+                whole[from as usize..to as usize],
+                "range [{from}, {to})"
+            );
+        }
+        assert!(sink.range(Lsn(head), Lsn(head)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not fully covered")]
+    fn range_panics_past_written_content() {
+        let sink = VecSink::new();
+        let buf = LogBuffer::new(sink.clone());
+        buf.append_sync(&mtr(1)).unwrap();
+        let head = buf.head();
+        sink.range(head, head.advance(8));
+    }
+
+    #[test]
+    fn concurrent_flushes_never_expose_sink_holes() {
+        // Committers call `append_sync` from many threads while a reader
+        // (the shipper) snapshots `flushed()` and slices the contiguous
+        // sink up to it. If a later flush could land before an earlier one
+        // (the old outside-the-lock sink write), the reader would observe
+        // `flushed` past a hole and `contiguous` would fail its tiling
+        // assert.
+        let sink = VecSink::new();
+        let buf = LogBuffer::new(sink.clone());
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let reader = {
+            let (sink, buf, stop) = (sink.clone(), Arc::clone(&buf), Arc::clone(&stop));
+            std::thread::spawn(move || {
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let flushed = buf.flushed().raw() as usize;
+                    let content = sink.contiguous();
+                    assert!(content.len() >= flushed, "flushed past sink contents");
+                }
+            })
+        };
+        let writers: Vec<_> = (0..4)
+            .map(|t| {
+                let buf = Arc::clone(&buf);
+                std::thread::spawn(move || {
+                    for i in 0..300 {
+                        buf.append_sync(&mtr(t * 1000 + i)).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        reader.join().unwrap();
+        assert_eq!(buf.flushed(), buf.head());
+        assert_eq!(sink.contiguous().len() as u64, buf.head().raw());
     }
 
     #[test]

@@ -322,14 +322,19 @@ fn consensus_converges_after_leader_crash_under_loss() {
         follower.replicate(&[paxos_payload(i)]).unwrap();
     }
 
-    // Heal: stop injecting faults, bring the old leader back. The next
-    // append triggers the gap-reject/resend path that backfills everyone.
+    // Heal: stop injecting faults, bring the old leader back. The new
+    // leader's heartbeats drive the ack/resend repair loop, so the
+    // restarted node gets backfilled even if an append races its restart.
     g.net.clear_fault_plan();
     g.net.restart(leader.me);
+    let new_ticker = follower.start_ticker(Duration::from_millis(5), Duration::from_secs(30));
     let final_lsn = follower
         .replicate_and_wait(&[paxos_payload(99)], Duration::from_secs(2))
         .expect("healed group must commit");
-    assert!(g.await_dlsn(final_lsn, Duration::from_secs(5)), "all replicas must converge");
+    let converged = g.await_dlsn(final_lsn, Duration::from_secs(5));
+    follower.stop_ticker();
+    let _ = new_ticker.join();
+    assert!(converged, "all replicas must converge");
 
     let deadline = std::time::Instant::now() + Duration::from_secs(5);
     while leader.status().role != Role::Follower && std::time::Instant::now() < deadline {

@@ -483,3 +483,292 @@ fn frame_roundtrip_and_corruption_detection() {
         }
     }
 }
+
+// ------------------------------------------------------------------------
+// Vectorized-engine differential tests: the morsel-driven batch engine must
+// be row-for-row equivalent to the seed row engine (`execute_plan`) on
+// randomized tables and plans — including NULL group/join keys, mixed
+// types, empty and heavily skewed partitions, and error cases.
+
+fn diff_rand_pred(rng: &mut StdRng, width: usize, str_col: usize) -> polardbx_sql::expr::Expr {
+    use polardbx_sql::expr::{BinOp, Expr};
+    let cmp_ops = [BinOp::Eq, BinOp::Neq, BinOp::Lt, BinOp::Le, BinOp::Gt, BinOp::Ge];
+    match rng.gen_range(0..6) {
+        0 => {
+            // Column ⊗ literal, sometimes flipped, sometimes type-mismatched
+            // (both engines must agree on "cannot compare" errors too).
+            let col = Expr::ColumnIdx(rng.gen_range(0..width));
+            let lit = match rng.gen_range(0..5) {
+                0 => Expr::Literal(Value::Double(rng.gen_range(-30.0..30.0))),
+                1 => Expr::Literal(Value::Str(rand_string(rng, b"abc", 2))),
+                2 => Expr::Literal(Value::Null),
+                _ => Expr::int(rng.gen_range(-40..40)),
+            };
+            let op = cmp_ops[rng.gen_range(0..cmp_ops.len())];
+            if rng.gen_bool(0.3) {
+                Expr::binary(op, lit, col)
+            } else {
+                Expr::binary(op, col, lit)
+            }
+        }
+        1 => {
+            let lo = rng.gen_range(-40..20);
+            Expr::Between {
+                expr: Box::new(Expr::ColumnIdx(rng.gen_range(0..width))),
+                low: Box::new(Expr::int(lo)),
+                high: Box::new(Expr::int(lo + rng.gen_range(0..40))),
+            }
+        }
+        2 => Expr::IsNull {
+            expr: Box::new(Expr::ColumnIdx(rng.gen_range(0..width))),
+            negated: rng.gen_bool(0.5),
+        },
+        3 => {
+            // LIKE over the string column (NULL operands are an error in
+            // both engines); occasionally over a non-string column.
+            let c = if rng.gen_bool(0.8) { str_col } else { rng.gen_range(0..width) };
+            let pat = match rng.gen_range(0..3) {
+                0 => format!("{}%", rand_string(rng, b"abc", 1)),
+                1 => format!("%{}", rand_string(rng, b"abc", 1)),
+                _ => format!("%{}%", rand_string(rng, b"abc", 1)),
+            };
+            Expr::Like { expr: Box::new(Expr::ColumnIdx(c)), pattern: pat }
+        }
+        _ => {
+            // Conjunction (exercises in-order short-circuit semantics).
+            let a = diff_rand_pred(rng, width, str_col);
+            let b = diff_rand_pred(rng, width, str_col);
+            Expr::binary(BinOp::And, a, b)
+        }
+    }
+}
+
+fn diff_rand_aggregate(
+    rng: &mut StdRng,
+    input: polardbx_sql::plan::LogicalPlan,
+    width: usize,
+) -> polardbx_sql::plan::LogicalPlan {
+    use polardbx_sql::expr::{AggFunc, BinOp, Expr};
+    use polardbx_sql::plan::{AggSpec, LogicalPlan};
+    // Group keys: empty (global), the NULL-laden column, or a composite.
+    let group_by: Vec<Expr> = match rng.gen_range(0..4) {
+        0 => vec![],
+        1 => vec![Expr::ColumnIdx(1)],
+        2 => vec![Expr::ColumnIdx(1), Expr::ColumnIdx(rng.gen_range(0..width))],
+        _ => vec![Expr::binary(
+            BinOp::Mul,
+            Expr::ColumnIdx(rng.gen_range(0..2)),
+            Expr::int(rng.gen_range(1..4)),
+        )],
+    };
+    let funcs = [AggFunc::Count, AggFunc::Sum, AggFunc::Avg, AggFunc::Min, AggFunc::Max];
+    let naggs = rng.gen_range(1..4);
+    let aggs: Vec<AggSpec> = (0..naggs)
+        .map(|_| {
+            let func = funcs[rng.gen_range(0..funcs.len())];
+            let arg = match rng.gen_range(0..4) {
+                0 => None,
+                1 => Some(Expr::binary(
+                    BinOp::Mul,
+                    Expr::ColumnIdx(rng.gen_range(0..width)),
+                    Expr::ColumnIdx(rng.gen_range(0..width)),
+                )),
+                _ => Some(Expr::ColumnIdx(rng.gen_range(0..width))),
+            };
+            let distinct = arg.is_some() && rng.gen_bool(0.2);
+            AggSpec { func, arg, distinct }
+        })
+        .collect();
+    let names = (0..group_by.len() + aggs.len()).map(|i| format!("c{i}")).collect();
+    LogicalPlan::Aggregate { input: Box::new(input), group_by, aggs, names }
+}
+
+fn diff_rand_plan(rng: &mut StdRng, width: usize) -> polardbx_sql::plan::LogicalPlan {
+    use polardbx_sql::expr::{BinOp, Expr};
+    use polardbx_sql::plan::LogicalPlan;
+    let scan = || LogicalPlan::Scan {
+        table: "t".into(),
+        schema: (0..width).map(|i| format!("t.c{i}")).collect(),
+    };
+    let filtered = |rng: &mut StdRng| LogicalPlan::Filter {
+        input: Box::new(scan()),
+        predicate: diff_rand_pred(rng, width, 3),
+    };
+    let base = match rng.gen_range(0..5) {
+        0 => filtered(rng),
+        1 => {
+            // Projection mixing pass-through columns and arithmetic.
+            let exprs: Vec<Expr> = (0..rng.gen_range(1..4))
+                .map(|_| match rng.gen_range(0..3) {
+                    0 => Expr::ColumnIdx(rng.gen_range(0..width)),
+                    1 => Expr::binary(
+                        BinOp::Add,
+                        Expr::ColumnIdx(rng.gen_range(0..width)),
+                        Expr::int(rng.gen_range(-5..5)),
+                    ),
+                    _ => Expr::binary(
+                        BinOp::Mul,
+                        Expr::ColumnIdx(rng.gen_range(0..2)),
+                        Expr::ColumnIdx(rng.gen_range(0..2)),
+                    ),
+                })
+                .collect();
+            let names = (0..exprs.len()).map(|i| format!("p{i}")).collect();
+            LogicalPlan::Project { input: Box::new(filtered(rng)), exprs, names }
+        }
+        2 => {
+            let input = filtered(rng);
+            diff_rand_aggregate(rng, input, width)
+        }
+        3 => {
+            // Self-join on the NULL-laden column (NULL keys must match like
+            // the row engine's encoded keys), optional residual filter.
+            let filter = rng.gen_bool(0.4).then(|| {
+                Expr::binary(
+                    BinOp::Lt,
+                    Expr::ColumnIdx(0),
+                    Expr::ColumnIdx(width), // left id < right id
+                )
+            });
+            LogicalPlan::Join {
+                left: Box::new(filtered(rng)),
+                right: Box::new(scan()),
+                on: vec![(1, 1)],
+                filter,
+            }
+        }
+        _ => diff_rand_aggregate(rng, scan(), width),
+    };
+    if rng.gen_bool(0.3) {
+        // Sort by every output column: group-emission order is unspecified,
+        // so a limit cutting inside a tie range would be nondeterministic
+        // unless equal-sorting rows are identical.
+        let key_width = base.schema().len();
+        let sorted = LogicalPlan::Sort {
+            input: Box::new(base),
+            keys: (0..key_width)
+                .map(|k| (Expr::ColumnIdx(k), rng.gen_bool(0.5)))
+                .collect(),
+        };
+        LogicalPlan::Limit { input: Box::new(sorted), n: rng.gen_range(0..30) }
+    } else {
+        base
+    }
+}
+
+fn diff_canon(rows: &[Row]) -> Vec<String> {
+    let mut out: Vec<String> = rows.iter().map(|r| format!("{r:?}")).collect();
+    out.sort();
+    out
+}
+
+/// Serial vectorized execution is equivalent to the seed row engine on
+/// randomized plans over mixed-type data with NULLs — identical result
+/// multisets when both succeed, and agreement on failure.
+#[test]
+fn vectorized_engine_matches_row_engine() {
+    use polardbx_executor::operators::MemTables;
+    use polardbx_executor::{execute_plan, execute_vectorized, ExecCtx};
+
+    let mut rng = rng_for("vectorized_engine_matches_row_engine");
+    let width = 4;
+    for case in 0..CASES {
+        // Random partitioning: empty partitions and size skew included.
+        let nparts = rng.gen_range(1..5);
+        let mut id = 0i64;
+        let parts: Vec<Vec<Row>> = (0..nparts)
+            .map(|p| {
+                let n = if p == 0 { rng.gen_range(0..90) } else { rng.gen_range(0..30) };
+                (0..n)
+                    .map(|_| {
+                        id += 1;
+                        Row::new(vec![
+                            Value::Int(id),
+                            if rng.gen_bool(0.2) {
+                                Value::Null
+                            } else {
+                                Value::Int(rng.gen_range(-3..3))
+                            },
+                            if rng.gen_bool(0.15) {
+                                Value::Null
+                            } else {
+                                Value::Double((rng.gen_range(-40..40) as f64) * 0.5)
+                            },
+                            if rng.gen_bool(0.15) {
+                                Value::Null
+                            } else {
+                                Value::Str(rand_string(&mut rng, b"abc", 3))
+                            },
+                        ])
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut mem = MemTables::new();
+        mem.add("t", parts);
+        let plan = diff_rand_plan(&mut rng, width);
+        let ctx = ExecCtx::unrestricted();
+        let slow = execute_plan(&plan, &mem, &ctx);
+        let fast = execute_vectorized(&plan, &mem, &ctx);
+        match (slow, fast) {
+            (Ok(s), Ok(f)) => {
+                assert_eq!(diff_canon(&s), diff_canon(&f), "case {case}: {plan:?}")
+            }
+            (Err(_), Err(_)) => {}
+            (s, f) => panic!("case {case}: engines disagree on success: {s:?} vs {f:?}\nplan: {plan:?}"),
+        }
+    }
+}
+
+/// Morsel-driven MPP execution on the persistent pool matches serial
+/// execution on integer-only data (exact in any merge order), including
+/// NULL group/join keys, skewed and empty partitions.
+#[test]
+fn mpp_vectorized_matches_serial_on_skewed_partitions() {
+    use polardbx_executor::operators::MemTables;
+    use polardbx_executor::{execute_plan, ExecCtx, MppExecutor, WorkloadManager};
+    use std::sync::Arc;
+
+    let mut rng = rng_for("mpp_vectorized_matches_serial_on_skewed_partitions");
+    let width = 3;
+    let pool = WorkloadManager::new(4, 4, 1.0, 1.0);
+    let mpp = MppExecutor::with_pool(4, pool);
+    for case in 0..CASES / 4 {
+        // Heavy skew: partition 0 carries most rows; some partitions empty.
+        let nparts = rng.gen_range(2..6);
+        let mut id = 0i64;
+        let parts: Vec<Vec<Row>> = (0..nparts)
+            .map(|p| {
+                let n = if p == 0 { rng.gen_range(200..600) } else { rng.gen_range(0..60) };
+                (0..n)
+                    .map(|_| {
+                        id += 1;
+                        Row::new(vec![
+                            Value::Int(id),
+                            if rng.gen_bool(0.2) {
+                                Value::Null
+                            } else {
+                                Value::Int(rng.gen_range(-4..4))
+                            },
+                            Value::Int(rng.gen_range(-100..100)),
+                        ])
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut mem = MemTables::new();
+        mem.add("t", parts);
+        let provider: Arc<dyn polardbx_executor::TableProvider> = Arc::new(mem);
+        let plan = diff_rand_plan(&mut rng, width);
+        let ctx = ExecCtx::unrestricted();
+        let slow = execute_plan(&plan, provider.as_ref(), &ctx);
+        let fast = mpp.execute(&plan, &provider, &ctx);
+        match (slow, fast) {
+            (Ok(s), Ok(f)) => {
+                assert_eq!(diff_canon(&s), diff_canon(&f), "case {case}: {plan:?}")
+            }
+            (Err(_), Err(_)) => {}
+            (s, f) => panic!("case {case}: engines disagree on success: {s:?} vs {f:?}\nplan: {plan:?}"),
+        }
+    }
+}
