@@ -1,0 +1,233 @@
+//! Commit-throughput benchmark: per-transaction durability vs group commit.
+//!
+//! The TP write path used to pay one synchronous durability round per
+//! transaction — one log flush under local durability, one full Paxos
+//! replication + cross-DC wait under `PaxosDurability`. This harness
+//! measures commits/s at 1, 8 and 32 concurrent committers for both
+//! providers, before (per-transaction) and after (grouped):
+//!
+//! * **local** — `SyncLocalDurability` (seed: append + flush per commit)
+//!   vs `LocalDurability` (GroupCommitter: leader/follower shared flush).
+//!   The sink charges a modelled fsync wait per write ([`SlowSink`]);
+//!   with a free sink there is nothing to coalesce and nothing to measure.
+//! * **paxos** — `PaxosDurability::per_transaction` vs the batched default
+//!   (drain leader merges pending commit batches into one `replicate` +
+//!   one majority wait). Three DCs at ~1 ms RTT, every replica's log sink
+//!   paying the same modelled fsync.
+//!
+//! Results go to `BENCH_commit.json`. The full-size run enforces the
+//! acceptance bars: >= 2x at 32 committers under local durability, >= 3x
+//! under Paxos, and < 0.5 mean Paxos rounds per committed transaction.
+//!
+//! Run: `cargo run --release -p polardbx-bench --bin commit_bench [--quick]`
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use polardbx::durability::PaxosDurability;
+use polardbx_bench::{closed_loop, fmt_dur, header, quick, row, SlowSink};
+use polardbx_common::{DcId, Key, NodeId, Row, TableId, TenantId, TrxId, Value};
+use polardbx_consensus::Replica;
+use polardbx_simnet::{Handler, LatencyMatrix, SimNet};
+use polardbx_storage::engine::{LocalDurability, SyncLocalDurability};
+use polardbx_storage::{StorageEngine, WriteOp};
+use polardbx_wal::{LogBuffer, LogSink};
+
+const T: TableId = TableId(1);
+const COMMITTERS: [usize; 3] = [1, 8, 32];
+
+/// One committer iteration: a two-statement read-write transaction on
+/// fresh keys (no conflicts — the bench measures the durability pipeline,
+/// not contention).
+fn commit_one(engine: &Arc<StorageEngine>, ids: &AtomicU64) -> bool {
+    let id = ids.fetch_add(1, Ordering::Relaxed) + 1;
+    let trx = TrxId(id);
+    engine.begin(trx, id);
+    for j in 0..2i64 {
+        let k = (id as i64) * 4 + j;
+        if engine
+            .write(trx, T, Key::encode(&[Value::Int(k)]), WriteOp::Insert(Row::new(vec![Value::Int(k)])))
+            .is_err()
+        {
+            engine.abort(trx);
+            return false;
+        }
+    }
+    engine.commit(trx, id).is_ok()
+}
+
+fn run(engine: &Arc<StorageEngine>, committers: usize, dur: Duration) -> f64 {
+    let ids = AtomicU64::new(0);
+    let result = closed_loop(committers, dur, |_| commit_one(engine, &ids));
+    assert_eq!(result.errors, 0, "bench transactions must not fail");
+    result.tps()
+}
+
+/// Build a three-DC Paxos group whose replicas all log through a
+/// [`SlowSink`], and return the bootstrapped leader.
+fn build_paxos_leader(fsync: Duration) -> Arc<Replica> {
+    let net = SimNet::new(LatencyMatrix {
+        intra_dc: Duration::from_micros(50),
+        inter_dc: Duration::from_micros(500),
+        jitter: 0.0,
+    });
+    let members = vec![NodeId(1), NodeId(2), NodeId(3)];
+    let mut replicas = Vec::new();
+    for (i, &node) in members.iter().enumerate() {
+        let replica = Replica::new(
+            node,
+            DcId(i as u64 + 1),
+            members.clone(),
+            i == 2, // DC3 hosts the logger
+            Arc::clone(&net),
+            SlowSink::new(fsync) as Arc<dyn LogSink>,
+        );
+        net.register(
+            node,
+            DcId(i as u64 + 1),
+            Arc::clone(&replica) as Arc<dyn Handler<polardbx_consensus::PaxosMsg>>,
+        );
+        replicas.push(replica);
+    }
+    replicas[0].bootstrap_leader(1);
+    replicas.into_iter().next().unwrap()
+}
+
+struct Cell {
+    committers: usize,
+    before_tps: f64,
+    after_tps: f64,
+}
+
+fn main() {
+    let dur = if quick() { Duration::from_millis(300) } else { Duration::from_secs(2) };
+    let fsync = Duration::from_micros(400);
+
+    println!("# commit_bench — per-transaction durability vs group commit (fsync model {fsync:?})");
+    println!();
+
+    // ---- Local durability -------------------------------------------------
+    println!("## local durability (log flush per commit vs grouped flush)");
+    header(&["committers", "before (sync) tps", "after (grouped) tps", "speedup"]);
+    let mut local_cells = Vec::new();
+    let mut local_report = String::new();
+    for &committers in &COMMITTERS {
+        let before_engine = StorageEngine::with_durability(SyncLocalDurability::new(
+            LogBuffer::new(SlowSink::new(fsync) as Arc<dyn LogSink>),
+        ));
+        before_engine.create_table(T, TenantId(1));
+        let before_tps = run(&before_engine, committers, dur);
+
+        let after_engine = StorageEngine::with_durability(LocalDurability::new(
+            LogBuffer::new(SlowSink::new(fsync) as Arc<dyn LogSink>),
+        ));
+        after_engine.create_table(T, TenantId(1));
+        let after_tps = run(&after_engine, committers, dur);
+        if committers == *COMMITTERS.last().unwrap() {
+            local_report = after_engine.wal_metrics().unwrap().report();
+        }
+
+        row(&[
+            committers.to_string(),
+            format!("{before_tps:.0}"),
+            format!("{after_tps:.0}"),
+            format!("{:.2}x", after_tps / before_tps),
+        ]);
+        local_cells.push(Cell { committers, before_tps, after_tps });
+    }
+    println!();
+    println!("  group-commit metrics @32: {local_report}");
+    println!();
+
+    // ---- Paxos durability -------------------------------------------------
+    println!("## paxos durability (replication round per commit vs batched rounds)");
+    header(&["committers", "before (per-txn) tps", "after (batched) tps", "speedup", "rounds/txn"]);
+    let mut paxos_cells = Vec::new();
+    let mut rounds_per_txn_at_32 = f64::NAN;
+    let mut paxos_report = String::new();
+    for &committers in &COMMITTERS {
+        let before_leader = build_paxos_leader(fsync);
+        let before = PaxosDurability::per_transaction(before_leader, Duration::from_secs(10));
+        let before_engine = StorageEngine::with_durability(before);
+        before_engine.create_table(T, TenantId(1));
+        let before_tps = run(&before_engine, committers, dur);
+
+        let after_leader = build_paxos_leader(fsync);
+        let after = PaxosDurability::new(after_leader);
+        let metrics = Arc::clone(&after.metrics);
+        let after_engine = StorageEngine::with_durability(after);
+        after_engine.create_table(T, TenantId(1));
+        let after_tps = run(&after_engine, committers, dur);
+        let rpt = metrics.rounds_per_txn();
+        if committers == *COMMITTERS.last().unwrap() {
+            rounds_per_txn_at_32 = rpt;
+            paxos_report = metrics.report();
+        }
+
+        row(&[
+            committers.to_string(),
+            format!("{before_tps:.0}"),
+            format!("{after_tps:.0}"),
+            format!("{:.2}x", after_tps / before_tps),
+            format!("{rpt:.3}"),
+        ]);
+        paxos_cells.push(Cell { committers, before_tps, after_tps });
+    }
+    println!();
+    println!("  batch metrics @32: {paxos_report}");
+    println!();
+
+    // ---- Report + bars ----------------------------------------------------
+    let local32 = local_cells.last().unwrap();
+    let paxos32 = paxos_cells.last().unwrap();
+    let local_speedup = local32.after_tps / local32.before_tps;
+    let paxos_speedup = paxos32.after_tps / paxos32.before_tps;
+
+    let cell_json = |cells: &[Cell]| {
+        cells
+            .iter()
+            .map(|c| {
+                format!(
+                    "{{\"committers\": {}, \"before_tps\": {:.1}, \"after_tps\": {:.1}, \"speedup\": {:.3}}}",
+                    c.committers,
+                    c.before_tps,
+                    c.after_tps,
+                    c.after_tps / c.before_tps
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let json = format!(
+        "{{\n  \"benchmark\": \"commit_bench\",\n  \"fsync_model_us\": {},\n  \"local\": [{}],\n  \"paxos\": [{}],\n  \"local_speedup_at_32\": {:.3},\n  \"paxos_speedup_at_32\": {:.3},\n  \"paxos_rounds_per_txn_at_32\": {:.4}\n}}\n",
+        fsync.as_micros(),
+        cell_json(&local_cells),
+        cell_json(&paxos_cells),
+        local_speedup,
+        paxos_speedup,
+        rounds_per_txn_at_32,
+    );
+    std::fs::write("BENCH_commit.json", &json).unwrap();
+    println!("  wrote BENCH_commit.json ({})", fmt_dur(dur));
+
+    let mut failed = false;
+    if local_speedup < 2.0 {
+        println!("  WARNING: local speedup {local_speedup:.2}x below the 2x acceptance bar");
+        failed = true;
+    }
+    if paxos_speedup < 3.0 {
+        println!("  WARNING: paxos speedup {paxos_speedup:.2}x below the 3x acceptance bar");
+        failed = true;
+    }
+    // NaN (cell never ran) must fail the bar too, hence no plain `<`.
+    if rounds_per_txn_at_32.is_nan() || rounds_per_txn_at_32 >= 0.5 {
+        println!("  WARNING: {rounds_per_txn_at_32:.3} paxos rounds/txn at 32 committers (bar: < 0.5)");
+        failed = true;
+    }
+    // The full-size run enforces the bars; the downsized CI smoke run only
+    // reports (shared runners are too noisy to gate on).
+    if failed && !quick() {
+        std::process::exit(1);
+    }
+}

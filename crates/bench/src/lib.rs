@@ -146,6 +146,34 @@ pub fn parallel_fraction(
     1.0 - serial / total
 }
 
+/// A log sink with a fixed wall-clock wait per write: the modelled fsync
+/// or PolarFS segment write the TP harnesses charge the durability path.
+/// The wait yields while it spins — an fsync is an IO wait, not CPU work,
+/// so the core stays free for other committers to enqueue (a plain `sleep`
+/// at ~100 µs overshoots on OS timer granularity; a plain spin starves
+/// low-core runners and hides the group-commit window).
+pub struct SlowSink {
+    inner: std::sync::Arc<polardbx_wal::VecSink>,
+    delay: Duration,
+}
+
+impl SlowSink {
+    /// A fresh sink charging `delay` per write.
+    pub fn new(delay: Duration) -> std::sync::Arc<SlowSink> {
+        std::sync::Arc::new(SlowSink { inner: polardbx_wal::VecSink::new(), delay })
+    }
+}
+
+impl polardbx_wal::LogSink for SlowSink {
+    fn write(&self, at: polardbx_common::Lsn, bytes: bytes::Bytes) -> polardbx_common::Result<()> {
+        let t0 = Instant::now();
+        while t0.elapsed() < self.delay {
+            std::thread::yield_now();
+        }
+        self.inner.write(at, bytes)
+    }
+}
+
 /// Format a duration compactly.
 pub fn fmt_dur(d: Duration) -> String {
     if d >= Duration::from_secs(1) {

@@ -239,6 +239,30 @@ mod tests {
     }
 
     #[test]
+    fn replicate_encodes_each_frame_once() {
+        // The happy-path replicate must encode a frame exactly once: the
+        // leader's sink write and all peer AppendEntries share the same
+        // `Bytes`. The counter would read 2× frames with the old double
+        // `f.encode()`.
+        let g = PaxosGroup::build(GroupConfig::three_dc(1));
+        let leader = g.leader().unwrap();
+        for i in 0..10u64 {
+            leader.replicate_and_wait(&[commit_mtr(i)], Duration::from_secs(2)).unwrap();
+        }
+        let frames = leader.log_frames().len() as u64;
+        assert!(frames >= 10);
+        assert_eq!(
+            leader.metrics.frames_encoded.get(),
+            frames,
+            "each frame encoded exactly once on the replicate path"
+        );
+        // Followers received intact (checksummed) frames.
+        let lsn = leader.status().last_lsn;
+        assert!(g.await_dlsn(lsn, Duration::from_secs(2)));
+        assert_eq!(g.replicas[1].log_frames().len() as u64, frames);
+    }
+
+    #[test]
     fn logger_never_campaigns() {
         let g = PaxosGroup::build(GroupConfig::three_dc(1));
         g.replicas[2].campaign();

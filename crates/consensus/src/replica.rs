@@ -70,18 +70,24 @@ pub struct ConsensusMetrics {
     pub duplicate_frames: Counter,
     /// Appends rejected for a log gap (triggers reject-resend recovery).
     pub gap_rejects: Counter,
+    /// Frames encoded on the replicate path. Should equal frames produced:
+    /// the leader encodes once and shares the bytes across its own sink
+    /// write and every peer (retransmissions re-encode, which is fine —
+    /// they are off the happy path and counted in `retransmits`).
+    pub frames_encoded: Counter,
 }
 
 impl ConsensusMetrics {
     /// One-line summary for harness output.
     pub fn report(&self) -> String {
         format!(
-            "retransmits={} · elections: started={} won={} · dup-frames={} · gap-rejects={}",
+            "retransmits={} · elections: started={} won={} · dup-frames={} · gap-rejects={} · frames-encoded={}",
             self.retransmits.get(),
             self.elections_started.get(),
             self.elections_won.get(),
             self.duplicate_frames.get(),
             self.gap_rejects.get(),
+            self.frames_encoded.get(),
         )
     }
 }
@@ -227,12 +233,17 @@ impl Replica {
             }
             let mut encoded = Vec::with_capacity(frames.len());
             for f in frames {
+                // Encode exactly once; `Bytes` clones share the buffer, so
+                // the sink write and every peer's AppendEntries reuse the
+                // same encoding (and its checksum computation).
+                let enc = f.encode();
+                self.metrics.frames_encoded.inc();
                 // Leader durability: the frame goes to PolarFS before it is
                 // offered to followers ("the redo log entries are flushed to
                 // PolarFS, which will also be sent to followers").
-                self.sink.write(f.lsn_start, f.encode())?;
+                self.sink.write(f.lsn_start, enc.clone())?;
                 st.last_lsn = f.lsn_end;
-                encoded.push(f.encode());
+                encoded.push(enc);
                 st.log.push(f);
             }
             let me = self.me;

@@ -17,38 +17,69 @@ use std::time::Duration;
 
 use bytes::Bytes;
 use polardbx_common::{Error, Key, Lsn, Result, Row, TableId, TenantId, TrxId};
-use polardbx_wal::{LogBuffer, LogSink, Mtr, RedoPayload, VecSink};
+use polardbx_wal::{GroupCommitter, LogBuffer, LogSink, Mtr, RedoPayload, VecSink, WalMetrics};
 
 use crate::bufferpool::BufferPool;
 use crate::mvcc::{VersionOp, VersionStore};
 use crate::rowcodec::{decode_row, encode_row};
+use crate::shard::ShardedMap;
 use crate::txn::TxnTable;
 
 /// How commit-time redo becomes durable.
 pub trait Durability: Send + Sync {
     /// Make `mtrs` durable; blocks until safe, returns the end LSN.
     fn make_durable(&self, mtrs: &[Mtr]) -> Result<Lsn>;
+
+    /// Group-commit metrics, when the provider coalesces flushes.
+    fn wal_metrics(&self) -> Option<Arc<WalMetrics>> {
+        None
+    }
 }
 
-/// Local durability: append + flush to the node's log buffer.
+/// Local durability through the group committer: concurrent callers
+/// (commits, aborts, prepares) coalesce into shared flushes.
 pub struct LocalDurability {
-    log: Arc<LogBuffer>,
+    gc: Arc<GroupCommitter>,
 }
 
 impl LocalDurability {
-    /// Wrap a log buffer.
+    /// Wrap a log buffer in a group committer.
     pub fn new(log: Arc<LogBuffer>) -> Arc<LocalDurability> {
-        Arc::new(LocalDurability { log })
+        Arc::new(LocalDurability { gc: GroupCommitter::new(log) })
+    }
+
+    /// The underlying group committer.
+    pub fn group_committer(&self) -> &Arc<GroupCommitter> {
+        &self.gc
     }
 }
 
 impl Durability for LocalDurability {
     fn make_durable(&self, mtrs: &[Mtr]) -> Result<Lsn> {
-        let mut end = self.log.flushed();
-        for m in mtrs {
-            let (_, e) = self.log.append(m);
-            end = e;
-        }
+        self.gc.commit(mtrs)
+    }
+
+    fn wal_metrics(&self) -> Option<Arc<WalMetrics>> {
+        Some(Arc::clone(&self.gc.metrics))
+    }
+}
+
+/// The seed's per-transaction durability: every caller appends and flushes
+/// alone. Kept as the baseline `commit_bench` compares group commit against.
+pub struct SyncLocalDurability {
+    log: Arc<LogBuffer>,
+}
+
+impl SyncLocalDurability {
+    /// Wrap a log buffer.
+    pub fn new(log: Arc<LogBuffer>) -> Arc<SyncLocalDurability> {
+        Arc::new(SyncLocalDurability { log })
+    }
+}
+
+impl Durability for SyncLocalDurability {
+    fn make_durable(&self, mtrs: &[Mtr]) -> Result<Lsn> {
+        let (_, end) = self.log.append_batch(mtrs);
         self.log.flush()?;
         Ok(end)
     }
@@ -81,7 +112,10 @@ pub struct StorageEngine {
     pub pool: BufferPool,
     tables: RwLock<HashMap<TableId, Arc<VersionStore>>>,
     tenants: RwLock<HashMap<TableId, TenantId>>,
-    active: Mutex<HashMap<TrxId, TrxCtx>>,
+    /// In-flight transaction contexts, lock-sharded: every begin, write,
+    /// commit and abort touches this map, and a single global mutex would
+    /// serialize committers before they ever reach the group committer.
+    active: ShardedMap<TrxId, TrxCtx>,
     durability: Arc<dyn Durability>,
     wait_timeout: Duration,
 }
@@ -106,10 +140,15 @@ impl StorageEngine {
             pool: BufferPool::new(4096, 256),
             tables: RwLock::new(HashMap::new()),
             tenants: RwLock::new(HashMap::new()),
-            active: Mutex::new(HashMap::new()),
+            active: ShardedMap::new(),
             durability,
             wait_timeout: Duration::from_secs(5),
         })
+    }
+
+    /// Group-commit metrics of the durability provider, if it batches.
+    pub fn wal_metrics(&self) -> Option<Arc<WalMetrics>> {
+        self.durability.wal_metrics()
     }
 
     /// Create an empty table owned by `tenant`.
@@ -157,9 +196,7 @@ impl StorageEngine {
     /// Begin a transaction with the given snapshot timestamp.
     pub fn begin(&self, trx: TrxId, snapshot_ts: u64) {
         self.txns.begin(trx);
-        self.active
-            .lock()
-            .insert(trx, TrxCtx { snapshot_ts, writes: Vec::new(), redo: Vec::new() });
+        self.active.insert(trx, TrxCtx { snapshot_ts, writes: Vec::new(), redo: Vec::new() });
     }
 
     /// Execute a write op inside `trx`. Validates conflicts, installs the
@@ -167,13 +204,10 @@ impl StorageEngine {
     pub fn write(&self, trx: TrxId, table: TableId, key: Key, op: WriteOp) -> Result<()> {
         let store = self.store(table)?;
         let tenant = self.tenant_of(table).unwrap_or_default();
-        let snapshot_ts = {
-            let active = self.active.lock();
-            active
-                .get(&trx)
-                .map(|c| c.snapshot_ts)
-                .ok_or(Error::TxnAborted { reason: format!("unknown trx {trx}") })?
-        };
+        let snapshot_ts = self
+            .active
+            .with(&trx, |c| c.map(|c| c.snapshot_ts))
+            .ok_or(Error::TxnAborted { reason: format!("unknown trx {trx}") })?;
         let (version_op, redo) = match op {
             WriteOp::Insert(row) => {
                 if store
@@ -208,13 +242,12 @@ impl StorageEngine {
         // The page is dirtied "at" the next LSN; exact value only matters
         // relative to checkpoints, so the current snapshot is adequate.
         self.pool.mark_dirty(page, tenant, Lsn(snapshot_ts));
-        let mut active = self.active.lock();
-        let ctx = active
-            .get_mut(&trx)
-            .ok_or(Error::TxnAborted { reason: format!("trx {trx} vanished") })?;
-        ctx.writes.push((table, key));
-        ctx.redo.push(Mtr::single(redo));
-        Ok(())
+        self.active.with(&trx, |ctx| {
+            let ctx = ctx.ok_or(Error::TxnAborted { reason: format!("trx {trx} vanished") })?;
+            ctx.writes.push((table, key));
+            ctx.redo.push(Mtr::single(redo));
+            Ok(())
+        })
     }
 
     /// Snapshot point read (optionally inside a transaction).
@@ -253,13 +286,10 @@ impl StorageEngine {
     /// make the transaction's redo + prepare record durable.
     pub fn prepare(&self, trx: TrxId, prepare_ts: u64) -> Result<Lsn> {
         self.txns.prepare(trx, prepare_ts)?;
-        let mut mtrs = {
-            let mut active = self.active.lock();
-            let ctx = active
-                .get_mut(&trx)
-                .ok_or(Error::TxnAborted { reason: format!("unknown trx {trx}") })?;
-            std::mem::take(&mut ctx.redo)
-        };
+        let mut mtrs = self
+            .active
+            .with(&trx, |c| c.map(|c| std::mem::take(&mut c.redo)))
+            .ok_or(Error::TxnAborted { reason: format!("unknown trx {trx}") })?;
         mtrs.push(Mtr::single(RedoPayload::TxnPrepare { trx, prepare_ts }));
         self.durability.make_durable(&mtrs)
     }
@@ -267,12 +297,10 @@ impl StorageEngine {
     /// Commit (one-phase from ACTIVE, or phase two from PREPARED). Stamps
     /// versions, makes the commit record durable, releases the context.
     pub fn commit(&self, trx: TrxId, commit_ts: u64) -> Result<Lsn> {
-        let ctx = {
-            let mut active = self.active.lock();
-            active
-                .remove(&trx)
-                .ok_or(Error::TxnAborted { reason: format!("unknown trx {trx}") })?
-        };
+        let ctx = self
+            .active
+            .remove(&trx)
+            .ok_or(Error::TxnAborted { reason: format!("unknown trx {trx}") })?;
         let mut mtrs = ctx.redo;
         mtrs.push(Mtr::single(RedoPayload::TxnCommit { trx, commit_ts }));
         // Durability first (redo-ahead), then visibility.
@@ -314,11 +342,13 @@ impl StorageEngine {
         if let Some(crate::txn::TxnState::Committed { .. }) = self.txns.state(trx) {
             return;
         }
-        let ctx = self.active.lock().remove(&trx);
+        let ctx = self.active.remove(&trx);
         if let Some(ctx) = ctx {
             self.rollback_writes(trx, &ctx.writes);
         }
         self.txns.abort(trx);
+        // The abort record rides the same group committer as commits: a
+        // storm of rollbacks shares flushes instead of paying one each.
         let _ = self
             .durability
             .make_durable(&[Mtr::single(RedoPayload::TxnAbort { trx })]);
@@ -334,7 +364,7 @@ impl StorageEngine {
         if !self.txns.try_abort_active(trx) {
             return false;
         }
-        let ctx = self.active.lock().remove(&trx);
+        let ctx = self.active.remove(&trx);
         if let Some(ctx) = ctx {
             self.rollback_writes(trx, &ctx.writes);
         }
@@ -364,7 +394,7 @@ impl StorageEngine {
 
     /// Any transactions still in flight? (Tenant migration waits for zero.)
     pub fn has_active_txns(&self) -> bool {
-        !self.active.lock().is_empty()
+        !self.active.is_empty()
     }
 
     /// Multi-version GC across all tables.
@@ -604,6 +634,36 @@ mod tests {
         assert_eq!(replica.read(T, &key(2), 100, None).unwrap(), None);
         assert_eq!(applier.in_flight(), 0);
         drop(src);
+    }
+
+    #[test]
+    fn aborts_ride_the_group_committer() {
+        let e = engine();
+        let m = e.wal_metrics().expect("local durability exposes group-commit metrics");
+        e.begin(TrxId(1), 0);
+        e.write(TrxId(1), T, key(1), WriteOp::Insert(row(1, "a"))).unwrap();
+        let before = m.commits.get();
+        e.abort(TrxId(1));
+        assert_eq!(m.commits.get(), before + 1, "abort record uses the shared flush path");
+        // abort_if_active takes the same path.
+        e.begin(TrxId(2), 0);
+        assert!(e.abort_if_active(TrxId(2)));
+        assert_eq!(m.commits.get(), before + 2);
+    }
+
+    #[test]
+    fn sync_durability_still_flushes_per_transaction() {
+        let sink = VecSink::new();
+        let e = StorageEngine::with_durability(SyncLocalDurability::new(LogBuffer::new(
+            sink.clone() as Arc<dyn LogSink>,
+        )));
+        e.create_table(T, TEN);
+        assert!(e.wal_metrics().is_none(), "baseline provider has no group metrics");
+        e.begin(TrxId(1), 0);
+        e.write(TrxId(1), T, key(1), WriteOp::Insert(row(1, "a"))).unwrap();
+        e.commit(TrxId(1), 10).unwrap();
+        assert_eq!(sink.writes().len(), 1);
+        assert_eq!(e.read(T, &key(1), 10, None).unwrap(), Some(row(1, "a")));
     }
 
     #[test]

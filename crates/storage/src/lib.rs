@@ -26,10 +26,12 @@ pub mod engine;
 pub mod mvcc;
 pub mod replication;
 pub mod rowcodec;
+pub mod shard;
 pub mod txn;
 
 pub use bufferpool::{BufferPool, BufferPoolStats};
-pub use engine::{StorageEngine, WriteOp};
+pub use engine::{Durability, LocalDurability, StorageEngine, SyncLocalDurability, WriteOp};
 pub use mvcc::{ReadResult, VersionStore};
+pub use shard::ShardedMap;
 pub use replication::{RoNode, RwNode, SessionToken};
 pub use txn::{TxnState, TxnTable};

@@ -20,6 +20,7 @@ use std::time::Duration;
 
 use polardbx_common::{Error, Key, Result, Row, TrxId};
 
+use crate::shard::{shard_index, DEFAULT_SHARDS};
 use crate::txn::{TxnState, TxnTable};
 
 /// What a version does to the row.
@@ -58,15 +59,32 @@ pub enum ReadResult {
 /// tenant migration (§V) a store moves between RW nodes without copying —
 /// only the owning engine (and hence the transaction table consulted)
 /// changes, exactly like shared-storage data changing its writer.
-#[derive(Default)]
+///
+/// Internally the key space is split into fixed lock shards (hash of the
+/// encoded key) so concurrent committers stamping disjoint keys don't
+/// serialize on one `RwLock` — a prerequisite for group commit to actually
+/// form groups. Range scans visit every shard and merge-sort the results;
+/// each shard keeps a `BTreeMap` so per-shard range filtering stays cheap.
 pub struct VersionStore {
-    map: RwLock<BTreeMap<Key, Vec<Version>>>,
+    shards: Vec<RwLock<BTreeMap<Key, Vec<Version>>>>,
+}
+
+impl Default for VersionStore {
+    fn default() -> Self {
+        VersionStore::new()
+    }
 }
 
 impl VersionStore {
-    /// An empty store.
+    /// An empty store with [`DEFAULT_SHARDS`] lock shards.
     pub fn new() -> VersionStore {
-        VersionStore::default()
+        VersionStore {
+            shards: (0..DEFAULT_SHARDS).map(|_| RwLock::new(BTreeMap::new())).collect(),
+        }
+    }
+
+    fn shard(&self, key: &Key) -> &RwLock<BTreeMap<Key, Vec<Version>>> {
+        &self.shards[shard_index(key, self.shards.len())]
     }
 
     /// Install a write intent for `trx` (snapshot taken at `snapshot_ts`).
@@ -81,7 +99,7 @@ impl VersionStore {
         key: Key,
         op: VersionOp,
     ) -> Result<()> {
-        let mut map = self.map.write();
+        let mut map = self.shard(&key).write();
         let chain = map.entry(key.clone()).or_default();
         // Drop aborted leftovers opportunistically.
         chain.retain(|v| {
@@ -122,8 +140,8 @@ impl VersionStore {
 
     /// Stamp `trx`'s intents on `keys` as committed at `commit_ts`.
     pub fn commit(&self, trx: TrxId, commit_ts: u64, keys: &[Key]) {
-        let mut map = self.map.write();
         for key in keys {
+            let mut map = self.shard(key).write();
             if let Some(chain) = map.get_mut(key) {
                 for v in chain.iter_mut() {
                     if v.trx == trx && v.decided_ts.is_none() {
@@ -136,8 +154,8 @@ impl VersionStore {
 
     /// Remove `trx`'s intents on `keys` (rollback).
     pub fn abort(&self, trx: TrxId, keys: &[Key]) {
-        let mut map = self.map.write();
         for key in keys {
+            let mut map = self.shard(key).write();
             if let Some(chain) = map.get_mut(key) {
                 chain.retain(|v| !(v.trx == trx && v.decided_ts.is_none()));
                 if chain.is_empty() {
@@ -150,7 +168,7 @@ impl VersionStore {
     /// Apply an already-committed change directly (redo replay on RO nodes
     /// and Paxos followers — the writer's decision travelled with the log).
     pub fn apply_committed(&self, trx: TrxId, commit_ts: u64, key: Key, op: VersionOp) {
-        let mut map = self.map.write();
+        let mut map = self.shard(&key).write();
         let chain = map.entry(key).or_default();
         chain.push(Version { trx, decided_ts: Some(commit_ts), op });
     }
@@ -205,7 +223,7 @@ impl VersionStore {
         snapshot_ts: u64,
         me: Option<TrxId>,
     ) -> ReadResult {
-        let map = self.map.read();
+        let map = self.shard(key).read();
         match map.get(key) {
             Some(chain) => self.visibility(txns, chain, snapshot_ts, me),
             None => ReadResult::NotFound,
@@ -246,21 +264,29 @@ impl VersionStore {
         loop {
             let mut pending_writer = None;
             let mut out = Vec::new();
-            {
-                let map = self.map.read();
+            // Shards partition the key space by hash, not by range: every
+            // shard may hold keys inside the bounds, so visit them all and
+            // sort the merged result. A MustWait aborts the whole pass —
+            // the retry re-reads every shard, so the result is still one
+            // consistent snapshot.
+            'shards: for shard in &self.shards {
+                let map = shard.read();
                 for (k, chain) in map.range::<Key, _>((lower, upper)) {
                     match self.visibility(txns, chain, snapshot_ts, me) {
                         ReadResult::Row(r) => out.push((k.clone(), r)),
                         ReadResult::NotFound => {}
                         ReadResult::MustWait(w) => {
                             pending_writer = Some(w);
-                            break;
+                            break 'shards;
                         }
                     }
                 }
             }
             match pending_writer {
-                None => return Ok(out),
+                None => {
+                    out.sort_by(|a, b| a.0.cmp(&b.0));
+                    return Ok(out);
+                }
                 Some(w) => {
                     txns.wait_decided(w, timeout)?;
                 }
@@ -282,29 +308,31 @@ impl VersionStore {
     /// Purge version garbage: keep, per key, only the newest version
     /// committed at or before `horizon` plus everything newer than it.
     pub fn purge(&self, horizon: u64) {
-        let mut map = self.map.write();
-        map.retain(|_, chain| {
-            if let Some(cut) = chain
-                .iter()
-                .rposition(|v| matches!(v.decided_ts, Some(ts) if ts <= horizon))
-            {
-                chain.drain(0..cut);
-            }
-            // Remove a trailing tombstone that is the only version left.
-            !(chain.len() == 1
-                && matches!(chain[0].op, VersionOp::Delete)
-                && matches!(chain[0].decided_ts, Some(ts) if ts <= horizon))
-        });
+        for shard in &self.shards {
+            let mut map = shard.write();
+            map.retain(|_, chain| {
+                if let Some(cut) = chain
+                    .iter()
+                    .rposition(|v| matches!(v.decided_ts, Some(ts) if ts <= horizon))
+                {
+                    chain.drain(0..cut);
+                }
+                // Remove a trailing tombstone that is the only version left.
+                !(chain.len() == 1
+                    && matches!(chain[0].op, VersionOp::Delete)
+                    && matches!(chain[0].decided_ts, Some(ts) if ts <= horizon))
+            });
+        }
     }
 
     /// Number of keys with any version.
     pub fn key_count(&self) -> usize {
-        self.map.read().len()
+        self.shards.iter().map(|s| s.read().len()).sum()
     }
 
     /// Total number of versions (GC metric).
     pub fn version_count(&self) -> usize {
-        self.map.read().values().map(Vec::len).sum()
+        self.shards.iter().map(|s| s.read().values().map(Vec::len).sum::<usize>()).sum()
     }
 }
 

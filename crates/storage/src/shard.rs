@@ -1,0 +1,148 @@
+//! Fixed-arity lock shards for hot engine maps.
+//!
+//! The group-commit pipeline turns commit durability from N sink writes
+//! into ~1 per group, which moves the bottleneck onto whatever else every
+//! committer serializes on. In the seed engine that was two global locks:
+//! `StorageEngine::active` (one `Mutex<HashMap>` touched by every begin,
+//! write, commit and abort) and each `VersionStore`'s single
+//! `RwLock<BTreeMap>`. Sharding them by key hash lets independent
+//! transactions proceed in parallel so flush groups can actually form.
+//!
+//! Shard count is fixed at construction (a power of two, default 32):
+//! resizing under load would need a global lock, which is exactly what
+//! the shards exist to avoid.
+
+use parking_lot::Mutex;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// Default shard arity for engine-internal maps. 32 shards keep collision
+/// probability low for the 32-committer bench point while staying cheap to
+/// iterate for whole-map operations (`is_empty`, draining).
+pub const DEFAULT_SHARDS: usize = 32;
+
+/// Hash a key to a shard index in `[0, shards)`. `shards` must be a power
+/// of two.
+pub fn shard_index<K: Hash>(key: &K, shards: usize) -> usize {
+    debug_assert!(shards.is_power_of_two());
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() as usize) & (shards - 1)
+}
+
+/// A `HashMap` split into fixed lock shards. Point operations take one
+/// shard lock; whole-map operations visit shards one at a time (no global
+/// lock, so they are racy snapshots — fine for the monitoring-style uses
+/// here).
+pub struct ShardedMap<K, V> {
+    shards: Vec<Mutex<HashMap<K, V>>>,
+}
+
+impl<K: Hash + Eq, V> ShardedMap<K, V> {
+    /// A map with [`DEFAULT_SHARDS`] shards.
+    pub fn new() -> ShardedMap<K, V> {
+        Self::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// A map with `n` shards (power of two).
+    pub fn with_shards(n: usize) -> ShardedMap<K, V> {
+        assert!(n.is_power_of_two(), "shard count must be a power of two");
+        ShardedMap { shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect() }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<HashMap<K, V>> {
+        &self.shards[shard_index(key, self.shards.len())]
+    }
+
+    /// Insert, returning the previous value if any.
+    pub fn insert(&self, key: K, value: V) -> Option<V> {
+        self.shard(&key).lock().insert(key, value)
+    }
+
+    /// Remove, returning the value if present.
+    pub fn remove(&self, key: &K) -> Option<V> {
+        self.shard(key).lock().remove(key)
+    }
+
+    /// Run `f` over the entry for `key` (`None` if absent) under the shard
+    /// lock. This is the get/get_mut replacement: values never leave the
+    /// lock, so non-`Clone` values work and updates are atomic per key.
+    pub fn with<R>(&self, key: &K, f: impl FnOnce(Option<&mut V>) -> R) -> R {
+        f(self.shard(key).lock().get_mut(key))
+    }
+
+    /// True when every shard is empty (racy snapshot across shards).
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.lock().is_empty())
+    }
+
+    /// Total entries (racy snapshot across shards).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+}
+
+impl<K: Hash + Eq, V> Default for ShardedMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn point_ops_roundtrip() {
+        let m: ShardedMap<u64, String> = ShardedMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.insert(1, "a".into()), None);
+        assert_eq!(m.insert(1, "b".into()), Some("a".into()));
+        m.insert(2, "c".into());
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.with(&1, |v| v.cloned()), Some("b".to_string()));
+        assert_eq!(m.with(&9, |v| v.cloned()), None);
+        m.with(&2, |v| v.unwrap().push('!'));
+        assert_eq!(m.remove(&2), Some("c!".into()));
+        assert_eq!(m.remove(&2), None);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn keys_spread_across_shards() {
+        let m: ShardedMap<u64, u64> = ShardedMap::new();
+        for k in 0..1000u64 {
+            m.insert(k, k);
+        }
+        let occupied = (0..1000u64)
+            .map(|k| shard_index(&k, m.shard_count()))
+            .collect::<std::collections::HashSet<_>>();
+        assert!(occupied.len() > m.shard_count() / 2, "hashing degenerate: {occupied:?}");
+    }
+
+    #[test]
+    fn concurrent_disjoint_writers() {
+        let m: Arc<ShardedMap<u64, u64>> = Arc::new(ShardedMap::new());
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let m = Arc::clone(&m);
+                s.spawn(move || {
+                    for i in 0..500 {
+                        let k = t * 1000 + i;
+                        m.insert(k, k);
+                        m.with(&k, |v| *v.unwrap() += 1);
+                        assert_eq!(m.remove(&k), Some(k + 1));
+                    }
+                });
+            }
+        });
+        assert!(m.is_empty());
+    }
+}

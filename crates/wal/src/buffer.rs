@@ -135,6 +135,23 @@ impl LogBuffer {
         (start, end)
     }
 
+    /// Append a batch of MTRs contiguously under one lock acquisition;
+    /// returns the `[start, end)` range covering the whole batch. The
+    /// group committer uses this so a transaction's redo plus its commit
+    /// record occupy one contiguous run even under concurrent committers.
+    pub fn append_batch(&self, mtrs: &[Mtr]) -> (Lsn, Lsn) {
+        let mut encoded = Vec::with_capacity(mtrs.iter().map(Mtr::encoded_len).sum());
+        for m in mtrs {
+            encoded.extend_from_slice(&m.encode());
+        }
+        let mut st = self.state.lock();
+        let start = st.head;
+        let end = start.advance(encoded.len() as u64);
+        st.pending.extend_from_slice(&encoded);
+        st.head = end;
+        (start, end)
+    }
+
     /// Flush all pending bytes to the sink; returns the new durable LSN.
     ///
     /// The sink write happens under the state lock: concurrent flushers

@@ -12,14 +12,18 @@
 //! * [`record`] — logical redo payloads with a compact binary codec,
 //! * [`mtr`] — mini-transactions and their LSN ranges,
 //! * [`frame`] — `MLOG_PAXOS` batch framing with checksum verification,
-//! * [`buffer`] — the in-memory log buffer with group flush to a sink.
+//! * [`buffer`] — the in-memory log buffer with group flush to a sink,
+//! * [`group_commit`] — leader/follower flush coalescing for concurrent
+//!   committers (InnoDB group commit).
 
 pub mod buffer;
 pub mod frame;
+pub mod group_commit;
 pub mod mtr;
 pub mod record;
 
 pub use buffer::{LogBuffer, LogSink, VecSink};
 pub use frame::{FrameBatcher, FrameError, PaxosFrame, FRAME_HEADER_LEN, MAX_FRAME_PAYLOAD};
+pub use group_commit::{GroupCommitter, WalMetrics};
 pub use mtr::Mtr;
 pub use record::RedoPayload;

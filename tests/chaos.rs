@@ -272,6 +272,110 @@ fn same_seed_replays_identical_chaos() {
     assert_ne!(a.2, c.2, "a different seed should walk a different fault path");
 }
 
+/// Group commit under chaos: concurrent committers drive 2PC transactions
+/// whose DN-side durability rides the group-commit pipeline, over seeded
+/// lossy, duplicating cross-DC links; mid-run the coordinator node crashes,
+/// stranding in-flight transactions PREPARED on the DNs. After the fabric
+/// heals, the PR 1 decision-log resolvers must settle every one of them
+/// all-or-nothing, and the group committer's flush accounting must balance
+/// (every durable commit released by exactly one flush, no flush lost).
+///
+/// The fault plan is seeded, so the injected fault path replays bit-for-bit;
+/// every assertion is an interleaving-independent safety property, so the
+/// test passes deterministically under any thread schedule.
+#[test]
+fn group_commit_chaos_settles_in_flight_txns() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    let (net, coord, dns) = chaos_cluster();
+    let _resolvers = start_resolvers(&net, &dns);
+    net.set_fault_plan(
+        FaultPlan::new(0x6C0_FFEE).with_cross_dc(LinkFaults::lossy(0.08).with_duplicate(0.05)),
+    );
+
+    // Crash the CN after a fixed number of commit decisions: whatever is
+    // mid-2PC at that point is stranded PREPARED with its fate only in the
+    // decision log.
+    let commits_seen = Arc::new(AtomicU64::new(0));
+    let net_fp = Arc::clone(&net);
+    let commits_fp = Arc::clone(&commits_seen);
+    let coord = Arc::new(coord.with_failpoint(Arc::new(move |point| {
+        if point == "txn.before_decision" && commits_fp.fetch_add(1, Ordering::SeqCst) + 1 == 12 {
+            net_fp.crash(NodeId(9));
+        }
+    })));
+
+    const WORKERS: i64 = 4;
+    const PER: i64 = 8;
+    let outcomes: Vec<(i64, Option<u64>)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..WORKERS)
+            .map(|w| {
+                let coord = Arc::clone(&coord);
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    for i in 0..PER {
+                        let n = w * 100 + i;
+                        let mut txn = coord.begin();
+                        let wrote = txn
+                            .write(NodeId(2), TableId(1), key(n), WireWriteOp::Insert(row(n)))
+                            .and_then(|_| {
+                                txn.write(NodeId(3), TableId(1), key(n), WireWriteOp::Insert(row(n)))
+                            })
+                            .is_ok();
+                        if wrote {
+                            out.push((n, txn.commit().ok()));
+                        } else {
+                            txn.abort();
+                            out.push((n, None));
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+    });
+
+    // Heal and let the resolvers settle everything the crash left behind.
+    net.clear_fault_plan();
+    assert!(
+        await_drained(&dns, Duration::from_secs(5)),
+        "every in-flight transaction must resolve via the decision log"
+    );
+
+    // Atomicity on the cross-DC participants; reported commits visible.
+    for (n, outcome) in &outcomes {
+        let on2 = dns[1].engine.read(TableId(1), &key(*n), u64::MAX, None).unwrap();
+        let on3 = dns[2].engine.read(TableId(1), &key(*n), u64::MAX, None).unwrap();
+        assert_eq!(on2.is_some(), on3.is_some(), "txn {n} torn across DNs");
+        if outcome.is_some() {
+            assert!(on2.is_some(), "txn {n} committed but invisible");
+        }
+    }
+
+    // The chaos actually happened: faults injected, the CN black-holed.
+    assert!(commits_seen.load(Ordering::SeqCst) >= 12, "the crash trigger must have fired");
+    assert!(net.fault_stats.total_injected() > 0, "{}", net.fault_stats.report());
+    assert!(net.fault_stats.blackholed.get() > 0, "the crashed CN must have been black-holed");
+
+    // Group-commit accounting on every DN: prepares, commits and the
+    // resolver's settlement storm all rode the group committer, every
+    // durable call was released by exactly one flush, and no flush ran
+    // without work.
+    for (i, dn) in dns.iter().enumerate() {
+        let m = dn.engine.wal_metrics().expect("DN engines group-commit");
+        // DN1 (index 0) only arbitrates the decision log; DN2/DN3 are the
+        // write participants and must have paid durable work.
+        assert!(i == 0 || m.commits.get() > 0, "participant DN saw no durable work");
+        assert!(m.flushes.get() <= m.commits.get());
+        assert_eq!(
+            m.group_size.sum(),
+            m.commits.get(),
+            "every group-committed batch must be released by exactly one flush"
+        );
+    }
+}
+
 fn paxos_payload(n: i64) -> polardbx_wal::Mtr {
     polardbx_wal::Mtr::single(polardbx_wal::RedoPayload::Insert {
         trx: polardbx_common::TrxId(1),
