@@ -12,6 +12,7 @@ pub mod key;
 pub mod metrics;
 pub mod row;
 pub mod schema;
+pub mod time;
 pub mod value;
 
 pub use error::{Error, Result};

@@ -7,7 +7,9 @@
 
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use crate::time::{mono_now, Timer};
 
 /// A monotonically increasing counter.
 #[derive(Debug, Default)]
@@ -228,7 +230,7 @@ impl ValueHistogram {
 /// so harnesses can print "tpmC over time" curves (Fig 9a).
 #[derive(Debug)]
 pub struct ThroughputSeries {
-    start: Instant,
+    start: Duration,
     window: Duration,
     counts: Mutex<Vec<u64>>,
 }
@@ -236,12 +238,13 @@ pub struct ThroughputSeries {
 impl ThroughputSeries {
     /// Start a series with the given window width.
     pub fn new(window: Duration) -> ThroughputSeries {
-        ThroughputSeries { start: Instant::now(), window, counts: Mutex::new(Vec::new()) }
+        ThroughputSeries { start: mono_now(), window, counts: Mutex::new(Vec::new()) }
     }
 
     /// Record `n` events at "now".
     pub fn record(&self, n: u64) {
-        let idx = (self.start.elapsed().as_nanos() / self.window.as_nanos()) as usize;
+        let elapsed = mono_now().saturating_sub(self.start);
+        let idx = (elapsed.as_nanos() / self.window.as_nanos()) as usize;
         let mut counts = self.counts.lock();
         if counts.len() <= idx {
             counts.resize(idx + 1, 0);
@@ -263,7 +266,7 @@ impl ThroughputSeries {
 
 /// Convenience: time a closure and record it into a histogram.
 pub fn timed<T>(hist: &Histogram, f: impl FnOnce() -> T) -> T {
-    let t0 = Instant::now();
+    let t0 = Timer::start();
     let out = f();
     hist.record(t0.elapsed());
     out

@@ -100,8 +100,8 @@ impl PaxosGroup {
 
     /// Block until every live replica's DLSN reaches `lsn` (or timeout).
     pub fn await_dlsn(&self, lsn: polardbx_common::Lsn, timeout: Duration) -> bool {
-        let deadline = std::time::Instant::now() + timeout;
-        while std::time::Instant::now() < deadline {
+        let deadline = polardbx_common::time::mono_now() + timeout;
+        while polardbx_common::time::mono_now() < deadline {
             if self.replicas.iter().all(|r| r.status().dlsn >= lsn) {
                 return true;
             }
@@ -325,7 +325,8 @@ mod tests {
         // Start follower ticker with a short election timeout, then silence
         // the leader by partitioning it away.
         let h = g.replicas[1]
-            .start_ticker(Duration::from_millis(10), Duration::from_millis(50));
+            .start_ticker(Duration::from_millis(10), Duration::from_millis(50))
+            .unwrap();
         g.net.partition(DcId(1), DcId(2));
         g.net.partition(DcId(1), DcId(3));
         let deadline = Instant::now() + Duration::from_secs(3);

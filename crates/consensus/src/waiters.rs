@@ -52,8 +52,14 @@ impl CommitWaiters {
         }
         self.map.lock().entry(lsn).or_default().push(tx);
         // Double-check: DLSN may have advanced between the check and insert.
-        if *self.durable.lock() >= lsn {
-            self.advance(*self.durable.lock());
+        // Copy the mark out first — `self.advance(*self.durable.lock())`
+        // would hold the guard (argument temporaries live to the end of
+        // the statement) across advance(), which re-locks `durable`:
+        // a self-deadlock on the race path. polarlint's lockdep witness
+        // catches exactly this shape at runtime.
+        let durable_now = *self.durable.lock();
+        if durable_now >= lsn {
+            self.advance(durable_now);
         }
         rx
     }
@@ -161,6 +167,45 @@ mod tests {
         let w = CommitWaiters::new();
         let err = w.wait(Lsn(10), Duration::from_millis(10)).unwrap_err();
         assert!(matches!(err, Error::Timeout { .. }));
+    }
+
+    /// Regression: register()'s double-check path used to call
+    /// `self.advance(*self.durable.lock())`, holding the `durable` guard
+    /// across advance()'s own `durable.lock()` — a self-deadlock whenever
+    /// the DLSN advanced between the fast-path check and the map insert.
+    /// Hammering register/advance from both sides exercises that window;
+    /// with the lockdep witness enabled the old code aborts on the
+    /// recursive acquisition instead of hanging.
+    #[test]
+    fn register_races_advance_without_deadlock() {
+        for round in 0..16u64 {
+            let w = Arc::new(CommitWaiters::new());
+            let adv = {
+                let w = Arc::clone(&w);
+                std::thread::spawn(move || {
+                    for lsn in 1..=400u64 {
+                        w.advance(Lsn(lsn));
+                    }
+                })
+            };
+            let mut regs = vec![];
+            for t in 0..2u64 {
+                let w = Arc::clone(&w);
+                regs.push(std::thread::spawn(move || {
+                    for i in 0..200u64 {
+                        let lsn = Lsn((round * 13 + t * 7 + i) % 400 + 1);
+                        let _rx = w.register(lsn);
+                    }
+                }));
+            }
+            adv.join().unwrap();
+            for r in regs {
+                r.join().unwrap();
+            }
+            // Everything at or below the final DLSN must have drained.
+            w.advance(Lsn(400));
+            assert_eq!(w.pending(), 0);
+        }
     }
 
     #[test]

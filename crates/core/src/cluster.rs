@@ -323,9 +323,9 @@ impl PolarDbx {
             .get(&dest)
             .ok_or_else(|| Error::invalid("unknown destination DN"))?;
         // Drain the source briefly (engine-wide, like tenant transfer).
-        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        let deadline = polardbx_common::time::mono_now() + Duration::from_secs(2);
         while src.rw.engine.has_active_txns() {
-            if std::time::Instant::now() > deadline {
+            if polardbx_common::time::mono_now() > deadline {
                 return Err(Error::Timeout { what: "draining source DN".into() });
             }
             std::thread::yield_now();

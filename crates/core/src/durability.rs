@@ -16,8 +16,9 @@
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
+use polardbx_common::time::Timer;
 use polardbx_common::metrics::{Counter, Histogram, ValueHistogram};
 use polardbx_common::{Lsn, Result};
 use polardbx_consensus::Replica;
@@ -160,7 +161,7 @@ impl PaxosDurability {
     fn make_durable_batched(&self, queue: &Mutex<QueueState>, mtrs: &[Mtr]) -> Result<Lsn> {
         let slot = Arc::new(Slot { result: Mutex::new(None) });
         self.metrics.txns.inc();
-        let enrolled_at = Instant::now();
+        let enrolled_at = Timer::start();
         let mut parked = false;
         let mut st = queue.lock();
         st.pending.push_back(Entry { mtrs: mtrs.to_vec(), slot: Arc::clone(&slot) });

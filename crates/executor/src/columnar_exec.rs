@@ -221,7 +221,7 @@ fn apply_preds(
     preds: &[SimplePred],
     ctx: &ExecCtx,
 ) -> Result<Vec<u32>> {
-    let t0 = std::time::Instant::now();
+    let t0 = polardbx_common::time::Timer::start();
     let mut sel = snap.selection.clone();
     for p in preds {
         ctx.tick(sel.len() as u64 / 8)?; // vectorized: cheaper per row
@@ -247,7 +247,7 @@ fn apply_preds(
 }
 
 fn run_select(snap: &ColumnSnapshot, preds: &[SimplePred], ctx: &ExecCtx) -> Result<Vec<Row>> {
-    let t0 = std::time::Instant::now();
+    let t0 = polardbx_common::time::Timer::start();
     let sel = apply_preds(snap, preds, ctx)?;
     ctx.tick(sel.len() as u64)?;
     crate::exec_metrics::exec_metrics().scan.record(sel.len() as u64, 0, t0);
@@ -264,7 +264,7 @@ fn run_aggregate(
     aggs: &[AggSpec],
     ctx: &ExecCtx,
 ) -> Result<Vec<Row>> {
-    let t0 = std::time::Instant::now();
+    let t0 = polardbx_common::time::Timer::start();
     let out = run_aggregate_inner(snap, preds, group_by, aggs, ctx)?;
     crate::exec_metrics::exec_metrics().aggregate.record(out.len() as u64, 0, t0);
     Ok(out)

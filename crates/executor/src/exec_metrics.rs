@@ -6,9 +6,9 @@
 //! the perf-smoke CI job) can show *where* time goes, not just totals.
 
 use std::sync::OnceLock;
-use std::time::Instant;
 
 use polardbx_common::metrics::Counter;
+use polardbx_common::time::Timer;
 
 /// Counters for one physical operator.
 #[derive(Debug, Default)]
@@ -25,7 +25,7 @@ pub struct OpMetrics {
 
 impl OpMetrics {
     /// Record one batch worth of work started at `t0`.
-    pub fn record(&self, rows: u64, bytes: u64, t0: Instant) {
+    pub fn record(&self, rows: u64, bytes: u64, t0: Timer) {
         self.batches.inc();
         self.rows.add(rows);
         self.bytes.add(bytes);
@@ -122,8 +122,8 @@ mod tests {
     #[test]
     fn record_and_report() {
         let m = ExecMetrics::default();
-        m.scan.record(100, 800, Instant::now());
-        m.filter.record(40, 320, Instant::now());
+        m.scan.record(100, 800, Timer::start());
+        m.filter.record(40, 320, Timer::start());
         assert_eq!(m.scan.rows.get(), 100);
         assert_eq!(m.scan.batches.get(), 1);
         let report = m.report();

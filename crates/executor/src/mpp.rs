@@ -56,7 +56,7 @@ impl MorselWork<Local<Vec<Row>>> for PipelineWork {
         Local { out: Vec::new(), ctx: self.ctx.fork() }
     }
     fn scan(&self, partition: usize) -> Result<Vec<Row>> {
-        let t0 = std::time::Instant::now();
+        let t0 = polardbx_common::time::Timer::start();
         let rows = self.provider.scan_partition(&self.table, partition)?;
         crate::exec_metrics::exec_metrics().scan.record(rows.len() as u64, 0, t0);
         Ok(rows)
@@ -91,7 +91,7 @@ impl MorselWork<Local<VecAggTable>> for PartialAggWork {
     fn process(&self, rows: Vec<Row>, local: &mut Local<VecAggTable>) -> Result<()> {
         for batch in batches_of(rows) {
             let batch = run_stages(batch, &self.pipeline.stages, &local.ctx)?;
-            let t0 = std::time::Instant::now();
+            let t0 = polardbx_common::time::Timer::start();
             let n = batch.num_rows() as u64;
             local.out.update_batch(&batch, &local.ctx)?;
             crate::exec_metrics::exec_metrics().aggregate.record(n, 0, t0);
@@ -129,7 +129,7 @@ impl MppExecutor {
             }
             LogicalPlan::Sort { input, keys } => {
                 let rows = self.execute(input, provider, ctx)?;
-                let t0 = std::time::Instant::now();
+                let t0 = polardbx_common::time::Timer::start();
                 let rows = apply_sort(rows, keys, ctx)?;
                 crate::exec_metrics::exec_metrics().sort.record(rows.len() as u64, 0, t0);
                 Ok(rows)

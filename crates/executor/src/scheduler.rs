@@ -18,7 +18,9 @@ use crossbeam::channel::{unbounded, Sender};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use polardbx_common::time::mono_now;
 
 use polardbx_common::metrics::Counter;
 
@@ -265,18 +267,18 @@ pub fn run_with_demotion<T: Send + 'static>(
 /// A cooperative deadline jobs poll to honour their time slice.
 #[derive(Debug, Clone, Copy)]
 pub struct Deadline {
-    at: Instant,
+    at: Duration,
 }
 
 impl Deadline {
     /// A deadline `d` from now.
     pub fn after(d: Duration) -> Deadline {
-        Deadline { at: Instant::now() + d }
+        Deadline { at: mono_now() + d }
     }
 
     /// Has the slice expired?
     pub fn expired(&self) -> bool {
-        Instant::now() >= self.at
+        mono_now() >= self.at
     }
 }
 
@@ -334,6 +336,7 @@ impl TickState {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use polardbx_common::time::Timer;
 
     #[test]
     fn pools_execute_jobs() {
@@ -351,7 +354,7 @@ mod tests {
         let free = CpuGovernor::new(1.0);
         let capped = CpuGovernor::new(0.25);
         let work = |g: &CpuGovernor| {
-            let t0 = Instant::now();
+            let t0 = Timer::start();
             for _ in 0..200 {
                 g.pace(4096);
             }
@@ -368,7 +371,7 @@ mod tests {
         g.set_paused(true);
         let g2 = Arc::clone(&g);
         let h = std::thread::spawn(move || {
-            let t0 = Instant::now();
+            let t0 = Timer::start();
             g2.pace(1);
             t0.elapsed()
         });
@@ -399,7 +402,7 @@ mod tests {
                 }
                 // TP slice always expires for this job; AP slice (500 ms) is
                 // enough to finish "instantly" after the spin.
-                if d.expired() && Instant::now() < d.at + Duration::from_millis(200) {
+                if d.expired() && mono_now() < d.at + Duration::from_millis(200) {
                     // Came from the 50 ms TP slice → give up.
                     return None;
                 }
@@ -433,8 +436,8 @@ mod tests {
                 c.fetch_add(1, Ordering::Relaxed);
             });
         }
-        let deadline = Instant::now() + Duration::from_secs(2);
-        while counter.load(Ordering::Relaxed) < 64 && Instant::now() < deadline {
+        let deadline = mono_now() + Duration::from_secs(2);
+        while counter.load(Ordering::Relaxed) < 64 && mono_now() < deadline {
             std::thread::sleep(Duration::from_millis(2));
         }
         assert_eq!(counter.load(Ordering::Relaxed), 64);

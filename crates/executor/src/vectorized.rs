@@ -16,7 +16,7 @@
 //! distinct).
 
 use std::collections::{HashMap, VecDeque};
-use std::time::Instant;
+use polardbx_common::time::Timer;
 
 use polardbx_common::{Error, Result, Row, Value};
 use polardbx_columnar::ColumnData;
@@ -61,7 +61,7 @@ pub fn stream<'a>(
             split_conjuncts(predicate, &mut conjuncts);
             Ok(Box::new(move || loop {
                 let Some(batch) = inner()? else { return Ok(None) };
-                let t0 = Instant::now();
+                let t0 = Timer::start();
                 ctx.tick(batch.num_rows() as u64)?;
                 let mut live = batch.live_rows();
                 for c in &conjuncts {
@@ -82,7 +82,7 @@ pub fn stream<'a>(
             let mut inner = stream(input, provider, ctx)?;
             Ok(Box::new(move || {
                 let Some(batch) = inner()? else { return Ok(None) };
-                let t0 = Instant::now();
+                let t0 = Timer::start();
                 ctx.tick(batch.num_rows() as u64)?;
                 let out = apply_project_batch(&batch, exprs)?;
                 exec_metrics().project.record(out.num_rows() as u64, out.bytes() as u64, t0);
@@ -100,7 +100,7 @@ pub fn stream<'a>(
                 if outq.is_none() {
                     let tbl = table.as_mut().expect("aggregate pulled after finish");
                     while let Some(b) = inner()? {
-                        let t0 = Instant::now();
+                        let t0 = Timer::start();
                         tbl.update_batch(&b, ctx)?;
                         exec_metrics().aggregate.record(b.num_rows() as u64, 0, t0);
                     }
@@ -119,7 +119,7 @@ pub fn stream<'a>(
                     while let Some(b) = inner()? {
                         rows.extend(b.to_rows());
                     }
-                    let t0 = Instant::now();
+                    let t0 = Timer::start();
                     let n = rows.len() as u64;
                     let rows = apply_sort(rows, keys, ctx)?;
                     exec_metrics().sort.record(n, 0, t0);
@@ -177,7 +177,7 @@ fn scan_stream<'a>(
             // vectors become the batch lanes directly — no row
             // materialization at all.
             if let Some(snap) = provider.columnar(table) {
-                let t0 = Instant::now();
+                let t0 = Timer::start();
                 let b = RowBatch::from_snapshot(snap);
                 exec_metrics().scan.record(b.num_rows() as u64, b.bytes() as u64, t0);
                 part = usize::MAX; // row partitions are not scanned
@@ -188,7 +188,7 @@ fn scan_stream<'a>(
         if part == usize::MAX || part >= provider.partitions(table).max(1) {
             return Ok(None);
         }
-        let t0 = Instant::now();
+        let t0 = Timer::start();
         let rows = provider.scan_partition(table, part)?;
         part += 1;
         let n = rows.len();
@@ -565,7 +565,7 @@ fn join_stream<'a>(
                 while let Some(b) = right_stream()? {
                     r.extend(b.to_rows());
                 }
-                let t0 = Instant::now();
+                let t0 = Timer::start();
                 let rows = apply_join(l, r, &[], filter, ctx)?;
                 exec_metrics().join.record(rows.len() as u64, 0, t0);
                 crossq = Some(batches_of(rows).into());
@@ -579,7 +579,7 @@ fn join_stream<'a>(
                     rows.extend(b.to_rows());
                 }
             }
-            let t0 = Instant::now();
+            let t0 = Timer::start();
             ctx.tick(rows.len() as u64)?;
             let b = JoinBuild::build(rows, key_cols.clone())?;
             exec_metrics().join.record(b.len() as u64, 0, t0);
@@ -588,7 +588,7 @@ fn join_stream<'a>(
         let build = build.as_ref().expect("built above");
         loop {
             let Some(batch) = right_stream()? else { return Ok(None) };
-            let t0 = Instant::now();
+            let t0 = Timer::start();
             let rows = build.probe_batch(&batch, &probe_cols, filter, ctx)?;
             exec_metrics().join.record(rows.len() as u64, 0, t0);
             if rows.is_empty() {
@@ -1013,7 +1013,7 @@ pub(crate) fn run_stages(
         ctx.tick(batch.num_rows() as u64)?;
         match stage {
             StageOp::Filter(conjuncts) => {
-                let t0 = Instant::now();
+                let t0 = Timer::start();
                 let mut live = batch.live_rows();
                 for c in conjuncts {
                     if live.is_empty() {
@@ -1027,7 +1027,7 @@ pub(crate) fn run_stages(
                     .record(batch.num_rows() as u64, batch.bytes() as u64, t0);
             }
             StageOp::Project(exprs) => {
-                let t0 = Instant::now();
+                let t0 = Timer::start();
                 batch = apply_project_batch(&batch, exprs)?;
                 exec_metrics()
                     .project

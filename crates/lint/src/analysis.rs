@@ -1,0 +1,685 @@
+//! Per-file invariant analysis over the token stream.
+//!
+//! Four rules (see DESIGN.md "Correctness tooling"):
+//!
+//! - `lock_order` — every nested `lock()/read()/write()` acquisition adds
+//!   an edge `held → acquired` to a cross-crate graph; cycles (reported by
+//!   [`crate::graph`]) are static ABBA deadlocks. Nested acquisition of
+//!   the *same* lock name is reported directly (std-backed locks are not
+//!   reentrant).
+//! - `guard_blocking` — a live lock guard spanning a blocking call
+//!   (`sleep`/`send`/`recv`/`join`/`flush`/sink `write`) serializes
+//!   unrelated work behind I/O, and with channels in the mix can deadlock.
+//! - `determinism` — `Instant::now`/`SystemTime::now`/ambient RNG outside
+//!   the allowlist breaks same-seed chaos reproducibility.
+//! - `unwrap` — `unwrap()/expect()` in protocol crates turns injected
+//!   faults into panics instead of typed errors.
+//!
+//! Escape hatch: `// lint:allow(<rule>, <reason>)` on the offending line
+//! or the line directly above. An allow without a reason is itself a
+//! finding — justifications are the point.
+
+use crate::tokenizer::{tokenize, Allow, Tok, TokKind};
+use std::collections::{BTreeMap, HashSet};
+
+/// Rule identifiers (also the names accepted by `lint:allow`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// Lock acquisition-order violations (self-nesting or graph cycles).
+    LockOrder,
+    /// A live guard spans a blocking call.
+    GuardBlocking,
+    /// Ambient time or randomness outside the allowlist.
+    Determinism,
+    /// `unwrap()/expect()` in a protocol crate.
+    Unwrap,
+    /// A malformed `lint:allow` (unknown rule or missing reason).
+    BadAllow,
+}
+
+impl Rule {
+    /// Canonical name, as used in `lint:allow(...)`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::LockOrder => "lock_order",
+            Rule::GuardBlocking => "guard_blocking",
+            Rule::Determinism => "determinism",
+            Rule::Unwrap => "unwrap",
+            Rule::BadAllow => "bad_allow",
+        }
+    }
+
+    fn from_name(s: &str) -> Option<Rule> {
+        match s {
+            "lock_order" => Some(Rule::LockOrder),
+            "guard_blocking" => Some(Rule::GuardBlocking),
+            "determinism" => Some(Rule::Determinism),
+            "unwrap" => Some(Rule::Unwrap),
+            _ => None,
+        }
+    }
+}
+
+/// One finding, justified or not.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The rule that fired.
+    pub rule: Rule,
+    /// Repo-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+    /// `Some(reason)` when a well-formed `lint:allow` covers the line.
+    pub allowed: Option<String>,
+}
+
+/// One lock-order edge: `from` was held while `to` was acquired.
+#[derive(Debug, Clone)]
+pub struct LockEdge {
+    /// Held lock (crate-qualified name).
+    pub from: String,
+    /// Acquired lock (crate-qualified name).
+    pub to: String,
+    /// Where the nested acquisition happens.
+    pub file: String,
+    /// 1-based line of the inner acquisition.
+    pub line: u32,
+    /// Justification, if the line carries `lint:allow(lock_order, …)`.
+    pub allowed: Option<String>,
+}
+
+/// Linter configuration. Paths are matched as repo-relative prefixes.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Crates where `unwrap()/expect()` is denied in non-test code.
+    pub unwrap_deny_crates: Vec<String>,
+    /// Path prefixes exempt from the determinism rule (clock sources,
+    /// benches, the simnet latency model, and the shims that implement
+    /// the abstractions everything else is told to use).
+    pub determinism_allow_paths: Vec<String>,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            unwrap_deny_crates: vec!["txn".into(), "consensus".into(), "wal".into()],
+            determinism_allow_paths: vec![
+                "crates/hlc/".into(),
+                "crates/bench/".into(),
+                "crates/simnet/src/latency.rs".into(),
+                // The sanctioned ambient-clock home everything else uses.
+                "crates/common/src/time.rs".into(),
+                "shims/".into(),
+            ],
+        }
+    }
+}
+
+/// Result of analyzing one file.
+#[derive(Debug, Default)]
+pub struct FileAnalysis {
+    /// Rule findings (cycle findings come later from the graph pass).
+    pub findings: Vec<Finding>,
+    /// Lock-order edges contributed to the workspace graph.
+    pub edges: Vec<LockEdge>,
+}
+
+/// Blocking calls that must not run under a live lock guard. `wait` /
+/// `wait_until` are deliberately absent: condvars release the guard.
+const BLOCKING: &[&str] = &["sleep", "send", "recv", "recv_timeout", "join", "flush", "sync_all"];
+
+/// Zero-argument methods treated as lock acquisitions.
+const ACQUIRE: &[&str] = &["lock", "read", "write"];
+
+/// Is this path test-scoped (integration tests, fixtures, examples,
+/// benches directories)? Whole-file skip for every rule.
+pub fn is_test_path(path: &str) -> bool {
+    let p = path.replace('\\', "/");
+    p.starts_with("tests/")
+        || p.contains("/tests/")
+        || p.starts_with("examples/")
+        || p.contains("/examples/")
+        || p.contains("/benches/")
+}
+
+/// Crate name a repo-relative path belongs to (`crates/txn/…` → `txn`,
+/// `shims/rand/…` → `shim-rand`, the root package → `root`).
+pub fn crate_of(path: &str) -> String {
+    let p = path.replace('\\', "/");
+    let mut parts = p.split('/');
+    match parts.next() {
+        Some("crates") => parts.next().unwrap_or("unknown").to_string(),
+        Some("shims") => format!("shim-{}", parts.next().unwrap_or("unknown")),
+        _ => "root".to_string(),
+    }
+}
+
+/// A live guard during the function walk.
+struct Guard {
+    /// Binding name (`None` for a temporary that dies at statement end).
+    name: Option<String>,
+    /// Crate-qualified lock node name.
+    lock: String,
+    /// Brace depth the binding lives at.
+    depth: usize,
+    /// Line of acquisition (for messages).
+    line: u32,
+}
+
+/// Analyze one file's source. `path` is repo-relative and used for rule
+/// scoping and messages.
+pub fn analyze_source(path: &str, src: &str, cfg: &Config) -> FileAnalysis {
+    let mut out = FileAnalysis::default();
+    if is_test_path(path) {
+        return out;
+    }
+    let stream = tokenize(src);
+    let toks = &stream.toks;
+    let krate = crate_of(path);
+
+    // Allow lookup: an allow on line L covers line L (trailing comment)
+    // and, if L itself carries no code, the next line that does.
+    let code_lines: HashSet<u32> = toks.iter().map(|t| t.line).collect();
+    let mut allows: BTreeMap<u32, Vec<&Allow>> = BTreeMap::new();
+    for a in &stream.allows {
+        if Rule::from_name(&a.rule).is_none() {
+            out.findings.push(Finding {
+                rule: Rule::BadAllow,
+                file: path.to_string(),
+                line: a.line,
+                message: format!("lint:allow names unknown rule '{}'", a.rule),
+                allowed: None,
+            });
+            continue;
+        }
+        if a.reason.is_empty() {
+            out.findings.push(Finding {
+                rule: Rule::BadAllow,
+                file: path.to_string(),
+                line: a.line,
+                message: format!(
+                    "lint:allow({}) without a reason — justify the exception",
+                    a.rule
+                ),
+                allowed: None,
+            });
+            continue;
+        }
+        let target = if code_lines.contains(&a.line) {
+            a.line
+        } else {
+            code_lines.iter().copied().filter(|&l| l > a.line).min().unwrap_or(a.line)
+        };
+        allows.entry(target).or_default().push(a);
+    }
+    let allow_for = |rule: Rule, line: u32| -> Option<String> {
+        allows
+            .get(&line)
+            .and_then(|v| v.iter().find(|a| a.rule == rule.name()))
+            .map(|a| a.reason.clone())
+    };
+
+    // Mark token ranges belonging to test code: `#[cfg(test)] mod … { … }`
+    // and `#[test] fn … { … }`.
+    let test_mask = test_mask(toks);
+
+    // ---- determinism rule (token-pattern scan) -------------------------
+    let det_exempt = cfg.determinism_allow_paths.iter().any(|p| path.starts_with(p.as_str()));
+    if !det_exempt {
+        for i in 0..toks.len() {
+            if test_mask[i] {
+                continue;
+            }
+            let t = &toks[i];
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            let msg = if t.text == "now"
+                && path_prefix_is(toks, i, &["Instant", "SystemTime"])
+            {
+                let src_ty = prev_path_ident(toks, i).unwrap_or_else(|| "Instant".into());
+                Some(format!(
+                    "{src_ty}::now() is ambient time — inject a clock (polardbx_common::time / hlc::PhysicalClock) instead",
+                ))
+            } else if t.text == "thread_rng" || t.text == "from_entropy" {
+                Some(format!(
+                    "{}() is ambient randomness — use a seeded StdRng so chaos runs replay",
+                    t.text
+                ))
+            } else if t.text == "random" && path_prefix_is(toks, i, &["rand"]) {
+                Some("rand::random() is ambient randomness — use a seeded StdRng".to_string())
+            } else {
+                None
+            };
+            if let Some(message) = msg {
+                out.findings.push(Finding {
+                    rule: Rule::Determinism,
+                    file: path.to_string(),
+                    line: t.line,
+                    message,
+                    allowed: allow_for(Rule::Determinism, t.line),
+                });
+            }
+        }
+    }
+
+    // ---- unwrap rule ---------------------------------------------------
+    if cfg.unwrap_deny_crates.contains(&krate) {
+        for i in 0..toks.len() {
+            if test_mask[i] {
+                continue;
+            }
+            let t = &toks[i];
+            if t.kind == TokKind::Ident
+                && (t.text == "unwrap" || t.text == "expect")
+                && i > 0
+                && toks[i - 1].is_punct('.')
+                && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+            {
+                out.findings.push(Finding {
+                    rule: Rule::Unwrap,
+                    file: path.to_string(),
+                    line: t.line,
+                    message: format!(
+                        ".{}() in protocol crate '{krate}' — return a typed Error instead of panicking",
+                        t.text
+                    ),
+                    allowed: allow_for(Rule::Unwrap, t.line),
+                });
+            }
+        }
+    }
+
+    // ---- lock rules (per-function guard walk) --------------------------
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_ident("fn") && !test_mask[i] {
+            if let Some((body_start, body_end)) = fn_body(toks, i) {
+                walk_body(
+                    path,
+                    &krate,
+                    toks,
+                    body_start,
+                    body_end,
+                    &allow_for,
+                    &mut out,
+                );
+                i = body_end;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Does the `::`-path ending just before ident `i` terminate in one of
+/// `last`? Matches `Instant::now`, `std::time::Instant::now`, etc.
+fn path_prefix_is(toks: &[Tok], i: usize, last: &[&str]) -> bool {
+    prev_path_ident(toks, i).map(|t| last.contains(&t.as_str())).unwrap_or(false)
+}
+
+/// The identifier preceding `i` across a `::` separator, if any.
+fn prev_path_ident(toks: &[Tok], i: usize) -> Option<String> {
+    if i >= 3 && toks[i - 1].is_punct(':') && toks[i - 2].is_punct(':') {
+        let p = &toks[i - 3];
+        if p.kind == TokKind::Ident {
+            return Some(p.text.clone());
+        }
+    }
+    None
+}
+
+/// Token-index mask: true where the token sits in `#[cfg(test)] mod { … }`
+/// or a `#[test] fn { … }` body.
+fn test_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        // #[cfg(test)]  (also matches #[cfg(all(test, …))] via contains)
+        if toks[i].is_punct('#') && toks.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            let close = match matching(toks, i + 1, '[', ']') {
+                Some(c) => c,
+                None => break,
+            };
+            let attr: Vec<&str> = toks[i + 2..close].iter().map(|t| t.text.as_str()).collect();
+            let is_test_attr = attr.first() == Some(&"test")
+                || (attr.first() == Some(&"cfg") && attr.contains(&"test"));
+            if is_test_attr {
+                // Skip any further attributes, then expect mod/fn … `{`.
+                let mut j = close + 1;
+                while toks.get(j).is_some_and(|t| t.is_punct('#'))
+                    && toks.get(j + 1).is_some_and(|t| t.is_punct('['))
+                {
+                    match matching(toks, j + 1, '[', ']') {
+                        Some(c) => j = c + 1,
+                        None => return mask,
+                    }
+                }
+                // Find the opening brace of the item (skipping signatures).
+                let mut k = j;
+                while k < toks.len() && !toks[k].is_punct('{') && !toks[k].is_punct(';') {
+                    k += 1;
+                }
+                if k < toks.len() && toks[k].is_punct('{') {
+                    if let Some(end) = matching(toks, k, '{', '}') {
+                        for m in mask.iter_mut().take(end + 1).skip(i) {
+                            *m = true;
+                        }
+                        i = end + 1;
+                        continue;
+                    }
+                }
+            }
+            i = close + 1;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Index of the punct matching the opener at `open_idx`.
+fn matching(toks: &[Tok], open_idx: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0i64;
+    for (j, t) in toks.iter().enumerate().skip(open_idx) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// For a `fn` keyword at `fn_idx`, the `(body_start, body_end)` token
+/// indices of its `{ … }` body (both pointing at the braces), or `None`
+/// for bodyless trait signatures.
+fn fn_body(toks: &[Tok], fn_idx: usize) -> Option<(usize, usize)> {
+    let mut j = fn_idx + 1;
+    let mut angle = 0i64;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') {
+            angle = (angle - 1).max(0); // `->` shows up as two puncts
+        } else if t.is_punct('(') || t.is_punct('[') {
+            let (o, c) = if t.is_punct('(') { ('(', ')') } else { ('[', ']') };
+            j = matching(toks, j, o, c)?;
+        } else if t.is_punct('{') && angle == 0 {
+            let end = matching(toks, j, '{', '}')?;
+            return Some((j, end));
+        } else if t.is_punct(';') && angle == 0 {
+            return None;
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Walk a function body tracking live guards, emitting lock-order edges
+/// and guard-across-blocking findings.
+#[allow(clippy::too_many_arguments)]
+fn walk_body(
+    path: &str,
+    krate: &str,
+    toks: &[Tok],
+    body_start: usize,
+    body_end: usize,
+    allow_for: &dyn Fn(Rule, u32) -> Option<String>,
+    out: &mut FileAnalysis,
+) {
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth = 0usize;
+    let mut paren = 0i64;
+    let mut i = body_start;
+    while i <= body_end {
+        let t = &toks[i];
+        if t.is_punct('{') {
+            depth += 1;
+            // Temporaries from `if`/`while` conditions are dropped before
+            // the block runs; only a `match` scrutinee guard survives into
+            // its arms (the classic footgun — keep it live there).
+            if !stmt_starts_with(toks, i, body_start, "match") {
+                guards.retain(|g| g.name.is_some());
+            }
+        } else if t.is_punct('}') {
+            depth = depth.saturating_sub(1);
+            guards.retain(|g| g.depth <= depth && (g.name.is_some() || g.depth < depth));
+            // Temporaries also die at block edges.
+            guards.retain(|g| g.name.is_some());
+        } else if t.is_punct('(') || t.is_punct('[') {
+            paren += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            paren -= 1;
+        } else if t.is_punct(';') && paren <= 1 {
+            // Statement end (paren==1 covers the common `);` of a call —
+            // close-paren processed after this token decrements it).
+            guards.retain(|g| g.name.is_some());
+        } else if t.kind == TokKind::Ident {
+            // drop(name) kills the named guard.
+            if t.text == "drop"
+                && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+                && toks.get(i + 3).is_some_and(|n| n.is_punct(')'))
+            {
+                if let Some(victim) = toks.get(i + 2) {
+                    if victim.kind == TokKind::Ident {
+                        guards.retain(|g| g.name.as_deref() != Some(victim.text.as_str()));
+                    }
+                }
+            }
+            // Lock acquisition: `.lock()` / `.read()` / `.write()`.
+            let zero_arg_call = toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+                && toks.get(i + 2).is_some_and(|n| n.is_punct(')'));
+            if ACQUIRE.contains(&t.text.as_str())
+                && i > body_start
+                && toks[i - 1].is_punct('.')
+                && zero_arg_call
+            {
+                let recv = receiver_path(toks, i - 1, body_start);
+                let lock_name = format!("{krate}::{recv}");
+                let allowed = allow_for(Rule::LockOrder, t.line);
+                for g in &guards {
+                    if g.lock == lock_name {
+                        out.findings.push(Finding {
+                            rule: Rule::LockOrder,
+                            file: path.to_string(),
+                            line: t.line,
+                            message: format!(
+                                "nested acquisition of '{lock_name}' (already held since line {}) — std-backed locks are not reentrant",
+                                g.line
+                            ),
+                            allowed: allowed.clone(),
+                        });
+                    } else {
+                        out.edges.push(LockEdge {
+                            from: g.lock.clone(),
+                            to: lock_name.clone(),
+                            file: path.to_string(),
+                            line: t.line,
+                            allowed: allowed.clone(),
+                        });
+                    }
+                }
+                // A guard is only *bound* when the acquisition terminates
+                // the initializer (`let g = x.lock();`). A chained call
+                // (`x.lock().remove(k)`) or deref (`*x.lock()`) hands out
+                // the inner value; the guard itself is a temporary.
+                let terminates_stmt = toks.get(i + 3).is_some_and(|n| n.is_punct(';'));
+                let binding = if terminates_stmt {
+                    binding_name(toks, i, body_start)
+                } else {
+                    None
+                };
+                if let Some(name) = &binding {
+                    // Reassignment: the old guard is released after the new
+                    // acquisition (edge above already captured the overlap).
+                    guards.retain(|g| g.name.as_deref() != Some(name.as_str()));
+                }
+                guards.push(Guard {
+                    name: binding,
+                    lock: lock_name,
+                    depth,
+                    line: t.line,
+                });
+                i += 3; // skip `( )`
+                continue;
+            }
+            // Blocking call under a live guard.
+            let is_call = toks.get(i + 1).is_some_and(|n| n.is_punct('('));
+            let method_or_path = i > body_start
+                && (toks[i - 1].is_punct('.') || toks[i - 1].is_punct(':'));
+            let sink_write = t.text == "write"
+                && is_call
+                && !zero_arg_call
+                && i > body_start
+                && toks[i - 1].is_punct('.')
+                && receiver_path(toks, i - 1, body_start).ends_with("sink");
+            if is_call
+                && method_or_path
+                && (BLOCKING.contains(&t.text.as_str()) || sink_write)
+                && !guards.is_empty()
+            {
+                let held: Vec<String> = guards
+                    .iter()
+                    .map(|g| {
+                        format!(
+                            "'{}'{}",
+                            g.lock,
+                            g.name.as_deref().map(|n| format!(" (as {n})")).unwrap_or_default()
+                        )
+                    })
+                    .collect();
+                let what = if sink_write { "sink write" } else { t.text.as_str() };
+                out.findings.push(Finding {
+                    rule: Rule::GuardBlocking,
+                    file: path.to_string(),
+                    line: t.line,
+                    message: format!(
+                        "blocking call `{what}` while holding {} — release the guard first",
+                        held.join(", ")
+                    ),
+                    allowed: allow_for(Rule::GuardBlocking, t.line),
+                });
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Walk backwards from the `.` before an acquisition to name the receiver:
+/// `self.shards[i].map.read()` → `shards.map`. Keeps at most the last two
+/// segments; drops a leading `self`.
+fn receiver_path(toks: &[Tok], dot_idx: usize, floor: usize) -> String {
+    let mut segs: Vec<String> = Vec::new();
+    let mut j = dot_idx; // points at '.'
+    loop {
+        if j == 0 || j <= floor {
+            break;
+        }
+        let before = j - 1;
+        let t = &toks[before];
+        if t.kind == TokKind::Ident {
+            segs.push(t.text.clone());
+            // Continue if the ident is itself preceded by `.`; a `::`
+            // prefix means a path root (static/const) — stop there.
+            if before > floor && toks[before - 1].is_punct('.') {
+                j = before - 1;
+                continue;
+            }
+            break;
+        } else if t.is_punct(']') || t.is_punct(')') {
+            // Skip the bracketed group backwards.
+            let (open, close) = if t.is_punct(']') { ('[', ']') } else { ('(', ')') };
+            let mut depth = 0i64;
+            let mut k = before;
+            loop {
+                if toks[k].is_punct(close) {
+                    depth += 1;
+                } else if toks[k].is_punct(open) {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                if k == 0 || k <= floor {
+                    break;
+                }
+                k -= 1;
+            }
+            j = k;
+            continue;
+        } else {
+            break;
+        }
+    }
+    segs.retain(|s| s != "self");
+    if segs.is_empty() {
+        return "anon".to_string();
+    }
+    segs.reverse();
+    if segs.len() > 2 {
+        segs = segs.split_off(segs.len() - 2);
+    }
+    segs.join(".")
+}
+
+/// Index of the first token of the statement containing `idx` (scan back
+/// to the last `;`, `{` or `}`).
+fn stmt_start(toks: &[Tok], idx: usize, floor: usize) -> usize {
+    let mut s = idx;
+    while s > floor {
+        let t = &toks[s - 1];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            break;
+        }
+        s -= 1;
+    }
+    s
+}
+
+/// Does the statement containing the token at `idx` open with `kw`?
+fn stmt_starts_with(toks: &[Tok], idx: usize, floor: usize, kw: &str) -> bool {
+    toks.get(stmt_start(toks, idx, floor)).is_some_and(|t| t.is_ident(kw))
+}
+
+/// If the statement containing the acquisition at `acq_idx` binds it via
+/// `let [mut] name = …` or reassigns `name = …`, return the name.
+fn binding_name(toks: &[Tok], acq_idx: usize, floor: usize) -> Option<String> {
+    let s = stmt_start(toks, acq_idx, floor);
+    let t0 = toks.get(s)?;
+    if t0.is_ident("let") {
+        let mut k = s + 1;
+        if toks.get(k).is_some_and(|t| t.is_ident("mut")) {
+            k += 1;
+        }
+        let name = toks.get(k)?;
+        if name.kind == TokKind::Ident && toks.get(k + 1).is_some_and(|t| t.is_punct('=')) {
+            // `let v = *x.lock();` copies the pointee out — the guard is a
+            // temporary, not the binding.
+            if toks.get(k + 2).is_some_and(|t| t.is_punct('*')) {
+                return None;
+            }
+            // Pattern bindings (`let Some(g) = …`) start uppercase; the
+            // zero-arg acquisitions never return Option, so skip those.
+            if name.text.chars().next().is_some_and(|c| c.is_lowercase() || c == '_') {
+                return Some(name.text.clone());
+            }
+        }
+        return None;
+    }
+    if t0.kind == TokKind::Ident && toks.get(s + 1).is_some_and(|t| t.is_punct('=')) {
+        // Reassignment of an existing binding (`st = self.st.lock();`) —
+        // but not `==`, and not through a deref.
+        if !toks.get(s + 2).is_some_and(|t| t.is_punct('=') || t.is_punct('*')) {
+            return Some(t0.text.clone());
+        }
+    }
+    None
+}

@@ -1,0 +1,126 @@
+//! Cross-crate lock-order graph and cycle detection.
+//!
+//! Every [`LockEdge`](crate::analysis::LockEdge) says "lock `from` was
+//! held while `to` was acquired". A cycle in the directed graph over
+//! those edges is a potential ABBA deadlock: two threads can each hold
+//! one lock of the cycle and wait for the next. Edges justified with
+//! `lint:allow(lock_order, …)` are excluded from cycle search but kept
+//! for the report.
+
+use crate::analysis::LockEdge;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A cycle found in the acquisition graph.
+#[derive(Debug, Clone)]
+pub struct Cycle {
+    /// Lock names in acquisition order; the last is held while the first
+    /// is re-acquired.
+    pub nodes: Vec<String>,
+    /// The edges realizing the cycle, with their source locations.
+    pub edges: Vec<LockEdge>,
+}
+
+/// Find every elementary cycle reachable in the non-allowed edge set.
+/// Deterministic: nodes and neighbours are visited in sorted order, and
+/// each cycle is reported once (rotated so its lexicographically
+/// smallest node comes first).
+pub fn find_cycles(edges: &[LockEdge]) -> Vec<Cycle> {
+    // Deduplicate parallel edges, keep one representative location each.
+    let mut adj: BTreeMap<&str, BTreeMap<&str, &LockEdge>> = BTreeMap::new();
+    for e in edges {
+        if e.allowed.is_some() {
+            continue;
+        }
+        adj.entry(e.from.as_str()).or_default().entry(e.to.as_str()).or_insert(e);
+    }
+
+    let mut seen: BTreeSet<Vec<String>> = BTreeSet::new();
+    let mut cycles = Vec::new();
+    let nodes: Vec<&str> = adj.keys().copied().collect();
+    for &start in &nodes {
+        // Bounded DFS from each node looking for a path back to start.
+        let mut stack: Vec<(&str, Vec<&str>)> = vec![(start, vec![start])];
+        while let Some((cur, path)) = stack.pop() {
+            let Some(nexts) = adj.get(cur) else { continue };
+            for (&nxt, _) in nexts.iter() {
+                if nxt == start {
+                    let mut names: Vec<String> = path.iter().map(|s| s.to_string()).collect();
+                    // Canonical rotation for dedup.
+                    let min_pos = names
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, n)| n.as_str())
+                        .map(|(i, _)| i)
+                        .unwrap_or(0);
+                    names.rotate_left(min_pos);
+                    if seen.insert(names.clone()) {
+                        let mut cyc_edges = Vec::new();
+                        for w in 0..names.len() {
+                            let a = names[w].as_str();
+                            let b = names[(w + 1) % names.len()].as_str();
+                            if let Some(e) = adj.get(a).and_then(|m| m.get(b)) {
+                                cyc_edges.push((*e).clone());
+                            }
+                        }
+                        cycles.push(Cycle { nodes: names, edges: cyc_edges });
+                    }
+                } else if !path.contains(&nxt) && path.len() < 8 {
+                    let mut p = path.clone();
+                    p.push(nxt);
+                    stack.push((nxt, p));
+                }
+            }
+        }
+    }
+    cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge(from: &str, to: &str, allowed: bool) -> LockEdge {
+        LockEdge {
+            from: from.into(),
+            to: to.into(),
+            file: "f.rs".into(),
+            line: 1,
+            allowed: allowed.then(|| "justified".to_string()),
+        }
+    }
+
+    #[test]
+    fn detects_two_node_cycle() {
+        let cycles = find_cycles(&[edge("a", "b", false), edge("b", "a", false)]);
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].nodes, vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(cycles[0].edges.len(), 2);
+    }
+
+    #[test]
+    fn dag_has_no_cycles() {
+        let cycles = find_cycles(&[
+            edge("a", "b", false),
+            edge("b", "c", false),
+            edge("a", "c", false),
+        ]);
+        assert!(cycles.is_empty());
+    }
+
+    #[test]
+    fn allowed_edge_breaks_cycle() {
+        let cycles = find_cycles(&[edge("a", "b", false), edge("b", "a", true)]);
+        assert!(cycles.is_empty());
+    }
+
+    #[test]
+    fn three_node_cycle_reported_once() {
+        let cycles = find_cycles(&[
+            edge("x", "y", false),
+            edge("y", "z", false),
+            edge("z", "x", false),
+        ]);
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].nodes.len(), 3);
+    }
+}

@@ -1,0 +1,169 @@
+//! polarlint — workspace invariant linter for the PolarDB-X repro.
+//!
+//! Dependency-free static analysis over every workspace `.rs` file:
+//! a hand-rolled tokenizer feeds per-file rule passes
+//! ([`analysis`]) whose lock-order edges are stitched into a cross-crate
+//! acquisition graph checked for cycles ([`graph`]). See DESIGN.md
+//! "Correctness tooling" for the rule catalogue and escape hatch.
+
+pub mod analysis;
+pub mod graph;
+pub mod tokenizer;
+
+use analysis::{analyze_source, Config, Finding, LockEdge};
+use graph::{find_cycles, Cycle};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Full workspace lint result.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Per-line findings (allowed and not).
+    pub findings: Vec<Finding>,
+    /// All lock-order edges observed (for the report appendix).
+    pub edges: Vec<LockEdge>,
+    /// Acquisition-graph cycles (always unjustified by construction).
+    pub cycles: Vec<Cycle>,
+    /// Number of files analyzed.
+    pub files: usize,
+}
+
+impl LintReport {
+    /// Findings not covered by a well-formed `lint:allow`.
+    pub fn unjustified(&self) -> Vec<&Finding> {
+        self.findings.iter().filter(|f| f.allowed.is_none()).collect()
+    }
+
+    /// True when the workspace passes: no unjustified findings, no cycles.
+    pub fn clean(&self) -> bool {
+        self.unjustified().is_empty() && self.cycles.is_empty()
+    }
+
+    /// Render the human-readable report.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let unjust = self.unjustified();
+        let _ = writeln!(
+            s,
+            "polarlint: {} files, {} findings ({} unjustified), {} lock-order edges, {} cycles",
+            self.files,
+            self.findings.len(),
+            unjust.len(),
+            self.edges.len(),
+            self.cycles.len()
+        );
+        if !unjust.is_empty() {
+            let _ = writeln!(s, "\n== unjustified findings ==");
+            for f in &unjust {
+                let _ = writeln!(s, "  [{}] {}:{} {}", f.rule.name(), f.file, f.line, f.message);
+            }
+        }
+        if !self.cycles.is_empty() {
+            let _ = writeln!(s, "\n== lock-order cycles (potential ABBA deadlocks) ==");
+            for c in &self.cycles {
+                let _ = writeln!(s, "  cycle: {}", c.nodes.join(" -> "));
+                for e in &c.edges {
+                    let _ = writeln!(
+                        s,
+                        "    {} -> {} at {}:{}",
+                        e.from, e.to, e.file, e.line
+                    );
+                }
+            }
+        }
+        let justified: Vec<&Finding> =
+            self.findings.iter().filter(|f| f.allowed.is_some()).collect();
+        if !justified.is_empty() {
+            let _ = writeln!(s, "\n== justified exceptions ==");
+            for f in &justified {
+                let _ = writeln!(
+                    s,
+                    "  [{}] {}:{} — {}",
+                    f.rule.name(),
+                    f.file,
+                    f.line,
+                    f.allowed.as_deref().unwrap_or("")
+                );
+            }
+        }
+        if !self.edges.is_empty() {
+            let _ = writeln!(s, "\n== acquisition order (held -> acquired) ==");
+            let mut shown: Vec<String> = self
+                .edges
+                .iter()
+                .map(|e| format!("  {} -> {}{}", e.from, e.to, if e.allowed.is_some() { "  (allowed)" } else { "" }))
+                .collect();
+            shown.sort();
+            shown.dedup();
+            for line in shown {
+                let _ = writeln!(s, "{line}");
+            }
+        }
+        s
+    }
+}
+
+/// Lint a set of `(path, source)` pairs. Paths are repo-relative.
+pub fn lint_sources<'a, I>(sources: I, cfg: &Config) -> LintReport
+where
+    I: IntoIterator<Item = (&'a str, &'a str)>,
+{
+    let mut report = LintReport::default();
+    for (path, src) in sources {
+        let fa = analyze_source(path, src, cfg);
+        report.findings.extend(fa.findings);
+        report.edges.extend(fa.edges);
+        report.files += 1;
+    }
+    // Rule findings for every self-edge already exist; cycles come from
+    // the cross-file graph.
+    report.cycles = find_cycles(&report.edges);
+    report
+        .findings
+        .sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
+    report
+}
+
+/// Recursively collect workspace `.rs` files under `root`, skipping
+/// `target/`, hidden dirs, and the lint fixtures (they are deliberately
+/// bad).
+pub fn workspace_rs_files(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(rd) = std::fs::read_dir(&dir) else { continue };
+        for entry in rd.flatten() {
+            let p = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if p.is_dir() {
+                if name == "target" || name.starts_with('.') || name == "fixtures" {
+                    continue;
+                }
+                stack.push(p);
+            } else if p.extension().is_some_and(|e| e == "rs") {
+                out.push(p);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Lint every `.rs` file under the workspace root.
+pub fn lint_workspace(root: &Path, cfg: &Config) -> std::io::Result<LintReport> {
+    let files = workspace_rs_files(root);
+    let mut owned: Vec<(String, String)> = Vec::with_capacity(files.len());
+    for f in files {
+        let rel = f
+            .strip_prefix(root)
+            .unwrap_or(&f)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(&f)?;
+        owned.push((rel, src));
+    }
+    Ok(lint_sources(owned.iter().map(|(p, s)| (p.as_str(), s.as_str())), cfg))
+}
+
+pub use analysis::{Config as LintConfig, Rule as LintRule};

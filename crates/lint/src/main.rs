@@ -1,0 +1,73 @@
+//! `polarlint` CLI.
+//!
+//! Usage: `polarlint [--workspace] [--root <dir>] [--report <path>]`
+//!
+//! Exits 1 when the workspace has unjustified findings or lock-order
+//! cycles; the rendered report goes to stdout and, with `--report`, to
+//! the given file (CI archives it as an artifact).
+
+use polardbx_lint::{lint_workspace, LintConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut report_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            // --workspace is the (only) mode; accepted for readability.
+            "--workspace" => {}
+            "--root" => root = args.next().map(PathBuf::from),
+            "--report" => report_path = args.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                println!("polarlint [--workspace] [--root <dir>] [--report <path>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("polarlint: unknown argument '{other}'");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(find_workspace_root);
+    let cfg = LintConfig::default();
+    let report = match lint_workspace(&root, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("polarlint: failed to read workspace at {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let rendered = report.render();
+    print!("{rendered}");
+    if let Some(p) = report_path {
+        if let Err(e) = std::fs::write(&p, &rendered) {
+            eprintln!("polarlint: failed to write report {}: {e}", p.display());
+            return ExitCode::from(2);
+        }
+    }
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Walk up from CWD until a directory containing `Cargo.toml` with a
+/// `[workspace]` table is found; fall back to CWD.
+fn find_workspace_root() -> PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let mut dir = cwd.clone();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(s) = std::fs::read_to_string(&manifest) {
+            if s.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            return cwd;
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Fixture tests: known-bad snippets must fire each rule, known-good must
+//! stay clean, and tokenizer traps must not desync the analysis.
+
+use polardbx_lint::analysis::{analyze_source, Config, Rule};
+use polardbx_lint::graph::find_cycles;
+use polardbx_lint::lint_sources;
+
+fn cfg() -> Config {
+    Config::default()
+}
+
+const BAD_LOCK_ORDER: &str = include_str!("fixtures/bad_lock_order.rs");
+const BAD_GUARD_BLOCKING: &str = include_str!("fixtures/bad_guard_blocking.rs");
+const BAD_DETERMINISM: &str = include_str!("fixtures/bad_determinism.rs");
+const BAD_UNWRAP: &str = include_str!("fixtures/bad_unwrap.rs");
+const GOOD_CLEAN: &str = include_str!("fixtures/good_clean.rs");
+const EDGE_TOKENS: &str = include_str!("fixtures/edge_tokens.rs");
+
+#[test]
+fn opposite_nesting_orders_form_a_cycle() {
+    let fa = analyze_source("crates/storage/src/fixture.rs", BAD_LOCK_ORDER, &cfg());
+    assert!(
+        fa.findings.iter().all(|f| f.rule != Rule::LockOrder),
+        "distinct locks must not fire the self-nesting finding"
+    );
+    let cycles = find_cycles(&fa.edges);
+    assert_eq!(cycles.len(), 1, "a<->b must be detected: {:?}", fa.edges);
+    assert!(cycles[0].nodes.iter().any(|n| n.ends_with("::a")));
+    assert!(cycles[0].nodes.iter().any(|n| n.ends_with("::b")));
+}
+
+#[test]
+fn guard_across_blocking_fires_per_shape() {
+    let fa = analyze_source("crates/storage/src/fixture.rs", BAD_GUARD_BLOCKING, &cfg());
+    let blocking: Vec<_> =
+        fa.findings.iter().filter(|f| f.rule == Rule::GuardBlocking).collect();
+    assert_eq!(blocking.len(), 2, "sleep + send: {:?}", fa.findings);
+    assert!(blocking.iter().any(|f| f.message.contains("sleep")));
+    assert!(blocking.iter().any(|f| f.message.contains("send")));
+    let nested: Vec<_> =
+        fa.findings.iter().filter(|f| f.rule == Rule::LockOrder).collect();
+    assert_eq!(nested.len(), 1, "same-lock nesting: {:?}", fa.findings);
+    assert!(nested[0].message.contains("nested acquisition"));
+}
+
+#[test]
+fn determinism_fires_on_ambient_time_and_rng() {
+    let fa = analyze_source("crates/storage/src/fixture.rs", BAD_DETERMINISM, &cfg());
+    let det: Vec<_> =
+        fa.findings.iter().filter(|f| f.rule == Rule::Determinism).collect();
+    assert_eq!(det.len(), 3, "{:?}", fa.findings);
+    assert!(det.iter().any(|f| f.message.contains("Instant::now")));
+    assert!(det.iter().any(|f| f.message.contains("SystemTime::now")));
+    assert!(det.iter().any(|f| f.message.contains("thread_rng")));
+}
+
+#[test]
+fn determinism_respects_the_allowlist() {
+    let fa = analyze_source("crates/hlc/src/fixture.rs", BAD_DETERMINISM, &cfg());
+    assert!(
+        fa.findings.iter().all(|f| f.rule != Rule::Determinism),
+        "hlc is the sanctioned clock source: {:?}",
+        fa.findings
+    );
+}
+
+#[test]
+fn unwrap_fires_only_in_protocol_crates_and_not_in_tests() {
+    let fa = analyze_source("crates/txn/src/fixture.rs", BAD_UNWRAP, &cfg());
+    let unwraps: Vec<_> = fa.findings.iter().filter(|f| f.rule == Rule::Unwrap).collect();
+    assert_eq!(unwraps.len(), 2, "unwrap + expect, test mod skipped: {:?}", fa.findings);
+
+    let outside = analyze_source("crates/executor/src/fixture.rs", BAD_UNWRAP, &cfg());
+    assert!(
+        outside.findings.iter().all(|f| f.rule != Rule::Unwrap),
+        "executor is not in the deny list"
+    );
+}
+
+#[test]
+fn known_good_shapes_stay_clean() {
+    let fa = analyze_source("crates/wal/src/fixture.rs", GOOD_CLEAN, &cfg());
+    let unjustified: Vec<_> =
+        fa.findings.iter().filter(|f| f.allowed.is_none()).collect();
+    assert!(unjustified.is_empty(), "{unjustified:?}");
+    // The justified send is still present, with its reason attached.
+    let allowed: Vec<_> = fa.findings.iter().filter(|f| f.allowed.is_some()).collect();
+    assert_eq!(allowed.len(), 1);
+    assert!(allowed[0].allowed.as_deref().unwrap().contains("bounded channel"));
+    // Consistent nesting produced an edge but no cycle.
+    assert!(!fa.edges.is_empty());
+    assert!(find_cycles(&fa.edges).is_empty());
+}
+
+#[test]
+fn tokenizer_traps_do_not_fire_or_desync() {
+    let fa = analyze_source("crates/storage/src/fixture.rs", EDGE_TOKENS, &cfg());
+    assert!(fa.findings.is_empty(), "{:?}", fa.findings);
+    assert!(fa.edges.is_empty());
+}
+
+#[test]
+fn allow_without_reason_is_a_finding() {
+    let src = "pub fn f(x: Option<u8>) -> u8 {\n    // lint:allow(unwrap)\n    x.unwrap()\n}\n";
+    let fa = analyze_source("crates/txn/src/fixture.rs", src, &cfg());
+    assert!(fa.findings.iter().any(|f| f.rule == Rule::BadAllow));
+    // The malformed allow does not shield the unwrap itself.
+    assert!(fa
+        .findings
+        .iter()
+        .any(|f| f.rule == Rule::Unwrap && f.allowed.is_none()));
+}
+
+#[test]
+fn cross_file_cycles_surface_in_the_report() {
+    let a = "pub fn f(p: &S) { let x = p.a.lock(); let y = p.b.lock(); }";
+    let b = "pub fn g(p: &S) { let y = p.b.lock(); let x = p.a.lock(); }";
+    let report = lint_sources(
+        [("crates/wal/src/one.rs", a), ("crates/wal/src/two.rs", b)],
+        &cfg(),
+    );
+    assert_eq!(report.cycles.len(), 1, "{:?}", report.edges);
+    assert!(!report.clean());
+    let rendered = report.render();
+    assert!(rendered.contains("lock-order cycles"), "{rendered}");
+}

@@ -1,0 +1,18 @@
+// Fixture: ambient time and randomness — each site must fire determinism.
+
+pub fn wall_clock_deadline() -> std::time::Instant {
+    std::time::Instant::now() + std::time::Duration::from_secs(1)
+}
+
+pub fn system_time() -> u64 {
+    use std::time::SystemTime;
+    SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap_or_default()
+        .as_millis() as u64
+}
+
+pub fn ambient_rng() -> u64 {
+    use rand::Rng;
+    rand::thread_rng().gen_range(0..10)
+}

@@ -1,0 +1,22 @@
+// Fixture: a live guard spans blocking calls — each shape must fire
+// guard_blocking.
+
+pub fn sleep_under_guard(state: &parking_lot::Mutex<u64>) {
+    let g = state.lock();
+    std::thread::sleep(std::time::Duration::from_millis(1));
+    drop(g);
+}
+
+pub fn send_under_guard(
+    state: &parking_lot::Mutex<u64>,
+    tx: &crossbeam::channel::Sender<u64>,
+) {
+    let g = state.lock();
+    tx.send(*g).unwrap();
+}
+
+pub fn nested_same_lock(state: &parking_lot::Mutex<u64>) -> u64 {
+    let outer = state.lock();
+    let inner = state.lock();
+    *outer + *inner
+}

@@ -1,0 +1,21 @@
+// Fixture: two functions acquire the same pair of locks in opposite
+// orders — the cross-function graph must contain an a<->b cycle.
+
+pub struct Pair {
+    a: parking_lot::Mutex<u64>,
+    b: parking_lot::Mutex<u64>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u64 {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        *ga + *gb
+    }
+
+    pub fn backward(&self) -> u64 {
+        let gb = self.b.lock();
+        let ga = self.a.lock();
+        *gb - *ga
+    }
+}

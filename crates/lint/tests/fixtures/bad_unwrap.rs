@@ -1,0 +1,19 @@
+// Fixture: panicking escalation in a protocol crate (linted as if it
+// lived under crates/txn/). The test-gated unwrap must NOT fire.
+
+pub fn unwrap_in_protocol(x: Option<u64>) -> u64 {
+    x.unwrap()
+}
+
+pub fn expect_in_protocol(x: Result<u64, String>) -> u64 {
+    x.expect("must work")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Option<u64> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}

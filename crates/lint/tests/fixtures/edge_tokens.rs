@@ -1,0 +1,36 @@
+// Fixture: tokenizer traps. Every forbidden pattern below is inert —
+// inside strings, raw strings, comments, or test code — so this file must
+// lint clean. The lifetime-heavy function at the bottom must also parse
+// without desync.
+
+pub fn decoys_in_strings() -> Vec<String> {
+    vec![
+        "Instant::now()".to_string(),
+        r#"SystemTime::now() and x.unwrap() live in a raw string"#.to_string(),
+        r##"nested "# fence: thread_rng() stays inert"##.to_string(),
+        String::from("let g = m.lock(); tx.send(g)"),
+    ]
+}
+
+/* Block comment with a decoy: Instant::now()
+   /* nested block comment: x.unwrap().expect("boom") */
+   still inside the outer comment: rand::thread_rng()
+*/
+
+// Line comment decoy: SystemTime::now()
+
+pub struct Holder<'a, T> {
+    inner: &'a T,
+}
+
+pub fn lifetimes_and_chars<'x>(v: &'x [char]) -> Option<(&'x char, char)> {
+    let escaped: char = '\'';
+    let plain: char = 'q';
+    let first: &'x char = v.first()?;
+    let _ = escaped;
+    Some((first, plain))
+}
+
+pub fn byte_oddities() -> (u8, &'static [u8]) {
+    (b'\'', b"Instant::now() in a byte string")
+}

@@ -1,0 +1,54 @@
+// Fixture: known-good shapes — none of these may produce an unjustified
+// finding.
+
+pub struct State {
+    st: parking_lot::Mutex<u64>,
+    side: parking_lot::Mutex<u64>,
+}
+
+impl State {
+    /// Guard explicitly dropped before blocking.
+    pub fn drop_before_sleep(&self) {
+        let g = self.st.lock();
+        let snapshot = *g;
+        drop(g);
+        std::thread::sleep(std::time::Duration::from_millis(snapshot));
+    }
+
+    /// Chained access: the guard is a temporary that dies at the `;`.
+    pub fn chained_temporary(&self, tx: &crossbeam::channel::Sender<u64>) {
+        let v = *self.st.lock();
+        tx.send(v).ok();
+    }
+
+    /// The group-commit shape: drop, do I/O, re-lock the same binding.
+    pub fn drop_flush_relock(&self, tx: &crossbeam::channel::Sender<u64>) {
+        let mut st = self.st.lock();
+        *st += 1;
+        drop(st);
+        tx.send(1).ok();
+        st = self.st.lock();
+        *st += 1;
+    }
+
+    /// Consistent nesting order only ever st -> side: no cycle.
+    pub fn consistent_order(&self) -> u64 {
+        let a = self.st.lock();
+        let b = self.side.lock();
+        *a + *b
+    }
+
+    /// A justified exception keeps the finding but marks it allowed.
+    pub fn justified_send(&self, tx: &crossbeam::channel::Sender<u64>) {
+        let g = self.st.lock();
+        // lint:allow(guard_blocking, "bounded channel has capacity 1 reserved for this guard")
+        tx.send(*g).ok();
+    }
+}
+
+/// If-condition guard temporaries die before the block body runs.
+pub fn condition_temporary(st: &parking_lot::Mutex<u64>) {
+    if *st.lock() > 0 {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+}

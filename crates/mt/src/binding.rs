@@ -7,8 +7,9 @@
 
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
+use polardbx_common::time::mono_now;
 use polardbx_common::{Error, NodeId, Result, TenantId};
 
 /// A lease on the binding info held by an RW node.
@@ -17,7 +18,7 @@ pub struct Lease {
     /// The holder.
     pub node: NodeId,
     /// Expiry instant.
-    pub until: Instant,
+    pub until: Duration,
     /// Binding-table version the lease was granted against.
     pub version: u64,
 }
@@ -25,7 +26,7 @@ pub struct Lease {
 impl Lease {
     /// Is the lease still valid?
     pub fn valid(&self) -> bool {
-        Instant::now() < self.until
+        mono_now() < self.until
     }
 }
 
@@ -98,7 +99,7 @@ impl BindingTable {
     pub fn acquire_lease(&self, node: NodeId) -> Lease {
         let lease = Lease {
             node,
-            until: Instant::now() + self.lease_duration,
+            until: mono_now() + self.lease_duration,
             version: self.version(),
         };
         self.leases.lock().insert(node, lease);

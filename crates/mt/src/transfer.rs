@@ -18,8 +18,9 @@
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
+use polardbx_common::time::{mono_now, Timer};
 use polardbx_common::{Error, NodeId, Result, TenantId};
 use polardbx_polarfs::TransferModel;
 use polardbx_storage::WriteOp;
@@ -129,7 +130,7 @@ pub fn migrate_tenant(
     tenant: TenantId,
     dest: NodeId,
 ) -> Result<MigrationReport> {
-    let t0 = Instant::now();
+    let t0 = Timer::start();
     let src_id = bindings
         .owner(tenant)
         .ok_or(Error::NotOwner { tenant: tenant.raw(), node: 0 })?;
@@ -141,13 +142,13 @@ pub fn migrate_tenant(
 
     // 1. Pause new transactions (exclusive gate).
     let gate = router.gate(tenant);
-    let pause_start = Instant::now();
+    let pause_start = Timer::start();
     let _paused = gate.write();
 
     // 2. Drain: wait for the source's in-flight transactions to finish.
-    let drain_deadline = Instant::now() + Duration::from_secs(5);
+    let drain_deadline = mono_now() + Duration::from_secs(5);
     while src.engine.has_active_txns() {
-        if Instant::now() > drain_deadline {
+        if mono_now() > drain_deadline {
             return Err(Error::Timeout { what: "draining source RW".into() });
         }
         std::thread::yield_now();
@@ -192,7 +193,7 @@ pub fn migrate_by_copy(
     dest: NodeId,
     model: &TransferModel,
 ) -> Result<CopyReport> {
-    let t0 = Instant::now();
+    let t0 = Timer::start();
     let src_id = bindings
         .owner(tenant)
         .ok_or(Error::NotOwner { tenant: tenant.raw(), node: 0 })?;

@@ -108,6 +108,7 @@ impl<M: Send + 'static> SimNet<M> {
                     // Propagation delay, not serialization delay: messages
                     // posted close together arrive close together. Sleep
                     // only the remaining time until this message's arrival.
+                    // lint:allow(determinism, "latency-model pacing: deliver_at ordering is seed-derived; the real clock only times the sleep")
                     let now = Instant::now();
                     if deliver_at > now {
                         std::thread::sleep(deliver_at - now);
@@ -371,6 +372,7 @@ impl<M: Send + Clone + 'static> SimNet<M> {
             self.fault_stats.delay_spikes.inc();
             delay += extra;
         }
+        // lint:allow(determinism, "latency-model pacing: delay is seed-derived; the real clock only anchors the arrival instant")
         let deliver_at = Instant::now() + delay;
         if dec.as_ref().is_some_and(|d| d.duplicate) {
             self.fault_stats.duplicated_posts.inc();

@@ -10,9 +10,10 @@
 use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use bytes::Bytes;
+use polardbx_common::time::mono_now;
 use polardbx_common::{Error, Key, Lsn, NodeId, Result, Row, TableId, TenantId, TrxId};
 use polardbx_wal::{LogBuffer, LogSink, Mtr, VecSink};
 
@@ -85,9 +86,9 @@ impl RoNode {
 
     /// Block until the replica has applied `token`.
     pub fn wait_for(&self, token: SessionToken, timeout: Duration) -> Result<()> {
-        let deadline = Instant::now() + timeout;
+        let deadline = mono_now() + timeout;
         while self.applied_lsn() < token.0 {
-            if Instant::now() >= deadline {
+            if mono_now() >= deadline {
                 return Err(Error::Timeout { what: format!("RO catch-up to {}", token.0) });
             }
             std::thread::yield_now();

@@ -134,6 +134,7 @@ impl TxnTable {
     /// on anything pending.
     pub fn wait_decided(&self, trx: TrxId, timeout: Duration) -> Result<TxnState> {
         let mut inner = self.inner.lock();
+        // lint:allow(determinism, "Condvar::wait_until needs an Instant deadline; bounded by the caller's timeout")
         let deadline = std::time::Instant::now() + timeout;
         loop {
             match inner.states.get(&trx) {

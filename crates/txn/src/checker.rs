@@ -113,14 +113,16 @@ pub fn stress(
     transfers_per_thread: usize,
     audits: usize,
 ) -> Vec<i64> {
-    use rand::Rng;
-    let totals = std::sync::Mutex::new(Vec::new());
+    use rand::{Rng, SeedableRng};
+    let totals = parking_lot::Mutex::new(Vec::new());
     std::thread::scope(|s| {
         for t in 0..transfer_threads {
             let coord = Arc::clone(&coords[t % coords.len()]);
             let h = Arc::clone(&harness);
             s.spawn(move || {
-                let mut rng = rand::thread_rng();
+                // Seeded per thread: the bank checker must replay identically
+                // under the same seed (determinism lint).
+                let mut rng = rand::rngs::StdRng::seed_from_u64(0xBA2C_0000 + t as u64);
                 for _ in 0..transfers_per_thread {
                     let a = rng.gen_range(0..h.accounts);
                     let mut b = rng.gen_range(0..h.accounts);
@@ -145,14 +147,14 @@ pub fn stress(
             s.spawn(move || {
                 for _ in 0..4 {
                     if let Ok(total) = h.audit(&coord) {
-                        totals.lock().unwrap().push(total);
+                        totals.lock().push(total);
                     }
                     std::thread::sleep(std::time::Duration::from_millis(2));
                 }
             });
         }
     });
-    totals.into_inner().unwrap()
+    totals.into_inner()
 }
 
 #[cfg(test)]

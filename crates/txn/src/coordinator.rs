@@ -334,7 +334,9 @@ impl DistTxn<'_> {
                     return Err(e);
                 }
                 // Steps ⑤/⑥: commit_ts = max; a single batched ClockUpdate.
-                let commit_ts = prepare_ts.iter().copied().max().expect("non-empty");
+                let commit_ts = prepare_ts.iter().copied().max().ok_or_else(|| {
+                    Error::execution("commit decision with no prepared participants")
+                })?;
                 self.coord.hit_failpoint("txn.before_decision");
                 if let Some(arbiter) = self.coord.decision_node {
                     match self.coord.call_retry(

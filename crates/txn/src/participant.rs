@@ -6,9 +6,10 @@ use std::ops::Bound;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use polardbx_common::{NodeId, Result, TrxId};
+use polardbx_common::time::mono_now;
+use polardbx_common::{Error, NodeId, Result, TrxId};
 use polardbx_hlc::{Clock, HlcTimestamp};
 use polardbx_simnet::{Handler, SimNet};
 use polardbx_storage::{StorageEngine, TxnState, WriteOp};
@@ -22,7 +23,7 @@ struct InDoubt {
     /// Where the coordinator logs its decision (None = legacy protocol).
     decision_node: Option<NodeId>,
     /// When this participant entered PREPARED.
-    since: Instant,
+    since: Duration,
 }
 
 /// A DN participant: storage engine + node clock, attached to the fabric.
@@ -37,7 +38,7 @@ pub struct DnService {
     pub metrics: TxnMetrics,
     /// Transactions this participant has begun locally, with start times
     /// (for abandoned-ACTIVE expiry).
-    started: Mutex<HashMap<TrxId, Instant>>,
+    started: Mutex<HashMap<TrxId, Duration>>,
     /// PREPARED transactions whose outcome is not yet known here.
     prepared: Mutex<HashMap<TrxId, InDoubt>>,
     /// The decision log this node hosts as an arbiter: trx → final fate.
@@ -80,7 +81,7 @@ impl DnService {
         self: &Arc<Self>,
         net: Arc<SimNet<TxnMsg>>,
         cfg: ResolverConfig,
-    ) -> ResolverHandle {
+    ) -> Result<ResolverHandle> {
         let me = Arc::clone(self);
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
@@ -92,13 +93,13 @@ impl DnService {
                     me.resolve_once(&net, &cfg);
                 }
             })
-            .expect("spawn resolver thread");
-        ResolverHandle { stop, handle: Some(handle) }
+            .map_err(|e| Error::execution(format!("spawn txn resolver: {e}")))?;
+        Ok(ResolverHandle { stop, handle: Some(handle) })
     }
 
     /// One resolver sweep (also callable directly from tests).
     pub fn resolve_once(&self, net: &SimNet<TxnMsg>, cfg: &ResolverConfig) {
-        let now = Instant::now();
+        let now = mono_now();
         // In-doubt PREPARED: ask the arbiter for the outcome. A failed
         // query (the chaos fabric may drop it) just leaves the transaction
         // for the next sweep.
@@ -106,7 +107,7 @@ impl DnService {
             .prepared
             .lock()
             .iter()
-            .filter(|(_, d)| now.duration_since(d.since) >= cfg.in_doubt_after)
+            .filter(|(_, d)| now.saturating_sub(d.since) >= cfg.in_doubt_after)
             .filter_map(|(t, d)| d.decision_node.map(|n| (*t, n)))
             .collect();
         for (trx, arbiter) in in_doubt {
@@ -130,7 +131,7 @@ impl DnService {
             .started
             .lock()
             .iter()
-            .filter(|(_, s)| now.duration_since(**s) >= cfg.abandon_active_after)
+            .filter(|(_, s)| now.saturating_sub(**s) >= cfg.abandon_active_after)
             .map(|(t, _)| *t)
             .collect();
         for trx in abandoned {
@@ -151,10 +152,10 @@ impl DnService {
     /// catches up (bounded by the configured worst-case skew).
     fn sync_snapshot(&self, snapshot_ts: u64) {
         if self.clock.causality_wait_millis() > 0 {
-            let deadline = std::time::Instant::now()
-                + Duration::from_millis(self.clock.causality_wait_millis() + 1);
+            let deadline =
+                mono_now() + Duration::from_millis(self.clock.causality_wait_millis() + 1);
             while self.clock.now().raw() < snapshot_ts {
-                if std::time::Instant::now() >= deadline {
+                if mono_now() >= deadline {
                     break;
                 }
                 std::thread::sleep(Duration::from_micros(50));
@@ -170,7 +171,7 @@ impl DnService {
         }
         let mut started = self.started.lock();
         if let std::collections::hash_map::Entry::Vacant(e) = started.entry(trx) {
-            e.insert(Instant::now());
+            e.insert(mono_now());
             self.engine.begin(trx, snapshot_ts);
         }
     }
@@ -245,7 +246,7 @@ impl Handler<TxnMsg> for DnService {
                     Ok(_) => {
                         self.prepared
                             .lock()
-                            .insert(trx, InDoubt { decision_node, since: Instant::now() });
+                            .insert(trx, InDoubt { decision_node, since: mono_now() });
                         TxnMsg::Prepared { prepare_ts: prepare_ts.raw() }
                     }
                     Err(e) => TxnMsg::Failed(e),

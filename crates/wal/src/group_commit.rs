@@ -30,7 +30,7 @@
 
 use parking_lot::{Condvar, Mutex};
 use std::sync::Arc;
-use std::time::Instant;
+use polardbx_common::time::Timer;
 
 use polardbx_common::metrics::{Counter, Histogram, ValueHistogram};
 use polardbx_common::{Error, Lsn, Result};
@@ -147,7 +147,7 @@ impl GroupCommitter {
         }
         let (_, end) = self.log.append_batch(mtrs);
         self.metrics.commits.inc();
-        let enrolled_at = Instant::now();
+        let enrolled_at = Timer::start();
         let mut parked = false;
         let mut st = self.st.lock();
         let my_era = st.error_era;
@@ -262,7 +262,7 @@ mod tests {
 
     impl LogSink for SlowSink {
         fn write(&self, at: Lsn, bytes: Bytes) -> polardbx_common::Result<()> {
-            let t0 = Instant::now();
+            let t0 = Timer::start();
             while t0.elapsed() < self.delay {
                 std::hint::spin_loop();
             }

@@ -3,26 +3,48 @@
 //! `wait_until`). Backed by `std::sync` primitives; lock poisoning is
 //! translated into panic propagation by unwrapping into the inner guard, so
 //! the ergonomics match parking_lot (no `Result` from `lock()`).
+//!
+//! Debug builds additionally run a [`lockdep`] witness: every acquisition
+//! through this shim feeds a global acquisition-order graph, and the first
+//! observed ABBA cycle (or same-thread recursive acquisition) is reported
+//! with the lock names involved — so every test doubles as a lock-order
+//! test. Locks are named after their value type by default; use the
+//! `named()` constructors where a clearer label helps reports.
 
 use std::fmt;
 use std::ops::{Deref, DerefMut};
+use std::sync::atomic::AtomicU32;
 use std::sync::PoisonError;
 use std::time::Instant;
 
+pub mod lockdep;
+
 /// Mutex with parking_lot's panic-free `lock()` signature.
 pub struct Mutex<T: ?Sized> {
+    /// Lazy lockdep id (0 = unassigned; ids are per-instance).
+    ld_id: AtomicU32,
     inner: std::sync::Mutex<T>,
 }
 
 /// RAII guard for [`Mutex`]. Holds an `Option` so [`Condvar::wait_until`]
 /// can temporarily take the underlying std guard and put it back.
 pub struct MutexGuard<'a, T: ?Sized> {
+    ld_id: u32,
     inner: Option<std::sync::MutexGuard<'a, T>>,
 }
 
 impl<T> Mutex<T> {
     pub const fn new(value: T) -> Mutex<T> {
-        Mutex { inner: std::sync::Mutex::new(value) }
+        Mutex { ld_id: AtomicU32::new(0), inner: std::sync::Mutex::new(value) }
+    }
+
+    /// A mutex whose lockdep reports use `name` instead of the value's
+    /// type name.
+    pub fn named(name: &str, value: T) -> Mutex<T> {
+        let m = Mutex::new(value);
+        let id = lockdep::ensure_id(&m.ld_id, || name.to_string());
+        lockdep::set_name(id, name);
+        m
     }
 
     pub fn into_inner(self) -> T {
@@ -31,20 +53,32 @@ impl<T> Mutex<T> {
 }
 
 impl<T: ?Sized> Mutex<T> {
+    fn ld_id(&self) -> u32 {
+        lockdep::ensure_id(&self.ld_id, || {
+            format!("Mutex<{}>", std::any::type_name::<T>())
+        })
+    }
+
     pub fn lock(&self) -> MutexGuard<'_, T> {
+        let id = self.ld_id();
+        lockdep::on_acquire(id);
         MutexGuard {
+            ld_id: id,
             inner: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)),
         }
     }
 
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.inner.try_lock() {
-            Ok(g) => Some(MutexGuard { inner: Some(g) }),
-            Err(std::sync::TryLockError::Poisoned(p)) => {
-                Some(MutexGuard { inner: Some(p.into_inner()) })
-            }
-            Err(std::sync::TryLockError::WouldBlock) => None,
-        }
+        let g = match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => return None,
+        };
+        // A successful try_lock still participates in ordering: it cannot
+        // deadlock itself, but a later blocking acquisition under it can.
+        let id = self.ld_id();
+        lockdep::on_acquire(id);
+        Some(MutexGuard { ld_id: id, inner: Some(g) })
     }
 }
 
@@ -73,22 +107,40 @@ impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     }
 }
 
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        lockdep::on_release(self.ld_id);
+    }
+}
+
 /// Reader-writer lock with parking_lot's panic-free `read()`/`write()`.
 pub struct RwLock<T: ?Sized> {
+    ld_id: AtomicU32,
     inner: std::sync::RwLock<T>,
 }
 
 pub struct RwLockReadGuard<'a, T: ?Sized> {
+    ld_id: u32,
     inner: std::sync::RwLockReadGuard<'a, T>,
 }
 
 pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    ld_id: u32,
     inner: std::sync::RwLockWriteGuard<'a, T>,
 }
 
 impl<T> RwLock<T> {
     pub const fn new(value: T) -> RwLock<T> {
-        RwLock { inner: std::sync::RwLock::new(value) }
+        RwLock { ld_id: AtomicU32::new(0), inner: std::sync::RwLock::new(value) }
+    }
+
+    /// An rwlock whose lockdep reports use `name` instead of the value's
+    /// type name.
+    pub fn named(name: &str, value: T) -> RwLock<T> {
+        let l = RwLock::new(value);
+        let id = lockdep::ensure_id(&l.ld_id, || name.to_string());
+        lockdep::set_name(id, name);
+        l
     }
 
     pub fn into_inner(self) -> T {
@@ -97,14 +149,26 @@ impl<T> RwLock<T> {
 }
 
 impl<T: ?Sized> RwLock<T> {
+    fn ld_id(&self) -> u32 {
+        lockdep::ensure_id(&self.ld_id, || {
+            format!("RwLock<{}>", std::any::type_name::<T>())
+        })
+    }
+
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        let id = self.ld_id();
+        lockdep::on_acquire(id);
         RwLockReadGuard {
+            ld_id: id,
             inner: self.inner.read().unwrap_or_else(PoisonError::into_inner),
         }
     }
 
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        let id = self.ld_id();
+        lockdep::on_acquire(id);
         RwLockWriteGuard {
+            ld_id: id,
             inner: self.inner.write().unwrap_or_else(PoisonError::into_inner),
         }
     }
@@ -129,6 +193,12 @@ impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
     }
 }
 
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        lockdep::on_release(self.ld_id);
+    }
+}
+
 impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
@@ -139,6 +209,12 @@ impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
 impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
         &mut self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        lockdep::on_release(self.ld_id);
     }
 }
 
@@ -175,7 +251,11 @@ impl Condvar {
 
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
         let g = guard.inner.take().expect("guard taken");
+        // The wait releases the mutex and reacquires it on wake; mirror
+        // that in the witness so held-order stays truthful.
+        lockdep::on_release(guard.ld_id);
         let g = self.inner.wait(g).unwrap_or_else(PoisonError::into_inner);
+        lockdep::on_acquire(guard.ld_id);
         guard.inner = Some(g);
     }
 
@@ -192,10 +272,12 @@ impl Condvar {
             guard.inner = Some(g);
             return WaitTimeoutResult { timed_out: true };
         }
+        lockdep::on_release(guard.ld_id);
         let (g, res) = self
             .inner
             .wait_timeout(g, deadline - now)
             .unwrap_or_else(PoisonError::into_inner);
+        lockdep::on_acquire(guard.ld_id);
         guard.inner = Some(g);
         WaitTimeoutResult { timed_out: res.timed_out() }
     }
@@ -248,5 +330,88 @@ mod tests {
             }
         }
         h.join().unwrap();
+    }
+
+    // The lockdep tests below mutate global witness state (panic flag,
+    // report slot); serialize them.
+    fn lockdep_test_guard() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        GATE.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn lockdep_reports_deliberate_abba() {
+        let _gate = lockdep_test_guard();
+        lockdep::set_panic_on_cycle(false);
+        let a = Mutex::named("abba.a", 0u32);
+        let b = Mutex::named("abba.b", 0u32);
+        {
+            let _ga = a.lock();
+            let _gb = b.lock(); // order a -> b recorded
+        }
+        assert!(lockdep::take_cycle_report().is_none(), "no cycle yet");
+        {
+            let _gb = b.lock();
+            let _ga = a.lock(); // b -> a closes the cycle
+        }
+        let report = lockdep::take_cycle_report().expect("ABBA must be reported");
+        assert!(report.contains("abba.a") && report.contains("abba.b"), "{report}");
+        assert!(report.contains("cycle"), "{report}");
+        lockdep::set_panic_on_cycle(true);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn lockdep_panics_on_recursive_acquisition() {
+        let _gate = lockdep_test_guard();
+        let m = Arc::new(Mutex::named("recursive.m", ()));
+        let m2 = Arc::clone(&m);
+        // The witness fires before the inner std lock would deadlock.
+        let g = m.lock();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _again = m2.lock();
+        }))
+        .expect_err("recursive lock must panic under lockdep");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("recursive") && msg.contains("recursive.m"), "{msg}");
+        drop(g);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn lockdep_clean_nesting_is_silent() {
+        let _gate = lockdep_test_guard();
+        let outer = Mutex::named("nest.outer", ());
+        let inner = Mutex::named("nest.inner", ());
+        for _ in 0..3 {
+            let _o = outer.lock();
+            let _i = inner.lock(); // consistent order: no report
+        }
+        assert!(lockdep::take_cycle_report().is_none());
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn lockdep_condvar_wait_releases_hold() {
+        let _gate = lockdep_test_guard();
+        lockdep::set_panic_on_cycle(false);
+        let m = Mutex::named("cv.m", ());
+        let cv = Condvar::new();
+        let other = Mutex::named("cv.other", ());
+        {
+            let _o = other.lock();
+            let _g = m.lock(); // order other -> m
+        }
+        {
+            let mut g = m.lock();
+            // The wait releases m: acquiring `other` afterwards from this
+            // thread must NOT look like m -> other (which would be a
+            // cycle); do the wait, then take `other` under m again only in
+            // the recorded direction.
+            let _ = cv.wait_until(&mut g, Instant::now() + Duration::from_millis(5));
+        }
+        assert!(lockdep::take_cycle_report().is_none());
+        lockdep::set_panic_on_cycle(true);
     }
 }

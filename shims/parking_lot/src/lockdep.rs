@@ -1,0 +1,227 @@
+//! Runtime lock-order witness (debug builds only).
+//!
+//! Every `Mutex`/`RwLock` acquisition through this shim records, per
+//! thread, which locks were already held, and feeds `held -> acquired`
+//! edges into a global order graph. The first acquisition that closes a
+//! cycle — the classic ABBA shape — is reported with both sides' lock
+//! names: the acquiring thread's held stack and the previously recorded
+//! path in the opposite direction. Recursive acquisition of one lock on
+//! one thread (guaranteed deadlock on std-backed locks) is reported
+//! immediately, *before* the inner lock call would wedge the thread.
+//!
+//! Ids are per-instance, so the storage layer's 32 same-typed shard locks
+//! do not alias. Names come from [`core::any::type_name`] by default or
+//! the `named()` constructors. Release builds compile all of this to
+//! no-ops.
+//!
+//! By default a detected cycle panics (every test doubles as a
+//! lock-order test); a deliberate-ABBA test can call
+//! [`set_panic_on_cycle`]`(false)` and inspect [`take_cycle_report`].
+
+#![allow(dead_code)]
+
+#[cfg(debug_assertions)]
+mod imp {
+    use std::cell::RefCell;
+    use std::collections::{HashMap, HashSet, VecDeque};
+    use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+    use std::sync::{Mutex, OnceLock};
+
+    static NEXT_ID: AtomicU32 = AtomicU32::new(1);
+    static PANIC_ON_CYCLE: AtomicBool = AtomicBool::new(true);
+
+    #[derive(Default)]
+    struct Registry {
+        names: HashMap<u32, String>,
+        /// edges[from] = locks acquired while `from` was held.
+        edges: HashMap<u32, HashSet<u32>>,
+        last_report: Option<String>,
+    }
+
+    fn registry() -> &'static Mutex<Registry> {
+        static REG: OnceLock<Mutex<Registry>> = OnceLock::new();
+        REG.get_or_init(|| Mutex::new(Registry::default()))
+    }
+
+    thread_local! {
+        /// Lock ids this thread currently holds, in acquisition order.
+        static HELD: RefCell<Vec<u32>> = const { RefCell::new(Vec::new()) };
+        /// Edges this thread has already pushed to the global graph —
+        /// skips the global lock on hot re-acquisitions.
+        static SEEN: RefCell<HashSet<(u32, u32)>> = RefCell::new(HashSet::new());
+    }
+
+    fn lock_name(reg: &Registry, id: u32) -> String {
+        reg.names.get(&id).cloned().unwrap_or_else(|| format!("lock#{id}"))
+    }
+
+    /// Path `from -> … -> to` in the edge graph, if one exists (BFS).
+    fn path(reg: &Registry, from: u32, to: u32) -> Option<Vec<u32>> {
+        let mut prev: HashMap<u32, u32> = HashMap::new();
+        let mut queue = VecDeque::from([from]);
+        while let Some(n) = queue.pop_front() {
+            if n == to {
+                let mut p = vec![to];
+                let mut cur = to;
+                while cur != from {
+                    cur = prev[&cur];
+                    p.push(cur);
+                }
+                p.reverse();
+                return Some(p);
+            }
+            if let Some(next) = reg.edges.get(&n) {
+                for &m in next {
+                    if m != from && !prev.contains_key(&m) {
+                        prev.insert(m, n);
+                        queue.push_back(m);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    fn report(reg: &mut Registry, msg: String) {
+        reg.last_report = Some(msg.clone());
+        if PANIC_ON_CYCLE.load(Ordering::Relaxed) {
+            drop(reg.last_report.take()); // consumed by the panic message
+            panic!("{msg}");
+        }
+    }
+
+    /// Assign the lock's lazy id, registering `name` on first use.
+    pub fn ensure_id(slot: &AtomicU32, name: impl FnOnce() -> String) -> u32 {
+        let id = slot.load(Ordering::Relaxed);
+        if id != 0 {
+            return id;
+        }
+        let new = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        match slot.compare_exchange(0, new, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => {
+                let mut reg = registry().lock().unwrap_or_else(|p| p.into_inner());
+                reg.names.insert(new, name());
+                new
+            }
+            Err(winner) => winner,
+        }
+    }
+
+    /// Override the registered name (the `named()` constructors).
+    pub fn set_name(id: u32, name: &str) {
+        let mut reg = registry().lock().unwrap_or_else(|p| p.into_inner());
+        reg.names.insert(id, name.to_string());
+    }
+
+    /// Record an acquisition: detect recursion, push edges, check cycles.
+    /// Called *before* the underlying lock call, so a guaranteed deadlock
+    /// panics instead of wedging the thread. The held-stack push happens
+    /// last — a panicking report leaves the stack consistent.
+    pub fn on_acquire(id: u32) {
+        let held_snapshot: Vec<u32> = HELD.with(|h| h.borrow().clone());
+        if !held_snapshot.is_empty() {
+            if held_snapshot.contains(&id) {
+                let mut reg = registry().lock().unwrap_or_else(|p| p.into_inner());
+                let name = lock_name(&reg, id);
+                let msg = format!(
+                    "lockdep: recursive acquisition of '{name}' on one thread \
+                     (guaranteed deadlock on std-backed locks)"
+                );
+                report(&mut reg, msg);
+            } else {
+                self_check_edges(id, &held_snapshot);
+            }
+        }
+        HELD.with(|h| h.borrow_mut().push(id));
+    }
+
+    fn self_check_edges(id: u32, held_snapshot: &[u32]) {
+        let fresh: Vec<(u32, u32)> = SEEN.with(|s| {
+            let mut seen = s.borrow_mut();
+            held_snapshot
+                .iter()
+                .map(|&from| (from, id))
+                .filter(|e| seen.insert(*e))
+                .collect()
+        });
+        if fresh.is_empty() {
+            return;
+        }
+        let mut reg = registry().lock().unwrap_or_else(|p| p.into_inner());
+        for (from, to) in fresh {
+            // Cycle iff the new target already reaches `from`.
+            if let Some(p) = path(&reg, to, from) {
+                let held_names: Vec<String> =
+                    held_snapshot.iter().map(|&h| lock_name(&reg, h)).collect();
+                let path_names: Vec<String> =
+                    p.iter().map(|&n| lock_name(&reg, n)).collect();
+                let msg = format!(
+                    "lockdep: lock-order cycle (ABBA): this thread holds [{}] and acquires \
+                     '{}', but the opposite order '{}' was recorded earlier",
+                    held_names.join(", "),
+                    lock_name(&reg, to),
+                    path_names.join("' -> '"),
+                );
+                report(&mut reg, msg);
+                return;
+            }
+            reg.edges.entry(from).or_default().insert(to);
+        }
+    }
+
+    /// Record a release (guard drop, or condvar handing the lock back).
+    pub fn on_release(id: u32) {
+        HELD.with(|h| {
+            let mut held = h.borrow_mut();
+            if let Some(pos) = held.iter().rposition(|&x| x == id) {
+                held.remove(pos);
+            }
+        });
+    }
+
+    /// Control whether a detected cycle panics (default: yes).
+    pub fn set_panic_on_cycle(on: bool) {
+        PANIC_ON_CYCLE.store(on, Ordering::Relaxed);
+    }
+
+    /// Take the most recent non-panicking cycle report, if any.
+    pub fn take_cycle_report() -> Option<String> {
+        registry().lock().unwrap_or_else(|p| p.into_inner()).last_report.take()
+    }
+
+    /// Drop every recorded edge (and pending report). Thread-local seen
+    /// caches are cleared lazily: stale entries only suppress re-adding
+    /// edges that existed before the reset, so tests should use fresh
+    /// locks after resetting.
+    pub fn reset_graph() {
+        let mut reg = registry().lock().unwrap_or_else(|p| p.into_inner());
+        reg.edges.clear();
+        reg.last_report = None;
+    }
+}
+
+#[cfg(not(debug_assertions))]
+mod imp {
+    use std::sync::atomic::AtomicU32;
+
+    #[inline(always)]
+    pub fn ensure_id(_slot: &AtomicU32, _name: impl FnOnce() -> String) -> u32 {
+        0
+    }
+    #[inline(always)]
+    pub fn set_name(_id: u32, _name: &str) {}
+    #[inline(always)]
+    pub fn on_acquire(_id: u32) {}
+    #[inline(always)]
+    pub fn on_release(_id: u32) {}
+    pub fn set_panic_on_cycle(_on: bool) {}
+    pub fn take_cycle_report() -> Option<String> {
+        None
+    }
+    pub fn reset_graph() {}
+}
+
+pub use imp::{
+    ensure_id, on_acquire, on_release, reset_graph, set_name, set_panic_on_cycle,
+    take_cycle_report,
+};

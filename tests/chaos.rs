@@ -71,7 +71,7 @@ fn start_resolvers(net: &Arc<SimNet<TxnMsg>>, dns: &[Arc<DnService>]) -> Vec<Res
         in_doubt_after: Duration::from_millis(50),
         abandon_active_after: Duration::from_millis(150),
     };
-    dns.iter().map(|d| d.start_resolver(Arc::clone(net), cfg)).collect()
+    dns.iter().map(|d| d.start_resolver(Arc::clone(net), cfg).unwrap()).collect()
 }
 
 fn await_drained(dns: &[Arc<DnService>], timeout: Duration) -> bool {
@@ -398,7 +398,7 @@ fn consensus_converges_after_leader_crash_under_loss() {
     let leader = g.leader().unwrap();
     // Heartbeats drive the ack/resend repair loop, so lost appends are
     // retransmitted even with no new writes in flight.
-    let ticker = leader.start_ticker(Duration::from_millis(5), Duration::from_secs(30));
+    let ticker = leader.start_ticker(Duration::from_millis(5), Duration::from_secs(30)).unwrap();
     for i in 0..20 {
         leader.replicate(&[paxos_payload(i)]).unwrap();
     }
@@ -431,7 +431,7 @@ fn consensus_converges_after_leader_crash_under_loss() {
     // restarted node gets backfilled even if an append races its restart.
     g.net.clear_fault_plan();
     g.net.restart(leader.me);
-    let new_ticker = follower.start_ticker(Duration::from_millis(5), Duration::from_secs(30));
+    let new_ticker = follower.start_ticker(Duration::from_millis(5), Duration::from_secs(30)).unwrap();
     let final_lsn = follower
         .replicate_and_wait(&[paxos_payload(99)], Duration::from_secs(2))
         .expect("healed group must commit");

@@ -51,7 +51,7 @@ fn resolver_cluster() -> ResolverCluster {
         engine.create_table(TableId(1), TenantId(1));
         let dn = DnService::new(NodeId(i), engine, Hlc::new());
         net.register(NodeId(i), DcId(i), dn.clone() as Arc<dyn Handler<TxnMsg>>);
-        resolvers.push(dn.start_resolver(Arc::clone(&net), resolver_cfg));
+        resolvers.push(dn.start_resolver(Arc::clone(&net), resolver_cfg).unwrap());
         dns.push(dn);
     }
     net.register(NodeId(9), DcId(1), Arc::new(CnStub));

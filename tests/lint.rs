@@ -1,0 +1,20 @@
+//! Tier-1 gate: the workspace must lint clean under polarlint.
+//!
+//! Every finding must either be fixed or carry a
+//! `// lint:allow(<rule>, "reason")` justification, and the lock-order
+//! graph must stay acyclic. Run `cargo run -p polardbx-lint -- --workspace`
+//! for the full report.
+
+use polardbx_lint::{lint_workspace, LintConfig};
+
+#[test]
+fn workspace_lints_clean() {
+    let root = env!("CARGO_MANIFEST_DIR");
+    let report = lint_workspace(root.as_ref(), &LintConfig::default())
+        .expect("walk workspace sources");
+    assert!(
+        report.files > 0,
+        "linter found no source files under {root}"
+    );
+    assert!(report.clean(), "\n{}", report.render());
+}
