@@ -7,17 +7,21 @@
 //! and lightweight metrics used by the benchmark harnesses.
 
 pub mod error;
+pub mod history;
 pub mod ids;
 pub mod key;
 pub mod metrics;
 pub mod row;
 pub mod schema;
+pub mod testseed;
 pub mod time;
 pub mod value;
 
 pub use error::{Error, Result};
+pub use history::{HistoryRecorder, TxnEvent, VersionRef};
 pub use ids::{DcId, IdGenerator, Lsn, NodeId, ShardId, TableId, TenantId, TrxId};
 pub use key::Key;
 pub use row::Row;
 pub use schema::{ColumnDef, DataType, IndexDef, IndexKind, PartitionSpec, TableSchema};
+pub use testseed::{format_seed, seed_from_env};
 pub use value::Value;

@@ -1,0 +1,50 @@
+//! Seed plumbing for randomized tests.
+//!
+//! Chaos/isolation tests draw their RNG seeds through [`seed_from_env`] so
+//! a red run is replayable: set `POLARDBX_TEST_SEED` (decimal or `0x`-hex)
+//! to pin every seeded harness in the process to that seed, and print the
+//! value on failure (the helpers here format it the way the variable
+//! expects it back).
+
+use std::env;
+
+/// Environment variable overriding test seeds.
+pub const SEED_ENV: &str = "POLARDBX_TEST_SEED";
+
+/// The seed tests should use: `POLARDBX_TEST_SEED` if set and parseable
+/// (decimal or `0x`-prefixed hex), otherwise `default`.
+pub fn seed_from_env(default: u64) -> u64 {
+    match env::var(SEED_ENV) {
+        Ok(raw) => parse_seed(&raw).unwrap_or(default),
+        Err(_) => default,
+    }
+}
+
+/// Parse a seed string: decimal or `0x`-prefixed hex (underscores allowed).
+pub fn parse_seed(raw: &str) -> Option<u64> {
+    let s: String = raw.trim().chars().filter(|c| *c != '_').collect();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse::<u64>().ok()
+    }
+}
+
+/// Render a seed the way `POLARDBX_TEST_SEED` accepts it back.
+pub fn format_seed(seed: u64) -> String {
+    format!("0x{seed:x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_decimal_and_hex() {
+        assert_eq!(parse_seed("42"), Some(42));
+        assert_eq!(parse_seed("0xBAD_CAB1E"), Some(0xBAD_CAB1E));
+        assert_eq!(parse_seed(" 0X10 "), Some(16));
+        assert_eq!(parse_seed("nope"), None);
+        assert_eq!(parse_seed(&format_seed(0xC4A0_5EED)), Some(0xC4A0_5EED));
+    }
+}

@@ -127,6 +127,9 @@ pub struct Replica {
     apply: Mutex<Option<ApplyFn>>,
     cleanup: Mutex<Option<CleanupFn>>,
     ticker_stop: AtomicBool,
+    /// Optional history tap: leadership changes are annotated into recorded
+    /// histories so isolation witnesses carry their schedule context.
+    recorder: Mutex<Option<Arc<polardbx_common::HistoryRecorder>>>,
 }
 
 impl Replica {
@@ -165,7 +168,23 @@ impl Replica {
             apply: Mutex::new(None),
             cleanup: Mutex::new(None),
             ticker_stop: AtomicBool::new(false),
+            recorder: Mutex::new(None),
         })
+    }
+
+    /// Install a history tap: commit-decision context (leadership changes)
+    /// is annotated into `rec` for isolation-checker reports.
+    pub fn set_event_recorder(&self, rec: Arc<polardbx_common::HistoryRecorder>) {
+        *self.recorder.lock() = Some(rec);
+    }
+
+    /// Annotate the history recorder, if installed. Called with no other
+    /// locks held.
+    fn note_event(&self, label: String) {
+        let rec = self.recorder.lock().clone();
+        if let Some(rec) = rec {
+            rec.note(self.me, label);
+        }
     }
 
     /// Install the apply callback (follower-side redo replay).
@@ -201,6 +220,7 @@ impl Replica {
         st.leader = Some(self.me);
         st.match_lsn.clear();
         drop(st);
+        self.note_event(format!("paxos-bootstrap-leader epoch={epoch}"));
         self.broadcast_heartbeat();
     }
 
@@ -334,6 +354,7 @@ impl Replica {
             }
         };
         if won {
+            self.note_event(format!("paxos-leader-elected epoch={epoch}"));
             self.broadcast_heartbeat();
         }
     }

@@ -95,6 +95,9 @@ pub enum OneShotFault {
 pub struct FaultPlan {
     /// RNG seed: same plan + same seed → same fault sequence.
     pub seed: u64,
+    /// Human-readable schedule name, surfaced in harness reports (e.g.
+    /// `sitcheck`'s witness output). Empty = unnamed.
+    pub label: String,
     /// Faults applied to every link.
     pub all_links: LinkFaults,
     /// Faults applied only to links that cross a DC boundary (after
@@ -111,11 +114,18 @@ impl FaultPlan {
     pub fn new(seed: u64) -> FaultPlan {
         FaultPlan {
             seed,
+            label: String::new(),
             all_links: LinkFaults::none(),
             cross_dc: None,
             per_link: Vec::new(),
             one_shots: Vec::new(),
         }
+    }
+
+    /// Builder: name the schedule for harness reports.
+    pub fn with_label(mut self, label: impl Into<String>) -> FaultPlan {
+        self.label = label.into();
+        self
     }
 
     /// Builder: faults on every link.

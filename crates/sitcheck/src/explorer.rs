@@ -1,0 +1,754 @@
+//! Deterministic schedule explorer: seeded cluster runs whose complete
+//! histories feed the [`crate::checker`].
+//!
+//! Each run builds a simulated cluster — three RW DNs (each with an RO
+//! replica fed by log shipping), a register DN, two CN sessions — wires a
+//! [`HistoryRecorder`] into every coordinator, participant and replica
+//! engine, and drives a mixed workload: multi-DN bank transfers, read-only
+//! audits, register read-modify-writes and cross-DN range scans. A
+//! [`Schedule`] picks the fault injection: seeded message loss and
+//! duplication, a coordinator crash at either 2PC failpoint, a Paxos
+//! leader re-election under the register DN's durability, RO apply lag, or
+//! a partition that strands a participant PREPARED mid phase-two.
+//!
+//! All clocks are `TestClock`-backed HLCs with deliberately skewed bases
+//! (DN *i* at `1000·i` ms, CNs at 500/700 ms), so causality is carried by
+//! HLC propagation alone — exactly the property the protocol mutations
+//! break. The three [`Mutation`]s re-run a deterministic scenario with one
+//! protocol step disabled; each must surface a named anomaly while its
+//! unmutated twin stays clean. That pair of assertions is what makes the
+//! checker self-validating.
+//!
+//! RO replicas are audited only at *watermark* snapshots: after the
+//! cluster drains, each RW ships its redo tail and the audit snapshot is
+//! the minimum of the DN clocks at that quiescent point. The shipped log
+//! then contains every version at or below the watermark, so a clean run
+//! can never produce a false fractured read on a replica.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use polardbx_common::time::mono_now;
+use polardbx_common::{
+    DcId, HistoryRecorder, IdGenerator, Key, NodeId, Row, TableId, TenantId, TrxId, Value,
+};
+use polardbx_consensus::{GroupConfig, PaxosGroup, Role};
+use polardbx_hlc::{Clock, Hlc, TestClock};
+use polardbx_simnet::{FaultPlan, Handler, LatencyMatrix, LinkFaults, SimNet};
+use polardbx_storage::{RwNode, StorageEngine};
+use polardbx_txn::checker::BankHarness;
+use polardbx_txn::{
+    Coordinator, DnService, ProtocolMutations, ResolverConfig, TxnConfig, TxnMsg, WireWriteOp,
+};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::checker::{check, derived_audit_totals, CheckReport};
+
+/// Bank accounts live here (conserved-sum invariant).
+pub const BANK: TableId = TableId(1);
+/// RMW registers live here (kept out of the conserved sum).
+pub const REGISTERS: TableId = TableId(2);
+
+const DN_COUNT: u64 = 3;
+const REGISTER_DN: NodeId = NodeId(4);
+const CN_A: NodeId = NodeId(9);
+const CN_B: NodeId = NodeId(10);
+
+/// A fault schedule for one explorer run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// No faults: the baseline interleaving-only run.
+    Clean,
+    /// Seeded cross-DC message loss and duplication.
+    LossyDup,
+    /// CN A crashes at `txn.before_decision` mid-workload (in-doubt →
+    /// presumed abort).
+    CoordCrashBefore,
+    /// CN A crashes at `txn.after_decision` (participants stranded
+    /// PREPARED, settled from the decision log).
+    CoordCrashAfter,
+    /// The register DN's durability rides a Paxos group whose leader is
+    /// deposed and re-elected mid-wave.
+    LeaderReelection,
+    /// RO replicas apply with artificial lag.
+    RoLag,
+    /// A partition severs CN A from DC2 right after a commit decision,
+    /// stranding DN2 PREPARED mid phase-two.
+    PreparedWindow,
+}
+
+impl Schedule {
+    /// Stable label used in fault plans and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Schedule::Clean => "clean",
+            Schedule::LossyDup => "lossy-dup",
+            Schedule::CoordCrashBefore => "coord-crash-before-decision",
+            Schedule::CoordCrashAfter => "coord-crash-after-decision",
+            Schedule::LeaderReelection => "leader-reelection",
+            Schedule::RoLag => "ro-lag",
+            Schedule::PreparedWindow => "prepared-window",
+        }
+    }
+
+    /// The quick CI subset.
+    pub fn quick() -> &'static [Schedule] {
+        &[Schedule::Clean, Schedule::LossyDup, Schedule::CoordCrashAfter, Schedule::RoLag]
+    }
+
+    /// The full matrix.
+    pub fn all() -> &'static [Schedule] {
+        &[
+            Schedule::Clean,
+            Schedule::LossyDup,
+            Schedule::CoordCrashBefore,
+            Schedule::CoordCrashAfter,
+            Schedule::LeaderReelection,
+            Schedule::RoLag,
+            Schedule::PreparedWindow,
+        ]
+    }
+}
+
+/// The three self-validation mutations: each disables one protocol step
+/// the checker must notice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// Skip the coordinator's commit-time HLC absorb (paper step ⑥): the
+    /// session's next snapshot falls below its own commit → G-SIb.
+    SkipCommitClockUpdate,
+    /// Readers skip PREPARED versions instead of waiting them out: a
+    /// mid-phase-two audit sees half a transaction → G-SIa.
+    IgnorePreparedReads,
+    /// The coordinator silently forgets one participant: that DN's writes
+    /// expire as an abandoned transaction → LostWrite.
+    DropPrepare,
+}
+
+impl Mutation {
+    /// All mutations, for the self-validation matrix.
+    pub fn all() -> &'static [Mutation] {
+        &[Mutation::SkipCommitClockUpdate, Mutation::IgnorePreparedReads, Mutation::DropPrepare]
+    }
+
+    /// Stable label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Mutation::SkipCommitClockUpdate => "mutation-skip-commit-clock-update",
+            Mutation::IgnorePreparedReads => "mutation-ignore-prepared-reads",
+            Mutation::DropPrepare => "mutation-drop-prepare",
+        }
+    }
+}
+
+/// Workload shape for one run.
+#[derive(Debug, Clone)]
+pub struct ExplorerConfig {
+    /// Seed for the fault plan and workload RNGs.
+    pub seed: u64,
+    /// Fault schedule.
+    pub schedule: Schedule,
+    /// Bank accounts (spread round-robin over the three RW DNs).
+    pub accounts: usize,
+    /// Initial balance per account.
+    pub initial: i64,
+    /// RMW registers on the register DN.
+    pub registers: usize,
+    /// Concurrent transfer threads per wave.
+    pub transfer_threads: usize,
+    /// Transfers attempted per thread per wave.
+    pub transfers_per_thread: usize,
+    /// Concurrent RMW threads per wave.
+    pub rmw_threads: usize,
+    /// RMW attempts per thread per wave.
+    pub rmws_per_thread: usize,
+    /// Range-scan transactions per wave.
+    pub scans: usize,
+    /// Primary audits per wave.
+    pub audits: usize,
+    /// Workload waves (drain + RO audit after the last).
+    pub waves: usize,
+}
+
+impl ExplorerConfig {
+    /// The quick shape used by CI and the test suite.
+    pub fn quick(seed: u64, schedule: Schedule) -> ExplorerConfig {
+        ExplorerConfig {
+            seed,
+            schedule,
+            accounts: 12,
+            initial: 100,
+            registers: 4,
+            transfer_threads: 3,
+            transfers_per_thread: 6,
+            rmw_threads: 2,
+            rmws_per_thread: 5,
+            scans: 2,
+            audits: 2,
+            waves: 2,
+        }
+    }
+}
+
+/// One completed run: the history's verdict plus the derived audit totals
+/// (every entry must equal the seeded bank total in a correct run).
+#[derive(Debug, Clone)]
+pub struct ScheduleRun {
+    /// Schedule or mutation label.
+    pub schedule_label: String,
+    /// The seed that drove it.
+    pub seed: u64,
+    /// Checker verdict over the recorded history.
+    pub report: CheckReport,
+    /// Derived conserved-sum totals: every full read-only pass over the
+    /// bank table, joined through the history (satellite of the bank
+    /// harness's side-channel audit).
+    pub audit_totals: Vec<(TrxId, i64)>,
+}
+
+/// All runs of one matrix sweep.
+#[derive(Debug, Clone, Default)]
+pub struct ExplorerOutcome {
+    /// One entry per (seed, schedule) pair.
+    pub runs: Vec<ScheduleRun>,
+}
+
+impl ExplorerOutcome {
+    /// True when every run's history checked clean.
+    pub fn all_clean(&self) -> bool {
+        self.runs.iter().all(|r| r.report.is_clean())
+    }
+}
+
+struct CnStub;
+impl Handler<TxnMsg> for CnStub {
+    fn handle(&self, _f: NodeId, m: TxnMsg) -> TxnMsg {
+        m
+    }
+}
+
+struct Cluster {
+    net: Arc<SimNet<TxnMsg>>,
+    rec: Arc<HistoryRecorder>,
+    rws: Vec<Arc<RwNode>>,
+    dns: Vec<Arc<DnService>>,
+    ids: Arc<IdGenerator>,
+    paxos: Option<PaxosGroup>,
+}
+
+/// DN *i* gets an HLC whose physical base is `1000·i` ms: commit
+/// timestamps are far above CN snapshots unless HLC propagation carries
+/// them back — which is exactly what the mutations sabotage.
+fn dn_clock(i: u64) -> Arc<Hlc> {
+    Hlc::with_physical(TestClock::at(1000 * i))
+}
+
+fn build_cluster(with_ro: bool, ro_lag: Option<Duration>, register_dn_paxos: bool) -> Cluster {
+    let net = SimNet::new(LatencyMatrix::zero());
+    let rec = HistoryRecorder::new();
+    let mut rws = Vec::new();
+    let mut dns = Vec::new();
+    for i in 1..=DN_COUNT {
+        let rw = RwNode::new(NodeId(i));
+        rw.create_table(BANK, TenantId(1));
+        let dn = DnService::new(NodeId(i), Arc::clone(&rw.engine), dn_clock(i));
+        dn.attach_recorder(Arc::clone(&rec));
+        net.register(NodeId(i), DcId(i), Arc::clone(&dn) as Arc<dyn Handler<TxnMsg>>);
+        if with_ro {
+            let ro = rw.add_ro();
+            ro.engine.set_recorder(Arc::clone(&rec), ro.id, true);
+            if let Some(lag) = ro_lag {
+                ro.set_apply_delay(lag);
+            }
+        }
+        rws.push(rw);
+        dns.push(dn);
+    }
+    // The register DN: plain in-memory, or commits riding a Paxos group
+    // (leader re-election schedule). Consensus decisions show up in the
+    // history as Note events via the replicas' event recorder.
+    let (engine, paxos) = if register_dn_paxos {
+        let group = PaxosGroup::build(GroupConfig::three_dc(1));
+        for r in &group.replicas {
+            r.set_event_recorder(Arc::clone(&rec));
+        }
+        let leader = group.leader().expect("bootstrap leader");
+        let engine =
+            StorageEngine::with_durability(polardbx::durability::PaxosDurability::new(leader));
+        (engine, Some(group))
+    } else {
+        (StorageEngine::in_memory(), None)
+    };
+    engine.create_table(REGISTERS, TenantId(1));
+    let dn4 = DnService::new(REGISTER_DN, engine, dn_clock(4));
+    dn4.attach_recorder(Arc::clone(&rec));
+    net.register(REGISTER_DN, DcId(1), Arc::clone(&dn4) as Arc<dyn Handler<TxnMsg>>);
+    dns.push(dn4);
+
+    net.register(CN_A, DcId(1), Arc::new(CnStub));
+    net.register(CN_B, DcId(2), Arc::new(CnStub));
+    let ids = Arc::new(IdGenerator::new());
+    Cluster { net, rec, rws, dns, ids, paxos }
+}
+
+fn coordinator(c: &Cluster, me: NodeId, clock: Arc<dyn Clock>) -> Coordinator {
+    Coordinator::new(me, Arc::clone(&c.net), clock, Arc::clone(&c.ids))
+        .with_decision_log(NodeId(1))
+        .with_config(TxnConfig {
+            max_attempts: 5,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(8),
+        })
+        .with_recorder(Arc::clone(&c.rec))
+}
+
+fn await_drained(dns: &[Arc<DnService>], timeout: Duration) -> bool {
+    let deadline = mono_now() + timeout;
+    while mono_now() < deadline {
+        if dns.iter().all(|d| !d.engine.has_active_txns() && d.in_doubt_count() == 0) {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    false
+}
+
+fn register_key(id: i64) -> Key {
+    Key::encode(&[Value::Int(id)])
+}
+
+/// Seed registers `0..n` with value 0 through `coord`.
+fn seed_registers(coord: &Coordinator, n: usize) {
+    let mut txn = coord.begin();
+    let mut ok = true;
+    for r in 0..n {
+        let id = 1000 + r as i64;
+        let row = Row::new(vec![Value::Int(id), Value::Int(0)]);
+        if txn.write(REGISTER_DN, REGISTERS, register_key(id), WireWriteOp::Insert(row)).is_err() {
+            ok = false;
+            break;
+        }
+    }
+    if ok {
+        let _ = txn.commit();
+    } else {
+        txn.abort();
+    }
+}
+
+/// One register read-modify-write: read, increment, write back.
+fn rmw_once(coord: &Coordinator, r: usize) -> bool {
+    let id = 1000 + r as i64;
+    let key = register_key(id);
+    let mut txn = coord.begin();
+    let got = match txn.read(REGISTER_DN, REGISTERS, &key) {
+        Ok(Some(row)) => row.get(1).ok().and_then(|v| v.as_int().ok()),
+        _ => None,
+    };
+    let Some(v) = got else {
+        txn.abort();
+        return false;
+    };
+    let row = Row::new(vec![Value::Int(id), Value::Int(v + 1)]);
+    if txn.write(REGISTER_DN, REGISTERS, key, WireWriteOp::Update(row)).is_err() {
+        txn.abort();
+        return false;
+    }
+    txn.commit().is_ok()
+}
+
+/// One full-bank range scan across all three RW DNs in a single snapshot
+/// transaction (a "predicate-ish" read: the checker derives its conserved
+/// sum from the per-row observations).
+fn scan_once(coord: &Coordinator, dns: &[NodeId]) -> Option<i64> {
+    let mut txn = coord.begin();
+    let mut total = 0i64;
+    for dn in dns {
+        match txn.scan(*dn, BANK, None, None) {
+            Ok(rows) => {
+                for (_, row) in rows {
+                    total += row.get(1).ok().and_then(|v| v.as_int().ok()).unwrap_or(0);
+                }
+            }
+            Err(_) => {
+                txn.abort();
+                return None;
+            }
+        }
+    }
+    txn.abort(); // read-only
+    Some(total)
+}
+
+/// Audit every RW DN's RO replica at the quiescent watermark snapshot: one
+/// synthetic read-only transaction whose reads are recorded with
+/// `replica = true`.
+fn replica_audit(c: &Cluster, harness: &BankHarness, snapshot: u64) {
+    let trx = TrxId(c.ids.next_id());
+    for i in 0..harness.accounts {
+        let dn = harness.dn_of(i);
+        let rw = &c.rws[(dn.raw() - 1) as usize];
+        if let Some(ro) = rw.ros().first() {
+            let _ = ro.engine.read(BANK, &harness.key(i), snapshot, Some(trx));
+        }
+    }
+}
+
+/// Ship each RW's redo tail and wait for its replicas to apply it.
+fn ship_and_wait(rws: &[Arc<RwNode>], timeout: Duration) -> bool {
+    for rw in rws {
+        let target = rw.ship();
+        let deadline = mono_now() + timeout;
+        for ro in rw.ros() {
+            while ro.applied_lsn() < target && mono_now() < deadline {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            if ro.applied_lsn() < target {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Depose the Paxos leader mid-wave, elect a follower, then bring the old
+/// leader back and re-elect it (the register DN's pinned durability heals).
+fn reelection_storm(group: &PaxosGroup) {
+    let Some(leader) = group.leader() else { return };
+    let old = leader.me;
+    group.net.crash(old);
+    let follower = Arc::clone(&group.replicas[1]);
+    let deadline = mono_now() + Duration::from_secs(2);
+    while follower.status().role != Role::Leader && mono_now() < deadline {
+        follower.campaign();
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    group.net.restart(old);
+    let deadline = mono_now() + Duration::from_secs(2);
+    while leader.status().role != Role::Leader && mono_now() < deadline {
+        leader.campaign();
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// Run one seeded schedule and return the checked history.
+pub fn run(cfg: &ExplorerConfig) -> ScheduleRun {
+    let lag = match cfg.schedule {
+        Schedule::RoLag => Some(Duration::from_millis(10)),
+        _ => None,
+    };
+    let c = build_cluster(true, lag, cfg.schedule == Schedule::LeaderReelection);
+
+    // CN A carries the schedule's failpoint; CN B stays healthy so the
+    // workload keeps making progress when A crashes.
+    let decisions = Arc::new(AtomicU64::new(0));
+    let coord_a = {
+        let base = coordinator(&c, CN_A, Hlc::with_physical(TestClock::at(500)));
+        let net = Arc::clone(&c.net);
+        let rec = Arc::clone(&c.rec);
+        let count = Arc::clone(&decisions);
+        match cfg.schedule {
+            Schedule::CoordCrashBefore => base.with_failpoint(Arc::new(move |point| {
+                if point == "txn.before_decision" && count.fetch_add(1, Ordering::SeqCst) + 1 == 4 {
+                    rec.note(CN_A, "failpoint: crash CN before decision");
+                    net.crash(CN_A);
+                }
+            })),
+            Schedule::CoordCrashAfter => base.with_failpoint(Arc::new(move |point| {
+                if point == "txn.after_decision" && count.fetch_add(1, Ordering::SeqCst) + 1 == 4 {
+                    rec.note(CN_A, "failpoint: crash CN after decision");
+                    net.crash(CN_A);
+                }
+            })),
+            Schedule::PreparedWindow => base.with_failpoint(Arc::new(move |point| {
+                if point == "txn.after_decision" && count.fetch_add(1, Ordering::SeqCst) + 1 == 3 {
+                    rec.note(CN_A, "failpoint: partition dc1/dc2 after decision");
+                    net.partition(DcId(1), DcId(2));
+                }
+            })),
+            _ => base,
+        }
+    };
+    let coords =
+        [Arc::new(coord_a), Arc::new(coordinator(&c, CN_B, Hlc::with_physical(TestClock::at(700))))];
+
+    let harness = Arc::new(BankHarness {
+        table: BANK,
+        dns: (1..=DN_COUNT).map(NodeId).collect(),
+        accounts: cfg.accounts,
+        initial: cfg.initial,
+    });
+    // Seed through CN B (never failpointed). CN B absorbs each seed
+    // commit's timestamp (step ⑥); CN A would not — statements carry the
+    // snapshot *to* the DN (step ②/③) but replies do not ship the DN clock
+    // back, so with frozen skewed clocks CN A would stay below the seeded
+    // data forever and its whole workload would no-op. Real deployments
+    // close this gap with the CN↔GMS heartbeat; model one exchange.
+    harness.seed(&coords[1]).expect("seeding must succeed on a quiet cluster");
+    seed_registers(&coords[1], cfg.registers);
+    coords[0].clock().update(coords[1].clock().now());
+
+    if cfg.schedule == Schedule::LossyDup {
+        c.net.set_fault_plan(
+            FaultPlan::new(cfg.seed)
+                .with_label(cfg.schedule.label())
+                .with_cross_dc(LinkFaults::lossy(0.08).with_duplicate(0.05)),
+        );
+    }
+
+    // Background resolvers keep PREPARED/abandoned work moving throughout.
+    let resolver_cfg = ResolverConfig {
+        interval: Duration::from_millis(10),
+        in_doubt_after: Duration::from_millis(40),
+        abandon_active_after: Duration::from_millis(150),
+    };
+    let resolvers: Vec<_> = c
+        .dns
+        .iter()
+        .map(|d| d.start_resolver(Arc::clone(&c.net), resolver_cfg).expect("resolver"))
+        .collect();
+
+    let bank_dns: Vec<NodeId> = (1..=DN_COUNT).map(NodeId).collect();
+    for wave in 0..cfg.waves {
+        std::thread::scope(|s| {
+            if wave == 0 {
+                if let Some(group) = &c.paxos {
+                    s.spawn(move || {
+                        std::thread::sleep(Duration::from_millis(10));
+                        reelection_storm(group);
+                    });
+                }
+            }
+            for t in 0..cfg.transfer_threads {
+                let coord = Arc::clone(&coords[t % coords.len()]);
+                let h = Arc::clone(&harness);
+                let seed = cfg.seed ^ ((wave as u64) << 32) ^ (t as u64);
+                let n = cfg.transfers_per_thread;
+                s.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(0x51C4_0000 ^ seed);
+                    for _ in 0..n {
+                        let a = rng.gen_range(0..h.accounts);
+                        let mut b = rng.gen_range(0..h.accounts);
+                        if a == b {
+                            b = (b + 1) % h.accounts;
+                        }
+                        for _ in 0..3 {
+                            match h.transfer(&coord, a, b, 1) {
+                                Ok(()) => break,
+                                Err(e) if e.is_retryable() => continue,
+                                Err(_) => break,
+                            }
+                        }
+                    }
+                });
+            }
+            for t in 0..cfg.rmw_threads {
+                let coord = Arc::clone(&coords[(t + 1) % coords.len()]);
+                let seed = cfg.seed ^ ((wave as u64) << 40) ^ (t as u64);
+                let n = cfg.rmws_per_thread;
+                let regs = cfg.registers.max(1);
+                s.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(0x4A7_0000 ^ seed);
+                    for _ in 0..n {
+                        let r = rng.gen_range(0..regs);
+                        for _ in 0..3 {
+                            if rmw_once(&coord, r) {
+                                break;
+                            }
+                        }
+                    }
+                });
+            }
+            for i in 0..cfg.scans {
+                let coord = Arc::clone(&coords[i % coords.len()]);
+                let dns = bank_dns.clone();
+                s.spawn(move || {
+                    std::thread::sleep(Duration::from_millis(2 + i as u64));
+                    let _ = scan_once(&coord, &dns);
+                });
+            }
+            for i in 0..cfg.audits {
+                let coord = Arc::clone(&coords[(i + 1) % coords.len()]);
+                let h = Arc::clone(&harness);
+                s.spawn(move || {
+                    std::thread::sleep(Duration::from_millis(1 + i as u64));
+                    let _ = h.audit(&coord);
+                });
+            }
+        });
+    }
+
+    // Heal everything and drain: restart the (possibly crashed) CN, lift
+    // partitions and fault plans, then let the resolvers settle the rest.
+    c.net.clear_fault_plan();
+    c.net.restart(CN_A);
+    c.net.heal(DcId(1), DcId(2));
+    if let Some(group) = &c.paxos {
+        // Make sure a leader exists so pending register commits can land.
+        let deadline = mono_now() + Duration::from_secs(2);
+        while group.leader().is_none() && mono_now() < deadline {
+            group.replicas[0].campaign();
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+    let drained = await_drained(&c.dns, Duration::from_secs(10));
+    c.rec.note(NodeId(0), if drained { "drain: quiesced" } else { "drain: TIMEOUT" });
+
+    // Quiescent watermark: every commit applied on DN i is at or below DN
+    // i's clock now, so the minimum is a consistent replica cut.
+    let watermark =
+        c.dns[..DN_COUNT as usize].iter().map(|d| d.clock.now().raw()).min().unwrap_or(u64::MAX);
+    if ship_and_wait(&c.rws, Duration::from_secs(5)) {
+        for _ in 0..2 {
+            replica_audit(&c, &harness, watermark);
+        }
+    } else {
+        c.rec.note(NodeId(0), "replica ship: TIMEOUT");
+    }
+
+    for r in resolvers {
+        r.stop();
+    }
+    finish(c, cfg.schedule.label(), cfg.seed, cfg.accounts)
+}
+
+fn finish(c: Cluster, label: &str, seed: u64, accounts: usize) -> ScheduleRun {
+    let events = c.rec.take();
+    let report = check(&events);
+    let audit_totals = derived_audit_totals(&events, BANK, 1, accounts);
+    c.net.shutdown();
+    ScheduleRun { schedule_label: label.into(), seed, report, audit_totals }
+}
+
+/// Run the full (seed × schedule) sweep.
+pub fn sweep(seeds: &[u64], schedules: &[Schedule]) -> ExplorerOutcome {
+    let mut out = ExplorerOutcome::default();
+    for &seed in seeds {
+        for &schedule in schedules {
+            out.runs.push(run(&ExplorerConfig::quick(seed, schedule)));
+        }
+    }
+    out
+}
+
+/// Deterministic scenario for one mutation. `mutated = false` runs the
+/// identical schedule with the protocol intact — the twin that must come
+/// back clean.
+fn mutation_scenario(m: Mutation, seed: u64, mutated: bool) -> ScheduleRun {
+    let c = build_cluster(false, None, false);
+    let accounts = 4usize;
+    let harness = BankHarness {
+        table: BANK,
+        dns: (1..=DN_COUNT).map(NodeId).collect(),
+        accounts,
+        initial: 100,
+    };
+    let drain_cfg = ResolverConfig {
+        interval: Duration::from_millis(1),
+        in_doubt_after: Duration::ZERO,
+        abandon_active_after: if m == Mutation::DropPrepare {
+            Duration::ZERO
+        } else {
+            Duration::from_secs(1)
+        },
+    };
+    let label = if mutated { m.label().to_string() } else { format!("{}-unmutated", m.label()) };
+
+    match m {
+        Mutation::SkipCommitClockUpdate => {
+            // One session does everything: with step ⑥ gone, its own clock
+            // never learns its own commit timestamps, so the next Begin's
+            // snapshot falls below the previous commit.
+            let coord = coordinator(&c, CN_A, Hlc::with_physical(TestClock::at(500)))
+                .with_mutations(ProtocolMutations {
+                    skip_commit_clock_update: mutated,
+                    drop_participant: None,
+                });
+            let _ = harness.seed(&coord);
+            let _ = harness.transfer(&coord, 0, 1, 5);
+            let _ = harness.audit(&coord);
+        }
+        Mutation::IgnorePreparedReads => {
+            // A shared session clock: the plain coordinator seeds, then the
+            // failpointed one commits a transfer whose phase-two post to
+            // DN2 is severed by a partition. The audit then runs while DN2
+            // is still PREPARED. Correct behaviour: the audit's DN2 read
+            // waits until a resolver commits from the decision log.
+            // Mutated: the read skips the PREPARED version → fracture.
+            let clock: Arc<Hlc> = Hlc::with_physical(TestClock::at(500));
+            let seeder = coordinator(&c, CN_A, Arc::clone(&clock) as Arc<dyn Clock>);
+            let _ = harness.seed(&seeder);
+            if mutated {
+                c.rws[1].engine.set_ignore_prepared_reads(true);
+            }
+            let net = Arc::clone(&c.net);
+            let coord = coordinator(&c, CN_A, Arc::clone(&clock) as Arc<dyn Clock>)
+                .with_failpoint(Arc::new(move |point| {
+                    if point == "txn.after_decision" {
+                        net.partition(DcId(1), DcId(2));
+                    }
+                }));
+            // Accounts 0 → DN1 (DC1, reachable) and 1 → DN2 (DC2, severed).
+            let committed = harness.transfer(&coord, 0, 1, 5).is_ok();
+            c.net.heal(DcId(1), DcId(2));
+            if committed {
+                if mutated {
+                    // The audit sees DN1's new version and skips DN2's
+                    // PREPARED one; resolve afterwards to drain.
+                    let _ = harness.audit(&seeder);
+                    c.dns[1].resolve_once(&c.net, &drain_cfg);
+                } else {
+                    // The audit blocks on DN2's PREPARED version until the
+                    // resolver learns the commit from the decision log.
+                    std::thread::scope(|s| {
+                        s.spawn(|| {
+                            std::thread::sleep(Duration::from_millis(10));
+                            c.dns[1].resolve_once(&c.net, &drain_cfg);
+                        });
+                        let _ = harness.audit(&seeder);
+                    });
+                }
+            }
+        }
+        Mutation::DropPrepare => {
+            // Seed cleanly, then commit a transfer whose coordinator has
+            // silently forgotten DN2: the commit succeeds on DN1 alone and
+            // DN2's intent dies as an abandoned transaction.
+            let clock: Arc<Hlc> = Hlc::with_physical(TestClock::at(500));
+            let seeder = coordinator(&c, CN_A, Arc::clone(&clock) as Arc<dyn Clock>);
+            let _ = harness.seed(&seeder);
+            let coord = coordinator(&c, CN_A, Arc::clone(&clock) as Arc<dyn Clock>)
+                .with_mutations(ProtocolMutations {
+                    skip_commit_clock_update: false,
+                    drop_participant: if mutated { Some(NodeId(2)) } else { None },
+                });
+            let _ = harness.transfer(&coord, 0, 1, 5);
+            // Expire whatever the dropped participant was left holding.
+            c.dns[1].resolve_once(&c.net, &drain_cfg);
+            let _ = harness.audit(&seeder);
+        }
+    }
+
+    // Settle any leftovers so the history ends at a quiescent point.
+    let deadline = mono_now() + Duration::from_secs(3);
+    while mono_now() < deadline
+        && c.dns.iter().any(|d| d.engine.has_active_txns() || d.in_doubt_count() > 0)
+    {
+        for d in &c.dns {
+            d.resolve_once(&c.net, &drain_cfg);
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    finish(c, &label, seed, accounts)
+}
+
+/// Run the deterministic mutated scenario: the checker must flag it.
+pub fn run_mutated(m: Mutation, seed: u64) -> ScheduleRun {
+    mutation_scenario(m, seed, true)
+}
+
+/// Run the identical scenario without the mutation: must check clean.
+pub fn run_unmutated_twin(m: Mutation, seed: u64) -> ScheduleRun {
+    mutation_scenario(m, seed, false)
+}

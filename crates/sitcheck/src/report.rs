@@ -1,0 +1,103 @@
+//! Plain-text rendering of checker output for humans and CI artifacts.
+
+use std::fmt::Write as _;
+
+use crate::checker::CheckReport;
+use crate::explorer::ScheduleRun;
+
+/// Render one schedule run (history stats, anomalies with witness cycles,
+/// write-skew candidates) as the `sitcheck-report.txt` block format.
+pub fn render_report(run: &ScheduleRun) -> String {
+    let mut s = String::new();
+    let verdict = if run.report.is_clean() { "CLEAN" } else { "ANOMALOUS" };
+    let _ = writeln!(
+        s,
+        "=== schedule={} seed={:#x} {} ===",
+        run.schedule_label, run.seed, verdict
+    );
+    let _ = writeln!(
+        s,
+        "    events={} txns={} committed={} aborted={} reads={} (replica {}) writes={}",
+        run.report.stats.events,
+        run.report.stats.txns,
+        run.report.stats.committed,
+        run.report.stats.aborted,
+        run.report.stats.reads,
+        run.report.stats.replica_reads,
+        run.report.stats.writes,
+    );
+    for note in &run.report.stats.notes {
+        let _ = writeln!(s, "    note: {note}");
+    }
+    render_anomalies(&mut s, &run.report);
+    s
+}
+
+fn render_anomalies(s: &mut String, report: &CheckReport) {
+    for a in &report.anomalies {
+        let _ = writeln!(s, "  [{}] {}", a.kind.name(), a.description);
+        if !a.cycle.is_empty() {
+            let _ = writeln!(s, "    witness cycle ({} edges):", a.cycle.len());
+            for e in &a.cycle {
+                let _ = writeln!(s, "      {}", e.render());
+            }
+        } else if !a.txns.is_empty() {
+            let txns: Vec<String> = a.txns.iter().map(|t| t.to_string()).collect();
+            let _ = writeln!(s, "    involved: {}", txns.join(", "));
+        }
+    }
+    if !report.write_skew_candidates.is_empty() {
+        let _ = writeln!(
+            s,
+            "  (info) {} write-skew candidate pair(s) — legal under SI",
+            report.write_skew_candidates.len()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::{check, CheckReport};
+    use crate::explorer::ScheduleRun;
+
+    #[test]
+    fn report_renders_clean_run() {
+        let run = ScheduleRun {
+            schedule_label: "clean".into(),
+            seed: 0xBEEF,
+            report: check(&[]),
+            audit_totals: Vec::new(),
+        };
+        let text = render_report(&run);
+        assert!(text.contains("schedule=clean"));
+        assert!(text.contains("seed=0xbeef"));
+        assert!(text.contains("CLEAN"));
+    }
+
+    #[test]
+    fn report_renders_witness_cycle() {
+        use crate::checker::{Anomaly, AnomalyKind, EdgeKind, WitnessEdge};
+        use polardbx_common::TrxId;
+        let mut report = CheckReport::default();
+        report.anomalies.push(Anomaly {
+            kind: AnomalyKind::G0,
+            description: "write cycle".into(),
+            txns: vec![TrxId(1), TrxId(2)],
+            cycle: vec![
+                WitnessEdge { from: TrxId(1), to: TrxId(2), kind: EdgeKind::Ww, key: None },
+                WitnessEdge { from: TrxId(2), to: TrxId(1), kind: EdgeKind::Ww, key: None },
+            ],
+        });
+        let run = ScheduleRun {
+            schedule_label: "mutated".into(),
+            seed: 1,
+            report,
+            audit_totals: Vec::new(),
+        };
+        let text = render_report(&run);
+        assert!(text.contains("ANOMALOUS"));
+        assert!(text.contains("[G0]"));
+        assert!(text.contains("trx1 --ww--> trx2"));
+    }
+}

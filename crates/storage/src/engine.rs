@@ -12,11 +12,14 @@
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::ops::Bound;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use bytes::Bytes;
-use polardbx_common::{Error, Key, Lsn, Result, Row, TableId, TenantId, TrxId};
+use polardbx_common::{
+    Error, HistoryRecorder, Key, Lsn, NodeId, Result, Row, TableId, TenantId, TrxId, TxnEvent,
+};
 use polardbx_wal::{GroupCommitter, LogBuffer, LogSink, Mtr, RedoPayload, VecSink, WalMetrics};
 
 use crate::bufferpool::BufferPool;
@@ -104,6 +107,15 @@ struct TrxCtx {
     redo: Vec<Mtr>,
 }
 
+/// A history tap installed on an engine: where events go, which node the
+/// engine plays, and whether reads here are replica (apply-order) reads.
+#[derive(Clone)]
+struct RecorderTap {
+    rec: Arc<HistoryRecorder>,
+    node: NodeId,
+    replica: bool,
+}
+
 /// The DN storage engine.
 pub struct StorageEngine {
     /// Transaction table shared with readers.
@@ -118,6 +130,13 @@ pub struct StorageEngine {
     active: ShardedMap<TrxId, TrxCtx>,
     durability: Arc<dyn Durability>,
     wait_timeout: Duration,
+    /// Fast-path flag for the history tap: the hot path pays one relaxed
+    /// load when recording is off (the common case).
+    recording: AtomicBool,
+    recorder: Mutex<Option<RecorderTap>>,
+    /// Checker-validation mutation: treat PREPARED writers as invisible
+    /// instead of waiting (reads below the snapshot watermark).
+    ignore_prepared_reads: AtomicBool,
 }
 
 impl StorageEngine {
@@ -143,7 +162,42 @@ impl StorageEngine {
             active: ShardedMap::new(),
             durability,
             wait_timeout: Duration::from_secs(5),
+            recording: AtomicBool::new(false),
+            recorder: Mutex::new(None),
+            ignore_prepared_reads: AtomicBool::new(false),
         })
+    }
+
+    /// Install a history tap: MVCC reads, writes, commit stamps and aborts
+    /// on this engine are recorded to `rec` attributed to `node`. `replica`
+    /// marks apply-order (RO) engines so the checker treats their reads
+    /// with read-atomicity rules only.
+    pub fn set_recorder(&self, rec: Arc<HistoryRecorder>, node: NodeId, replica: bool) {
+        *self.recorder.lock() = Some(RecorderTap { rec, node, replica });
+        self.recording.store(true, Ordering::Release);
+    }
+
+    /// Remove the history tap.
+    pub fn clear_recorder(&self) {
+        self.recording.store(false, Ordering::Release);
+        *self.recorder.lock() = None;
+    }
+
+    /// The installed tap, if recording is on. Clones the `Arc` out so the
+    /// recorder mutex is never held across a `record` call.
+    fn tap(&self) -> Option<RecorderTap> {
+        if !self.recording.load(Ordering::Acquire) {
+            return None;
+        }
+        self.recorder.lock().clone()
+    }
+
+    /// Enable/disable the checker-validation mutation that makes snapshot
+    /// reads skip PREPARED writers instead of waiting for their decision
+    /// (§IV case 2 deliberately broken). Never use outside `sitcheck`
+    /// mutation runs.
+    pub fn set_ignore_prepared_reads(&self, on: bool) {
+        self.ignore_prepared_reads.store(on, Ordering::Release);
     }
 
     /// Group-commit metrics of the durability provider, if it batches.
@@ -237,6 +291,15 @@ impl StorageEngine {
                 (VersionOp::Delete, RedoPayload::Delete { trx, table, key: key.clone() })
             }
         };
+        // Clone what the history event needs only when a tap is installed.
+        let tap = self.tap();
+        let recorded = tap.as_ref().map(|_| {
+            let row = match &version_op {
+                VersionOp::Put(r) => Some(r.clone()),
+                VersionOp::Delete => None,
+            };
+            (row, key.clone())
+        });
         store.write(&self.txns, trx, snapshot_ts, key.clone(), version_op)?;
         let page = self.pool.page_of(table, &key);
         // The page is dirtied "at" the next LSN; exact value only matters
@@ -247,7 +310,11 @@ impl StorageEngine {
             ctx.writes.push((table, key));
             ctx.redo.push(Mtr::single(redo));
             Ok(())
-        })
+        })?;
+        if let (Some(tap), Some((row, key))) = (tap, recorded) {
+            tap.rec.record(TxnEvent::Write { trx, node: tap.node, table, key, row });
+        }
+        Ok(())
     }
 
     /// Snapshot point read (optionally inside a transaction).
@@ -261,7 +328,27 @@ impl StorageEngine {
         let store = self.store(table)?;
         let tenant = self.tenant_of(table).unwrap_or_default();
         self.pool.touch_read(self.pool.page_of(table, key), tenant);
-        store.read_waiting(&self.txns, key, snapshot_ts, me, self.wait_timeout)
+        let ignore_prepared = self.ignore_prepared_reads.load(Ordering::Acquire);
+        let (row, observed) = store.read_waiting_observed(
+            &self.txns,
+            key,
+            snapshot_ts,
+            me,
+            self.wait_timeout,
+            ignore_prepared,
+        )?;
+        if let (Some(tap), Some(trx)) = (self.tap(), me) {
+            tap.rec.record(TxnEvent::Read {
+                trx,
+                node: tap.node,
+                table,
+                key: key.clone(),
+                snapshot_ts,
+                observed,
+                replica: tap.replica,
+            });
+        }
+        Ok(row)
     }
 
     /// Snapshot range scan.
@@ -274,7 +361,30 @@ impl StorageEngine {
         me: Option<TrxId>,
     ) -> Result<Vec<(Key, Row)>> {
         let store = self.store(table)?;
-        store.scan(&self.txns, lower, upper, snapshot_ts, me, self.wait_timeout)
+        let ignore_prepared = self.ignore_prepared_reads.load(Ordering::Acquire);
+        let rows = store.scan_observed(
+            &self.txns,
+            lower,
+            upper,
+            snapshot_ts,
+            me,
+            self.wait_timeout,
+            ignore_prepared,
+        )?;
+        if let (Some(tap), Some(trx)) = (self.tap(), me) {
+            for (key, _, observed) in &rows {
+                tap.rec.record(TxnEvent::Read {
+                    trx,
+                    node: tap.node,
+                    table,
+                    key: key.clone(),
+                    snapshot_ts,
+                    observed: Some(observed.clone()),
+                    replica: tap.replica,
+                });
+            }
+        }
+        Ok(rows.into_iter().map(|(k, r, _)| (k, r)).collect())
     }
 
     /// Full-table snapshot scan.
@@ -285,13 +395,34 @@ impl StorageEngine {
     /// 2PC phase one: validate (already done at write time), mark PREPARED,
     /// make the transaction's redo + prepare record durable.
     pub fn prepare(&self, trx: TrxId, prepare_ts: u64) -> Result<Lsn> {
-        self.txns.prepare(trx, prepare_ts)?;
+        Ok(self.prepare_with(trx, || prepare_ts)?.1)
+    }
+
+    /// [`StorageEngine::prepare`] with the prepare timestamp allocated
+    /// inside the transaction table's critical section (see
+    /// [`TxnTable::prepare_with`][crate::txn::TxnTable::prepare_with] for
+    /// why the allocation must be atomic with the state transition readers
+    /// consult). Participants pass their HLC's `ClockAdvance` as `alloc`.
+    pub fn prepare_with(&self, trx: TrxId, alloc: impl FnOnce() -> u64) -> Result<(u64, Lsn)> {
+        let prepare_ts = self.txns.prepare_with(trx, alloc)?;
         let mut mtrs = self
             .active
             .with(&trx, |c| c.map(|c| std::mem::take(&mut c.redo)))
             .ok_or(Error::TxnAborted { reason: format!("unknown trx {trx}") })?;
         mtrs.push(Mtr::single(RedoPayload::TxnPrepare { trx, prepare_ts }));
-        self.durability.make_durable(&mtrs)
+        let lsn = self.durability.make_durable(&mtrs)?;
+        Ok((prepare_ts, lsn))
+    }
+
+    /// In-memory ACTIVE → PREPARED transition with in-lock timestamp
+    /// allocation, *without* a durable prepare record. The one-phase local
+    /// commit path uses this right before [`StorageEngine::commit`]: it
+    /// needs the same reader-visible atomicity as a 2PC prepare (readers
+    /// must wait, not skip, once the commit timestamp exists) but keeps a
+    /// single durability flush — a crash before the commit record lands
+    /// simply aborts the unacked transaction on replay.
+    pub fn mark_prepared_with(&self, trx: TrxId, alloc: impl FnOnce() -> u64) -> Result<u64> {
+        self.txns.prepare_with(trx, alloc)
     }
 
     /// Commit (one-phase from ACTIVE, or phase two from PREPARED). Stamps
@@ -323,6 +454,9 @@ impl StorageEngine {
                 store.commit(trx, commit_ts, &keys);
             }
         }
+        if let Some(tap) = self.tap() {
+            tap.rec.record(TxnEvent::Commit { trx, node: tap.node, commit_ts });
+        }
         Ok(lsn)
     }
 
@@ -352,6 +486,9 @@ impl StorageEngine {
         let _ = self
             .durability
             .make_durable(&[Mtr::single(RedoPayload::TxnAbort { trx })]);
+        if let Some(tap) = self.tap() {
+            tap.rec.record(TxnEvent::Abort { trx, node: tap.node });
+        }
     }
 
     /// Abort `trx` only if it is still ACTIVE; returns whether it aborted.
@@ -371,6 +508,9 @@ impl StorageEngine {
         let _ = self
             .durability
             .make_durable(&[Mtr::single(RedoPayload::TxnAbort { trx })]);
+        if let Some(tap) = self.tap() {
+            tap.rec.record(TxnEvent::Abort { trx, node: tap.node });
+        }
         true
     }
 

@@ -18,7 +18,7 @@ use std::collections::BTreeMap;
 use std::ops::Bound;
 use std::time::Duration;
 
-use polardbx_common::{Error, Key, Result, Row, TrxId};
+use polardbx_common::{Error, Key, Result, Row, TrxId, VersionRef};
 
 use crate::shard::{shard_index, DEFAULT_SHARDS};
 use crate::txn::{TxnState, TxnTable};
@@ -180,28 +180,54 @@ impl VersionStore {
         snapshot_ts: u64,
         me: Option<TrxId>,
     ) -> ReadResult {
+        self.visibility_observed(txns, chain, snapshot_ts, me, false).0
+    }
+
+    /// [`VersionStore::visibility`] that also reports *which* version the
+    /// read resolved to (for history recording), and optionally ignores
+    /// PREPARED writers instead of waiting — a deliberately broken mode
+    /// (`ignore_prepared = true`) used only to validate the isolation
+    /// checker: it reads below the snapshot watermark, exactly the §IV
+    /// case-2 violation HLC-SI exists to prevent.
+    fn visibility_observed(
+        &self,
+        txns: &TxnTable,
+        chain: &[Version],
+        snapshot_ts: u64,
+        me: Option<TrxId>,
+        ignore_prepared: bool,
+    ) -> (ReadResult, Option<VersionRef>) {
         for v in chain.iter().rev() {
             if Some(v.trx) == me {
+                let observed = Some(VersionRef { writer: v.trx, commit_ts: v.decided_ts });
                 return match &v.op {
-                    VersionOp::Put(row) => ReadResult::Row(row.clone()),
-                    VersionOp::Delete => ReadResult::NotFound,
+                    VersionOp::Put(row) => (ReadResult::Row(row.clone()), observed),
+                    VersionOp::Delete => (ReadResult::NotFound, observed),
                 };
             }
             match v.decided_ts {
                 Some(ts) if ts <= snapshot_ts => {
+                    let observed = Some(VersionRef { writer: v.trx, commit_ts: Some(ts) });
                     return match &v.op {
-                        VersionOp::Put(row) => ReadResult::Row(row.clone()),
-                        VersionOp::Delete => ReadResult::NotFound,
+                        VersionOp::Put(row) => (ReadResult::Row(row.clone()), observed),
+                        VersionOp::Delete => (ReadResult::NotFound, observed),
                     };
                 }
                 Some(_) => continue, // committed in the future of this snapshot
                 None => match txns.state(v.trx) {
-                    Some(TxnState::Prepared { .. }) => return ReadResult::MustWait(v.trx),
+                    Some(TxnState::Prepared { .. }) => {
+                        if ignore_prepared {
+                            continue;
+                        }
+                        return (ReadResult::MustWait(v.trx), None);
+                    }
                     Some(TxnState::Committed { commit_ts }) => {
                         if commit_ts <= snapshot_ts {
+                            let observed =
+                                Some(VersionRef { writer: v.trx, commit_ts: Some(commit_ts) });
                             return match &v.op {
-                                VersionOp::Put(row) => ReadResult::Row(row.clone()),
-                                VersionOp::Delete => ReadResult::NotFound,
+                                VersionOp::Put(row) => (ReadResult::Row(row.clone()), observed),
+                                VersionOp::Delete => (ReadResult::NotFound, observed),
                             };
                         }
                         continue;
@@ -211,7 +237,7 @@ impl VersionStore {
                 },
             }
         }
-        ReadResult::NotFound
+        (ReadResult::NotFound, None)
     }
 
     /// Point read at `snapshot_ts`. `me` marks the reading transaction so
@@ -239,10 +265,35 @@ impl VersionStore {
         me: Option<TrxId>,
         timeout: Duration,
     ) -> Result<Option<Row>> {
+        self.read_waiting_observed(txns, key, snapshot_ts, me, timeout, false)
+            .map(|(row, _)| row)
+    }
+
+    /// [`VersionStore::read_waiting`] that also reports the observed
+    /// version (for history recording). `ignore_prepared` skips PREPARED
+    /// writers instead of waiting — checker-validation mode only.
+    pub fn read_waiting_observed(
+        &self,
+        txns: &TxnTable,
+        key: &Key,
+        snapshot_ts: u64,
+        me: Option<TrxId>,
+        timeout: Duration,
+        ignore_prepared: bool,
+    ) -> Result<(Option<Row>, Option<VersionRef>)> {
         loop {
-            match self.read(txns, key, snapshot_ts, me) {
-                ReadResult::Row(r) => return Ok(Some(r)),
-                ReadResult::NotFound => return Ok(None),
+            let (result, observed) = {
+                let map = self.shard(key).read();
+                match map.get(key) {
+                    Some(chain) => {
+                        self.visibility_observed(txns, chain, snapshot_ts, me, ignore_prepared)
+                    }
+                    None => (ReadResult::NotFound, None),
+                }
+            };
+            match result {
+                ReadResult::Row(r) => return Ok((Some(r), observed)),
+                ReadResult::NotFound => return Ok((None, observed)),
                 ReadResult::MustWait(writer) => {
                     txns.wait_decided(writer, timeout)?;
                 }
@@ -261,6 +312,24 @@ impl VersionStore {
         me: Option<TrxId>,
         timeout: Duration,
     ) -> Result<Vec<(Key, Row)>> {
+        self.scan_observed(txns, lower, upper, snapshot_ts, me, timeout, false)
+            .map(|rows| rows.into_iter().map(|(k, r, _)| (k, r)).collect())
+    }
+
+    /// [`VersionStore::scan`] that also reports which version each row
+    /// resolved to (for history recording). `ignore_prepared` skips
+    /// PREPARED writers instead of waiting — checker-validation mode only.
+    #[allow(clippy::too_many_arguments)]
+    pub fn scan_observed(
+        &self,
+        txns: &TxnTable,
+        lower: Bound<&Key>,
+        upper: Bound<&Key>,
+        snapshot_ts: u64,
+        me: Option<TrxId>,
+        timeout: Duration,
+        ignore_prepared: bool,
+    ) -> Result<Vec<(Key, Row, VersionRef)>> {
         loop {
             let mut pending_writer = None;
             let mut out = Vec::new();
@@ -272,10 +341,15 @@ impl VersionStore {
             'shards: for shard in &self.shards {
                 let map = shard.read();
                 for (k, chain) in map.range::<Key, _>((lower, upper)) {
-                    match self.visibility(txns, chain, snapshot_ts, me) {
-                        ReadResult::Row(r) => out.push((k.clone(), r)),
-                        ReadResult::NotFound => {}
-                        ReadResult::MustWait(w) => {
+                    match self.visibility_observed(txns, chain, snapshot_ts, me, ignore_prepared)
+                    {
+                        (ReadResult::Row(r), observed) => {
+                            let observed = observed
+                                .unwrap_or(VersionRef { writer: TrxId(0), commit_ts: None });
+                            out.push((k.clone(), r, observed));
+                        }
+                        (ReadResult::NotFound, _) => {}
+                        (ReadResult::MustWait(w), _) => {
                             pending_writer = Some(w);
                             break 'shards;
                         }

@@ -62,11 +62,28 @@ impl TxnTable {
 
     /// Move `trx` to PREPARED (2PC phase one).
     pub fn prepare(&self, trx: TrxId, prepare_ts: u64) -> Result<()> {
+        self.prepare_with(trx, || prepare_ts).map(|_| ())
+    }
+
+    /// Move `trx` to PREPARED with the timestamp allocated *inside* the
+    /// state-table critical section. Readers decide whether to skip an
+    /// undecided version by consulting this table under the same lock, and
+    /// a reader that skips an ACTIVE writer is only correct if that
+    /// writer's eventual timestamp exceeds the reader's snapshot. When the
+    /// clock advance happens outside the lock, a reader can sync a higher
+    /// snapshot into the node clock *between* the writer's allocation and
+    /// its PREPARED transition, scan past the still-ACTIVE intents, and
+    /// miss a transaction about to commit below its snapshot (G-SIb).
+    /// Holding the lock across `alloc` makes the reader's state check land
+    /// strictly before the allocation or strictly after the transition —
+    /// both safe.
+    pub fn prepare_with(&self, trx: TrxId, alloc: impl FnOnce() -> u64) -> Result<u64> {
         let mut inner = self.inner.lock();
         match inner.states.get_mut(&trx) {
             Some(s @ TxnState::Active) => {
+                let prepare_ts = alloc();
                 *s = TxnState::Prepared { prepare_ts };
-                Ok(())
+                Ok(prepare_ts)
             }
             Some(other) => Err(Error::TxnAborted {
                 reason: format!("prepare from illegal state {other:?}"),

@@ -113,6 +113,20 @@ pub fn stress(
     transfers_per_thread: usize,
     audits: usize,
 ) -> Vec<i64> {
+    stress_seeded(harness, coords, transfer_threads, transfers_per_thread, audits, 0xBA2C_0000)
+}
+
+/// [`stress`] with an explicit base seed (per-thread streams derive from
+/// it), so suites can plumb `POLARDBX_TEST_SEED` through and replay a
+/// failing interleaving's transfer choices.
+pub fn stress_seeded(
+    harness: Arc<BankHarness>,
+    coords: Vec<Arc<Coordinator>>,
+    transfer_threads: usize,
+    transfers_per_thread: usize,
+    audits: usize,
+    base_seed: u64,
+) -> Vec<i64> {
     use rand::{Rng, SeedableRng};
     let totals = parking_lot::Mutex::new(Vec::new());
     std::thread::scope(|s| {
@@ -122,7 +136,8 @@ pub fn stress(
             s.spawn(move || {
                 // Seeded per thread: the bank checker must replay identically
                 // under the same seed (determinism lint).
-                let mut rng = rand::rngs::StdRng::seed_from_u64(0xBA2C_0000 + t as u64);
+                let mut rng =
+                    rand::rngs::StdRng::seed_from_u64(base_seed.wrapping_add(t as u64));
                 for _ in 0..transfers_per_thread {
                     let a = rng.gen_range(0..h.accounts);
                     let mut b = rng.gen_range(0..h.accounts);

@@ -3,7 +3,9 @@
 use std::collections::HashSet;
 use std::sync::Arc;
 
-use polardbx_common::{Error, IdGenerator, Key, NodeId, Result, Row, TableId, TrxId};
+use polardbx_common::{
+    Error, HistoryRecorder, IdGenerator, Key, NodeId, Result, Row, TableId, TrxId, TxnEvent,
+};
 use polardbx_hlc::{Clock, HlcTimestamp};
 use polardbx_simnet::SimNet;
 
@@ -14,6 +16,22 @@ use crate::msg::{Decision, TxnMsg, WireWriteOp};
 /// A hook invoked at named points in the commit protocol, letting chaos
 /// tests inject failures (e.g. crash the CN) at exact protocol positions.
 pub type Failpoint = Arc<dyn Fn(&'static str) + Send + Sync>;
+
+/// Deliberate protocol breakages used to validate the isolation checker
+/// (`sitcheck` mutation runs): each one removes a safety step HLC-SI
+/// depends on, and the checker must catch the resulting anomaly. Never
+/// enable these outside checker validation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProtocolMutations {
+    /// Skip the coordinator's commit-time `ClockUpdate` (step ⑥): later
+    /// transactions from this CN may take snapshots below commit
+    /// timestamps they causally follow.
+    pub skip_commit_clock_update: bool,
+    /// Silently drop this participant from the 2PC fan-out (no Prepare, no
+    /// phase-two Commit), while still committing the others: its writes
+    /// are lost even though the coordinator reports success.
+    pub drop_participant: Option<NodeId>,
+}
 
 /// A coordinator living on a CN node.
 pub struct Coordinator {
@@ -26,6 +44,8 @@ pub struct Coordinator {
     decision_node: Option<NodeId>,
     metrics: Arc<TxnMetrics>,
     failpoint: Option<Failpoint>,
+    recorder: Option<Arc<HistoryRecorder>>,
+    mutations: ProtocolMutations,
 }
 
 impl Coordinator {
@@ -46,6 +66,8 @@ impl Coordinator {
             decision_node: None,
             metrics: Arc::new(TxnMetrics::new()),
             failpoint: None,
+            recorder: None,
+            mutations: ProtocolMutations::default(),
         }
     }
 
@@ -75,6 +97,26 @@ impl Coordinator {
     pub fn with_failpoint(mut self, fp: Failpoint) -> Coordinator {
         self.failpoint = Some(fp);
         self
+    }
+
+    /// Builder: record transaction begins and global commit/abort outcomes
+    /// to a history recorder (isolation checking).
+    pub fn with_recorder(mut self, rec: Arc<HistoryRecorder>) -> Coordinator {
+        self.recorder = Some(rec);
+        self
+    }
+
+    /// Builder: enable deliberate protocol breakages. Checker-validation
+    /// (`sitcheck` mutation runs) only.
+    pub fn with_mutations(mut self, mutations: ProtocolMutations) -> Coordinator {
+        self.mutations = mutations;
+        self
+    }
+
+    fn record(&self, ev: TxnEvent) {
+        if let Some(rec) = &self.recorder {
+            rec.record(ev);
+        }
     }
 
     /// This coordinator's metrics.
@@ -112,13 +154,9 @@ impl Coordinator {
     /// for TSO this is the first oracle round trip).
     pub fn begin(&self) -> DistTxn<'_> {
         let snapshot_ts = self.clock.now();
-        DistTxn {
-            coord: self,
-            trx: TrxId(self.trx_ids.next_id()),
-            snapshot_ts,
-            participants: HashSet::new(),
-            finished: false,
-        }
+        let trx = TrxId(self.trx_ids.next_id());
+        self.record(TxnEvent::Begin { trx, session: self.me, snapshot_ts: snapshot_ts.raw() });
+        DistTxn { coord: self, trx, snapshot_ts, participants: HashSet::new(), finished: false }
     }
 
     /// Autocommit snapshot read outside any transaction.
@@ -253,7 +291,11 @@ impl DistTxn<'_> {
         self.finished = true;
         let parts: Vec<NodeId> = self.participants.iter().copied().collect();
         match parts.len() {
-            0 => Ok(self.snapshot_ts.raw()), // read-nothing transaction
+            0 => {
+                let commit_ts = self.snapshot_ts.raw(); // read-nothing transaction
+                self.record_commit(commit_ts);
+                Ok(commit_ts)
+            }
             1 => {
                 let dn = parts[0];
                 // CommitLocal is idempotent at the participant (a duplicate
@@ -262,14 +304,29 @@ impl DistTxn<'_> {
                     TxnMsg::Committed { commit_ts } => {
                         // Absorb the participant's timestamp so later
                         // transactions from this CN observe it.
-                        self.coord.clock.update(HlcTimestamp::from_raw(commit_ts));
+                        if !self.coord.mutations.skip_commit_clock_update {
+                            self.coord.clock.update(HlcTimestamp::from_raw(commit_ts));
+                        }
+                        self.record_commit(commit_ts);
                         Ok(commit_ts)
                     }
-                    TxnMsg::Failed(e) => Err(e),
+                    TxnMsg::Failed(e) => {
+                        self.record_abort();
+                        Err(e)
+                    }
                     other => Err(Error::execution(format!("unexpected reply {other:?}"))),
                 }
             }
             _ => {
+                // The drop_participant mutation silently forgets one DN:
+                // it gets neither a Prepare nor a phase-two Commit, while
+                // the rest of the transaction commits normally.
+                let parts: Vec<NodeId> = match self.coord.mutations.drop_participant {
+                    Some(victim) if parts.len() > 1 => {
+                        parts.iter().copied().filter(|dn| *dn != victim).collect()
+                    }
+                    _ => parts,
+                };
                 // Phase one, in parallel across participants, with retries.
                 let this = &self;
                 let results: Vec<Result<TxnMsg>> = std::thread::scope(|s| {
@@ -331,6 +388,7 @@ impl DistTxn<'_> {
                         );
                     }
                     self.send_aborts(&parts);
+                    self.record_abort();
                     return Err(e);
                 }
                 // Steps ⑤/⑥: commit_ts = max; a single batched ClockUpdate.
@@ -348,12 +406,14 @@ impl DistTxn<'_> {
                             // A resolver presumed abort before our decision
                             // landed; the log is authoritative.
                             self.send_aborts(&parts);
+                            self.record_abort();
                             return Err(Error::TxnAborted {
                                 reason: "presumed abort already on record".into(),
                             });
                         }
                         Ok(other) => {
                             self.send_aborts(&parts);
+                            self.record_abort();
                             return Err(Error::execution(format!("unexpected reply {other:?}")));
                         }
                         Err(e) => {
@@ -368,7 +428,9 @@ impl DistTxn<'_> {
                         }
                     }
                 }
-                self.coord.clock.update(HlcTimestamp::from_raw(commit_ts));
+                if !self.coord.mutations.skip_commit_clock_update {
+                    self.coord.clock.update(HlcTimestamp::from_raw(commit_ts));
+                }
                 self.coord.hit_failpoint("txn.after_decision");
                 // Phase two is asynchronous: post and return. New readers
                 // hitting PREPARED versions wait for the decision, so this
@@ -379,6 +441,7 @@ impl DistTxn<'_> {
                         .net
                         .post(self.coord.me, dn, TxnMsg::Commit { trx: self.trx, commit_ts });
                 }
+                self.record_commit(commit_ts);
                 Ok(commit_ts)
             }
         }
@@ -389,12 +452,24 @@ impl DistTxn<'_> {
         self.finished = true;
         let parts: Vec<NodeId> = self.participants.iter().copied().collect();
         self.send_aborts(&parts);
+        self.record_abort();
     }
 
     fn send_aborts(&self, parts: &[NodeId]) {
         for &dn in parts {
             let _ = self.coord.net.post(self.coord.me, dn, TxnMsg::Abort { trx: self.trx });
         }
+    }
+
+    /// Record the global commit outcome at the coordinator.
+    fn record_commit(&self, commit_ts: u64) {
+        self.coord
+            .record(TxnEvent::Commit { trx: self.trx, node: self.coord.me, commit_ts });
+    }
+
+    /// Record the global abort outcome at the coordinator.
+    fn record_abort(&self) {
+        self.coord.record(TxnEvent::Abort { trx: self.trx, node: self.coord.me });
     }
 }
 
@@ -403,6 +478,7 @@ impl Drop for DistTxn<'_> {
         if !self.finished {
             let parts: Vec<NodeId> = self.participants.iter().copied().collect();
             self.send_aborts(&parts);
+            self.record_abort();
         }
     }
 }

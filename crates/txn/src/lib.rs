@@ -40,7 +40,7 @@ pub mod msg;
 pub mod participant;
 
 pub use config::{ResolverConfig, TxnConfig};
-pub use coordinator::{Coordinator, DistTxn, Failpoint};
+pub use coordinator::{Coordinator, DistTxn, Failpoint, ProtocolMutations};
 pub use metrics::TxnMetrics;
 pub use msg::{Decision, TxnMsg, WireWriteOp};
 pub use participant::{DnService, ResolverHandle};

@@ -9,7 +9,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use polardbx_common::time::mono_now;
-use polardbx_common::{Error, NodeId, Result, TrxId};
+use polardbx_common::{Error, HistoryRecorder, NodeId, Result, TrxId, TxnEvent};
 use polardbx_hlc::{Clock, HlcTimestamp};
 use polardbx_simnet::{Handler, SimNet};
 use polardbx_storage::{StorageEngine, TxnState, WriteOp};
@@ -45,6 +45,9 @@ pub struct DnService {
     /// First writer wins — a presumed-abort write by a querying participant
     /// permanently blocks a slow coordinator's commit, and vice versa.
     decisions: Mutex<HashMap<TrxId, Decision>>,
+    /// History tap for arbiter decisions (the engine carries its own tap
+    /// for reads/writes/commit stamps).
+    recorder: Mutex<Option<Arc<HistoryRecorder>>>,
 }
 
 impl DnService {
@@ -58,7 +61,30 @@ impl DnService {
             started: Mutex::new(HashMap::new()),
             prepared: Mutex::new(HashMap::new()),
             decisions: Mutex::new(HashMap::new()),
+            recorder: Mutex::new(None),
         })
+    }
+
+    /// Attach a history recorder: installs the MVCC tap on this node's
+    /// engine (reads, writes, local commit stamps, aborts) and records
+    /// arbiter decisions made here.
+    pub fn attach_recorder(&self, rec: Arc<HistoryRecorder>) {
+        self.engine.set_recorder(Arc::clone(&rec), self.node, false);
+        *self.recorder.lock() = Some(rec);
+    }
+
+    /// Record a first-writer-wins arbiter decision. Called after the
+    /// decision-log lock is released (the recorder is a leaf lock, but
+    /// taps here keep the discipline of never nesting it anyway).
+    fn record_decision(&self, trx: TrxId, decision: Decision) {
+        let rec = self.recorder.lock().clone();
+        if let Some(rec) = rec {
+            let commit_ts = match decision {
+                Decision::Commit(ts) => Some(ts),
+                Decision::Abort => None,
+            };
+            rec.record(TxnEvent::Decision { trx, node: self.node, commit_ts });
+        }
     }
 
     /// The decision on record for `trx`, if this node is its arbiter.
@@ -241,13 +267,16 @@ impl Handler<TxnMsg> for DnService {
                     return TxnMsg::Prepared { prepare_ts };
                 }
                 // Step ④: validate, enter PREPARED, return ClockAdvance().
-                let prepare_ts = self.clock.advance();
-                match self.engine.prepare(trx, prepare_ts.raw()) {
-                    Ok(_) => {
+                // The advance happens inside the transaction table's lock:
+                // allocated-but-not-yet-PREPARED is a window in which a
+                // reader could sync a higher snapshot and skip our ACTIVE
+                // intents, then miss the commit below its snapshot.
+                match self.engine.prepare_with(trx, || self.clock.advance().raw()) {
+                    Ok((prepare_ts, _)) => {
                         self.prepared
                             .lock()
                             .insert(trx, InDoubt { decision_node, since: mono_now() });
-                        TxnMsg::Prepared { prepare_ts: prepare_ts.raw() }
+                        TxnMsg::Prepared { prepare_ts }
                     }
                     Err(e) => TxnMsg::Failed(e),
                 }
@@ -279,8 +308,16 @@ impl Handler<TxnMsg> for DnService {
                     return TxnMsg::Committed { commit_ts };
                 }
                 // Single-participant fast path: the commit timestamp is this
-                // node's ClockAdvance — no cross-node max needed.
-                let commit_ts = self.clock.advance().raw();
+                // node's ClockAdvance — no cross-node max needed. The
+                // advance rides the same in-lock PREPARED transition as a
+                // 2PC prepare (readers wait instead of skipping ACTIVE
+                // intents once the timestamp exists), but without a second
+                // durability flush.
+                let commit_ts =
+                    match self.engine.mark_prepared_with(trx, || self.clock.advance().raw()) {
+                        Ok(ts) => ts,
+                        Err(e) => return TxnMsg::Failed(e),
+                    };
                 self.finish(trx);
                 match self.engine.commit(trx, commit_ts) {
                     Ok(_) => TxnMsg::Committed { commit_ts },
@@ -303,8 +340,18 @@ impl Handler<TxnMsg> for DnService {
                 // Arbiter role: first writer wins, and the reply carries
                 // whatever is actually on record — a coordinator beaten to
                 // the log by a presumed abort learns it here.
-                let mut log = self.decisions.lock();
-                let recorded = *log.entry(trx).or_insert(decision);
+                let (recorded, inserted) = {
+                    let mut log = self.decisions.lock();
+                    let mut inserted = false;
+                    let recorded = *log.entry(trx).or_insert_with(|| {
+                        inserted = true;
+                        decision
+                    });
+                    (recorded, inserted)
+                };
+                if inserted {
+                    self.record_decision(trx, recorded);
+                }
                 TxnMsg::DecisionIs { decision: recorded }
             }
             TxnMsg::QueryDecision { trx } => {
@@ -312,11 +359,19 @@ impl Handler<TxnMsg> for DnService {
                 // decision is on record, the coordinator provably never
                 // finished logging Commit — record ABORT, which from now on
                 // blocks it from committing (presumed abort).
-                let mut log = self.decisions.lock();
-                let recorded = *log.entry(trx).or_insert_with(|| {
-                    self.metrics.presumed_aborts.inc();
-                    Decision::Abort
-                });
+                let (recorded, inserted) = {
+                    let mut log = self.decisions.lock();
+                    let mut inserted = false;
+                    let recorded = *log.entry(trx).or_insert_with(|| {
+                        self.metrics.presumed_aborts.inc();
+                        inserted = true;
+                        Decision::Abort
+                    });
+                    (recorded, inserted)
+                };
+                if inserted {
+                    self.record_decision(trx, recorded);
+                }
                 TxnMsg::DecisionIs { decision: recorded }
             }
             other => other,

@@ -7,10 +7,15 @@
 //! transaction left PREPARED forever, replication convergence after the
 //! fabric heals, and bit-for-bit determinism when the same seed is
 //! replayed.
+//!
+//! Fault seeds honor `POLARDBX_TEST_SEED` (hex or decimal); each scenario
+//! announces its seed on stderr, which the test harness surfaces exactly
+//! when the test fails — copy it into the env var to replay.
 
 use std::sync::Arc;
 use std::time::Duration;
 
+use polardbx_common::testseed::{format_seed, seed_from_env};
 use polardbx_common::{DcId, IdGenerator, Key, NodeId, Row, TableId, TenantId, Value};
 use polardbx_consensus::{GroupConfig, PaxosGroup, Role};
 use polardbx_hlc::Hlc;
@@ -90,10 +95,12 @@ fn await_drained(dns: &[Arc<DnService>], timeout: Duration) -> bool {
 /// must still land all-or-nothing with nothing stuck once the fabric heals.
 #[test]
 fn two_pc_atomic_under_lossy_duplicating_links() {
+    let seed = seed_from_env(0xC4A0_5EED);
+    eprintln!("two_pc_atomic_under_lossy_duplicating_links: POLARDBX_TEST_SEED={}", format_seed(seed));
     let (net, coord, dns) = chaos_cluster();
     let _resolvers = start_resolvers(&net, &dns);
     net.set_fault_plan(
-        FaultPlan::new(0xC4A0_5EED).with_cross_dc(LinkFaults::lossy(0.08).with_duplicate(0.05)),
+        FaultPlan::new(seed).with_cross_dc(LinkFaults::lossy(0.08).with_duplicate(0.05)),
     );
 
     const TXNS: i64 = 25;
@@ -259,8 +266,10 @@ fn seeded_run(seed: u64) -> (Vec<bool>, Vec<(bool, bool)>, [u64; 5]) {
 /// a different fault path.
 #[test]
 fn same_seed_replays_identical_chaos() {
-    let a = seeded_run(0xD15EA5E);
-    let b = seeded_run(0xD15EA5E);
+    let seed = seed_from_env(0xD15EA5E);
+    eprintln!("same_seed_replays_identical_chaos: POLARDBX_TEST_SEED={}", format_seed(seed));
+    let a = seeded_run(seed);
+    let b = seeded_run(seed);
     assert_eq!(a.0, b.0, "commit outcomes must be deterministic");
     assert_eq!(a.1, b.1, "final state must be deterministic");
     assert_eq!(a.2, b.2, "fault counters must be deterministic");
@@ -268,7 +277,7 @@ fn same_seed_replays_identical_chaos() {
     for (on2, on3) in &a.1 {
         assert_eq!(on2, on3, "atomicity must hold in every run");
     }
-    let c = seeded_run(0x0DD_5EED);
+    let c = seeded_run(seed ^ 0x0DD_5EED);
     assert_ne!(a.2, c.2, "a different seed should walk a different fault path");
 }
 
@@ -287,10 +296,12 @@ fn same_seed_replays_identical_chaos() {
 fn group_commit_chaos_settles_in_flight_txns() {
     use std::sync::atomic::{AtomicU64, Ordering};
 
+    let seed = seed_from_env(0x6C0_FFEE);
+    eprintln!("group_commit_chaos_settles_in_flight_txns: POLARDBX_TEST_SEED={}", format_seed(seed));
     let (net, coord, dns) = chaos_cluster();
     let _resolvers = start_resolvers(&net, &dns);
     net.set_fault_plan(
-        FaultPlan::new(0x6C0_FFEE).with_cross_dc(LinkFaults::lossy(0.08).with_duplicate(0.05)),
+        FaultPlan::new(seed).with_cross_dc(LinkFaults::lossy(0.08).with_duplicate(0.05)),
     );
 
     // Crash the CN after a fixed number of commit decisions: whatever is
@@ -385,15 +396,71 @@ fn paxos_payload(n: i64) -> polardbx_wal::Mtr {
     })
 }
 
+/// PolarFS under chaos: one chunk replica is black-holed mid-append (its
+/// writes vanish while the majority keeps committing), then revived and
+/// caught up. All three replicas must converge byte-identical over the
+/// full appended span — the ParallelRaft §II-A durability contract.
+#[test]
+fn polarfs_replica_blackhole_converges_byte_identical() {
+    use bytes::Bytes;
+    use polardbx_polarfs::{ChunkId, ChunkServer, ParallelRaftGroup};
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    let seed = seed_from_env(0xB1AC_401E);
+    eprintln!(
+        "polarfs_replica_blackhole_converges_byte_identical: POLARDBX_TEST_SEED={}",
+        format_seed(seed)
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let sns: Vec<_> = (0..3).map(|i| ChunkServer::new(NodeId(i), DcId(1))).collect();
+    let g = ParallelRaftGroup::new(ChunkId { volume: 7, index: 0 }, sns, Duration::ZERO);
+
+    let mut offset = 0u64;
+    let append = |rng: &mut StdRng, offset: &mut u64| {
+        let len = rng.gen_range(16..128usize);
+        let data: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+        g.write(*offset, Bytes::from(data)).expect("majority must persist the append");
+        *offset += len as u64;
+    };
+
+    for _ in 0..10 {
+        append(&mut rng, &mut offset);
+    }
+    g.replicas()[2].set_down(true);
+    for _ in 0..20 {
+        append(&mut rng, &mut offset);
+    }
+    g.replicas()[2].set_down(false);
+    // Until catch-up runs, the revived replica has a hole where the
+    // black-holed appends landed; ParallelRaft copies the span across.
+    g.catch_up(2).unwrap();
+
+    let span = offset as usize;
+    let reference = g.replicas()[0].read(g.chunk(), 0, span).unwrap();
+    assert!(!reference.iter().all(|b| *b == 0), "appends must have landed");
+    for (i, r) in g.replicas().iter().enumerate() {
+        assert_eq!(
+            r.read(g.chunk(), 0, span).unwrap(),
+            reference,
+            "replica {i} diverged after catch-up (POLARDBX_TEST_SEED={})",
+            format_seed(seed)
+        );
+    }
+    assert_eq!(g.committed(), 30, "every append must have majority-committed");
+}
+
 /// Consensus under chaos: lossy, duplicating cross-DC links while the
 /// leader streams log, then the leader crashes mid-replication, a follower
 /// is elected, and after heal + restart every replica converges on the new
 /// leader's log.
 #[test]
 fn consensus_converges_after_leader_crash_under_loss() {
+    let seed = seed_from_env(0xBAD_CAB1E);
+    eprintln!("consensus_converges_after_leader_crash_under_loss: POLARDBX_TEST_SEED={}", format_seed(seed));
     let g = PaxosGroup::build(GroupConfig::three_dc(1));
     g.net.set_fault_plan(
-        FaultPlan::new(0xBAD_CAB1E).with_cross_dc(LinkFaults::lossy(0.10).with_duplicate(0.10)),
+        FaultPlan::new(seed).with_cross_dc(LinkFaults::lossy(0.10).with_duplicate(0.10)),
     );
     let leader = g.leader().unwrap();
     // Heartbeats drive the ack/resend repair loop, so lost appends are

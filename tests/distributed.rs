@@ -7,6 +7,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
+use polardbx_common::testseed::{format_seed, seed_from_env};
 use polardbx_common::{DcId, IdGenerator, Key, NodeId, Row, TableId, TenantId, TrxId, Value};
 use polardbx_consensus::{GroupConfig, PaxosGroup, Role};
 use polardbx_hlc::Hlc;
@@ -223,10 +224,17 @@ fn bank_invariant_under_cross_dc_latency() {
     let harness = Arc::new(checker::BankHarness { table: TableId(1), dns, accounts: 9, initial: 100 });
     harness.seed(&coords[0]).unwrap();
     std::thread::sleep(Duration::from_millis(3));
-    let totals = checker::stress(Arc::clone(&harness), coords.clone(), 3, 10, 2);
+    let seed = seed_from_env(0xBA2C_0000);
+    eprintln!("bank_invariant_under_cross_dc_latency: POLARDBX_TEST_SEED={}", format_seed(seed));
+    let totals = checker::stress_seeded(Arc::clone(&harness), coords.clone(), 3, 10, 2, seed);
     assert!(!totals.is_empty());
     for t in totals {
-        assert_eq!(t, harness.expected_total(), "fractured read under latency");
+        assert_eq!(
+            t,
+            harness.expected_total(),
+            "fractured read under latency (replay with POLARDBX_TEST_SEED={})",
+            format_seed(seed)
+        );
     }
 }
 
