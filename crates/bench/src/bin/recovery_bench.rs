@@ -1,0 +1,241 @@
+//! Crashpoint torture bench: RTO/RPO across seeded crash-restart runs.
+//!
+//! Drives the `sitcheck` recovery harness over the (crashpoint × seed)
+//! matrix — mid-group-flush power loss, a crash between 2PC prepare and
+//! commit, and a consensus-follower crash during log drain — each followed
+//! by an *amnesia* restart rebuilt from nothing but the victim's durable
+//! log. Per run the harness reports:
+//!
+//! * **RPO** — acked commits lost (the bar is exactly zero),
+//! * **RTO** — crash → the victim serving a clean audit again,
+//! * replay idempotence (replaying the recovered log twice ≡ once),
+//! * the bank conserved sum, and
+//! * the Adya checker's verdict over the whole history, crash included.
+//!
+//! Results land in `BENCH_recovery.json`; per-run text reports (the same
+//! block format as `sitcheck-report.txt`) go to `sitcheck-recovery.txt`.
+//! Unlike the throughput benches, the bars here are *correctness* bars, so
+//! a violation fails the run even under `--quick`.
+//!
+//! Run: `cargo run --release -p polardbx-bench --bin recovery_bench \
+//!       [--quick] [--seeds N] [--base-seed HEX] [--no-torn-tail]`
+
+use std::time::Duration;
+
+use polardbx_bench::{header, quick, row};
+use polardbx_common::testseed::seed_from_env;
+use polardbx_sitcheck::recovery::{run_crashpoint, CrashPoint, RecoveryConfig, RecoveryRun};
+use polardbx_sitcheck::report::render_recovery_report;
+
+const DEFAULT_BASE_SEED: u64 = 0x5EC0_4E41;
+
+struct Args {
+    seeds: usize,
+    base_seed: u64,
+    torn_tail: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { seeds: if quick() { 2 } else { 5 }, base_seed: 0, torn_tail: true };
+    let mut it = std::env::args().skip(1);
+    let mut base = None;
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => {}
+            "--no-torn-tail" => args.torn_tail = false,
+            "--seeds" => {
+                args.seeds = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seeds needs a number");
+            }
+            "--base-seed" => {
+                let v = it.next().expect("--base-seed needs a hex value");
+                base = Some(
+                    u64::from_str_radix(v.trim_start_matches("0x"), 16)
+                        .expect("--base-seed needs a hex value"),
+                );
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    // POLARDBX_TEST_SEED pins the whole matrix for reproduction in CI.
+    args.base_seed = base.unwrap_or_else(|| seed_from_env(DEFAULT_BASE_SEED));
+    args
+}
+
+/// Per-crashpoint-class aggregate.
+struct ClassAgg {
+    label: &'static str,
+    runs: usize,
+    acked: usize,
+    lost: usize,
+    in_doubt: usize,
+    rto_mean: Duration,
+    rto_max: Duration,
+    truncated: u64,
+    all_idempotent: bool,
+    all_clean: bool,
+    all_passed: bool,
+}
+
+fn aggregate(label: &'static str, runs: &[&RecoveryRun]) -> ClassAgg {
+    let total: Duration = runs.iter().map(|r| r.rto).sum();
+    ClassAgg {
+        label,
+        runs: runs.len(),
+        acked: runs.iter().map(|r| r.acked_commits).sum(),
+        lost: runs.iter().map(|r| r.lost_acked).sum(),
+        in_doubt: runs.iter().map(|r| r.in_doubt_recovered).sum(),
+        rto_mean: total / runs.len().max(1) as u32,
+        rto_max: runs.iter().map(|r| r.rto).max().unwrap_or_default(),
+        truncated: runs.iter().map(|r| r.truncated_bytes).sum(),
+        all_idempotent: runs.iter().all(|r| r.replay_idempotent),
+        all_clean: runs.iter().all(|r| r.report.is_clean()),
+        all_passed: runs.iter().all(|r| r.passed()),
+    }
+}
+
+fn run_json(r: &RecoveryRun) -> String {
+    format!(
+        "{{\"crashpoint\": \"{}\", \"seed\": {}, \"acked_commits\": {}, \"lost_acked\": {}, \
+         \"in_doubt_recovered\": {}, \"rto_ms\": {:.3}, \"truncated_bytes\": {}, \
+         \"replay_idempotent\": {}, \"conserved_ok\": {}, \"anomalies\": {}, \"passed\": {}}}",
+        r.crashpoint_label,
+        r.seed,
+        r.acked_commits,
+        r.lost_acked,
+        r.in_doubt_recovered,
+        r.rto.as_secs_f64() * 1e3,
+        r.truncated_bytes,
+        r.replay_idempotent,
+        r.conserved_ok,
+        r.report.anomalies.len(),
+        r.passed(),
+    )
+}
+
+fn main() {
+    let args = parse_args();
+    let seeds: Vec<u64> = (0..args.seeds as u64).map(|i| args.base_seed.wrapping_add(i)).collect();
+    let crashpoints = CrashPoint::all();
+
+    println!(
+        "# recovery_bench — crashpoint torture, {} seed(s) from {:#x}, torn_tail={}",
+        args.seeds, args.base_seed, args.torn_tail
+    );
+    println!();
+    header(&[
+        "crashpoint", "seed", "acked", "lost", "in-doubt", "rto", "truncated", "idempotent",
+        "anomalies",
+    ]);
+
+    let mut runs: Vec<RecoveryRun> = Vec::new();
+    let mut report_text = String::new();
+    for &seed in &seeds {
+        for &cp in &crashpoints {
+            let mut cfg = RecoveryConfig::quick(seed, cp);
+            cfg.torn_tail = args.torn_tail;
+            let r = run_crashpoint(&cfg);
+            row(&[
+                r.crashpoint_label.to_string(),
+                format!("{:#x}", r.seed),
+                r.acked_commits.to_string(),
+                r.lost_acked.to_string(),
+                r.in_doubt_recovered.to_string(),
+                format!("{:.2?}", r.rto),
+                r.truncated_bytes.to_string(),
+                r.replay_idempotent.to_string(),
+                r.report.anomalies.len().to_string(),
+            ]);
+            report_text.push_str(&render_recovery_report(&r));
+            runs.push(r);
+        }
+    }
+    println!();
+
+    // Per-class aggregates (the RTO-per-crashpoint-class table).
+    let aggs: Vec<ClassAgg> = crashpoints
+        .iter()
+        .map(|cp| {
+            let class: Vec<&RecoveryRun> =
+                runs.iter().filter(|r| r.crashpoint_label == cp.label()).collect();
+            aggregate(cp.label(), &class)
+        })
+        .collect();
+    println!("## per crashpoint class");
+    header(&["crashpoint", "runs", "acked", "lost", "rto mean", "rto max", "clean", "idempotent"]);
+    for a in &aggs {
+        row(&[
+            a.label.to_string(),
+            a.runs.to_string(),
+            a.acked.to_string(),
+            a.lost.to_string(),
+            format!("{:.2?}", a.rto_mean),
+            format!("{:.2?}", a.rto_max),
+            a.all_clean.to_string(),
+            a.all_idempotent.to_string(),
+        ]);
+    }
+    println!();
+
+    let agg_json = aggs
+        .iter()
+        .map(|a| {
+            format!(
+                "{{\"crashpoint\": \"{}\", \"runs\": {}, \"acked_commits\": {}, \"lost_acked\": {}, \
+                 \"in_doubt_recovered\": {}, \"rto_mean_ms\": {:.3}, \"rto_max_ms\": {:.3}, \
+                 \"truncated_bytes\": {}, \"replay_idempotent\": {}, \"clean\": {}, \"passed\": {}}}",
+                a.label,
+                a.runs,
+                a.acked,
+                a.lost,
+                a.in_doubt,
+                a.rto_mean.as_secs_f64() * 1e3,
+                a.rto_max.as_secs_f64() * 1e3,
+                a.truncated,
+                a.all_idempotent,
+                a.all_clean,
+                a.all_passed,
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n    ");
+    let all_passed = runs.iter().all(|r| r.passed());
+    let json = format!(
+        "{{\n  \"benchmark\": \"recovery_bench\",\n  \"base_seed\": {},\n  \"seeds\": {},\n  \
+         \"torn_tail\": {},\n  \"classes\": [\n    {}\n  ],\n  \"runs\": [\n    {}\n  ],\n  \
+         \"total_lost_acked\": {},\n  \"all_passed\": {}\n}}\n",
+        args.base_seed,
+        args.seeds,
+        args.torn_tail,
+        agg_json,
+        runs.iter().map(run_json).collect::<Vec<_>>().join(",\n    "),
+        runs.iter().map(|r| r.lost_acked).sum::<usize>(),
+        all_passed,
+    );
+    std::fs::write("BENCH_recovery.json", &json).unwrap();
+    std::fs::write("sitcheck-recovery.txt", &report_text).unwrap();
+    println!("  wrote BENCH_recovery.json and sitcheck-recovery.txt");
+
+    if !all_passed {
+        for r in runs.iter().filter(|r| !r.passed()) {
+            println!(
+                "  FAILURE: {} seed {:#x}: lost_acked={} idempotent={} conserved={} clean={} \
+                 recovered={}",
+                r.crashpoint_label,
+                r.seed,
+                r.lost_acked,
+                r.replay_idempotent,
+                r.conserved_ok,
+                r.report.is_clean(),
+                r.recovered_in_time,
+            );
+        }
+        std::process::exit(1);
+    }
+    println!("  all crashpoints recovered: RPO = 0, replay idempotent, histories clean");
+}

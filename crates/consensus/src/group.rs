@@ -339,6 +339,70 @@ mod tests {
     }
 
     #[test]
+    fn amnesia_restarted_follower_rejoins_from_durable_log() {
+        // Crash the DC2 follower, let the group commit past it, then
+        // rebuild the follower purely from its durable sink — with a torn
+        // tail, so the checksum scan must discard the last frame — and
+        // verify the leader's catch-up path backfills everything.
+        let g = PaxosGroup::build(GroupConfig::three_dc(1));
+        let leader = g.leader().unwrap();
+        // Two separate batches → two frames on disk, so a torn tail can
+        // destroy the second while the first stays scannable.
+        let lsn0 = leader.replicate_and_wait(&[mtr(1)], Duration::from_secs(2)).unwrap();
+        let lsn1 = leader.replicate_and_wait(&[mtr(2)], Duration::from_secs(2)).unwrap();
+        assert!(lsn1 > lsn0);
+        assert!(g.await_dlsn(lsn1, Duration::from_secs(2)));
+
+        let victim = g.replicas[1].me;
+        g.net.crash(victim);
+        // Majority still holds via leader + logger.
+        let lsn2 = leader.replicate_and_wait(&[mtr(3)], Duration::from_secs(2)).unwrap();
+        assert!(lsn2 > lsn1);
+
+        // Amnesia restart: only the sink survives. Model an un-fsynced
+        // tail by corrupting the final frame; the scan must stop there.
+        let sink = g.sinks[1].clone();
+        sink.corrupt_tail(4);
+        let scan = polardbx_wal::scan_frames(&sink.frame_stream());
+        assert!(scan.torn.is_some(), "corrupted tail frame must fail its checksum");
+        let durable = scan.durable_lsn().expect("clean prefix survives");
+        assert_eq!(durable, lsn0, "scan keeps exactly the frames before the tear");
+        sink.truncate_frames_to(durable);
+
+        let recovered = Replica::recovered(
+            victim,
+            DcId(2),
+            g.replicas.iter().map(|r| r.me).collect(),
+            false,
+            Arc::clone(&g.net),
+            sink.clone() as Arc<dyn LogSink>,
+            scan.frames,
+        );
+        assert_eq!(recovered.status().last_lsn, durable);
+        assert_eq!(recovered.status().dlsn, Lsn::ZERO, "durable horizon is learned, not remembered");
+        g.net.register(victim, DcId(2), recovered.clone());
+        g.net.restart_amnesia(victim);
+
+        // One catch-up round: the heartbeat ack reports the short log and
+        // the leader retransmits the missing slots (including the frame
+        // the tear destroyed).
+        leader.sync_followers();
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while recovered.status().dlsn < lsn2 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let st = recovered.status();
+        assert!(st.last_lsn >= lsn2, "rejoined follower must backfill to the group tail");
+        assert!(st.dlsn >= lsn2, "rejoined follower must re-learn the durable horizon");
+        assert_eq!(
+            recovered.log_frames().len(),
+            leader.log_frames().len(),
+            "recovered log converges with the leader's"
+        );
+        assert!(g.net.fault_stats.amnesia_restarts.get() >= 1);
+    }
+
+    #[test]
     fn gap_recovery_via_retransmission() {
         // A follower that was partitioned during some appends recovers the
         // missing range through the leader's reject-resend path.

@@ -172,6 +172,61 @@ impl Replica {
         })
     }
 
+    /// Rebuild a replica from its durable log after an amnesia restart.
+    ///
+    /// `frames` is the checksum-valid prefix recovered by
+    /// [`polardbx_wal::scan_frames`] over the node's durable sink (torn
+    /// tail already truncated away); `sink` is that same sink, so new
+    /// appends extend the surviving log. Volatile coordinates are
+    /// re-derived conservatively: the epoch is the highest epoch recorded
+    /// in the log (and `voted_in` matches it, so the replica cannot
+    /// re-grant a vote it may have cast before the crash), while DLSN and
+    /// the applied cursor restart at zero — the durable horizon is
+    /// *learned* from the leader's next heartbeat, never remembered.
+    /// Until that heartbeat arrives the replica acks `rejected` whenever
+    /// its log ends below the group DLSN, which drives the leader's
+    /// reject-resend path to backfill every slot it missed while down.
+    pub fn recovered(
+        me: NodeId,
+        dc: DcId,
+        members: Vec<NodeId>,
+        is_logger: bool,
+        net: Arc<SimNet<PaxosMsg>>,
+        sink: Arc<dyn LogSink>,
+        frames: Vec<PaxosFrame>,
+    ) -> Arc<Replica> {
+        assert!(members.contains(&me), "members must include self");
+        let epoch = frames.iter().map(|f| f.epoch).max().unwrap_or(0);
+        let last_lsn = frames.last().map(|f| f.lsn_end).unwrap_or(Lsn::ZERO);
+        Arc::new(Replica {
+            me,
+            dc,
+            members,
+            net,
+            st: Mutex::new(State {
+                epoch,
+                voted_in: epoch,
+                role: if is_logger { Role::Logger } else { Role::Follower },
+                is_logger,
+                leader: None,
+                log: frames,
+                last_lsn,
+                dlsn: Lsn::ZERO,
+                applied: Lsn::ZERO,
+                match_lsn: HashMap::new(),
+                votes: HashSet::new(),
+                last_leader_contact: mono_now(),
+            }),
+            waiters: CommitWaiters::new(),
+            metrics: ConsensusMetrics::default(),
+            sink,
+            apply: Mutex::new(None),
+            cleanup: Mutex::new(None),
+            ticker_stop: AtomicBool::new(false),
+            recorder: Mutex::new(None),
+        })
+    }
+
     /// Install a history tap: commit-decision context (leadership changes)
     /// is annotated into `rec` for isolation-checker reports.
     pub fn set_event_recorder(&self, rec: Arc<polardbx_common::HistoryRecorder>) {
@@ -521,6 +576,12 @@ impl Replica {
                     st.last_lsn = frame.lsn_end;
                     st.log.push(frame);
                 }
+                // A log that ends below the group's durable horizon is
+                // missing slots the group already acked — a rejoining
+                // (amnesia-restarted) replica is the canonical case. Ack
+                // `rejected` so even an empty heartbeat solicits the
+                // leader's reject-resend backfill.
+                rejected = rejected || st.last_lsn < dlsn;
                 // Adopt the leader's DLSN, capped by what we hold.
                 let new_dlsn = dlsn.min(st.last_lsn);
                 if new_dlsn > st.dlsn {
@@ -676,6 +737,17 @@ impl Replica {
                 }
             })
             .map_err(|e| Error::execution(format!("spawn paxos ticker: {e}")))
+    }
+
+    /// Leader API: trigger a catch-up round now. Broadcasts an empty
+    /// AppendEntries (heartbeat); each follower's ack reports its
+    /// persisted LSN — a rejoining replica whose log ends below DLSN
+    /// acks `rejected`, which drives retransmission of every frame it is
+    /// missing. No-op on non-leaders. Used by the recovery harness to
+    /// resynchronise a replica right after an amnesia restart instead of
+    /// waiting for the next ticker heartbeat.
+    pub fn sync_followers(&self) {
+        self.broadcast_heartbeat();
     }
 
     /// Signal the ticker thread to exit.

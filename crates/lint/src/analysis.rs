@@ -1,6 +1,6 @@
 //! Per-file invariant analysis over the token stream.
 //!
-//! Four rules (see DESIGN.md "Correctness tooling"):
+//! Five rules (see DESIGN.md "Correctness tooling"):
 //!
 //! - `lock_order` — every nested `lock()/read()/write()` acquisition adds
 //!   an edge `held → acquired` to a cross-crate graph; cycles (reported by
@@ -14,6 +14,10 @@
 //!   the allowlist breaks same-seed chaos reproducibility.
 //! - `unwrap` — `unwrap()/expect()` in protocol crates turns injected
 //!   faults into panics instead of typed errors.
+//! - `durability_order` — in a function that calls `make_durable`, a
+//!   visibility stamp (`txns.commit(…)` / `store.commit(…)`) sequenced
+//!   *before* the durability call acks a commit that crash recovery can
+//!   never reconstruct — the redo-ahead invariant, statically.
 //!
 //! Escape hatch: `// lint:allow(<rule>, <reason>)` on the offending line
 //! or the line directly above. An allow without a reason is itself a
@@ -33,6 +37,8 @@ pub enum Rule {
     Determinism,
     /// `unwrap()/expect()` in a protocol crate.
     Unwrap,
+    /// Version visibility stamped before the durability ack (redo-ahead).
+    DurabilityOrder,
     /// A malformed `lint:allow` (unknown rule or missing reason).
     BadAllow,
 }
@@ -45,6 +51,7 @@ impl Rule {
             Rule::GuardBlocking => "guard_blocking",
             Rule::Determinism => "determinism",
             Rule::Unwrap => "unwrap",
+            Rule::DurabilityOrder => "durability_order",
             Rule::BadAllow => "bad_allow",
         }
     }
@@ -55,6 +62,7 @@ impl Rule {
             "guard_blocking" => Some(Rule::GuardBlocking),
             "determinism" => Some(Rule::Determinism),
             "unwrap" => Some(Rule::Unwrap),
+            "durability_order" => Some(Rule::DurabilityOrder),
             _ => None,
         }
     }
@@ -292,7 +300,7 @@ pub fn analyze_source(path: &str, src: &str, cfg: &Config) -> FileAnalysis {
         }
     }
 
-    // ---- lock rules (per-function guard walk) --------------------------
+    // ---- lock + durability rules (per-function walks) ------------------
     let mut i = 0usize;
     while i < toks.len() {
         if toks[i].is_ident("fn") && !test_mask[i] {
@@ -306,6 +314,7 @@ pub fn analyze_source(path: &str, src: &str, cfg: &Config) -> FileAnalysis {
                     &allow_for,
                     &mut out,
                 );
+                check_durability_order(path, toks, body_start, body_end, &allow_for, &mut out);
                 i = body_end;
                 continue;
             }
@@ -313,6 +322,60 @@ pub fn analyze_source(path: &str, src: &str, cfg: &Config) -> FileAnalysis {
         i += 1;
     }
     out
+}
+
+/// The redo-ahead invariant, statically: in a function that makes redo
+/// durable (`make_durable(…)`), every visibility stamp — `txns.commit(…)`
+/// or `…store.commit(…)` — must be sequenced *after* the first durability
+/// call. A commit made visible first would be acked without its redo, so a
+/// crash in the gap is a silent RPO violation (see `StorageEngine::commit`
+/// and the matching runtime `debug_assert`). Functions with no
+/// `make_durable` at all are out of scope: replay and resolver paths stamp
+/// visibility for records that are durable by definition.
+fn check_durability_order(
+    path: &str,
+    toks: &[Tok],
+    body_start: usize,
+    body_end: usize,
+    allow_for: &dyn Fn(Rule, u32) -> Option<String>,
+    out: &mut FileAnalysis,
+) {
+    let mut first_durable: Option<(usize, u32)> = None;
+    let mut visibility: Vec<(usize, u32, String)> = Vec::new();
+    for i in body_start..=body_end {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || !toks.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+            continue;
+        }
+        if t.text == "make_durable" {
+            if first_durable.is_none() {
+                first_durable = Some((i, t.line));
+            }
+        } else if t.text == "commit" && i > body_start && toks[i - 1].is_punct('.') {
+            let recv = receiver_path(toks, i - 1, body_start);
+            let last = recv.rsplit('.').next().unwrap_or(&recv);
+            if last == "txns" || last.ends_with("store") {
+                visibility.push((i, t.line, recv));
+            }
+        }
+    }
+    if let Some((d, durable_line)) = first_durable {
+        for (i, line, recv) in visibility {
+            if i < d {
+                out.findings.push(Finding {
+                    rule: Rule::DurabilityOrder,
+                    file: path.to_string(),
+                    line,
+                    message: format!(
+                        "'{recv}.commit()' makes versions visible before `make_durable` \
+                         (line {durable_line}) returns — durability must be acked first \
+                         (redo-ahead)",
+                    ),
+                    allowed: allow_for(Rule::DurabilityOrder, line),
+                });
+            }
+        }
+    }
 }
 
 /// Does the `::`-path ending just before ident `i` terminate in one of

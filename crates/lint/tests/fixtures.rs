@@ -13,6 +13,7 @@ const BAD_LOCK_ORDER: &str = include_str!("fixtures/bad_lock_order.rs");
 const BAD_GUARD_BLOCKING: &str = include_str!("fixtures/bad_guard_blocking.rs");
 const BAD_DETERMINISM: &str = include_str!("fixtures/bad_determinism.rs");
 const BAD_UNWRAP: &str = include_str!("fixtures/bad_unwrap.rs");
+const BAD_DURABILITY_ORDER: &str = include_str!("fixtures/bad_durability_order.rs");
 const GOOD_CLEAN: &str = include_str!("fixtures/good_clean.rs");
 const EDGE_TOKENS: &str = include_str!("fixtures/edge_tokens.rs");
 
@@ -75,6 +76,32 @@ fn unwrap_fires_only_in_protocol_crates_and_not_in_tests() {
         outside.findings.iter().all(|f| f.rule != Rule::Unwrap),
         "executor is not in the deny list"
     );
+}
+
+#[test]
+fn durability_order_fires_on_visibility_before_ack() {
+    let fa = analyze_source("crates/storage/src/fixture.rs", BAD_DURABILITY_ORDER, &cfg());
+    let hits: Vec<_> =
+        fa.findings.iter().filter(|f| f.rule == Rule::DurabilityOrder).collect();
+    // `commit_wrong` stamps both the txn table and the version store
+    // before make_durable; the correct and replay-only shapes stay quiet.
+    assert_eq!(hits.len(), 2, "{:?}", fa.findings);
+    assert!(hits.iter().any(|f| f.message.contains("txns.commit")));
+    assert!(hits.iter().any(|f| f.message.contains("store.commit")));
+    assert!(hits.iter().all(|f| f.line < 10), "only commit_wrong may fire: {hits:?}");
+}
+
+#[test]
+fn durability_order_respects_allow() {
+    let src = "pub fn f(e: &E) -> Result<Lsn> {\n\
+               \x20   // lint:allow(durability_order, visibility is rolled back on flush failure)\n\
+               \x20   e.txns.commit(t, ts)?;\n\
+               \x20   e.durability.make_durable(m)\n}\n";
+    let fa = analyze_source("crates/storage/src/fixture.rs", src, &cfg());
+    let hits: Vec<_> =
+        fa.findings.iter().filter(|f| f.rule == Rule::DurabilityOrder).collect();
+    assert_eq!(hits.len(), 1);
+    assert!(hits[0].allowed.as_deref().unwrap().contains("rolled back"));
 }
 
 #[test]

@@ -1,0 +1,23 @@
+// Fixture: visibility stamped before the durability ack (redo-ahead
+// violation). `commit_wrong` must fire `durability_order`; `commit_right`
+// and `replay_only` must stay clean.
+
+pub fn commit_wrong(e: &Engine, trx: TrxId, commit_ts: u64, mtrs: &[Mtr]) -> Result<Lsn> {
+    e.txns.commit(trx, commit_ts)?;
+    e.store.commit(trx, commit_ts, &[]);
+    let lsn = e.durability.make_durable(mtrs)?;
+    Ok(lsn)
+}
+
+pub fn commit_right(e: &Engine, trx: TrxId, commit_ts: u64, mtrs: &[Mtr]) -> Result<Lsn> {
+    let lsn = e.durability.make_durable(mtrs)?;
+    e.txns.commit(trx, commit_ts)?;
+    e.store.commit(trx, commit_ts, &[]);
+    Ok(lsn)
+}
+
+// Replay stamps visibility for records that are durable by definition —
+// no `make_durable` in the body, so the rule stays quiet.
+pub fn replay_only(e: &Engine, trx: TrxId, commit_ts: u64) {
+    e.txns.commit(trx, commit_ts).ok();
+}

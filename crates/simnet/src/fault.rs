@@ -90,6 +90,21 @@ pub enum OneShotFault {
     DropNext,
 }
 
+/// A fault scheduled to fire exactly once, keyed on a node's durable-log
+/// flush count (reported via [`crate::SimNet::note_flush`]). This is how
+/// crashpoints like "die mid-group-flush" become schedulable: the Nth flush
+/// is a deterministic point in a seeded run, unlike wall-clock timers.
+#[derive(Debug, Clone)]
+pub struct FlushShot {
+    /// The node whose flushes are counted.
+    pub node: NodeId,
+    /// Fire when this node performs its Nth flush (1-based).
+    pub after_flushes: u64,
+    /// What happens. [`OneShotFault::Crash`] of the flushing node itself
+    /// models power loss mid-flush (the triggering write must then fail).
+    pub fault: OneShotFault,
+}
+
 /// A deterministic description of the faults to inject.
 #[derive(Debug, Clone)]
 pub struct FaultPlan {
@@ -107,6 +122,8 @@ pub struct FaultPlan {
     pub per_link: Vec<((DcId, DcId), LinkFaults)>,
     /// Scheduled one-shot faults.
     pub one_shots: Vec<OneShot>,
+    /// Scheduled flush-count-triggered faults.
+    pub flush_shots: Vec<FlushShot>,
 }
 
 impl FaultPlan {
@@ -119,6 +136,7 @@ impl FaultPlan {
             cross_dc: None,
             per_link: Vec::new(),
             one_shots: Vec::new(),
+            flush_shots: Vec::new(),
         }
     }
 
@@ -149,6 +167,12 @@ impl FaultPlan {
     /// Builder: schedule a one-shot fault.
     pub fn with_one_shot(mut self, one_shot: OneShot) -> FaultPlan {
         self.one_shots.push(one_shot);
+        self
+    }
+
+    /// Builder: schedule a flush-count-triggered fault.
+    pub fn with_flush_shot(mut self, shot: FlushShot) -> FaultPlan {
+        self.flush_shots.push(shot);
         self
     }
 
@@ -194,13 +218,16 @@ pub struct FaultStats {
     pub blackholed: Counter,
     /// One-shot faults that fired.
     pub one_shots_fired: Counter,
+    /// Amnesia restarts: nodes brought back with volatile state dropped
+    /// (see [`crate::SimNet::restart_amnesia`]).
+    pub amnesia_restarts: Counter,
 }
 
 impl FaultStats {
     /// Human-readable one-line report.
     pub fn report(&self) -> String {
         format!(
-            "drops: req={} reply={} post={} · dups: call={} post={} · spikes={} · blackholed={} · one-shots={}",
+            "drops: req={} reply={} post={} · dups: call={} post={} · spikes={} · blackholed={} · one-shots={} · amnesia-restarts={}",
             self.dropped_requests.get(),
             self.dropped_replies.get(),
             self.dropped_posts.get(),
@@ -209,6 +236,7 @@ impl FaultStats {
             self.delay_spikes.get(),
             self.blackholed.get(),
             self.one_shots_fired.get(),
+            self.amnesia_restarts.get(),
         )
     }
 
@@ -233,6 +261,7 @@ impl FaultStats {
         self.delay_spikes.reset();
         self.blackholed.reset();
         self.one_shots_fired.reset();
+        self.amnesia_restarts.reset();
     }
 }
 
@@ -249,16 +278,21 @@ pub(crate) struct FaultState {
     link_seq: Mutex<HashMap<(DcId, DcId), u64>>,
     sends_by_node: Mutex<HashMap<NodeId, u64>>,
     fired: Mutex<Vec<bool>>,
+    flushes_by_node: Mutex<HashMap<NodeId, u64>>,
+    flush_fired: Mutex<Vec<bool>>,
 }
 
 impl FaultState {
     pub(crate) fn new(plan: FaultPlan) -> FaultState {
         let fired = vec![false; plan.one_shots.len()];
+        let flush_fired = vec![false; plan.flush_shots.len()];
         FaultState {
             plan,
             link_seq: Mutex::new(HashMap::new()),
             sends_by_node: Mutex::new(HashMap::new()),
             fired: Mutex::new(fired),
+            flushes_by_node: Mutex::new(HashMap::new()),
+            flush_fired: Mutex::new(flush_fired),
         }
     }
 
@@ -279,6 +313,29 @@ impl FaultState {
             if !fired[i] && os.from == from && count >= os.after_sends {
                 fired[i] = true;
                 out.push(os.fault.clone());
+            }
+        }
+        out
+    }
+
+    /// Record a durable-log flush by `node` and return any flush-shot
+    /// faults it triggers.
+    pub(crate) fn on_flush(&self, node: NodeId) -> Vec<OneShotFault> {
+        if self.plan.flush_shots.is_empty() {
+            return Vec::new();
+        }
+        let count = {
+            let mut flushes = self.flushes_by_node.lock();
+            let c = flushes.entry(node).or_insert(0);
+            *c += 1;
+            *c
+        };
+        let mut fired = self.flush_fired.lock();
+        let mut out = Vec::new();
+        for (i, fs) in self.plan.flush_shots.iter().enumerate() {
+            if !fired[i] && fs.node == node && count >= fs.after_flushes {
+                fired[i] = true;
+                out.push(fs.fault.clone());
             }
         }
         out
@@ -392,6 +449,23 @@ mod tests {
         let fired = st.on_send(NodeId(9)); // 3
         assert!(matches!(fired.as_slice(), [OneShotFault::Crash(n)] if *n == NodeId(9)));
         assert!(st.on_send(NodeId(9)).is_empty(), "one-shot must not refire");
+    }
+
+    #[test]
+    fn flush_shot_fires_once_at_threshold() {
+        let plan = FaultPlan::new(7).with_flush_shot(FlushShot {
+            node: NodeId(2),
+            after_flushes: 2,
+            fault: OneShotFault::Crash(NodeId(2)),
+        });
+        let st = FaultState::new(plan);
+        assert!(st.on_flush(NodeId(2)).is_empty()); // 1
+        assert!(st.on_flush(NodeId(1)).is_empty()); // other node
+        let fired = st.on_flush(NodeId(2)); // 2
+        assert!(matches!(fired.as_slice(), [OneShotFault::Crash(n)] if *n == NodeId(2)));
+        assert!(st.on_flush(NodeId(2)).is_empty(), "flush shot must not refire");
+        // Flush counting is independent of send counting.
+        assert!(st.on_send(NodeId(2)).is_empty());
     }
 
     #[test]

@@ -23,6 +23,6 @@ pub mod fault;
 pub mod latency;
 pub mod net;
 
-pub use fault::{FaultPlan, FaultStats, LinkFaults, OneShot, OneShotFault};
+pub use fault::{FaultPlan, FaultStats, FlushShot, LinkFaults, OneShot, OneShotFault};
 pub use latency::LatencyMatrix;
 pub use net::{Handler, NetStats, SimNet};

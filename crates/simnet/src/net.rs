@@ -149,14 +149,47 @@ impl<M: Send + 'static> SimNet<M> {
 
     /// Crash a node: all traffic to and from it is black-holed (calls time
     /// out, posts vanish) but it stays registered and keeps its delivery
-    /// thread, so [`SimNet::restart`] can bring it back.
+    /// thread, so a restart can bring it back.
+    ///
+    /// Two restart flavors exist with distinct contracts:
+    /// [`SimNet::restart_resume`] (the node's memory survived — a network
+    /// hiccup, not a process death) and [`SimNet::restart_amnesia`] (the
+    /// process died; only durable artifacts come back).
     pub fn crash(&self, node: NodeId) {
         self.crashed.write().insert(node);
     }
 
-    /// Bring a crashed node back. Messages lost while down stay lost.
+    /// Bring a crashed node back. Alias for [`SimNet::restart_resume`],
+    /// kept for existing chaos tests; prefer the explicit names so a
+    /// schedule states which crash model it exercises.
     pub fn restart(&self, node: NodeId) {
+        self.restart_resume(node);
+    }
+
+    /// **Resume** restart: the node comes back with all volatile state
+    /// intact, as if it had merely been unreachable. Messages lost while
+    /// down stay lost. This models a network black-hole or a long GC pause
+    /// — NOT a process death; nothing is recovered because nothing was
+    /// forgotten.
+    pub fn restart_resume(&self, node: NodeId) {
         self.crashed.write().remove(&node);
+    }
+
+    /// **Amnesia** restart: the node comes back having lost every byte of
+    /// volatile state; only its durable artifacts (WAL sink contents up to
+    /// the flushed horizon, possibly with a torn tail) survive.
+    ///
+    /// The fabric is generic over `M` and owns no node state, so the
+    /// *harness* owns the amnesia contract: before calling this it must
+    /// discard the old service, rebuild a fresh one from the durable sink
+    /// (scan-and-truncate, redo replay, in-doubt re-adoption), and hand it
+    /// to [`SimNet::register`] — re-registering a [`NodeId`] atomically
+    /// replaces the old handler. Calling `restart_amnesia` while the old
+    /// service is still registered violates the model: the "reborn" node
+    /// would answer from remembered state.
+    pub fn restart_amnesia(&self, node: NodeId) {
+        self.crashed.write().remove(&node);
+        self.fault_stats.amnesia_restarts.inc();
     }
 
     /// Is `node` currently crashed?
@@ -193,6 +226,32 @@ impl<M: Send + 'static> SimNet<M> {
             }
         }
         drop_this
+    }
+
+    /// Record a durable-log flush by `node` against the active plan's
+    /// flush-shot schedule (see [`crate::fault::FlushShot`]), applying any
+    /// triggered faults. Returns true when `node` is crashed after the
+    /// triggers fire — the caller's sink must then FAIL the flush, because
+    /// a node that died at its Nth flush never completed that flush.
+    ///
+    /// Durable sinks live above the fabric (the fabric carries messages,
+    /// not disks), so sink wrappers call this once per write to make
+    /// "crash at Nth flush" schedulable alongside the send-count one-shots.
+    pub fn note_flush(&self, node: NodeId) -> bool {
+        let state = self.faults.read().clone();
+        if let Some(state) = state {
+            for fault in state.on_flush(node) {
+                self.fault_stats.one_shots_fired.inc();
+                match fault {
+                    OneShotFault::Crash(n) => self.crash(n),
+                    // DropNext is send-scoped; on a flush it means "this
+                    // flush is lost", which the return value conveys only
+                    // for crashes — treat it as a no-op here.
+                    OneShotFault::DropNext => {}
+                }
+            }
+        }
+        self.is_crashed(node)
     }
 
     /// Datacenter of a node, if registered.
@@ -554,6 +613,45 @@ mod tests {
         ));
         assert!(net.is_crashed(NodeId(1)));
         assert_eq!(net.fault_stats.one_shots_fired.get(), 1);
+    }
+
+    #[test]
+    fn flush_shot_crashes_at_nth_flush_and_fails_that_flush() {
+        use crate::fault::{FaultPlan, FlushShot, OneShotFault};
+        let (net, _) = setup(LatencyMatrix::zero());
+        net.set_fault_plan(FaultPlan::new(1).with_flush_shot(FlushShot {
+            node: NodeId(2),
+            after_flushes: 3,
+            fault: OneShotFault::Crash(NodeId(2)),
+        }));
+        assert!(!net.note_flush(NodeId(2))); // 1
+        assert!(!net.note_flush(NodeId(2))); // 2
+        assert!(net.note_flush(NodeId(2)), "third flush must fail: node died at it");
+        assert!(net.is_crashed(NodeId(2)));
+        assert_eq!(net.fault_stats.one_shots_fired.get(), 1);
+        // Once crashed, every further flush attempt fails too.
+        assert!(net.note_flush(NodeId(2)));
+    }
+
+    #[test]
+    fn restart_amnesia_counts_and_replaces_service() {
+        let (net, old) = setup(LatencyMatrix::zero());
+        net.crash(NodeId(2));
+        assert!(net.call(NodeId(1), NodeId(2), 0).is_err());
+        // The harness rebuilds a fresh service from durable artifacts and
+        // re-registers it; the fabric swaps handlers atomically.
+        let reborn = Arc::new(Echo { received: AtomicU64::new(0) });
+        net.register(NodeId(2), DcId(2), reborn.clone());
+        net.restart_amnesia(NodeId(2));
+        assert_eq!(net.fault_stats.amnesia_restarts.get(), 1);
+        assert_eq!(net.call(NodeId(1), NodeId(2), 41).unwrap(), 42);
+        net.post(NodeId(1), NodeId(2), 7).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while reborn.received.load(Ordering::Relaxed) != 7 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(reborn.received.load(Ordering::Relaxed), 7, "post reaches reborn service");
+        assert_eq!(old.received.load(Ordering::Relaxed), 0, "old service stays silent");
     }
 
     #[test]

@@ -16,9 +16,15 @@
 //!   through the checker. Also hosts the three protocol *mutations* that
 //!   self-validate the checker: each must produce a named anomaly.
 //! * [`report`] — plain-text rendering of check results for CI artifacts.
+//! * [`recovery`] — the crashpoint torture harness: amnesia-restart a DN
+//!   at seeded crashpoints (mid-group-flush, between prepare and commit,
+//!   during paxos drain), recover from the durable log, and verify RPO=0,
+//!   replay idempotence, the conserved sum and a clean Adya report across
+//!   the restart boundary.
 
 pub mod checker;
 pub mod explorer;
+pub mod recovery;
 pub mod report;
 
 pub use checker::{
@@ -26,4 +32,5 @@ pub use checker::{
     WitnessEdge, WriteSkewCandidate,
 };
 pub use explorer::{ExplorerConfig, ExplorerOutcome, Mutation, Schedule, ScheduleRun};
-pub use report::render_report;
+pub use recovery::{run_crashpoint, CrashPoint, RecoveryConfig, RecoveryRun};
+pub use report::{render_recovery_report, render_report};

@@ -4,6 +4,7 @@ use std::fmt::Write as _;
 
 use crate::checker::CheckReport;
 use crate::explorer::ScheduleRun;
+use crate::recovery::RecoveryRun;
 
 /// Render one schedule run (history stats, anomalies with witness cycles,
 /// write-skew candidates) as the `sitcheck-report.txt` block format.
@@ -28,6 +29,39 @@ pub fn render_report(run: &ScheduleRun) -> String {
     );
     for note in &run.report.stats.notes {
         let _ = writeln!(s, "    note: {note}");
+    }
+    render_anomalies(&mut s, &run.report);
+    s
+}
+
+/// Render one crash-restart torture run for the CI artifact: the recovery
+/// metrics line plus any anomalies the Adya checker found across the
+/// restart boundary.
+pub fn render_recovery_report(run: &RecoveryRun) -> String {
+    let mut s = String::new();
+    let verdict = if run.passed() { "PASS" } else { "FAIL" };
+    let _ = writeln!(
+        s,
+        "=== crashpoint={} seed={:#x} {} ===",
+        run.crashpoint_label, run.seed, verdict
+    );
+    let _ = writeln!(
+        s,
+        "    acked={} lost_acked={} in_doubt={} rto={:.2?} truncated_bytes={} \
+         replay_idempotent={} conserved={} ({} vs {}) amnesia_restarts={}",
+        run.acked_commits,
+        run.lost_acked,
+        run.in_doubt_recovered,
+        run.rto,
+        run.truncated_bytes,
+        run.replay_idempotent,
+        run.conserved_ok,
+        run.observed_total,
+        run.expected_total,
+        run.amnesia_restarts,
+    );
+    if !run.recovered_in_time {
+        let _ = writeln!(s, "    RECOVERY TIMED OUT — the victim never served again");
     }
     render_anomalies(&mut s, &run.report);
     s

@@ -37,6 +37,13 @@ pub trait Durability: Send + Sync {
     fn wal_metrics(&self) -> Option<Arc<WalMetrics>> {
         None
     }
+
+    /// The provider's current durable horizon, when it can report one.
+    /// Used by the commit path's redo-ahead assertion: a version must not
+    /// become visible at an LSN the provider has not yet acknowledged.
+    fn durable_lsn(&self) -> Option<Lsn> {
+        None
+    }
 }
 
 /// Local durability through the group committer: concurrent callers
@@ -65,6 +72,10 @@ impl Durability for LocalDurability {
     fn wal_metrics(&self) -> Option<Arc<WalMetrics>> {
         Some(Arc::clone(&self.gc.metrics))
     }
+
+    fn durable_lsn(&self) -> Option<Lsn> {
+        Some(self.gc.durable())
+    }
 }
 
 /// The seed's per-transaction durability: every caller appends and flushes
@@ -85,6 +96,10 @@ impl Durability for SyncLocalDurability {
         let (_, end) = self.log.append_batch(mtrs);
         self.log.flush()?;
         Ok(end)
+    }
+
+    fn durable_lsn(&self) -> Option<Lsn> {
+        Some(self.log.flushed())
     }
 }
 
@@ -239,7 +254,7 @@ impl StorageEngine {
         self.tenants.read().get(&table).copied()
     }
 
-    fn store(&self, table: TableId) -> Result<Arc<VersionStore>> {
+    pub(crate) fn store(&self, table: TableId) -> Result<Arc<VersionStore>> {
         self.tables
             .read()
             .get(&table)
@@ -427,7 +442,29 @@ impl StorageEngine {
 
     /// Commit (one-phase from ACTIVE, or phase two from PREPARED). Stamps
     /// versions, makes the commit record durable, releases the context.
+    ///
+    /// On a durability failure the transaction is rolled back — correct
+    /// only while nothing has been acked to the client. Phase two of a 2PC
+    /// commit whose decision is already durable elsewhere must use
+    /// [`StorageEngine::commit_decided`] instead.
     pub fn commit(&self, trx: TrxId, commit_ts: u64) -> Result<Lsn> {
+        self.commit_impl(trx, commit_ts, false)
+    }
+
+    /// Phase-two commit of an externally decided transaction: the COMMIT
+    /// decision is durable at the arbiter/coordinator log and may already
+    /// be acked to the client. A local durability failure therefore must
+    /// *not* roll back the prepared intent — doing so would let a
+    /// concurrent reader skip a globally committed write (a G-SIb missed
+    /// effect, caught by the crashpoint torture harness). Instead the
+    /// transaction stays PREPARED with its context intact, readers keep
+    /// waiting on it, and a retried Commit, the in-doubt resolver, or
+    /// crash recovery finishes the job.
+    pub fn commit_decided(&self, trx: TrxId, commit_ts: u64) -> Result<Lsn> {
+        self.commit_impl(trx, commit_ts, true)
+    }
+
+    fn commit_impl(&self, trx: TrxId, commit_ts: u64, decided: bool) -> Result<Lsn> {
         let ctx = self
             .active
             .remove(&trx)
@@ -438,12 +475,37 @@ impl StorageEngine {
         let lsn = match self.durability.make_durable(&mtrs) {
             Ok(lsn) => lsn,
             Err(e) => {
-                // Leadership lost mid-commit: roll the transaction back.
-                self.rollback_writes(trx, &ctx.writes);
-                self.txns.abort(trx);
+                if decided {
+                    // Keep the intent in-doubt: restore the context (minus
+                    // the commit record we appended) for a later retry.
+                    mtrs.pop();
+                    self.active.insert(
+                        trx,
+                        TrxCtx { snapshot_ts: ctx.snapshot_ts, writes: ctx.writes, redo: mtrs },
+                    );
+                } else {
+                    // Nothing acked anywhere (one-phase commit, or
+                    // leadership lost before a decision existed): roll the
+                    // transaction back.
+                    self.rollback_writes(trx, &ctx.writes);
+                    self.txns.abort(trx);
+                }
                 return Err(e);
             }
         };
+        // Redo-ahead invariant that crash recovery depends on: by the time
+        // any version of `trx` becomes visible (the `txns.commit` and store
+        // stamps below), the durability provider must have acknowledged the
+        // commit record's LSN. If a version could become visible first, a
+        // crash in the gap would ack a commit to the client that replay can
+        // never reconstruct — a silent RPO violation.
+        if let Some(durable) = self.durability.durable_lsn() {
+            debug_assert!(
+                durable >= lsn,
+                "commit {trx} would become visible before its durability ack: \
+                 durable horizon {durable:?} < commit record end {lsn:?}"
+            );
+        }
         self.txns.commit(trx, commit_ts)?;
         let mut by_table: HashMap<TableId, Vec<Key>> = HashMap::new();
         for (t, k) in ctx.writes {
@@ -548,6 +610,59 @@ impl StorageEngine {
     /// Total visible row count of a table at `snapshot_ts` (tests/metrics).
     pub fn count_rows(&self, table: TableId, snapshot_ts: u64) -> Result<usize> {
         Ok(self.scan_table(table, snapshot_ts)?.len())
+    }
+
+    /// Crash recovery: reinstall a PREPARED-but-undecided transaction from
+    /// its replayed redo (`ops` are its row records in log order, `prepare_ts`
+    /// the recorded prepare timestamp).
+    ///
+    /// Intents go back into the version stores and the transaction lands in
+    /// PREPARED state, so snapshot readers once again *wait* for its
+    /// decision exactly as they did before the crash (§IV case 2); the
+    /// in-doubt resolver then settles its fate through the arbiter. The
+    /// rebuilt context carries no redo: a 2PC prepare already drained the
+    /// row redo to the durable log, so the eventual phase-two commit only
+    /// appends its commit record — same as before the crash.
+    ///
+    /// Idempotent: a transaction the table already knows (replayed twice,
+    /// or already resolved by the arbiter) is left untouched.
+    pub fn recover_in_doubt(
+        &self,
+        trx: TrxId,
+        prepare_ts: u64,
+        ops: &[RedoPayload],
+    ) -> Result<()> {
+        if self.txns.state(trx).is_some() {
+            return Ok(());
+        }
+        self.txns.begin(trx);
+        self.active
+            .insert(trx, TrxCtx { snapshot_ts: prepare_ts, writes: Vec::new(), redo: Vec::new() });
+        for op in ops {
+            let (table, key, version_op) = match op {
+                RedoPayload::Insert { table, key, row, .. }
+                | RedoPayload::Update { table, key, row, .. } => {
+                    (*table, key.clone(), VersionOp::Put(decode_row(row)))
+                }
+                RedoPayload::Delete { table, key, .. } => (*table, key.clone(), VersionOp::Delete),
+                _ => continue,
+            };
+            let store = self.store(table)?;
+            // Validation passes by construction: these intents were the
+            // newest versions of their keys at crash time, and every commit
+            // logged before the prepare has already been replayed with a
+            // commit_ts at or below prepare_ts.
+            store.write(&self.txns, trx, prepare_ts, key.clone(), version_op)?;
+            let tenant = self.tenant_of(table).unwrap_or_default();
+            self.pool.touch_read(self.pool.page_of(table, &key), tenant);
+            self.active.with(&trx, |ctx| {
+                let ctx = ctx.ok_or(Error::TxnAborted { reason: format!("trx {trx} vanished") })?;
+                ctx.writes.push((table, key));
+                Ok(())
+            })?;
+        }
+        self.txns.prepare_with(trx, || prepare_ts)?;
+        Ok(())
     }
 }
 
@@ -817,5 +932,64 @@ mod tests {
         }
         assert_eq!(e.count_rows(T, 100).unwrap(), 20);
         assert_eq!(e.count_rows(T, 5).unwrap(), 0);
+    }
+
+    /// A sink whose writes can be made to fail on demand — the "crashed
+    /// mid-flush" shape the recovery harness injects.
+    struct FlakySink {
+        inner: Arc<VecSink>,
+        fail: AtomicBool,
+    }
+
+    impl LogSink for FlakySink {
+        fn write(&self, at: Lsn, bytes: Bytes) -> polardbx_common::Result<()> {
+            if self.fail.load(Ordering::SeqCst) {
+                return Err(Error::storage("flush failed"));
+            }
+            self.inner.write(at, bytes)
+        }
+    }
+
+    #[test]
+    fn decided_commit_survives_a_durability_failure_as_in_doubt() {
+        // Phase two of an externally decided commit hits a flush failure:
+        // the prepared intent must stay PREPARED (reader waits, then sees
+        // the commit), never be skipped or rolled back — a reader skipping
+        // it would miss a globally committed write (G-SIb).
+        let flaky =
+            Arc::new(FlakySink { inner: VecSink::new(), fail: AtomicBool::new(false) });
+        let e = StorageEngine::with_sink(Arc::clone(&flaky) as Arc<dyn LogSink>);
+        e.create_table(T, TEN);
+
+        e.begin(TrxId(1), 0);
+        e.write(TrxId(1), T, key(1), WriteOp::Insert(row(1, "a"))).unwrap();
+        let (prepare_ts, _) = e.prepare_with(TrxId(1), || 10).unwrap();
+
+        flaky.fail.store(true, Ordering::SeqCst);
+        e.commit_decided(TrxId(1), prepare_ts).unwrap_err();
+        // Still PREPARED: a reader above the timestamp must wait it out,
+        // not skip to an older version.
+        assert!(matches!(e.txn_state(TrxId(1)), Some(crate::txn::TxnState::Prepared { .. })));
+        let err = e
+            .store(T)
+            .unwrap()
+            .read_waiting(&e.txns, &key(1), 20, None, Duration::from_millis(10))
+            .unwrap_err();
+        assert!(matches!(err, Error::Timeout { .. }), "{err:?}");
+
+        // The durability hiccup clears; a retried decided commit lands and
+        // the version becomes visible at the decided timestamp.
+        flaky.fail.store(false, Ordering::SeqCst);
+        e.commit_decided(TrxId(1), prepare_ts).unwrap();
+        assert_eq!(e.read(T, &key(1), 20, None).unwrap(), Some(row(1, "a")));
+
+        // Contrast: an undecided one-phase commit under the same failure
+        // rolls back, and the key simply is not there.
+        flaky.fail.store(true, Ordering::SeqCst);
+        e.begin(TrxId(2), 20);
+        e.write(TrxId(2), T, key(2), WriteOp::Insert(row(2, "b"))).unwrap();
+        e.commit(TrxId(2), 30).unwrap_err();
+        flaky.fail.store(false, Ordering::SeqCst);
+        assert_eq!(e.read(T, &key(2), 40, None).unwrap(), None);
     }
 }

@@ -24,6 +24,7 @@
 pub mod bufferpool;
 pub mod engine;
 pub mod mvcc;
+pub mod recovery;
 pub mod replication;
 pub mod rowcodec;
 pub mod shard;
@@ -31,6 +32,7 @@ pub mod txn;
 
 pub use bufferpool::{BufferPool, BufferPoolStats};
 pub use engine::{Durability, LocalDurability, StorageEngine, SyncLocalDurability, WriteOp};
+pub use recovery::{recover_from_sink, recovered_engine, replay_records, RecoveryReport};
 pub use mvcc::{ReadResult, VersionStore};
 pub use shard::ShardedMap;
 pub use replication::{RoNode, RwNode, SessionToken};

@@ -1,0 +1,349 @@
+//! Redo replay into a fresh engine: the DN side of crash recovery.
+//!
+//! An amnesia-restarted DN owns nothing but its durable log sink. Recovery
+//! proceeds in three steps (§II-B: replicated redo makes a DN restart
+//! lossless):
+//!
+//! 1. **Scan-and-truncate** — [`polardbx_wal::recovery::scan_records`]
+//!    finds the longest valid prefix of the sink's byte stream; any torn
+//!    tail beyond it is physically truncated so future appends resume at a
+//!    clean horizon.
+//! 2. **Classify** — each transaction's *final* fate in the valid prefix
+//!    decides what replay does: a commit record → apply its row ops with
+//!    the recorded commit timestamp; an abort record → drop its ops; a
+//!    prepare record with no decision → **in-doubt**; row ops with neither
+//!    prepare nor decision → the transaction was still ACTIVE, it never
+//!    voted, presumed abort applies and nothing is installed.
+//! 3. **Replay** — committed transactions become visible versions stamped
+//!    at their recorded commit-ts (and land COMMITTED in the transaction
+//!    table, which is what makes a second replay a no-op); in-doubt ones
+//!    get their intents reinstated via
+//!    [`StorageEngine::recover_in_doubt`], so readers block on them again
+//!    until the 2PC resolver re-settles their fate through the arbiter.
+//!
+//! Replay is **idempotent**: feeding the same prefix twice leaves the same
+//! observable state, because each transaction's entry in the transaction
+//! table guards its application.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use polardbx_common::{Lsn, Result, TableId, TenantId, TrxId};
+use polardbx_wal::recovery::scan_records;
+use polardbx_wal::{LogBuffer, LogSink, RedoPayload, VecSink};
+
+use crate::engine::{LocalDurability, StorageEngine};
+use crate::mvcc::VersionOp;
+use crate::rowcodec::decode_row;
+use crate::txn::TxnState;
+
+/// What a recovery pass found and did.
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// The durable horizon: end of the valid record prefix. New appends on
+    /// the recovered engine resume here.
+    pub durable_lsn: Lsn,
+    /// Bytes of torn tail discarded by scan-and-truncate.
+    pub truncated_bytes: u64,
+    /// Records in the valid prefix.
+    pub records: usize,
+    /// Transactions replayed to COMMITTED.
+    pub committed: usize,
+    /// Transactions replayed to ABORTED.
+    pub aborted: usize,
+    /// Transactions left PREPARED-but-undecided, with their prepare
+    /// timestamps: the caller must re-adopt these with the participant's
+    /// in-doubt resolver so presumed-abort can settle them.
+    pub in_doubt: Vec<(TrxId, u64)>,
+    /// Transactions that were still ACTIVE at the crash (row redo but no
+    /// prepare/decision). Nothing is installed for them: they never voted,
+    /// so presumed abort applies trivially.
+    pub active_dropped: usize,
+}
+
+/// Replay a redo-record prefix into `engine`. The engine's tables must
+/// already exist (schema lives in GMS/catalog metadata, which is durable
+/// elsewhere; tests recreate tables before replaying).
+///
+/// Safe to call more than once with the same records — each transaction's
+/// state in the engine's transaction table makes reapplication a no-op.
+pub fn replay_records(engine: &Arc<StorageEngine>, records: &[RedoPayload]) -> Result<RecoveryReport> {
+    // Row ops buffered until their transaction's fate is known.
+    let mut buffered: HashMap<TrxId, Vec<RedoPayload>> = HashMap::new();
+    // Prepares awaiting a decision, in log order (determinism matters for
+    // reinstallation: later intents may stack on earlier commits).
+    let mut prepared: Vec<(TrxId, u64)> = Vec::new();
+    let mut committed = 0usize;
+    let mut aborted = 0usize;
+
+    for rec in records {
+        match rec {
+            RedoPayload::Insert { trx, .. }
+            | RedoPayload::Update { trx, .. }
+            | RedoPayload::Delete { trx, .. } => {
+                buffered.entry(*trx).or_default().push(rec.clone());
+            }
+            RedoPayload::TxnPrepare { trx, prepare_ts } => {
+                prepared.push((*trx, *prepare_ts));
+            }
+            RedoPayload::TxnCommit { trx, commit_ts } => {
+                let ops = buffered.remove(trx).unwrap_or_default();
+                prepared.retain(|(t, _)| t != trx);
+                if matches!(engine.txns.state(*trx), Some(TxnState::Committed { .. })) {
+                    continue; // already replayed (idempotence)
+                }
+                for op in &ops {
+                    let (table, key, version_op) = match op {
+                        RedoPayload::Insert { table, key, row, .. }
+                        | RedoPayload::Update { table, key, row, .. } => {
+                            (*table, key.clone(), VersionOp::Put(decode_row(row)))
+                        }
+                        RedoPayload::Delete { table, key, .. } => {
+                            (*table, key.clone(), VersionOp::Delete)
+                        }
+                        _ => continue,
+                    };
+                    let store = engine.store(table)?;
+                    store.apply_committed(*trx, *commit_ts, key.clone(), version_op);
+                    let tenant = engine.tenant_of(table).unwrap_or_default();
+                    engine.pool.touch_read(engine.pool.page_of(table, &key), tenant);
+                }
+                engine.txns.begin(*trx);
+                engine.txns.commit(*trx, *commit_ts)?;
+                committed += 1;
+            }
+            RedoPayload::TxnAbort { trx } => {
+                buffered.remove(trx);
+                prepared.retain(|(t, _)| t != trx);
+                if engine.txns.state(*trx).is_none() {
+                    engine.txns.abort(*trx);
+                    aborted += 1;
+                }
+            }
+            RedoPayload::Checkpoint { .. } | RedoPayload::TenantMark { .. } => {}
+        }
+    }
+
+    let mut in_doubt = Vec::with_capacity(prepared.len());
+    for (trx, prepare_ts) in prepared {
+        let ops = buffered.remove(&trx).unwrap_or_default();
+        engine.recover_in_doubt(trx, prepare_ts, &ops)?;
+        in_doubt.push((trx, prepare_ts));
+    }
+    let active_dropped = buffered.len();
+
+    Ok(RecoveryReport {
+        durable_lsn: Lsn::ZERO, // filled in by the sink-level entry points
+        truncated_bytes: 0,
+        records: records.len(),
+        committed,
+        aborted,
+        in_doubt,
+        active_dropped,
+    })
+}
+
+/// Scan `sink` (scan-and-truncate) and replay its valid prefix into
+/// `engine`. Returns the full report including the durable horizon.
+pub fn recover_from_sink(engine: &Arc<StorageEngine>, sink: &VecSink) -> Result<RecoveryReport> {
+    let base = sink
+        .writes()
+        .iter()
+        .map(|(at, _)| *at)
+        .min()
+        .unwrap_or(Lsn::ZERO);
+    let content = sink.contiguous();
+    let scan = scan_records(&content);
+    let durable = scan.durable_lsn(base);
+    let truncated = (content.len() - scan.valid_len) as u64;
+    if truncated > 0 {
+        sink.truncate_to(durable);
+    }
+    let mut report = replay_records(engine, &scan.records)?;
+    report.durable_lsn = durable;
+    report.truncated_bytes = truncated;
+    Ok(report)
+}
+
+/// Build a fresh engine from nothing but a durable sink: scan-and-truncate,
+/// recreate `tables`, replay, and wire the engine's new log buffer to
+/// resume appending at the recovered horizon (so post-recovery commits
+/// extend the same log).
+pub fn recovered_engine(
+    sink: Arc<VecSink>,
+    tables: &[(TableId, TenantId)],
+) -> Result<(Arc<StorageEngine>, RecoveryReport)> {
+    // Scan before constructing the engine: the new LogBuffer must start at
+    // the post-truncation horizon or fresh appends would overlap the tail.
+    let base = sink
+        .writes()
+        .iter()
+        .map(|(at, _)| *at)
+        .min()
+        .unwrap_or(Lsn::ZERO);
+    let content = sink.contiguous();
+    let scan = scan_records(&content);
+    let durable = scan.durable_lsn(base);
+    let truncated = (content.len() - scan.valid_len) as u64;
+    if truncated > 0 {
+        sink.truncate_to(durable);
+    }
+
+    let log = LogBuffer::starting_at(Arc::clone(&sink) as Arc<dyn LogSink>, durable);
+    let engine = StorageEngine::with_durability(LocalDurability::new(log));
+    for (table, tenant) in tables {
+        engine.create_table(*table, *tenant);
+    }
+    let mut report = replay_records(&engine, &scan.records)?;
+    report.durable_lsn = durable;
+    report.truncated_bytes = truncated;
+    Ok((engine, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::WriteOp;
+    use polardbx_common::{Key, Row, TrxId, Value};
+
+    const T: TableId = TableId(1);
+    const TEN: TenantId = TenantId(1);
+
+    fn key(n: i64) -> Key {
+        Key::encode(&[Value::Int(n)])
+    }
+
+    fn row(n: i64, v: &str) -> Row {
+        Row::new(vec![Value::Int(n), Value::str(v)])
+    }
+
+    /// A source engine over a shared sink, with one committed, one aborted,
+    /// one prepared-undecided, and one still-active transaction.
+    fn crashed_sink() -> Arc<VecSink> {
+        let sink = VecSink::new();
+        let e = StorageEngine::with_sink(Arc::clone(&sink) as Arc<dyn LogSink>);
+        e.create_table(T, TEN);
+        // Committed.
+        e.begin(TrxId(1), 0);
+        e.write(TrxId(1), T, key(1), WriteOp::Insert(row(1, "committed"))).unwrap();
+        e.commit(TrxId(1), 10).unwrap();
+        // Aborted.
+        e.begin(TrxId(2), 10);
+        e.write(TrxId(2), T, key(2), WriteOp::Insert(row(2, "aborted"))).unwrap();
+        e.abort(TrxId(2));
+        // Prepared, no decision: in-doubt at the crash.
+        e.begin(TrxId(3), 10);
+        e.write(TrxId(3), T, key(3), WriteOp::Insert(row(3, "indoubt"))).unwrap();
+        e.prepare(TrxId(3), 20).unwrap();
+        // Active, never prepared: its redo never hit the log (redo ships at
+        // prepare/commit), so replay sees nothing of it.
+        e.begin(TrxId(4), 10);
+        e.write(TrxId(4), T, key(4), WriteOp::Insert(row(4, "active"))).unwrap();
+        sink
+    }
+
+    #[test]
+    fn replay_rebuilds_committed_and_in_doubt() {
+        let sink = crashed_sink();
+        let (e, report) = recovered_engine(sink, &[(T, TEN)]).unwrap();
+        assert_eq!(report.committed, 1);
+        assert_eq!(report.aborted, 1);
+        assert_eq!(report.in_doubt, vec![(TrxId(3), 20)]);
+        assert_eq!(report.truncated_bytes, 0);
+        assert!(report.records > 0);
+        // Committed row visible at its recorded commit-ts.
+        assert_eq!(e.read(T, &key(1), 10, None).unwrap(), Some(row(1, "committed")));
+        assert_eq!(e.read(T, &key(1), 9, None).unwrap(), None);
+        // Aborted row gone.
+        assert_eq!(e.read(T, &key(2), 100, None).unwrap(), None);
+        // In-doubt transaction is PREPARED again: readers meeting its
+        // intent block until the resolver settles it (§IV case 2), exactly
+        // as they did before the crash.
+        assert!(matches!(e.txn_state(TrxId(3)), Some(TxnState::Prepared { prepare_ts: 20 })));
+    }
+
+    #[test]
+    fn in_doubt_commit_after_recovery_becomes_visible() {
+        let sink = crashed_sink();
+        let (e, report) = recovered_engine(sink, &[(T, TEN)]).unwrap();
+        assert_eq!(report.in_doubt.len(), 1);
+        // The resolver learns COMMIT from the arbiter and finishes phase 2.
+        e.commit(TrxId(3), 25).unwrap();
+        assert_eq!(e.read(T, &key(3), 25, None).unwrap(), Some(row(3, "indoubt")));
+        assert_eq!(e.read(T, &key(3), 19, None).unwrap(), None);
+    }
+
+    #[test]
+    fn in_doubt_abort_after_recovery_rolls_back() {
+        let sink = crashed_sink();
+        let (e, _) = recovered_engine(sink, &[(T, TEN)]).unwrap();
+        e.abort(TrxId(3));
+        assert_eq!(e.read(T, &key(3), 100, None).unwrap(), None);
+    }
+
+    #[test]
+    fn replay_twice_is_identical_to_once() {
+        let sink = crashed_sink();
+        let content = sink.contiguous();
+        let scan = scan_records(&content);
+        assert!(!scan.torn);
+
+        let once = StorageEngine::in_memory();
+        once.create_table(T, TEN);
+        replay_records(&once, &scan.records).unwrap();
+
+        let twice = StorageEngine::in_memory();
+        twice.create_table(T, TEN);
+        let r1 = replay_records(&twice, &scan.records).unwrap();
+        let r2 = replay_records(&twice, &scan.records).unwrap();
+        assert_eq!(r1.committed, 1);
+        assert_eq!(r2.committed, 0, "second replay must re-commit nothing");
+        assert_eq!(r2.in_doubt, r1.in_doubt, "in-doubt set is stable");
+
+        // In-doubt state identical before resolution.
+        assert_eq!(once.txn_state(TrxId(3)), twice.txn_state(TrxId(3)));
+        // Resolve the in-doubt transaction the same way on both engines;
+        // full-table scans (which would otherwise block on its intent) must
+        // then agree everywhere.
+        once.commit(TrxId(3), 25).unwrap();
+        twice.commit(TrxId(3), 25).unwrap();
+        assert_eq!(
+            once.scan_table(T, u64::MAX).unwrap(),
+            twice.scan_table(T, u64::MAX).unwrap()
+        );
+        assert_eq!(once.scan_table(T, u64::MAX).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appends_resume() {
+        let sink = crashed_sink();
+        let full = sink.end_lsn();
+        // Tear 3 bytes off the final flush (mid-record).
+        sink.truncate_to(Lsn(full.raw() - 3));
+        let (e, report) = recovered_engine(Arc::clone(&sink), &[(T, TEN)]).unwrap();
+        assert!(report.truncated_bytes > 0, "mid-record cut leaves a torn suffix");
+        assert!(report.durable_lsn < full);
+        // The sink now ends exactly at the durable horizon.
+        assert_eq!(sink.end_lsn(), report.durable_lsn);
+        // New commits extend the log from the horizon and the result is a
+        // clean stream again.
+        e.begin(TrxId(50), 30);
+        e.write(TrxId(50), T, key(9), WriteOp::Insert(row(9, "post"))).unwrap();
+        e.commit(TrxId(50), 40).unwrap();
+        let rescan = scan_records(&sink.contiguous());
+        assert!(!rescan.torn, "post-recovery log must be clean");
+        assert!(sink.end_lsn() > report.durable_lsn);
+        // And a second recovery over the extended log sees the new commit.
+        let (e2, _) = recovered_engine(sink, &[(T, TEN)]).unwrap();
+        assert_eq!(e2.read(T, &key(9), 40, None).unwrap(), Some(row(9, "post")));
+    }
+
+    #[test]
+    fn empty_sink_recovers_to_empty_engine() {
+        let sink = VecSink::new();
+        let (e, report) = recovered_engine(sink, &[(T, TEN)]).unwrap();
+        assert_eq!(report.records, 0);
+        assert_eq!(report.durable_lsn, Lsn::ZERO);
+        assert_eq!(e.count_rows(T, u64::MAX).unwrap(), 0);
+    }
+}

@@ -97,6 +97,22 @@ impl DnService {
         self.prepared.lock().len()
     }
 
+    /// Crash recovery: re-adopt a PREPARED-but-undecided transaction found
+    /// in the replayed redo log, so the in-doubt resolver settles it via
+    /// the arbiter (presumed abort if no decision was ever logged).
+    ///
+    /// The prepare record carries only `{trx, prepare_ts}` — the arbiter's
+    /// identity lives in cluster metadata, so the recovery harness supplies
+    /// `decision_node` from configuration (None degrades to the legacy
+    /// expiry path). `since` is backdated to the epoch: a recovered
+    /// in-doubt transaction has by definition already waited long enough,
+    /// so the very next sweep may query the arbiter.
+    pub fn adopt_in_doubt(&self, trx: TrxId, decision_node: Option<NodeId>) {
+        self.prepared
+            .lock()
+            .insert(trx, InDoubt { decision_node, since: Duration::ZERO });
+    }
+
     /// Spawn the in-doubt resolver: a background sweep that queries the
     /// arbiter for PREPARED transactions older than `cfg.in_doubt_after`
     /// and locally aborts ACTIVE transactions abandoned longer than
@@ -293,9 +309,15 @@ impl Handler<TxnMsg> for DnService {
                     self.finish(trx);
                     return TxnMsg::Committed { commit_ts: recorded };
                 }
-                self.finish(trx);
-                match self.engine.commit(trx, commit_ts) {
-                    Ok(_) => TxnMsg::Committed { commit_ts },
+                // The decision is durable at the arbiter and may already be
+                // acked upstream: a local durability failure leaves the
+                // transaction PREPARED (in-doubt, still tracked for the
+                // resolver) rather than rolling it back.
+                match self.engine.commit_decided(trx, commit_ts) {
+                    Ok(_) => {
+                        self.finish(trx);
+                        TxnMsg::Committed { commit_ts }
+                    }
                     Err(e) => TxnMsg::Failed(e),
                 }
             }

@@ -63,6 +63,88 @@ impl VecSink {
         out
     }
 
+    /// One past the highest byte this sink holds ([`Lsn::ZERO`] if empty).
+    pub fn end_lsn(&self) -> Lsn {
+        self.inner
+            .lock()
+            .iter()
+            .map(|(at, bytes)| at.advance(bytes.len() as u64))
+            .max()
+            .unwrap_or(Lsn::ZERO)
+    }
+
+    /// Crash-model truncation: drop every byte at or beyond `keep`. A write
+    /// straddling the cut keeps only its prefix, so the tiling invariant
+    /// checked by [`VecSink::contiguous`] survives. Recovery uses this both
+    /// to simulate an un-fsynced suffix being lost and to discard a torn
+    /// tail after scan-and-truncate.
+    pub fn truncate_to(&self, keep: Lsn) {
+        let mut inner = self.inner.lock();
+        inner.retain(|(at, _)| *at < keep);
+        for (at, bytes) in inner.iter_mut() {
+            let end = at.advance(bytes.len() as u64);
+            if end > keep {
+                *bytes = bytes.slice(0..(keep.raw() - at.raw()) as usize);
+            }
+        }
+    }
+
+    /// Crash-model corruption: XOR-flip the byte `back` positions from the
+    /// sink's end (`back = 0` is the final byte). Models a torn final
+    /// sector whose contents landed scrambled; a checksummed frame stream
+    /// detects this, a raw record stream may only see structural damage.
+    /// No-op on an empty sink; saturates to the last write's first byte.
+    pub fn corrupt_tail(&self, back: usize) {
+        let mut inner = self.inner.lock();
+        let Some((_, bytes)) =
+            inner.iter_mut().max_by_key(|(at, bytes)| at.advance(bytes.len() as u64))
+        else {
+            return;
+        };
+        if bytes.is_empty() {
+            return;
+        }
+        let mut v = bytes.to_vec();
+        let idx = v.len().saturating_sub(1 + back);
+        v[idx] ^= 0xFF;
+        *bytes = Bytes::from(v);
+    }
+
+    /// Concatenated frame-stream content. Paxos sinks key each write by
+    /// the frame's MTR-space `lsn_start` while storing the wire encoding
+    /// (64-byte header + payload), so writes are ordered and
+    /// non-overlapping in LSN space but do *not* tile byte-for-byte the
+    /// way a record sink does. This sorts by offset, de-duplicates
+    /// retransmitted frames (same offset written twice keeps the last),
+    /// and concatenates — the shape [`crate::scan_frames`] expects.
+    pub fn frame_stream(&self) -> Vec<u8> {
+        let mut writes = self.inner.lock().clone();
+        // Stable sort: same-offset duplicates keep insertion order, so the
+        // `pop` below retains the most recent write at each offset.
+        writes.sort_by_key(|(at, _)| *at);
+        let mut dedup: Vec<(Lsn, Bytes)> = Vec::with_capacity(writes.len());
+        for w in writes {
+            if dedup.last().map(|(at, _)| *at) == Some(w.0) {
+                dedup.pop();
+            }
+            dedup.push(w);
+        }
+        let mut out = Vec::new();
+        for (_, bytes) in dedup.iter() {
+            out.extend_from_slice(bytes);
+        }
+        out
+    }
+
+    /// Frame-aware truncation: drop every write at or beyond `keep`
+    /// (an MTR-space LSN). Frames are written whole — one write per
+    /// frame — so unlike [`VecSink::truncate_to`] no write is ever
+    /// split; the torn tail identified by [`crate::scan_frames`] is
+    /// discarded as complete frames.
+    pub fn truncate_frames_to(&self, keep: Lsn) {
+        self.inner.lock().retain(|(at, _)| *at < keep);
+    }
+
     /// Concatenated contiguous content, verifying offsets tile correctly.
     /// Writes are sorted by offset first: concurrent flushes may land out
     /// of order (each call is atomic, offsets never overlap).

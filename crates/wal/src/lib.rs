@@ -14,16 +14,20 @@
 //! * [`frame`] — `MLOG_PAXOS` batch framing with checksum verification,
 //! * [`buffer`] — the in-memory log buffer with group flush to a sink,
 //! * [`group_commit`] — leader/follower flush coalescing for concurrent
-//!   committers (InnoDB group commit).
+//!   committers (InnoDB group commit),
+//! * [`recovery`] — crash-recovery scanning: longest-valid-prefix discovery
+//!   over torn frame and record streams (scan-and-truncate).
 
 pub mod buffer;
 pub mod frame;
 pub mod group_commit;
 pub mod mtr;
 pub mod record;
+pub mod recovery;
 
 pub use buffer::{LogBuffer, LogSink, VecSink};
 pub use frame::{FrameBatcher, FrameError, PaxosFrame, FRAME_HEADER_LEN, MAX_FRAME_PAYLOAD};
 pub use group_commit::{GroupCommitter, WalMetrics};
 pub use mtr::Mtr;
 pub use record::RedoPayload;
+pub use recovery::{scan_frames, scan_records, FrameScan, RecordScan};
