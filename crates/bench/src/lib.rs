@@ -9,6 +9,8 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
+pub mod alloc_count;
+
 /// Print a markdown-style table row.
 pub fn row(cells: &[String]) {
     println!("| {} |", cells.join(" | "));
@@ -33,6 +35,8 @@ pub struct LoopResult {
     pub mean_latency: Duration,
     /// 95th percentile latency.
     pub p95_latency: Duration,
+    /// 99th percentile latency.
+    pub p99_latency: Duration,
 }
 
 impl LoopResult {
@@ -82,6 +86,7 @@ pub fn closed_loop(
         elapsed: t0.elapsed(),
         mean_latency: hist.mean(),
         p95_latency: hist.percentile(0.95),
+        p99_latency: hist.percentile(0.99),
     }
 }
 

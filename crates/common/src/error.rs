@@ -55,6 +55,10 @@ pub enum Error {
     Throttled { rule: String },
     /// Generic invalid-argument error.
     Invalid { message: String },
+    /// A shared reference to one error delivered to many waiters (e.g.
+    /// every committer of a failed group-commit era or epoch): cloning is
+    /// a refcount bump, not a deep copy of the inner error's strings.
+    Shared(std::sync::Arc<Error>),
 }
 
 impl Error {
@@ -73,9 +77,24 @@ impl Error {
         Error::Storage { message: msg.into() }
     }
 
+    /// The underlying error with any [`Error::Shared`] layers unwrapped.
+    /// Callers that match on a kind (`NoQuorum`, `Timeout`, …) should
+    /// match on the root, since durability errors fanned out to many
+    /// waiters arrive wrapped.
+    pub fn root(&self) -> &Error {
+        let mut e = self;
+        while let Error::Shared(inner) = e {
+            e = inner;
+        }
+        e
+    }
+
     /// True when retrying the whole transaction may succeed (conflicts,
     /// lease races, throttling) as opposed to deterministic failures.
     pub fn is_retryable(&self) -> bool {
+        if let Error::Shared(inner) = self {
+            return inner.is_retryable();
+        }
         matches!(
             self,
             Error::WriteConflict { .. }
@@ -127,6 +146,7 @@ impl fmt::Display for Error {
             Error::Timeout { what } => write!(f, "timeout waiting for {what}"),
             Error::Throttled { rule } => write!(f, "throttled by traffic-control rule {rule}"),
             Error::Invalid { message } => write!(f, "invalid argument: {message}"),
+            Error::Shared(inner) => inner.fmt(f),
         }
     }
 }
@@ -152,5 +172,17 @@ mod tests {
         assert!(e.to_string().contains("1 acks"));
         let e = Error::Parse { message: "bad token".into(), position: 7 };
         assert!(e.to_string().contains("byte 7"));
+    }
+
+    #[test]
+    fn shared_forwards_display_and_retryability() {
+        let inner = std::sync::Arc::new(Error::NoQuorum { acks: 1, needed: 2 });
+        let a = Error::Shared(std::sync::Arc::clone(&inner));
+        let b = Error::Shared(inner);
+        assert_eq!(a, b);
+        assert_eq!(a.to_string(), "no quorum: 1 acks, 2 needed");
+        assert!(!a.is_retryable());
+        assert!(Error::Shared(std::sync::Arc::new(Error::Timeout { what: "t".into() }))
+            .is_retryable());
     }
 }

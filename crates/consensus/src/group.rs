@@ -403,6 +403,72 @@ mod tests {
     }
 
     #[test]
+    fn replicate_raw_carries_the_exact_bytes_and_chunks_on_cuts() {
+        // An epoch is a pre-encoded concatenation of records; raw replication
+        // must deliver those exact bytes to every replica, chunked into
+        // frames only at record-aligned cut points.
+        let g = PaxosGroup::build(GroupConfig::three_dc(1));
+        let leader = g.leader().unwrap();
+
+        // Build a payload big enough to force several frames: each record is
+        // ~1 KiB, 40 of them ≈ 40 KiB > MAX_FRAME_PAYLOAD.
+        let mut payload = Vec::new();
+        let mut cuts = Vec::new();
+        for n in 0..40i64 {
+            RedoPayload::Insert {
+                trx: TrxId(7),
+                table: TableId(1),
+                key: Key::encode(&[Value::Int(n)]),
+                row: Bytes::from(vec![b'y'; 1000]),
+            }
+            .encode(&mut payload);
+            cuts.push(payload.len());
+        }
+        let lsn = leader
+            .replicate_raw_and_wait(&payload, &cuts, Duration::from_secs(2))
+            .unwrap();
+        assert!(g.await_dlsn(lsn, Duration::from_secs(2)));
+
+        // Reassembling every frame's payload recovers the epoch bytes, and
+        // no frame exceeds the wire bound or splits a record.
+        let frames = leader.log_frames();
+        assert!(frames.len() >= 3, "40 KiB must span several frames, got {}", frames.len());
+        let mut reassembled = Vec::new();
+        for f in &frames {
+            assert!(f.payload.len() <= polardbx_wal::MAX_FRAME_PAYLOAD);
+            reassembled.extend_from_slice(&f.payload);
+            assert!(
+                cuts.contains(&reassembled.len()),
+                "frame boundary at {} is not record-aligned",
+                reassembled.len()
+            );
+        }
+        assert_eq!(reassembled, payload, "raw replication must be byte-exact");
+        // Followers hold the identical frame stream.
+        for r in &g.replicas[1..] {
+            let fr = r.log_frames();
+            let follower_bytes: Vec<u8> =
+                fr.iter().flat_map(|f| f.payload.iter().copied()).collect();
+            assert_eq!(follower_bytes, payload);
+        }
+    }
+
+    #[test]
+    fn replicate_raw_rejects_an_unsplittable_record() {
+        // A single record larger than a frame payload cannot be chunked at a
+        // record boundary; that is a caller bug and must be a hard error.
+        let g = PaxosGroup::build(GroupConfig::three_dc(1));
+        let leader = g.leader().unwrap();
+        let payload = vec![0u8; polardbx_wal::MAX_FRAME_PAYLOAD + 100];
+        let cuts = vec![payload.len()];
+        let err = leader.replicate_raw(&payload, &cuts).unwrap_err();
+        assert!(matches!(err, polardbx_common::Error::Storage { .. }), "got {err}");
+        // The failure leaves the log clean: a normal replicate still works.
+        let lsn = leader.replicate_and_wait(&[mtr(1)], Duration::from_secs(2)).unwrap();
+        assert!(g.await_dlsn(lsn, Duration::from_secs(2)));
+    }
+
+    #[test]
     fn gap_recovery_via_retransmission() {
         // A follower that was partitioned during some appends recovers the
         // missing range through the leader's reject-resend path.

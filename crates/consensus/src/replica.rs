@@ -11,7 +11,7 @@ use polardbx_common::metrics::Counter;
 use polardbx_common::time::mono_now;
 use polardbx_common::{DcId, Error, Lsn, NodeId, Result};
 use polardbx_simnet::{Handler, SimNet};
-use polardbx_wal::{FrameBatcher, LogSink, Mtr, PaxosFrame};
+use polardbx_wal::{FrameBatcher, LogSink, Mtr, PaxosFrame, MAX_FRAME_PAYLOAD};
 
 use crate::msg::PaxosMsg;
 use crate::waiters::CommitWaiters;
@@ -352,6 +352,104 @@ impl Replica {
     /// Synchronous convenience: replicate and block until durable.
     pub fn replicate_and_wait(&self, mtrs: &[Mtr], timeout: Duration) -> Result<Lsn> {
         let lsn = self.replicate(mtrs)?;
+        self.waiters.wait(lsn, timeout)?;
+        Ok(lsn)
+    }
+
+    /// Leader API for the epoch pipeline: replicate one sealed epoch's
+    /// pre-encoded record stream. `cuts` are record-aligned end offsets
+    /// (ascending, last one equal to `payload.len()`); the stream is split
+    /// into `MLOG_PAXOS` frames only at those offsets, because followers
+    /// apply whole frames and must never see half a record. Each frame is
+    /// still bounded by [`MAX_FRAME_PAYLOAD`].
+    pub fn replicate_raw(&self, payload: &[u8], cuts: &[usize]) -> Result<Lsn> {
+        if payload.is_empty() {
+            return Ok(self.st.lock().last_lsn);
+        }
+        debug_assert_eq!(cuts.last().copied(), Some(payload.len()), "cuts must cover the payload");
+        let (encoded, end_lsn, epoch, dlsn) = {
+            let mut st = self.st.lock();
+            if st.role != Role::Leader {
+                return Err(Error::NotLeader { leader_hint: st.leader.map(|n| n.raw()) });
+            }
+            // Greedy chunking: extend the current frame to the furthest cut
+            // that keeps it under the payload bound.
+            let mut chunks: Vec<(usize, usize)> = Vec::new();
+            let mut start = 0usize;
+            let mut reach = 0usize;
+            for &cut in cuts {
+                if cut - start > MAX_FRAME_PAYLOAD {
+                    if reach == start {
+                        // One submission larger than a frame: the pipeline
+                        // seals epochs well under the bound, so this is a
+                        // single oversized record stream — reject it.
+                        return Err(Error::storage(format!(
+                            "epoch cut {cut} exceeds frame bound from {start}"
+                        )));
+                    }
+                    chunks.push((start, reach));
+                    start = reach;
+                    if cut - start > MAX_FRAME_PAYLOAD {
+                        return Err(Error::storage(format!(
+                            "epoch cut {cut} exceeds frame bound from {start}"
+                        )));
+                    }
+                }
+                reach = cut;
+            }
+            if reach > start {
+                chunks.push((start, reach));
+            }
+            let mut encoded = Vec::with_capacity(chunks.len());
+            for (a, b) in chunks {
+                let lsn_start = st.last_lsn;
+                let f = PaxosFrame {
+                    epoch: st.epoch,
+                    index: st.log.len() as u64,
+                    lsn_start,
+                    lsn_end: lsn_start.advance((b - a) as u64),
+                    payload: Bytes::copy_from_slice(&payload[a..b]),
+                };
+                let enc = f.encode();
+                self.metrics.frames_encoded.inc();
+                // Leader durability before followers, same as `replicate`.
+                // lint:allow(guard_blocking, "sink write deliberately under st: last_lsn/log must not expose a hole ahead of the sink")
+                self.sink.write(f.lsn_start, enc.clone())?;
+                st.last_lsn = f.lsn_end;
+                encoded.push(enc);
+                st.log.push(f);
+            }
+            let me = self.me;
+            let last = st.last_lsn;
+            st.match_lsn.insert(me, last);
+            (encoded, st.last_lsn, st.epoch, st.dlsn)
+        };
+        for &peer in &self.members {
+            if peer != self.me {
+                let _ = self.net.post(
+                    self.me,
+                    peer,
+                    PaxosMsg::AppendEntries {
+                        epoch,
+                        leader: self.me,
+                        frames: encoded.clone(),
+                        dlsn,
+                    },
+                );
+            }
+        }
+        self.recompute_dlsn();
+        Ok(end_lsn)
+    }
+
+    /// [`Replica::replicate_raw`] + block until the quorum acks it.
+    pub fn replicate_raw_and_wait(
+        &self,
+        payload: &[u8],
+        cuts: &[usize],
+        timeout: Duration,
+    ) -> Result<Lsn> {
+        let lsn = self.replicate_raw(payload, cuts)?;
         self.waiters.wait(lsn, timeout)?;
         Ok(lsn)
     }

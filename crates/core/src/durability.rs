@@ -208,6 +208,46 @@ impl Durability for PaxosDurability {
     }
 }
 
+/// Epoch sink that replicates each sealed epoch as one raw batch through
+/// the DN's X-Paxos group: one majority wait per *epoch*, not per
+/// transaction. The epoch's record-aligned cut points become the frame
+/// chunking boundaries, so followers apply whole records and the durable
+/// frame stream is byte-identical to what per-transaction replication of
+/// the same records would have produced.
+pub struct PaxosEpochSink {
+    replica: Arc<Replica>,
+    timeout: Duration,
+    /// Epochs replicated (== consensus rounds paid by the epoch path).
+    pub rounds: Counter,
+}
+
+impl PaxosEpochSink {
+    /// Wrap the leader replica of a DN's Paxos group.
+    pub fn new(replica: Arc<Replica>, timeout: Duration) -> Arc<PaxosEpochSink> {
+        Arc::new(PaxosEpochSink { replica, timeout, rounds: Counter::default() })
+    }
+}
+
+impl polardbx_wal::EpochSink for PaxosEpochSink {
+    fn persist(&self, bytes: &[u8], cuts: &[usize]) -> Result<Lsn> {
+        self.rounds.inc();
+        self.replica.replicate_raw_and_wait(bytes, cuts, self.timeout)
+    }
+}
+
+/// Wire an epoch pipeline over a Paxos-replicated engine: sealed epochs
+/// ride [`Replica::replicate_raw_and_wait`] (majority ack per epoch) while
+/// prepare/abort/marker redo funnels through the same pipeline for
+/// ordering. Returns the started pipeline; the engine owns its shutdown.
+pub fn enable_paxos_epoch(
+    engine: &Arc<polardbx_storage::StorageEngine>,
+    replica: Arc<Replica>,
+    timeout: Duration,
+    cfg: polardbx_wal::EpochConfig,
+) -> Arc<polardbx_wal::EpochPipeline> {
+    engine.enable_epoch(PaxosEpochSink::new(replica, timeout), cfg)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -318,6 +358,120 @@ mod tests {
         assert_eq!(metrics.group_size.sum(), txns, "every batch accounted for");
         // Every commit is visible.
         assert_eq!(engine.count_rows(TableId(1), u64::MAX).unwrap(), txns as usize);
+    }
+
+    #[test]
+    fn epoch_commits_ride_paxos_and_amortize_rounds() {
+        // Epoch mode over a Paxos group: commits resolve once their epoch
+        // reaches majority durability, and concurrent committers share
+        // consensus rounds (one per epoch, not one per txn).
+        let group = PaxosGroup::build(
+            GroupConfig::three_dc(1)
+                .with_latency(LatencyMatrix::uniform(Duration::from_millis(2))),
+        );
+        let leader = group.leader().unwrap();
+        let engine = StorageEngine::with_durability(PaxosDurability::per_transaction(
+            Arc::clone(&leader),
+            Duration::from_secs(5),
+        ));
+        let sink = PaxosEpochSink::new(Arc::clone(&leader), Duration::from_secs(5));
+        let rounds = Arc::clone(&sink);
+        let pipe = engine.enable_epoch(sink, polardbx_wal::EpochConfig::default());
+        engine.create_table(TableId(1), TenantId(1));
+
+        const THREADS: u64 = 8;
+        const PER: u64 = 10;
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let engine = Arc::clone(&engine);
+                s.spawn(move || {
+                    for i in 0..PER {
+                        let trx = TrxId(t * 1000 + i + 1);
+                        let k = (t * 1000 + i) as i64;
+                        engine.begin(trx, 0);
+                        engine
+                            .write(
+                                trx,
+                                TableId(1),
+                                Key::encode(&[Value::Int(k)]),
+                                WriteOp::Insert(Row::new(vec![Value::Int(k)])),
+                            )
+                            .unwrap();
+                        engine.commit(trx, t * 1000 + i + 1).unwrap();
+                    }
+                });
+            }
+        });
+        let txns = THREADS * PER;
+        assert!(
+            rounds.rounds.get() < txns,
+            "no epoch batching: {} rounds for {txns} txns",
+            rounds.rounds.get()
+        );
+        assert_eq!(engine.count_rows(TableId(1), u64::MAX).unwrap(), txns as usize);
+        // Every commit the clients saw succeed is covered by the group's
+        // durable horizon.
+        assert!(leader.status().dlsn >= pipe.durable_lsn());
+    }
+
+    #[test]
+    fn epoch_quorum_loss_rolls_back_the_commit() {
+        // A partitioned leader cannot durably seal the epoch: the commit
+        // call must fail, and the optimistically stamped write must be
+        // rolled back (torn-epoch presumed abort), leaving nothing visible.
+        let group = PaxosGroup::build(GroupConfig::three_dc(1));
+        let leader = group.leader().unwrap();
+        group.net.partition(polardbx_common::DcId(1), polardbx_common::DcId(2));
+        group.net.partition(polardbx_common::DcId(1), polardbx_common::DcId(3));
+        let engine = StorageEngine::with_durability(PaxosDurability::per_transaction(
+            Arc::clone(&leader),
+            Duration::from_millis(50),
+        ));
+        enable_paxos_epoch(
+            &engine,
+            Arc::clone(&leader),
+            Duration::from_millis(50),
+            polardbx_wal::EpochConfig::default(),
+        );
+        engine.create_table(TableId(1), TenantId(1));
+        engine.begin(TrxId(1), 0);
+        engine
+            .write(
+                TrxId(1),
+                TableId(1),
+                Key::encode(&[Value::Int(1)]),
+                WriteOp::Insert(Row::new(vec![Value::Int(1)])),
+            )
+            .unwrap();
+        let err = engine.commit(TrxId(1), 10).unwrap_err();
+        assert!(
+            matches!(err.root(), polardbx_common::Error::Timeout { .. }),
+            "expected a majority-wait timeout, got {err}"
+        );
+        assert_eq!(
+            engine
+                .read(TableId(1), &Key::encode(&[Value::Int(1)]), u64::MAX, None)
+                .unwrap(),
+            None,
+            "torn epoch must leave no visible trace"
+        );
+        // The pipeline heals: once the partition lifts, new commits succeed.
+        group.net.heal(polardbx_common::DcId(1), polardbx_common::DcId(2));
+        group.net.heal(polardbx_common::DcId(1), polardbx_common::DcId(3));
+        engine.begin(TrxId(2), 20);
+        engine
+            .write(
+                TrxId(2),
+                TableId(1),
+                Key::encode(&[Value::Int(2)]),
+                WriteOp::Insert(Row::new(vec![Value::Int(2)])),
+            )
+            .unwrap();
+        engine.commit(TrxId(2), 30).unwrap();
+        assert!(engine
+            .read(TableId(1), &Key::encode(&[Value::Int(2)]), u64::MAX, None)
+            .unwrap()
+            .is_some());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Per-file invariant analysis over the token stream.
 //!
-//! Five rules (see DESIGN.md "Correctness tooling"):
+//! Six rules (see DESIGN.md "Correctness tooling"):
 //!
 //! - `lock_order` — every nested `lock()/read()/write()` acquisition adds
 //!   an edge `held → acquired` to a cross-crate graph; cycles (reported by
@@ -18,6 +18,12 @@
 //!   visibility stamp (`txns.commit(…)` / `store.commit(…)`) sequenced
 //!   *before* the durability call acks a commit that crash recovery can
 //!   never reconstruct — the redo-ahead invariant, statically.
+//! - `hotpath_alloc` — inside a function annotated `// lint:hotpath`
+//!   (the steady-state commit path), per-call heap allocation
+//!   (`Vec::new`, `vec!`, `Box::new`, `.to_vec()`, `.clone()`…) defeats
+//!   the allocation-free design; reuse a pooled buffer or move the work
+//!   off the hot path. `Arc::clone(&x)` (the explicit refcount-bump
+//!   form) is deliberately not flagged.
 //!
 //! Escape hatch: `// lint:allow(<rule>, <reason>)` on the offending line
 //! or the line directly above. An allow without a reason is itself a
@@ -39,6 +45,8 @@ pub enum Rule {
     Unwrap,
     /// Version visibility stamped before the durability ack (redo-ahead).
     DurabilityOrder,
+    /// Heap allocation inside a `// lint:hotpath`-annotated function.
+    HotpathAlloc,
     /// A malformed `lint:allow` (unknown rule or missing reason).
     BadAllow,
 }
@@ -52,6 +60,7 @@ impl Rule {
             Rule::Determinism => "determinism",
             Rule::Unwrap => "unwrap",
             Rule::DurabilityOrder => "durability_order",
+            Rule::HotpathAlloc => "hotpath_alloc",
             Rule::BadAllow => "bad_allow",
         }
     }
@@ -63,6 +72,7 @@ impl Rule {
             "determinism" => Some(Rule::Determinism),
             "unwrap" => Some(Rule::Unwrap),
             "durability_order" => Some(Rule::DurabilityOrder),
+            "hotpath_alloc" => Some(Rule::HotpathAlloc),
             _ => None,
         }
     }
@@ -300,7 +310,21 @@ pub fn analyze_source(path: &str, src: &str, cfg: &Config) -> FileAnalysis {
         }
     }
 
-    // ---- lock + durability rules (per-function walks) ------------------
+    // Hot-function lines: a `// lint:hotpath` marker annotates the next
+    // line carrying code — the function signature it sits above.
+    let hot_lines: HashSet<u32> = stream
+        .hotpaths
+        .iter()
+        .map(|&l| {
+            if code_lines.contains(&l) {
+                l
+            } else {
+                code_lines.iter().copied().filter(|&c| c > l).min().unwrap_or(l)
+            }
+        })
+        .collect();
+
+    // ---- lock + durability + hotpath rules (per-function walks) --------
     let mut i = 0usize;
     while i < toks.len() {
         if toks[i].is_ident("fn") && !test_mask[i] {
@@ -315,6 +339,9 @@ pub fn analyze_source(path: &str, src: &str, cfg: &Config) -> FileAnalysis {
                     &mut out,
                 );
                 check_durability_order(path, toks, body_start, body_end, &allow_for, &mut out);
+                if hot_lines.contains(&toks[i].line) {
+                    check_hotpath_alloc(path, toks, body_start, body_end, &allow_for, &mut out);
+                }
                 i = body_end;
                 continue;
             }
@@ -322,6 +349,78 @@ pub fn analyze_source(path: &str, src: &str, cfg: &Config) -> FileAnalysis {
         i += 1;
     }
     out
+}
+
+/// Allocating constructors flagged when path-called (`Vec::new()`…) in a
+/// hot function.
+const ALLOC_TYPES: &[&str] =
+    &["Vec", "VecDeque", "Box", "String", "HashMap", "HashSet", "BTreeMap", "BTreeSet"];
+
+/// Allocating methods flagged when method-called (`.to_vec()`…) in a hot
+/// function. `clone` is handled separately so `Arc::clone(&x)` — the
+/// explicit refcount-bump idiom — stays legal.
+const ALLOC_METHODS: &[&str] = &["to_vec", "to_string", "to_owned"];
+
+/// The allocation-free invariant for `// lint:hotpath` functions: the
+/// steady-state commit path must not heap-allocate per call. Flags
+/// `Vec::new()`-style constructors on allocating types, the `vec![…]`
+/// macro, `.to_vec()/.to_string()/.to_owned()` copies, and method-form
+/// `.clone()` (deep-copy by default; for refcounts use `Arc::clone(&x)`,
+/// which the rule deliberately ignores). Era-amortized allocations that
+/// must stay need `lint:allow(hotpath_alloc, why)`.
+fn check_hotpath_alloc(
+    path: &str,
+    toks: &[Tok],
+    body_start: usize,
+    body_end: usize,
+    allow_for: &dyn Fn(Rule, u32) -> Option<String>,
+    out: &mut FileAnalysis,
+) {
+    for i in body_start..=body_end {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let is_call = toks.get(i + 1).is_some_and(|n| n.is_punct('('));
+        let msg = if t.text == "vec" && toks.get(i + 1).is_some_and(|n| n.is_punct('!')) {
+            Some("`vec![…]` heap-allocates per call".to_string())
+        } else if t.text == "new" && is_call {
+            prev_path_ident(toks, i)
+                .filter(|ty| ALLOC_TYPES.contains(&ty.as_str()))
+                .map(|ty| format!("`{ty}::new()` heap-allocates per call"))
+        } else if ALLOC_METHODS.contains(&t.text.as_str())
+            && is_call
+            && i > body_start
+            && toks[i - 1].is_punct('.')
+        {
+            Some(format!("`.{}()` copies into a fresh heap buffer", t.text))
+        } else if t.text == "clone"
+            && is_call
+            && i > body_start
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 2).is_some_and(|n| n.is_punct(')'))
+        {
+            Some(
+                "`.clone()` may deep-copy per call — reuse a buffer, or use `Arc::clone(&x)` \
+                 for an explicit refcount bump"
+                    .to_string(),
+            )
+        } else {
+            None
+        };
+        if let Some(m) = msg {
+            out.findings.push(Finding {
+                rule: Rule::HotpathAlloc,
+                file: path.to_string(),
+                line: t.line,
+                message: format!(
+                    "{m} inside a `lint:hotpath` function — the commit path must be \
+                     allocation-free"
+                ),
+                allowed: allow_for(Rule::HotpathAlloc, t.line),
+            });
+        }
+    }
 }
 
 /// The redo-ahead invariant, statically: in a function that makes redo

@@ -67,6 +67,9 @@ pub struct TokenStream {
     pub toks: Vec<Tok>,
     /// All `lint:allow` comments, in source order.
     pub allows: Vec<Allow>,
+    /// Lines carrying a `// lint:hotpath` marker: the next function is an
+    /// allocation-free hot path (see the `hotpath_alloc` rule).
+    pub hotpaths: Vec<u32>,
 }
 
 /// Tokenize `src`. Never fails: unterminated constructs consume to EOF.
@@ -94,6 +97,7 @@ pub fn tokenize(src: &str) -> TokenStream {
                 let is_doc = start < b.len() && (b[start] == b'/' || b[start] == b'!');
                 if !is_doc {
                     scan_allow(&src[start..j], line, &mut out.allows);
+                    scan_hotpath(&src[start..j], line, &mut out.hotpaths);
                 }
                 i = j;
             }
@@ -121,6 +125,7 @@ pub fn tokenize(src: &str) -> TokenStream {
                 }
                 if !is_doc {
                     scan_allow(&src[start..j.min(b.len())], start_line, &mut out.allows);
+                    scan_hotpath(&src[start..j.min(b.len())], start_line, &mut out.hotpaths);
                 }
                 i = j;
             }
@@ -338,6 +343,16 @@ fn scan_allow(comment: &str, start_line: u32, out: &mut Vec<Allow>) {
     }
 }
 
+/// Record lines carrying a `lint:hotpath` marker (one per comment line;
+/// the marker annotates the function that follows).
+fn scan_hotpath(comment: &str, start_line: u32, out: &mut Vec<u32>) {
+    for (line, part) in (start_line..).zip(comment.split('\n')) {
+        if part.contains("lint:hotpath") {
+            out.push(line);
+        }
+    }
+}
+
 /// Trim whitespace and one layer of quotes from an allow reason.
 fn normalize_reason(raw: &str) -> String {
     let t = raw.trim();
@@ -416,6 +431,13 @@ mod tests {
         let ts = tokenize(src);
         assert_eq!(ts.allows[0].rule, "determinism");
         assert!(ts.allows[0].reason.is_empty());
+    }
+
+    #[test]
+    fn hotpath_markers_are_recorded_but_not_in_doc_comments() {
+        let src = "// lint:hotpath\npub fn hot() {}\n/// mentions lint:hotpath in prose\nfn cold() {}\n";
+        let ts = tokenize(src);
+        assert_eq!(ts.hotpaths, vec![1]);
     }
 
     #[test]

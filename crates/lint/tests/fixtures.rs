@@ -14,6 +14,7 @@ const BAD_GUARD_BLOCKING: &str = include_str!("fixtures/bad_guard_blocking.rs");
 const BAD_DETERMINISM: &str = include_str!("fixtures/bad_determinism.rs");
 const BAD_UNWRAP: &str = include_str!("fixtures/bad_unwrap.rs");
 const BAD_DURABILITY_ORDER: &str = include_str!("fixtures/bad_durability_order.rs");
+const BAD_HOTPATH_ALLOC: &str = include_str!("fixtures/bad_hotpath_alloc.rs");
 const GOOD_CLEAN: &str = include_str!("fixtures/good_clean.rs");
 const EDGE_TOKENS: &str = include_str!("fixtures/edge_tokens.rs");
 
@@ -102,6 +103,30 @@ fn durability_order_respects_allow() {
         fa.findings.iter().filter(|f| f.rule == Rule::DurabilityOrder).collect();
     assert_eq!(hits.len(), 1);
     assert!(hits[0].allowed.as_deref().unwrap().contains("rolled back"));
+}
+
+#[test]
+fn hotpath_alloc_fires_only_in_annotated_functions() {
+    let fa = analyze_source("crates/storage/src/fixture.rs", BAD_HOTPATH_ALLOC, &cfg());
+    let hits: Vec<_> =
+        fa.findings.iter().filter(|f| f.rule == Rule::HotpathAlloc).collect();
+    let unjustified: Vec<_> = hits.iter().filter(|f| f.allowed.is_none()).collect();
+    // hot_commit: Vec::new + to_vec + Box::new + vec! + clone = 5 findings;
+    // cold_setup's identical constructs and Arc::clone stay quiet.
+    assert_eq!(unjustified.len(), 5, "{:?}", fa.findings);
+    assert!(unjustified.iter().any(|f| f.message.contains("Vec::new")));
+    assert!(unjustified.iter().any(|f| f.message.contains("to_vec")));
+    assert!(unjustified.iter().any(|f| f.message.contains("Box::new")));
+    assert!(unjustified.iter().any(|f| f.message.contains("vec![")));
+    assert!(unjustified.iter().any(|f| f.message.contains("clone")));
+    assert!(
+        unjustified.iter().all(|f| f.line < 20),
+        "cold_setup (unannotated) must not fire: {unjustified:?}"
+    );
+    // The era-amortized pool refill is present but justified.
+    let allowed: Vec<_> = hits.iter().filter(|f| f.allowed.is_some()).collect();
+    assert_eq!(allowed.len(), 1, "{hits:?}");
+    assert!(allowed[0].allowed.as_deref().unwrap().contains("once per era"));
 }
 
 #[test]

@@ -1,0 +1,32 @@
+//! Fixture: heap allocations inside `// lint:hotpath` functions. Each
+//! construct in `hot_commit` must fire `hotpath_alloc`; the identical
+//! shapes in the unannotated `cold_setup` must stay quiet, and
+//! `Arc::clone(&x)` is sanctioned in hot code.
+
+use std::sync::Arc;
+
+// lint:hotpath
+pub fn hot_commit(buf: &mut Vec<u8>, key: &[u8], shared: &Arc<u64>) -> usize {
+    let mut scratch = Vec::new(); // fires: Vec::new
+    scratch.extend_from_slice(key);
+    let copy = key.to_vec(); // fires: to_vec
+    let boxed = Box::new(copy.len()); // fires: Box::new
+    let tags = vec![1u8, 2, 3]; // fires: vec!
+    let dup = buf.clone(); // fires: clone()
+    let rc = Arc::clone(shared); // sanctioned: explicit refcount bump
+    scratch.len() + *boxed + tags.len() + dup.len() + *rc as usize
+}
+
+pub fn cold_setup() -> Vec<u8> {
+    // Not annotated: the same constructs are fine off the hot path.
+    let mut v = Vec::new();
+    v.extend_from_slice(&[1, 2, 3]);
+    let w = v.to_vec();
+    w.clone()
+}
+
+// lint:hotpath
+pub fn hot_with_justified_refill(pool: &mut Vec<Vec<u8>>) {
+    // lint:allow(hotpath_alloc, "pool refill runs once per era, not per commit")
+    pool.push(Vec::new());
+}

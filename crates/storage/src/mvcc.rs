@@ -165,6 +165,41 @@ impl VersionStore {
         }
     }
 
+    /// Torn-epoch rollback of a *decided* transaction: revert `trx`'s
+    /// stamped versions to undecided intents (`decided_ts` back to `None`).
+    /// The commit decision is durable at the arbiter, so the versions must
+    /// survive — they return to the PREPARED visibility regime until the
+    /// decision is re-driven.
+    pub fn unstamp(&self, trx: TrxId, keys: &[Key]) {
+        for key in keys {
+            let mut map = self.shard(key).write();
+            if let Some(chain) = map.get_mut(key) {
+                for v in chain.iter_mut() {
+                    if v.trx == trx {
+                        v.decided_ts = None;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Torn-epoch rollback of an *undecided* transaction: remove `trx`'s
+    /// versions outright, stamped or not (presumed abort — the commit
+    /// record never became durable). [`VersionStore::abort`] only removes
+    /// unstamped intents; early lock release stamps before durability, so
+    /// this stronger form is needed.
+    pub fn rollback_stamped(&self, trx: TrxId, keys: &[Key]) {
+        for key in keys {
+            let mut map = self.shard(key).write();
+            if let Some(chain) = map.get_mut(key) {
+                chain.retain(|v| v.trx != trx);
+                if chain.is_empty() {
+                    map.remove(key);
+                }
+            }
+        }
+    }
+
     /// Apply an already-committed change directly (redo replay on RO nodes
     /// and Paxos followers — the writer's decision travelled with the log).
     pub fn apply_committed(&self, trx: TrxId, commit_ts: u64, key: Key, op: VersionOp) {
@@ -207,6 +242,13 @@ impl VersionStore {
             }
             match v.decided_ts {
                 Some(ts) if ts <= snapshot_ts => {
+                    // Early lock release: a stamped version whose writer's
+                    // epoch is still in flight must not escape to another
+                    // transaction — its commit could yet be rolled back by
+                    // a torn epoch. Gate until the epoch resolves.
+                    if txns.is_unstable(v.trx) {
+                        return (ReadResult::MustWait(v.trx), None);
+                    }
                     let observed = Some(VersionRef { writer: v.trx, commit_ts: Some(ts) });
                     return match &v.op {
                         VersionOp::Put(row) => (ReadResult::Row(row.clone()), observed),
@@ -223,6 +265,9 @@ impl VersionStore {
                     }
                     Some(TxnState::Committed { commit_ts }) => {
                         if commit_ts <= snapshot_ts {
+                            if txns.is_unstable(v.trx) {
+                                return (ReadResult::MustWait(v.trx), None);
+                            }
                             let observed =
                                 Some(VersionRef { writer: v.trx, commit_ts: Some(commit_ts) });
                             return match &v.op {
@@ -295,10 +340,19 @@ impl VersionStore {
                 ReadResult::Row(r) => return Ok((Some(r), observed)),
                 ReadResult::NotFound => return Ok((None, observed)),
                 ReadResult::MustWait(writer) => {
-                    txns.wait_decided(writer, timeout)?;
+                    Self::wait_out(txns, writer, timeout)?;
                 }
             }
         }
+    }
+
+    /// Resolve a `MustWait`: a PREPARED writer needs its decision, an
+    /// unstable (epoch-in-flight) writer needs its durability horizon.
+    /// Both waits return immediately when already satisfied, so calling
+    /// them in sequence is race-free — the visibility retry re-checks.
+    fn wait_out(txns: &TxnTable, writer: TrxId, timeout: Duration) -> Result<()> {
+        txns.wait_decided(writer, timeout)?;
+        txns.wait_stable(writer, timeout)
     }
 
     /// Range scan of visible rows at `snapshot_ts`, waiting out PREPARED
@@ -362,7 +416,7 @@ impl VersionStore {
                     return Ok(out);
                 }
                 Some(w) => {
-                    txns.wait_decided(w, timeout)?;
+                    Self::wait_out(txns, w, timeout)?;
                 }
             }
         }
@@ -606,6 +660,86 @@ mod tests {
         // Reads at/after the horizon still work.
         assert_eq!(s.read(&t, &key(1), 40, None), ReadResult::Row(row(1, "v3")));
         assert_eq!(s.read(&t, &key(1), 100, None), ReadResult::Row(row(1, "v5")));
+    }
+
+    #[test]
+    fn unstable_writer_gates_other_readers_not_self() {
+        let (s, t) = store();
+        t.begin(TrxId(1));
+        s.write(&t, TrxId(1), 0, key(1), VersionOp::Put(row(1, "elr"))).unwrap();
+        t.mark_unstable(TrxId(1));
+        t.commit(TrxId(1), 10).unwrap();
+        s.commit(TrxId(1), 10, &[key(1)]);
+        // Another reader at a covering snapshot must wait for stability.
+        assert_eq!(s.read(&t, &key(1), 100, None), ReadResult::MustWait(TrxId(1)));
+        // The writer itself sees its own version (it holds the ticket).
+        assert_eq!(s.read(&t, &key(1), 100, Some(TrxId(1))), ReadResult::Row(row(1, "elr")));
+        // Older snapshots never observe it, so they are not gated.
+        assert_eq!(s.read(&t, &key(1), 5, None), ReadResult::NotFound);
+        // Stability lifts the gate.
+        t.mark_stable_batch(&[TrxId(1)]);
+        assert_eq!(s.read(&t, &key(1), 100, None), ReadResult::Row(row(1, "elr")));
+    }
+
+    #[test]
+    fn read_waiting_resolves_after_stability() {
+        let (s, t) = store();
+        t.begin(TrxId(1));
+        s.write(&t, TrxId(1), 0, key(1), VersionOp::Put(row(1, "pending"))).unwrap();
+        t.mark_unstable(TrxId(1));
+        t.commit(TrxId(1), 10).unwrap();
+        s.commit(TrxId(1), 10, &[key(1)]);
+        let (s2, t2) = (Arc::clone(&s), Arc::clone(&t));
+        let reader = std::thread::spawn(move || {
+            s2.read_waiting(&t2, &key(1), 100, None, Duration::from_secs(2)).unwrap()
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        t.mark_stable_batch(&[TrxId(1)]);
+        assert_eq!(reader.join().unwrap(), Some(row(1, "pending")));
+    }
+
+    #[test]
+    fn elr_allows_write_over_unstable_commit() {
+        // The early-lock-release win: a later writer with a covering
+        // snapshot may overwrite a stamped-but-unstable version without
+        // waiting for its epoch to persist.
+        let (s, t) = store();
+        t.begin(TrxId(1));
+        s.write(&t, TrxId(1), 0, key(1), VersionOp::Put(row(1, "a"))).unwrap();
+        t.mark_unstable(TrxId(1));
+        t.commit(TrxId(1), 10).unwrap();
+        s.commit(TrxId(1), 10, &[key(1)]);
+        t.begin(TrxId(2));
+        s.write(&t, TrxId(2), 10, key(1), VersionOp::Put(row(1, "b"))).unwrap();
+    }
+
+    #[test]
+    fn torn_epoch_rollback_paths() {
+        let (s, t) = store();
+        // Undecided: stamped version is removed wholesale.
+        t.begin(TrxId(1));
+        s.write(&t, TrxId(1), 0, key(1), VersionOp::Put(row(1, "gone"))).unwrap();
+        t.mark_unstable(TrxId(1));
+        t.commit(TrxId(1), 10).unwrap();
+        s.commit(TrxId(1), 10, &[key(1)]);
+        t.demote_unstable_to_aborted(TrxId(1));
+        s.rollback_stamped(TrxId(1), &[key(1)]);
+        assert_eq!(s.read(&t, &key(1), 100, None), ReadResult::NotFound);
+        assert_eq!(s.key_count(), 0);
+        // Decided (2PC): stamped version reverts to a prepared intent.
+        t.begin(TrxId(2));
+        s.write(&t, TrxId(2), 0, key(2), VersionOp::Put(row(2, "kept"))).unwrap();
+        t.prepare(TrxId(2), 5).unwrap();
+        t.mark_unstable(TrxId(2));
+        t.commit(TrxId(2), 12).unwrap();
+        s.commit(TrxId(2), 12, &[key(2)]);
+        t.demote_unstable_to_prepared(TrxId(2), 5);
+        s.unstamp(TrxId(2), &[key(2)]);
+        // Back in the PREPARED regime: readers wait for the re-decision.
+        assert_eq!(s.read(&t, &key(2), 100, None), ReadResult::MustWait(TrxId(2)));
+        t.commit(TrxId(2), 12).unwrap();
+        s.commit(TrxId(2), 12, &[key(2)]);
+        assert_eq!(s.read(&t, &key(2), 100, None), ReadResult::Row(row(2, "kept")));
     }
 
     #[test]

@@ -15,7 +15,7 @@ use std::time::Duration;
 use bytes::Bytes;
 use polardbx_common::time::mono_now;
 use polardbx_common::{Error, Key, Lsn, NodeId, Result, Row, TableId, TenantId, TrxId};
-use polardbx_wal::{LogBuffer, LogSink, Mtr, VecSink};
+use polardbx_wal::{EpochConfig, EpochPipeline, LocalEpochSink, LogBuffer, LogSink, Mtr, VecSink};
 
 use crate::engine::{Durability, LocalDurability, RedoApplier, StorageEngine, WriteOp};
 use crate::mvcc as polardbx_storage_mvcc;
@@ -147,6 +147,14 @@ impl RwNode {
             next_ro: AtomicU64::new(id.raw() * 100 + 1),
             tables: Mutex::new(Vec::new()),
         })
+    }
+
+    /// Switch this node's engine to the epoch commit pipeline (ISSUE 7),
+    /// writing epochs through the same [`LogBuffer`] the RO stream ships
+    /// from. Epochs are plain concatenations of the per-txn encodings the
+    /// serial path writes, so replication and RO apply are unchanged.
+    pub fn enable_epoch(&self) -> Arc<EpochPipeline> {
+        self.engine.enable_epoch(LocalEpochSink::new(Arc::clone(&self.log)), EpochConfig::default())
     }
 
     /// Add an RO replica. The replica starts empty and catches up from the

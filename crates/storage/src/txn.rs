@@ -6,7 +6,7 @@
 //! states and lets readers block until a prepared transaction completes.
 
 use parking_lot::{Condvar, Mutex};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::time::Duration;
 
 use polardbx_common::{Error, Result, TrxId};
@@ -40,6 +40,12 @@ impl TxnState {
 #[derive(Default)]
 struct Inner {
     states: HashMap<TrxId, TxnState>,
+    /// Epoch pipeline (early lock release): transactions whose commit
+    /// stamp has been published but whose epoch has not reached its
+    /// durability horizon. Their versions exist and may be overwritten,
+    /// but no external read may observe them and no client ack may be
+    /// sent until they leave this set.
+    unstable: HashSet<TrxId>,
 }
 
 /// The node-local transaction table.
@@ -170,6 +176,82 @@ impl TxnTable {
         }
     }
 
+    /// Flag `trx` as unstable *before* its commit stamp is published
+    /// (epoch early lock release). Readers that meet its versions gate on
+    /// [`TxnTable::wait_stable`]; there is no window in which a stamped
+    /// version is observable with the flag unset.
+    pub fn mark_unstable(&self, trx: TrxId) {
+        self.inner.lock().unstable.insert(trx);
+    }
+
+    /// The epoch containing `txns` reached its durability horizon: clear
+    /// their unstable flags and wake gated readers.
+    pub fn mark_stable_batch(&self, txns: &[TrxId]) {
+        let mut inner = self.inner.lock();
+        for t in txns {
+            inner.unstable.remove(t);
+        }
+        self.decided.notify_all();
+    }
+
+    /// Is `trx` committed-but-not-yet-durable (epoch in flight)?
+    pub fn is_unstable(&self, trx: TrxId) -> bool {
+        self.inner.lock().unstable.contains(&trx)
+    }
+
+    /// Gate for external reads under early lock release: block until
+    /// `trx`'s epoch resolves (stable, or rolled back by a torn epoch).
+    /// On return the caller re-reads the state table and acts on whatever
+    /// the resolution left there.
+    pub fn wait_stable(&self, trx: TrxId, timeout: Duration) -> Result<()> {
+        let mut inner = self.inner.lock();
+        // lint:allow(determinism, "Condvar::wait_until needs an Instant deadline; bounded by the caller's timeout")
+        let deadline = std::time::Instant::now() + timeout;
+        while inner.unstable.contains(&trx) {
+            if self.decided.wait_until(&mut inner, deadline).timed_out() {
+                return Err(Error::Timeout { what: format!("epoch stability of {trx}") });
+            }
+        }
+        Ok(())
+    }
+
+    /// Torn-epoch rollback of an *undecided* (one-phase) transaction:
+    /// demote its early-released COMMITTED state back to ABORTED
+    /// (presumed abort — the commit record never became durable). Returns
+    /// the stamped commit timestamp if the demotion happened.
+    pub fn demote_unstable_to_aborted(&self, trx: TrxId) -> Option<u64> {
+        let mut inner = self.inner.lock();
+        if !inner.unstable.remove(&trx) {
+            return None;
+        }
+        let ts = match inner.states.get(&trx) {
+            Some(TxnState::Committed { commit_ts }) => Some(*commit_ts),
+            _ => None,
+        };
+        inner.states.insert(trx, TxnState::Aborted);
+        self.decided.notify_all();
+        ts
+    }
+
+    /// Torn-epoch rollback of a *decided* (2PC phase-two) transaction: the
+    /// commit decision is durable at the arbiter, so the transaction must
+    /// never abort — it reverts to PREPARED and the decision will be
+    /// re-driven (commit record re-logged) when durability returns.
+    /// Returns the stamped commit timestamp if the demotion happened.
+    pub fn demote_unstable_to_prepared(&self, trx: TrxId, prepare_ts: u64) -> Option<u64> {
+        let mut inner = self.inner.lock();
+        if !inner.unstable.remove(&trx) {
+            return None;
+        }
+        let ts = match inner.states.get(&trx) {
+            Some(TxnState::Committed { commit_ts }) => Some(*commit_ts),
+            _ => None,
+        };
+        inner.states.insert(trx, TxnState::Prepared { prepare_ts });
+        self.decided.notify_all();
+        ts
+    }
+
     /// Drop state for decided transactions older than needed (GC). Only
     /// aborted entries may be forgotten outright; committed entries are
     /// kept by the version store through their commit timestamps instead.
@@ -283,6 +365,58 @@ mod tests {
         t.commit(TrxId(3), 9).unwrap();
         assert!(!t.try_abort_active(TrxId(3)));
         assert_eq!(t.state(TrxId(3)), Some(TxnState::Committed { commit_ts: 9 }));
+    }
+
+    #[test]
+    fn unstable_flag_gates_until_batch_stability() {
+        let t = Arc::new(TxnTable::new());
+        t.begin(TrxId(1));
+        t.mark_unstable(TrxId(1));
+        t.commit(TrxId(1), 10).unwrap();
+        assert!(t.is_unstable(TrxId(1)));
+        let t2 = Arc::clone(&t);
+        let gated = std::thread::spawn(move || {
+            t2.wait_stable(TrxId(1), Duration::from_secs(2)).unwrap();
+            assert!(!t2.is_unstable(TrxId(1)));
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        t.mark_stable_batch(&[TrxId(1)]);
+        gated.join().unwrap();
+        assert_eq!(t.state(TrxId(1)), Some(TxnState::Committed { commit_ts: 10 }));
+    }
+
+    #[test]
+    fn wait_stable_times_out() {
+        let t = TxnTable::new();
+        t.begin(TrxId(1));
+        t.mark_unstable(TrxId(1));
+        t.commit(TrxId(1), 10).unwrap();
+        let err = t.wait_stable(TrxId(1), Duration::from_millis(20)).unwrap_err();
+        assert!(matches!(err, Error::Timeout { .. }));
+    }
+
+    #[test]
+    fn torn_epoch_demotions() {
+        let t = TxnTable::new();
+        // Undecided one-phase commit rolls back to ABORTED.
+        t.begin(TrxId(1));
+        t.mark_unstable(TrxId(1));
+        t.commit(TrxId(1), 10).unwrap();
+        assert_eq!(t.demote_unstable_to_aborted(TrxId(1)), Some(10));
+        assert_eq!(t.state(TrxId(1)), Some(TxnState::Aborted));
+        assert!(!t.is_unstable(TrxId(1)));
+        // Decided 2PC commit reverts to PREPARED, never aborts.
+        t.begin(TrxId(2));
+        t.prepare(TrxId(2), 5).unwrap();
+        t.mark_unstable(TrxId(2));
+        t.commit(TrxId(2), 12).unwrap();
+        assert_eq!(t.demote_unstable_to_prepared(TrxId(2), 5), Some(12));
+        assert_eq!(t.state(TrxId(2)), Some(TxnState::Prepared { prepare_ts: 5 }));
+        // Demoting a stable transaction is a no-op.
+        t.begin(TrxId(3));
+        t.commit(TrxId(3), 20).unwrap();
+        assert_eq!(t.demote_unstable_to_aborted(TrxId(3)), None);
+        assert_eq!(t.state(TrxId(3)), Some(TxnState::Committed { commit_ts: 20 }));
     }
 
     #[test]

@@ -1,0 +1,197 @@
+//! Differential property test for the epoch commit path (ISSUE 7): for a
+//! seeded random workload applied transaction-by-transaction, the
+//! epoch-pipelined engine must be observationally identical to the serial
+//! (per-commit flush) engine —
+//!
+//! 1. **byte-identical durable redo**: an epoch is a plain concatenation
+//!    of the same `RedoPayload` encodings the serial path writes, in the
+//!    same submission order, so the two sinks hold the same bytes;
+//! 2. **identical visible state** after the workload settles;
+//! 3. **identical recovery**: cutting the log at a seeded byte offset
+//!    (usually mid-record, i.e. a torn epoch tail) and replaying the
+//!    prefix through `recovery::recovered_engine` yields the same state
+//!    from either log — torn tails truncate to the durable horizon and
+//!    replay at whole-transaction granularity.
+//!
+//! Eight seeds; each runs both engines over the same generated script.
+
+use bytes::Bytes;
+use polardbx_common::{Key, Lsn, Row, TableId, TenantId, TrxId, Value};
+use polardbx_storage::recovery::recovered_engine;
+use polardbx_storage::{StorageEngine, SyncLocalDurability, WriteOp};
+use polardbx_wal::{EpochConfig, LocalEpochSink, LogBuffer, LogSink, VecSink};
+use std::sync::Arc;
+
+const T: TableId = TableId(1);
+const TEN: TenantId = TenantId(1);
+const KEYS: u64 = 16;
+const TXNS: u64 = 48;
+
+/// xorshift64* — deterministic, dependency-free seed expansion.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_mul(2654435761).max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// One scripted statement: upsert `key := value`, or delete `key`.
+#[derive(Clone)]
+enum Stmt {
+    Upsert(u64, i64),
+    Delete(u64),
+}
+
+/// One scripted transaction; aborted txns still stage writes first, so
+/// rollback paths diverge loudly if the epoch path mishandles them.
+#[derive(Clone)]
+struct Txn {
+    stmts: Vec<Stmt>,
+    abort: bool,
+}
+
+fn script(seed: u64) -> Vec<Txn> {
+    let mut rng = Rng::new(seed);
+    (0..TXNS)
+        .map(|_| {
+            let stmts = (0..1 + rng.below(3))
+                .map(|_| {
+                    let key = rng.below(KEYS);
+                    if rng.below(10) < 7 {
+                        Stmt::Upsert(key, rng.next() as i64)
+                    } else {
+                        Stmt::Delete(key)
+                    }
+                })
+                .collect();
+            Txn { stmts, abort: rng.below(6) == 0 }
+        })
+        .collect()
+}
+
+/// Apply the script single-threaded; commit timestamps are the txn index,
+/// so both engines assign identical versions.
+fn apply(engine: &Arc<StorageEngine>, txns: &[Txn]) {
+    for (i, txn) in txns.iter().enumerate() {
+        let trx = TrxId(i as u64 + 1);
+        let ts = i as u64 + 1;
+        engine.begin(trx, ts);
+        for stmt in &txn.stmts {
+            let (key, op) = match stmt {
+                Stmt::Upsert(k, v) => {
+                    (Key::encode(&[Value::Int(*k as i64)]), WriteOp::Update(Row::new(vec![Value::Int(*v)])))
+                }
+                Stmt::Delete(k) => (Key::encode(&[Value::Int(*k as i64)]), WriteOp::Delete),
+            };
+            engine.write(trx, T, key, op).unwrap();
+        }
+        if txn.abort {
+            engine.abort(trx);
+        } else {
+            engine.commit(trx, ts).unwrap();
+        }
+    }
+}
+
+fn serial_engine() -> (Arc<StorageEngine>, Arc<VecSink>) {
+    let sink = VecSink::new();
+    let log = LogBuffer::new(Arc::clone(&sink) as Arc<dyn LogSink>);
+    let engine = StorageEngine::with_durability(SyncLocalDurability::new(log));
+    engine.create_table(T, TEN);
+    (engine, sink)
+}
+
+fn epoch_engine() -> (Arc<StorageEngine>, Arc<VecSink>) {
+    let sink = VecSink::new();
+    let log = LogBuffer::new(Arc::clone(&sink) as Arc<dyn LogSink>);
+    let engine = StorageEngine::with_durability(SyncLocalDurability::new(Arc::clone(&log)));
+    engine.enable_epoch(LocalEpochSink::new(log), EpochConfig::default());
+    engine.create_table(T, TEN);
+    (engine, sink)
+}
+
+fn visible_state(engine: &Arc<StorageEngine>) -> Vec<(Key, Row)> {
+    engine.scan_table(T, TXNS + 10).unwrap()
+}
+
+/// Replay `bytes` (a log prefix, possibly torn mid-record) into a fresh
+/// engine via scan-and-truncate recovery and dump its visible state.
+fn recover_prefix(bytes: &[u8]) -> (Vec<(Key, Row)>, Lsn, u64) {
+    let sink = VecSink::new();
+    sink.write(Lsn::ZERO, Bytes::copy_from_slice(bytes)).unwrap();
+    let (engine, report) = recovered_engine(sink, &[(T, TEN)]).unwrap();
+    (visible_state(&engine), report.durable_lsn, report.truncated_bytes)
+}
+
+#[test]
+fn epoch_and_serial_paths_are_observationally_identical_across_seeds() {
+    let mut torn_seeds = 0u32;
+    for seed in 0..8u64 {
+        let txns = script(seed);
+
+        let (serial, serial_sink) = serial_engine();
+        apply(&serial, &txns);
+        let (epoch, epoch_sink) = epoch_engine();
+        apply(&epoch, &txns);
+
+        // (1) Byte-identical durable redo: epochs are concatenations of
+        // the exact per-txn encodings the serial path flushes.
+        let serial_bytes = serial_sink.contiguous();
+        let epoch_bytes = epoch_sink.contiguous();
+        assert!(!serial_bytes.is_empty(), "seed {seed}: workload produced no redo");
+        assert_eq!(
+            serial_bytes, epoch_bytes,
+            "seed {seed}: epoch log diverges from serial log ({} vs {} bytes)",
+            serial_bytes.len(),
+            epoch_bytes.len()
+        );
+
+        // (2) Identical visible state.
+        let serial_state = visible_state(&serial);
+        assert!(!serial_state.is_empty(), "seed {seed}: workload left no rows");
+        assert_eq!(serial_state, visible_state(&epoch), "seed {seed}: visible state diverges");
+
+        // (3) Seeded mid-epoch crash: cut the log at an arbitrary byte
+        // offset in its back half and recover both prefixes.
+        let mut rng = Rng::new(seed ^ 0xDEAD_BEEF);
+        let len = epoch_bytes.len();
+        let cut = len / 2 + rng.below((len - len / 2) as u64) as usize;
+        let (epoch_rec, epoch_lsn, epoch_torn) = recover_prefix(&epoch_bytes[..cut]);
+        let (serial_rec, serial_lsn, serial_torn) = recover_prefix(&serial_bytes[..cut]);
+        assert_eq!(epoch_lsn, serial_lsn, "seed {seed}: recovered horizons diverge");
+        assert_eq!(epoch_torn, serial_torn, "seed {seed}: truncation diverges");
+        assert_eq!(epoch_rec, serial_rec, "seed {seed}: recovered state diverges at cut {cut}");
+        if epoch_torn > 0 {
+            torn_seeds += 1;
+        }
+
+        // The recovered prefix must agree with the full run on every key
+        // it managed to recover a version for at the recovered horizon —
+        // i.e. recovery replays a prefix of the same history, never an
+        // invented one. (Keys whose last write fell past the cut differ
+        // by construction; prefix-of-history is exactly what torn-epoch
+        // rollback promises.)
+        let full_at_cut: std::collections::HashMap<Key, Row> = serial_rec.iter().cloned().collect();
+        for (k, row) in &epoch_rec {
+            assert_eq!(full_at_cut.get(k), Some(row), "seed {seed}: phantom row after recovery");
+        }
+    }
+    // An arbitrary byte cut lands mid-record nearly always; if no seed
+    // produced a torn tail the cut logic regressed to record boundaries
+    // and the test stopped exercising torn-epoch recovery.
+    assert!(torn_seeds >= 4, "only {torn_seeds}/8 seeds produced a torn tail");
+}

@@ -234,6 +234,19 @@ impl LogBuffer {
         (start, end)
     }
 
+    /// Append already-encoded record bytes contiguously; returns the
+    /// `[start, end)` range. The epoch pipeline uses this to hand a whole
+    /// sealed epoch (records pre-encoded into its arena buffer) to the
+    /// log in one memcpy, with no per-record re-encoding.
+    pub fn append_raw(&self, bytes: &[u8]) -> (Lsn, Lsn) {
+        let mut st = self.state.lock();
+        let start = st.head;
+        let end = start.advance(bytes.len() as u64);
+        st.pending.extend_from_slice(bytes);
+        st.head = end;
+        (start, end)
+    }
+
     /// Flush all pending bytes to the sink; returns the new durable LSN.
     ///
     /// The sink write happens under the state lock: concurrent flushers

@@ -103,9 +103,12 @@ struct GcState {
     /// Bumped when a flush fails; waiters that enrolled under an older
     /// era give up instead of spinning on a broken sink.
     error_era: u64,
-    /// The most recent flush failure, propagated verbatim to every waiter
-    /// of that era (callers match on the error kind, e.g. `NoQuorum`).
-    last_error: Option<Error>,
+    /// The most recent flush failure. `Arc`'d so every waiter of the
+    /// failed era shares one allocation — waking 64 followers costs 64
+    /// refcount bumps, not 64 deep clones of the error's strings.
+    /// Callers still match on the kind through [`Error::Shared`]'s
+    /// `is_retryable`/`Display` forwarding.
+    last_error: Option<Arc<Error>>,
 }
 
 /// Coalesces concurrent `make_durable` calls into shared flushes.
@@ -162,10 +165,10 @@ impl GroupCommitter {
             if st.error_era != my_era {
                 // A flush failed while this batch was pending; its bytes
                 // may or may not have reached the sink — report the error.
-                let err = st
-                    .last_error
-                    .clone()
-                    .unwrap_or(Error::Storage { message: "group flush failed".into() });
+                let err = match &st.last_error {
+                    Some(shared) => Error::Shared(Arc::clone(shared)),
+                    None => Error::Storage { message: "group flush failed".into() },
+                };
                 st.waiting.retain(|&e| e != end);
                 return Err(err);
             }
@@ -191,7 +194,7 @@ impl GroupCommitter {
                     }
                     Err(e) => {
                         st.error_era += 1;
-                        st.last_error = Some(e);
+                        st.last_error = Some(Arc::new(e));
                     }
                 }
                 self.cv.notify_all();
@@ -367,10 +370,20 @@ mod tests {
                 let errs = &errs;
                 s.spawn(move || {
                     let r = gc.commit(&commit_mtrs(t));
-                    errs.lock().push(r.is_err());
+                    errs.lock().push(r.err());
                 });
             }
         });
-        assert!(errs.into_inner().iter().all(|e| *e), "every waiter must see the failure");
+        let errs = errs.into_inner();
+        assert!(errs.iter().all(|e| e.is_some()), "every waiter must see the failure");
+        for e in errs.into_iter().flatten() {
+            // Followers of a failed era share one Arc'd error (a refcount
+            // bump per waiter); only an era's leader holds the original.
+            assert!(
+                matches!(&e, Error::Shared(_) | Error::Storage { .. }),
+                "unexpected error shape: {e:?}"
+            );
+            assert!(e.to_string().contains("sink broken"), "{e}");
+        }
     }
 }

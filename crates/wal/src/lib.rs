@@ -15,10 +15,15 @@
 //! * [`buffer`] — the in-memory log buffer with group flush to a sink,
 //! * [`group_commit`] — leader/follower flush coalescing for concurrent
 //!   committers (InnoDB group commit),
+//! * [`epoch`] — the epoch-pipelined commit path (STAR-style): commit
+//!   decisions decouple from durability acks, sealed epochs persist as one
+//!   batch each, early-released writes stay invisible until their epoch's
+//!   durability horizon,
 //! * [`recovery`] — crash-recovery scanning: longest-valid-prefix discovery
 //!   over torn frame and record streams (scan-and-truncate).
 
 pub mod buffer;
+pub mod epoch;
 pub mod frame;
 pub mod group_commit;
 pub mod mtr;
@@ -26,6 +31,10 @@ pub mod record;
 pub mod recovery;
 
 pub use buffer::{LogBuffer, LogSink, VecSink};
+pub use epoch::{
+    EpochConfig, EpochListener, EpochMetrics, EpochPipeline, EpochSink, EpochTicket,
+    LocalEpochSink, NullListener,
+};
 pub use frame::{FrameBatcher, FrameError, PaxosFrame, FRAME_HEADER_LEN, MAX_FRAME_PAYLOAD};
 pub use group_commit::{GroupCommitter, WalMetrics};
 pub use mtr::Mtr;

@@ -6,7 +6,7 @@
 //! followers need to replay. The codec is hand-rolled little-endian with
 //! length prefixes — no external serialization dependency.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{Buf, BufMut, Bytes};
 
 use polardbx_common::{Error, Key, Lsn, Result, TableId, TenantId, TrxId};
 
@@ -43,8 +43,10 @@ const TAG_TENANT: u8 = 8;
 
 impl RedoPayload {
     /// Serialize into `out`. Layout: `tag:u8` then tag-specific fields,
-    /// byte strings length-prefixed with `u32`.
-    pub fn encode(&self, out: &mut BytesMut) {
+    /// byte strings length-prefixed with `u32`. Generic over the output
+    /// cursor so the epoch pipeline can encode straight into a reused
+    /// `Vec<u8>` arena without an intermediate `BytesMut` allocation.
+    pub fn encode<B: BufMut>(&self, out: &mut B) {
         match self {
             RedoPayload::Insert { trx, table, key, row } => {
                 out.put_u8(TAG_INSERT);
@@ -165,7 +167,7 @@ impl RedoPayload {
     }
 }
 
-fn put_bytes(out: &mut BytesMut, b: &[u8]) {
+fn put_bytes<B: BufMut>(out: &mut B, b: &[u8]) {
     out.put_u32_le(b.len() as u32);
     out.put_slice(b);
 }
@@ -191,6 +193,7 @@ fn get_bytes(buf: &mut Bytes) -> Result<Bytes> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bytes::BytesMut;
     use polardbx_common::Value;
 
     fn samples() -> Vec<RedoPayload> {

@@ -336,7 +336,7 @@ fn engine_over_polarfs_with_sn_failures() {
     // Two SNs down: quorum lost — the commit must fail AND roll back.
     sns[1].set_down(true);
     let err = write_one(3, 3).unwrap_err();
-    assert!(matches!(err, polardbx_common::Error::NoQuorum { .. }), "{err}");
+    assert!(matches!(err.root(), polardbx_common::Error::NoQuorum { .. }), "{err}");
     assert_eq!(engine.read(TableId(1), &key(3), u64::MAX, None).unwrap(), None);
 
     // Fleet recovers: service resumes; earlier data intact.
