@@ -552,7 +552,10 @@ impl Replica {
             // Peers we have no ack from count as ZERO.
             persisted.resize(self.members.len(), Lsn::ZERO);
             persisted.sort_unstable_by(|a, b| b.cmp(a));
-            let candidate = persisted[self.majority() - 1];
+            // Clamp to our own log end: after `abandon_unacked` fenced a
+            // suffix, a straggler ack for the abandoned frames must not
+            // drag the durability horizon past the log we actually hold.
+            let candidate = persisted[self.majority() - 1].min(st.last_lsn);
             if candidate > st.dlsn {
                 st.dlsn = candidate;
                 Some(st.dlsn)
@@ -595,6 +598,9 @@ impl Replica {
 
     /// A deposed leader (or conflicting follower) truncates its log tail
     /// beyond `keep` and runs the cleanup callback over the removed range.
+    /// The durable sink is truncated in lockstep: an abandoned frame left
+    /// on disk would be resurrected by crash recovery's scan even though
+    /// the live node no longer acknowledges it.
     fn truncate_after(&self, st: &mut State, keep: Lsn) {
         let old_last = st.last_lsn;
         if old_last <= keep {
@@ -605,9 +611,44 @@ impl Replica {
         if st.last_lsn < keep {
             st.last_lsn = st.log.last().map(|f| f.lsn_end).unwrap_or(Lsn::ZERO);
         }
+        // lint:allow(guard_blocking, "sink truncation deliberately under st: log/last_lsn must not run ahead of the durable artifact")
+        self.sink.truncate(st.last_lsn);
         if let Some(cleanup) = self.cleanup.lock().as_ref() {
             cleanup(st.last_lsn, old_last);
         }
+    }
+
+    /// Leader-side fence after a failed replication round (quorum-wait
+    /// timeout, or a mid-batch sink error): discard the log suffix the
+    /// group never acknowledged — in memory *and* in the durable sink —
+    /// so that heal-time retransmission and crash-recovery replay agree
+    /// with the engine's presumed-abort of those transactions. This is
+    /// §III's deposed-leader cleanup (`step_down` does the identical
+    /// truncation at DLSN) applied to a leader that keeps serving.
+    ///
+    /// Follower acks for the abandoned range are clamped so a late or
+    /// lost-then-rediscovered ack can never count the fenced frames
+    /// toward a quorum; a follower that did persist them truncates its
+    /// conflict tail on the next append, exactly as after a failover.
+    ///
+    /// Returns the fence point (the new log end). Errors on non-leaders:
+    /// a deposed leader already fenced in [`Replica::step_down`].
+    pub fn abandon_unacked(&self) -> Result<Lsn> {
+        let fence = {
+            let mut st = self.st.lock();
+            if st.role != Role::Leader {
+                return Err(Error::NotLeader { leader_hint: st.leader.map(|n| n.raw()) });
+            }
+            let dlsn = st.dlsn;
+            self.truncate_after(&mut st, dlsn);
+            let fence = st.last_lsn;
+            for l in st.match_lsn.values_mut() {
+                *l = (*l).min(fence);
+            }
+            fence
+        };
+        self.note_event(format!("paxos-abandon-unacked fence={fence}"));
+        Ok(fence)
     }
 
     fn step_down(&self, st: &mut State, epoch: u64, leader: Option<NodeId>) {

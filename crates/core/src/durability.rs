@@ -151,6 +151,12 @@ impl PaxosDurability {
     fn drain_round(&self, entries: Vec<Entry>) {
         let all: Vec<Mtr> = entries.iter().flat_map(|e| e.mtrs.iter().cloned()).collect();
         let res = self.replica.replicate_and_wait(&all, self.timeout);
+        if res.is_err() {
+            // The callers will report their commits as failed; fence the
+            // un-acked log suffix so retransmission and crash recovery
+            // agree with them (see `PaxosEpochSink::persist`).
+            let _ = self.replica.abandon_unacked();
+        }
         self.metrics.rounds.inc();
         self.metrics.group_size.record(entries.len() as u64);
         for e in &entries {
@@ -200,6 +206,9 @@ impl Durability for PaxosDurability {
             None => {
                 self.metrics.txns.inc();
                 let res = self.replica.replicate_and_wait(mtrs, self.timeout);
+                if res.is_err() {
+                    let _ = self.replica.abandon_unacked();
+                }
                 self.metrics.rounds.inc();
                 self.metrics.group_size.record(1);
                 res
@@ -228,10 +237,61 @@ impl PaxosEpochSink {
     }
 }
 
+/// Extra majority-waits granted to an epoch whose *prefix* already reached
+/// quorum before the first wait timed out (see [`PaxosEpochSink::persist`]).
+const IN_DOUBT_REWAITS: usize = 3;
+
 impl polardbx_wal::EpochSink for PaxosEpochSink {
     fn persist(&self, bytes: &[u8], cuts: &[usize]) -> Result<Lsn> {
         self.rounds.inc();
-        self.replica.replicate_raw_and_wait(bytes, cuts, self.timeout)
+        let start = self.replica.status().last_lsn;
+        let end = match self.replica.replicate_raw(bytes, cuts) {
+            Ok(end) => end,
+            Err(e) => {
+                // A mid-batch sink error can leave a frame prefix of the
+                // epoch in the leader's log. The pipeline will presume-abort
+                // every transaction in the epoch, so fence that prefix out
+                // of the log — otherwise heal-time retransmission and crash
+                // recovery would replay commits the engine rolled back.
+                let _ = self.replica.abandon_unacked();
+                return Err(e);
+            }
+        };
+        match self.replica.waiters.wait(end, self.timeout) {
+            Ok(()) => Ok(end),
+            Err(e) => {
+                // Quorum-wait failed. If the durability horizon never moved
+                // past the epoch's start, no frame of it reached a majority:
+                // fencing the whole epoch is sound and makes the log agree
+                // with the engine's presumed abort. But if a *prefix* is
+                // already majority-durable the epoch is genuinely in doubt —
+                // we cannot un-commit what a quorum persisted — so grant it
+                // a few more waits before giving up.
+                for _ in 0..IN_DOUBT_REWAITS {
+                    let dlsn = self.replica.status().dlsn;
+                    if dlsn >= end {
+                        return Ok(end);
+                    }
+                    if dlsn <= start {
+                        break;
+                    }
+                    if self.replica.waiters.wait(end, self.timeout).is_ok() {
+                        return Ok(end);
+                    }
+                }
+                // Fence the un-acked suffix so retransmission after heal and
+                // recovery's scan cannot resurrect the aborted epoch. In the
+                // in-doubt case (re-waits exhausted with a partially durable
+                // epoch) this still fences beyond DLSN: the residual risk is
+                // that a quorum outlives the leader holding frames we now
+                // abort, which only a full leader-change reconciliation
+                // could repair — prefer the bounded wait above to make that
+                // window vanishingly small rather than leave the log and
+                // engine permanently divergent.
+                let _ = self.replica.abandon_unacked();
+                Err(e)
+            }
+        }
     }
 }
 
@@ -472,6 +532,43 @@ mod tests {
             .read(TableId(1), &Key::encode(&[Value::Int(2)]), u64::MAX, None)
             .unwrap()
             .is_some());
+        // The leader's durable log must agree with the presumed abort: the
+        // failed epoch was fenced, so neither heal-time retransmission nor
+        // a crash-recovery replay can resurrect TrxId(1)'s commit.
+        let leader_idx =
+            group.replicas.iter().position(|r| Arc::ptr_eq(r, &leader)).unwrap();
+        let scan = polardbx_wal::scan_frames(&group.sinks[leader_idx].frame_stream());
+        assert!(scan.torn.is_none(), "fenced log must still be a clean frame stream");
+        let mut stream = Vec::new();
+        for f in &scan.frames {
+            stream.extend_from_slice(&f.payload);
+        }
+        let records =
+            polardbx_wal::RedoPayload::decode_all(stream.into()).unwrap();
+        assert!(
+            !records.iter().any(|r| matches!(
+                r,
+                polardbx_wal::RedoPayload::TxnCommit { trx: TrxId(1), .. }
+            )),
+            "fenced epoch's commit record must not survive in the durable log"
+        );
+        let replayed = StorageEngine::in_memory();
+        replayed.create_table(TableId(1), TenantId(1));
+        polardbx_storage::replay_records(&replayed, &records).unwrap();
+        assert_eq!(
+            replayed
+                .read(TableId(1), &Key::encode(&[Value::Int(1)]), u64::MAX, None)
+                .unwrap(),
+            None,
+            "replaying the leader's log must not resurrect the aborted commit"
+        );
+        assert!(
+            replayed
+                .read(TableId(1), &Key::encode(&[Value::Int(2)]), u64::MAX, None)
+                .unwrap()
+                .is_some(),
+            "replaying the leader's log must keep the healed commit"
+        );
     }
 
     #[test]

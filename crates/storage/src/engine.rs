@@ -626,13 +626,19 @@ impl StorageEngine {
     /// never abort.
     fn fail_unstable(&self, trx: TrxId, _err: &Error) {
         let Some(ctx) = self.unstable_ctx.remove(&trx) else { return };
+        // Versions strictly before state: demotion clears the unstable
+        // flag and wakes readers gated in `wait_stable`, so the stamped
+        // versions must already be gone (or unstamped) by then — a reader
+        // re-running visibility between a demote and a late rollback would
+        // see a stamped, no-longer-unstable version of a rolled-back
+        // commit: a dirty read.
         if ctx.decided {
-            self.txns.demote_unstable_to_prepared(trx, ctx.prepare_ts);
             for (t, k) in &ctx.writes {
                 if let Ok(store) = self.store(*t) {
                     store.unstamp(trx, std::slice::from_ref(k));
                 }
             }
+            self.txns.demote_unstable_to_prepared(trx, ctx.prepare_ts);
             // Row redo is durable from the prepare; the retried commit
             // only re-submits the commit record.
             self.active.insert(
@@ -640,12 +646,12 @@ impl StorageEngine {
                 TrxCtx { snapshot_ts: ctx.snapshot_ts, writes: ctx.writes, redo: Vec::new() },
             );
         } else {
-            self.txns.demote_unstable_to_aborted(trx);
             for (t, k) in &ctx.writes {
                 if let Ok(store) = self.store(*t) {
                     store.rollback_stamped(trx, std::slice::from_ref(k));
                 }
             }
+            self.txns.demote_unstable_to_aborted(trx);
             if let Some(tap) = self.tap() {
                 tap.rec.record(TxnEvent::Abort { trx, node: tap.node });
             }

@@ -699,6 +699,33 @@ mod tests {
     }
 
     #[test]
+    fn gated_reader_never_sees_a_torn_epoch_rollback() {
+        // Race regression: a reader parked on an unstable writer is woken
+        // by the rollback's demotion notify. With the inverted order
+        // (demote before rollback_stamped) the reader could re-run
+        // visibility while the stamped version was still present but the
+        // unstable flag already cleared — returning an aborted txn's row.
+        // The correct order (versions first, demote last) must yield
+        // NotFound on every schedule.
+        for _ in 0..50 {
+            let (s, t) = store();
+            t.begin(TrxId(1));
+            s.write(&t, TrxId(1), 0, key(1), VersionOp::Put(row(1, "dirty"))).unwrap();
+            t.mark_unstable(TrxId(1));
+            t.commit(TrxId(1), 10).unwrap();
+            s.commit(TrxId(1), 10, &[key(1)]);
+            let (s2, t2) = (Arc::clone(&s), Arc::clone(&t));
+            let reader = std::thread::spawn(move || {
+                s2.read_waiting(&t2, &key(1), 100, None, Duration::from_secs(2)).unwrap()
+            });
+            // Torn-epoch rollback, in the engine's order.
+            s.rollback_stamped(TrxId(1), &[key(1)]);
+            t.demote_unstable_to_aborted(TrxId(1));
+            assert_eq!(reader.join().unwrap(), None, "dirty read of a rolled-back commit");
+        }
+    }
+
+    #[test]
     fn elr_allows_write_over_unstable_commit() {
         // The early-lock-release win: a later writer with a covering
         // snapshot may overwrite a stamped-but-unstable version without
@@ -722,8 +749,12 @@ mod tests {
         t.mark_unstable(TrxId(1));
         t.commit(TrxId(1), 10).unwrap();
         s.commit(TrxId(1), 10, &[key(1)]);
-        t.demote_unstable_to_aborted(TrxId(1));
+        // Versions before state, matching the engine's `fail_unstable`
+        // order: the unstable flag must still gate readers while the
+        // stamped versions are being removed.
         s.rollback_stamped(TrxId(1), &[key(1)]);
+        assert_eq!(s.read(&t, &key(1), 100, None), ReadResult::NotFound);
+        t.demote_unstable_to_aborted(TrxId(1));
         assert_eq!(s.read(&t, &key(1), 100, None), ReadResult::NotFound);
         assert_eq!(s.key_count(), 0);
         // Decided (2PC): stamped version reverts to a prepared intent.
@@ -733,8 +764,12 @@ mod tests {
         t.mark_unstable(TrxId(2));
         t.commit(TrxId(2), 12).unwrap();
         s.commit(TrxId(2), 12, &[key(2)]);
-        t.demote_unstable_to_prepared(TrxId(2), 5);
         s.unstamp(TrxId(2), &[key(2)]);
+        // Mid-rollback (unstamped but not yet demoted): the version is an
+        // undecided intent of a still-COMMITTED-but-unstable writer, so a
+        // reader must keep waiting rather than observe either outcome.
+        assert_eq!(s.read(&t, &key(2), 100, None), ReadResult::MustWait(TrxId(2)));
+        t.demote_unstable_to_prepared(TrxId(2), 5);
         // Back in the PREPARED regime: readers wait for the re-decision.
         assert_eq!(s.read(&t, &key(2), 100, None), ReadResult::MustWait(TrxId(2)));
         t.commit(TrxId(2), 12).unwrap();

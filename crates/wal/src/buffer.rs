@@ -19,6 +19,14 @@ use crate::mtr::Mtr;
 pub trait LogSink: Send + Sync {
     /// Persist `bytes`, which begin at `at`. Must be atomic per call.
     fn write(&self, at: Lsn, bytes: Bytes) -> Result<()>;
+
+    /// Discard every durable write starting at or beyond `keep` (whole
+    /// writes — frame-keyed sinks drop whole frames). Replicas call this
+    /// when abandoning a log suffix (deposed-leader cleanup, a leader
+    /// fencing an un-acked epoch, a follower truncating a conflict tail)
+    /// so crash recovery's scan cannot resurrect abandoned entries. The
+    /// default is a no-op for sinks that never host a replica log.
+    fn truncate(&self, _keep: Lsn) {}
 }
 
 /// An in-memory sink capturing everything, for tests and RO-replica feeds.
@@ -166,6 +174,10 @@ impl LogSink for VecSink {
     fn write(&self, at: Lsn, bytes: Bytes) -> Result<()> {
         self.inner.lock().push((at, bytes));
         Ok(())
+    }
+
+    fn truncate(&self, keep: Lsn) {
+        self.truncate_frames_to(keep)
     }
 }
 

@@ -142,10 +142,19 @@ struct PipeState {
     next_seq: u64,
     /// Every epoch `<= resolved_seq` is resolved (durable or failed).
     resolved_seq: u64,
+    /// Seq of the epoch the flusher is persisting right now, if any.
+    /// Tracked so [`EpochPipeline::barrier`] covers in-flight work: the
+    /// flusher pops an epoch off `sealed` before calling persist, so
+    /// neither `open` nor `sealed` accounts for it.
+    persisting: Option<u64>,
     /// Durable horizon reported by the sink.
     durable: Lsn,
     /// Recent failures, newest last (bounded; failures are rare).
     failures: Vec<FailedRange>,
+    /// Highest epoch seq whose failure record was evicted from the
+    /// bounded `failures` list. A resolved ticket at or below this mark
+    /// has an unknowable outcome and must not be reported durable.
+    failures_evicted_hi: u64,
     stopping: bool,
 }
 
@@ -218,8 +227,10 @@ impl EpochPipeline {
                 pool: Vec::new(),
                 next_seq: 2,
                 resolved_seq: 0,
+                persisting: None,
                 durable: Lsn::ZERO,
                 failures: Vec::new(),
+                failures_evicted_hi: 0,
                 stopping: false,
             }),
             work: Condvar::new(),
@@ -298,6 +309,15 @@ impl EpochPipeline {
                 return Err(Error::Shared(Arc::clone(&f.err)));
             }
         }
+        // A waiter that wakes after its ticket's failure record was
+        // evicted from the bounded list cannot tell failure from success.
+        // Never guess durable: an evicted *failed* range reported Ok here
+        // would present a rolled-back commit as durable.
+        if ticket <= st.failures_evicted_hi {
+            return Err(Error::storage(format!(
+                "epoch {ticket} outcome unknown: its resolution record was evicted"
+            )));
+        }
         Ok(st.durable)
     }
 
@@ -313,15 +333,23 @@ impl EpochPipeline {
         self.wait_ticket(ticket, timeout)
     }
 
-    /// Wait until everything submitted so far is resolved.
+    /// Wait until everything submitted so far is resolved. Covers the
+    /// open epoch, the sealed queue, *and* the epoch the flusher is
+    /// persisting right now (which sits in neither).
     pub fn barrier(&self, timeout: Duration) -> Result<Lsn> {
         let upto = {
             let st = self.st.lock();
-            if st.open.is_empty() && st.sealed.is_empty() {
-                st.resolved_seq
-            } else {
-                st.open.seq
+            let mut upto = st.resolved_seq;
+            if let Some(seq) = st.persisting {
+                upto = upto.max(seq);
             }
+            if let Some(b) = st.sealed.back() {
+                upto = upto.max(b.seq);
+            }
+            if !st.open.is_empty() {
+                upto = upto.max(st.open.seq);
+            }
+            upto
         };
         self.wait_ticket(upto, timeout)
     }
@@ -366,6 +394,7 @@ impl EpochPipeline {
                 let mut st = self.st.lock();
                 loop {
                     if let Some(b) = st.sealed.pop_front() {
+                        st.persisting = Some(b.seq);
                         break Some(b);
                     }
                     if !st.open.is_empty() {
@@ -402,6 +431,7 @@ impl EpochPipeline {
         self.listener.epoch_stable(&buf.txns, end);
         let mut st = self.st.lock();
         st.resolved_seq = buf.seq;
+        st.persisting = None;
         if end > st.durable {
             st.durable = end;
         }
@@ -440,9 +470,11 @@ impl EpochPipeline {
         let mut st = self.st.lock();
         st.failures.push(FailedRange { lo, hi, err: shared });
         if st.failures.len() > 64 {
-            st.failures.remove(0);
+            let evicted = st.failures.remove(0);
+            st.failures_evicted_hi = st.failures_evicted_hi.max(evicted.hi);
         }
         st.resolved_seq = hi.max(st.resolved_seq);
+        st.persisting = None;
         for v in victims {
             self.recycle(&mut st, v);
         }
@@ -659,6 +691,85 @@ mod tests {
             .unwrap();
         }
         assert!(pipe.metrics.epochs.get() >= 2, "size bound must have sealed epochs");
+    }
+
+    #[test]
+    fn barrier_covers_the_in_flight_epoch() {
+        // The flusher pops an epoch off `sealed` before persisting it, so
+        // a barrier issued mid-persist sees open and sealed both empty.
+        // It must still wait for the in-flight epoch rather than return
+        // the stale resolved horizon.
+        struct GatedSink {
+            release: Arc<(Mutex<bool>, Condvar)>,
+            inner: Arc<VecSink>,
+        }
+        impl EpochSink for GatedSink {
+            fn persist(&self, bytes: &[u8], _cuts: &[usize]) -> Result<Lsn> {
+                let (lock, cv) = &*self.release;
+                let mut open = lock.lock();
+                while !*open {
+                    cv.wait(&mut open);
+                }
+                let at = self.inner.end_lsn();
+                self.inner.write(at, Bytes::copy_from_slice(bytes))?;
+                Ok(at.advance(bytes.len() as u64))
+            }
+        }
+        let release = Arc::new((Mutex::new(false), Condvar::new()));
+        let sink =
+            Arc::new(GatedSink { release: Arc::clone(&release), inner: VecSink::new() });
+        let pipe = EpochPipeline::start(sink, Tracking::new(), EpochConfig::default());
+        let t = pipe.submit(Some(TrxId(1)), |b| commit_record(1).encode(b)).unwrap();
+        // Give the flusher time to seal and enter the gated persist.
+        std::thread::sleep(Duration::from_millis(20));
+        let barrier = {
+            let pipe = Arc::clone(&pipe);
+            std::thread::spawn(move || pipe.barrier(Duration::from_secs(5)))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(!barrier.is_finished(), "barrier resolved while the epoch was in flight");
+        {
+            let (lock, cv) = &*release;
+            *lock.lock() = true;
+            cv.notify_all();
+        }
+        let lsn = barrier.join().unwrap().unwrap();
+        assert!(lsn > Lsn::ZERO, "barrier must report the in-flight epoch's horizon");
+        pipe.wait_ticket(t, Duration::from_secs(1)).unwrap();
+    }
+
+    #[test]
+    fn evicted_failure_record_never_reports_durable() {
+        // A waiter that wakes only after its epoch's failure record was
+        // pruned from the bounded list must get an "outcome unknown"
+        // error, not a silent Ok presenting a rolled-back commit as
+        // durable.
+        struct AlwaysFail;
+        impl EpochSink for AlwaysFail {
+            fn persist(&self, _bytes: &[u8], _cuts: &[usize]) -> Result<Lsn> {
+                Err(Error::NoQuorum { acks: 1, needed: 2 })
+            }
+        }
+        let pipe = EpochPipeline::start(
+            Arc::new(AlwaysFail),
+            Tracking::new(),
+            EpochConfig { tick: Duration::from_millis(1), ..EpochConfig::default() },
+        );
+        let stale = pipe.submit(Some(TrxId(1)), |b| commit_record(1).encode(b)).unwrap();
+        let first = pipe.wait_ticket(stale, Duration::from_secs(5)).unwrap_err();
+        assert!(matches!(first, Error::Shared(_)), "got {first:?}");
+        // 70 later failures evict the stale ticket's failure range.
+        for n in 0..70u64 {
+            let t = pipe
+                .submit(Some(TrxId(n + 2)), |b| commit_record(n + 2).encode(b))
+                .unwrap();
+            assert!(pipe.wait_ticket(t, Duration::from_secs(5)).is_err());
+        }
+        let late = pipe.wait_ticket(stale, Duration::from_secs(5)).unwrap_err();
+        assert!(
+            format!("{late}").contains("outcome unknown"),
+            "late waiter must not be told durable or failed-with-someone-else's-error: {late}"
+        );
     }
 
     #[test]
