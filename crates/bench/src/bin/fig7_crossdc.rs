@@ -18,7 +18,7 @@ use polardbx_hlc::{Clock, ClockSiClock, Hlc, RealClock, SkewedClock, TsoClient, 
 use polardbx_simnet::{Handler, LatencyMatrix, SimNet};
 use polardbx_storage::engine::{LocalDurability, SyncLocalDurability};
 use polardbx_storage::StorageEngine;
-use polardbx_txn::{Coordinator, DnService, TxnMsg};
+use polardbx_txn::{Coordinator, DnService, TxnMetrics, TxnMsg};
 use polardbx_wal::{LogBuffer, LogSink};
 use polardbx_workloads::sysbench::{self, RouteFn, SysbenchConfig};
 use rand::rngs::StdRng;
@@ -66,6 +66,8 @@ struct World {
     dns: Vec<Arc<StorageEngine>>,        // 1 per DC
     route: Box<RouteFn>,
     cfg: SysbenchConfig,
+    /// Shared across every coordinator, so one report covers the world.
+    txn_metrics: Arc<TxnMetrics>,
 }
 
 fn build(scheme: Scheme, latency: LatencyMatrix) -> World {
@@ -124,24 +126,28 @@ fn build_with_durability(
         net.register(dn_id, DcId(dc), dn as Arc<dyn Handler<TxnMsg>>);
     }
     // Two CNs per DC.
+    let txn_metrics = Arc::new(TxnMetrics::new());
     let mut coordinators = Vec::new();
     for dc in 1..=3u64 {
         for c in 0..2u64 {
             let cn_id = NodeId(10 + dc * 2 + c);
             net.register(cn_id, DcId(dc), Arc::new(CnStub));
-            coordinators.push(Arc::new(Coordinator::new(
-                cn_id,
-                Arc::clone(&net),
-                clock_for(cn_id, DcId(dc)),
-                Arc::clone(&trx_ids),
-            )));
+            coordinators.push(Arc::new(
+                Coordinator::new(
+                    cn_id,
+                    Arc::clone(&net),
+                    clock_for(cn_id, DcId(dc)),
+                    Arc::clone(&trx_ids),
+                )
+                .with_metrics(Arc::clone(&txn_metrics)),
+            ));
         }
     }
     let route: Box<RouteFn> = Box::new(move |id: i64| {
         let dc = 1 + (id as u64 % 3);
         (TableId(base_table + dc), NodeId(100 + dc))
     });
-    World { coordinators, dns, route, cfg }
+    World { coordinators, dns, route, cfg, txn_metrics }
 }
 
 fn main() {
@@ -187,6 +193,11 @@ fn main() {
                 result.errors.to_string(),
             ]);
             peak.push((scheme, result.tps()));
+            // Commit-path shape: how many commits went one-phase vs full
+            // 2PC (and any placement re-homes — none in this fixed world).
+            if workload == "oltp-write-only" {
+                println!("    {scheme:?} txn metrics: {}", world.txn_metrics.report());
+            }
             // The DN write path group-commits: report how much flushing the
             // workload actually shared (writes only — reads never flush).
             if workload == "oltp-write-only" {

@@ -20,10 +20,12 @@ use polardbx_executor::scheduler::{run_with_demotion, TickState};
 use polardbx_hlc::Hlc;
 use polardbx_optimizer::{classify_with_threshold, optimize_with_stats, WorkloadClass};
 use polardbx_simnet::{Handler, LatencyMatrix, SimNet};
+use polardbx_mt::{RehomeConfig, RehomeExecutor};
+use polardbx_placement::{plan as placement_plan, CoAccessSketch, PlannerConfig};
 use polardbx_sql::ast::{self, IndexPlacement, Statement};
 use polardbx_sql::expr::Expr;
 use polardbx_storage::RwNode;
-use polardbx_txn::{Coordinator, DnService, TxnMsg, WireWriteOp};
+use polardbx_txn::{Coordinator, DnService, TxnMetrics, TxnMsg, WireWriteOp};
 
 use crate::gms::{shard_table_id, Gms};
 use crate::provider::ClusterProvider;
@@ -67,6 +69,27 @@ impl Default for ClusterConfig {
     }
 }
 
+/// Adaptive-placer knobs (see [`PolarDbx::start_placer`]).
+#[derive(Debug, Clone, Copy)]
+pub struct PlacerConfig {
+    /// How often the placer snapshots the sketch and plans.
+    pub interval: Duration,
+    /// Affinity-clustering knobs.
+    pub planner: PlannerConfig,
+    /// Cutover throttle (min gap between moves, per-pass cap).
+    pub rehome: RehomeConfig,
+}
+
+impl Default for PlacerConfig {
+    fn default() -> Self {
+        PlacerConfig {
+            interval: Duration::from_millis(200),
+            planner: PlannerConfig::default(),
+            rehome: RehomeConfig::default(),
+        }
+    }
+}
+
 /// One DN instance: a PolarDB (RW node + optional RO replicas) plus its
 /// transaction participant service.
 pub struct Dn {
@@ -100,6 +123,12 @@ struct Inner {
     /// Route AP queries to RO replicas when available (§VI-A).
     htap_ro: AtomicBool,
     shipper_stop: Arc<AtomicBool>,
+    /// Cluster-wide transaction counters (shared by every CN coordinator,
+    /// so 1PC/2PC fractions aggregate across the fleet).
+    txn_metrics: Arc<TxnMetrics>,
+    /// Commit-time co-access sketch feeding the adaptive placer.
+    sketch: Arc<CoAccessSketch>,
+    placer_stop: Arc<AtomicBool>,
 }
 
 /// A compute node: coordinator + clock.
@@ -147,6 +176,8 @@ impl PolarDbx {
             dns.insert(id, Arc::new(Dn { id, dc, rw, service }));
         }
 
+        let txn_metrics = Arc::new(TxnMetrics::new());
+        let sketch = Arc::new(CoAccessSketch::new());
         let mut cns = Vec::new();
         for dc_i in 0..config.dcs {
             for c in 0..config.cns_per_dc {
@@ -154,7 +185,10 @@ impl PolarDbx {
                 let dc = DcId(1 + dc_i as u64);
                 net.register(id, dc, Arc::new(CnStub));
                 let coordinator =
-                    Coordinator::new(id, Arc::clone(&net), Hlc::new(), Arc::clone(&trx_ids));
+                    Coordinator::new(id, Arc::clone(&net), Hlc::new(), Arc::clone(&trx_ids))
+                        .with_metrics(Arc::clone(&txn_metrics))
+                        .with_fence(Arc::clone(gms.epochs()) as _)
+                        .with_observer(Arc::clone(&sketch) as _);
                 cns.push(Arc::new(CnNode { id, dc, coordinator }));
             }
         }
@@ -173,6 +207,9 @@ impl PolarDbx {
             traffic: TrafficControl::new(),
             htap_ro: AtomicBool::new(true),
             shipper_stop: Arc::clone(&shipper_stop),
+            txn_metrics,
+            sketch,
+            placer_stop: Arc::new(AtomicBool::new(false)),
         });
         // Background shipper: RW → RO redo + column-index capture.
         {
@@ -300,6 +337,18 @@ impl PolarDbx {
     /// Stop background threads (drop hygiene for long test suites).
     pub fn shutdown(&self) {
         self.inner.shipper_stop.store(true, Ordering::Relaxed);
+        self.inner.placer_stop.store(true, Ordering::Relaxed);
+    }
+
+    /// Cluster-wide transaction counters (shared by all CN coordinators).
+    pub fn txn_metrics(&self) -> &Arc<TxnMetrics> {
+        &self.inner.txn_metrics
+    }
+
+    /// The commit-time co-access sketch (benchmarks inspect/reset it
+    /// between phases).
+    pub fn sketch(&self) -> &Arc<CoAccessSketch> {
+        &self.inner.sketch
     }
 
     /// Move one shard of `table` to another DN — the anti-hotspot
@@ -340,6 +389,152 @@ impl PolarDbx {
         dst.rw.attach_table(stid, store, tenant);
         self.inner.gms.move_shard(schema.id, shard, dest);
         Ok(())
+    }
+
+    /// Re-home one shard under **live traffic** — the adaptive-placement
+    /// cutover. Unlike [`PolarDbx::move_shard`] (which drains the whole
+    /// source engine and fails under continuous load), this freezes only
+    /// the one shard's routing epoch:
+    ///
+    /// 1. freeze + epoch bump — new routes and stale-pinned commits bounce
+    ///    with a retryable error,
+    /// 2. drain the shard's commit gate (in-flight fenced commits finish),
+    /// 3. drain the source engine's in-flight write sets on the shard —
+    ///    phase-two Commit messages are *posted* asynchronously, so a
+    ///    committed write set can outlive the commit gate; detaching
+    ///    before it applies would strand the write,
+    /// 4. flush + detach the shard store, attach at the destination (by
+    ///    reference over shared storage — zero rows copied), raise the
+    ///    destination clock past the source so moved versions stay in the
+    ///    destination's timestamp past,
+    /// 5. update placement, unfreeze.
+    ///
+    /// Returns how long the shard's traffic was paused.
+    pub fn rehome_shard(&self, table: &str, shard: u32, dest: NodeId) -> Result<Duration> {
+        let schema = self.inner.gms.table(table)?;
+        self.rehome_shard_by_id(schema.id, shard, dest)
+    }
+
+    /// [`PolarDbx::rehome_shard`] by logical table id (the placer works on
+    /// ids, not names).
+    pub fn rehome_shard_by_id(
+        &self,
+        table: polardbx_common::TableId,
+        shard: u32,
+        dest: NodeId,
+    ) -> Result<Duration> {
+        let src_id = self.inner.gms.shard_dn(table, shard)?;
+        if src_id == dest {
+            return Ok(Duration::ZERO);
+        }
+        let src = self
+            .inner
+            .dns
+            .get(&src_id)
+            .ok_or_else(|| Error::invalid("unknown source DN"))?;
+        let dst = self
+            .inner
+            .dns
+            .get(&dest)
+            .ok_or_else(|| Error::invalid("unknown destination DN"))?;
+        let stid = shard_table_id(table, shard);
+        let epochs = self.inner.gms.epochs();
+        let t0 = polardbx_common::time::mono_now();
+        epochs.freeze(stid);
+        let unfreeze_and_bail = |what: &str| {
+            epochs.unfreeze(stid);
+            Err(Error::Timeout { what: what.into() })
+        };
+        if !epochs.drain(stid, Duration::from_secs(2)) {
+            return unfreeze_and_bail("draining shard commit gate");
+        }
+        // Async phase-two tail: wait for posted Commit/Abort deliveries to
+        // consume every in-flight write set on this shard table.
+        let deadline = polardbx_common::time::mono_now() + Duration::from_secs(2);
+        while src.rw.engine.has_active_writes_on(stid) {
+            if polardbx_common::time::mono_now() > deadline {
+                return unfreeze_and_bail("draining shard write sets");
+            }
+            std::thread::yield_now();
+        }
+        let tenant = TenantId(table.raw());
+        src.rw.engine.pool.flush_tenant(tenant, None)?;
+        let store = match src.rw.detach_table(stid) {
+            Some(s) => s,
+            None => {
+                epochs.unfreeze(stid);
+                return Err(Error::invalid("shard store missing on source"));
+            }
+        };
+        dst.rw.attach_table(stid, store, tenant);
+        // Commit timestamps at the new home must stay above every version
+        // the shard carries (the source's clock may run ahead).
+        dst.service.clock.update(src.service.clock.now());
+        self.inner.gms.move_shard(table, shard, dest);
+        epochs.unfreeze(stid);
+        Ok(polardbx_common::time::mono_now() - t0)
+    }
+
+    /// Start the adaptive placer: a background thread that periodically
+    /// snapshots the co-access sketch, plans affinity moves, and applies
+    /// them through the throttled re-home executor. Stops on
+    /// [`PolarDbx::shutdown`].
+    pub fn start_placer(&self, cfg: PlacerConfig) {
+        let db = self.clone();
+        let stop = Arc::clone(&self.inner.placer_stop);
+        std::thread::Builder::new()
+            .name("polardbx-placer".into())
+            .spawn(move || {
+                let executor = RehomeExecutor::new(cfg.rehome);
+                let mut next = polardbx_common::time::mono_now() + cfg.interval;
+                while !stop.load(Ordering::Relaxed) {
+                    if polardbx_common::time::mono_now() < next {
+                        std::thread::sleep(Duration::from_millis(1));
+                        continue;
+                    }
+                    next = polardbx_common::time::mono_now() + cfg.interval;
+                    let mut snap = db.inner.sketch.snapshot();
+                    // Tumbling window: plan on this interval's traffic only.
+                    // Without the reset, counts from cold placements distort
+                    // the balance cap indefinitely.
+                    db.inner.sketch.reset();
+                    // Sketch homes are commit-time observations and can mix
+                    // pre- and post-cutover values inside one window; a plan
+                    // built on a stale home proposes moves toward a DN the
+                    // partition already left — oscillation. Placement is the
+                    // truth: re-resolve every home before planning.
+                    snap.parts.retain_mut(|p| {
+                        let table = polardbx_common::TableId(p.part / 10_000);
+                        let shard = (p.part % 10_000) as u32;
+                        match db.inner.gms.shard_dn(table, shard) {
+                            Ok(dn) => {
+                                p.home = dn;
+                                true
+                            }
+                            Err(_) => false, // shard dropped since observed
+                        }
+                    });
+                    let moves = placement_plan(&snap, &cfg.planner);
+                    if moves.is_empty() {
+                        continue;
+                    }
+                    executor.execute(&moves, |mv| {
+                        // Shard-table ids encode (table, shard); see
+                        // `gms::shard_table_id`.
+                        let table = polardbx_common::TableId(mv.part / 10_000);
+                        let shard = (mv.part % 10_000) as u32;
+                        // The sketch home may lag a move executed after the
+                        // snapshot was taken; placement is the truth.
+                        if db.inner.gms.shard_dn(table, shard)? == mv.to {
+                            return Ok(Duration::ZERO);
+                        }
+                        let pause = db.rehome_shard_by_id(table, shard, mv.to)?;
+                        db.inner.txn_metrics.rehomes_applied.inc();
+                        Ok(pause)
+                    });
+                }
+            })
+            .expect("spawn placer");
     }
 
     /// Balance a table's shards across all DNs by current row counts
@@ -435,6 +630,20 @@ impl Session {
         let schema = self.inner.gms.table(table)?;
         let (shard, dn) = self.inner.gms.route_key(&schema, pk)?;
         Ok((shard_table_id(schema.id, shard), dn))
+    }
+
+    /// Like [`Session::route`], but also captures the shard's routing
+    /// epoch for commit-time fencing, and bounces retryably while the
+    /// shard is frozen for a re-home cutover. Drivers pin the returned
+    /// epoch on their transaction (`DistTxn::pin_epoch`) before writing.
+    pub fn route_fenced(
+        &self,
+        table: &str,
+        pk: &[Value],
+    ) -> Result<(polardbx_common::TableId, NodeId, u64)> {
+        let schema = self.inner.gms.table(table)?;
+        let (shard, dn, epoch) = self.inner.gms.route_key_fenced(&schema, pk)?;
+        Ok((shard_table_id(schema.id, shard), dn, epoch))
     }
 
     /// Execute a DDL/DML statement; returns affected row count.
@@ -962,6 +1171,7 @@ impl Session {
 impl Drop for Inner {
     fn drop(&mut self) {
         self.shipper_stop.store(true, Ordering::Relaxed);
+        self.placer_stop.store(true, Ordering::Relaxed);
     }
 }
 
@@ -1062,6 +1272,148 @@ mod tests {
         // Deletes remove it.
         s.execute("DELETE FROM orders WHERE id = 2").unwrap();
         assert_eq!(db.count_rows("__gsi_orders_by_cust").unwrap(), 3);
+        db.shutdown();
+    }
+
+    #[test]
+    fn rehome_shard_under_live_traffic() {
+        let db = cluster();
+        let s = db.connect(DcId(1));
+        s.execute(
+            "CREATE TABLE t (id BIGINT NOT NULL, v INT, PRIMARY KEY (id)) \
+             PARTITION BY HASH(id) PARTITIONS 4",
+        )
+        .unwrap();
+        for i in 0..40 {
+            s.execute(&format!("INSERT INTO t (id, v) VALUES ({i}, {i})")).unwrap();
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let writer = {
+            let s2 = db.connect(DcId(1));
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || -> (u64, Option<Error>) {
+                let mut applied = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let attempt = (|| -> Result<()> {
+                        let (stid, dn, epoch) =
+                            s2.route_fenced("t", &[Value::Int(0)])?;
+                        let mut txn = s2.coordinator().begin();
+                        txn.pin_epoch(stid, epoch)?;
+                        txn.write(
+                            dn,
+                            stid,
+                            polardbx_common::Key::encode(&[Value::Int(0)]),
+                            WireWriteOp::Update(Row::new(vec![
+                                Value::Int(0),
+                                Value::Int(applied as i64),
+                            ])),
+                        )?;
+                        txn.commit()?;
+                        Ok(())
+                    })();
+                    match attempt {
+                        Ok(()) => applied += 1,
+                        Err(e) if e.is_retryable() => {}
+                        Err(e) => return (applied, Some(e)),
+                    }
+                }
+                (applied, None)
+            })
+        };
+        // Move every shard to a different DN while the writer hammers.
+        let schema = db.gms().table("t").unwrap();
+        let dns: Vec<NodeId> = db.gms().dns();
+        for shard in 0..4u32 {
+            let cur = db.gms().shard_dn(schema.id, shard).unwrap();
+            let dest = *dns.iter().find(|&&d| d != cur).unwrap();
+            let pause = db.rehome_shard("t", shard, dest).unwrap();
+            assert!(pause < Duration::from_secs(2), "cutover pause bounded");
+            assert_eq!(db.gms().shard_dn(schema.id, shard).unwrap(), dest);
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        stop.store(true, Ordering::Relaxed);
+        let (applied, fatal) = writer.join().unwrap();
+        assert!(fatal.is_none(), "writer hit non-retryable error: {fatal:?}");
+        assert!(applied > 0, "writer made progress across cutovers");
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(db.count_rows("t").unwrap(), 40, "no rows lost or duplicated");
+        db.shutdown();
+    }
+
+    #[test]
+    fn placer_converts_cross_dn_txns_to_one_phase() {
+        let db = cluster();
+        let s = db.connect(DcId(1));
+        s.execute(
+            "CREATE TABLE p (id BIGINT NOT NULL, v INT, PRIMARY KEY (id)) \
+             PARTITION BY HASH(id) PARTITIONS 6",
+        )
+        .unwrap();
+        for i in 0..12 {
+            s.execute(&format!("INSERT INTO p (id, v) VALUES ({i}, 0)")).unwrap();
+        }
+        // Pick two ids whose shards live on different DNs.
+        let (a, b) = (0..12i64)
+            .flat_map(|x| (0..12i64).map(move |y| (x, y)))
+            .find(|&(x, y)| {
+                x != y
+                    && s.route("p", &[Value::Int(x)]).unwrap().1
+                        != s.route("p", &[Value::Int(y)]).unwrap().1
+            })
+            .expect("some pair crosses DNs");
+        db.start_placer(PlacerConfig {
+            interval: Duration::from_millis(20),
+            planner: PlannerConfig { max_moves: 4, min_edge_weight: 4, balance_slack: 10.0 },
+            rehome: RehomeConfig {
+                min_gap: Duration::from_millis(5),
+                max_per_pass: 2,
+            },
+        });
+        let metrics = Arc::clone(db.txn_metrics());
+        let commit_pair = |val: i64| -> Result<bool> {
+            let before_1pc = metrics.one_phase_commits.get();
+            let (ta, da, ea) = s.route_fenced("p", &[Value::Int(a)])?;
+            let (tb, dbn, eb) = s.route_fenced("p", &[Value::Int(b)])?;
+            let mut txn = s.coordinator().begin();
+            txn.pin_epoch(ta, ea)?;
+            txn.pin_epoch(tb, eb)?;
+            txn.write(
+                da,
+                ta,
+                polardbx_common::Key::encode(&[Value::Int(a)]),
+                WireWriteOp::Update(Row::new(vec![Value::Int(a), Value::Int(val)])),
+            )?;
+            txn.write(
+                dbn,
+                tb,
+                polardbx_common::Key::encode(&[Value::Int(b)]),
+                WireWriteOp::Update(Row::new(vec![Value::Int(b), Value::Int(val)])),
+            )?;
+            txn.commit()?;
+            Ok(metrics.one_phase_commits.get() > before_1pc)
+        };
+        let deadline = polardbx_common::time::mono_now() + Duration::from_secs(20);
+        let mut converged = false;
+        let mut i = 0i64;
+        while polardbx_common::time::mono_now() < deadline {
+            i += 1;
+            match commit_pair(i) {
+                Ok(true) if metrics.rehomes_applied.get() > 0 => {
+                    converged = true;
+                    break;
+                }
+                Ok(_) => {}
+                Err(e) => assert!(e.is_retryable(), "unexpected error: {e:?}"),
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(
+            converged,
+            "placer failed to colocate the hot pair (rehomes={}, 1pc={}, 2pc={})",
+            metrics.rehomes_applied.get(),
+            metrics.one_phase_commits.get(),
+            metrics.two_phase_commits.get(),
+        );
         db.shutdown();
     }
 

@@ -13,6 +13,8 @@ use polardbx_common::{
     Error, IdGenerator, NodeId, Result, Row, TableId, TableSchema, Value,
 };
 use polardbx_optimizer::{Statistics, TableStats};
+use polardbx_placement::EpochMap;
+use polardbx_txn::RoutingFence;
 
 /// Derive the engine-level table id for one shard of a logical table.
 /// Engines store each shard as its own table; 10 000 shards per table is
@@ -33,6 +35,9 @@ pub struct Gms {
     /// Auto-increment sequences for implicit primary keys.
     sequences: RwLock<HashMap<TableId, Arc<IdGenerator>>>,
     dns: RwLock<Vec<NodeId>>,
+    /// Routing epochs per shard table: the fence that keeps live-traffic
+    /// re-homes from split-braining (see `polardbx-placement`).
+    epochs: Arc<EpochMap>,
 }
 
 impl Gms {
@@ -46,6 +51,7 @@ impl Gms {
             table_ids: IdGenerator::new(),
             sequences: RwLock::new(HashMap::new()),
             dns: RwLock::new(Vec::new()),
+            epochs: Arc::new(EpochMap::new()),
         })
     }
 
@@ -225,6 +231,50 @@ impl Gms {
     pub fn route_key(&self, schema: &TableSchema, values: &[Value]) -> Result<(u32, NodeId)> {
         let shard = schema.shard_of_key(values);
         Ok((shard, self.shard_dn(schema.id, shard)?))
+    }
+
+    /// The routing-epoch table. Coordinators install it as their
+    /// [`polardbx_txn::RoutingFence`]; the re-home executor freezes/bumps
+    /// through it.
+    pub fn epochs(&self) -> &Arc<EpochMap> {
+        &self.epochs
+    }
+
+    /// Route a row and capture the shard's routing epoch for commit-time
+    /// validation. Bounces retryably while the shard is frozen for a
+    /// cutover — the caller retries and lands on the new home.
+    pub fn route_row_fenced(
+        &self,
+        schema: &TableSchema,
+        row: &Row,
+    ) -> Result<(u32, NodeId, u64)> {
+        let (shard, dn) = self.route_row(schema, row)?;
+        let (dn, epoch) = self.fence_shard(schema.id, shard, dn)?;
+        Ok((shard, dn, epoch))
+    }
+
+    /// [`Gms::route_row_fenced`] by explicit partition-key values.
+    pub fn route_key_fenced(
+        &self,
+        schema: &TableSchema,
+        values: &[Value],
+    ) -> Result<(u32, NodeId, u64)> {
+        let (shard, dn) = self.route_key(schema, values)?;
+        let (dn, epoch) = self.fence_shard(schema.id, shard, dn)?;
+        Ok((shard, dn, epoch))
+    }
+
+    fn fence_shard(&self, table: TableId, shard: u32, dn: NodeId) -> Result<(NodeId, u64)> {
+        let stid = shard_table_id(table, shard);
+        if self.epochs.is_frozen(stid) {
+            return Err(Error::Throttled { rule: format!("rehome-freeze:{stid}") });
+        }
+        let epoch = self.epochs.epoch_of(stid);
+        // Re-read the placement after capturing the epoch: if a cutover
+        // completed in between, this returns the *new* home together with
+        // the new epoch instead of a torn (old home, new epoch) pair.
+        let dn = self.shard_dn(table, shard).unwrap_or(dn);
+        Ok((dn, epoch))
     }
 }
 

@@ -31,6 +31,6 @@ pub mod hotspot;
 pub mod provider;
 pub mod traffic;
 
-pub use cluster::{ClusterConfig, PolarDbx, Session};
+pub use cluster::{ClusterConfig, PlacerConfig, PolarDbx, Session};
 pub use gms::Gms;
 pub use provider::ClusterProvider;

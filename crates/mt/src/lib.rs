@@ -19,14 +19,18 @@
 //! * [`recovery`] — per-tenant parallel redo replay: because each RW's log
 //!   only touches its own tenants, logs replay independently and a peer RW
 //!   can take over a failed node's tenants from its log.
+//! * [`rehome`] — throttled executor for adaptive-placement partition
+//!   moves: spaces cutovers out so migration storms never stack pauses.
 
 pub mod binding;
 pub mod dictionary;
 pub mod node;
 pub mod recovery;
+pub mod rehome;
 pub mod transfer;
 
 pub use binding::{BindingTable, Lease};
 pub use dictionary::{DataDictionary, TableMeta};
 pub use node::MtRwNode;
+pub use rehome::{RehomeConfig, RehomeExecutor, RehomeReport};
 pub use transfer::{migrate_by_copy, migrate_tenant, CopyReport, MigrationReport, Router};

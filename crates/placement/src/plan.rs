@@ -1,0 +1,195 @@
+//! Greedy affinity clustering: turn a co-access snapshot into a bounded
+//! list of partition re-homes.
+//!
+//! The heuristic is the classic one (Schism-style, simplified to the
+//! paper's hash-partition granularity): walk co-access edges heaviest
+//! first; whenever an edge spans two DNs, move the *lighter* endpoint
+//! (fewer observed writes — cheaper to move, fewer transactions disturbed
+//! mid-cutover) to the heavier endpoint's home, provided the destination
+//! stays within a balance cap. The pass is pure — no clocks, no RNG, no
+//! I/O — so the same snapshot always yields the same plan, which the
+//! sitcheck explorer relies on.
+
+use std::collections::HashMap;
+
+use polardbx_common::NodeId;
+
+use crate::sketch::SketchSnapshot;
+
+/// One proposed partition move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RehomeMove {
+    /// Shard table id to move.
+    pub part: u64,
+    /// Current home.
+    pub from: NodeId,
+    /// Proposed home.
+    pub to: NodeId,
+    /// Weight of the co-access edge that motivated the move.
+    pub weight: u64,
+}
+
+/// Planner knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct PlannerConfig {
+    /// Most moves proposed per pass (throttles migration storms together
+    /// with the executor's min-gap).
+    pub max_moves: usize,
+    /// Edges lighter than this are noise and never motivate a move.
+    pub min_edge_weight: u64,
+    /// A destination DN may hold at most `balance_slack` × the mean
+    /// per-DN write load after the move. 1.0 forbids any skew; TPC-C-lite
+    /// affinity clustering wants room to pile a warehouse's partitions
+    /// onto one DN, so the default is generous.
+    pub balance_slack: f64,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig { max_moves: 16, min_edge_weight: 8, balance_slack: 3.0 }
+    }
+}
+
+/// Propose re-homes for `snap` under `cfg`. Pure and deterministic.
+pub fn plan(snap: &SketchSnapshot, cfg: &PlannerConfig) -> Vec<RehomeMove> {
+    // Tentative state: partition -> (home, count), DN -> load.
+    let mut home: HashMap<u64, (NodeId, u64)> = HashMap::new();
+    let mut load: HashMap<NodeId, u64> = HashMap::new();
+    for p in &snap.parts {
+        home.insert(p.part, (p.home, p.count));
+        *load.entry(p.home).or_insert(0) += p.count;
+    }
+    let dns = load.len().max(1) as f64;
+    let total: u64 = load.values().sum();
+    let cap = (total as f64 / dns * cfg.balance_slack).ceil() as u64;
+
+    let mut edges: Vec<_> =
+        snap.edges.iter().filter(|e| e.weight >= cfg.min_edge_weight).collect();
+    // Heaviest first; ties broken by the pair id so the plan is stable.
+    edges.sort_by(|x, y| y.weight.cmp(&x.weight).then((x.a, x.b).cmp(&(y.a, y.b))));
+
+    let mut moves = Vec::new();
+    for e in edges {
+        if moves.len() >= cfg.max_moves {
+            break;
+        }
+        let (Some(&(home_a, count_a)), Some(&(home_b, count_b))) =
+            (home.get(&e.a), home.get(&e.b))
+        else {
+            continue; // endpoint dropped by the sketch
+        };
+        if home_a == home_b {
+            continue;
+        }
+        // Move the lighter endpoint toward the heavier one.
+        let (part, count, from, to) = if count_a <= count_b {
+            (e.a, count_a, home_a, home_b)
+        } else {
+            (e.b, count_b, home_b, home_a)
+        };
+        if load.get(&to).copied().unwrap_or(0) + count > cap {
+            continue;
+        }
+        home.insert(part, (to, count));
+        *load.entry(from).or_insert(count) -= count;
+        *load.entry(to).or_insert(0) += count;
+        moves.push(RehomeMove { part, from, to, weight: e.weight });
+    }
+    moves
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sketch::{EdgeStat, PartStat};
+
+    fn snap(parts: &[(u64, u64, u64)], edges: &[(u64, u64, u64)]) -> SketchSnapshot {
+        SketchSnapshot {
+            parts: parts
+                .iter()
+                .map(|&(part, count, home)| PartStat { part, count, home: NodeId(home) })
+                .collect(),
+            edges: edges
+                .iter()
+                .map(|&(a, b, weight)| EdgeStat { a, b, weight })
+                .collect(),
+            ..SketchSnapshot::default()
+        }
+    }
+
+    #[test]
+    fn colocates_a_hot_edge() {
+        let s = snap(
+            &[(1, 100, 1), (2, 10, 2), (3, 50, 1), (4, 50, 2)],
+            &[(1, 2, 90)],
+        );
+        let moves = plan(&s, &PlannerConfig::default());
+        assert_eq!(moves.len(), 1);
+        // Partition 2 is lighter: it moves to partition 1's home.
+        assert_eq!(moves[0], RehomeMove { part: 2, from: NodeId(2), to: NodeId(1), weight: 90 });
+    }
+
+    #[test]
+    fn already_colocated_edges_are_skipped() {
+        let s = snap(&[(1, 10, 1), (2, 10, 1)], &[(1, 2, 50)]);
+        assert!(plan(&s, &PlannerConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn light_edges_are_noise() {
+        let s = snap(&[(1, 10, 1), (2, 10, 2)], &[(1, 2, 3)]);
+        let cfg = PlannerConfig { min_edge_weight: 8, ..PlannerConfig::default() };
+        assert!(plan(&s, &cfg).is_empty());
+    }
+
+    #[test]
+    fn balance_cap_blocks_pileup() {
+        // Everything wants to move to DN1, but the cap says no.
+        let s = snap(
+            &[(1, 100, 1), (2, 100, 2), (3, 100, 3)],
+            &[(1, 2, 50), (1, 3, 50)],
+        );
+        let cfg = PlannerConfig { balance_slack: 1.0, ..PlannerConfig::default() };
+        assert!(plan(&s, &cfg).is_empty(), "slack 1.0 forbids any skew");
+    }
+
+    #[test]
+    fn max_moves_bounds_the_pass() {
+        let parts: Vec<_> = (1..=10).map(|i| (i, 10, i)).collect();
+        let edges: Vec<_> = (2..=10).map(|i| (1, i, 100)).collect();
+        let s = snap(&parts, &edges);
+        let cfg = PlannerConfig { max_moves: 3, ..PlannerConfig::default() };
+        assert_eq!(plan(&s, &cfg).len(), 3);
+    }
+
+    #[test]
+    fn moves_chain_transitively() {
+        // 1-2 heavy, 2-3 heavy: after 2 moves to DN1, 3 should follow it
+        // to DN1 (the tentative home map is consulted, not the snapshot).
+        let s = snap(
+            &[(1, 100, 1), (2, 50, 2), (3, 20, 3)],
+            &[(1, 2, 90), (2, 3, 80)],
+        );
+        let moves = plan(&s, &PlannerConfig::default());
+        assert_eq!(moves.len(), 2);
+        assert_eq!(moves[0].part, 2);
+        assert_eq!(moves[0].to, NodeId(1));
+        assert_eq!(moves[1].part, 3);
+        assert_eq!(moves[1].to, NodeId(1), "follows its partner's new home");
+    }
+
+    #[test]
+    fn deterministic_for_equal_weights() {
+        let s = snap(
+            &[(1, 10, 1), (2, 10, 2), (3, 10, 3), (4, 10, 4)],
+            &[(3, 4, 50), (1, 2, 50)],
+        );
+        let a = plan(&s, &PlannerConfig::default());
+        let b = plan(&s, &PlannerConfig::default());
+        assert_eq!(a, b);
+        assert_eq!(a[0].part.min(a[0].part), a[0].part);
+        // Tie on weight broken by pair id: (1,2) before (3,4).
+        assert_eq!(a[0].weight, 50);
+        assert!(a[0].part == 1 || a[0].part == 2);
+    }
+}

@@ -1,0 +1,321 @@
+//! Bounded-memory co-access sketch fed from the commit hot path.
+//!
+//! The coordinator calls [`CoAccessSketch::observe_commit`] after every
+//! successful commit with the (stack-allocated) list of write-touched
+//! partitions. The sketch folds that into two fixed-size open-addressed
+//! tables:
+//!
+//! * a **partition table** — per-partition write count and last observed
+//!   home DN,
+//! * an **edge table** — co-access weight for every pair of partitions
+//!   written by the same transaction.
+//!
+//! Both tables are arrays of atomics sized at construction: the hot path
+//! performs no allocation and takes no locks (claims a slot with a CAS,
+//! then does relaxed adds). When a table fills up or a probe chain runs
+//! too long, the update is *dropped* and counted — the sketch degrades by
+//! losing tail edges, never by growing. The planner reads a coherent-enough
+//! [`snapshot`](CoAccessSketch::snapshot) off the hot path; per-counter
+//! races are benign (counts are heuristics, not ledgers).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use polardbx_common::NodeId;
+use polardbx_txn::{AccessObserver, PartTouch};
+
+/// Sentinel for an unclaimed slot. Partition keys are shard-table ids
+/// (`table.raw()`), which are small; edge keys pack two of them into 32
+/// bits each — `u64::MAX` collides with neither.
+const EMPTY: u64 = u64::MAX;
+
+/// Bound on linear probing before an update is dropped. Keeps worst-case
+/// hot-path work constant even when a table is nearly full.
+const PROBE_LIMIT: usize = 16;
+
+struct Slot {
+    key: AtomicU64,
+    count: AtomicU64,
+    /// Partition table only: last observed home DN (`u64::MAX` = unknown).
+    home: AtomicU64,
+}
+
+impl Slot {
+    fn empty() -> Slot {
+        Slot {
+            key: AtomicU64::new(EMPTY),
+            count: AtomicU64::new(0),
+            home: AtomicU64::new(EMPTY),
+        }
+    }
+}
+
+fn hash(key: u64) -> u64 {
+    // Fibonacci multiplicative hash; good spread for sequential shard ids.
+    key.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+struct FixedTable {
+    slots: Box<[Slot]>,
+    mask: u64,
+    dropped: AtomicU64,
+}
+
+impl FixedTable {
+    fn new(capacity_pow2: usize) -> FixedTable {
+        assert!(capacity_pow2.is_power_of_two(), "sketch capacity must be a power of two");
+        FixedTable {
+            slots: (0..capacity_pow2).map(|_| Slot::empty()).collect(),
+            mask: capacity_pow2 as u64 - 1,
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Find or claim the slot for `key`. `None` when the probe chain is
+    /// exhausted (table full around this hash) — the caller drops the
+    /// update. lint:hotpath
+    fn slot_for(&self, key: u64) -> Option<&Slot> {
+        let mut idx = hash(key) & self.mask;
+        for _ in 0..PROBE_LIMIT {
+            let slot = &self.slots[idx as usize];
+            match slot.key.compare_exchange(
+                EMPTY,
+                key,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some(slot),
+                Err(found) if found == key => return Some(slot),
+                Err(_) => idx = (idx + 1) & self.mask,
+            }
+        }
+        self.dropped.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    fn reset(&self) {
+        for slot in self.slots.iter() {
+            slot.key.store(EMPTY, Ordering::Release);
+            slot.count.store(0, Ordering::Release);
+            slot.home.store(EMPTY, Ordering::Release);
+        }
+        self.dropped.store(0, Ordering::Release);
+    }
+}
+
+/// Per-partition write statistics from a [`SketchSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartStat {
+    /// Shard table id (`TableId::raw` of the shard table).
+    pub part: u64,
+    /// Transactions that wrote this partition since the last reset.
+    pub count: u64,
+    /// Home DN last observed for the partition.
+    pub home: NodeId,
+}
+
+/// One co-access edge from a [`SketchSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeStat {
+    /// Lower shard table id of the pair.
+    pub a: u64,
+    /// Higher shard table id of the pair.
+    pub b: u64,
+    /// Transactions that wrote both partitions.
+    pub weight: u64,
+}
+
+/// Point-in-time view of the sketch for the planner.
+#[derive(Debug, Clone, Default)]
+pub struct SketchSnapshot {
+    /// Partitions with at least one observed write.
+    pub parts: Vec<PartStat>,
+    /// Co-access edges, unsorted.
+    pub edges: Vec<EdgeStat>,
+    /// Updates dropped because a table was full (sketch saturation).
+    pub dropped: u64,
+    /// Commits observed (after the last reset).
+    pub commits: u64,
+    /// Commits that took the one-phase path.
+    pub one_phase: u64,
+}
+
+/// The online co-access sketch. One instance serves every coordinator in
+/// the cluster; see the [module docs](self) for the memory/concurrency
+/// contract.
+pub struct CoAccessSketch {
+    parts: FixedTable,
+    edges: FixedTable,
+    commits: AtomicU64,
+    one_phase: AtomicU64,
+}
+
+impl CoAccessSketch {
+    /// Sketch with the default capacity (1024 partitions, 4096 edges) —
+    /// ample for TPC-C-lite scale, ~160 KiB total.
+    pub fn new() -> CoAccessSketch {
+        CoAccessSketch::with_capacity(1024, 4096)
+    }
+
+    /// Sketch with explicit table capacities (each a power of two).
+    pub fn with_capacity(parts: usize, edges: usize) -> CoAccessSketch {
+        CoAccessSketch {
+            parts: FixedTable::new(parts),
+            edges: FixedTable::new(edges),
+            commits: AtomicU64::new(0),
+            one_phase: AtomicU64::new(0),
+        }
+    }
+
+    /// Forget everything (bench phase boundaries).
+    pub fn reset(&self) {
+        self.parts.reset();
+        self.edges.reset();
+        self.commits.store(0, Ordering::Release);
+        self.one_phase.store(0, Ordering::Release);
+    }
+
+    /// Collect the current state for the planner. Runs off the hot path;
+    /// concurrent updates may or may not be included.
+    pub fn snapshot(&self) -> SketchSnapshot {
+        let mut out = SketchSnapshot {
+            dropped: self.parts.dropped.load(Ordering::Relaxed)
+                + self.edges.dropped.load(Ordering::Relaxed),
+            commits: self.commits.load(Ordering::Relaxed),
+            one_phase: self.one_phase.load(Ordering::Relaxed),
+            ..SketchSnapshot::default()
+        };
+        for slot in self.parts.slots.iter() {
+            let key = slot.key.load(Ordering::Acquire);
+            if key == EMPTY {
+                continue;
+            }
+            let home = slot.home.load(Ordering::Relaxed);
+            if home == EMPTY {
+                continue; // claimed but not yet populated
+            }
+            out.parts.push(PartStat {
+                part: key,
+                count: slot.count.load(Ordering::Relaxed),
+                home: NodeId(home),
+            });
+        }
+        for slot in self.edges.slots.iter() {
+            let key = slot.key.load(Ordering::Acquire);
+            if key == EMPTY {
+                continue;
+            }
+            out.edges.push(EdgeStat {
+                a: key >> 32,
+                b: key & 0xFFFF_FFFF,
+                weight: slot.count.load(Ordering::Relaxed),
+            });
+        }
+        out
+    }
+}
+
+impl Default for CoAccessSketch {
+    fn default() -> Self {
+        CoAccessSketch::new()
+    }
+}
+
+impl AccessObserver for CoAccessSketch {
+    // lint:hotpath
+    fn observe_commit(&self, touched: &[PartTouch], one_phase: bool) {
+        self.commits.fetch_add(1, Ordering::Relaxed);
+        if one_phase {
+            self.one_phase.fetch_add(1, Ordering::Relaxed);
+        }
+        for (i, t) in touched.iter().enumerate() {
+            let part = t.table.raw();
+            if part >= u64::from(u32::MAX) {
+                // Edge keys pack two partition ids into 32 bits each;
+                // out-of-range ids (never produced by the shard catalog)
+                // are skipped rather than aliased.
+                continue;
+            }
+            if let Some(slot) = self.parts.slot_for(part) {
+                slot.count.fetch_add(1, Ordering::Relaxed);
+                slot.home.store(t.dn.raw(), Ordering::Relaxed);
+            }
+            for o in &touched[i + 1..] {
+                let other = o.table.raw();
+                if other >= u64::from(u32::MAX) || other == part {
+                    continue;
+                }
+                let (lo, hi) = if part < other { (part, other) } else { (other, part) };
+                if let Some(slot) = self.edges.slot_for((lo << 32) | hi) {
+                    slot.count.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polardbx_common::TableId;
+
+    fn touch(part: u64, dn: u64) -> PartTouch {
+        PartTouch { table: TableId(part), dn: NodeId(dn), epoch: 1 }
+    }
+
+    #[test]
+    fn counts_parts_and_edges() {
+        let s = CoAccessSketch::with_capacity(64, 256);
+        s.observe_commit(&[touch(10, 1), touch(20, 2)], false);
+        s.observe_commit(&[touch(10, 1), touch(20, 2)], false);
+        s.observe_commit(&[touch(10, 1)], true);
+        let snap = s.snapshot();
+        assert_eq!(snap.commits, 3);
+        assert_eq!(snap.one_phase, 1);
+        let p10 = snap.parts.iter().find(|p| p.part == 10).unwrap();
+        assert_eq!(p10.count, 3);
+        assert_eq!(p10.home, NodeId(1));
+        let edge = snap.edges.iter().find(|e| e.a == 10 && e.b == 20).unwrap();
+        assert_eq!(edge.weight, 2);
+    }
+
+    #[test]
+    fn edge_is_order_independent() {
+        let s = CoAccessSketch::with_capacity(64, 256);
+        s.observe_commit(&[touch(3, 1), touch(7, 2)], false);
+        s.observe_commit(&[touch(7, 2), touch(3, 1)], false);
+        let snap = s.snapshot();
+        assert_eq!(snap.edges.len(), 1);
+        assert_eq!(snap.edges[0].weight, 2);
+    }
+
+    #[test]
+    fn saturation_drops_instead_of_growing() {
+        let s = CoAccessSketch::with_capacity(4, 4);
+        for part in 0..64 {
+            s.observe_commit(&[touch(part, 1)], true);
+        }
+        let snap = s.snapshot();
+        assert!(snap.parts.len() <= 4);
+        assert!(snap.dropped > 0, "overflow must be counted");
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let s = CoAccessSketch::with_capacity(64, 64);
+        s.observe_commit(&[touch(1, 1), touch(2, 2)], false);
+        s.reset();
+        let snap = s.snapshot();
+        assert!(snap.parts.is_empty());
+        assert!(snap.edges.is_empty());
+        assert_eq!(snap.commits, 0);
+    }
+
+    #[test]
+    fn home_tracks_latest_observation() {
+        let s = CoAccessSketch::with_capacity(64, 64);
+        s.observe_commit(&[touch(5, 1)], true);
+        s.observe_commit(&[touch(5, 9)], true);
+        let snap = s.snapshot();
+        assert_eq!(snap.parts[0].home, NodeId(9));
+    }
+}

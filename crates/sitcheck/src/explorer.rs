@@ -35,11 +35,13 @@ use polardbx_common::{
 };
 use polardbx_consensus::{GroupConfig, PaxosGroup, Role};
 use polardbx_hlc::{Clock, Hlc, TestClock};
+use polardbx_placement::EpochMap;
 use polardbx_simnet::{FaultPlan, Handler, LatencyMatrix, LinkFaults, SimNet};
 use polardbx_storage::{RwNode, StorageEngine};
 use polardbx_txn::checker::BankHarness;
 use polardbx_txn::{
-    Coordinator, DnService, ProtocolMutations, ResolverConfig, TxnConfig, TxnMsg, WireWriteOp,
+    Coordinator, DnService, ProtocolMutations, ResolverConfig, RoutingFence, TxnConfig, TxnMsg,
+    WireWriteOp,
 };
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
@@ -76,6 +78,10 @@ pub enum Schedule {
     /// A partition severs CN A from DC2 right after a commit decision,
     /// stranding DN2 PREPARED mid phase-two.
     PreparedWindow,
+    /// The hot REGISTERS partition is re-homed to DN1 mid-workload (the
+    /// adaptive-placement cutover: freeze + epoch bump, drain, move the
+    /// version store, cut routing over) under seeded cross-DC loss/dup.
+    Rehome,
 }
 
 impl Schedule {
@@ -89,12 +95,19 @@ impl Schedule {
             Schedule::LeaderReelection => "leader-reelection",
             Schedule::RoLag => "ro-lag",
             Schedule::PreparedWindow => "prepared-window",
+            Schedule::Rehome => "rehome",
         }
     }
 
     /// The quick CI subset.
     pub fn quick() -> &'static [Schedule] {
-        &[Schedule::Clean, Schedule::LossyDup, Schedule::CoordCrashAfter, Schedule::RoLag]
+        &[
+            Schedule::Clean,
+            Schedule::LossyDup,
+            Schedule::CoordCrashAfter,
+            Schedule::RoLag,
+            Schedule::Rehome,
+        ]
     }
 
     /// The full matrix.
@@ -107,6 +120,7 @@ impl Schedule {
             Schedule::LeaderReelection,
             Schedule::RoLag,
             Schedule::PreparedWindow,
+            Schedule::Rehome,
         ]
     }
 }
@@ -124,12 +138,21 @@ pub enum Mutation {
     /// The coordinator silently forgets one participant: that DN's writes
     /// expire as an abandoned transaction → LostWrite.
     DropPrepare,
+    /// A commit skips the routing-epoch fence during a placement cutover:
+    /// a transaction that routed before the move commits to the *old*
+    /// home, splitting the key's history across two DNs → LostUpdate.
+    SkipRoutingEpochFence,
 }
 
 impl Mutation {
     /// All mutations, for the self-validation matrix.
     pub fn all() -> &'static [Mutation] {
-        &[Mutation::SkipCommitClockUpdate, Mutation::IgnorePreparedReads, Mutation::DropPrepare]
+        &[
+            Mutation::SkipCommitClockUpdate,
+            Mutation::IgnorePreparedReads,
+            Mutation::DropPrepare,
+            Mutation::SkipRoutingEpochFence,
+        ]
     }
 
     /// Stable label for reports.
@@ -138,6 +161,7 @@ impl Mutation {
             Mutation::SkipCommitClockUpdate => "mutation-skip-commit-clock-update",
             Mutation::IgnorePreparedReads => "mutation-ignore-prepared-reads",
             Mutation::DropPrepare => "mutation-drop-prepare",
+            Mutation::SkipRoutingEpochFence => "mutation-skip-routing-epoch-fence",
         }
     }
 }
@@ -322,6 +346,60 @@ fn register_key(id: i64) -> Key {
     Key::encode(&[Value::Int(id)])
 }
 
+/// Dynamic register routing for the re-home schedule: the current home DN
+/// plus the routing-epoch fence both workers and mover agree through.
+struct RegisterRoute {
+    home: AtomicU64,
+    epochs: Arc<EpochMap>,
+}
+
+impl RegisterRoute {
+    fn new() -> Arc<RegisterRoute> {
+        Arc::new(RegisterRoute {
+            home: AtomicU64::new(REGISTER_DN.raw()),
+            epochs: Arc::new(EpochMap::new()),
+        })
+    }
+
+    fn home(&self) -> NodeId {
+        NodeId(self.home.load(Ordering::SeqCst))
+    }
+}
+
+/// Live cutover of the REGISTERS partition from the register DN to DN1,
+/// mirroring `PolarDbx::rehome_shard`: freeze + epoch bump, drain fenced
+/// commits, wait out in-flight write intents, move the version store
+/// wholesale, raise the destination clock (the register DN's HLC base is
+/// 3 s ahead of DN1's — without the raise, moved versions would sit in the
+/// destination's timestamp future), cut routing over, unfreeze.
+fn rehome_registers(c: &Cluster, route: &RegisterRoute) {
+    let src = c.dns.iter().find(|d| d.node == REGISTER_DN).expect("register DN");
+    let dst = c.dns.iter().find(|d| d.node == NodeId(1)).expect("DN1");
+    c.rec.note(NodeId(0), "rehome: freezing registers");
+    route.epochs.freeze(REGISTERS);
+    let gates_drained = route.epochs.drain(REGISTERS, Duration::from_secs(2));
+    let deadline = mono_now() + Duration::from_secs(2);
+    let mut writes_clear = false;
+    while mono_now() < deadline {
+        if !src.engine.has_active_writes_on(REGISTERS) {
+            writes_clear = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    if gates_drained && writes_clear {
+        if let Some(store) = src.engine.detach_table(REGISTERS) {
+            dst.engine.attach_table(REGISTERS, store, TenantId(1));
+            dst.clock.update(src.clock.now());
+            route.home.store(NodeId(1).raw(), Ordering::SeqCst);
+            c.rec.note(NodeId(0), "rehome: registers cut over to DN1");
+        }
+    } else {
+        c.rec.note(NodeId(0), "rehome: drain TIMEOUT, move skipped");
+    }
+    route.epochs.unfreeze(REGISTERS);
+}
+
 /// Seed registers `0..n` with value 0 through `coord`.
 fn seed_registers(coord: &Coordinator, n: usize) {
     let mut txn = coord.begin();
@@ -341,12 +419,33 @@ fn seed_registers(coord: &Coordinator, n: usize) {
     }
 }
 
-/// One register read-modify-write: read, increment, write back.
-fn rmw_once(coord: &Coordinator, r: usize) -> bool {
+/// One register read-modify-write: read, increment, write back. With a
+/// `route`, the register's home is dynamic and the commit is pinned to the
+/// routing epoch captured here — a concurrent cutover rejects it
+/// retryably instead of letting it land on the old home.
+fn rmw_once(coord: &Coordinator, r: usize, route: Option<&RegisterRoute>) -> bool {
+    let (home, pin) = match route {
+        Some(rt) => {
+            if rt.epochs.is_frozen(REGISTERS) {
+                return false; // cutover in progress — back off and retry
+            }
+            // Epoch first, then home: a move bumps the epoch before it
+            // republishes the home, so a torn pair fails fence validation.
+            let epoch = rt.epochs.epoch_of(REGISTERS);
+            (rt.home(), Some(epoch))
+        }
+        None => (REGISTER_DN, None),
+    };
     let id = 1000 + r as i64;
     let key = register_key(id);
     let mut txn = coord.begin();
-    let got = match txn.read(REGISTER_DN, REGISTERS, &key) {
+    if let Some(epoch) = pin {
+        if txn.pin_epoch(REGISTERS, epoch).is_err() {
+            txn.abort();
+            return false;
+        }
+    }
+    let got = match txn.read(home, REGISTERS, &key) {
         Ok(Some(row)) => row.get(1).ok().and_then(|v| v.as_int().ok()),
         _ => None,
     };
@@ -355,7 +454,7 @@ fn rmw_once(coord: &Coordinator, r: usize) -> bool {
         return false;
     };
     let row = Row::new(vec![Value::Int(id), Value::Int(v + 1)]);
-    if txn.write(REGISTER_DN, REGISTERS, key, WireWriteOp::Update(row)).is_err() {
+    if txn.write(home, REGISTERS, key, WireWriteOp::Update(row)).is_err() {
         txn.abort();
         return false;
     }
@@ -444,6 +543,14 @@ pub fn run(cfg: &ExplorerConfig) -> ScheduleRun {
     };
     let c = build_cluster(true, lag, cfg.schedule == Schedule::LeaderReelection);
 
+    // The re-home schedule routes registers dynamically through a fenced
+    // routing table; every other schedule pins them to the register DN.
+    let route = (cfg.schedule == Schedule::Rehome).then(RegisterRoute::new);
+    let with_fence = |coord: Coordinator| match &route {
+        Some(rt) => coord.with_fence(Arc::clone(&rt.epochs) as Arc<dyn RoutingFence>),
+        None => coord,
+    };
+
     // CN A carries the schedule's failpoint; CN B stays healthy so the
     // workload keeps making progress when A crashes.
     let decisions = Arc::new(AtomicU64::new(0));
@@ -474,8 +581,10 @@ pub fn run(cfg: &ExplorerConfig) -> ScheduleRun {
             _ => base,
         }
     };
-    let coords =
-        [Arc::new(coord_a), Arc::new(coordinator(&c, CN_B, Hlc::with_physical(TestClock::at(700))))];
+    let coords = [
+        Arc::new(with_fence(coord_a)),
+        Arc::new(with_fence(coordinator(&c, CN_B, Hlc::with_physical(TestClock::at(700))))),
+    ];
 
     let harness = Arc::new(BankHarness {
         table: BANK,
@@ -493,7 +602,7 @@ pub fn run(cfg: &ExplorerConfig) -> ScheduleRun {
     seed_registers(&coords[1], cfg.registers);
     coords[0].clock().update(coords[1].clock().now());
 
-    if cfg.schedule == Schedule::LossyDup {
+    if matches!(cfg.schedule, Schedule::LossyDup | Schedule::Rehome) {
         c.net.set_fault_plan(
             FaultPlan::new(cfg.seed)
                 .with_label(cfg.schedule.label())
@@ -521,6 +630,13 @@ pub fn run(cfg: &ExplorerConfig) -> ScheduleRun {
                     s.spawn(move || {
                         std::thread::sleep(Duration::from_millis(10));
                         reelection_storm(group);
+                    });
+                }
+                if let Some(rt) = &route {
+                    let c = &c;
+                    s.spawn(move || {
+                        std::thread::sleep(Duration::from_millis(8));
+                        rehome_registers(c, rt);
                     });
                 }
             }
@@ -552,12 +668,13 @@ pub fn run(cfg: &ExplorerConfig) -> ScheduleRun {
                 let seed = cfg.seed ^ ((wave as u64) << 40) ^ (t as u64);
                 let n = cfg.rmws_per_thread;
                 let regs = cfg.registers.max(1);
+                let route = route.as_deref();
                 s.spawn(move || {
                     let mut rng = StdRng::seed_from_u64(0x4A7_0000 ^ seed);
                     for _ in 0..n {
                         let r = rng.gen_range(0..regs);
-                        for _ in 0..3 {
-                            if rmw_once(&coord, r) {
+                        for _ in 0..5 {
+                            if rmw_once(&coord, r, route) {
                                 break;
                             }
                         }
@@ -667,7 +784,7 @@ fn mutation_scenario(m: Mutation, seed: u64, mutated: bool) -> ScheduleRun {
             let coord = coordinator(&c, CN_A, Hlc::with_physical(TestClock::at(500)))
                 .with_mutations(ProtocolMutations {
                     skip_commit_clock_update: mutated,
-                    drop_participant: None,
+                    ..Default::default()
                 });
             let _ = harness.seed(&coord);
             let _ = harness.transfer(&coord, 0, 1, 5);
@@ -724,13 +841,92 @@ fn mutation_scenario(m: Mutation, seed: u64, mutated: bool) -> ScheduleRun {
             let _ = harness.seed(&seeder);
             let coord = coordinator(&c, CN_A, Arc::clone(&clock) as Arc<dyn Clock>)
                 .with_mutations(ProtocolMutations {
-                    skip_commit_clock_update: false,
                     drop_participant: if mutated { Some(NodeId(2)) } else { None },
+                    ..Default::default()
                 });
             let _ = harness.transfer(&coord, 0, 1, 5);
             // Expire whatever the dropped participant was left holding.
             c.dns[1].resolve_once(&c.net, &drain_cfg);
             let _ = harness.audit(&seeder);
+        }
+        Mutation::SkipRoutingEpochFence => {
+            // An adaptive-placement cutover with the routing-epoch fence as
+            // the only protection: the mover bumps the epoch and copies the
+            // register to a new home while an RMW that routed *before* the
+            // move still holds a pin on the old epoch. Intact protocol:
+            // that commit is rejected and retried at the new home.
+            // Mutated: it commits to the old home — both it and the copy
+            // transaction read the same pre-move version and committed
+            // writes over it, the textbook lost update.
+            let clock: Arc<Hlc> = Hlc::with_physical(TestClock::at(500));
+            let epochs = Arc::new(EpochMap::new());
+            let seeder = coordinator(&c, CN_A, Arc::clone(&clock) as Arc<dyn Clock>);
+            seed_registers(&seeder, 1);
+            let new_home = NodeId(1);
+            c.dns[0].engine.create_table(REGISTERS, TenantId(1));
+            let coord = coordinator(&c, CN_A, Arc::clone(&clock) as Arc<dyn Clock>)
+                .with_fence(Arc::clone(&epochs) as Arc<dyn RoutingFence>)
+                .with_mutations(ProtocolMutations {
+                    skip_routing_epoch_fence: mutated,
+                    ..Default::default()
+                });
+            let key = register_key(1000);
+            // The stale transaction: routed to the old home, pinned to the
+            // pre-move epoch, held open across the cutover.
+            let mut txn = coord.begin();
+            let _ = txn.pin_epoch(REGISTERS, epochs.epoch_of(REGISTERS));
+            let v = match txn.read(REGISTER_DN, REGISTERS, &key) {
+                Ok(Some(row)) => row.get(1).ok().and_then(|x| x.as_int().ok()).unwrap_or(0),
+                _ => 0,
+            };
+            let _ = txn.write(
+                REGISTER_DN,
+                REGISTERS,
+                key.clone(),
+                WireWriteOp::Update(Row::new(vec![Value::Int(1000), Value::Int(v + 1)])),
+            );
+            // The cutover: freeze + epoch bump, copy the committed register
+            // to DN1 (the mover's own transaction is unfenced — it *is* the
+            // cutover), unfreeze. The old home's row is left behind; only
+            // the fence keeps anyone from writing to it.
+            epochs.freeze(REGISTERS);
+            let mut mv = seeder.begin();
+            match mv.read(REGISTER_DN, REGISTERS, &key) {
+                Ok(Some(row)) => {
+                    let _ = mv.write(new_home, REGISTERS, key.clone(), WireWriteOp::Insert(row));
+                    let _ = mv.commit();
+                }
+                _ => mv.abort(),
+            }
+            epochs.unfreeze(REGISTERS);
+            // Commit the stale transaction: the fence rejects it (its epoch
+            // moved) unless mutated.
+            if txn.commit().is_err() {
+                // Intact path: retry where the register now lives, pinned
+                // to the current epoch.
+                let mut retry = coord.begin();
+                let _ = retry.pin_epoch(REGISTERS, epochs.epoch_of(REGISTERS));
+                match retry.read(new_home, REGISTERS, &key) {
+                    Ok(Some(row)) => {
+                        let nv = row.get(1).ok().and_then(|x| x.as_int().ok()).unwrap_or(0);
+                        let _ = retry.write(
+                            new_home,
+                            REGISTERS,
+                            key.clone(),
+                            WireWriteOp::Update(Row::new(vec![
+                                Value::Int(1000),
+                                Value::Int(nv + 1),
+                            ])),
+                        );
+                        let _ = retry.commit();
+                    }
+                    _ => retry.abort(),
+                }
+            }
+            // Post-move traffic only ever sees the new home.
+            let mut reader = seeder.begin();
+            let _ = reader.read(new_home, REGISTERS, &key);
+            reader.abort();
         }
     }
 

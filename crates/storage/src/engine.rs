@@ -750,6 +750,7 @@ impl StorageEngine {
             return;
         }
         let ctx = self.active.remove(&trx);
+        let discarded_writes = ctx.as_ref().is_some_and(|c| !c.writes.is_empty());
         if let Some(ctx) = ctx {
             self.rollback_writes(trx, &ctx.writes);
         }
@@ -758,8 +759,14 @@ impl StorageEngine {
         // pipeline) as commits: a storm of rollbacks shares flushes
         // instead of paying one each.
         let _ = self.durable_submit(&[Mtr::single(RedoPayload::TxnAbort { trx })]);
-        if let Some(tap) = self.tap() {
-            tap.rec.record(TxnEvent::Abort { trx, node: tap.node });
+        // History event only when the abort discarded actual writes: a
+        // coordinator releasing a read-only participant after commit is not
+        // an abort of the (committed) transaction, and recording one would
+        // read as a lost write to the checker.
+        if discarded_writes {
+            if let Some(tap) = self.tap() {
+                tap.rec.record(TxnEvent::Abort { trx, node: tap.node });
+            }
         }
     }
 
@@ -774,12 +781,15 @@ impl StorageEngine {
             return false;
         }
         let ctx = self.active.remove(&trx);
+        let discarded_writes = ctx.as_ref().is_some_and(|c| !c.writes.is_empty());
         if let Some(ctx) = ctx {
             self.rollback_writes(trx, &ctx.writes);
         }
         let _ = self.durable_submit(&[Mtr::single(RedoPayload::TxnAbort { trx })]);
-        if let Some(tap) = self.tap() {
-            tap.rec.record(TxnEvent::Abort { trx, node: tap.node });
+        if discarded_writes {
+            if let Some(tap) = self.tap() {
+                tap.rec.record(TxnEvent::Abort { trx, node: tap.node });
+            }
         }
         true
     }
@@ -805,6 +815,15 @@ impl StorageEngine {
     /// Any transactions still in flight? (Tenant migration waits for zero.)
     pub fn has_active_txns(&self) -> bool {
         !self.active.is_empty()
+    }
+
+    /// Any in-flight transaction holding writes on `table`? A shard
+    /// cutover drains this *after* the commit gate: phase-two Commit
+    /// messages are posted asynchronously, so a committed-but-unapplied
+    /// write set can outlive the coordinator's commit guard. Detaching the
+    /// store while one exists would strand the write.
+    pub fn has_active_writes_on(&self, table: TableId) -> bool {
+        self.active.any(|_, ctx| ctx.writes.iter().any(|(t, _)| *t == table))
     }
 
     /// Multi-version GC across all tables.

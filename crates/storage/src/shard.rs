@@ -82,6 +82,12 @@ impl<K: Hash + Eq, V> ShardedMap<K, V> {
         self.shards.iter().all(|s| s.lock().is_empty())
     }
 
+    /// True when any entry matches `f` (racy snapshot across shards, like
+    /// [`ShardedMap::is_empty`] — for drain-style monitoring loops).
+    pub fn any(&self, mut f: impl FnMut(&K, &V) -> bool) -> bool {
+        self.shards.iter().any(|s| s.lock().iter().any(|(k, v)| f(k, v)))
+    }
+
     /// Total entries (racy snapshot across shards).
     pub fn len(&self) -> usize {
         self.shards.iter().map(|s| s.lock().len()).sum()

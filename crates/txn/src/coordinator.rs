@@ -12,6 +12,13 @@ use polardbx_simnet::SimNet;
 use crate::config::TxnConfig;
 use crate::metrics::TxnMetrics;
 use crate::msg::{Decision, TxnMsg, WireWriteOp};
+use crate::route::{AccessObserver, CommitGuard, PartTouch, RoutingFence};
+
+/// Upper bound on distinct partitions a transaction can pin routing epochs
+/// for (and on the write-partition set streamed to the access observer).
+/// Fixed so the commit hot path stays allocation-free; bulk loaders that
+/// exceed it should route unfenced (moves never run during loads).
+pub const MAX_TOUCHED: usize = 32;
 
 /// A hook invoked at named points in the commit protocol, letting chaos
 /// tests inject failures (e.g. crash the CN) at exact protocol positions.
@@ -31,6 +38,10 @@ pub struct ProtocolMutations {
     /// phase-two Commit), while still committing the others: its writes
     /// are lost even though the coordinator reports success.
     pub drop_participant: Option<NodeId>,
+    /// Skip the routing-epoch fence at commit: a transaction routed before
+    /// a partition re-home commits to the *old* home as if nothing moved,
+    /// splitting the partition's history across two DNs.
+    pub skip_routing_epoch_fence: bool,
 }
 
 /// A coordinator living on a CN node.
@@ -46,6 +57,8 @@ pub struct Coordinator {
     failpoint: Option<Failpoint>,
     recorder: Option<Arc<HistoryRecorder>>,
     mutations: ProtocolMutations,
+    fence: Option<Arc<dyn RoutingFence>>,
+    observer: Option<Arc<dyn AccessObserver>>,
 }
 
 impl Coordinator {
@@ -68,6 +81,8 @@ impl Coordinator {
             failpoint: None,
             recorder: None,
             mutations: ProtocolMutations::default(),
+            fence: None,
+            observer: None,
         }
     }
 
@@ -110,6 +125,21 @@ impl Coordinator {
     /// (`sitcheck` mutation runs) only.
     pub fn with_mutations(mut self, mutations: ProtocolMutations) -> Coordinator {
         self.mutations = mutations;
+        self
+    }
+
+    /// Builder: validate pinned routing epochs against `fence` at commit,
+    /// so transactions routed before a partition re-home abort (retryably)
+    /// instead of committing to the old home.
+    pub fn with_fence(mut self, fence: Arc<dyn RoutingFence>) -> Coordinator {
+        self.fence = Some(fence);
+        self
+    }
+
+    /// Builder: stream each commit's write-partition set to `observer`
+    /// (the adaptive placer's co-access sketch).
+    pub fn with_observer(mut self, observer: Arc<dyn AccessObserver>) -> Coordinator {
+        self.observer = Some(observer);
         self
     }
 
@@ -156,7 +186,19 @@ impl Coordinator {
         let snapshot_ts = self.clock.now();
         let trx = TrxId(self.trx_ids.next_id());
         self.record(TxnEvent::Begin { trx, session: self.me, snapshot_ts: snapshot_ts.raw() });
-        DistTxn { coord: self, trx, snapshot_ts, participants: HashSet::new(), finished: false }
+        DistTxn {
+            coord: self,
+            trx,
+            snapshot_ts,
+            participants: HashSet::new(),
+            write_dns: HashSet::new(),
+            touched: [PartTouch { table: TableId(0), dn: NodeId(0), epoch: 0 }; MAX_TOUCHED],
+            touched_len: 0,
+            touched_overflow: false,
+            pins: [(TableId(0), 0); MAX_TOUCHED],
+            pins_len: 0,
+            finished: false,
+        }
     }
 
     /// Autocommit snapshot read outside any transaction.
@@ -189,7 +231,20 @@ pub struct DistTxn<'a> {
     coord: &'a Coordinator,
     trx: TrxId,
     snapshot_ts: HlcTimestamp,
+    /// Every DN touched (reads included) — these hold per-transaction
+    /// state at the engine and must be released on any outcome.
     participants: HashSet<NodeId>,
+    /// DNs holding write intents — only these vote in the commit.
+    write_dns: HashSet<NodeId>,
+    /// Write-touched partitions, fixed-size: streamed to the access
+    /// observer on commit without allocating.
+    touched: [PartTouch; MAX_TOUCHED],
+    touched_len: usize,
+    touched_overflow: bool,
+    /// Routing epochs pinned by the driver, one per routed partition,
+    /// validated against the fence at commit.
+    pins: [(TableId, u64); MAX_TOUCHED],
+    pins_len: usize,
     finished: bool,
 }
 
@@ -204,9 +259,91 @@ impl DistTxn<'_> {
         self.snapshot_ts
     }
 
-    /// Participant DNs touched so far.
+    /// Participant DNs touched so far (reads included).
     pub fn participants(&self) -> usize {
         self.participants.len()
+    }
+
+    /// DNs holding write intents — the set that decides 1PC vs 2PC.
+    pub fn write_participants(&self) -> usize {
+        self.write_dns.len()
+    }
+
+    /// Pin the routing epoch captured when a statement was routed to
+    /// `table` (a shard table). At commit every pinned epoch is validated
+    /// against the coordinator's fence; a re-homed partition fails the
+    /// check and the transaction aborts retryably. The first pin per
+    /// table wins — later re-routes of the same partition inside one
+    /// transaction must not weaken the check.
+    pub fn pin_epoch(&mut self, table: TableId, epoch: u64) -> Result<()> {
+        for (t, _) in &self.pins[..self.pins_len] {
+            if *t == table {
+                return Ok(());
+            }
+        }
+        if self.pins_len == MAX_TOUCHED {
+            return Err(Error::invalid("too many pinned partitions in one transaction"));
+        }
+        self.pins[self.pins_len] = (table, epoch);
+        self.pins_len += 1;
+        Ok(())
+    }
+
+    /// Epoch pinned for `table`, or 0 when the driver routed unfenced.
+    fn pinned_epoch(&self, table: TableId) -> u64 {
+        for (t, e) in &self.pins[..self.pins_len] {
+            if *t == table {
+                return *e;
+            }
+        }
+        0
+    }
+
+    /// Record a write-touched partition in the fixed-size set.
+    // lint:hotpath
+    fn note_touch(&mut self, dn: NodeId, table: TableId) {
+        for t in &self.touched[..self.touched_len] {
+            if t.table == table && t.dn == dn {
+                return;
+            }
+        }
+        if self.touched_len == MAX_TOUCHED {
+            self.touched_overflow = true;
+            return;
+        }
+        self.touched[self.touched_len] =
+            PartTouch { table, dn, epoch: self.pinned_epoch(table) };
+        self.touched_len += 1;
+    }
+
+    /// Stream the write-partition set to the access observer (if any).
+    // lint:hotpath
+    fn observe(&self, one_phase: bool) {
+        if self.touched_overflow {
+            return;
+        }
+        if let Some(obs) = &self.coord.observer {
+            obs.observe_commit(&self.touched[..self.touched_len], one_phase);
+        }
+    }
+
+    /// Validate every pinned routing epoch and enter the per-shard commit
+    /// gates. The guards must stay alive until the commit outcome is
+    /// decided and phase-two messages are handed to the fabric, so a
+    /// cutover waits for us. Returns a retryable error when a pinned
+    /// partition was frozen or re-homed since it was routed.
+    fn enter_fence(&self) -> Result<[CommitGuard; MAX_TOUCHED]> {
+        let mut guards: [CommitGuard; MAX_TOUCHED] =
+            std::array::from_fn(|_| CommitGuard::none());
+        let Some(fence) = &self.coord.fence else { return Ok(guards) };
+        if self.coord.mutations.skip_routing_epoch_fence {
+            return Ok(guards);
+        }
+        for (i, (table, epoch)) in self.pins[..self.pins_len].iter().enumerate() {
+            // On error, already-entered gates release via Drop.
+            guards[i] = fence.enter_commit(*table, *epoch)?;
+        }
+        Ok(guards)
     }
 
     fn call(&self, dn: NodeId, msg: TxnMsg) -> Result<TxnMsg> {
@@ -222,6 +359,8 @@ impl DistTxn<'_> {
         op: WireWriteOp,
     ) -> Result<()> {
         self.participants.insert(dn);
+        self.write_dns.insert(dn);
+        self.note_touch(dn, table);
         match self.call(
             dn,
             TxnMsg::Write { trx: self.trx, snapshot_ts: self.snapshot_ts.raw(), table, key, op },
@@ -275,8 +414,11 @@ impl DistTxn<'_> {
         }
     }
 
-    /// Commit. Single participant → one-phase (the participant's
-    /// `ClockAdvance` is the commit timestamp). Multiple → full 2PC with
+    /// Commit. The decision is keyed off the *write* set: DNs that only
+    /// served snapshot reads hold no votes under SI, so they are released
+    /// up front and never pay a Prepare. A single write DN → one-phase
+    /// (the participant's `ClockAdvance` is the commit timestamp), even
+    /// when reads touched other DNs. Multiple write DNs → full 2PC with
     /// parallel prepares, `commit_ts = max(prepare_ts)` and one batched
     /// `ClockUpdate` at the coordinator (the §IV contention optimization).
     /// Returns the commit timestamp.
@@ -289,15 +431,32 @@ impl DistTxn<'_> {
     /// the decision log. Any other error means the transaction aborted.
     pub fn commit(mut self) -> Result<u64> {
         self.finished = true;
-        let parts: Vec<NodeId> = self.participants.iter().copied().collect();
+        // Release DNs that only served reads: their snapshot reads are
+        // already consistent and they hold no write intents, so they play
+        // no part in the commit decision. (The engine records no history
+        // event for aborting a writeless transaction.)
+        for &dn in &self.participants {
+            if !self.write_dns.contains(&dn) {
+                let _ = self.coord.net.post(self.coord.me, dn, TxnMsg::Abort { trx: self.trx });
+            }
+        }
+        let parts: Vec<NodeId> = self.write_dns.iter().copied().collect();
         match parts.len() {
             0 => {
-                let commit_ts = self.snapshot_ts.raw(); // read-nothing transaction
+                let commit_ts = self.snapshot_ts.raw(); // wrote-nothing transaction
                 self.record_commit(commit_ts);
                 Ok(commit_ts)
             }
             1 => {
                 let dn = parts[0];
+                let _fence = match self.enter_fence() {
+                    Ok(guards) => guards,
+                    Err(e) => {
+                        self.send_aborts(&parts);
+                        self.record_abort();
+                        return Err(e);
+                    }
+                };
                 // CommitLocal is idempotent at the participant (a duplicate
                 // returns the recorded commit_ts), so it is safe to retry.
                 match self.coord.call_retry(dn, TxnMsg::CommitLocal { trx: self.trx })? {
@@ -307,6 +466,8 @@ impl DistTxn<'_> {
                         if !self.coord.mutations.skip_commit_clock_update {
                             self.coord.clock.update(HlcTimestamp::from_raw(commit_ts));
                         }
+                        self.coord.metrics.one_phase_commits.inc();
+                        self.observe(true);
                         self.record_commit(commit_ts);
                         Ok(commit_ts)
                     }
@@ -326,6 +487,17 @@ impl DistTxn<'_> {
                         parts.iter().copied().filter(|dn| *dn != victim).collect()
                     }
                     _ => parts,
+                };
+                // Routing-epoch fence: validate before paying for prepares,
+                // and hold the commit gates until phase two is handed to
+                // the fabric so a cutover waits for this commit.
+                let _fence = match self.enter_fence() {
+                    Ok(guards) => guards,
+                    Err(e) => {
+                        self.send_aborts(&parts);
+                        self.record_abort();
+                        return Err(e);
+                    }
                 };
                 // Phase one, in parallel across participants, with retries.
                 let this = &self;
@@ -441,6 +613,8 @@ impl DistTxn<'_> {
                         .net
                         .post(self.coord.me, dn, TxnMsg::Commit { trx: self.trx, commit_ts });
                 }
+                self.coord.metrics.two_phase_commits.inc();
+                self.observe(false);
                 self.record_commit(commit_ts);
                 Ok(commit_ts)
             }
@@ -774,6 +948,148 @@ mod tests {
         txn.write(NodeId(2), T, key(2), WireWriteOp::Insert(row(2, 2))).unwrap();
         txn.commit().unwrap();
         assert_eq!(*seen.lock(), vec!["txn.before_decision", "txn.after_decision"]);
+    }
+
+    fn await_drained(dn: &DnService, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        while std::time::Instant::now() < deadline {
+            if !dn.engine.has_active_txns() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        false
+    }
+
+    #[test]
+    fn remote_reads_do_not_force_two_phase() {
+        let (net, coord, dns) = cluster();
+        let mut seed = coord.begin();
+        seed.write(NodeId(2), T, key(2), WireWriteOp::Insert(row(2, 20))).unwrap();
+        seed.write(NodeId(3), T, key(3), WireWriteOp::Insert(row(3, 30))).unwrap();
+        seed.commit().unwrap();
+        await_visible(&dns[1], &key(2), Duration::from_secs(1)).unwrap();
+        await_visible(&dns[2], &key(3), Duration::from_secs(1)).unwrap();
+
+        let before = net.stats.snapshot().0;
+        let base = coord.metrics().one_phase_commits.get();
+        let mut txn = coord.begin();
+        txn.read(NodeId(2), T, &key(2)).unwrap();
+        txn.read(NodeId(3), T, &key(3)).unwrap();
+        txn.write(NodeId(1), T, key(1), WireWriteOp::Insert(row(1, 1))).unwrap();
+        assert_eq!(txn.participants(), 3);
+        assert_eq!(txn.write_participants(), 1);
+        txn.commit().unwrap();
+        // 2 reads + 1 write + CommitLocal = 4 sync calls; a 2PC over the
+        // read DNs would need prepares on top.
+        assert_eq!(net.stats.snapshot().0 - before, 4);
+        assert_eq!(coord.metrics().one_phase_commits.get(), base + 1);
+        assert!(dns[0].engine.read(T, &key(1), u64::MAX, None).unwrap().is_some());
+        // The read-only participants were released (posted aborts).
+        assert!(await_drained(&dns[1], Duration::from_secs(1)));
+        assert!(await_drained(&dns[2], Duration::from_secs(1)));
+    }
+
+    #[test]
+    fn read_only_commit_pays_no_commit_rpc() {
+        let (net, coord, dns) = cluster();
+        let mut seed = coord.begin();
+        seed.write(NodeId(1), T, key(1), WireWriteOp::Insert(row(1, 1))).unwrap();
+        seed.commit().unwrap();
+        await_visible(&dns[0], &key(1), Duration::from_secs(1)).unwrap();
+
+        let before = net.stats.snapshot().0;
+        let mut txn = coord.begin();
+        txn.read(NodeId(1), T, &key(1)).unwrap();
+        txn.read(NodeId(2), T, &key(2)).unwrap();
+        let ts = txn.commit().unwrap();
+        assert!(ts > 0);
+        assert_eq!(net.stats.snapshot().0 - before, 2, "reads only, no commit RPCs");
+        assert!(await_drained(&dns[0], Duration::from_secs(1)));
+        assert!(await_drained(&dns[1], Duration::from_secs(1)));
+    }
+
+    struct TestFence {
+        epoch: std::sync::atomic::AtomicU64,
+        gate: Arc<std::sync::atomic::AtomicU64>,
+    }
+
+    impl crate::route::RoutingFence for TestFence {
+        fn epoch_of(&self, _table: TableId) -> u64 {
+            self.epoch.load(std::sync::atomic::Ordering::SeqCst)
+        }
+
+        fn enter_commit(
+            &self,
+            table: TableId,
+            captured: u64,
+        ) -> polardbx_common::Result<crate::route::CommitGuard> {
+            if captured != self.epoch.load(std::sync::atomic::Ordering::SeqCst) {
+                return Err(Error::TxnAborted {
+                    reason: format!("routing epoch moved for {table:?}"),
+                });
+            }
+            Ok(crate::route::CommitGuard::holding(Arc::clone(&self.gate)))
+        }
+    }
+
+    fn test_fence() -> Arc<TestFence> {
+        Arc::new(TestFence {
+            epoch: std::sync::atomic::AtomicU64::new(0),
+            gate: Arc::new(std::sync::atomic::AtomicU64::new(0)),
+        })
+    }
+
+    #[test]
+    fn stale_routing_epoch_aborts_retryably() {
+        let (_net, coord, dns) = cluster();
+        let fence = test_fence();
+        let coord = coord.with_fence(Arc::clone(&fence) as _);
+        let mut txn = coord.begin();
+        txn.pin_epoch(T, 0).unwrap();
+        txn.write(NodeId(1), T, key(1), WireWriteOp::Insert(row(1, 1))).unwrap();
+        // The partition re-homes while the transaction is in flight.
+        fence.epoch.store(1, std::sync::atomic::Ordering::SeqCst);
+        let err = txn.commit().unwrap_err();
+        assert!(err.is_retryable(), "fence abort must be retryable: {err:?}");
+        assert!(await_drained(&dns[0], Duration::from_secs(1)), "abort must clean up");
+        assert_eq!(dns[0].engine.read(T, &key(1), u64::MAX, None).unwrap(), None);
+        assert_eq!(
+            fence.gate.load(std::sync::atomic::Ordering::SeqCst),
+            0,
+            "no guard may leak"
+        );
+    }
+
+    #[test]
+    fn fence_skip_mutation_commits_despite_stale_epoch() {
+        let (_net, coord, dns) = cluster();
+        let fence = test_fence();
+        let coord = coord.with_fence(Arc::clone(&fence) as _).with_mutations(
+            ProtocolMutations { skip_routing_epoch_fence: true, ..Default::default() },
+        );
+        let mut txn = coord.begin();
+        txn.pin_epoch(T, 0).unwrap();
+        txn.write(NodeId(1), T, key(1), WireWriteOp::Insert(row(1, 1))).unwrap();
+        fence.epoch.store(1, std::sync::atomic::Ordering::SeqCst);
+        txn.commit().unwrap();
+        assert!(dns[0].engine.read(T, &key(1), u64::MAX, None).unwrap().is_some());
+    }
+
+    #[test]
+    fn fenced_commit_holds_the_gate() {
+        let (_net, coord, _dns) = cluster();
+        let fence = test_fence();
+        let coord = coord.with_fence(Arc::clone(&fence) as _);
+        let mut txn = coord.begin();
+        txn.pin_epoch(T, 0).unwrap();
+        txn.write(NodeId(1), T, key(1), WireWriteOp::Insert(row(1, 1))).unwrap();
+        txn.commit().unwrap();
+        assert_eq!(
+            fence.gate.load(std::sync::atomic::Ordering::SeqCst),
+            0,
+            "gate released after commit"
+        );
     }
 
     #[test]

@@ -38,9 +38,11 @@ pub mod coordinator;
 pub mod metrics;
 pub mod msg;
 pub mod participant;
+pub mod route;
 
 pub use config::{ResolverConfig, TxnConfig};
-pub use coordinator::{Coordinator, DistTxn, Failpoint, ProtocolMutations};
+pub use coordinator::{Coordinator, DistTxn, Failpoint, ProtocolMutations, MAX_TOUCHED};
 pub use metrics::TxnMetrics;
+pub use route::{AccessObserver, CommitGuard, PartTouch, RoutingFence};
 pub use msg::{Decision, TxnMsg, WireWriteOp};
 pub use participant::{DnService, ResolverHandle};

@@ -21,6 +21,13 @@ pub struct TxnMetrics {
     pub duplicate_msgs: Counter,
     /// Abandoned ACTIVE transactions expired by the resolver.
     pub expired_active: Counter,
+    /// Commits taken down the one-phase `CommitLocal` path (all writes on
+    /// one DN — whether by luck or by adaptive placement).
+    pub one_phase_commits: Counter,
+    /// Commits that paid full 2PC (writes spanned multiple DNs).
+    pub two_phase_commits: Counter,
+    /// Partition re-homes applied by the adaptive placer.
+    pub rehomes_applied: Counter,
 }
 
 impl TxnMetrics {
@@ -32,14 +39,29 @@ impl TxnMetrics {
     /// One-line summary for harness output.
     pub fn report(&self) -> String {
         format!(
-            "retries={} · in-doubt: commit={} abort={} presumed={} · dups={} · expired-active={}",
+            "retries={} · in-doubt: commit={} abort={} presumed={} · dups={} · expired-active={} \
+             · 1pc={} 2pc={} rehomes={}",
             self.rpc_retries.get(),
             self.in_doubt_commits.get(),
             self.in_doubt_aborts.get(),
             self.presumed_aborts.get(),
             self.duplicate_msgs.get(),
             self.expired_active.get(),
+            self.one_phase_commits.get(),
+            self.two_phase_commits.get(),
+            self.rehomes_applied.get(),
         )
+    }
+
+    /// Fraction of commits that paid 2PC (0.0 when nothing committed).
+    pub fn two_phase_fraction(&self) -> f64 {
+        let one = self.one_phase_commits.get() as f64;
+        let two = self.two_phase_commits.get() as f64;
+        if one + two == 0.0 {
+            0.0
+        } else {
+            two / (one + two)
+        }
     }
 
     /// Reset all counters.
@@ -50,6 +72,9 @@ impl TxnMetrics {
         self.presumed_aborts.reset();
         self.duplicate_msgs.reset();
         self.expired_active.reset();
+        self.one_phase_commits.reset();
+        self.two_phase_commits.reset();
+        self.rehomes_applied.reset();
     }
 }
 

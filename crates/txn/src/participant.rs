@@ -242,13 +242,26 @@ impl DnService {
     }
 }
 
+/// A statement for a table this DN no longer hosts raced a partition
+/// re-home: the CN routed before the cutover detached the store. That is
+/// transient routing staleness, not a schema error — remap it retryable so
+/// the client re-routes and finds the new home. (CNs never send statements
+/// for tables they did not resolve through the catalog, so a missing store
+/// at statement time always means a stale route.)
+fn remap_stale_route(e: Error) -> Error {
+    match e {
+        Error::UnknownTable { name } => Error::Throttled { rule: format!("stale-route:{name}") },
+        other => other,
+    }
+}
+
 impl Handler<TxnMsg> for DnService {
     fn handle(&self, _from: NodeId, msg: TxnMsg) -> TxnMsg {
         match msg {
             TxnMsg::Write { trx, snapshot_ts, table, key, op } => {
                 match self.do_write(trx, snapshot_ts, table, key, op) {
                     Ok(()) => TxnMsg::Ok,
-                    Err(e) => TxnMsg::Failed(e),
+                    Err(e) => TxnMsg::Failed(remap_stale_route(e)),
                 }
             }
             TxnMsg::Read { trx, snapshot_ts, table, key } => {
@@ -259,7 +272,7 @@ impl Handler<TxnMsg> for DnService {
                 });
                 match self.engine.read(table, &key, snapshot_ts, me) {
                     Ok(row) => TxnMsg::RowResult(row),
-                    Err(e) => TxnMsg::Failed(e),
+                    Err(e) => TxnMsg::Failed(remap_stale_route(e)),
                 }
             }
             TxnMsg::Scan { trx, snapshot_ts, table, lower, upper } => {
@@ -272,7 +285,7 @@ impl Handler<TxnMsg> for DnService {
                 let hi = upper.as_ref().map(Bound::Excluded).unwrap_or(Bound::Unbounded);
                 match self.engine.scan(table, lo, hi, snapshot_ts, me) {
                     Ok(rows) => TxnMsg::Rows(rows),
-                    Err(e) => TxnMsg::Failed(e),
+                    Err(e) => TxnMsg::Failed(remap_stale_route(e)),
                 }
             }
             TxnMsg::Prepare { trx, decision_node } => {

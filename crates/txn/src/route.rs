@@ -1,0 +1,106 @@
+//! Routing-epoch fences and commit-time access observation.
+//!
+//! Adaptive placement (the `placement` crate) re-homes partitions while
+//! traffic is live. Two hooks on the coordinator make that safe and
+//! observable:
+//!
+//! * [`RoutingFence`] — the shard map hands out a *routing epoch* with
+//!   every route. The driver pins the epoch on the transaction
+//!   ([`crate::DistTxn::pin_epoch`]); at commit the coordinator validates
+//!   every pinned epoch and takes a per-shard commit gate, so a cutover
+//!   can wait for in-flight commits and stale-routed transactions abort
+//!   (retryably) instead of committing to the old home.
+//! * [`AccessObserver`] — after every successful commit the coordinator
+//!   streams the set of write-touched partitions to the observer. The
+//!   placement crate's co-access sketch consumes this with bounded memory
+//!   and no allocation (the coordinator passes a fixed-size slice).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use polardbx_common::{NodeId, Result, TableId};
+
+/// One write-touched partition of a transaction: the shard table, the DN
+/// the write was routed to, and the routing epoch pinned for it (0 when
+/// the driver did not pin one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartTouch {
+    /// Shard table written.
+    pub table: TableId,
+    /// DN the write landed on.
+    pub dn: NodeId,
+    /// Routing epoch captured when the statement was routed.
+    pub epoch: u64,
+}
+
+/// Commit-time access tap. Implementations must not block: this is called
+/// on the commit hot path with a stack-allocated slice.
+pub trait AccessObserver: Send + Sync {
+    /// A transaction committed having written the given partitions.
+    /// `one_phase` is true when it took the `CommitLocal` fast path.
+    fn observe_commit(&self, touched: &[PartTouch], one_phase: bool);
+}
+
+/// RAII gate held for the duration of a commit against a shard: while any
+/// guard is live the shard's cutover must wait. Dropping the guard
+/// releases the gate.
+#[derive(Debug, Default)]
+pub struct CommitGuard {
+    gate: Option<Arc<AtomicU64>>,
+}
+
+impl CommitGuard {
+    /// A guard over `gate`: increments now, decrements on drop.
+    pub fn holding(gate: Arc<AtomicU64>) -> CommitGuard {
+        gate.fetch_add(1, Ordering::AcqRel);
+        CommitGuard { gate: Some(gate) }
+    }
+
+    /// A no-op guard (shard not fenced).
+    pub fn none() -> CommitGuard {
+        CommitGuard { gate: None }
+    }
+}
+
+impl Drop for CommitGuard {
+    fn drop(&mut self) {
+        if let Some(g) = self.gate.take() {
+            g.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+}
+
+/// The routing-epoch fence a coordinator validates commits against.
+///
+/// Implementations (the cluster placement map, or the sitcheck explorer's
+/// shard map) bump a shard's epoch when they freeze it for cutover, and
+/// wait for the commit gate to drain before moving data.
+pub trait RoutingFence: Send + Sync {
+    /// The current routing epoch of `table` (a shard table id).
+    fn epoch_of(&self, table: TableId) -> u64;
+
+    /// Validate `captured` against the current epoch and enter the commit
+    /// gate. Returns a retryable error if the shard has been frozen or
+    /// re-homed since the transaction routed to it — the caller must abort
+    /// and retry against the new home.
+    fn enter_commit(&self, table: TableId, captured: u64) -> Result<CommitGuard>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guard_counts_holders() {
+        let gate = Arc::new(AtomicU64::new(0));
+        let g1 = CommitGuard::holding(Arc::clone(&gate));
+        let g2 = CommitGuard::holding(Arc::clone(&gate));
+        assert_eq!(gate.load(Ordering::Acquire), 2);
+        drop(g1);
+        assert_eq!(gate.load(Ordering::Acquire), 1);
+        drop(g2);
+        assert_eq!(gate.load(Ordering::Acquire), 0);
+        let _ = CommitGuard::none();
+        assert_eq!(gate.load(Ordering::Acquire), 0);
+    }
+}

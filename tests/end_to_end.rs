@@ -197,7 +197,13 @@ fn sysbench_tpcc_tpch_smoke() {
     // TPC-C.
     let driver = tpcc::TpccDriver::setup(
         &db,
-        tpcc::TpccConfig { warehouses: 1, districts: 2, customers: 10, items: 20 },
+        tpcc::TpccConfig {
+            warehouses: 1,
+            districts: 2,
+            customers: 10,
+            items: 20,
+            ..Default::default()
+        },
     )
     .unwrap();
     let s = db.connect(DcId(1));

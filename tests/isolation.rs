@@ -119,3 +119,12 @@ fn mutation_drop_prepare_yields_lost_write() {
     // rest of the transaction commits — its write is lost.
     assert_mutation_detected(Mutation::DropPrepare, AnomalyKind::LostWrite);
 }
+
+#[test]
+fn mutation_skip_routing_epoch_fence_yields_lost_update() {
+    // A transaction that routed before a placement cutover commits to the
+    // old home with the epoch fence disabled: it and the cutover's copy
+    // transaction both read the pre-move version and both committed writes
+    // over it — a lost update split across two DNs.
+    assert_mutation_detected(Mutation::SkipRoutingEpochFence, AnomalyKind::LostUpdate);
+}
