@@ -441,38 +441,50 @@ impl PolarDbx {
         let epochs = self.inner.gms.epochs();
         let t0 = polardbx_common::time::mono_now();
         epochs.freeze(stid);
-        let unfreeze_and_bail = |what: &str| {
-            epochs.unfreeze(stid);
-            Err(Error::Timeout { what: what.into() })
-        };
-        if !epochs.drain(stid, Duration::from_secs(2)) {
-            return unfreeze_and_bail("draining shard commit gate");
-        }
-        // Async phase-two tail: wait for posted Commit/Abort deliveries to
-        // consume every in-flight write set on this shard table.
-        let deadline = polardbx_common::time::mono_now() + Duration::from_secs(2);
-        while src.rw.engine.has_active_writes_on(stid) {
-            if polardbx_common::time::mono_now() > deadline {
-                return unfreeze_and_bail("draining shard write sets");
+        // Engine-level write freeze on top of the routing freeze: a write
+        // already past routing when the epoch froze would otherwise install
+        // an intent between the drain below and the detach, stranding it
+        // inside the moved store.
+        src.rw.engine.freeze_writes(stid);
+        // The cutover body runs in a closure so every exit — success or any
+        // error, including `?` propagation — flows through the single
+        // unfreeze below. A shard left frozen bounces every fenced route
+        // and commit retryably forever: a permanent livelock.
+        let cutover = || -> Result<()> {
+            if !epochs.drain(stid, Duration::from_secs(2)) {
+                return Err(Error::Timeout { what: "draining shard commit gate".into() });
             }
-            std::thread::yield_now();
-        }
-        let tenant = TenantId(table.raw());
-        src.rw.engine.pool.flush_tenant(tenant, None)?;
-        let store = match src.rw.detach_table(stid) {
-            Some(s) => s,
-            None => {
-                epochs.unfreeze(stid);
-                return Err(Error::invalid("shard store missing on source"));
+            // Async phase-two tail: wait for posted Commit/Abort deliveries
+            // to consume every in-flight write set on this shard table.
+            let deadline = polardbx_common::time::mono_now() + Duration::from_secs(2);
+            while src.rw.engine.has_active_writes_on(stid) {
+                if polardbx_common::time::mono_now() > deadline {
+                    return Err(Error::Timeout { what: "draining shard write sets".into() });
+                }
+                std::thread::yield_now();
             }
+            let tenant = TenantId(table.raw());
+            src.rw.engine.pool.flush_tenant(tenant, None)?;
+            // Writes are frozen and the drain passed, but the flush spans
+            // time: re-verify nothing slipped in right before the detach.
+            if src.rw.engine.has_active_writes_on(stid) {
+                return Err(Error::Timeout { what: "late write set on shard".into() });
+            }
+            let store = src
+                .rw
+                .detach_table(stid)
+                .ok_or_else(|| Error::invalid("shard store missing on source"))?;
+            dst.rw.attach_table(stid, store, tenant);
+            // Commit timestamps at the new home must stay above every
+            // version the shard carries (the source's clock may run ahead).
+            dst.service.clock.update(src.service.clock.now());
+            self.inner.gms.move_shard(table, shard, dest);
+            Ok(())
         };
-        dst.rw.attach_table(stid, store, tenant);
-        // Commit timestamps at the new home must stay above every version
-        // the shard carries (the source's clock may run ahead).
-        dst.service.clock.update(src.service.clock.now());
-        self.inner.gms.move_shard(table, shard, dest);
+        let result = cutover();
+        src.rw.engine.unfreeze_writes(stid);
         epochs.unfreeze(stid);
-        Ok(polardbx_common::time::mono_now() - t0)
+        result.map(|()| polardbx_common::time::mono_now() - t0)
     }
 
     /// Start the adaptive placer: a background thread that periodically
@@ -480,7 +492,11 @@ impl PolarDbx {
     /// them through the throttled re-home executor. Stops on
     /// [`PolarDbx::shutdown`].
     pub fn start_placer(&self, cfg: PlacerConfig) {
-        let db = self.clone();
+        // The thread holds only a Weak handle: a strong clone would keep
+        // `Inner` alive forever, making the Drop-based stop unreachable —
+        // a cluster dropped without shutdown() would leak the thread and
+        // all cluster state for the process lifetime.
+        let weak = Arc::downgrade(&self.inner);
         let stop = Arc::clone(&self.inner.placer_stop);
         std::thread::Builder::new()
             .name("polardbx-placer".into())
@@ -493,6 +509,10 @@ impl PolarDbx {
                         continue;
                     }
                     next = polardbx_common::time::mono_now() + cfg.interval;
+                    // Upgrade per pass and drop the strong handle at the end
+                    // of the pass; the cluster going away ends the thread.
+                    let Some(inner) = weak.upgrade() else { break };
+                    let db = PolarDbx { inner };
                     let mut snap = db.inner.sketch.snapshot();
                     // Tumbling window: plan on this interval's traffic only.
                     // Without the reset, counts from cold placements distort
@@ -652,9 +672,11 @@ impl Session {
         match polardbx_sql::parse(sql)? {
             Statement::CreateTable(ct) => self.create_table(ct).map(|_| 0),
             Statement::CreateIndex(ci) => self.create_index(ci).map(|_| 0),
-            Statement::Insert(ins) => self.insert(ins),
-            Statement::Update(u) => self.update(u),
-            Statement::Delete(d) => self.delete(d),
+            // DML retries the whole statement on a re-home bounce: the
+            // retry re-routes and lands on the shard's new home.
+            Statement::Insert(ins) => self.retry_dml(|| self.insert(&ins)),
+            Statement::Update(u) => self.retry_dml(|| self.update(&u)),
+            Statement::Delete(d) => self.retry_dml(|| self.delete(&d)),
             Statement::Select(_) => {
                 Err(Error::invalid("use query() for SELECT statements"))
             }
@@ -953,21 +975,45 @@ impl Session {
     ) -> Result<()> {
         let idx_row = self.gsi_row(hidden, base, base_row)?;
         let key = hidden.pk_of(&idx_row)?;
-        let (shard, dn) = self.inner.gms.route_row(hidden, &idx_row)?;
-        let stid = shard_table_id(hidden.id, shard);
-        let mut txn = self.cn.coordinator.begin();
-        if delete {
-            txn.write(dn, stid, key, WireWriteOp::Delete)?;
-        } else {
-            txn.write(dn, stid, key, WireWriteOp::Update(idx_row))?;
-        }
-        txn.commit()?;
-        Ok(())
+        self.retry_dml(|| {
+            let (shard, dn, epoch) = self.inner.gms.route_row_fenced(hidden, &idx_row)?;
+            let stid = shard_table_id(hidden.id, shard);
+            let mut txn = self.cn.coordinator.begin();
+            txn.pin_epoch(stid, epoch)?;
+            if delete {
+                txn.write(dn, stid, key.clone(), WireWriteOp::Delete)?;
+            } else {
+                txn.write(dn, stid, key.clone(), WireWriteOp::Update(idx_row.clone()))?;
+            }
+            txn.commit()?;
+            Ok(())
+        })
     }
 
     // ------------------------------------------------------------------- DML
 
-    fn insert(&self, ins: ast::Insert) -> Result<u64> {
+    /// Run one DML statement, retrying it wholesale while it bounces off
+    /// a re-home cutover (`Throttled`: a frozen shard at route or write
+    /// time, a pinned routing epoch that moved by commit time, or a store
+    /// detached between routing and execution — the DN remaps that
+    /// retryably too). Each retry re-routes from scratch and lands on the
+    /// new home. Bounded: a cutover pauses a shard for milliseconds, so a
+    /// statement still bouncing at the deadline surfaces the error.
+    fn retry_dml<T>(&self, mut f: impl FnMut() -> Result<T>) -> Result<T> {
+        let deadline = polardbx_common::time::mono_now() + Duration::from_secs(10);
+        loop {
+            match f() {
+                Err(Error::Throttled { .. })
+                    if polardbx_common::time::mono_now() < deadline =>
+                {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                other => return other,
+            }
+        }
+    }
+
+    fn insert(&self, ins: &ast::Insert) -> Result<u64> {
         let schema = self.inner.gms.table(&ins.table)?;
         let visible: Vec<String> = schema
             .columns
@@ -1006,25 +1052,24 @@ impl Session {
             let row = Row::new(vals);
             schema.validate_row(&row)?;
             let key = schema.pk_of(&row)?;
-            let (shard, dn) = self.inner.gms.route_row(&schema, &row)?;
-            txn.write(
-                dn,
-                shard_table_id(schema.id, shard),
-                key,
-                WireWriteOp::Insert(row.clone()),
-            )?;
+            // Fenced routing: pin each written shard's routing epoch on the
+            // transaction so a re-home cutover racing this statement aborts
+            // the commit retryably instead of stranding the write on the
+            // detached old home (a silently lost update).
+            let (shard, dn, epoch) = self.inner.gms.route_row_fenced(&schema, &row)?;
+            let stid = shard_table_id(schema.id, shard);
+            txn.pin_epoch(stid, epoch)?;
+            txn.write(dn, stid, key, WireWriteOp::Insert(row.clone()))?;
             // Maintain global indexes in the same distributed transaction
             // (§II-B: "updated in a single distributed transaction").
             for hidden in &gsis {
                 let idx_row = self.gsi_row(hidden, &schema, &row)?;
-                let (ishard, idn) = self.inner.gms.route_row(hidden, &idx_row)?;
+                let (ishard, idn, iepoch) =
+                    self.inner.gms.route_row_fenced(hidden, &idx_row)?;
                 let ikey = hidden.pk_of(&idx_row)?;
-                txn.write(
-                    idn,
-                    shard_table_id(hidden.id, ishard),
-                    ikey,
-                    WireWriteOp::Insert(idx_row),
-                )?;
+                let istid = shard_table_id(hidden.id, ishard);
+                txn.pin_epoch(istid, iepoch)?;
+                txn.write(idn, istid, ikey, WireWriteOp::Insert(idx_row))?;
             }
             count += 1;
         }
@@ -1076,7 +1121,7 @@ impl Session {
         Ok(out)
     }
 
-    fn update(&self, u: ast::Update) -> Result<u64> {
+    fn update(&self, u: &ast::Update) -> Result<u64> {
         let schema = self.inner.gms.table(&u.table)?;
         let gsis = self.gsi_schemas(&u.table)?;
         let names: Vec<String> = schema.columns.iter().map(|c| c.name.clone()).collect();
@@ -1094,29 +1139,30 @@ impl Session {
                 new_row.set(*idx, expr.eval(&old_row)?)?;
             }
             schema.validate_row(&new_row)?;
-            let dn = self.inner.gms.shard_dn(schema.id, shard)?;
-            txn.write(
-                dn,
-                shard_table_id(schema.id, shard),
-                key,
-                WireWriteOp::Update(new_row.clone()),
-            )?;
+            // Fenced re-route of the matched shard: the write pins the
+            // routing epoch so a racing re-home aborts the commit retryably
+            // instead of losing the update on the detached old home.
+            let (dn, epoch) = self.inner.gms.shard_dn_fenced(schema.id, shard)?;
+            let stid = shard_table_id(schema.id, shard);
+            txn.pin_epoch(stid, epoch)?;
+            txn.write(dn, stid, key, WireWriteOp::Update(new_row.clone()))?;
             for hidden in &gsis {
                 // Replace the index entry when it changed.
                 let old_idx = self.gsi_row(hidden, &schema, &old_row)?;
                 let new_idx = self.gsi_row(hidden, &schema, &new_row)?;
                 if old_idx != new_idx {
-                    let (os, od) = self.inner.gms.route_row(hidden, &old_idx)?;
-                    txn.write(
-                        od,
-                        shard_table_id(hidden.id, os),
-                        hidden.pk_of(&old_idx)?,
-                        WireWriteOp::Delete,
-                    )?;
-                    let (ns, nd) = self.inner.gms.route_row(hidden, &new_idx)?;
+                    let (os, od, oepoch) =
+                        self.inner.gms.route_row_fenced(hidden, &old_idx)?;
+                    let ostid = shard_table_id(hidden.id, os);
+                    txn.pin_epoch(ostid, oepoch)?;
+                    txn.write(od, ostid, hidden.pk_of(&old_idx)?, WireWriteOp::Delete)?;
+                    let (ns, nd, nepoch) =
+                        self.inner.gms.route_row_fenced(hidden, &new_idx)?;
+                    let nstid = shard_table_id(hidden.id, ns);
+                    txn.pin_epoch(nstid, nepoch)?;
                     txn.write(
                         nd,
-                        shard_table_id(hidden.id, ns),
+                        nstid,
                         hidden.pk_of(&new_idx)?,
                         WireWriteOp::Update(new_idx),
                     )?;
@@ -1128,24 +1174,24 @@ impl Session {
         Ok(count)
     }
 
-    fn delete(&self, d: ast::Delete) -> Result<u64> {
+    fn delete(&self, d: &ast::Delete) -> Result<u64> {
         let schema = self.inner.gms.table(&d.table)?;
         let gsis = self.gsi_schemas(&d.table)?;
         let matches = self.find_matches(&schema, &d.predicate)?;
         let mut txn = self.cn.coordinator.begin();
         let count = matches.len() as u64;
         for (shard, key, old_row) in matches {
-            let dn = self.inner.gms.shard_dn(schema.id, shard)?;
-            txn.write(dn, shard_table_id(schema.id, shard), key, WireWriteOp::Delete)?;
+            let (dn, epoch) = self.inner.gms.shard_dn_fenced(schema.id, shard)?;
+            let stid = shard_table_id(schema.id, shard);
+            txn.pin_epoch(stid, epoch)?;
+            txn.write(dn, stid, key, WireWriteOp::Delete)?;
             for hidden in &gsis {
                 let old_idx = self.gsi_row(hidden, &schema, &old_row)?;
-                let (os, od) = self.inner.gms.route_row(hidden, &old_idx)?;
-                txn.write(
-                    od,
-                    shard_table_id(hidden.id, os),
-                    hidden.pk_of(&old_idx)?,
-                    WireWriteOp::Delete,
-                )?;
+                let (os, od, oepoch) =
+                    self.inner.gms.route_row_fenced(hidden, &old_idx)?;
+                let ostid = shard_table_id(hidden.id, os);
+                txn.pin_epoch(ostid, oepoch)?;
+                txn.write(od, ostid, hidden.pk_of(&old_idx)?, WireWriteOp::Delete)?;
             }
         }
         txn.commit()?;
@@ -1337,6 +1383,76 @@ mod tests {
         assert!(applied > 0, "writer made progress across cutovers");
         std::thread::sleep(Duration::from_millis(10));
         assert_eq!(db.count_rows("t").unwrap(), 40, "no rows lost or duplicated");
+        db.shutdown();
+    }
+
+    /// The SQL DML path (not the explicit fenced-driver API above) under a
+    /// live re-home: every acked `UPDATE v = v + 1` must survive the
+    /// cutovers. Before DML routed fenced, a statement could land on the
+    /// old home inside the drain-to-detach window and be silently lost —
+    /// acked to the client, stamped nowhere.
+    #[test]
+    fn sql_dml_survives_rehome_without_lost_updates() {
+        let db = cluster();
+        let s = db.connect(DcId(1));
+        s.execute(
+            "CREATE TABLE t (id BIGINT NOT NULL, v INT, PRIMARY KEY (id)) \
+             PARTITION BY HASH(id) PARTITIONS 4",
+        )
+        .unwrap();
+        for i in 0..8 {
+            s.execute(&format!("INSERT INTO t (id, v) VALUES ({i}, 0)")).unwrap();
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let writer = {
+            let s2 = db.connect(DcId(1));
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || -> (u64, Option<Error>) {
+                let mut applied = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    match s2.execute("UPDATE t SET v = v + 1 WHERE id = 0") {
+                        Ok(1) => applied += 1,
+                        Ok(n) => {
+                            return (applied, Some(Error::invalid(format!("matched {n} rows"))))
+                        }
+                        Err(e) if e.is_retryable() => {}
+                        Err(e) => return (applied, Some(e)),
+                    }
+                }
+                (applied, None)
+            })
+        };
+        let schema = db.gms().table("t").unwrap();
+        let dns: Vec<NodeId> = db.gms().dns();
+        for _round in 0..2 {
+            for shard in 0..4u32 {
+                let cur = db.gms().shard_dn(schema.id, shard).unwrap();
+                let dest = *dns.iter().find(|&&d| d != cur).unwrap();
+                // A drain can time out retryably under the hammering writer.
+                for attempt in 0.. {
+                    match db.rehome_shard("t", shard, dest) {
+                        Ok(_) => break,
+                        Err(_) if attempt < 20 => {
+                            std::thread::sleep(Duration::from_millis(2))
+                        }
+                        Err(e) => panic!("rehome never succeeded: {e:?}"),
+                    }
+                }
+                assert_eq!(db.gms().shard_dn(schema.id, shard).unwrap(), dest);
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        let (applied, fatal) = writer.join().unwrap();
+        assert!(fatal.is_none(), "SQL writer hit non-retryable error: {fatal:?}");
+        assert!(applied > 0, "writer made progress across cutovers");
+        let rows = s.query("SELECT v FROM t WHERE id = 0").unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(
+            rows[0].get(0).unwrap(),
+            &Value::Int(applied as i64),
+            "every acked UPDATE must survive the re-homes (no lost updates)"
+        );
         db.shutdown();
     }
 

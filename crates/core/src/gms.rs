@@ -264,16 +264,30 @@ impl Gms {
         Ok((shard, dn, epoch))
     }
 
+    /// [`Gms::shard_dn`] with routing-epoch capture, for callers that
+    /// already know the shard (UPDATE/DELETE re-route their matched rows'
+    /// shards fenced so each write pins an epoch).
+    pub fn shard_dn_fenced(&self, table: TableId, shard: u32) -> Result<(NodeId, u64)> {
+        let dn = self.shard_dn(table, shard)?;
+        self.fence_shard(table, shard, dn)
+    }
+
     fn fence_shard(&self, table: TableId, shard: u32, dn: NodeId) -> Result<(NodeId, u64)> {
         let stid = shard_table_id(table, shard);
+        // Read order matters: epoch, frozen?, home, epoch-unchanged?. A
+        // cutover bumps the epoch at freeze time and stays frozen until
+        // after the home has moved, so any cutover overlapping this
+        // sequence either trips the frozen check or changes the epoch
+        // between the two reads — a torn (old home, new epoch) pair can
+        // never be returned, only a retryable bounce.
+        let epoch = self.epochs.epoch_of(stid);
         if self.epochs.is_frozen(stid) {
             return Err(Error::Throttled { rule: format!("rehome-freeze:{stid}") });
         }
-        let epoch = self.epochs.epoch_of(stid);
-        // Re-read the placement after capturing the epoch: if a cutover
-        // completed in between, this returns the *new* home together with
-        // the new epoch instead of a torn (old home, new epoch) pair.
         let dn = self.shard_dn(table, shard).unwrap_or(dn);
+        if self.epochs.epoch_of(stid) != epoch {
+            return Err(Error::Throttled { rule: format!("routing-epoch-moved:{stid}") });
+        }
         Ok((dn, epoch))
     }
 }
@@ -369,6 +383,22 @@ mod tests {
         let (s1, d1) = gms.route_row(&t, &row).unwrap();
         let (s2, d2) = gms.route_key(&t, &[Value::Int(42)]).unwrap();
         assert_eq!((s1, d1), (s2, d2));
+    }
+
+    #[test]
+    fn fenced_routes_bounce_while_frozen() {
+        let gms = gms_with_dns(2);
+        gms.create_table(schema(&gms, "t", 2, None)).unwrap();
+        let t = gms.table("t").unwrap();
+        let row = Row::new(vec![Value::Int(1), Value::str("x")]);
+        let (shard, _, e1) = gms.route_row_fenced(&t, &row).unwrap();
+        let stid = shard_table_id(t.id, shard);
+        gms.epochs().freeze(stid);
+        assert!(gms.route_row_fenced(&t, &row).unwrap_err().is_retryable());
+        assert!(gms.shard_dn_fenced(t.id, shard).unwrap_err().is_retryable());
+        gms.epochs().unfreeze(stid);
+        let (_, e2) = gms.shard_dn_fenced(t.id, shard).unwrap();
+        assert!(e2 > e1, "freeze must have bumped the epoch ({e1} -> {e2})");
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! * PolarDB-X DN (§III): commit rides the Paxos group across datacenters.
 
 use parking_lot::{Mutex, RwLock};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::ops::Bound;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -197,6 +197,11 @@ pub struct StorageEngine {
     /// Early-released commits awaiting their epoch's durability horizon;
     /// the torn-epoch rollback consumes these.
     unstable_ctx: ShardedMap<TrxId, UnstableCtx>,
+    /// Shard tables frozen for a re-home cutover. New writes bounce
+    /// retryably, and the write path installs intents under a read guard
+    /// on this set, so once `freeze_writes` returns no intent can land
+    /// unseen between the cutover's write-set drain and the store detach.
+    write_frozen: RwLock<HashSet<TableId>>,
 }
 
 impl StorageEngine {
@@ -228,6 +233,7 @@ impl StorageEngine {
             epoch: RwLock::new(None),
             epoch_on: AtomicBool::new(false),
             unstable_ctx: ShardedMap::new(),
+            write_frozen: RwLock::new(HashSet::new()),
         })
     }
 
@@ -315,6 +321,23 @@ impl StorageEngine {
         self.tables.write().remove(&table)
     }
 
+    /// Freeze new writes on `table` for a re-home cutover: until
+    /// [`StorageEngine::unfreeze_writes`], writes bounce with a retryable
+    /// error instead of installing an intent that the detach would strand
+    /// inside the moved store. Acquiring the freeze-set write lock also
+    /// waits out any write currently mid-install (the write path holds the
+    /// read side across the install), so after this returns every intent
+    /// on `table` is visible to [`StorageEngine::has_active_writes_on`].
+    pub fn freeze_writes(&self, table: TableId) {
+        self.write_frozen.write().insert(table);
+    }
+
+    /// Reopen `table` for writes after a cutover attempt (successful or
+    /// bailed — every exit must reopen or the shard livelocks).
+    pub fn unfreeze_writes(&self, table: TableId) {
+        self.write_frozen.write().remove(&table);
+    }
+
     /// Tables currently owned by `tenant`.
     pub fn tenant_tables(&self, tenant: TenantId) -> Vec<TableId> {
         self.tenants
@@ -391,17 +414,28 @@ impl StorageEngine {
             };
             (row, key.clone())
         });
-        store.write(&self.txns, trx, snapshot_ts, key.clone(), version_op)?;
-        let page = self.pool.page_of(table, &key);
-        // The page is dirtied "at" the next LSN; exact value only matters
-        // relative to checkpoints, so the current snapshot is adequate.
-        self.pool.mark_dirty(page, tenant, Lsn(snapshot_ts));
-        self.active.with(&trx, |ctx| {
-            let ctx = ctx.ok_or(Error::TxnAborted { reason: format!("trx {trx} vanished") })?;
-            ctx.writes.push((table, key));
-            ctx.redo.push(Mtr::single(redo));
-            Ok(())
-        })?;
+        {
+            // Intent install and write-set registration happen under the
+            // freeze-set read guard: `freeze_writes` (write side) cannot
+            // return while either is mid-flight, so a re-home cutover never
+            // misses an intent in its drain, and a frozen table bounces
+            // retryably before any intent exists.
+            let frozen = self.write_frozen.read();
+            if frozen.contains(&table) {
+                return Err(Error::Throttled { rule: format!("rehome-freeze:{table}") });
+            }
+            store.write(&self.txns, trx, snapshot_ts, key.clone(), version_op)?;
+            let page = self.pool.page_of(table, &key);
+            // The page is dirtied "at" the next LSN; exact value only matters
+            // relative to checkpoints, so the current snapshot is adequate.
+            self.pool.mark_dirty(page, tenant, Lsn(snapshot_ts));
+            self.active.with(&trx, |ctx| {
+                let ctx = ctx.ok_or(Error::TxnAborted { reason: format!("trx {trx} vanished") })?;
+                ctx.writes.push((table, key));
+                ctx.redo.push(Mtr::single(redo));
+                Ok(())
+            })?;
+        }
         if let (Some(tap), Some((row, key))) = (tap, recorded) {
             tap.rec.record(TxnEvent::Write { trx, node: tap.node, table, key, row });
         }
@@ -581,6 +615,25 @@ impl StorageEngine {
             Some(crate::txn::TxnState::Prepared { prepare_ts }) => prepare_ts,
             _ => ctx.snapshot_ts,
         };
+        // A write whose store was detached (a re-home cutover moved the
+        // shard mid-transaction) must fail the commit up front: the stamp
+        // loop below would silently skip it and report success for a
+        // stranded write. The guard is short-lived — holding it across the
+        // stamps would mean acquiring txn/store locks with a lock held,
+        // which the lock-order witness pays an allocation to track, and
+        // this path must stay allocation-free. The residual race (a detach
+        // landing after this check) is caught by the re-check further down,
+        // before the commit is acked.
+        {
+            let tables = self.tables.read();
+            if let Some((missing, _)) = ctx.writes.iter().find(|(t, _)| !tables.contains_key(t))
+            {
+                let rule = format!("store-detached:{missing}");
+                drop(tables);
+                self.active.insert(trx, ctx);
+                return Err(Error::Throttled { rule });
+            }
+        }
         // Unstable strictly before the commit stamp: there is no window in
         // which another transaction can observe the stamp unflagged.
         self.txns.mark_unstable(trx);
@@ -591,9 +644,16 @@ impl StorageEngine {
         }
         // Early lock release: stamp every written version now. Later
         // writers proceed against the stamp; readers gate on stability.
+        // A lookup miss means a detach landed after the check above and a
+        // stamp was skipped — remembered and reverted below, never acked.
+        // (A detach *after* a stamp is benign: the stamp travels with the
+        // moved store by reference.)
+        let mut stamp_skipped = false;
         for (t, k) in &ctx.writes {
             if let Ok(store) = self.store(*t) {
                 store.commit(trx, commit_ts, std::slice::from_ref(k));
+            } else {
+                stamp_skipped = true;
             }
         }
         if let Some(tap) = self.tap() {
@@ -601,6 +661,14 @@ impl StorageEngine {
         }
         let TrxCtx { snapshot_ts, writes, redo } = ctx;
         self.unstable_ctx.insert(trx, UnstableCtx { snapshot_ts, writes, decided, prepare_ts });
+        if stamp_skipped {
+            // Revert the early release exactly as a torn epoch would:
+            // undecided aborts wholesale, a decided phase-two reverts to
+            // PREPARED for the resolver to re-drive.
+            let e = Error::Throttled { rule: format!("store-detached-mid-commit:{trx}") };
+            self.fail_unstable(trx, &e);
+            return Err(e);
+        }
         let ticket = pipe.submit(Some(trx), |buf| {
             for mtr in &redo {
                 for r in mtr.records() {
@@ -680,12 +748,35 @@ impl StorageEngine {
             .active
             .remove(&trx)
             .ok_or(Error::TxnAborted { reason: format!("unknown trx {trx}") })?;
+        // The table-map read guard spans this detach check through the
+        // commit stamps below: a store present here stays present for the
+        // stamping loop (detach takes the write side). A write whose store
+        // is already gone — a re-home cutover detached it mid-transaction —
+        // must fail the commit, never skip the stamp and report success.
+        let tables = self.tables.read();
+        if let Some((missing, _)) = ctx.writes.iter().find(|(t, _)| !tables.contains_key(t)) {
+            let missing = *missing;
+            if decided {
+                // The decision is durable elsewhere: keep the transaction
+                // in-doubt (PREPARED, context intact) for the resolver —
+                // mirroring the durability-failure path below.
+                drop(tables);
+                self.active.insert(trx, ctx);
+            } else {
+                // One-phase, nothing acked: roll back what is reachable.
+                drop(tables);
+                self.rollback_writes(trx, &ctx.writes);
+                self.txns.abort(trx);
+            }
+            return Err(Error::Throttled { rule: format!("store-detached:{missing}") });
+        }
         let mut mtrs = ctx.redo;
         mtrs.push(Mtr::single(RedoPayload::TxnCommit { trx, commit_ts }));
         // Durability first (redo-ahead), then visibility.
         let lsn = match self.durability.make_durable(&mtrs) {
             Ok(lsn) => lsn,
             Err(e) => {
+                drop(tables);
                 if decided {
                     // Keep the intent in-doubt: restore the context (minus
                     // the commit record we appended) for a later retry.
@@ -723,10 +814,11 @@ impl StorageEngine {
             by_table.entry(t).or_default().push(k);
         }
         for (t, keys) in by_table {
-            if let Ok(store) = self.store(t) {
+            if let Some(store) = tables.get(&t) {
                 store.commit(trx, commit_ts, &keys);
             }
         }
+        drop(tables);
         if let Some(tap) = self.tap() {
             tap.rec.record(TxnEvent::Commit { trx, node: tap.node, commit_ts });
         }
@@ -824,6 +916,10 @@ impl StorageEngine {
     /// store while one exists would strand the write.
     pub fn has_active_writes_on(&self, table: TableId) -> bool {
         self.active.any(|_, ctx| ctx.writes.iter().any(|(t, _)| *t == table))
+            // Early-released pipelined commits are out of `active` but their
+            // stamps may still be rolled back by a torn epoch — the rollback
+            // needs the store attached, so a cutover must wait these out too.
+            || self.unstable_ctx.any(|_, ctx| ctx.writes.iter().any(|(t, _)| *t == table))
     }
 
     /// Multi-version GC across all tables.
@@ -1358,5 +1454,42 @@ mod tests {
         assert!(matches!(records[1], RedoPayload::TxnPrepare { trx: TrxId(1), .. }));
         assert!(matches!(records[2], RedoPayload::TxnAbort { trx: TrxId(2) }));
         assert!(matches!(records[3], RedoPayload::TxnCommit { trx: TrxId(1), commit_ts: 10 }));
+    }
+
+    #[test]
+    fn commit_with_detached_store_fails_instead_of_skipping() {
+        let e = engine();
+        e.begin(TrxId(1), 0);
+        e.write(TrxId(1), T, key(1), WriteOp::Insert(row(1, "x"))).unwrap();
+        // A re-home cutover detaches the store while the transaction still
+        // holds an intent in it: the commit must surface an error — a
+        // silent stamp-skip would ack a write that no longer exists here.
+        let _store = e.detach_table(T).unwrap();
+        let err = e.commit(TrxId(1), 10).unwrap_err();
+        assert!(err.is_retryable(), "detached-store commit must bounce retryably: {err:?}");
+    }
+
+    #[test]
+    fn pipelined_commit_with_detached_store_fails_instead_of_skipping() {
+        let (e, _pipe, _log) = epoch_engine(VecSink::new());
+        e.begin(TrxId(1), 0);
+        e.write(TrxId(1), T, key(1), WriteOp::Insert(row(1, "x"))).unwrap();
+        let _store = e.detach_table(T).unwrap();
+        let err = e.commit(TrxId(1), 10).unwrap_err();
+        assert!(err.is_retryable(), "detached-store commit must bounce retryably: {err:?}");
+    }
+
+    #[test]
+    fn frozen_table_bounces_writes_retryably() {
+        let e = engine();
+        e.freeze_writes(T);
+        e.begin(TrxId(1), 0);
+        let err = e.write(TrxId(1), T, key(1), WriteOp::Insert(row(1, "x"))).unwrap_err();
+        assert!(err.is_retryable(), "frozen-table write must bounce retryably: {err:?}");
+        assert!(!e.has_active_writes_on(T), "bounced write must leave no intent behind");
+        e.unfreeze_writes(T);
+        e.write(TrxId(1), T, key(1), WriteOp::Insert(row(1, "x"))).unwrap();
+        e.commit(TrxId(1), 10).unwrap();
+        assert_eq!(e.read(T, &key(1), 20, None).unwrap(), Some(row(1, "x")));
     }
 }
