@@ -166,8 +166,14 @@ mod tests {
                 crate::waiters::CommitOutcome::Durable
             );
         }
-        // 16 sequential round trips would cost >= 64 ms; pipelining keeps it low.
-        assert!(t0.elapsed() < Duration::from_millis(60), "not pipelined: {:?}", t0.elapsed());
+        // 16 sequential round trips would cost >= 64 ms; pipelining keeps it
+        // low. The margin assumes native-speed compute, so the sanitizer job
+        // (which exports TSAN_OPTIONS) skips only this wall-clock assertion —
+        // the pipelined commit path above still runs under TSan for race
+        // coverage.
+        if std::env::var_os("TSAN_OPTIONS").is_none() {
+            assert!(t0.elapsed() < Duration::from_millis(60), "not pipelined: {:?}", t0.elapsed());
+        }
     }
 
     #[test]

@@ -1,6 +1,8 @@
-//! Per-file invariant analysis over the token stream.
+//! Per-file invariant analysis over the token stream, plus the
+//! workspace-level interprocedural pass ([`workspace_pass`]) fed by the
+//! symbol table / call graph / summary layers.
 //!
-//! Six rules (see DESIGN.md "Correctness tooling"):
+//! Ten rules (see DESIGN.md "Correctness tooling"):
 //!
 //! - `lock_order` — every nested `lock()/read()/write()` acquisition adds
 //!   an edge `held → acquired` to a cross-crate graph; cycles (reported by
@@ -24,13 +26,37 @@
 //!   the allocation-free design; reuse a pooled buffer or move the work
 //!   off the hot path. `Arc::clone(&x)` (the explicit refcount-bump
 //!   form) is deliberately not flagged.
+//! - `fence_completeness` — a bare routing call (`route_row`/`route_key`/
+//!   `shard_dn`) inside a function that (transitively) reaches a shard
+//!   write must be the fenced variant instead: an unfenced route has no
+//!   commit-time epoch re-check, so a re-home cutover racing the
+//!   statement strands the write on the detached old home (the PR-8
+//!   lost-update class). Write reachability flows up the call graph.
+//! - `release_on_all_paths` — a resource acquisition (`freeze_writes`,
+//!   `epochs.freeze`) must be released on every exit path: a `?` or
+//!   `return` between acquire and release leaks it (the PR-8
+//!   `flush_tenant?` frozen-shard livelock class), and a body that never
+//!   releases needs a (resolved) callee that does.
+//! - `atomic_publish` — a `Relaxed` store to an atomic field that is
+//!   `Acquire`-loaded elsewhere in the same crate publishes data without
+//!   a happens-before edge; counters that stay relaxed on both sides and
+//!   the sanctioned metrics/bench modules are exempt.
+//! - interprocedural `lock_order` — held-lock sets flow across resolved
+//!   direct calls: a call made under guard adds `held → callee-lock`
+//!   edges for every lock the callee's transitive summary acquires, so
+//!   ABBA cycles split across functions surface statically.
 //!
 //! Escape hatch: `// lint:allow(<rule>, <reason>)` on the offending line
 //! or the line directly above. An allow without a reason is itself a
 //! finding — justifications are the point.
 
+use crate::callgraph::{CallGraph, STOPLIST};
+use crate::summary::{compute as compute_summaries, Summary};
+use crate::symbols::{
+    AtomicAccess, AtomicOrd, CallSite, FnInfo, ResourceAcq, SymbolTable,
+};
 use crate::tokenizer::{tokenize, Allow, Tok, TokKind};
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Rule identifiers (also the names accepted by `lint:allow`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -47,6 +73,12 @@ pub enum Rule {
     DurabilityOrder,
     /// Heap allocation inside a `// lint:hotpath`-annotated function.
     HotpathAlloc,
+    /// Bare (unfenced) routing call in a function reaching a shard write.
+    FenceCompleteness,
+    /// Resource acquired but not released on every exit path.
+    ReleaseOnAllPaths,
+    /// Relaxed store to an atomic that is Acquire-loaded elsewhere.
+    AtomicPublish,
     /// A malformed `lint:allow` (unknown rule or missing reason).
     BadAllow,
 }
@@ -61,6 +93,9 @@ impl Rule {
             Rule::Unwrap => "unwrap",
             Rule::DurabilityOrder => "durability_order",
             Rule::HotpathAlloc => "hotpath_alloc",
+            Rule::FenceCompleteness => "fence_completeness",
+            Rule::ReleaseOnAllPaths => "release_on_all_paths",
+            Rule::AtomicPublish => "atomic_publish",
             Rule::BadAllow => "bad_allow",
         }
     }
@@ -73,8 +108,27 @@ impl Rule {
             "unwrap" => Some(Rule::Unwrap),
             "durability_order" => Some(Rule::DurabilityOrder),
             "hotpath_alloc" => Some(Rule::HotpathAlloc),
+            "fence_completeness" => Some(Rule::FenceCompleteness),
+            "release_on_all_paths" => Some(Rule::ReleaseOnAllPaths),
+            "atomic_publish" => Some(Rule::AtomicPublish),
             _ => None,
         }
+    }
+
+    /// All rule names, for the JSON report header.
+    pub fn all_names() -> &'static [&'static str] {
+        &[
+            "lock_order",
+            "guard_blocking",
+            "determinism",
+            "unwrap",
+            "durability_order",
+            "hotpath_alloc",
+            "fence_completeness",
+            "release_on_all_paths",
+            "atomic_publish",
+            "bad_allow",
+        ]
     }
 }
 
@@ -91,6 +145,9 @@ pub struct Finding {
     pub message: String,
     /// `Some(reason)` when a well-formed `lint:allow` covers the line.
     pub allowed: Option<String>,
+    /// Symbol path of the enclosing function, when the rule knows it
+    /// (`core::cluster::Session::insert`); surfaced in the JSON report.
+    pub symbol: Option<String>,
 }
 
 /// One lock-order edge: `from` was held while `to` was acquired.
@@ -106,6 +163,31 @@ pub struct LockEdge {
     pub line: u32,
     /// Justification, if the line carries `lint:allow(lock_order, …)`.
     pub allowed: Option<String>,
+    /// For interprocedural edges: which call carried the held set into
+    /// the callee (`via call to flush_tenant`). `None` for direct edges.
+    pub via: Option<String>,
+}
+
+/// An acquire/release method pair tracked by `release_on_all_paths`.
+#[derive(Debug, Clone)]
+pub struct ResourcePair {
+    /// The acquiring method name (`freeze_writes`).
+    pub acquire: String,
+    /// The releasing method name (`unfreeze_writes`).
+    pub release: String,
+    /// When set, the acquire/release receivers' last segment must equal
+    /// this (distinguishes `epochs.freeze` from `bytes.freeze()`).
+    pub recv: Option<String>,
+}
+
+impl ResourcePair {
+    fn new(acquire: &str, release: &str, recv: Option<&str>) -> ResourcePair {
+        ResourcePair {
+            acquire: acquire.into(),
+            release: release.into(),
+            recv: recv.map(str::to_string),
+        }
+    }
 }
 
 /// Linter configuration. Paths are matched as repo-relative prefixes.
@@ -117,6 +199,18 @@ pub struct Config {
     /// benches, the simnet latency model, and the shims that implement
     /// the abstractions everything else is told to use).
     pub determinism_allow_paths: Vec<String>,
+    /// Path prefixes where bare routing calls are sanctioned — the
+    /// module that *defines* the fenced variants builds them out of the
+    /// bare ones.
+    pub fence_sanctioned_paths: Vec<String>,
+    /// Path prefixes exempt from `atomic_publish` — metrics counters and
+    /// bench harness state are read approximately by design.
+    pub atomic_sanctioned_paths: Vec<String>,
+    /// Acquire/release pairs for `release_on_all_paths`.
+    pub resource_pairs: Vec<ResourcePair>,
+    /// Identifiers whose presence in a function body marks it as
+    /// reaching a shard write (`fence_completeness` reachability seeds).
+    pub write_markers: Vec<String>,
 }
 
 impl Default for Config {
@@ -131,17 +225,42 @@ impl Default for Config {
                 "crates/common/src/time.rs".into(),
                 "shims/".into(),
             ],
+            fence_sanctioned_paths: vec![
+                // Defines route_row_fenced/shard_dn_fenced in terms of the
+                // bare routers + the epoch fence.
+                "crates/core/src/gms.rs".into(),
+            ],
+            atomic_sanctioned_paths: vec![
+                "crates/common/src/metrics.rs".into(),
+                "crates/bench/".into(),
+                "shims/".into(),
+            ],
+            resource_pairs: vec![
+                ResourcePair::new("freeze_writes", "unfreeze_writes", None),
+                ResourcePair::new("freeze", "unfreeze", Some("epochs")),
+            ],
+            write_markers: vec!["WireWriteOp".into()],
         }
     }
 }
 
 /// Result of analyzing one file.
+/// Resolved allow targets for one file: line → `(rule, reason)` pairs.
+pub type AllowMap = BTreeMap<u32, Vec<(String, String)>>;
+
 #[derive(Debug, Default)]
 pub struct FileAnalysis {
     /// Rule findings (cycle findings come later from the graph pass).
     pub findings: Vec<Finding>,
     /// Lock-order edges contributed to the workspace graph.
     pub edges: Vec<LockEdge>,
+    /// Function symbols + facts for the interprocedural pass.
+    pub fns: Vec<FnInfo>,
+    /// Atomic accesses for the workspace `atomic_publish` matching.
+    pub atomics: Vec<AtomicAccess>,
+    /// Resolved allow targets, so the workspace pass can honor
+    /// `lint:allow` on lines it reports later.
+    pub allow_map: AllowMap,
 }
 
 /// Blocking calls that must not run under a live lock guard. `wait` /
@@ -209,6 +328,7 @@ pub fn analyze_source(path: &str, src: &str, cfg: &Config) -> FileAnalysis {
                 line: a.line,
                 message: format!("lint:allow names unknown rule '{}'", a.rule),
                 allowed: None,
+                symbol: None,
             });
             continue;
         }
@@ -222,6 +342,7 @@ pub fn analyze_source(path: &str, src: &str, cfg: &Config) -> FileAnalysis {
                     a.rule
                 ),
                 allowed: None,
+                symbol: None,
             });
             continue;
         }
@@ -231,6 +352,12 @@ pub fn analyze_source(path: &str, src: &str, cfg: &Config) -> FileAnalysis {
             code_lines.iter().copied().filter(|&l| l > a.line).min().unwrap_or(a.line)
         };
         allows.entry(target).or_default().push(a);
+        // Export for the workspace pass (which reports findings on lines
+        // of this file after all files are analyzed).
+        out.allow_map
+            .entry(target)
+            .or_default()
+            .push((a.rule.clone(), a.reason.clone()));
     }
     let allow_for = |rule: Rule, line: u32| -> Option<String> {
         allows
@@ -278,6 +405,7 @@ pub fn analyze_source(path: &str, src: &str, cfg: &Config) -> FileAnalysis {
                     line: t.line,
                     message,
                     allowed: allow_for(Rule::Determinism, t.line),
+                    symbol: None,
                 });
             }
         }
@@ -305,6 +433,7 @@ pub fn analyze_source(path: &str, src: &str, cfg: &Config) -> FileAnalysis {
                         t.text
                     ),
                     allowed: allow_for(Rule::Unwrap, t.line),
+                    symbol: None,
                 });
             }
         }
@@ -324,11 +453,37 @@ pub fn analyze_source(path: &str, src: &str, cfg: &Config) -> FileAnalysis {
         })
         .collect();
 
+    // Enclosing `impl Type` / `trait Type` name per token index, for the
+    // symbol table (qualifier narrowing needs to know which impl block a
+    // method lives in).
+    let impls = impl_mask(toks);
+
     // ---- lock + durability + hotpath rules (per-function walks) --------
+    // The same walk extracts per-function facts (calls made under locks,
+    // resources acquired/released, atomics touched) for the workspace
+    // interprocedural pass.
     let mut i = 0usize;
     while i < toks.len() {
         if toks[i].is_ident("fn") && !test_mask[i] {
             if let Some((body_start, body_end)) = fn_body(toks, i) {
+                let fn_name = toks
+                    .get(i + 1)
+                    .filter(|t| t.kind == TokKind::Ident)
+                    .map(|t| t.text.clone())
+                    .unwrap_or_else(|| "anon".into());
+                let mut info = FnInfo {
+                    name: fn_name,
+                    impl_ty: impls[i].clone(),
+                    file: path.to_string(),
+                    krate: krate.clone(),
+                    line: toks[i].line,
+                    calls: Vec::new(),
+                    locks: Vec::new(),
+                    direct_write: false,
+                    bare_routes: Vec::new(),
+                    acquisitions: Vec::new(),
+                    releases: Vec::new(),
+                };
                 walk_body(
                     path,
                     &krate,
@@ -337,11 +492,16 @@ pub fn analyze_source(path: &str, src: &str, cfg: &Config) -> FileAnalysis {
                     body_end,
                     &allow_for,
                     &mut out,
+                    &mut info,
                 );
                 check_durability_order(path, toks, body_start, body_end, &allow_for, &mut out);
                 if hot_lines.contains(&toks[i].line) {
                     check_hotpath_alloc(path, toks, body_start, body_end, &allow_for, &mut out);
                 }
+                scan_fn_facts(cfg, toks, body_start, body_end, &mut info);
+                scan_resources(cfg, toks, body_start, body_end, &mut info);
+                scan_atomics(path, toks, body_start, body_end, &mut out.atomics);
+                out.fns.push(info);
                 i = body_end;
                 continue;
             }
@@ -349,6 +509,269 @@ pub fn analyze_source(path: &str, src: &str, cfg: &Config) -> FileAnalysis {
         i += 1;
     }
     out
+}
+
+/// Routing calls with fenced variants (`<name>_fenced`); bare use in a
+/// write-reaching function is a `fence_completeness` finding.
+const BARE_ROUTES: &[&str] = &["route_row", "route_key", "shard_dn"];
+
+/// Direct-write markers and bare routing calls in one body.
+fn scan_fn_facts(
+    cfg: &Config,
+    toks: &[Tok],
+    body_start: usize,
+    body_end: usize,
+    info: &mut FnInfo,
+) {
+    for i in body_start..=body_end {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        if cfg.write_markers.iter().any(|m| m == &t.text) {
+            info.direct_write = true;
+        }
+        if BARE_ROUTES.contains(&t.text.as_str())
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            info.bare_routes.push((t.text.clone(), t.line));
+        }
+    }
+}
+
+/// Match resource acquisitions (`freeze_writes`, `epochs.freeze`, …) and
+/// scan their exit paths: a `?` or `return` between an acquisition and
+/// its in-body release is a leaky exit; a body that never releases
+/// records the calls made afterwards so the workspace pass can discharge
+/// the leak through a callee's summary. Closure bodies are skipped — a
+/// `?` inside `let cutover = || { … }` exits the closure, not the
+/// function holding the resource.
+fn scan_resources(
+    cfg: &Config,
+    toks: &[Tok],
+    body_start: usize,
+    body_end: usize,
+    info: &mut FnInfo,
+) {
+    // Method call at `i` matching `name` with the pair's receiver
+    // constraint satisfied.
+    let is_res_call = |i: usize, name: &str, recv: &Option<String>| -> bool {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident
+            || t.text != name
+            || !toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+            || i == 0
+            || !toks[i - 1].is_punct('.')
+        {
+            return false;
+        }
+        match recv {
+            None => true,
+            Some(want) => {
+                let r = receiver_path(toks, i - 1, body_start);
+                r.rsplit('.').next() == Some(want.as_str())
+            }
+        }
+    };
+    for pair in &cfg.resource_pairs {
+        for i in body_start..=body_end {
+            if is_res_call(i, &pair.release, &pair.recv)
+                && !info.releases.contains(&pair.release)
+            {
+                info.releases.push(pair.release.clone());
+            }
+            if !is_res_call(i, &pair.acquire, &pair.recv) {
+                continue;
+            }
+            let acq_line = toks[i].line;
+            // Forward scan: find the first matching release, collecting
+            // exits and calls along the way (closures skipped).
+            let mut release_at: Option<usize> = None;
+            let mut exits: Vec<(u32, &'static str)> = Vec::new();
+            let mut calls_after: Vec<String> = Vec::new();
+            let mut j = i + 1;
+            while j <= body_end {
+                let t = &toks[j];
+                if t.is_punct('|') && closure_starts(toks, j, body_start) {
+                    j = skip_closure(toks, j, body_end);
+                    continue;
+                }
+                if is_res_call(j, &pair.release, &pair.recv) {
+                    release_at = Some(j);
+                    break;
+                }
+                if t.is_punct('?') {
+                    exits.push((t.line, "?"));
+                } else if t.is_ident("return") {
+                    exits.push((t.line, "return"));
+                } else if t.kind == TokKind::Ident
+                    && toks.get(j + 1).is_some_and(|n| n.is_punct('('))
+                    && t.text.chars().next().is_some_and(|c| c.is_lowercase() || c == '_')
+                    && !is_keyword(&t.text)
+                {
+                    calls_after.push(t.text.clone());
+                }
+                j += 1;
+            }
+            info.acquisitions.push(ResourceAcq {
+                acquire: pair.acquire.clone(),
+                release: pair.release.clone(),
+                line: acq_line,
+                released_in_body: release_at.is_some(),
+                leaky_exits: if release_at.is_some() { exits } else { Vec::new() },
+                calls_after,
+            });
+        }
+    }
+}
+
+/// Does the `|` at `idx` open a closure parameter list? True when it
+/// follows `=`, `(`, `,`, `move`, or another expression-starting
+/// position — which in this codebase distinguishes it from bitwise-or.
+fn closure_starts(toks: &[Tok], idx: usize, floor: usize) -> bool {
+    if idx <= floor {
+        return false;
+    }
+    let p = &toks[idx - 1];
+    p.is_punct('=')
+        || p.is_punct('(')
+        || p.is_punct(',')
+        || p.is_punct('{')
+        || p.is_ident("move")
+}
+
+/// Skip a closure starting at the `|` at `idx`: past the parameter list,
+/// an optional `-> Type`, and either a braced body (to its matching `}`)
+/// or an expression body (to the `,`/`)`/`;` ending it). Returns the
+/// index to resume at.
+fn skip_closure(toks: &[Tok], idx: usize, body_end: usize) -> usize {
+    // Parameter list: `||` or `|args|`.
+    let mut j = idx + 1;
+    while j <= body_end && !toks[j].is_punct('|') {
+        j += 1;
+    }
+    j += 1; // past closing '|'
+    // Body: first `{` before a terminator is a braced body. Paren and
+    // bracket groups are skipped whole so a `-> Result<()>` return type
+    // (or tuple/arg groups in an expression body) can't end the scan —
+    // only an *unmatched* `)`/`,`/`;` terminates an expression closure.
+    let mut k = j;
+    while k <= body_end {
+        let t = &toks[k];
+        if t.is_punct('(') || t.is_punct('[') {
+            let (o, c) = if t.is_punct('(') { ('(', ')') } else { ('[', ']') };
+            match matching(toks, k, o, c) {
+                Some(e) => {
+                    k = e + 1;
+                    continue;
+                }
+                None => return body_end + 1,
+            }
+        }
+        if t.is_punct('{') {
+            return matching(toks, k, '{', '}').map(|e| e + 1).unwrap_or(body_end + 1);
+        }
+        if t.is_punct(';') || t.is_punct(',') || t.is_punct(')') {
+            return k;
+        }
+        k += 1;
+    }
+    body_end + 1
+}
+
+/// Keywords that can directly precede `(` without being calls.
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "if" | "while"
+            | "for"
+            | "match"
+            | "return"
+            | "loop"
+            | "in"
+            | "as"
+            | "move"
+            | "else"
+            | "let"
+            | "fn"
+            | "impl"
+            | "use"
+            | "pub"
+            | "mod"
+            | "where"
+            | "unsafe"
+            | "mut"
+            | "ref"
+            | "break"
+            | "continue"
+    )
+}
+
+/// Atomic access methods whose first ordering argument classifies the
+/// site. Calls with *no* ordering identifier in their arguments are not
+/// atomics (`self.store(table)`) and are skipped.
+const ATOMIC_STORES: &[&str] = &[
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_or",
+    "fetch_and",
+    "fetch_xor",
+    "fetch_max",
+    "fetch_min",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+/// Atomic accesses in one body, with receiver field and strongest named
+/// ordering.
+fn scan_atomics(
+    path: &str,
+    toks: &[Tok],
+    body_start: usize,
+    body_end: usize,
+    out: &mut Vec<AtomicAccess>,
+) {
+    for i in body_start..=body_end {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || i == 0 || !toks[i - 1].is_punct('.') {
+            continue;
+        }
+        let is_store = ATOMIC_STORES.contains(&t.text.as_str());
+        let is_load = t.text == "load";
+        if !is_store && !is_load {
+            continue;
+        }
+        let Some(open) = toks.get(i + 1).filter(|n| n.is_punct('(')).map(|_| i + 1) else {
+            continue;
+        };
+        let Some(close) = matching(toks, open, '(', ')') else { continue };
+        let mut ord: Option<AtomicOrd> = None;
+        for a in &toks[open + 1..close] {
+            if a.kind == TokKind::Ident {
+                if let Some(o) = AtomicOrd::from_ident(&a.text) {
+                    ord = Some(ord.map_or(o, |p| p.max(o)));
+                }
+            }
+        }
+        // No Ordering ident → not an atomic access (e.g. a cache's
+        // `.store(value)`); skip rather than guess.
+        let Some(ordering) = ord else { continue };
+        let field = receiver_path(toks, i - 1, body_start)
+            .rsplit('.')
+            .next()
+            .unwrap_or("anon")
+            .to_string();
+        out.push(AtomicAccess {
+            field,
+            is_store,
+            ordering,
+            file: path.to_string(),
+            line: t.line,
+        });
+    }
 }
 
 /// Allocating constructors flagged when path-called (`Vec::new()`…) in a
@@ -418,6 +841,7 @@ fn check_hotpath_alloc(
                      allocation-free"
                 ),
                 allowed: allow_for(Rule::HotpathAlloc, t.line),
+                symbol: None,
             });
         }
     }
@@ -471,6 +895,7 @@ fn check_durability_order(
                          (redo-ahead)",
                     ),
                     allowed: allow_for(Rule::DurabilityOrder, line),
+                    symbol: None,
                 });
             }
         }
@@ -543,6 +968,93 @@ fn test_mask(toks: &[Tok]) -> Vec<bool> {
     mask
 }
 
+/// Per-token enclosing `impl Type` / `trait Type` name. For
+/// `impl Trait for Type` the *type* wins (that's what `Type::method`
+/// call qualifiers name).
+fn impl_mask(toks: &[Tok]) -> Vec<Option<String>> {
+    let mut mask: Vec<Option<String>> = vec![None; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        // Item-position check: `-> impl Trait` (return position) and
+        // `(impl Trait` / `, impl Trait` (argument position) are trait
+        // bounds, not blocks. An item-level `impl`/`trait` follows the
+        // start of file, a block edge, an attribute, or `pub`/`unsafe`.
+        let item_pos = i == 0
+            || toks[i - 1].is_punct('{')
+            || toks[i - 1].is_punct('}')
+            || toks[i - 1].is_punct(';')
+            || toks[i - 1].is_punct(']')
+            || toks[i - 1].is_ident("pub")
+            || toks[i - 1].is_ident("unsafe");
+        if (toks[i].is_ident("impl") || toks[i].is_ident("trait")) && item_pos {
+            // Collect header idents up to the opening `{` (skipping
+            // paren/bracket groups so `impl<F: Fn() -> R>` can't confuse
+            // the scan), tracking `for`.
+            let mut j = i + 1;
+            let mut after_for: Option<String> = None;
+            let mut first: Option<String> = None;
+            let mut saw_for = false;
+            let mut angle = 0i64;
+            let mut ok = false;
+            while j < toks.len() {
+                let t = &toks[j];
+                if t.is_punct('<') {
+                    angle += 1;
+                } else if t.is_punct('>') {
+                    if j > 0 && toks[j - 1].is_punct('-') {
+                        // `->` in a bound; not an angle close.
+                    } else {
+                        angle = (angle - 1).max(0);
+                    }
+                } else if t.is_punct('(') || t.is_punct('[') {
+                    let (o, c) = if t.is_punct('(') { ('(', ')') } else { ('[', ']') };
+                    match matching(toks, j, o, c) {
+                        Some(e) => j = e,
+                        None => break,
+                    }
+                } else if t.is_punct('{') && angle == 0 {
+                    ok = true;
+                    break;
+                } else if t.is_punct(';') && angle == 0 {
+                    break;
+                } else if t.kind == TokKind::Ident && angle == 0 {
+                    if t.text == "for" {
+                        saw_for = true;
+                    } else if t.text == "where" {
+                        // where-clause idents are bounds, not the type.
+                    } else if saw_for {
+                        if after_for.is_none() {
+                            after_for = Some(t.text.clone());
+                        }
+                    } else if first.is_none() {
+                        first = Some(t.text.clone());
+                    }
+                }
+                j += 1;
+            }
+            if ok {
+                if let Some(end) = matching(toks, j, '{', '}') {
+                    let name = after_for.or(first);
+                    if let Some(n) = name {
+                        for m in mask.iter_mut().take(end + 1).skip(j) {
+                            *m = Some(n.clone());
+                        }
+                    }
+                    // Impl blocks don't nest; resume after the header so
+                    // nested `impl Trait` bounds inside the block are
+                    // still scanned (they fail the `{`-before-`;` test).
+                    i = j + 1;
+                    continue;
+                }
+            }
+            i = j + 1;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
 /// Index of the punct matching the opener at `open_idx`.
 fn matching(toks: &[Tok], open_idx: usize, open: char, close: char) -> Option<usize> {
     let mut depth = 0i64;
@@ -586,7 +1098,9 @@ fn fn_body(toks: &[Tok], fn_idx: usize) -> Option<(usize, usize)> {
 }
 
 /// Walk a function body tracking live guards, emitting lock-order edges
-/// and guard-across-blocking findings.
+/// and guard-across-blocking findings. Also records, into `info`, the
+/// locks this body acquires and every call site with the lock context it
+/// runs under — the raw material for the interprocedural pass.
 #[allow(clippy::too_many_arguments)]
 fn walk_body(
     path: &str,
@@ -596,6 +1110,7 @@ fn walk_body(
     body_end: usize,
     allow_for: &dyn Fn(Rule, u32) -> Option<String>,
     out: &mut FileAnalysis,
+    info: &mut FnInfo,
 ) {
     let mut guards: Vec<Guard> = Vec::new();
     let mut depth = 0usize;
@@ -646,6 +1161,9 @@ fn walk_body(
             {
                 let recv = receiver_path(toks, i - 1, body_start);
                 let lock_name = format!("{krate}::{recv}");
+                if !info.locks.contains(&lock_name) {
+                    info.locks.push(lock_name.clone());
+                }
                 let allowed = allow_for(Rule::LockOrder, t.line);
                 for g in &guards {
                     if g.lock == lock_name {
@@ -658,6 +1176,7 @@ fn walk_body(
                                 g.line
                             ),
                             allowed: allowed.clone(),
+                            symbol: None,
                         });
                     } else {
                         out.edges.push(LockEdge {
@@ -666,6 +1185,7 @@ fn walk_body(
                             file: path.to_string(),
                             line: t.line,
                             allowed: allowed.clone(),
+                            via: None,
                         });
                     }
                 }
@@ -693,8 +1213,26 @@ fn walk_body(
                 i += 3; // skip `( )`
                 continue;
             }
-            // Blocking call under a live guard.
+            // Call-site recording for the interprocedural pass: any
+            // lowercase ident applied to `(…)` that isn't a keyword. The
+            // `Type::name` qualifier (uppercase path prefix) narrows
+            // resolution later; macro invocations (`name!`) never match
+            // because `!` sits between the ident and the paren.
             let is_call = toks.get(i + 1).is_some_and(|n| n.is_punct('('));
+            if is_call
+                && !is_keyword(&t.text)
+                && t.text.chars().next().is_some_and(|c| c.is_lowercase() || c == '_')
+            {
+                let qual = prev_path_ident(toks, i)
+                    .filter(|q| q.chars().next().is_some_and(|c| c.is_uppercase()));
+                info.calls.push(CallSite {
+                    callee: t.text.clone(),
+                    qual,
+                    held: guards.iter().map(|g| g.lock.clone()).collect(),
+                    line: t.line,
+                });
+            }
+            // Blocking call under a live guard.
             let method_or_path = i > body_start
                 && (toks[i - 1].is_punct('.') || toks[i - 1].is_punct(':'));
             let sink_write = t.text == "write"
@@ -728,6 +1266,7 @@ fn walk_body(
                         held.join(", ")
                     ),
                     allowed: allow_for(Rule::GuardBlocking, t.line),
+                    symbol: None,
                 });
             }
         }
@@ -844,4 +1383,192 @@ fn binding_name(toks: &[Tok], acq_idx: usize, floor: usize) -> Option<String> {
         }
     }
     None
+}
+
+// ---------------------------------------------------------------------------
+// Workspace interprocedural pass
+// ---------------------------------------------------------------------------
+
+/// Run the interprocedural rules over the whole workspace's per-file
+/// facts: builds the symbol table + call graph, propagates summaries to
+/// fixpoint, and emits `fence_completeness` / `release_on_all_paths` /
+/// `atomic_publish` findings plus interprocedural lock-order edges
+/// (held-lock sets flowing across resolved calls).
+pub fn workspace_pass(
+    cfg: &Config,
+    fns: Vec<FnInfo>,
+    atomics: &[AtomicAccess],
+    allow_maps: &HashMap<String, AllowMap>,
+) -> (Vec<Finding>, Vec<LockEdge>) {
+    let table = SymbolTable::build(fns);
+    let graph = CallGraph::build(&table);
+    let sums: Vec<Summary> = compute_summaries(&table, &graph);
+    let stop: HashSet<&str> = STOPLIST.iter().copied().collect();
+
+    let allow_of = |file: &str, line: u32, rule: Rule| -> Option<String> {
+        allow_maps
+            .get(file)
+            .and_then(|m| m.get(&line))
+            .and_then(|v| v.iter().find(|(r, _)| r == rule.name()))
+            .map(|(_, reason)| reason.clone())
+    };
+    let sanctioned = |paths: &[String], file: &str| paths.iter().any(|p| file.starts_with(p.as_str()));
+
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut edges: Vec<LockEdge> = Vec::new();
+
+    // ---- fence_completeness -------------------------------------------
+    for (i, f) in table.fns.iter().enumerate() {
+        if f.bare_routes.is_empty()
+            || !sums[i].reaches_write
+            || sanctioned(&cfg.fence_sanctioned_paths, &f.file)
+        {
+            continue;
+        }
+        for (name, line) in &f.bare_routes {
+            findings.push(Finding {
+                rule: Rule::FenceCompleteness,
+                file: f.file.clone(),
+                line: *line,
+                message: format!(
+                    "bare `{name}()` in a function that reaches a shard write — use \
+                     `{name}_fenced()` so a re-home cutover racing this statement is \
+                     caught by the commit-time epoch re-check (lost-update class)",
+                ),
+                allowed: allow_of(&f.file, *line, Rule::FenceCompleteness),
+                symbol: Some(f.symbol_path()),
+            });
+        }
+    }
+
+    // ---- release_on_all_paths -----------------------------------------
+    for f in &table.fns {
+        for acq in &f.acquisitions {
+            if acq.released_in_body {
+                for (line, kind) in &acq.leaky_exits {
+                    findings.push(Finding {
+                        rule: Rule::ReleaseOnAllPaths,
+                        file: f.file.clone(),
+                        line: *line,
+                        message: format!(
+                            "`{kind}` exit between `{}()` (line {}) and its `{}()` — an \
+                             early error return leaks the acquisition (frozen-shard \
+                             livelock class); release unconditionally before propagating",
+                            acq.acquire, acq.line, acq.release,
+                        ),
+                        allowed: allow_of(&f.file, *line, Rule::ReleaseOnAllPaths),
+                        symbol: Some(f.symbol_path()),
+                    });
+                }
+            } else {
+                // No in-body release: a resolved callee whose transitive
+                // summary releases the resource discharges the leak
+                // (release moved into a helper).
+                let discharged = acq.calls_after.iter().any(|callee| {
+                    crate::callgraph::resolve(&table, &stop, &f.krate, callee, None)
+                        .iter()
+                        .any(|&t| sums[t].releases.contains(&acq.release))
+                });
+                if !discharged {
+                    findings.push(Finding {
+                        rule: Rule::ReleaseOnAllPaths,
+                        file: f.file.clone(),
+                        line: acq.line,
+                        message: format!(
+                            "`{}()` is never released in this function (no `{}()` on any \
+                             path, directly or via a resolved callee) — the resource \
+                             stays acquired forever (frozen-shard livelock class)",
+                            acq.acquire, acq.release,
+                        ),
+                        allowed: allow_of(&f.file, acq.line, Rule::ReleaseOnAllPaths),
+                        symbol: Some(f.symbol_path()),
+                    });
+                }
+            }
+        }
+    }
+
+    // ---- atomic_publish ------------------------------------------------
+    // Key by (crate, field): cross-crate fields with the same name are
+    // unrelated atomics.
+    let mut by_field: BTreeMap<(String, String), Vec<&AtomicAccess>> = BTreeMap::new();
+    for a in atomics {
+        by_field.entry((crate_of(&a.file), a.field.clone())).or_default().push(a);
+    }
+    for ((_, field), accesses) in &by_field {
+        let acquire_load = accesses
+            .iter()
+            .find(|a| !a.is_store && a.ordering >= AtomicOrd::RelAcq);
+        let Some(al) = acquire_load else { continue };
+        for a in accesses {
+            if !a.is_store
+                || a.ordering != AtomicOrd::Relaxed
+                || sanctioned(&cfg.atomic_sanctioned_paths, &a.file)
+            {
+                continue;
+            }
+            findings.push(Finding {
+                rule: Rule::AtomicPublish,
+                file: a.file.clone(),
+                line: a.line,
+                message: format!(
+                    "Relaxed store to atomic `{field}`, which is Acquire-loaded at \
+                     {}:{} — publication without a Release store has no happens-before \
+                     edge; readers can observe the flag without the data it guards",
+                    al.file, al.line,
+                ),
+                allowed: allow_of(&a.file, a.line, Rule::AtomicPublish),
+                symbol: enclosing_symbol(&table, &a.file, a.line),
+            });
+        }
+    }
+
+    // ---- interprocedural lock-order edges ------------------------------
+    // A call made under guard contributes `held → callee-transitive-lock`
+    // edges; cycles split across functions then surface in the same
+    // graph pass as intraprocedural ones.
+    let mut seen: HashSet<(String, String, String, u32)> = HashSet::new();
+    for (i, f) in table.fns.iter().enumerate() {
+        for (c, call) in f.calls.iter().enumerate() {
+            if call.held.is_empty() {
+                continue;
+            }
+            for &t in &graph.targets[i][c] {
+                if t == i {
+                    continue;
+                }
+                for lock in &sums[t].locks {
+                    for held in &call.held {
+                        if held == lock {
+                            continue;
+                        }
+                        if !seen.insert((held.clone(), lock.clone(), f.file.clone(), call.line))
+                        {
+                            continue;
+                        }
+                        edges.push(LockEdge {
+                            from: held.clone(),
+                            to: lock.clone(),
+                            file: f.file.clone(),
+                            line: call.line,
+                            allowed: allow_of(&f.file, call.line, Rule::LockOrder),
+                            via: Some(call.callee.clone()),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    (findings, edges)
+}
+
+/// Symbol path of the function enclosing `line` in `file`, if any.
+fn enclosing_symbol(table: &SymbolTable, file: &str, line: u32) -> Option<String> {
+    table
+        .fns
+        .iter()
+        .filter(|f| f.file == file && f.line <= line)
+        .max_by_key(|f| f.line)
+        .map(|f| f.symbol_path())
 }

@@ -1,0 +1,170 @@
+//! Direct-call graph over the workspace symbol table.
+//!
+//! Resolution is name-based (no type inference) with three precision
+//! levers that keep the graph honest instead of exploding it:
+//!
+//! 1. **Stoplist** — generic method names (`new`, `get`, `insert`,
+//!    `clone`, `commit`, …) resolve to dozens of unrelated functions;
+//!    calls to them are left unresolved rather than smeared across the
+//!    workspace. The interprocedural rules are written so their
+//!    *markers* (e.g. `WireWriteOp` at a write site) sit in the caller's
+//!    own body and survive the stoplist.
+//! 2. **Qualifier narrowing** — a path-form call `Type::name(…)` only
+//!    resolves to functions inside `impl Type` / `trait Type` blocks.
+//! 3. **Same-crate preference + ambiguity cap** — an unqualified call
+//!    prefers candidates in the caller's crate; if more than
+//!    [`MAX_CANDIDATES`] remain it is treated as unresolved (a shadowed
+//!    symbol too ambiguous to follow is worse than no edge at all).
+
+use crate::symbols::SymbolTable;
+use std::collections::HashSet;
+
+/// Calls to these names are never resolved — the names are too generic
+/// for name-based resolution to mean anything.
+pub const STOPLIST: &[&str] = &[
+    // std-ish constructors/accessors
+    "new", "default", "clone", "from", "into", "as_ref", "as_mut", "to_vec",
+    "to_string", "to_owned", "len", "is_empty", "clear", "contains",
+    "contains_key", "get", "get_mut", "set", "take", "replace", "push",
+    "pop", "insert", "remove", "entry", "keys", "values", "iter",
+    "iter_mut", "into_iter", "next", "map", "and_then", "unwrap_or",
+    "unwrap_or_else", "unwrap_or_default", "ok_or", "ok_or_else", "unwrap",
+    "expect", "min", "max", "abs", "raw", "fmt", "eq", "cmp", "hash",
+    "drop", "extend", "drain", "split", "join", "parse", "format",
+    // `x.with(|v| …)` is the thread-local / FnOnce-accessor idiom; `alloc`
+    // is usually a closure parameter or the GlobalAlloc shim. Resolving
+    // either by name fuses unrelated lock domains into one summary.
+    "with", "alloc",
+    // concurrency primitives the per-file rules already model
+    "lock", "read", "write", "store", "load", "swap", "send", "recv",
+    "wait", "notify_all", "notify_one", "spawn", "sleep", "yield_now",
+    // protocol verbs implemented by many types; resolving them by name
+    // would fuse unrelated state machines into one call graph
+    "begin", "commit", "abort", "apply", "flush", "run", "start", "stop",
+    "tick", "step", "handle", "execute", "scan", "encode", "decode",
+    "name", "id", "now", "eval", "reset", "snapshot", "observe", "record",
+];
+
+/// Unqualified calls resolving to more candidates than this (after the
+/// same-crate filter) are treated as unresolved.
+pub const MAX_CANDIDATES: usize = 4;
+
+/// The resolved call graph: per function, per call site, the symbol ids
+/// the call may target (empty = unresolved).
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// `targets[f][c]` = resolved callee ids for call site `c` of fn `f`.
+    pub targets: Vec<Vec<Vec<usize>>>,
+}
+
+impl CallGraph {
+    /// Resolve every call site in the table.
+    pub fn build(table: &SymbolTable) -> CallGraph {
+        let stop: HashSet<&str> = STOPLIST.iter().copied().collect();
+        let mut targets = Vec::with_capacity(table.fns.len());
+        for f in &table.fns {
+            let mut per_call = Vec::with_capacity(f.calls.len());
+            for c in &f.calls {
+                per_call.push(resolve(table, &stop, &f.krate, &c.callee, c.qual.as_deref()));
+            }
+            targets.push(per_call);
+        }
+        CallGraph { targets }
+    }
+
+    /// Flat callee set of one function (union over its call sites).
+    pub fn callees(&self, f: usize) -> impl Iterator<Item = usize> + '_ {
+        self.targets[f].iter().flatten().copied()
+    }
+}
+
+/// Resolve one call. Public for the fixture tests.
+pub fn resolve(
+    table: &SymbolTable,
+    stop: &HashSet<&str>,
+    caller_crate: &str,
+    callee: &str,
+    qual: Option<&str>,
+) -> Vec<usize> {
+    if stop.contains(callee) {
+        return Vec::new();
+    }
+    let cands = table.candidates(callee);
+    if cands.is_empty() {
+        return Vec::new();
+    }
+    // A `Type::name` qualifier pins the impl block.
+    if let Some(q) = qual {
+        let narrowed: Vec<usize> = cands
+            .iter()
+            .copied()
+            .filter(|&i| table.fns[i].impl_ty.as_deref() == Some(q))
+            .collect();
+        if !narrowed.is_empty() {
+            return narrowed;
+        }
+        // Qualifier names a type we never saw an impl for (std type,
+        // trait object) — leave unresolved rather than guessing.
+        return Vec::new();
+    }
+    // Same-crate candidates shadow foreign ones.
+    let local: Vec<usize> =
+        cands.iter().copied().filter(|&i| table.fns[i].krate == caller_crate).collect();
+    let pool = if local.is_empty() { cands.to_vec() } else { local };
+    if pool.len() > MAX_CANDIDATES {
+        return Vec::new();
+    }
+    pool
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbols::{fn_info, SymbolTable};
+
+    fn stop() -> HashSet<&'static str> {
+        STOPLIST.iter().copied().collect()
+    }
+
+    #[test]
+    fn stoplisted_and_unknown_names_stay_unresolved() {
+        let t = SymbolTable::build(vec![fn_info("insert", "crates/core/src/a.rs")]);
+        assert!(resolve(&t, &stop(), "core", "insert", None).is_empty());
+        assert!(resolve(&t, &stop(), "core", "missing", None).is_empty());
+    }
+
+    #[test]
+    fn same_crate_candidates_shadow_foreign_ones() {
+        let t = SymbolTable::build(vec![
+            fn_info("helper", "crates/wal/src/a.rs"),
+            fn_info("helper", "crates/txn/src/b.rs"),
+        ]);
+        let r = resolve(&t, &stop(), "wal", "helper", None);
+        assert_eq!(r, vec![0], "wal's call must bind wal's helper only");
+        // A third crate sees both and keeps both (under the cap).
+        let r = resolve(&t, &stop(), "core", "helper", None);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn qualifier_narrows_to_the_named_impl() {
+        let mut a = fn_info("flush_all", "crates/storage/src/pool.rs");
+        a.impl_ty = Some("BufferPool".into());
+        let mut b = fn_info("flush_all", "crates/wal/src/sink.rs");
+        b.impl_ty = Some("VecSink".into());
+        let t = SymbolTable::build(vec![a, b]);
+        let r = resolve(&t, &stop(), "core", "flush_all", Some("BufferPool"));
+        assert_eq!(r, vec![0]);
+        // Unknown qualifier: unresolved, not a guess.
+        assert!(resolve(&t, &stop(), "core", "flush_all", Some("File")).is_empty());
+    }
+
+    #[test]
+    fn ambiguous_fanout_is_capped() {
+        let fns: Vec<_> = (0..MAX_CANDIDATES + 1)
+            .map(|i| fn_info("calc", &format!("crates/c{i}/src/lib.rs")))
+            .collect();
+        let t = SymbolTable::build(fns);
+        assert!(resolve(&t, &stop(), "other", "calc", None).is_empty());
+    }
+}

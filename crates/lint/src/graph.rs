@@ -86,6 +86,7 @@ mod tests {
             file: "f.rs".into(),
             line: 1,
             allowed: allowed.then(|| "justified".to_string()),
+            via: None,
         }
     }
 

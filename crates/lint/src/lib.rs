@@ -1,17 +1,25 @@
 //! polarlint — workspace invariant linter for the PolarDB-X repro.
 //!
 //! Dependency-free static analysis over every workspace `.rs` file:
-//! a hand-rolled tokenizer feeds per-file rule passes
-//! ([`analysis`]) whose lock-order edges are stitched into a cross-crate
-//! acquisition graph checked for cycles ([`graph`]). See DESIGN.md
-//! "Correctness tooling" for the rule catalogue and escape hatch.
+//! a hand-rolled tokenizer feeds per-file rule passes ([`analysis`])
+//! that also extract per-function symbols and facts; a workspace
+//! interprocedural pass ([`symbols`] + [`callgraph`] + [`summary`])
+//! propagates them across direct calls for the fence/release/atomic
+//! rules, and all lock-order edges — intra- and interprocedural — are
+//! stitched into a cross-crate acquisition graph checked for cycles
+//! ([`graph`]). See DESIGN.md "Correctness tooling" for the rule
+//! catalogue and escape hatch.
 
 pub mod analysis;
+pub mod callgraph;
 pub mod graph;
+pub mod summary;
+pub mod symbols;
 pub mod tokenizer;
 
-use analysis::{analyze_source, Config, Finding, LockEdge};
+use analysis::{analyze_source, workspace_pass, Config, Finding, LockEdge};
 use graph::{find_cycles, Cycle};
+use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
@@ -91,7 +99,15 @@ impl LintReport {
             let mut shown: Vec<String> = self
                 .edges
                 .iter()
-                .map(|e| format!("  {} -> {}{}", e.from, e.to, if e.allowed.is_some() { "  (allowed)" } else { "" }))
+                .map(|e| {
+                    format!(
+                        "  {} -> {}{}{}",
+                        e.from,
+                        e.to,
+                        e.via.as_deref().map(|v| format!("  (via {v})")).unwrap_or_default(),
+                        if e.allowed.is_some() { "  (allowed)" } else { "" }
+                    )
+                })
                 .collect();
             shown.sort();
             shown.dedup();
@@ -101,6 +117,96 @@ impl LintReport {
         }
         s
     }
+
+    /// Render the machine-readable report. The schema is stable and
+    /// versioned: bump `version` on any breaking change so downstream
+    /// tooling (CI artifact consumers) can branch on it.
+    pub fn render_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"version\": 1,");
+        let _ = writeln!(
+            s,
+            "  \"rules\": [{}],",
+            analysis::Rule::all_names()
+                .iter()
+                .map(|n| json_str(n))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        let _ = writeln!(s, "  \"files\": {},", self.files);
+        let _ = writeln!(s, "  \"clean\": {},", self.clean());
+        let _ = writeln!(
+            s,
+            "  \"summary\": {{\"findings\": {}, \"unjustified\": {}, \"edges\": {}, \"cycles\": {}}},",
+            self.findings.len(),
+            self.unjustified().len(),
+            self.edges.len(),
+            self.cycles.len()
+        );
+        s.push_str("  \"findings\": [\n");
+        for (i, f) in self.findings.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"symbol\": {}, \
+                 \"message\": {}, \"justification\": {}}}",
+                json_str(f.rule.name()),
+                json_str(&f.file),
+                f.line,
+                f.symbol.as_deref().map(json_str).unwrap_or_else(|| "null".into()),
+                json_str(&f.message),
+                f.allowed.as_deref().map(json_str).unwrap_or_else(|| "null".into()),
+            );
+            s.push_str(if i + 1 < self.findings.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"cycles\": [\n");
+        for (i, c) in self.cycles.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"nodes\": [{}], \"edges\": [{}]}}",
+                c.nodes.iter().map(|n| json_str(n)).collect::<Vec<_>>().join(", "),
+                c.edges
+                    .iter()
+                    .map(|e| {
+                        format!(
+                            "{{\"from\": {}, \"to\": {}, \"file\": {}, \"line\": {}, \"via\": {}}}",
+                            json_str(&e.from),
+                            json_str(&e.to),
+                            json_str(&e.file),
+                            e.line,
+                            e.via.as_deref().map(json_str).unwrap_or_else(|| "null".into()),
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            s.push_str(if i + 1 < self.cycles.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// Minimal JSON string encoder (no serde — zero-dep philosophy).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Lint a set of `(path, source)` pairs. Paths are repo-relative.
@@ -109,14 +215,27 @@ where
     I: IntoIterator<Item = (&'a str, &'a str)>,
 {
     let mut report = LintReport::default();
+    let mut fns = Vec::new();
+    let mut atomics = Vec::new();
+    let mut allow_maps = HashMap::new();
     for (path, src) in sources {
         let fa = analyze_source(path, src, cfg);
         report.findings.extend(fa.findings);
         report.edges.extend(fa.edges);
+        fns.extend(fa.fns);
+        atomics.extend(fa.atomics);
+        if !fa.allow_map.is_empty() {
+            allow_maps.insert(path.to_string(), fa.allow_map);
+        }
         report.files += 1;
     }
+    // Workspace interprocedural pass: fence/release/atomic findings plus
+    // held-lock edges flowing across resolved calls.
+    let (ip_findings, ip_edges) = workspace_pass(cfg, fns, &atomics, &allow_maps);
+    report.findings.extend(ip_findings);
+    report.edges.extend(ip_edges);
     // Rule findings for every self-edge already exist; cycles come from
-    // the cross-file graph.
+    // the cross-file graph (intra- and interprocedural edges together).
     report.cycles = find_cycles(&report.edges);
     report
         .findings

@@ -1,10 +1,14 @@
 //! `polarlint` CLI.
 //!
-//! Usage: `polarlint [--workspace] [--root <dir>] [--report <path>]`
+//! Usage: `polarlint [--workspace] [--root <dir>] [--format text|json]
+//!         [--report <path>] [--json-report <path>]`
 //!
 //! Exits 1 when the workspace has unjustified findings or lock-order
-//! cycles; the rendered report goes to stdout and, with `--report`, to
-//! the given file (CI archives it as an artifact).
+//! cycles; the report in the selected `--format` goes to stdout. With
+//! `--report` the text report is also written to a file, and with
+//! `--json-report` the machine-readable report (stable versioned
+//! schema, see `LintReport::render_json`) is written alongside it — CI
+//! archives both as artifacts.
 
 use polardbx_lint::{lint_workspace, LintConfig};
 use std::path::PathBuf;
@@ -13,6 +17,8 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut report_path: Option<PathBuf> = None;
+    let mut json_report_path: Option<PathBuf> = None;
+    let mut format = String::from("text");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -20,8 +26,19 @@ fn main() -> ExitCode {
             "--workspace" => {}
             "--root" => root = args.next().map(PathBuf::from),
             "--report" => report_path = args.next().map(PathBuf::from),
+            "--json-report" => json_report_path = args.next().map(PathBuf::from),
+            "--format" => {
+                format = args.next().unwrap_or_default();
+                if format != "text" && format != "json" {
+                    eprintln!("polarlint: --format must be 'text' or 'json'");
+                    return ExitCode::from(2);
+                }
+            }
             "--help" | "-h" => {
-                println!("polarlint [--workspace] [--root <dir>] [--report <path>]");
+                println!(
+                    "polarlint [--workspace] [--root <dir>] [--format text|json] \
+                     [--report <path>] [--json-report <path>]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -39,11 +56,20 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let rendered = report.render();
-    print!("{rendered}");
+    if format == "json" {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render());
+    }
     if let Some(p) = report_path {
-        if let Err(e) = std::fs::write(&p, &rendered) {
+        if let Err(e) = std::fs::write(&p, report.render()) {
             eprintln!("polarlint: failed to write report {}: {e}", p.display());
+            return ExitCode::from(2);
+        }
+    }
+    if let Some(p) = json_report_path {
+        if let Err(e) = std::fs::write(&p, report.render_json()) {
+            eprintln!("polarlint: failed to write json report {}: {e}", p.display());
             return ExitCode::from(2);
         }
     }

@@ -1,0 +1,134 @@
+//! Per-function summaries propagated across the call graph.
+//!
+//! Each function gets a [`Summary`] seeded from its own body facts
+//! (locks it acquires, whether it reaches a shard write, which
+//! resources it releases) and widened to a fixpoint by unioning the
+//! summaries of every resolved callee — Eraser-style lockset flow, but
+//! computed statically over the direct-call graph. The fixpoint is
+//! bounded ([`MAX_ROUNDS`]) purely as a backstop; the workspace
+//! converges in a handful of rounds because the sets are tiny.
+
+use crate::callgraph::CallGraph;
+use crate::symbols::SymbolTable;
+use std::collections::BTreeSet;
+
+/// Transitive facts of one function.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Summary {
+    /// Locks acquired by this function or anything it (transitively)
+    /// calls through resolved edges.
+    pub locks: BTreeSet<String>,
+    /// True when a shard write (a `WireWriteOp` site or configured
+    /// write call) is reachable.
+    pub reaches_write: bool,
+    /// Resource release method names reachable (for discharging
+    /// `release_on_all_paths` leaks whose release moved into a helper).
+    pub releases: BTreeSet<String>,
+}
+
+/// Fixpoint iteration bound (depth of call-chain propagation).
+pub const MAX_ROUNDS: usize = 20;
+
+/// Compute all summaries to fixpoint.
+pub fn compute(table: &SymbolTable, graph: &CallGraph) -> Vec<Summary> {
+    let mut sums: Vec<Summary> = table
+        .fns
+        .iter()
+        .map(|f| Summary {
+            locks: f.locks.iter().cloned().collect(),
+            reaches_write: f.direct_write,
+            releases: f.releases.iter().cloned().collect(),
+        })
+        .collect();
+    for _ in 0..MAX_ROUNDS {
+        let mut changed = false;
+        for i in 0..sums.len() {
+            // Union every resolved callee's summary into ours.
+            let mut add_locks: Vec<String> = Vec::new();
+            let mut add_rel: Vec<String> = Vec::new();
+            let mut write = sums[i].reaches_write;
+            for c in graph.callees(i) {
+                if c == i {
+                    continue;
+                }
+                for l in &sums[c].locks {
+                    if !sums[i].locks.contains(l) {
+                        add_locks.push(l.clone());
+                    }
+                }
+                for r in &sums[c].releases {
+                    if !sums[i].releases.contains(r) {
+                        add_rel.push(r.clone());
+                    }
+                }
+                write |= sums[c].reaches_write;
+            }
+            if !add_locks.is_empty() || !add_rel.is_empty() || write != sums[i].reaches_write
+            {
+                changed = true;
+                sums[i].locks.extend(add_locks);
+                sums[i].releases.extend(add_rel);
+                sums[i].reaches_write = write;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    sums
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbols::{fn_info, CallSite, SymbolTable};
+
+    fn call(name: &str) -> CallSite {
+        CallSite { callee: name.into(), qual: None, held: Vec::new(), line: 1 }
+    }
+
+    #[test]
+    fn facts_flow_up_a_call_chain() {
+        // a -> b -> c; c locks and writes.
+        let mut a = fn_info("a", "crates/core/src/x.rs");
+        a.calls.push(call("b"));
+        let mut b = fn_info("b", "crates/core/src/x.rs");
+        b.calls.push(call("c"));
+        let mut c = fn_info("c", "crates/core/src/x.rs");
+        c.locks.push("core::deep".into());
+        c.direct_write = true;
+        c.releases.push("unfreeze_writes".into());
+        let t = SymbolTable::build(vec![a, b, c]);
+        let g = CallGraph::build(&t);
+        let s = compute(&t, &g);
+        assert!(s[0].reaches_write && s[1].reaches_write);
+        assert!(s[0].locks.contains("core::deep"));
+        assert!(s[0].releases.contains("unfreeze_writes"));
+    }
+
+    #[test]
+    fn recursion_converges() {
+        let mut a = fn_info("ping", "crates/core/src/x.rs");
+        a.calls.push(call("pong"));
+        a.locks.push("core::a".into());
+        let mut b = fn_info("pong", "crates/core/src/x.rs");
+        b.calls.push(call("ping"));
+        b.locks.push("core::b".into());
+        let t = SymbolTable::build(vec![a, b]);
+        let g = CallGraph::build(&t);
+        let s = compute(&t, &g);
+        assert!(s[0].locks.contains("core::b") && s[1].locks.contains("core::a"));
+    }
+
+    #[test]
+    fn unresolved_calls_propagate_nothing() {
+        let mut a = fn_info("caller", "crates/core/src/x.rs");
+        a.calls.push(call("insert")); // stoplisted
+        let mut b = fn_info("insert", "crates/core/src/x.rs");
+        b.direct_write = true;
+        let t = SymbolTable::build(vec![a, b]);
+        let g = CallGraph::build(&t);
+        let s = compute(&t, &g);
+        assert!(!s[0].reaches_write, "stoplisted call must not smear facts");
+    }
+}

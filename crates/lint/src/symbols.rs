@@ -1,0 +1,232 @@
+//! Workspace symbol table: every function definition, with its enclosing
+//! `impl`/`trait` context, module path, and the per-function facts the
+//! interprocedural analyses consume ([`FnInfo`]).
+//!
+//! The table is name-indexed, not type-resolved — polarlint has no rustc
+//! and never will (same zero-dep philosophy as the tokenizer). Method
+//! calls resolve by bare name with two precision levers applied by
+//! [`crate::callgraph`]: an explicit `Type::name` qualifier narrows to
+//! matching `impl` blocks, and unqualified calls prefer same-crate
+//! candidates. Shadowed symbols (the same name defined in several
+//! crates) therefore stay apart unless a call is genuinely ambiguous.
+
+use crate::analysis::crate_of;
+
+/// One call site inside a function body, with the lock context it runs
+/// under — the raw material for interprocedural lock-order and summary
+/// propagation.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Bare callee name (`flush_tenant`, `write_gsi_row`, …).
+    pub callee: String,
+    /// `Type::callee` qualifier when the call is path-form; narrows
+    /// resolution to `impl Type` methods.
+    pub qual: Option<String>,
+    /// Lock node names held when the call is made (crate-qualified, same
+    /// namespace as [`crate::analysis::LockEdge`]).
+    pub held: Vec<String>,
+    /// 1-based line of the call.
+    pub line: u32,
+}
+
+/// A resource acquisition (`freeze_writes`, `epochs.freeze`, …) found in
+/// a function body, with what the exit-path scan saw between it and its
+/// release (see the `release_on_all_paths` rule).
+#[derive(Debug, Clone)]
+pub struct ResourceAcq {
+    /// The acquire method name (also the finding's resource label).
+    pub acquire: String,
+    /// The matching release method name.
+    pub release: String,
+    /// 1-based line of the acquisition.
+    pub line: u32,
+    /// True when a matching release call exists later in the same body.
+    pub released_in_body: bool,
+    /// Lines of `?` / `return` exits between the acquisition and its
+    /// in-body release (empty when `released_in_body` is false — the
+    /// leak finding dominates).
+    pub leaky_exits: Vec<(u32, &'static str)>,
+    /// Bare names of functions called after the acquisition — a callee
+    /// whose transitive summary releases the resource discharges the
+    /// leak (release moved into a helper).
+    pub calls_after: Vec<String>,
+}
+
+/// One atomic access (`.store`/`.load`/`fetch_*`/`swap`/`compare_exchange`)
+/// with its receiver field name and the strongest `Ordering` it names.
+#[derive(Debug, Clone)]
+pub struct AtomicAccess {
+    /// Last receiver segment (`watermark`, `applied`, `key`, …).
+    pub field: String,
+    /// True for stores and read-modify-writes; false for plain loads.
+    pub is_store: bool,
+    /// Strongest ordering named in the call arguments.
+    pub ordering: AtomicOrd,
+    /// Repo-relative file (filled by the workspace pass).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+}
+
+/// Ordering strength lattice for [`AtomicAccess`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AtomicOrd {
+    /// `Ordering::Relaxed` (or no ordering ident found).
+    Relaxed,
+    /// `Release` or `Acquire`.
+    RelAcq,
+    /// `AcqRel`.
+    AcqRel,
+    /// `SeqCst`.
+    SeqCst,
+}
+
+impl AtomicOrd {
+    /// Parse one ordering identifier.
+    pub fn from_ident(s: &str) -> Option<AtomicOrd> {
+        match s {
+            "Relaxed" => Some(AtomicOrd::Relaxed),
+            "Release" | "Acquire" => Some(AtomicOrd::RelAcq),
+            "AcqRel" => Some(AtomicOrd::AcqRel),
+            "SeqCst" => Some(AtomicOrd::SeqCst),
+            _ => None,
+        }
+    }
+}
+
+/// Everything the workspace pass knows about one function.
+#[derive(Debug, Clone)]
+pub struct FnInfo {
+    /// Bare function name.
+    pub name: String,
+    /// Enclosing `impl Type` / `trait Type` name, if any.
+    pub impl_ty: Option<String>,
+    /// Repo-relative file.
+    pub file: String,
+    /// Owning crate (`crate_of(file)`).
+    pub krate: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Call sites in body order.
+    pub calls: Vec<CallSite>,
+    /// Lock node names acquired anywhere in the body (deduped).
+    pub locks: Vec<String>,
+    /// True when the body reaches a shard write directly (it names
+    /// `WireWriteOp` or one of the configured write calls).
+    pub direct_write: bool,
+    /// Bare (unfenced) routing calls: `(name, line)`.
+    pub bare_routes: Vec<(String, u32)>,
+    /// Resource acquisitions found in the body.
+    pub acquisitions: Vec<ResourceAcq>,
+    /// Resource release method names called in the body (deduped).
+    pub releases: Vec<String>,
+}
+
+impl FnInfo {
+    /// `crate::module::Type::name` display path for reports and JSON.
+    pub fn symbol_path(&self) -> String {
+        let module = module_of(&self.file);
+        match &self.impl_ty {
+            Some(t) => format!("{}::{}::{}::{}", self.krate, module, t, self.name),
+            None => format!("{}::{}::{}", self.krate, module, self.name),
+        }
+    }
+}
+
+/// Module name a repo-relative path maps to (`crates/core/src/cluster.rs`
+/// → `cluster`; `lib.rs`/`main.rs`/`mod.rs` use the parent directory).
+pub fn module_of(path: &str) -> String {
+    let p = path.replace('\\', "/");
+    let stem = p.rsplit('/').next().unwrap_or(&p).trim_end_matches(".rs");
+    if stem == "lib" || stem == "main" || stem == "mod" {
+        let mut parts: Vec<&str> = p.split('/').collect();
+        parts.pop();
+        while let Some(last) = parts.last() {
+            if *last == "src" || *last == "bin" {
+                parts.pop();
+            } else {
+                return (*last).to_string();
+            }
+        }
+        "root".to_string()
+    } else {
+        stem.to_string()
+    }
+}
+
+/// The workspace symbol table: all functions, name-indexed.
+#[derive(Debug, Default)]
+pub struct SymbolTable {
+    /// All functions, in file order.
+    pub fns: Vec<FnInfo>,
+    /// Bare name → indices into `fns`.
+    pub by_name: std::collections::HashMap<String, Vec<usize>>,
+}
+
+impl SymbolTable {
+    /// Build the table from per-file extractions.
+    pub fn build(fns: Vec<FnInfo>) -> SymbolTable {
+        let mut by_name: std::collections::HashMap<String, Vec<usize>> =
+            std::collections::HashMap::new();
+        for (i, f) in fns.iter().enumerate() {
+            by_name.entry(f.name.clone()).or_default().push(i);
+        }
+        SymbolTable { fns, by_name }
+    }
+
+    /// Candidates for a bare name.
+    pub fn candidates(&self, name: &str) -> &[usize] {
+        self.by_name.get(name).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+}
+
+/// Convenience constructor used by tests.
+pub fn fn_info(name: &str, file: &str) -> FnInfo {
+    FnInfo {
+        name: name.to_string(),
+        impl_ty: None,
+        file: file.to_string(),
+        krate: crate_of(file),
+        line: 1,
+        calls: Vec::new(),
+        locks: Vec::new(),
+        direct_write: false,
+        bare_routes: Vec::new(),
+        acquisitions: Vec::new(),
+        releases: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn module_names_prefer_file_stem_then_parent_dir() {
+        assert_eq!(module_of("crates/core/src/cluster.rs"), "cluster");
+        assert_eq!(module_of("crates/core/src/lib.rs"), "core");
+        assert_eq!(module_of("crates/bench/src/bin/main.rs"), "bench");
+        assert_eq!(module_of("src/lib.rs"), "root");
+    }
+
+    #[test]
+    fn symbol_paths_carry_impl_context() {
+        let mut f = fn_info("insert", "crates/core/src/cluster.rs");
+        f.impl_ty = Some("Session".into());
+        assert_eq!(f.symbol_path(), "core::cluster::Session::insert");
+        let g = fn_info("route_row", "crates/core/src/gms.rs");
+        assert_eq!(g.symbol_path(), "core::gms::route_row");
+    }
+
+    #[test]
+    fn table_indexes_shadowed_names_separately() {
+        let t = SymbolTable::build(vec![
+            fn_info("helper", "crates/wal/src/a.rs"),
+            fn_info("helper", "crates/txn/src/b.rs"),
+            fn_info("other", "crates/wal/src/a.rs"),
+        ]);
+        assert_eq!(t.candidates("helper").len(), 2);
+        assert_eq!(t.candidates("other").len(), 1);
+        assert!(t.candidates("missing").is_empty());
+    }
+}

@@ -1,5 +1,7 @@
 //! Fixture tests: known-bad snippets must fire each rule, known-good must
-//! stay clean, and tokenizer traps must not desync the analysis.
+//! stay clean, and tokenizer traps must not desync the analysis. The
+//! interprocedural rules (fence/release/atomic/cross-function lock order)
+//! are exercised through [`lint_sources`], which runs the workspace pass.
 
 use polardbx_lint::analysis::{analyze_source, Config, Rule};
 use polardbx_lint::graph::find_cycles;
@@ -17,6 +19,14 @@ const BAD_DURABILITY_ORDER: &str = include_str!("fixtures/bad_durability_order.r
 const BAD_HOTPATH_ALLOC: &str = include_str!("fixtures/bad_hotpath_alloc.rs");
 const GOOD_CLEAN: &str = include_str!("fixtures/good_clean.rs");
 const EDGE_TOKENS: &str = include_str!("fixtures/edge_tokens.rs");
+const BAD_FENCE: &str = include_str!("fixtures/bad_fence.rs");
+const GOOD_FENCE: &str = include_str!("fixtures/good_fence.rs");
+const BAD_RELEASE: &str = include_str!("fixtures/bad_release.rs");
+const GOOD_RELEASE: &str = include_str!("fixtures/good_release.rs");
+const BAD_ATOMIC: &str = include_str!("fixtures/bad_atomic.rs");
+const GOOD_ATOMIC: &str = include_str!("fixtures/good_atomic.rs");
+const BAD_INTERPROC: &str = include_str!("fixtures/bad_interproc_lock.rs");
+const GOOD_INTERPROC: &str = include_str!("fixtures/good_interproc_lock.rs");
 
 #[test]
 fn opposite_nesting_orders_form_a_cycle() {
@@ -175,4 +185,193 @@ fn cross_file_cycles_surface_in_the_report() {
     assert!(!report.clean());
     let rendered = report.render();
     assert!(rendered.contains("lock-order cycles"), "{rendered}");
+}
+
+// ---------------------------------------------------------------------------
+// Interprocedural rules (workspace pass)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn fence_fires_on_bare_routes_in_write_paths() {
+    let report = lint_sources([("crates/core/src/fixture.rs", BAD_FENCE)], &cfg());
+    let hits: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == Rule::FenceCompleteness && f.allowed.is_none())
+        .collect();
+    // Direct (route_row next to the write) and indirect (shard_dn one
+    // call above it) must both fire.
+    assert_eq!(hits.len(), 2, "{:?}", report.findings);
+    assert!(hits.iter().any(|f| f.message.contains("route_row")));
+    assert!(hits.iter().any(|f| f.message.contains("shard_dn")));
+    assert!(
+        hits.iter()
+            .any(|f| f.symbol.as_deref() == Some("core::fixture::Session::insert_row")),
+        "symbol paths must carry the impl context: {hits:?}"
+    );
+}
+
+#[test]
+fn fence_stays_silent_on_fenced_and_readonly_twin() {
+    let report = lint_sources([("crates/core/src/fixture.rs", GOOD_FENCE)], &cfg());
+    assert!(
+        report.findings.iter().all(|f| f.rule != Rule::FenceCompleteness),
+        "{:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn fence_respects_sanctioned_paths() {
+    // The module defining the fenced variants builds them from bare
+    // routes — the identical bad shape is sanctioned there.
+    let report = lint_sources([("crates/core/src/gms.rs", BAD_FENCE)], &cfg());
+    assert!(
+        report.findings.iter().all(|f| f.rule != Rule::FenceCompleteness),
+        "{:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn release_fires_on_early_exits_and_never_released() {
+    let report = lint_sources([("crates/core/src/fixture.rs", BAD_RELEASE)], &cfg());
+    let hits: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == Rule::ReleaseOnAllPaths && f.allowed.is_none())
+        .collect();
+    // rehome: two `?` exits × two live acquisitions (epoch freeze +
+    // write freeze) = 4; freeze_forever adds the never-released leak.
+    assert_eq!(hits.len(), 5, "{:?}", report.findings);
+    let leaks: Vec<_> =
+        hits.iter().filter(|f| f.message.contains("never released")).collect();
+    assert_eq!(leaks.len(), 1, "{hits:?}");
+    assert!(leaks[0].symbol.as_deref().unwrap().ends_with("freeze_forever"));
+    assert!(hits.iter().any(|f| f.message.contains("`?` exit")));
+}
+
+#[test]
+fn release_stays_silent_on_cutover_closure_helper_and_bytes_freeze() {
+    let report = lint_sources([("crates/core/src/fixture.rs", GOOD_RELEASE)], &cfg());
+    assert!(
+        report.findings.iter().all(|f| f.rule != Rule::ReleaseOnAllPaths),
+        "closure exits / helper release / Bytes::freeze must not fire: {:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn atomic_publish_fires_on_relaxed_store_with_acquire_load() {
+    let report = lint_sources([("crates/core/src/fixture.rs", BAD_ATOMIC)], &cfg());
+    let hits: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == Rule::AtomicPublish && f.allowed.is_none())
+        .collect();
+    assert_eq!(hits.len(), 1, "{:?}", report.findings);
+    assert!(hits[0].message.contains("watermark"));
+    assert!(hits[0].message.contains("Acquire-loaded"));
+    assert!(hits[0].symbol.as_deref().unwrap().ends_with("publish"));
+}
+
+#[test]
+fn atomic_publish_good_twin_stays_silent() {
+    let report = lint_sources([("crates/core/src/fixture.rs", GOOD_ATOMIC)], &cfg());
+    assert!(
+        report.findings.iter().all(|f| f.rule != Rule::AtomicPublish),
+        "Release publication / both-relaxed counter / orderingless cache \
+         setter must not fire: {:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn atomic_publish_keys_fields_per_crate() {
+    // Same field name split across crates: unrelated atomics, no pairing.
+    let store_side = "impl Gate {\n    pub fn publish(&self, seq: u64) {\n        \
+                      self.watermark.store(seq, Ordering::Relaxed);\n    }\n}\n";
+    let load_side = "impl Other {\n    pub fn read(&self) -> u64 {\n        \
+                     self.watermark.load(Ordering::Acquire)\n    }\n}\n";
+    let report = lint_sources(
+        [("crates/wal/src/fixture.rs", store_side), ("crates/core/src/fixture.rs", load_side)],
+        &cfg(),
+    );
+    assert!(
+        report.findings.iter().all(|f| f.rule != Rule::AtomicPublish),
+        "{:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn interproc_abba_cycle_surfaces_with_via_labels() {
+    let report = lint_sources([("crates/core/src/fixture.rs", BAD_INTERPROC)], &cfg());
+    assert_eq!(report.cycles.len(), 1, "{:?}", report.edges);
+    let nodes = &report.cycles[0].nodes;
+    assert!(nodes.iter().any(|n| n.ends_with("::alpha")), "{nodes:?}");
+    assert!(nodes.iter().any(|n| n.ends_with("::beta")), "{nodes:?}");
+    // Both realizing edges crossed a call (one through the two-level
+    // `hop` chain) — each must carry its via label.
+    assert!(
+        report.cycles[0].edges.iter().all(|e| e.via.is_some()),
+        "{:?}",
+        report.cycles[0].edges
+    );
+    assert!(
+        report.cycles[0].edges.iter().any(|e| e.via.as_deref() == Some("hop")),
+        "the two-level chain must resolve through hop: {:?}",
+        report.cycles[0].edges
+    );
+}
+
+#[test]
+fn interproc_consistent_order_stays_acyclic() {
+    let report = lint_sources([("crates/core/src/fixture.rs", GOOD_INTERPROC)], &cfg());
+    assert!(report.cycles.is_empty(), "{:?}", report.cycles);
+    // The edges themselves exist (alpha → beta, some via calls).
+    assert!(
+        report.edges.iter().any(|e| e.via.is_some()),
+        "interprocedural edges expected: {:?}",
+        report.edges
+    );
+}
+
+#[test]
+fn trait_methods_resolve_by_qualifier_not_by_name() {
+    use polardbx_lint::callgraph::{resolve, STOPLIST};
+    use polardbx_lint::symbols::SymbolTable;
+    use std::collections::HashSet;
+
+    let src = "pub trait Flusher {\n\
+               \x20   fn flush_all(&self) -> usize {\n\
+               \x20       self.pending()\n\
+               \x20   }\n\
+               }\n\
+               pub struct Wal { inner: Mutex<Vec<u8>> }\n\
+               impl Flusher for Wal {\n\
+               \x20   fn flush_all(&self) -> usize {\n\
+               \x20       let g = self.inner.lock();\n\
+               \x20       g.len()\n\
+               \x20   }\n\
+               }\n";
+    let fa = analyze_source("crates/wal/src/fixture.rs", src, &cfg());
+    let tys: Vec<_> = fa
+        .fns
+        .iter()
+        .filter(|f| f.name == "flush_all")
+        .map(|f| f.impl_ty.clone())
+        .collect();
+    assert_eq!(tys.len(), 2, "trait default + impl method: {:?}", fa.fns);
+    assert!(tys.contains(&Some("Flusher".into())), "{tys:?}");
+    assert!(tys.contains(&Some("Wal".into())), "{tys:?}");
+
+    let stop: HashSet<&str> = STOPLIST.iter().copied().collect();
+    let table = SymbolTable::build(fa.fns);
+    let to_wal = resolve(&table, &stop, "wal", "flush_all", Some("Wal"));
+    assert_eq!(to_wal.len(), 1);
+    assert_eq!(table.fns[to_wal[0]].impl_ty.as_deref(), Some("Wal"));
+    let to_trait = resolve(&table, &stop, "wal", "flush_all", Some("Flusher"));
+    assert_eq!(to_trait.len(), 1);
+    assert_eq!(table.fns[to_trait[0]].impl_ty.as_deref(), Some("Flusher"));
 }

@@ -1,0 +1,22 @@
+//! Known-bad: a `Relaxed` store publishing data that another function
+//! `Acquire`-loads — no happens-before edge, so the reader can observe
+//! the flag without the rows it guards. Must fire `atomic_publish`.
+
+pub struct Gate {
+    slots: Mutex<Vec<Arc<Table>>>,
+    watermark: AtomicU64,
+}
+
+impl Gate {
+    /// Publishes `table` then raises the watermark with `Relaxed` — the
+    /// reader below has no ordering edge back to the push.
+    pub fn publish(&self, table: Arc<Table>, seq: u64) {
+        self.slots.lock().push(table);
+        self.watermark.store(seq, Ordering::Relaxed);
+    }
+
+    /// Acquire side: pairs with a Release store that doesn't exist.
+    pub fn visible_up_to(&self) -> u64 {
+        self.watermark.load(Ordering::Acquire)
+    }
+}

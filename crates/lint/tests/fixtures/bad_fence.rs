@@ -1,0 +1,28 @@
+//! Known-bad: bare routing calls in write-reaching functions — the PR-8
+//! lost-update shape, reduced from `Session::insert` / the DML
+//! dispatcher. Both the direct shape (bare route next to the shard
+//! write) and the indirect one (bare route one call above the write)
+//! must fire `fence_completeness`.
+
+pub struct Session {
+    gms: Gms,
+    txn: Txn,
+    schema: Schema,
+}
+
+impl Session {
+    /// Direct: bare `route_row` in the same body as the `WireWriteOp`
+    /// shard write. A re-home cutover between routing and commit strands
+    /// this write on the detached old home.
+    pub fn insert_row(&self, row: &Row) -> Result<()> {
+        let (shard, dn) = self.gms.route_row(&self.schema, row)?;
+        self.txn.write(dn, shard, key_of(row), WireWriteOp::Insert(row.clone()))
+    }
+
+    /// Indirect: the bare route sits one call above the write; write
+    /// reachability must flow up through `insert_row`'s summary.
+    pub fn run_statement(&self, row: &Row) -> Result<()> {
+        let _dn = self.gms.shard_dn(self.schema.id, 0)?;
+        self.insert_row(row)
+    }
+}

@@ -1,0 +1,38 @@
+//! Known-bad: an ABBA cycle split across functions — each function
+//! nests at most one lock directly, so the per-file pass sees nothing;
+//! only held-lock sets flowing across resolved calls (one of them two
+//! levels deep) expose the cycle.
+
+pub struct Registry {
+    alpha: Mutex<Vec<u64>>,
+    beta: Mutex<Vec<u64>>,
+}
+
+impl Registry {
+    /// alpha held, then beta acquired two calls down (alpha → hop →
+    /// append_beta): the summary must carry beta up through `hop`.
+    pub fn path_one(&self) {
+        let g = self.alpha.lock();
+        self.hop(g.len() as u64);
+    }
+
+    fn hop(&self, v: u64) {
+        self.append_beta(v);
+    }
+
+    fn append_beta(&self, v: u64) {
+        let mut h = self.beta.lock();
+        h.push(v);
+    }
+
+    /// beta held, then alpha acquired in the callee: the opposite order.
+    pub fn path_two(&self) {
+        let h = self.beta.lock();
+        self.append_alpha(h.len() as u64);
+    }
+
+    fn append_alpha(&self, v: u64) {
+        let mut g = self.alpha.lock();
+        g.push(v);
+    }
+}

@@ -1,0 +1,36 @@
+//! Known-bad: resource acquisitions leaked on early-exit paths — the
+//! exact PR-8 `flush_tenant?` freeze-leak shape. Every `?` between an
+//! acquisition and its release, and a body that never releases at all,
+//! must fire `release_on_all_paths`.
+
+pub struct Cluster {
+    epochs: Epochs,
+    engine: Engine,
+}
+
+impl Cluster {
+    /// The PR-8 bug verbatim: `flush_tenant(…)?` (and the detach below
+    /// it) propagate errors while the shard is still frozen — every
+    /// fenced route and commit then bounces retryably forever.
+    pub fn rehome(&self, stid: TableId) -> Result<()> {
+        self.epochs.freeze(stid);
+        self.engine.freeze_writes(stid);
+        self.engine.pool.flush_tenant(stid, None)?;
+        self.detach_attach(stid)?;
+        self.engine.unfreeze_writes(stid);
+        self.epochs.unfreeze(stid);
+        Ok(())
+    }
+
+    /// No release on any path, direct or via callee: a permanent freeze.
+    pub fn freeze_forever(&self, stid: TableId) {
+        self.engine.freeze_writes(stid);
+        self.log_frozen(stid);
+    }
+
+    fn log_frozen(&self, _stid: TableId) {}
+
+    fn detach_attach(&self, _stid: TableId) -> Result<()> {
+        Ok(())
+    }
+}

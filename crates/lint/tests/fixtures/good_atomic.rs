@@ -1,0 +1,34 @@
+//! Known-good twin of `bad_atomic.rs`: Release/Acquire publication, a
+//! counter relaxed on both sides, and a non-atomic `.store(value)` cache
+//! setter (no `Ordering` argument). Stays silent.
+
+pub struct Gate {
+    slots: Mutex<Vec<Arc<Table>>>,
+    watermark: AtomicU64,
+    hits: AtomicU64,
+    cached: TableCache,
+}
+
+impl Gate {
+    /// Proper publication: Release store pairs with the Acquire load.
+    pub fn publish(&self, table: Arc<Table>, seq: u64) {
+        self.slots.lock().push(table);
+        self.watermark.store(seq, Ordering::Release);
+    }
+
+    pub fn visible_up_to(&self) -> u64 {
+        self.watermark.load(Ordering::Acquire)
+    }
+
+    /// A stats counter relaxed on both sides publishes nothing.
+    pub fn bump(&self) {
+        let n = self.hits.load(Ordering::Relaxed);
+        self.hits.store(n + 1, Ordering::Relaxed);
+    }
+
+    /// Not an atomic at all: `.store(value)` with no `Ordering` ident is
+    /// a cache setter and must not be classified.
+    pub fn remember(&self, t: Table) {
+        self.cached.store(t);
+    }
+}

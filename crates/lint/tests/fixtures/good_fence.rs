@@ -1,0 +1,24 @@
+//! Known-good twin of `bad_fence.rs`: fenced routes on the write path,
+//! bare routes only where no write is reachable. Stays silent.
+
+pub struct Session {
+    gms: Gms,
+    txn: Txn,
+    schema: Schema,
+}
+
+impl Session {
+    /// The fixed shape: the fenced route returns the routing epoch and
+    /// the write carries it to the commit-time re-check.
+    pub fn insert_row(&self, row: &Row) -> Result<()> {
+        let (shard, dn, epoch) = self.gms.route_row_fenced(&self.schema, row)?;
+        self.txn.write_at(dn, shard, epoch, key_of(row), WireWriteOp::Insert(row.clone()))
+    }
+
+    /// Read-only lookup: a bare route is fine when no shard write is
+    /// reachable from this function.
+    pub fn lookup_home(&self, row: &Row) -> Result<NodeId> {
+        let (_shard, dn) = self.gms.route_row(&self.schema, row)?;
+        Ok(dn)
+    }
+}

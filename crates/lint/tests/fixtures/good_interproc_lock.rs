@@ -1,0 +1,30 @@
+//! Known-good twin of `bad_interproc_lock.rs`: both paths acquire in
+//! the same alpha → beta order, so the interprocedural edges form a DAG
+//! and no cycle is reported.
+
+pub struct Registry {
+    alpha: Mutex<Vec<u64>>,
+    beta: Mutex<Vec<u64>>,
+}
+
+impl Registry {
+    pub fn path_one(&self) {
+        let g = self.alpha.lock();
+        self.append_beta(g.len() as u64);
+    }
+
+    fn append_beta(&self, v: u64) {
+        let mut h = self.beta.lock();
+        h.push(v);
+    }
+
+    /// Same order as `path_one`: alpha first, beta in the callee.
+    pub fn path_two(&self) {
+        let g = self.alpha.lock();
+        self.hop(g.len() as u64);
+    }
+
+    fn hop(&self, v: u64) {
+        self.append_beta(v);
+    }
+}

@@ -1,0 +1,52 @@
+//! Known-good twin of `bad_release.rs`: the fixed cutover-closure shape
+//! (every exit funnels through the unconditional unfreeze pair), a
+//! release moved into a resolved helper, and a `Bytes::freeze`-style
+//! call that is not a resource acquisition at all. Stays silent.
+
+pub struct Cluster {
+    epochs: Epochs,
+    engine: Engine,
+    buf: BytesMut,
+}
+
+impl Cluster {
+    /// The PR-8 fix: the fallible body runs in a closure so success and
+    /// every error path alike reach the unconditional releases below.
+    pub fn rehome(&self, stid: TableId) -> Result<Duration> {
+        self.epochs.freeze(stid);
+        self.engine.freeze_writes(stid);
+        let cutover = || -> Result<()> {
+            if !self.epochs.drain(stid, DRAIN_LIMIT) {
+                return Err(Error::Timeout);
+            }
+            self.engine.pool.flush_tenant(stid, None)?;
+            self.detach_attach(stid)?;
+            Ok(())
+        };
+        let result = cutover();
+        self.engine.unfreeze_writes(stid);
+        self.epochs.unfreeze(stid);
+        result.map(|()| self.elapsed())
+    }
+
+    /// The release lives in a helper; the callee's summary discharges
+    /// the acquisition.
+    pub fn freeze_then_helper(&self, stid: TableId) {
+        self.engine.freeze_writes(stid);
+        self.finish_cutover(stid);
+    }
+
+    fn finish_cutover(&self, stid: TableId) {
+        self.engine.unfreeze_writes(stid);
+    }
+
+    /// `Bytes`-style `freeze()` on a buffer is ownership transfer, not a
+    /// resource acquisition — the receiver constraint keeps it out.
+    pub fn seal(&mut self) -> Bytes {
+        self.buf.freeze()
+    }
+
+    fn detach_attach(&self, _stid: TableId) -> Result<()> {
+        Ok(())
+    }
+}

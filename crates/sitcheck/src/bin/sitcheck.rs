@@ -62,6 +62,20 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
+/// Rewrite the (partial) report after every run. CI's artifact step is
+/// `if: always()`, but an artifact can only capture what reached disk: a
+/// panic or runner timeout mid-matrix used to discard every witness
+/// rendered so far because the report was written once at exit. Flushing
+/// per run means a flaky schedule (the ro-lag witness especially) leaves
+/// its evidence behind even when the job dies on a later run.
+fn flush_report(path: Option<&String>, text: &str) {
+    if let Some(path) = path {
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("sitcheck: cannot write {path}: {e}");
+        }
+    }
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(a) => a,
@@ -102,6 +116,7 @@ fn main() {
                     report_text.push_str(&line);
                 }
             }
+            flush_report(args.out.as_ref(), &report_text);
         }
     }
 
@@ -140,6 +155,7 @@ fn main() {
             if !caught || !twin_clean {
                 failed = true;
             }
+            flush_report(args.out.as_ref(), &report_text);
         }
     }
 

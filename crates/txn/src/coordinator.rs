@@ -3,6 +3,8 @@
 use std::collections::HashSet;
 use std::sync::Arc;
 
+use parking_lot::Mutex;
+
 use polardbx_common::{
     Error, HistoryRecorder, IdGenerator, Key, NodeId, Result, Row, TableId, TrxId, TxnEvent,
 };
@@ -59,6 +61,13 @@ pub struct Coordinator {
     mutations: ProtocolMutations,
     fence: Option<Arc<dyn RoutingFence>>,
     observer: Option<Arc<dyn AccessObserver>>,
+    /// Serializes `begin`'s (ClockNow, Begin-record) pair against commit's
+    /// (ClockUpdate, Commit-record) pair — only when a recorder is
+    /// installed. The checker infers session order from record sequence
+    /// numbers, so each pair must be atomic or a commit landing between a
+    /// racing begin's clock read and its Begin record shows up as a false
+    /// G-SIb "lost ClockUpdate". Untapped coordinators never touch it.
+    session_order: Mutex<()>,
 }
 
 impl Coordinator {
@@ -83,6 +92,7 @@ impl Coordinator {
             mutations: ProtocolMutations::default(),
             fence: None,
             observer: None,
+            session_order: Mutex::named("txn.session_order", ()),
         }
     }
 
@@ -183,9 +193,14 @@ impl Coordinator {
     /// Begin a distributed transaction: `snapshot_ts = ClockNow()` (step ①;
     /// for TSO this is the first oracle round trip).
     pub fn begin(&self) -> DistTxn<'_> {
-        let snapshot_ts = self.clock.now();
         let trx = TrxId(self.trx_ids.next_id());
+        // Snapshot acquisition and the Begin record form one atomic step
+        // relative to commit's (ClockUpdate, Commit-record) pair; see the
+        // `session_order` field for why the checker needs this.
+        let _order = self.recorder.is_some().then(|| self.session_order.lock());
+        let snapshot_ts = self.clock.now();
         self.record(TxnEvent::Begin { trx, session: self.me, snapshot_ts: snapshot_ts.raw() });
+        drop(_order);
         DistTxn {
             coord: self,
             trx,
@@ -444,7 +459,7 @@ impl DistTxn<'_> {
         match parts.len() {
             0 => {
                 let commit_ts = self.snapshot_ts.raw(); // wrote-nothing transaction
-                self.record_commit(commit_ts);
+                self.absorb_and_record_commit(commit_ts, false);
                 Ok(commit_ts)
             }
             1 => {
@@ -461,14 +476,11 @@ impl DistTxn<'_> {
                 // returns the recorded commit_ts), so it is safe to retry.
                 match self.coord.call_retry(dn, TxnMsg::CommitLocal { trx: self.trx })? {
                     TxnMsg::Committed { commit_ts } => {
-                        // Absorb the participant's timestamp so later
-                        // transactions from this CN observe it.
-                        if !self.coord.mutations.skip_commit_clock_update {
-                            self.coord.clock.update(HlcTimestamp::from_raw(commit_ts));
-                        }
                         self.coord.metrics.one_phase_commits.inc();
                         self.observe(true);
-                        self.record_commit(commit_ts);
+                        // Absorb the participant's timestamp so later
+                        // transactions from this CN observe it.
+                        self.absorb_and_record_commit(commit_ts, true);
                         Ok(commit_ts)
                     }
                     TxnMsg::Failed(e) => {
@@ -600,9 +612,6 @@ impl DistTxn<'_> {
                         }
                     }
                 }
-                if !self.coord.mutations.skip_commit_clock_update {
-                    self.coord.clock.update(HlcTimestamp::from_raw(commit_ts));
-                }
                 self.coord.hit_failpoint("txn.after_decision");
                 // Phase two is asynchronous: post and return. New readers
                 // hitting PREPARED versions wait for the decision, so this
@@ -615,7 +624,9 @@ impl DistTxn<'_> {
                 }
                 self.coord.metrics.two_phase_commits.inc();
                 self.observe(false);
-                self.record_commit(commit_ts);
+                // Step ⑥: a single batched ClockUpdate, paired atomically
+                // with the commit record.
+                self.absorb_and_record_commit(commit_ts, true);
                 Ok(commit_ts)
             }
         }
@@ -633,6 +644,19 @@ impl DistTxn<'_> {
         for &dn in parts {
             let _ = self.coord.net.post(self.coord.me, dn, TxnMsg::Abort { trx: self.trx });
         }
+    }
+
+    /// Absorb `commit_ts` into the CN clock (step ⑥, unless this is a
+    /// wrote-nothing commit with nothing to absorb) and record the global
+    /// commit outcome, as ONE atomic step relative to `begin`'s
+    /// (ClockNow, Begin-record) pair — see `Coordinator::session_order`.
+    fn absorb_and_record_commit(&self, commit_ts: u64, absorb: bool) {
+        let _order =
+            self.coord.recorder.is_some().then(|| self.coord.session_order.lock());
+        if absorb && !self.coord.mutations.skip_commit_clock_update {
+            self.coord.clock.update(HlcTimestamp::from_raw(commit_ts));
+        }
+        self.record_commit(commit_ts);
     }
 
     /// Record the global commit outcome at the coordinator.
