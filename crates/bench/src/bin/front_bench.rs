@@ -1,0 +1,395 @@
+//! front_bench: load harness for the SQL front door over the real wire.
+//!
+//! Three scenarios against one cluster + `FrontDoor`:
+//!
+//! 1. **Closed loop** — 32 wire clients (8 with `--quick`), each the sole
+//!    writer of its own row, running a SELECT/UPDATE mix as fast as acks
+//!    return. Reports sustained QPS and p50/p99/p999 from an HDR
+//!    histogram.
+//! 2. **Open loop** — paced workers sweep target arrival rates; latency
+//!    is measured from each request's *scheduled* send time, so queueing
+//!    delay when the server falls behind is charged to the result
+//!    (no coordinated omission).
+//! 3. **Hotspot tenant** — a quiet tenant's p99 is measured alone, then
+//!    again while a rate-limited hot tenant floods the door and gets
+//!    bounced. The bar: admission control keeps the quiet tenant's
+//!    contended p99 within 3× of its isolated baseline (6× with
+//!    `--quick`), the hot tenant sees >0 throttles, and nobody sees a
+//!    non-retryable error.
+//!
+//! Results go to `BENCH_front.json`; bar failures exit nonzero.
+//!
+//! Run: `cargo run --release -p polardbx-bench --bin front_bench [--quick]`
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use polardbx::{ClusterConfig, PolarDbx};
+use polardbx_bench::{fmt_dur, quick};
+use polardbx_common::metrics::HdrHistogram;
+use polardbx_common::{Error, TenantQuotas};
+use polardbx_front::{FrontClient, FrontDoor};
+
+/// Outcome of one load phase.
+struct PhaseResult {
+    name: String,
+    ops: u64,
+    throttles: u64,
+    fatal: u64,
+    elapsed: Duration,
+    hist: HdrHistogram,
+}
+
+impl PhaseResult {
+    fn qps(&self) -> f64 {
+        self.ops as f64 / self.elapsed.as_secs_f64()
+    }
+
+    fn report(&self) {
+        println!(
+            "  {:<22} {:>8.0} qps · p50 {:>8} · p99 {:>8} · p999 {:>8} · \
+             {} throttles · {} fatal",
+            self.name,
+            self.qps(),
+            fmt_dur(self.hist.percentile(0.50)),
+            fmt_dur(self.hist.percentile(0.99)),
+            fmt_dur(self.hist.percentile(0.999)),
+            self.throttles,
+            self.fatal,
+        );
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"name\": \"{}\", \"qps\": {:.1}, \"ops\": {}, \"p50_us\": {}, \
+             \"p99_us\": {}, \"p999_us\": {}, \"throttles\": {}, \"fatal_errors\": {}}}",
+            self.name,
+            self.qps(),
+            self.ops,
+            self.hist.percentile(0.50).as_micros(),
+            self.hist.percentile(0.99).as_micros(),
+            self.hist.percentile(0.999).as_micros(),
+            self.throttles,
+            self.fatal,
+        )
+    }
+}
+
+/// One client's closed-loop op: alternate point-SELECT and own-row UPDATE.
+/// Returns latency on success, Err(true) for a throttle (back off), and
+/// Err(false) for a fatal error.
+fn mixed_op(c: &mut FrontClient, row: usize, k: u64) -> Result<(), bool> {
+    let r = if k.is_multiple_of(2) {
+        c.query(&format!("SELECT v FROM b WHERE id = {row}")).map(|_| ())
+    } else {
+        c.execute(&format!("UPDATE b SET v = v + 1 WHERE id = {row}")).map(|_| ())
+    };
+    match r {
+        Ok(()) => Ok(()),
+        Err(Error::Throttled { .. }) => Err(true),
+        Err(ref e) if e.is_retryable() => Err(true),
+        Err(_) => Err(false),
+    }
+}
+
+/// Closed loop: `clients` wire connections hammering for `dur`.
+fn run_closed_loop(
+    name: &str,
+    addr: SocketAddr,
+    tenant: u64,
+    clients: usize,
+    rows_base: usize,
+    dur: Duration,
+) -> PhaseResult {
+    let stop = AtomicBool::new(false);
+    let ops = AtomicU64::new(0);
+    let throttles = AtomicU64::new(0);
+    let fatal = AtomicU64::new(0);
+    let hist = HdrHistogram::new();
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for w in 0..clients {
+            let stop = &stop;
+            let ops = &ops;
+            let throttles = &throttles;
+            let fatal = &fatal;
+            let hist = &hist;
+            s.spawn(move || {
+                let mut c = match FrontClient::connect(addr, tenant) {
+                    Ok(c) => c,
+                    Err(_) => {
+                        fatal.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                };
+                let mut k = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let t = Instant::now();
+                    match mixed_op(&mut c, rows_base + w, k) {
+                        Ok(()) => {
+                            hist.record(t.elapsed());
+                            ops.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(true) => {
+                            throttles.fetch_add(1, Ordering::Relaxed);
+                            // Back off so bounces don't melt into a spin.
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                        Err(false) => {
+                            fatal.fetch_add(1, Ordering::Relaxed);
+                            return;
+                        }
+                    }
+                    k += 1;
+                }
+            });
+        }
+        std::thread::sleep(dur);
+        stop.store(true, Ordering::Relaxed);
+    });
+    PhaseResult {
+        name: name.to_string(),
+        ops: ops.load(Ordering::Relaxed),
+        throttles: throttles.load(Ordering::Relaxed),
+        fatal: fatal.load(Ordering::Relaxed),
+        elapsed: t0.elapsed(),
+        hist,
+    }
+}
+
+/// Open loop at `target_qps`: paced workers, latency charged from each
+/// request's scheduled send time.
+fn run_open_loop(
+    addr: SocketAddr,
+    tenant: u64,
+    workers: usize,
+    rows_base: usize,
+    target_qps: f64,
+    dur: Duration,
+) -> PhaseResult {
+    let ops = AtomicU64::new(0);
+    let throttles = AtomicU64::new(0);
+    let fatal = AtomicU64::new(0);
+    let hist = HdrHistogram::new();
+    let interval = Duration::from_secs_f64(workers as f64 / target_qps);
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for w in 0..workers {
+            let ops = &ops;
+            let throttles = &throttles;
+            let fatal = &fatal;
+            let hist = &hist;
+            s.spawn(move || {
+                let mut c = match FrontClient::connect(addr, tenant) {
+                    Ok(c) => c,
+                    Err(_) => {
+                        fatal.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                };
+                // Stagger workers across one interval.
+                let offset = interval.mul_f64(w as f64 / workers as f64);
+                let mut k = 0u64;
+                loop {
+                    let scheduled = t0 + offset + interval * (k as u32);
+                    if scheduled.duration_since(t0) >= dur {
+                        return;
+                    }
+                    let now = Instant::now();
+                    if scheduled > now {
+                        std::thread::sleep(scheduled - now);
+                    }
+                    match mixed_op(&mut c, rows_base + w, k) {
+                        Ok(()) => {
+                            // From the *scheduled* time: a backlog shows
+                            // up as latency, not as silence.
+                            hist.record(scheduled.elapsed());
+                            ops.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(true) => {
+                            throttles.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(false) => {
+                            fatal.fetch_add(1, Ordering::Relaxed);
+                            return;
+                        }
+                    }
+                    k += 1;
+                }
+            });
+        }
+    });
+    PhaseResult {
+        name: format!("open-loop@{target_qps:.0}"),
+        ops: ops.load(Ordering::Relaxed),
+        throttles: throttles.load(Ordering::Relaxed),
+        fatal: fatal.load(Ordering::Relaxed),
+        elapsed: t0.elapsed(),
+        hist,
+    }
+}
+
+fn main() {
+    let quick = quick();
+    let closed_clients = if quick { 8 } else { 32 };
+    let closed_dur = if quick { Duration::from_millis(700) } else { Duration::from_secs(5) };
+    let sweep_dur = if quick { Duration::from_millis(600) } else { Duration::from_secs(3) };
+    let sweep_targets: &[f64] = if quick { &[100.0, 300.0] } else { &[200.0, 500.0, 1000.0] };
+    let hotspot_dur = if quick { Duration::from_millis(700) } else { Duration::from_secs(3) };
+
+    println!("== front_bench: SQL front door over the wire ==");
+    let db = PolarDbx::build(ClusterConfig { dns: 2, default_shards: 8, ..Default::default() })
+        .unwrap();
+    let app = db.register_tenant("app", TenantQuotas::unlimited());
+    let quiet = db.register_tenant("quiet", TenantQuotas::unlimited());
+    // The hot tenant is capped well below what its clients will attempt.
+    let hot = db.register_tenant("hot", TenantQuotas::rate_limited(200.0, 50.0));
+    let front = FrontDoor::start_default(db.clone()).unwrap();
+    let addr = front.addr();
+
+    // Schema + one private row per client slot (closed loop, sweep, and
+    // hotspot phases use disjoint row ranges).
+    let mut admin = FrontClient::connect(addr, app.0).unwrap();
+    admin
+        .execute(
+            "CREATE TABLE b (id BIGINT NOT NULL, v INT, PRIMARY KEY (id)) \
+             PARTITION BY HASH(id) PARTITIONS 8",
+        )
+        .unwrap();
+    let total_rows = 128;
+    for base in (0..total_rows).step_by(16) {
+        let vals: Vec<String> = (base..base + 16).map(|i| format!("({i}, 0)")).collect();
+        admin
+            .execute(&format!("INSERT INTO b (id, v) VALUES {}", vals.join(",")))
+            .unwrap();
+    }
+
+    // ---- 1. closed loop ------------------------------------------------
+    println!("-- closed loop: {closed_clients} wire clients, {} --", fmt_dur(closed_dur));
+    let closed = run_closed_loop("closed-loop", addr, app.0, closed_clients, 0, closed_dur);
+    closed.report();
+
+    // ---- 2. open-loop sweep -------------------------------------------
+    println!("-- open-loop sweep: targets {sweep_targets:?} qps --");
+    let mut sweep = Vec::new();
+    for &target in sweep_targets {
+        let r = run_open_loop(addr, app.0, 8, 48, target, sweep_dur);
+        r.report();
+        sweep.push((target, r));
+    }
+
+    // ---- 3. hotspot tenant --------------------------------------------
+    println!("-- hotspot: quiet tenant alone, then next to a flooding hot tenant --");
+    let quiet_clients = 4;
+    let hot_clients = 8;
+    let baseline =
+        run_closed_loop("quiet-baseline", addr, quiet.0, quiet_clients, 64, hotspot_dur);
+    baseline.report();
+    // Contended: hot floods (and mostly bounces) while quiet re-runs the
+    // identical workload.
+    let (contended, hot_phase) = std::thread::scope(|s| {
+        let hot_handle = s.spawn(|| {
+            run_closed_loop("hot-flood", addr, hot.0, hot_clients, 80, hotspot_dur)
+        });
+        let contended =
+            run_closed_loop("quiet-contended", addr, quiet.0, quiet_clients, 64, hotspot_dur);
+        (contended, hot_handle.join().unwrap())
+    });
+    contended.report();
+    hot_phase.report();
+
+    // A sub-200µs baseline p99 on a single-core host is timer noise; the
+    // isolation ratio is computed against a 200µs floor so the bar stays
+    // meaningful (see EXPERIMENTS.md).
+    let floor = Duration::from_micros(200);
+    let base_p99 = baseline.hist.percentile(0.99).max(floor);
+    let cont_p99 = contended.hist.percentile(0.99);
+    let ratio = cont_p99.as_secs_f64() / base_p99.as_secs_f64();
+    println!(
+        "  quiet p99 isolated {} → contended {} ({ratio:.2}x) · hot throttles {}",
+        fmt_dur(baseline.hist.percentile(0.99)),
+        fmt_dur(cont_p99),
+        hot_phase.throttles,
+    );
+
+    // ---- JSON ----------------------------------------------------------
+    let sweep_json: Vec<String> = sweep
+        .iter()
+        .map(|(target, r)| {
+            format!(
+                "{{\"target_qps\": {target:.0}, \"achieved_qps\": {:.1}, \"p50_us\": {}, \
+                 \"p99_us\": {}, \"p999_us\": {}, \"throttles\": {}, \"fatal_errors\": {}}}",
+                r.qps(),
+                r.hist.percentile(0.50).as_micros(),
+                r.hist.percentile(0.99).as_micros(),
+                r.hist.percentile(0.999).as_micros(),
+                r.throttles,
+                r.fatal,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"benchmark\": \"front_bench\",\n  \"quick\": {quick},\n  \
+         \"closed_loop\": {},\n  \"open_loop_sweep\": [{}],\n  \
+         \"hotspot\": {{\"baseline\": {}, \"contended\": {}, \"hot\": {},\n    \
+         \"quiet_p99_ratio\": {ratio:.3}}}\n}}\n",
+        closed.json(),
+        sweep_json.join(", "),
+        baseline.json(),
+        contended.json(),
+        hot_phase.json(),
+    );
+    std::fs::write("BENCH_front.json", &json).unwrap();
+    println!("  wrote BENCH_front.json");
+
+    drop(admin);
+    drop(front);
+    db.shutdown();
+
+    // ---- bars ----------------------------------------------------------
+    // Conservative floors: the host is a single shared core and every op
+    // is a full TCP round trip.
+    let (min_qps, max_ratio) = if quick { (100.0, 6.0) } else { (300.0, 3.0) };
+    let mut failed = false;
+    if closed.qps() < min_qps {
+        println!("  FAIL: closed-loop {:.0} qps below the {min_qps} floor", closed.qps());
+        failed = true;
+    }
+    let fatal_total = closed.fatal
+        + baseline.fatal
+        + contended.fatal
+        + hot_phase.fatal
+        + sweep.iter().map(|(_, r)| r.fatal).sum::<u64>();
+    if fatal_total > 0 {
+        println!("  FAIL: {fatal_total} non-retryable errors across phases");
+        failed = true;
+    }
+    if hot_phase.throttles == 0 {
+        println!("  FAIL: hot tenant was never throttled");
+        failed = true;
+    }
+    // NaN fails closed: only a finite ratio at or under the bar passes.
+    if !matches!(ratio.partial_cmp(&max_ratio), Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)) {
+        println!(
+            "  FAIL: quiet tenant contended p99 is {ratio:.2}x its isolated baseline \
+             (bar {max_ratio}x)"
+        );
+        failed = true;
+    }
+    if !quick {
+        // The lowest sweep target must actually be sustained.
+        let (target, r) = &sweep[0];
+        if r.qps() < target * 0.8 {
+            println!(
+                "  FAIL: open loop achieved {:.0} qps against the {target:.0} target",
+                r.qps()
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("  all bars passed");
+}

@@ -13,6 +13,7 @@ pub mod key;
 pub mod metrics;
 pub mod row;
 pub mod schema;
+pub mod tenant;
 pub mod testseed;
 pub mod time;
 pub mod value;
@@ -23,5 +24,6 @@ pub use ids::{DcId, IdGenerator, Lsn, NodeId, ShardId, TableId, TenantId, TrxId}
 pub use key::Key;
 pub use row::Row;
 pub use schema::{ColumnDef, DataType, IndexDef, IndexKind, PartitionSpec, TableSchema};
+pub use tenant::{TenantMeta, TenantQuotas};
 pub use testseed::{format_seed, seed_from_env};
 pub use value::Value;

@@ -249,6 +249,25 @@ impl PolarDbx {
         Session { inner: Arc::clone(&self.inner), cn }
     }
 
+    /// Connect to a specific CN by fleet index (wraps around). The front
+    /// door uses this to spread wire connections round-robin across the CN
+    /// fleet instead of pinning every client to one coordinator.
+    pub fn connect_nth(&self, n: usize) -> Session {
+        let cns = &self.inner.cns;
+        let cn = Arc::clone(&cns[n % cns.len()]);
+        Session { inner: Arc::clone(&self.inner), cn }
+    }
+
+    /// Register a front-door tenant (name + admission quotas) in the GMS
+    /// tenant catalog; returns the id wire clients handshake with.
+    pub fn register_tenant(
+        &self,
+        name: &str,
+        quotas: polardbx_common::TenantQuotas,
+    ) -> TenantId {
+        self.inner.gms.register_tenant(name, quotas)
+    }
+
     /// The metadata service.
     pub fn gms(&self) -> &Arc<Gms> {
         &self.inner.gms
@@ -671,15 +690,24 @@ impl Session {
 
     /// Execute a DDL/DML statement; returns affected row count.
     pub fn execute(&self, sql: &str) -> Result<u64> {
+        let stmt = polardbx_sql::parse(sql)?;
+        self.execute_statement(sql, &stmt)
+    }
+
+    /// Execute an already-parsed DDL/DML statement. The front door's
+    /// prepared-statement path parses once at PREPARE and replays the AST
+    /// here on every EXECUTE; `sql` is the original text, used only for
+    /// traffic-control fingerprinting.
+    pub fn execute_statement(&self, sql: &str, stmt: &Statement) -> Result<u64> {
         let _permit = self.inner.traffic.admit(sql)?;
-        match polardbx_sql::parse(sql)? {
-            Statement::CreateTable(ct) => self.create_table(ct).map(|_| 0),
-            Statement::CreateIndex(ci) => self.create_index(ci).map(|_| 0),
+        match stmt {
+            Statement::CreateTable(ct) => self.create_table(ct.clone()).map(|_| 0),
+            Statement::CreateIndex(ci) => self.create_index(ci.clone()).map(|_| 0),
             // DML retries the whole statement on a re-home bounce: the
             // retry re-routes and lands on the shard's new home.
-            Statement::Insert(ins) => self.retry_dml(|| self.insert(&ins)),
-            Statement::Update(u) => self.retry_dml(|| self.update(&u)),
-            Statement::Delete(d) => self.retry_dml(|| self.delete(&d)),
+            Statement::Insert(ins) => self.retry_dml(|| self.insert(ins)),
+            Statement::Update(u) => self.retry_dml(|| self.update(u)),
+            Statement::Delete(d) => self.retry_dml(|| self.delete(d)),
             Statement::Select(_) => {
                 Err(Error::invalid("use query() for SELECT statements"))
             }
@@ -721,12 +749,23 @@ impl Session {
 
     /// Execute a SELECT and report how the optimizer classified it.
     pub fn query_classified(&self, sql: &str) -> Result<(Vec<Row>, WorkloadClass)> {
-        let _permit = self.inner.traffic.admit(sql)?;
         let Statement::Select(sel) = polardbx_sql::parse(sql)? else {
             return Err(Error::invalid("query() only accepts SELECT"));
         };
+        self.query_statement(sql, &sel)
+    }
+
+    /// Execute an already-parsed SELECT (the front door's parse-once
+    /// path); `sql` is the original text, used only for traffic-control
+    /// fingerprinting.
+    pub fn query_statement(
+        &self,
+        sql: &str,
+        sel: &polardbx_sql::ast::Select,
+    ) -> Result<(Vec<Row>, WorkloadClass)> {
+        let _permit = self.inner.traffic.admit(sql)?;
         let stats = self.inner.gms.statistics();
-        let plan = polardbx_sql::build_plan(&sel, self.inner.gms.as_ref())?;
+        let plan = polardbx_sql::build_plan(sel, self.inner.gms.as_ref())?;
         let plan = optimize_with_stats(plan, &stats);
         let class = classify_with_threshold(&plan, &stats, self.inner.config.ap_threshold);
         let rows = self.run_plan(plan, class)?;

@@ -10,7 +10,8 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use polardbx_common::{
-    Error, IdGenerator, NodeId, Result, Row, TableId, TableSchema, Value,
+    Error, IdGenerator, NodeId, Result, Row, TableId, TableSchema, TenantId, TenantMeta,
+    TenantQuotas, Value,
 };
 use polardbx_optimizer::{Statistics, TableStats};
 use polardbx_placement::EpochMap;
@@ -38,6 +39,10 @@ pub struct Gms {
     /// Routing epochs per shard table: the fence that keeps live-traffic
     /// re-homes from split-braining (see `polardbx-placement`).
     epochs: Arc<EpochMap>,
+    /// Front-door tenant catalog: the wire handshake names a tenant, the
+    /// admission controller enforces its quotas.
+    tenants: RwLock<HashMap<TenantId, TenantMeta>>,
+    tenant_ids: IdGenerator,
 }
 
 impl Gms {
@@ -52,7 +57,42 @@ impl Gms {
             sequences: RwLock::new(HashMap::new()),
             dns: RwLock::new(Vec::new()),
             epochs: Arc::new(EpochMap::new()),
+            tenants: RwLock::new(HashMap::new()),
+            tenant_ids: IdGenerator::new(),
         })
+    }
+
+    /// Register a front-door tenant with its admission quotas; returns the
+    /// allocated tenant id (the wire handshake carries its raw value).
+    pub fn register_tenant(&self, name: &str, quotas: TenantQuotas) -> TenantId {
+        let id = TenantId(self.tenant_ids.next_id());
+        let meta = TenantMeta { id, name: name.to_string(), quotas };
+        self.tenants.write().insert(id, meta);
+        id
+    }
+
+    /// Update a registered tenant's quotas (DBA knob; the front door
+    /// re-reads them on the tenant's next handshake).
+    pub fn set_tenant_quotas(&self, id: TenantId, quotas: TenantQuotas) -> Result<()> {
+        match self.tenants.write().get_mut(&id) {
+            Some(meta) => {
+                meta.quotas = quotas;
+                Ok(())
+            }
+            None => Err(Error::invalid(format!("unknown tenant {id}"))),
+        }
+    }
+
+    /// Tenant catalog lookup.
+    pub fn tenant(&self, id: TenantId) -> Option<TenantMeta> {
+        self.tenants.read().get(&id).cloned()
+    }
+
+    /// All registered tenants.
+    pub fn tenants(&self) -> Vec<TenantMeta> {
+        let mut v: Vec<TenantMeta> = self.tenants.read().values().cloned().collect();
+        v.sort_by_key(|t| t.id);
+        v
     }
 
     /// Register a DN node.
@@ -469,6 +509,23 @@ mod tests {
         .unwrap();
         gms.create_table(s).unwrap();
         assert_eq!(gms.table_columns("nopk").unwrap(), vec!["v".to_string()]);
+    }
+
+    #[test]
+    fn tenant_catalog_register_lookup_update() {
+        let gms = gms_with_dns(1);
+        let a = gms.register_tenant("alpha", TenantQuotas::rate_limited(100.0, 10.0));
+        let b = gms.register_tenant("beta", TenantQuotas::unlimited());
+        assert_ne!(a, b);
+        let meta = gms.tenant(a).unwrap();
+        assert_eq!(meta.name, "alpha");
+        assert_eq!(meta.quotas.rate_per_sec, 100.0);
+        assert!(gms.tenant(TenantId(999)).is_none());
+        gms.set_tenant_quotas(a, TenantQuotas::rate_limited(7.0, 2.0)).unwrap();
+        assert_eq!(gms.tenant(a).unwrap().quotas.rate_per_sec, 7.0);
+        assert!(gms.set_tenant_quotas(TenantId(999), TenantQuotas::unlimited()).is_err());
+        let names: Vec<String> = gms.tenants().into_iter().map(|t| t.name).collect();
+        assert_eq!(names, vec!["alpha".to_string(), "beta".to_string()]);
     }
 
     #[test]

@@ -1,0 +1,30 @@
+//! Front-door observability: one shared counter block plus an HDR
+//! latency histogram, sampled by the bench harness and the tier-1 tests.
+
+use polardbx_common::metrics::{Counter, HdrHistogram};
+
+/// Counters for the whole front door (all tenants, all connections).
+#[derive(Default)]
+pub struct FrontMetrics {
+    /// Connections that completed the handshake.
+    pub connections_accepted: Counter,
+    /// Connections torn down (clean quit or abrupt drop).
+    pub connections_closed: Counter,
+    /// Handshakes rejected (bad version, unknown tenant, connection cap).
+    pub handshake_failures: Counter,
+    /// Queries/executes that returned `Rows`/`Affected`.
+    pub queries_ok: Counter,
+    /// Queries/executes that returned an `Err` frame (throttles excluded).
+    pub queries_err: Counter,
+    /// Requests bounced by admission control.
+    pub throttled: Counter,
+    /// Server-side request latency (dispatch to response encoded).
+    pub query_latency: HdrHistogram,
+}
+
+impl FrontMetrics {
+    /// Fresh zeroed metrics.
+    pub fn new() -> FrontMetrics {
+        FrontMetrics::default()
+    }
+}

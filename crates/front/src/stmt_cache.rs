@@ -1,0 +1,226 @@
+//! Per-connection prepared-statement cache.
+//!
+//! `Prepare` parses once and hands back a statement id; `Execute` replays
+//! the parsed AST without re-parsing. Entries are additionally indexed by
+//! the statement's *fingerprint* (literals stripped — the same
+//! normalisation the traffic-control layer uses for anomaly rules), so a
+//! connection that prepares the same statement shape twice gets the cached
+//! parse back instead of a second slot. A fingerprint hit still requires
+//! an **exact SQL text match**: two statements can share a fingerprint
+//! while differing in literals, and replaying the wrong literals would be
+//! a correctness bug, not a cache miss.
+//!
+//! The cache is bounded with LRU eviction. Evicting a slot invalidates its
+//! statement id (`Execute` on it returns a typed error) but any in-flight
+//! execution keeps its `Arc` handle alive.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use polardbx::traffic::fingerprint;
+use polardbx_common::{Error, Result};
+use polardbx_sql::ast::Statement;
+
+/// One cached prepared statement.
+pub struct PreparedStmt {
+    /// Statement id handed to the client.
+    pub id: u32,
+    /// Exact SQL text as prepared.
+    pub sql: String,
+    /// Literal-stripped shape, shared with traffic control.
+    pub fingerprint: String,
+    /// Parsed AST, reused by every `Execute`.
+    pub stmt: Statement,
+}
+
+/// Bounded LRU cache of prepared statements for one connection.
+pub struct StmtCache {
+    capacity: usize,
+    next_id: u32,
+    /// id → entry.
+    by_id: HashMap<u32, Arc<PreparedStmt>>,
+    /// fingerprint → id of the most recent statement with that shape.
+    by_fingerprint: HashMap<String, u32>,
+    /// LRU order, least recent first.
+    lru: Vec<u32>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl StmtCache {
+    /// Cache holding at most `capacity` statements (minimum 1).
+    pub fn new(capacity: usize) -> StmtCache {
+        StmtCache {
+            capacity: capacity.max(1),
+            next_id: 1,
+            by_id: HashMap::new(),
+            by_fingerprint: HashMap::new(),
+            lru: Vec::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    fn touch(&mut self, id: u32) {
+        if let Some(pos) = self.lru.iter().position(|&x| x == id) {
+            self.lru.remove(pos);
+        }
+        self.lru.push(id);
+    }
+
+    /// Prepare `sql`: reuse the cached parse when the exact text was
+    /// prepared before, otherwise parse via `parse` and insert (evicting
+    /// the least recently used slot if full). Returns the entry and
+    /// whether it was a cache hit.
+    pub fn prepare(
+        &mut self,
+        sql: &str,
+        parse: impl FnOnce(&str) -> Result<Statement>,
+    ) -> Result<(Arc<PreparedStmt>, bool)> {
+        let fp = fingerprint(sql);
+        if let Some(&id) = self.by_fingerprint.get(&fp) {
+            if let Some(entry) = self.by_id.get(&id) {
+                if entry.sql == sql {
+                    let entry = Arc::clone(entry);
+                    self.hits += 1;
+                    self.touch(id);
+                    return Ok((entry, true));
+                }
+            }
+        }
+        self.misses += 1;
+        let stmt = parse(sql)?;
+        if self.by_id.len() >= self.capacity {
+            let victim = self.lru.remove(0);
+            if let Some(old) = self.by_id.remove(&victim) {
+                if self.by_fingerprint.get(&old.fingerprint) == Some(&victim) {
+                    self.by_fingerprint.remove(&old.fingerprint);
+                }
+                self.evictions += 1;
+            }
+        }
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1).max(1);
+        let entry = Arc::new(PreparedStmt { id, sql: sql.to_string(), fingerprint: fp.clone(), stmt });
+        self.by_id.insert(id, Arc::clone(&entry));
+        self.by_fingerprint.insert(fp, id);
+        self.lru.push(id);
+        Ok((entry, false))
+    }
+
+    /// Look up a statement id for `Execute`.
+    pub fn get(&mut self, id: u32) -> Result<Arc<PreparedStmt>> {
+        match self.by_id.get(&id) {
+            Some(entry) => {
+                let entry = Arc::clone(entry);
+                self.touch(id);
+                Ok(entry)
+            }
+            None => Err(Error::invalid(format!("unknown prepared statement id {id}"))),
+        }
+    }
+
+    /// Explicitly close a statement id. Closing an unknown id is a no-op
+    /// (the slot may have been evicted already).
+    pub fn close(&mut self, id: u32) {
+        if let Some(old) = self.by_id.remove(&id) {
+            if self.by_fingerprint.get(&old.fingerprint) == Some(&id) {
+                self.by_fingerprint.remove(&old.fingerprint);
+            }
+            if let Some(pos) = self.lru.iter().position(|&x| x == id) {
+                self.lru.remove(pos);
+            }
+        }
+    }
+
+    /// Cached statement count.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// True when no statements are cached.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    /// `(hits, misses, evictions)` counters.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.evictions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(sql: &str) -> Result<Statement> {
+        polardbx_sql::parse(sql)
+    }
+
+    #[test]
+    fn same_text_hits_without_reparse() {
+        let mut c = StmtCache::new(4);
+        let (a, hit) = c.prepare("SELECT id FROM t WHERE id = 1", parse).unwrap();
+        assert!(!hit);
+        let (b, hit) = c
+            .prepare("SELECT id FROM t WHERE id = 1", |_| {
+                panic!("cache hit must not re-parse")
+            })
+            .unwrap();
+        assert!(hit);
+        assert_eq!(a.id, b.id);
+        assert_eq!(c.stats(), (1, 1, 0));
+    }
+
+    #[test]
+    fn same_fingerprint_different_literals_is_a_miss() {
+        let mut c = StmtCache::new(4);
+        let (a, _) = c.prepare("SELECT id FROM t WHERE id = 1", parse).unwrap();
+        let (b, hit) = c.prepare("SELECT id FROM t WHERE id = 2", parse).unwrap();
+        assert!(!hit, "different literals must not replay the wrong parse");
+        assert_ne!(a.id, b.id);
+        assert_eq!(a.fingerprint, b.fingerprint);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent_and_invalidates_id() {
+        let mut c = StmtCache::new(2);
+        let (a, _) = c.prepare("SELECT id FROM t WHERE id = 1", parse).unwrap();
+        let (_b, _) = c.prepare("SELECT v FROM t WHERE id = 1", parse).unwrap();
+        // Touch a so the second statement becomes the LRU victim.
+        c.get(a.id).unwrap();
+        let (_c3, _) = c.prepare("SELECT id, v FROM t WHERE id = 1", parse).unwrap();
+        assert_eq!(c.len(), 2);
+        assert!(c.get(a.id).is_ok(), "recently used survives");
+        assert!(c.get(_b.id).is_err(), "evicted id is invalid");
+        assert_eq!(c.stats().2, 1);
+        // The evicted Arc handle stays usable for in-flight executions.
+        assert_eq!(_b.sql, "SELECT v FROM t WHERE id = 1");
+    }
+
+    #[test]
+    fn close_frees_slot_and_fingerprint() {
+        let mut c = StmtCache::new(2);
+        let (a, _) = c.prepare("SELECT id FROM t WHERE id = 1", parse).unwrap();
+        c.close(a.id);
+        assert!(c.is_empty());
+        assert!(c.get(a.id).is_err());
+        // Same text now re-parses into a fresh slot.
+        let (b, hit) = c.prepare("SELECT id FROM t WHERE id = 1", parse).unwrap();
+        assert!(!hit);
+        assert_ne!(a.id, b.id);
+        // Closing an unknown/already-closed id is a no-op.
+        c.close(a.id);
+        c.close(9999);
+    }
+
+    #[test]
+    fn parse_errors_do_not_occupy_slots() {
+        let mut c = StmtCache::new(2);
+        assert!(c.prepare("SELEKT nonsense", parse).is_err());
+        assert!(c.is_empty());
+        assert_eq!(c.stats(), (0, 1, 0));
+    }
+}
